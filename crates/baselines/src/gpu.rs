@@ -1,0 +1,197 @@
+//! Adreno-640-class mobile GPU analytic model (Figures 8/9).
+//!
+//! Table IV: 2 cores, 384 ALUs at 685 MHz, 1 MB on-chip memory. The model
+//! captures the three cost components Section VII-A identifies:
+//!
+//! 1. **Kernel launch** — OpenCL runtime enqueue + core↔GPU fabric
+//!    round trips (ADSPRPC-style overhead for DSPs is analogous);
+//! 2. **Data transfer** — moving inputs from "complex C++ objects to pinned
+//!    C array pointers in the unified memory region", charged per byte plus
+//!    a fixed pinning cost;
+//! 3. **Compute** — ALU-throughput-bound execution at an achievable
+//!    efficiency.
+//!
+//! `CALIBRATED`: launch and copy constants are set so that (a) the GEMM
+//! crossover against MVE lands near 6.0 M FLOPs and SpMM near 4.6 M FLOPs
+//! (Figure 9), and (b) data transfer dominates small mobile kernels
+//! (Figure 8: transfer alone averages 6.9× MVE's execution time).
+
+/// GPU hardware/runtime parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Scalar ALUs across both cores (Table IV).
+    pub alus: u64,
+    /// Shader clock in GHz (Table IV).
+    pub freq_ghz: f64,
+    /// Achievable fraction of peak ALU throughput.
+    pub efficiency: f64,
+    /// Kernel-launch overhead in microseconds (OpenCL enqueue + fabric).
+    pub launch_us: f64,
+    /// Fixed cost of preparing/pinning unified-memory buffers, µs.
+    pub copy_fixed_us: f64,
+    /// Sustained host↔device copy bandwidth, GB/s.
+    pub copy_gbps: f64,
+    /// Active GPU power during kernel execution, watts.
+    pub active_power_w: f64,
+    /// Energy per byte copied, pJ/B.
+    pub copy_pj_per_byte: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            alus: 384,
+            freq_ghz: 0.685,
+            efficiency: 0.70,
+            launch_us: 100.0,
+            copy_fixed_us: 25.0,
+            copy_gbps: 4.0,
+            active_power_w: 1.8,
+            copy_pj_per_byte: 700.0,
+        }
+    }
+}
+
+/// Work description of one kernel offload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuKernelCost {
+    /// Arithmetic operations (MACs count as 2).
+    pub ops: u64,
+    /// Bytes copied host → device.
+    pub bytes_in: u64,
+    /// Bytes copied device → host.
+    pub bytes_out: u64,
+    /// Kernel launches required (multi-pass algorithms launch several).
+    pub launches: u32,
+}
+
+/// Timing/energy result of a GPU offload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuResult {
+    /// Kernel execution time (launch + compute), µs.
+    pub kernel_us: f64,
+    /// Data transfer time, µs.
+    pub transfer_us: f64,
+    /// Energy, µJ.
+    pub energy_uj: f64,
+}
+
+impl GpuResult {
+    /// End-to-end offload time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.kernel_us + self.transfer_us
+    }
+}
+
+impl GpuConfig {
+    /// Peak MAC throughput in int32 MACs per second (for the Section VII-A
+    /// "13.6× lower MAC throughput" cross-check against MVE).
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.alus as f64 * self.freq_ghz * 1e9
+    }
+
+    /// Executes the analytic model.
+    ///
+    /// ```
+    /// use mve_baselines::gpu::{GpuConfig, GpuKernelCost};
+    ///
+    /// let gpu = GpuConfig::default();
+    /// let tiny = gpu.execute(&GpuKernelCost { ops: 1_000, bytes_in: 4096, bytes_out: 0, launches: 1 });
+    /// // A 1k-op kernel is entirely launch-overhead bound.
+    /// assert!(tiny.kernel_us >= gpu.launch_us);
+    /// ```
+    pub fn execute(&self, cost: &GpuKernelCost) -> GpuResult {
+        let launch = f64::from(cost.launches.max(1)) * self.launch_us;
+        let compute_s = cost.ops as f64 / (self.peak_macs_per_sec() * self.efficiency);
+        let kernel_us = launch + compute_s * 1e6;
+        let bytes = (cost.bytes_in + cost.bytes_out) as f64;
+        let transfer_us = self.copy_fixed_us + bytes / (self.copy_gbps * 1e3); // GB/s = B/ns
+        let energy_uj = self.active_power_w * kernel_us + bytes * self.copy_pj_per_byte * 1e-6;
+        GpuResult {
+            kernel_us,
+            transfer_us,
+            energy_uj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_macs_matches_table_iv() {
+        let g = GpuConfig::default();
+        // 384 × 0.685 GHz ≈ 263 G MAC/s.
+        assert!((g.peak_macs_per_sec() / 1e9 - 263.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_kernels_are_launch_bound() {
+        let g = GpuConfig::default();
+        let small = g.execute(&GpuKernelCost {
+            ops: 10_000,
+            bytes_in: 4096,
+            bytes_out: 4096,
+            launches: 1,
+        });
+        // Compute time for 10k ops is ~0.05 µs; launch dominates.
+        assert!(small.kernel_us > 95.0);
+        assert!(small.kernel_us < 110.0);
+    }
+
+    #[test]
+    fn large_kernels_amortise_overhead() {
+        let g = GpuConfig::default();
+        let t = |ops: u64| {
+            g.execute(&GpuKernelCost {
+                ops,
+                bytes_in: 1 << 20,
+                bytes_out: 1 << 20,
+                launches: 1,
+            })
+            .total_us()
+        };
+        let t1 = t(1_000_000);
+        let t100 = t(100_000_000);
+        // 100× the work costs far less than 100× the time.
+        assert!(t100 < 10.0 * t1, "t1={t1} t100={t100}");
+    }
+
+    #[test]
+    fn transfer_grows_with_bytes() {
+        let g = GpuConfig::default();
+        let small = g.execute(&GpuKernelCost {
+            ops: 0,
+            bytes_in: 1 << 10,
+            bytes_out: 0,
+            launches: 1,
+        });
+        let big = g.execute(&GpuKernelCost {
+            ops: 0,
+            bytes_in: 8 << 20,
+            bytes_out: 0,
+            launches: 1,
+        });
+        assert!(big.transfer_us > 10.0 * small.transfer_us);
+    }
+
+    #[test]
+    fn energy_tracks_time_and_bytes() {
+        let g = GpuConfig::default();
+        let r = g.execute(&GpuKernelCost {
+            ops: 50_000_000,
+            bytes_in: 1 << 20,
+            bytes_out: 1 << 20,
+            launches: 2,
+        });
+        assert!(r.energy_uj > 0.0);
+        let r2 = g.execute(&GpuKernelCost {
+            ops: 100_000_000,
+            bytes_in: 1 << 20,
+            bytes_out: 1 << 20,
+            launches: 2,
+        });
+        assert!(r2.energy_uj > r.energy_uj);
+    }
+}

@@ -1,0 +1,482 @@
+//! RISC-V-RVV-style 1-D long-vector ISA layer over the in-cache engine.
+//!
+//! Section VI: "To compare MVE with RISC-V RVV, we implement workloads using
+//! optimized algorithms for only 1D vector instructions." This module is
+//! that ISA layer: it drives the *same* functional engine and emits traces
+//! into the same format, but only through RVV's one-dimensional facilities:
+//!
+//! * unit-stride and strided 1-D loads/stores (`vle`/`vlse`);
+//! * indexed gathers from a base + offset-vector (`vluxei`), where the
+//!   offset vector itself must first be computed by scalar code, stored to
+//!   memory and loaded;
+//! * predicate masks in vector registers, likewise computed by scalar code
+//!   and loaded from memory;
+//! * register moves for packing partial 1-D segments into a long register
+//!   (`vslideup`-style).
+//!
+//! Multi-dimensional patterns therefore expand into per-segment sequences —
+//! mask config, partial 1-D access, pack move, scalar address arithmetic —
+//! which is exactly the dynamic-instruction blow-up Figures 10/11 quantify.
+
+use mve_core::dtype::DType;
+use mve_core::engine::{Engine, Reg};
+use mve_core::isa::Opcode;
+use mve_core::trace::Event;
+use mve_insram::AluOp;
+
+/// Scalar instructions charged per segment for address arithmetic and loop
+/// control (base update, bounds check, branch; Section VII-B notes "more
+/// partial memory accesses require more scalar address calculation
+/// instructions").
+const SCALARS_PER_SEGMENT: u64 = 6;
+
+/// Scalar instructions charged per mask recomputation (computing the mask
+/// value in the scalar core before loading it, Section III-E).
+const SCALARS_PER_MASK: u64 = 8;
+
+/// The RVV emulation layer. Borrows the engine; every method performs the
+/// functional work *and* emits the RVV-shaped trace events.
+///
+/// ```
+/// use mve_baselines::rvv::Rvv;
+/// use mve_core::{DType, Engine};
+///
+/// let mut e = Engine::default_mobile();
+/// let buf = e.mem_alloc_typed::<i32>(128);
+/// e.mem_fill(buf, &(0..128).collect::<Vec<i32>>());
+/// let mut rvv = Rvv::new(&mut e);
+/// rvv.setvl(128);
+/// let v = rvv.load_1d(DType::I32, buf, 1);
+/// assert_eq!(e.lane_value(v, 99), 99);
+/// ```
+#[derive(Debug)]
+pub struct Rvv<'e> {
+    e: &'e mut Engine,
+    vl: usize,
+}
+
+impl<'e> Rvv<'e> {
+    /// Wraps an engine; configures it as a flat 1-D machine.
+    pub fn new(e: &'e mut Engine) -> Self {
+        let lanes = e.lanes();
+        e.vsetdimc(1);
+        e.vsetdiml(0, lanes);
+        Self { e, vl: lanes }
+    }
+
+    /// `vsetvl`: sets the active vector length.
+    pub fn setvl(&mut self, vl: usize) {
+        assert!(vl <= self.e.lanes(), "vl {vl} exceeds engine lanes");
+        self.vl = vl;
+        self.e.vsetdiml(0, vl);
+    }
+
+    /// Current vector length.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Access to the underlying engine (for arithmetic ops, which RVV and
+    /// MVE share one-to-one once data is in registers).
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut *self.e
+    }
+
+    fn cb_mask_for_lanes(&self, lo: usize, hi: usize) -> u64 {
+        let per_cb = self.e.geometry().bitlines_per_cb();
+        let mut m = 0u64;
+        for lane in (lo..hi).step_by(per_cb.max(1)) {
+            m |= 1 << (lane / per_cb);
+        }
+        if hi > lo {
+            m |= 1 << ((hi - 1) / per_cb);
+        }
+        m
+    }
+
+    fn lines_for(addrs: impl Iterator<Item = u64>, bytes: u64) -> Vec<u64> {
+        let mut lines: Vec<u64> = addrs
+            .flat_map(|a| {
+                let first = a / mve_memsim::LINE_BYTES;
+                let last = (a + bytes - 1) / mve_memsim::LINE_BYTES;
+                first..=last
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Unit-stride / strided 1-D load of `vl` elements (`vle`/`vlse`).
+    pub fn load_1d(&mut self, dtype: DType, base: u64, stride_elems: i64) -> Reg {
+        let dst = self.e.alloc(dtype);
+        let bytes = dtype.bytes();
+        let mut addrs = Vec::with_capacity(self.vl);
+        for i in 0..self.vl {
+            let a = (base as i64 + i as i64 * stride_elems * bytes as i64) as u64;
+            let v = self.e.mem().read_raw(a, bytes);
+            self.e.set_lane_raw(dst, i, v);
+            addrs.push(a);
+        }
+        let cb_mask = self.cb_mask_for_lanes(0, self.vl);
+        let lines = Self::lines_for(addrs.into_iter(), bytes);
+        self.e.push_raw_event(Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype,
+            active_lanes: self.vl as u32,
+            cb_mask,
+            lines,
+            write: false,
+        });
+        dst
+    }
+
+    /// Unit-stride / strided 1-D store.
+    pub fn store_1d(&mut self, src: Reg, base: u64, stride_elems: i64) {
+        let dtype = src.dtype();
+        let bytes = dtype.bytes();
+        let values: Vec<u64> = self.e.reg_lanes(src)[..self.vl].to_vec();
+        let mut addrs = Vec::with_capacity(self.vl);
+        for (i, &v) in values.iter().enumerate() {
+            let a = (base as i64 + i as i64 * stride_elems * bytes as i64) as u64;
+            self.e.mem_mut().write_raw(a, bytes, v);
+            addrs.push(a);
+        }
+        let cb_mask = self.cb_mask_for_lanes(0, self.vl);
+        let lines = Self::lines_for(addrs.into_iter(), bytes);
+        self.e.push_raw_event(Event::Memory {
+            opcode: Opcode::StridedStore,
+            dtype,
+            active_lanes: self.vl as u32,
+            cb_mask,
+            lines,
+            write: true,
+        });
+    }
+
+    /// Emulates a 2-D load (`rows` segments of `cols` elements, row base
+    /// advancing by `row_stride_elems`) with RVV 1-D instructions.
+    ///
+    /// Per segment this costs: scalar address arithmetic, a mask
+    /// recomputation + config, one masked partial 1-D load (only the
+    /// segment's lanes active), and one pack move — the expansion
+    /// Section VII-B describes for GEMM on RVV.
+    pub fn segmented_load_2d(
+        &mut self,
+        dtype: DType,
+        base: u64,
+        cols: usize,
+        rows: usize,
+        row_stride_elems: i64,
+    ) -> Reg {
+        self.segmented_load_2d_strided(dtype, base, cols, 1, rows, row_stride_elems)
+    }
+
+    /// [`Rvv::segmented_load_2d`] with an explicit per-column element stride
+    /// (stride 0 broadcasts one value across the segment — RVV needs this
+    /// for per-row constants like intra-prediction DC values).
+    pub fn segmented_load_2d_strided(
+        &mut self,
+        dtype: DType,
+        base: u64,
+        cols: usize,
+        col_stride_elems: i64,
+        rows: usize,
+        row_stride_elems: i64,
+    ) -> Reg {
+        assert!(cols * rows <= self.vl, "segments exceed vector length");
+        let dst = self.e.alloc(dtype);
+        let bytes = dtype.bytes();
+        for r in 0..rows {
+            // Scalar address arithmetic + mask value computation.
+            self.e.scalar(SCALARS_PER_SEGMENT + SCALARS_PER_MASK);
+            // Mask config (set the segment window).
+            self.e.push_raw_event(Event::Config {
+                opcode: Opcode::SetMask,
+            });
+            // Partial masked 1-D load: only `cols` lanes active.
+            let seg_base = (base as i64 + r as i64 * row_stride_elems * bytes as i64) as u64;
+            let mut addrs = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let a = (seg_base as i64 + c as i64 * col_stride_elems * bytes as i64) as u64;
+                let v = self.e.mem().read_raw(a, bytes);
+                self.e.set_lane_raw(dst, r * cols + c, v);
+                addrs.push(a);
+            }
+            let lo = r * cols;
+            let cb_mask = self.cb_mask_for_lanes(lo, lo + cols);
+            let lines = Self::lines_for(addrs.into_iter(), bytes);
+            self.e.push_raw_event(Event::Memory {
+                opcode: Opcode::StridedLoad,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+                lines,
+                write: false,
+            });
+            // Pack move into the long register (vslideup-style).
+            self.e.push_raw_event(Event::Compute {
+                opcode: Opcode::Copy,
+                alu: AluOp::Copy,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+            });
+        }
+        dst
+    }
+
+    /// Emulates a 2-D store with per-segment masked 1-D stores.
+    pub fn segmented_store_2d(
+        &mut self,
+        src: Reg,
+        base: u64,
+        cols: usize,
+        rows: usize,
+        row_stride_elems: i64,
+    ) {
+        assert!(cols * rows <= self.vl, "segments exceed vector length");
+        let dtype = src.dtype();
+        let bytes = dtype.bytes();
+        let values: Vec<u64> = self.e.reg_lanes(src)[..cols * rows].to_vec();
+        for r in 0..rows {
+            self.e.scalar(SCALARS_PER_SEGMENT + SCALARS_PER_MASK);
+            self.e.push_raw_event(Event::Config {
+                opcode: Opcode::SetMask,
+            });
+            // Unpack move (slide the segment down before the partial store).
+            let lo = r * cols;
+            let cb_mask = self.cb_mask_for_lanes(lo, lo + cols);
+            self.e.push_raw_event(Event::Compute {
+                opcode: Opcode::Copy,
+                alu: AluOp::Copy,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+            });
+            let seg_base = (base as i64 + r as i64 * row_stride_elems * bytes as i64) as u64;
+            let mut addrs = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let a = seg_base + c as u64 * bytes;
+                self.e.mem_mut().write_raw(a, bytes, values[r * cols + c]);
+                addrs.push(a);
+            }
+            let lines = Self::lines_for(addrs.into_iter(), bytes);
+            self.e.push_raw_event(Event::Memory {
+                opcode: Opcode::StridedStore,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+                lines,
+                write: true,
+            });
+        }
+    }
+
+    /// Emulates MVE's stride-0 replication: loads `unique` elements from
+    /// `base` and replicates each across `rep` consecutive lanes.
+    ///
+    /// RVV needs an index-vector gather for this: scalar code computes the
+    /// indices, stores them, a 1-D load brings them into a register, and an
+    /// indexed gather (`vluxei`) fetches the data.
+    pub fn replicated_load(&mut self, dtype: DType, base: u64, unique: usize, rep: usize) -> Reg {
+        let total = unique * rep;
+        assert!(total <= self.vl, "replication exceeds vector length");
+        let bytes = dtype.bytes();
+        // Scalar index computation + index-vector store/load round trip.
+        self.e.scalar(4 * total as u64 / 8 + SCALARS_PER_SEGMENT);
+        let idx_lines = (total as u64 * 4).div_ceil(mve_memsim::LINE_BYTES);
+        let cb_mask = self.cb_mask_for_lanes(0, total);
+        self.e.push_raw_event(Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype: DType::U32,
+            active_lanes: total as u32,
+            cb_mask,
+            // The index vector occupies fresh lines near the data.
+            lines: (0..idx_lines).map(|i| (base / mve_memsim::LINE_BYTES) + 1024 + i).collect(),
+            write: false,
+        });
+        // The gather itself.
+        let dst = self.e.alloc(dtype);
+        let mut addrs = Vec::with_capacity(total);
+        for u in 0..unique {
+            let a = base + u as u64 * bytes;
+            let v = self.e.mem().read_raw(a, bytes);
+            for r in 0..rep {
+                self.e.set_lane_raw(dst, u * rep + r, v);
+            }
+            addrs.push(a);
+        }
+        let lines = Self::lines_for(addrs.into_iter(), bytes);
+        self.e.push_raw_event(Event::Memory {
+            opcode: Opcode::RandomLoad,
+            dtype,
+            active_lanes: total as u32,
+            cb_mask,
+            lines,
+            write: false,
+        });
+        dst
+    }
+
+    /// Emulates a random-row-pointer 2-D load: RVV loads each row with a
+    /// separate masked 1-D access after scalar code chases the pointer.
+    pub fn pointer_rows_load(
+        &mut self,
+        dtype: DType,
+        ptr_base: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Reg {
+        assert!(rows * cols <= self.vl, "rows exceed vector length");
+        let dst = self.e.alloc(dtype);
+        let bytes = dtype.bytes();
+        for r in 0..rows {
+            // Scalar pointer chase + mask computation.
+            self.e.scalar(SCALARS_PER_SEGMENT + SCALARS_PER_MASK + 2);
+            self.e.push_raw_event(Event::Config {
+                opcode: Opcode::SetMask,
+            });
+            let row_base = self.e.mem().read::<u64>(ptr_base, r);
+            let mut addrs = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let a = row_base + c as u64 * bytes;
+                let v = self.e.mem().read_raw(a, bytes);
+                self.e.set_lane_raw(dst, r * cols + c, v);
+                addrs.push(a);
+            }
+            let lo = r * cols;
+            let cb_mask = self.cb_mask_for_lanes(lo, lo + cols);
+            let lines = Self::lines_for(addrs.into_iter(), bytes);
+            self.e.push_raw_event(Event::Memory {
+                opcode: Opcode::StridedLoad,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+                lines,
+                write: false,
+            });
+            self.e.push_raw_event(Event::Compute {
+                opcode: Opcode::Copy,
+                alu: AluOp::Copy,
+                dtype,
+                active_lanes: cols as u32,
+                cb_mask,
+            });
+        }
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mve_core::isa::StrideMode;
+    use mve_core::trace::InstrMix;
+
+    fn engine() -> Engine {
+        Engine::default_mobile()
+    }
+
+    #[test]
+    fn load_1d_matches_mve_load() {
+        let mut e = engine();
+        let a = e.mem_alloc_typed::<i32>(256);
+        let vals: Vec<i32> = (0..256).collect();
+        e.mem_fill(a, &vals);
+        let mut rvv = Rvv::new(&mut e);
+        rvv.setvl(256);
+        let r = rvv.load_1d(DType::I32, a, 1);
+        assert_eq!(e.lane_value(r, 0), 0);
+        assert_eq!(e.lane_value(r, 255), 255);
+    }
+
+    #[test]
+    fn segmented_2d_load_is_functionally_equal_but_costlier() {
+        // A 49-column × 16-row tile (the ShuffleNet-style small matrix).
+        let (cols, rows, stride) = (49usize, 16usize, 100i64);
+        let mut mve = engine();
+        let a = mve.mem_alloc_typed::<i32>(rows * 100);
+        let vals: Vec<i32> = (0..rows * 100).map(|i| i as i32 * 3).collect();
+        mve.mem_fill(a, &vals);
+        mve.vsetdimc(2);
+        mve.vsetdiml(0, cols);
+        mve.vsetdiml(1, rows);
+        mve.vsetldstr(1, stride);
+        let vm = mve.vsld_dw(a, &[StrideMode::One, StrideMode::Cr]);
+        let mve_mix = mve.trace().instr_mix();
+
+        let mut re = engine();
+        let b = re.mem_alloc_typed::<i32>(rows * 100);
+        re.mem_fill(b, &vals);
+        let mut rvv = Rvv::new(&mut re);
+        rvv.setvl(8192);
+        let vr = rvv.segmented_load_2d(DType::I32, b, cols, rows, stride);
+        let rvv_mix = re.trace().instr_mix();
+
+        for lane in 0..cols * rows {
+            assert_eq!(
+                mve.lane_value(vm, lane),
+                re.lane_value(vr, lane),
+                "lane {lane}"
+            );
+        }
+        // RVV needs a load per row plus moves and masks; MVE needs one.
+        assert_eq!(mve_mix.mem_access, 1);
+        assert_eq!(rvv_mix.mem_access, rows as u64);
+        assert_eq!(rvv_mix.moves, rows as u64);
+        assert!(rvv_mix.scalar > mve_mix.scalar);
+        assert!(rvv_mix.vector_total() > 3 * mve_mix.vector_total());
+    }
+
+    #[test]
+    fn replicated_load_matches_stride0() {
+        let mut e = engine();
+        let a = e.mem_alloc_typed::<f32>(8);
+        let vals: Vec<f32> = (0..8).map(|i| i as f32 + 0.5).collect();
+        e.mem_fill(a, &vals);
+        let mut rvv = Rvv::new(&mut e);
+        rvv.setvl(8192);
+        let r = rvv.replicated_load(DType::F32, a, 8, 4);
+        for u in 0..8 {
+            for k in 0..4 {
+                assert_eq!(
+                    f32::from_bits(e.lane_value(r, u * 4 + k) as u32),
+                    u as f32 + 0.5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_rows_load_chases_pointers() {
+        let mut e = engine();
+        let row0 = e.mem_alloc_typed::<u8>(16);
+        let row1 = e.mem_alloc_typed::<u8>(16);
+        e.mem_fill(row0, &[10u8; 16]);
+        e.mem_fill(row1, &[20u8; 16]);
+        let ptrs = e.mem_alloc_typed::<u64>(2);
+        e.mem_fill(ptrs, &[row1, row0]); // deliberately swapped
+        let mut rvv = Rvv::new(&mut e);
+        rvv.setvl(8192);
+        let r = rvv.pointer_rows_load(DType::U8, ptrs, 2, 16);
+        assert_eq!(e.lane_value(r, 0), 20);
+        assert_eq!(e.lane_value(r, 16), 10);
+    }
+
+    #[test]
+    fn instr_mix_shape_matches_figure_11() {
+        // For a 2D pattern, RVV's mix should be mask-config + partial-mem +
+        // move heavy, while MVE is a single memory access (Figure 11).
+        let mut e = engine();
+        let a = e.mem_alloc_typed::<i32>(64 * 64);
+        e.mem_fill(a, &vec![7i32; 64 * 64]);
+        let mut rvv = Rvv::new(&mut e);
+        rvv.setvl(4096);
+        let _ = rvv.segmented_load_2d(DType::I32, a, 64, 64, 64);
+        let mix: InstrMix = e.trace().instr_mix();
+        assert!(mix.config >= 64);
+        assert!(mix.mem_access >= 64);
+        assert!(mix.moves >= 64);
+    }
+}

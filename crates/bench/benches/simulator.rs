@@ -1,0 +1,108 @@
+//! Criterion micro-benches of the simulator substrate itself (throughput of
+//! the building blocks the experiments rest on).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mve_core::engine::Engine;
+use mve_core::isa::StrideMode;
+use mve_core::sim::{simulate, SimConfig};
+use mve_insram::array::SramArray;
+use mve_insram::bitserial::BitSerialAlu;
+use mve_memsim::Hierarchy;
+
+fn bench_bitserial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitserial_alu");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("add32_256lanes", |b| {
+        let mut array = SramArray::new();
+        let mut alu = BitSerialAlu::new(&mut array);
+        let vals: Vec<u64> = (0..256).map(|i| i as u64 * 0x9E37).collect();
+        alu.write_vertical(0, 32, &vals);
+        alu.write_vertical(32, 32, &vals);
+        b.iter(|| alu.add(0, 32, 64, 32));
+    });
+    g.bench_function("mul8_256lanes", |b| {
+        let mut array = SramArray::new();
+        let mut alu = BitSerialAlu::new(&mut array);
+        let vals: Vec<u64> = (0..256).map(|i| i as u64 & 0xFF).collect();
+        alu.write_vertical(0, 8, &vals);
+        alu.write_vertical(8, 8, &vals);
+        b.iter(|| alu.mul(0, 8, 16, 8));
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_engine");
+    g.throughput(Throughput::Elements(8192));
+    g.bench_function("vadd_8192_lanes", |b| {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, 8192);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        b.iter(|| {
+            let r = e.vadd_dw(x, y);
+            e.free(r);
+        });
+    });
+    g.bench_function("strided_load_8192", |b| {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 128);
+        e.vsetdiml(1, 64);
+        e.vsetldstr(1, 128);
+        let a = e.mem_alloc_typed::<i32>(128 * 64);
+        b.iter(|| {
+            let v = e.vsld_dw(a, &[StrideMode::One, StrideMode::Cr]);
+            e.free(v);
+        });
+    });
+    g.finish();
+}
+
+fn bench_timing_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing_simulator");
+    // A representative trace replayed through the cycle model.
+    let mut e = Engine::default_mobile();
+    e.vsetdimc(1);
+    e.vsetdiml(0, 8192);
+    let a = e.mem_alloc_typed::<i32>(8192);
+    for _ in 0..32 {
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        let p = e.vmul_dw(v, v);
+        e.vsst_dw(p, a, &[StrideMode::One]);
+        e.free(v);
+        e.free(p);
+        e.scalar(16);
+    }
+    let trace = e.take_trace();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("replay_128_events", |b| {
+        b.iter(|| simulate(&trace, &SimConfig::default()));
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_hierarchy");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("vector_batch_512_lines", |b| {
+        let mut h = Hierarchy::default();
+        let lines: Vec<u64> = (0..512).collect();
+        let mut t = 0;
+        b.iter(|| {
+            t += 100_000;
+            h.vector_access(&lines, false, t)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitserial,
+    bench_engine,
+    bench_timing_sim,
+    bench_hierarchy
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates Table I: the vector-ISA feature comparison.
+
+fn main() {
+    println!("Table I — Vector ISA Extension Comparison");
+    println!("{:<18} {:<12} {:<14} {:<30} {:<28}", "ISA", "Max VL", "Strided", "Random Access", "Masked Execution");
+    for r in mve_bench::tables::table1() {
+        println!(
+            "{:<18} {:<12} {:<14} {:<30} {:<28}",
+            r.name, r.max_vector_length, r.strided_access, r.random_access, r.masked_execution
+        );
+    }
+}

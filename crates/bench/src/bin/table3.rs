@@ -1,0 +1,14 @@
+//! Regenerates Table III: the evaluated libraries.
+
+fn main() {
+    println!("Table III — Evaluated Libraries");
+    println!("{:<26} {:<14} {:>8} {:<16} {:<6}", "Domain", "Library", "#Kernels", "Dataset", "Dim");
+    let rows = mve_bench::tables::table3();
+    for r in &rows {
+        println!(
+            "{:<26} {:<14} {:>8} {:<16} {:<6}",
+            r.domain, r.library, r.kernels, r.dataset, r.dims
+        );
+    }
+    println!("Total kernels: {}", rows.iter().map(|r| r.kernels).sum::<usize>());
+}

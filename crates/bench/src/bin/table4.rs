@@ -1,0 +1,8 @@
+//! Regenerates Table IV: the simulated platform configuration.
+
+fn main() {
+    println!("Table IV — Platform Configuration (Snapdragon 855 class)");
+    for r in mve_bench::platform::table4_rows() {
+        println!("{:<14} {}", r.component, r.detail);
+    }
+}

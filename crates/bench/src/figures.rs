@@ -1,0 +1,541 @@
+//! The per-figure experiment functions.
+
+use crate::platform;
+use mve_baselines::duality::{duality_from_mve, DualityConfig, DualityReport};
+use mve_baselines::gpu::GpuConfig;
+use mve_core::sim::{simulate, SimReport};
+use mve_core::trace::InstrMix;
+use mve_coresim::neon::{NeonModel, NeonOpClass, NeonProfile, NeonResult};
+use mve_energy::{mve_energy, neon_energy, EnergyBreakdown, EnergyParams};
+use mve_insram::Scheme;
+use mve_kernels::precision::{self, Precision};
+use mve_kernels::registry::{all_kernels, selected_kernels, Kernel, Library};
+use mve_kernels::xnnpack::{Gemm, GemmSize, Spmm, SpmmSize};
+use mve_kernels::{KernelRun, Scale};
+use mve_memsim::Hierarchy;
+
+/// Core clock in GHz (Table IV) for cycle → µs conversion.
+const FREQ_GHZ: f64 = 2.8;
+
+fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / (FREQ_GHZ * 1e3) / 1e3 * 1e3 / 1e3 * 1e3 // = cycles / (GHz*1e3)
+}
+
+/// Runs a kernel's MVE implementation and times it with the default config.
+/// Panics if the functional check fails — a figure must never be produced
+/// from a wrong result.
+pub fn timed_mve(kernel: &dyn Kernel, scale: Scale) -> (KernelRun, SimReport) {
+    let run = kernel.run_mve(scale);
+    assert!(
+        run.checked.ok(),
+        "{}: MVE output mismatch {:?}",
+        kernel.info().name,
+        run.checked
+    );
+    let report = simulate(&run.trace, &platform::mve_config());
+    (run, report)
+}
+
+fn timed_neon(kernel: &dyn Kernel, scale: Scale) -> (NeonProfile, NeonResult) {
+    let profile = kernel.neon_profile(scale);
+    let model = NeonModel::default();
+    let mut hier = Hierarchy::default();
+    // Swan-style steady-state measurement: the first pass warms the caches,
+    // the second is reported (mirrors `SimConfig::warm_caches`).
+    let _ = model.execute(&profile, &mut hier, 0);
+    let result = model.execute(&profile, &mut hier, 1_000_000_000);
+    (profile, result)
+}
+
+/// One Figure 7 row (per library averages).
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Library.
+    pub library: Library,
+    /// MVE execution time as a fraction of Neon's.
+    pub time_frac: f64,
+    /// (idle, compute, data) fractions of MVE's execution time.
+    pub breakdown: (f64, f64, f64),
+    /// MVE energy as a fraction of Neon's.
+    pub energy_frac: f64,
+    /// MVE energy split (compute, data, cpu) as fractions of Neon's total.
+    pub energy_split: (f64, f64, f64),
+}
+
+/// Figure 7: MVE vs Arm Neon across all 44 kernels, averaged per library.
+pub fn fig7(scale: Scale) -> (Vec<Fig7Row>, Fig7Row) {
+    let params = EnergyParams::default();
+    let mut rows = Vec::new();
+    let kernels = all_kernels();
+    for lib in Library::ALL {
+        let mut time_fracs = Vec::new();
+        let mut e_fracs = Vec::new();
+        let mut idle = 0.0;
+        let mut comp = 0.0;
+        let mut data = 0.0;
+        let mut es = (0.0, 0.0, 0.0);
+        let mut count = 0.0;
+        for k in kernels.iter().filter(|k| k.info().library == lib) {
+            let (run, report) = timed_mve(k.as_ref(), scale);
+            let (profile, neon) = timed_neon(k.as_ref(), scale);
+            let _ = run;
+            time_fracs.push(report.total_cycles as f64 / neon.cycles as f64);
+            let me: EnergyBreakdown = mve_energy(&report, &params);
+            let ne = neon_energy(&profile, &neon, &params);
+            e_fracs.push(me.total_pj() / ne.total_pj());
+            let (i, c, d) = report.breakdown();
+            idle += i;
+            comp += c;
+            data += d;
+            es.0 += me.compute_pj / ne.total_pj();
+            es.1 += me.data_pj / ne.total_pj();
+            es.2 += me.cpu_pj / ne.total_pj();
+            count += 1.0;
+        }
+        rows.push(Fig7Row {
+            library: lib,
+            time_frac: crate::geomean(&time_fracs),
+            breakdown: (idle / count, comp / count, data / count),
+            energy_frac: crate::geomean(&e_fracs),
+            energy_split: (es.0 / count, es.1 / count, es.2 / count),
+        });
+    }
+    let avg = Fig7Row {
+        library: Library::Linpack, // placeholder tag for the average row
+        time_frac: crate::geomean(&rows.iter().map(|r| r.time_frac).collect::<Vec<_>>()),
+        breakdown: (
+            rows.iter().map(|r| r.breakdown.0).sum::<f64>() / rows.len() as f64,
+            rows.iter().map(|r| r.breakdown.1).sum::<f64>() / rows.len() as f64,
+            rows.iter().map(|r| r.breakdown.2).sum::<f64>() / rows.len() as f64,
+        ),
+        energy_frac: crate::geomean(&rows.iter().map(|r| r.energy_frac).collect::<Vec<_>>()),
+        energy_split: (0.0, 0.0, 0.0),
+    };
+    (rows, avg)
+}
+
+/// One Figure 8 row.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Kernel name.
+    pub name: &'static str,
+    /// GPU kernel-execution time (launch + compute), µs.
+    pub gpu_kernel_us: f64,
+    /// GPU host↔device transfer time, µs.
+    pub gpu_transfer_us: f64,
+    /// MVE end-to-end time, µs.
+    pub mve_us: f64,
+    /// GPU/MVE total-time ratio.
+    pub time_ratio: f64,
+    /// GPU/MVE energy ratio.
+    pub energy_ratio: f64,
+}
+
+/// Figure 8: the 11 selected kernels against the Adreno-640-class GPU model.
+pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
+    let gpu = GpuConfig::default();
+    let params = EnergyParams::default();
+    selected_kernels()
+        .iter()
+        .map(|k| {
+            let (_, report) = timed_mve(k.as_ref(), scale);
+            let cost = k.gpu_cost(scale).expect("selected kernels have GPU costs");
+            let g = gpu.execute(&cost);
+            let mve_us = cycles_to_us(report.total_cycles);
+            let me = mve_energy(&report, &params);
+            Fig8Row {
+                name: k.info().name,
+                gpu_kernel_us: g.kernel_us,
+                gpu_transfer_us: g.transfer_us,
+                mve_us,
+                time_ratio: g.total_us() / mve_us,
+                energy_ratio: g.energy_uj / (me.total_pj() * 1e-6),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 9 sweeps.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// MAC operation count ×2 (FLOPs), as the paper's x-axis.
+    pub flops: u64,
+    /// GPU end-to-end time, µs.
+    pub gpu_us: f64,
+    /// MVE time, µs.
+    pub mve_us: f64,
+}
+
+/// Figure 9 (left): GEMM time vs FLOPs for MVE and GPU.
+pub fn fig9_gemm() -> Vec<Fig9Row> {
+    let gpu = GpuConfig::default();
+    let sizes = [
+        GemmSize { n: 16, k: 48, m: 64 },
+        GemmSize { n: 32, k: 96, m: 128 },
+        GemmSize { n: 64, k: 128, m: 192 },
+        GemmSize { n: 64, k: 256, m: 384 },
+        GemmSize { n: 128, k: 384, m: 512 },
+    ];
+    sizes
+        .iter()
+        .map(|&s| {
+            let run = Gemm::run_mve_sized(s);
+            assert!(run.checked.ok(), "gemm {s:?} mismatch");
+            let report = simulate(&run.trace, &platform::mve_config());
+            let g = gpu.execute(&Gemm::gpu_cost_sized(s));
+            Fig9Row {
+                flops: 2 * (s.n * s.k * s.m) as u64,
+                gpu_us: g.total_us(),
+                mve_us: cycles_to_us(report.total_cycles),
+            }
+        })
+        .collect()
+}
+
+/// Figure 9 (right): SpMM time vs FLOPs.
+pub fn fig9_spmm() -> Vec<Fig9Row> {
+    let gpu = GpuConfig::default();
+    let sizes = [
+        SpmmSize { n: 8, k: 64, m: 32, density: 0.3 },
+        SpmmSize { n: 16, k: 128, m: 64, density: 0.3 },
+        SpmmSize { n: 32, k: 256, m: 64, density: 0.3 },
+        SpmmSize { n: 64, k: 384, m: 128, density: 0.3 },
+        SpmmSize { n: 96, k: 512, m: 128, density: 0.3 },
+    ];
+    sizes
+        .iter()
+        .map(|&s| {
+            let run = Spmm::run_mve_sized(s);
+            assert!(run.checked.ok(), "spmm mismatch");
+            let report = simulate(&run.trace, &platform::mve_config());
+            let nnz = (s.n * s.k) as f64 * s.density;
+            let g = gpu.execute(&Spmm::gpu_cost_sized(s));
+            Fig9Row {
+                flops: (2.0 * nnz * s.m as f64) as u64,
+                gpu_us: g.total_us(),
+                mve_us: cycles_to_us(report.total_cycles),
+            }
+        })
+        .collect()
+}
+
+/// Finds the FLOPs where MVE stops winning (linear interpolation between
+/// the neighbouring sweep points); `None` if MVE wins everywhere.
+pub fn crossover_flops(rows: &[Fig9Row]) -> Option<f64> {
+    for w in rows.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let da = a.mve_us - a.gpu_us;
+        let db = b.mve_us - b.gpu_us;
+        if da < 0.0 && db >= 0.0 {
+            let t = -da / (db - da);
+            return Some(a.flops as f64 + t * (b.flops - a.flops) as f64);
+        }
+    }
+    None
+}
+
+/// One Figure 10/11 row: MVE vs RVV on the same bit-serial engine.
+#[derive(Debug)]
+pub struct Fig10Row {
+    /// Kernel name.
+    pub name: &'static str,
+    /// MVE timing report.
+    pub mve: SimReport,
+    /// RVV timing report.
+    pub rvv: SimReport,
+    /// MVE dynamic instruction mix.
+    pub mve_mix: InstrMix,
+    /// RVV dynamic instruction mix.
+    pub rvv_mix: InstrMix,
+}
+
+/// The 9-kernel set of Figures 10/11 (FIR collapsed to FIR-V as in the
+/// paper's plots).
+fn fig10_kernel_names() -> [&'static str; 9] {
+    ["csum", "lpack", "fir_v", "gemm", "spmm", "satd", "intra", "dct", "idct"]
+}
+
+/// Figures 10 and 11: execution-time breakdown and instruction mix for MVE
+/// vs an RVV-style 1-D ISA on the same engine.
+pub fn fig10_11(scale: Scale) -> Vec<Fig10Row> {
+    let names = fig10_kernel_names();
+    selected_kernels()
+        .iter()
+        .filter(|k| names.contains(&k.info().name))
+        .map(|k| {
+            let (mve_run, mve) = timed_mve(k.as_ref(), scale);
+            let rvv_run = k.run_rvv(scale).expect("selected kernels have RVV");
+            assert!(
+                rvv_run.checked.ok(),
+                "{}: RVV output mismatch {:?}",
+                k.info().name,
+                rvv_run.checked
+            );
+            let rvv = simulate(&rvv_run.trace, &platform::mve_config());
+            Fig10Row {
+                name: k.info().name,
+                mve_mix: mve_run.trace.instr_mix(),
+                rvv_mix: rvv_run.trace.instr_mix(),
+                mve,
+                rvv,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 12(a) row.
+#[derive(Debug)]
+pub struct Fig12aRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// MVE report.
+    pub mve: SimReport,
+    /// Duality-Cache SIMT cost breakdown.
+    pub dc: DualityReport,
+}
+
+/// Figure 12(a): MVE vs the Duality Cache SIMT model on GEMM/SpMM/FIR.
+pub fn fig12a(scale: Scale) -> Vec<Fig12aRow> {
+    let names = ["gemm", "spmm", "fir_v", "fir_s", "fir_l"];
+    selected_kernels()
+        .iter()
+        .filter(|k| names.contains(&k.info().name))
+        .map(|k| {
+            let (run, mve) = timed_mve(k.as_ref(), scale);
+            let dc = duality_from_mve(&run.trace, &mve, &DualityConfig::default());
+            Fig12aRow {
+                name: k.info().name,
+                mve,
+                dc,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 12(b) cell.
+#[derive(Debug)]
+pub struct Fig12bRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// SRAM array count.
+    pub arrays: usize,
+    /// Total cycles at that geometry.
+    pub cycles: u64,
+    /// Breakdown fractions (idle, compute, data).
+    pub breakdown: (f64, f64, f64),
+}
+
+/// Figure 12(b): scalability over 8/16/32/64 SRAM arrays.
+pub fn fig12b(scale: Scale) -> Vec<Fig12bRow> {
+    let names = ["gemm", "spmm", "fir_v", "fir_s", "fir_l"];
+    let mut rows = Vec::new();
+    for &arrays in &[8usize, 16, 32, 64] {
+        let prev = mve_kernels::common::set_engine_arrays(arrays);
+        for k in selected_kernels()
+            .iter()
+            .filter(|k| names.contains(&k.info().name))
+        {
+            let run = k.run_mve(scale);
+            assert!(run.checked.ok(), "{} @ {arrays} arrays", k.info().name);
+            let report = simulate(&run.trace, &platform::arrays_config(arrays));
+            rows.push(Fig12bRow {
+                name: k.info().name,
+                arrays,
+                cycles: report.total_cycles,
+                breakdown: report.breakdown(),
+            });
+        }
+        mve_kernels::common::set_engine_arrays(prev);
+    }
+    rows
+}
+
+/// One Figure 12(c) cell.
+#[derive(Debug)]
+pub struct Fig12cRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Precision.
+    pub precision: Precision,
+    /// MVE report at this precision.
+    pub report: SimReport,
+    /// Neon cycles at this precision (for the secondary axis).
+    pub neon_cycles: u64,
+}
+
+/// A precision-scaled Neon profile: same structure, lane count scaled by the
+/// element width.
+fn neon_profile_at(base_ops: u64, bits: u32, float: bool, bytes: u64) -> NeonProfile {
+    let lanes = u64::from(128 / bits);
+    let v = base_ops / lanes;
+    let class = if float { NeonOpClass::FpMac } else { NeonOpClass::IntMul };
+    NeonProfile {
+        ops: vec![(class, v)],
+        chain_ops: vec![],
+        loads: v,
+        stores: v / 8,
+        scalar_instrs: v,
+        touched_bytes: bytes,
+        base_addr: 0x3000_0000,
+    }
+}
+
+/// Figure 12(c): precision sensitivity of GEMM/SpMM/FIR.
+pub fn fig12c(scale: Scale) -> Vec<Fig12cRow> {
+    let mut rows = Vec::new();
+    let model = NeonModel::default();
+    let runs: Vec<(&'static str, Box<dyn Fn(Precision) -> KernelRun>, u64)> = vec![
+        ("gemm", Box::new(move |p| precision::run_gemm(p, scale)), 64 * 64 * 64),
+        ("spmm", Box::new(move |p| precision::run_spmm(p, scale)), 32 * 256 * 64 / 3),
+        ("fir_v", Box::new(move |p| precision::run_fir(p, scale, 32)), 64 * 1024 * 32),
+        ("fir_s", Box::new(move |p| precision::run_fir(p, scale, 16)), 64 * 1024 * 16),
+        ("fir_l", Box::new(move |p| precision::run_fir(p, scale, 128)), 64 * 1024 * 128),
+    ];
+    for (name, runner, macs) in runs {
+        for prec in Precision::ALL {
+            let run = runner(prec);
+            assert!(run.checked.ok(), "{name} {} mismatch", prec.label());
+            let report = simulate(&run.trace, &platform::mve_config());
+            let profile = neon_profile_at(
+                macs,
+                prec.dtype().bits(),
+                prec.dtype().is_float(),
+                macs / 4,
+            );
+            let mut hier = Hierarchy::default();
+            let _ = model.execute(&profile, &mut hier, 0);
+            let neon = model.execute(&profile, &mut hier, 1_000_000_000);
+            rows.push(Fig12cRow {
+                name,
+                precision: prec,
+                report,
+                neon_cycles: neon.cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// One Figure 13 cell.
+#[derive(Debug)]
+pub struct Fig13Row {
+    /// In-SRAM computing scheme.
+    pub scheme: Scheme,
+    /// Geometric-mean RVV/MVE speedup over the kernel set.
+    pub speedup: f64,
+    /// Average MVE CB utilization.
+    pub mve_util: f64,
+    /// Average RVV CB utilization.
+    pub rvv_util: f64,
+    /// Average breakdown fractions for MVE (idle, compute, data).
+    pub mve_breakdown: (f64, f64, f64),
+    /// Average breakdown fractions for RVV.
+    pub rvv_breakdown: (f64, f64, f64),
+}
+
+/// Figure 13: MVE vs RVV across the four in-SRAM computing schemes.
+pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
+    let names = fig10_kernel_names();
+    let kernels: Vec<_> = selected_kernels()
+        .into_iter()
+        .filter(|k| names.contains(&k.info().name))
+        .collect();
+    // Traces are ISA-level: reuse them across schemes.
+    let runs: Vec<(KernelRun, KernelRun)> = kernels
+        .iter()
+        .map(|k| {
+            let m = k.run_mve(scale);
+            let r = k.run_rvv(scale).expect("rvv");
+            assert!(m.checked.ok() && r.checked.ok(), "{}", k.info().name);
+            (m, r)
+        })
+        .collect();
+    Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let cfg = platform::scheme_config(scheme);
+            let mut speedups = Vec::new();
+            let mut mu = 0.0;
+            let mut ru = 0.0;
+            let mut mb = (0.0, 0.0, 0.0);
+            let mut rb = (0.0, 0.0, 0.0);
+            for (m, r) in &runs {
+                let mrep = simulate(&m.trace, &cfg);
+                let rrep = simulate(&r.trace, &cfg);
+                speedups.push(rrep.total_cycles as f64 / mrep.total_cycles as f64);
+                mu += mrep.utilization();
+                ru += rrep.utilization();
+                let (i, c, d) = mrep.breakdown();
+                mb = (mb.0 + i, mb.1 + c, mb.2 + d);
+                let (i, c, d) = rrep.breakdown();
+                rb = (rb.0 + i, rb.1 + c, rb.2 + d);
+            }
+            let n = runs.len() as f64;
+            Fig13Row {
+                scheme,
+                speedup: crate::geomean(&speedups),
+                mve_util: mu / n,
+                rvv_util: ru / n,
+                mve_breakdown: (mb.0 / n, mb.1 / n, mb.2 / n),
+                rvv_breakdown: (rb.0 / n, rb.1 / n, rb.2 / n),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_us_sanity() {
+        // 2800 cycles at 2.8 GHz = 1 µs.
+        assert!((cycles_to_us(2800) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9_crossover_interpolates() {
+        let rows = vec![
+            Fig9Row { flops: 1_000, gpu_us: 100.0, mve_us: 10.0 },
+            Fig9Row { flops: 2_000, gpu_us: 100.0, mve_us: 200.0 },
+        ];
+        let x = crossover_flops(&rows).expect("crossover");
+        assert!(x > 1_000.0 && x < 2_000.0);
+        let none = crossover_flops(&rows[..1]);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn fig8_test_scale_shapes() {
+        let rows = fig8(Scale::Test);
+        assert_eq!(rows.len(), 11);
+        for r in &rows {
+            assert!(r.mve_us > 0.0);
+            assert!(r.gpu_kernel_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig10_rvv_slower_on_multi_dim() {
+        let rows = fig10_11(Scale::Test);
+        assert_eq!(rows.len(), 9);
+        let gemm = rows.iter().find(|r| r.name == "gemm").expect("gemm");
+        assert!(
+            gemm.rvv.total_cycles > gemm.mve.total_cycles,
+            "RVV gemm {} must exceed MVE {}",
+            gemm.rvv.total_cycles,
+            gemm.mve.total_cycles
+        );
+        assert!(gemm.rvv_mix.vector_total() > gemm.mve_mix.vector_total());
+    }
+
+    #[test]
+    fn fig13_bit_serial_mve_beats_rvv() {
+        let rows = fig13(Scale::Test);
+        assert_eq!(rows.len(), 4);
+        let bs = &rows[0];
+        assert_eq!(bs.scheme, Scheme::BitSerial);
+        assert!(bs.speedup > 1.0, "BS speedup {}", bs.speedup);
+        assert!(bs.mve_util > bs.rvv_util, "util {} vs {}", bs.mve_util, bs.rvv_util);
+    }
+}

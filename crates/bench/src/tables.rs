@@ -1,0 +1,149 @@
+//! Table generators (Tables I–V).
+
+use mve_core::dtype::DType;
+use mve_core::isa::{feature_table, IsaFeatures, OpClass, Opcode};
+use mve_energy::area::{area_table, AreaRow, NEON_AREA_MM2};
+use mve_insram::{AluOp, LatencyModel};
+use mve_insram::scheme::EngineGeometry;
+use mve_kernels::registry::{all_kernels, Library};
+
+/// Table I: the ISA feature comparison matrix.
+pub fn table1() -> Vec<IsaFeatures> {
+    feature_table()
+}
+
+/// One Table II row: an instruction with its bit-serial latency formula
+/// evaluated at the four integer widths.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Instruction class/category.
+    pub class: &'static str,
+    /// Assembly form.
+    pub assembly: String,
+    /// Latency at 8/16/32/64 bits (`None` for non-array instructions).
+    pub latency: Option<[u64; 4]>,
+}
+
+/// Table II: the MVE instruction list with bit-serial latencies.
+pub fn table2() -> Vec<Table2Row> {
+    let lm = LatencyModel::BitSerial;
+    let lat = |op: AluOp| Some([8u32, 16, 32, 64].map(|b| lm.op_latency(op, b)));
+    let rows: Vec<(Opcode, Option<AluOp>)> = vec![
+        (Opcode::SetDimCount, None),
+        (Opcode::SetDimLength, None),
+        (Opcode::SetMask, None),
+        (Opcode::UnsetMask, None),
+        (Opcode::SetWidth, None),
+        (Opcode::SetLoadStride, None),
+        (Opcode::SetStoreStride, None),
+        (Opcode::Convert, Some(AluOp::Convert)),
+        (Opcode::Copy, Some(AluOp::Copy)),
+        (Opcode::StridedLoad, None),
+        (Opcode::RandomLoad, None),
+        (Opcode::StridedStore, None),
+        (Opcode::RandomStore, None),
+        (Opcode::SetDup, Some(AluOp::SetDup)),
+        (Opcode::ShiftImm, Some(AluOp::ShiftImm)),
+        (Opcode::RotateImm, Some(AluOp::ShiftImm)),
+        (Opcode::ShiftReg, Some(AluOp::ShiftReg)),
+        (Opcode::Add, Some(AluOp::Add)),
+        (Opcode::Sub, Some(AluOp::Sub)),
+        (Opcode::Mul, Some(AluOp::Mul)),
+        (Opcode::Min, Some(AluOp::MinMax)),
+        (Opcode::Max, Some(AluOp::MinMax)),
+        (Opcode::Xor, Some(AluOp::Logic)),
+        (Opcode::And, Some(AluOp::Logic)),
+        (Opcode::Or, Some(AluOp::Logic)),
+        (Opcode::Compare, Some(AluOp::Cmp)),
+    ];
+    rows.into_iter()
+        .map(|(op, alu)| Table2Row {
+            class: match op.class() {
+                OpClass::Config => "Config",
+                OpClass::Move => "Move",
+                OpClass::MemAccess => "Memory Access",
+                OpClass::Arithmetic => "Arithmetic",
+            },
+            assembly: op.assembly(DType::I32),
+            latency: alu.and_then(lat),
+        })
+        .collect()
+}
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Application domain.
+    pub domain: &'static str,
+    /// Library name.
+    pub library: &'static str,
+    /// Kernel count.
+    pub kernels: usize,
+    /// Dataset description.
+    pub dataset: &'static str,
+    /// Dimensionality range used by the MVE implementations.
+    pub dims: String,
+}
+
+/// Table III: evaluated libraries, derived from the live registry.
+pub fn table3() -> Vec<Table3Row> {
+    let kernels = all_kernels();
+    Library::ALL
+        .iter()
+        .map(|&lib| {
+            let in_lib: Vec<_> = kernels.iter().filter(|k| k.info().library == lib).collect();
+            let lo = in_lib.iter().map(|k| k.info().dims).min().unwrap_or(1);
+            let hi = in_lib.iter().map(|k| k.info().dims).max().unwrap_or(1);
+            Table3Row {
+                domain: lib.domain(),
+                library: lib.name(),
+                kernels: in_lib.len(),
+                dataset: lib.dataset(),
+                dims: if lo == hi {
+                    format!("{lo}D")
+                } else {
+                    format!("{lo}-{hi}D")
+                },
+            }
+        })
+        .collect()
+}
+
+/// Table V: the area model rows plus the Neon comparison.
+pub fn table5() -> (Vec<AreaRow>, f64, f64) {
+    let rows = area_table(&EngineGeometry::default(), 46);
+    let total: f64 = rows.iter().map(|r| r.area_mm2).sum();
+    let neon_overhead = NEON_AREA_MM2 / mve_energy::area::CORE_AREA_MM2 * 100.0;
+    (rows, total, neon_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_full_instruction_set() {
+        let rows = table2();
+        assert!(rows.len() >= 26);
+        let mul = rows.iter().find(|r| r.assembly == "vmul_dw").expect("vmul");
+        assert_eq!(mul.latency.expect("latency")[2], 32 * 32 + 5 * 32);
+        let cfg = rows.iter().find(|r| r.assembly == "vsetdimc").expect("cfg");
+        assert!(cfg.latency.is_none());
+    }
+
+    #[test]
+    fn table3_matches_suite() {
+        let rows = table3();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.iter().map(|r| r.kernels).sum::<usize>(), 44);
+        let kvz = rows.iter().find(|r| r.library == "Kvazaar").expect("kvazaar");
+        assert_eq!(kvz.dims, "3-4D");
+    }
+
+    #[test]
+    fn table5_total_near_paper() {
+        let (_, total, neon) = table5();
+        assert!((total - 0.0382).abs() < 1e-3);
+        assert!((neon - 16.3).abs() < 0.2);
+    }
+}

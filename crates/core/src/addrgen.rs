@@ -1,0 +1,250 @@
+//! Address generation: Algorithm 1 (multi-dimensional strided access) and
+//! Equation 1 (random-base access with strided inner dimensions).
+//!
+//! Strides are expressed in *elements* (like typed C pointers); byte
+//! addresses are formed by scaling with the element size. Stride modes are
+//! resolved per Section III-C:
+//!
+//! * mode 0 → 0 (replication),
+//! * mode 1 → 1 (sequential),
+//! * mode 2 → `Sᵢ = Sᵢ₋₁ × Dimᵢ₋₁.Length` (sequential continuation;
+//!   `S₋₁ = 1` so mode 2 on dimension 0 is plain sequential),
+//! * mode 3 → the dimension's stride CR.
+
+use crate::config::{ControlRegs, MAX_DIMS};
+use crate::layout::LogicalShape;
+
+/// Which stride CR bank a resolution should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrideBank {
+    /// Load-stride CRs (`vsetldstr`).
+    Load,
+    /// Store-stride CRs (`vsetststr`).
+    Store,
+}
+
+/// Resolves per-dimension stride modes into element strides.
+///
+/// # Panics
+///
+/// Panics if more modes than dimensions are supplied.
+pub fn resolve_strides(
+    modes: &[crate::isa::StrideMode],
+    shape: &LogicalShape,
+    crs: &ControlRegs,
+    bank: StrideBank,
+) -> [i64; MAX_DIMS] {
+    assert!(
+        modes.len() <= MAX_DIMS,
+        "at most {MAX_DIMS} stride modes, got {}",
+        modes.len()
+    );
+    let mut strides = [0i64; MAX_DIMS];
+    for (d, mode) in modes.iter().enumerate() {
+        strides[d] = match mode {
+            crate::isa::StrideMode::Zero => 0,
+            crate::isa::StrideMode::One => 1,
+            crate::isa::StrideMode::Seq => {
+                if d == 0 {
+                    1
+                } else {
+                    strides[d - 1] * shape.dim(d - 1) as i64
+                }
+            }
+            crate::isa::StrideMode::Cr => match bank {
+                StrideBank::Load => crs.load_stride(d),
+                StrideBank::Store => crs.store_stride(d),
+            },
+        };
+    }
+    strides
+}
+
+/// Algorithm 1: the per-lane byte address of a strided access.
+///
+/// `addr(lane) = base + Σ_d coord_d · stride_d · elem_bytes`, over active
+/// lanes only; masked/inactive lanes yield `None`.
+pub fn strided_addresses(
+    base: u64,
+    elem_bytes: u64,
+    strides: &[i64; MAX_DIMS],
+    shape: &LogicalShape,
+    crs: &ControlRegs,
+    max_lanes: usize,
+) -> Vec<Option<u64>> {
+    let total = shape.total().min(max_lanes);
+    let mut out = vec![None; total];
+    for (lane, slot) in out.iter_mut().enumerate() {
+        if !shape.lane_active(lane, crs) {
+            continue;
+        }
+        let coords = shape.coords(lane);
+        let mut offset: i64 = 0;
+        for d in 0..MAX_DIMS {
+            offset += coords[d] as i64 * strides[d];
+        }
+        *slot = Some((base as i64 + offset * elem_bytes as i64) as u64);
+    }
+    out
+}
+
+/// Equation 1: the per-lane byte address of a random-base access. The
+/// highest dimension's coordinate selects `bases[w]`; lower dimensions apply
+/// their resolved strides.
+///
+/// # Panics
+///
+/// Panics if fewer bases are supplied than the highest dimension's length.
+pub fn random_addresses(
+    bases: &[u64],
+    elem_bytes: u64,
+    strides: &[i64; MAX_DIMS],
+    shape: &LogicalShape,
+    crs: &ControlRegs,
+    max_lanes: usize,
+) -> Vec<Option<u64>> {
+    let highest = shape.highest_dim();
+    assert!(
+        bases.len() >= shape.dim(highest),
+        "need {} base pointers, got {}",
+        shape.dim(highest),
+        bases.len()
+    );
+    let total = shape.total().min(max_lanes);
+    let mut out = vec![None; total];
+    for (lane, slot) in out.iter_mut().enumerate() {
+        if !shape.lane_active(lane, crs) {
+            continue;
+        }
+        let coords = shape.coords(lane);
+        let mut offset: i64 = 0;
+        for d in 0..highest {
+            offset += coords[d] as i64 * strides[d];
+        }
+        *slot = Some((bases[coords[highest]] as i64 + offset * elem_bytes as i64) as u64);
+    }
+    out
+}
+
+/// Deduplicated cache lines touched by an address set (for the trace).
+pub fn touched_lines(addrs: &[Option<u64>], elem_bytes: u64) -> Vec<u64> {
+    let mut lines: Vec<u64> = addrs
+        .iter()
+        .flatten()
+        .flat_map(|&a| {
+            let first = a / mve_memsim::LINE_BYTES;
+            let last = (a + elem_bytes - 1) / mve_memsim::LINE_BYTES;
+            first..=last
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::StrideMode;
+
+    fn crs_for(shape: &[usize]) -> ControlRegs {
+        let mut crs = ControlRegs::new();
+        crs.set_dim_count(shape.len());
+        for (d, &len) in shape.iter().enumerate() {
+            crs.set_dim_len(d, len);
+        }
+        crs
+    }
+
+    #[test]
+    fn figure3_intra_prediction_addresses() {
+        // Figure 3: 3D load, S0=1, S1=0 (replicate), S2=3; 2D source of
+        // 3 rows × 3 cols. Logical [3,2,3]: 18 lanes.
+        let crs = crs_for(&[3, 2, 3]);
+        let shape = crs.shape();
+        let strides = [1, 0, 3, 0];
+        let addrs = strided_addresses(0, 1, &strides, &shape, &crs, 8192);
+        let got: Vec<u64> = addrs.iter().map(|a| a.unwrap()).collect();
+        // Paper's flattened physical layout: [0 1 2][0 1 2][3 4 5][3 4 5]...
+        assert_eq!(
+            got,
+            vec![0, 1, 2, 0, 1, 2, 3, 4, 5, 3, 4, 5, 6, 7, 8, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn mode2_seq_continues_lower_dimension() {
+        // 2D [4, 3] with modes [One, Seq]: stride1 = 1 × 4 = 4 → a plain
+        // row-major 4×3 tile.
+        let crs = crs_for(&[4, 3]);
+        let shape = crs.shape();
+        let strides = resolve_strides(&[StrideMode::One, StrideMode::Seq], &shape, &crs, StrideBank::Load);
+        assert_eq!(strides[..2], [1, 4]);
+        let addrs = strided_addresses(100, 4, &strides, &shape, &crs, 8192);
+        assert_eq!(addrs[0], Some(100));
+        assert_eq!(addrs[4], Some(100 + 4 * 4)); // next row
+    }
+
+    #[test]
+    fn mode3_reads_the_right_cr_bank() {
+        let mut crs = crs_for(&[4, 3]);
+        crs.set_load_stride(1, 49);
+        crs.set_store_stride(1, 7);
+        let shape = crs.shape();
+        let ld = resolve_strides(&[StrideMode::One, StrideMode::Cr], &shape, &crs, StrideBank::Load);
+        let st = resolve_strides(&[StrideMode::One, StrideMode::Cr], &shape, &crs, StrideBank::Store);
+        assert_eq!(ld[1], 49);
+        assert_eq!(st[1], 7);
+    }
+
+    #[test]
+    fn figure4_random_upsample_addresses() {
+        // Figure 4: 4D [2(dup), 2(pixels), 2(dup), 3(random rows)];
+        // strides 0, 1, 0 for the inner dims; row pointers are random.
+        let crs = crs_for(&[2, 2, 2, 3]);
+        let shape = crs.shape();
+        let strides = [0, 1, 0, 0];
+        let bases = [1000, 5000, 2000];
+        let addrs = random_addresses(&bases, 1, &strides, &shape, &crs, 8192);
+        let got: Vec<u64> = addrs.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(
+            got,
+            vec![
+                1000, 1000, 1001, 1001, 1000, 1000, 1001, 1001, // row ptr 0 twice
+                5000, 5000, 5001, 5001, 5000, 5000, 5001, 5001, // row ptr 1
+                2000, 2000, 2001, 2001, 2000, 2000, 2001, 2001, // row ptr 2
+            ]
+        );
+    }
+
+    #[test]
+    fn masked_lanes_have_no_address() {
+        let mut crs = crs_for(&[4, 2]);
+        crs.unset_mask(1); // kill the second dim-1 element → lanes 4..8
+        let shape = crs.shape();
+        let strides = [1, 4, 0, 0];
+        let addrs = strided_addresses(0, 4, &strides, &shape, &crs, 8192);
+        assert!(addrs[..4].iter().all(Option::is_some));
+        assert!(addrs[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn touched_lines_dedup_and_straddle() {
+        // Two 4-byte elements in the same line plus one straddling a line
+        // boundary.
+        let addrs = vec![Some(0), Some(4), Some(62), None];
+        let lines = touched_lines(&addrs, 4);
+        assert_eq!(lines, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_cr_stride_walks_backwards() {
+        let mut crs = crs_for(&[4]);
+        crs.set_load_stride(0, -1);
+        let shape = crs.shape();
+        let strides = resolve_strides(&[StrideMode::Cr], &shape, &crs, StrideBank::Load);
+        let addrs = strided_addresses(1000, 4, &strides, &shape, &crs, 8192);
+        let got: Vec<u64> = addrs.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(got, vec![1000, 996, 992, 988]);
+    }
+}

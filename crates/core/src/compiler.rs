@@ -1,0 +1,427 @@
+//! Compiler support for MVE (Section III-G).
+//!
+//! The paper's compiler faces one unusual constraint: the physical register
+//! file is *variable-sized* — 256 word-lines divided by the kernel width —
+//! and spills of 8192-element registers are extremely expensive. Its answer
+//! is threefold, and this module implements all three on a virtual-register
+//! straight-line IR:
+//!
+//! 1. **Kernel-width selection** — liveness analysis finds the widest live
+//!    type; one `vsetwidth` is emitted and the PR count follows
+//!    (Section III-G "Register Count").
+//! 2. **List scheduling** — a bottom-up list scheduler that keeps the live
+//!    set under the PR budget by preferring instructions whose operands die
+//!    ("list-hybrid" scheduling in the paper).
+//! 3. **Greedy register allocation** — live ranges are assigned to physical
+//!    registers by a linear-scan over the scheduled order; when pressure
+//!    exceeds the budget, the range with the furthest next use is spilled
+//!    and reload/spill code is inserted (the spill cost the Duality Cache
+//!    comparison in Section VII-C turns on).
+
+use std::collections::HashMap;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// One straight-line IR operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrOp {
+    /// Mnemonic (free-form; the allocator only needs the dataflow).
+    pub name: String,
+    /// Defined register, if any (loads, arithmetic).
+    pub def: Option<VReg>,
+    /// Used registers.
+    pub uses: Vec<VReg>,
+    /// Element width in bits (drives the kernel-width selection).
+    pub width: u32,
+}
+
+impl IrOp {
+    /// Convenience constructor.
+    pub fn new(name: &str, def: Option<VReg>, uses: &[VReg], width: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            def,
+            uses: uses.to_vec(),
+            width,
+        }
+    }
+}
+
+/// Per-program liveness result.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Index of the last use of each virtual register.
+    pub last_use: HashMap<VReg, usize>,
+    /// Index of the definition of each virtual register.
+    pub def_at: HashMap<VReg, usize>,
+    /// Maximum number of simultaneously live registers.
+    pub max_pressure: usize,
+    /// Widest element width used (the kernel width, Section III-G).
+    pub kernel_width: u32,
+}
+
+/// Computes liveness over a straight-line program.
+pub fn liveness(ops: &[IrOp]) -> Liveness {
+    let mut last_use = HashMap::new();
+    let mut def_at = HashMap::new();
+    let mut kernel_width = 8;
+    for (i, op) in ops.iter().enumerate() {
+        kernel_width = kernel_width.max(op.width);
+        if let Some(d) = op.def {
+            def_at.insert(d, i);
+            // A def with no later use still lives through its own op.
+            last_use.entry(d).or_insert(i);
+        }
+        for &u in &op.uses {
+            last_use.insert(u, i);
+        }
+    }
+    // Pressure sweep.
+    let mut max_pressure = 0;
+    let mut live = 0usize;
+    let mut deaths: HashMap<usize, usize> = HashMap::new();
+    for (&r, &at) in &last_use {
+        if def_at.contains_key(&r) {
+            *deaths.entry(at).or_default() += 1;
+        }
+        let _ = r;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if op.def.is_some() {
+            live += 1;
+            max_pressure = max_pressure.max(live);
+        }
+        live -= deaths.get(&i).copied().unwrap_or(0).min(live);
+    }
+    Liveness {
+        last_use,
+        def_at,
+        max_pressure,
+        kernel_width,
+    }
+}
+
+/// Physical registers available for a kernel width (Section III-G:
+/// word-lines ÷ width).
+pub fn register_budget(wordlines: u32, kernel_width: u32) -> usize {
+    (wordlines / kernel_width.max(1)) as usize
+}
+
+/// The result of register allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Physical register assigned to each virtual register (spilled vregs
+    /// may map to several over their lifetime; this is the first).
+    pub assignment: HashMap<VReg, usize>,
+    /// Number of spill stores inserted.
+    pub spill_stores: usize,
+    /// Number of reload loads inserted.
+    pub reloads: usize,
+    /// The rewritten program including spill/reload pseudo-ops.
+    pub code: Vec<IrOp>,
+}
+
+/// Greedy linear-scan allocation with furthest-next-use spilling
+/// (Belady's choice, which the paper's "Greedy Register Allocation" with
+/// live-range splitting approximates).
+pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
+    assert!(budget >= 2, "need at least two physical registers");
+    let lv = liveness(ops);
+
+    // next_use[i][r]: the next index ≥ i where r is used.
+    let mut assignment: HashMap<VReg, usize> = HashMap::new();
+    let mut in_reg: HashMap<VReg, usize> = HashMap::new(); // vreg -> phys
+    let mut phys_free: Vec<usize> = (0..budget).rev().collect();
+    let mut spilled: HashMap<VReg, bool> = HashMap::new();
+    let mut code: Vec<IrOp> = Vec::with_capacity(ops.len());
+    let mut spill_stores = 0usize;
+    let mut reloads = 0usize;
+
+    let next_use_after = |ops: &[IrOp], r: VReg, i: usize| -> usize {
+        ops[i..]
+            .iter()
+            .position(|op| op.uses.contains(&r))
+            .map(|p| i + p)
+            .unwrap_or(usize::MAX)
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        // Reload any spilled operands.
+        for &u in &op.uses {
+            if !in_reg.contains_key(&u) {
+                assert!(
+                    spilled.get(&u).copied().unwrap_or(false),
+                    "use of undefined vreg {u:?}"
+                );
+                // Find a register: free, or evict furthest-next-use.
+                let phys = if let Some(p) = phys_free.pop() {
+                    p
+                } else {
+                    let (&victim, &p) = in_reg
+                        .iter()
+                        .filter(|(v, _)| !op.uses.contains(v))
+                        .max_by_key(|(v, _)| next_use_after(ops, **v, i))
+                        .expect("some evictable register");
+                    if next_use_after(ops, victim, i) != usize::MAX {
+                        spill_stores += 1;
+                        spilled.insert(victim, true);
+                        code.push(IrOp::new("spill.store", None, &[victim], op.width));
+                    }
+                    in_reg.remove(&victim);
+                    p
+                };
+                in_reg.insert(u, phys);
+                reloads += 1;
+                code.push(IrOp::new("spill.reload", Some(u), &[], op.width));
+            }
+        }
+        // Free registers whose contents die at this op.
+        let dying: Vec<VReg> = op
+            .uses
+            .iter()
+            .copied()
+            .filter(|u| lv.last_use.get(u) == Some(&i))
+            .collect();
+        code.push(op.clone());
+        for u in dying {
+            if let Some(p) = in_reg.remove(&u) {
+                phys_free.push(p);
+            }
+        }
+        // Place the definition.
+        if let Some(d) = op.def {
+            let phys = if let Some(p) = phys_free.pop() {
+                p
+            } else {
+                let (&victim, &p) = in_reg
+                    .iter()
+                    .max_by_key(|(v, _)| next_use_after(ops, **v, i + 1))
+                    .expect("some register to evict");
+                if next_use_after(ops, victim, i + 1) != usize::MAX {
+                    spill_stores += 1;
+                    spilled.insert(victim, true);
+                    code.push(IrOp::new("spill.store", None, &[victim], op.width));
+                }
+                in_reg.remove(&victim);
+                p
+            };
+            in_reg.insert(d, phys);
+            assignment.entry(d).or_insert(phys);
+        }
+    }
+
+    Allocation {
+        assignment,
+        spill_stores,
+        reloads,
+        code,
+    }
+}
+
+/// Bottom-up list scheduling that reduces register pressure: independent
+/// operations are reordered so that uses follow their definitions closely
+/// (the paper's "list-hybrid instruction scheduler [60]" that "shorten[s]
+/// register live ranges").
+///
+/// Dependences are the IR's def-use edges; the scheduler never reorders
+/// across them. Among ready ops it prefers the one that kills the most
+/// live registers, then the one that defines none.
+pub fn schedule(ops: &[IrOp]) -> Vec<IrOp> {
+    let n = ops.len();
+    // Build def-site map and dependence edges (RAW only; the IR is SSA-ish:
+    // each vreg defined once).
+    let mut def_site: HashMap<VReg, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(d) = op.def {
+            def_site.insert(d, i);
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, op) in ops.iter().enumerate() {
+        for &u in &op.uses {
+            if let Some(&s) = def_site.get(&u) {
+                if s != i {
+                    preds[i].push(s);
+                }
+            }
+        }
+    }
+    let mut remaining_preds: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(i);
+        }
+    }
+
+    let lv = liveness(ops);
+    let mut scheduled = Vec::with_capacity(n);
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut emitted = vec![false; n];
+    while let Some(pos) = {
+        // Prefer ops that kill operands (frees registers), then ops without
+        // defs, then program order for determinism.
+        ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let kills = ops[i]
+                    .uses
+                    .iter()
+                    .filter(|u| lv.last_use.get(u) == Some(&i))
+                    .count() as i64;
+                let no_def = i64::from(ops[i].def.is_none());
+                (kills, no_def, -(i as i64))
+            })
+            .map(|(pos, _)| pos)
+    } {
+        let i = ready.swap_remove(pos);
+        emitted[i] = true;
+        scheduled.push(ops[i].clone());
+        for &s in &succs[i] {
+            remaining_preds[s] -= 1;
+            if remaining_preds[s] == 0 && !emitted[s] {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(scheduled.len(), n, "scheduling must preserve all ops");
+    scheduled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VReg {
+        VReg(i)
+    }
+
+    /// A GEMM-like inner loop body: two loads, a multiply, an accumulate.
+    fn gemm_body(k: u32) -> Vec<IrOp> {
+        let mut ops = vec![IrOp::new("vsetdup", Some(v(0)), &[], 32)];
+        let mut acc = v(0);
+        for i in 0..k {
+            let iv = v(3 * i + 1);
+            let wv = v(3 * i + 2);
+            let p = v(3 * i + 3);
+            let acc2 = v(1000 + i);
+            ops.push(IrOp::new("vsld", Some(iv), &[], 32));
+            ops.push(IrOp::new("vsld", Some(wv), &[], 32));
+            ops.push(IrOp::new("vmul", Some(p), &[iv, wv], 32));
+            ops.push(IrOp::new("vadd", Some(acc2), &[acc, p], 32));
+            acc = acc2;
+        }
+        ops.push(IrOp::new("vsst", None, &[acc], 32));
+        ops
+    }
+
+    #[test]
+    fn liveness_finds_width_and_pressure() {
+        let ops = gemm_body(4);
+        let lv = liveness(&ops);
+        assert_eq!(lv.kernel_width, 32);
+        // acc + iv + wv + p (+ new acc overlapping old) = 5.
+        assert!(lv.max_pressure <= 5, "pressure {}", lv.max_pressure);
+        assert!(lv.max_pressure >= 4);
+    }
+
+    #[test]
+    fn register_budget_follows_width() {
+        assert_eq!(register_budget(256, 32), 8);
+        assert_eq!(register_budget(256, 8), 32);
+        assert_eq!(register_budget(256, 64), 4);
+    }
+
+    #[test]
+    fn allocation_without_pressure_never_spills() {
+        let ops = gemm_body(8);
+        let alloc = allocate(&ops, 8);
+        assert_eq!(alloc.spill_stores, 0);
+        assert_eq!(alloc.reloads, 0);
+        // Physical registers stay within budget.
+        assert!(alloc.assignment.values().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn allocation_under_pressure_spills_and_reloads() {
+        // 12 long-lived values consumed pairwise much later: at most 4
+        // physical registers force spills at definition time and reloads at
+        // use time.
+        let mut ops: Vec<IrOp> = (0..12)
+            .map(|i| IrOp::new("vsld", Some(v(i)), &[], 32))
+            .collect();
+        for i in 0..6 {
+            ops.push(IrOp::new("vadd", Some(v(100 + i)), &[v(i), v(11 - i)], 32));
+            ops.push(IrOp::new("vsst", None, &[v(100 + i)], 32));
+        }
+        let alloc = allocate(&ops, 4);
+        assert!(alloc.spill_stores > 0, "must spill");
+        assert!(alloc.reloads >= alloc.spill_stores);
+        // Spill code appears in the rewritten program.
+        assert!(alloc.code.iter().any(|o| o.name == "spill.store"));
+        assert!(alloc.code.iter().any(|o| o.name == "spill.reload"));
+    }
+
+    #[test]
+    fn narrow_kernels_get_more_registers_and_fewer_spills() {
+        // The same program at 8-bit width fits the budget that the 64-bit
+        // version overflows — the variable-register-count effect of
+        // Section III-B.
+        let mk = |width: u32| -> Vec<IrOp> {
+            let mut ops: Vec<IrOp> =
+                (0..6).map(|i| IrOp::new("vsld", Some(v(i)), &[], width)).collect();
+            for i in 0..3 {
+                ops.push(IrOp::new("vadd", Some(v(10 + i)), &[v(i), v(5 - i)], width));
+                ops.push(IrOp::new("vsst", None, &[v(10 + i)], width));
+            }
+            ops
+        };
+        let wide = mk(64);
+        let narrow = mk(8);
+        let wide_alloc = allocate(&wide, register_budget(256, liveness(&wide).kernel_width));
+        let narrow_alloc = allocate(&narrow, register_budget(256, liveness(&narrow).kernel_width));
+        assert!(wide_alloc.spill_stores > 0);
+        assert_eq!(narrow_alloc.spill_stores, 0);
+    }
+
+    #[test]
+    fn scheduling_respects_dependences_and_reduces_pressure() {
+        // Interleaved producer/consumer pairs scheduled far apart: the list
+        // scheduler should pull consumers next to producers.
+        let mut ops = Vec::new();
+        for i in 0..6 {
+            ops.push(IrOp::new("vsld", Some(v(i)), &[], 32));
+        }
+        for i in 0..6 {
+            ops.push(IrOp::new("vshi", Some(v(10 + i)), &[v(i)], 32));
+            ops.push(IrOp::new("vsst", None, &[v(10 + i)], 32));
+        }
+        let before = liveness(&ops).max_pressure;
+        let sched = schedule(&ops);
+        let after = liveness(&sched).max_pressure;
+        assert!(after <= before, "pressure {after} should not exceed {before}");
+        assert!(after <= 3, "scheduler should chain producer→consumer: {after}");
+        // All defs still precede their uses.
+        let mut defined = std::collections::HashSet::new();
+        for op in &sched {
+            for u in &op.uses {
+                assert!(defined.contains(u), "use before def after scheduling");
+            }
+            if let Some(d) = op.def {
+                defined.insert(d);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_gemm_fits_paper_budget() {
+        // The Section IV GEMM listing must fit the 8-register file at
+        // 32-bit width after scheduling + allocation.
+        let ops = schedule(&gemm_body(16));
+        let alloc = allocate(&ops, register_budget(256, 32));
+        assert_eq!(alloc.spill_stores, 0, "paper's GEMM must not spill");
+    }
+}

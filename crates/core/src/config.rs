@@ -1,0 +1,263 @@
+//! MVE controller Control Registers (CRs).
+//!
+//! Section III-B: programmers select the dimension count and lengths with
+//! `config` instructions that write CRs held in the MVE controller. The CRs
+//! also hold per-dimension load/store strides (for stride mode 3), the
+//! 256-entry dimension-level mask of Section III-E, and the kernel register
+//! width used for physical-register allocation (Section III-G).
+
+use crate::layout::LogicalShape;
+
+/// Maximum number of logical dimensions (Section III-B: Swan kernels use at
+/// most four).
+pub const MAX_DIMS: usize = 4;
+
+/// Maximum length of the highest dimension, bounding the mask CR size
+/// (Section III-E).
+pub const MAX_MASK_LEN: usize = 256;
+
+/// The MVE controller's control-register file.
+#[derive(Debug, Clone)]
+pub struct ControlRegs {
+    dim_count: usize,
+    dim_len: [usize; MAX_DIMS],
+    ld_stride: [i64; MAX_DIMS],
+    st_stride: [i64; MAX_DIMS],
+    mask: [u64; MAX_MASK_LEN / 64],
+    kernel_width: u32,
+}
+
+impl Default for ControlRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlRegs {
+    /// CRs in their reset state: 1-D of length 0, all mask bits enabled,
+    /// 32-bit kernel width.
+    pub fn new() -> Self {
+        Self {
+            dim_count: 1,
+            dim_len: [0; MAX_DIMS],
+            ld_stride: [0; MAX_DIMS],
+            st_stride: [0; MAX_DIMS],
+            mask: [u64::MAX; MAX_MASK_LEN / 64],
+            kernel_width: 32,
+        }
+    }
+
+    /// `vsetdimc`: sets the dimension count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is outside `1..=4`.
+    pub fn set_dim_count(&mut self, count: usize) {
+        assert!(
+            (1..=MAX_DIMS).contains(&count),
+            "dimension count {count} outside 1..={MAX_DIMS}"
+        );
+        self.dim_count = count;
+    }
+
+    /// Configured dimension count.
+    pub fn dim_count(&self) -> usize {
+        self.dim_count
+    }
+
+    /// `vsetdiml`: sets the length of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= 4`.
+    pub fn set_dim_len(&mut self, dim: usize, len: usize) {
+        assert!(dim < MAX_DIMS, "dimension index {dim} out of range");
+        self.dim_len[dim] = len;
+    }
+
+    /// Length of dimension `dim` (1 for dimensions above the count).
+    pub fn dim_len(&self, dim: usize) -> usize {
+        if dim < self.dim_count {
+            self.dim_len[dim]
+        } else {
+            1
+        }
+    }
+
+    /// `vsetldstr`: sets the load-stride CR of dimension `dim` (elements).
+    pub fn set_load_stride(&mut self, dim: usize, stride: i64) {
+        assert!(dim < MAX_DIMS, "dimension index {dim} out of range");
+        self.ld_stride[dim] = stride;
+    }
+
+    /// `vsetststr`: sets the store-stride CR of dimension `dim` (elements).
+    pub fn set_store_stride(&mut self, dim: usize, stride: i64) {
+        assert!(dim < MAX_DIMS, "dimension index {dim} out of range");
+        self.st_stride[dim] = stride;
+    }
+
+    /// Load-stride CR of dimension `dim`.
+    pub fn load_stride(&self, dim: usize) -> i64 {
+        self.ld_stride[dim]
+    }
+
+    /// Store-stride CR of dimension `dim`.
+    pub fn store_stride(&self, dim: usize) -> i64 {
+        self.st_stride[dim]
+    }
+
+    /// `vsetwidth`: sets the kernel register width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 8/16/32/64.
+    pub fn set_kernel_width(&mut self, bits: u32) {
+        assert!(
+            matches!(bits, 8 | 16 | 32 | 64),
+            "kernel width {bits} must be 8/16/32/64"
+        );
+        self.kernel_width = bits;
+    }
+
+    /// Kernel register width in bits.
+    pub fn kernel_width(&self) -> u32 {
+        self.kernel_width
+    }
+
+    /// `vsetmask idx`: enables element `idx` of the highest dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 256`.
+    pub fn set_mask(&mut self, idx: usize) {
+        assert!(idx < MAX_MASK_LEN, "mask index {idx} out of range");
+        self.mask[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// `vunsetmask idx`: masks off element `idx` of the highest dimension.
+    pub fn unset_mask(&mut self, idx: usize) {
+        assert!(idx < MAX_MASK_LEN, "mask index {idx} out of range");
+        self.mask[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Re-enables every highest-dimension element.
+    pub fn reset_mask(&mut self) {
+        self.mask = [u64::MAX; MAX_MASK_LEN / 64];
+    }
+
+    /// Whether highest-dimension element `idx` is enabled.
+    pub fn mask_bit(&self, idx: usize) -> bool {
+        assert!(idx < MAX_MASK_LEN, "mask index {idx} out of range");
+        self.mask[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Whether highest-dimension coordinate `coord` of a dimension of
+    /// `dim_len` elements is enabled.
+    ///
+    /// The mask CR holds 256 bits (Section III-E caps the highest dimension
+    /// at 256 for per-element masking). When a kernel configures a longer
+    /// highest dimension — e.g. a plain 1-D 8192-lane vector — each mask bit
+    /// covers a contiguous group of `dim_len / 256` elements.
+    pub fn mask_bit_for(&self, coord: usize, dim_len: usize) -> bool {
+        if dim_len <= MAX_MASK_LEN {
+            self.mask_bit(coord)
+        } else {
+            self.mask_bit(coord * MAX_MASK_LEN / dim_len)
+        }
+    }
+
+    /// The current logical shape (dimension lengths up to the count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configured dimension length is zero (an unconfigured
+    /// shape) or the highest dimension exceeds the 256-entry mask.
+    pub fn shape(&self) -> LogicalShape {
+        let mut dims = [1usize; MAX_DIMS];
+        for (d, slot) in dims.iter_mut().enumerate().take(self.dim_count) {
+            let len = self.dim_len[d];
+            assert!(len > 0, "dimension {d} has unset length");
+            *slot = len;
+        }
+        LogicalShape::new(dims, self.dim_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state() {
+        let crs = ControlRegs::new();
+        assert_eq!(crs.dim_count(), 1);
+        assert_eq!(crs.kernel_width(), 32);
+        assert!(crs.mask_bit(0));
+        assert!(crs.mask_bit(255));
+    }
+
+    #[test]
+    fn dims_above_count_read_as_one() {
+        let mut crs = ControlRegs::new();
+        crs.set_dim_count(2);
+        crs.set_dim_len(0, 8);
+        crs.set_dim_len(1, 4);
+        crs.set_dim_len(2, 99); // configured but above the count
+        assert_eq!(crs.dim_len(2), 1);
+        assert_eq!(crs.dim_len(1), 4);
+    }
+
+    #[test]
+    fn mask_set_unset() {
+        let mut crs = ControlRegs::new();
+        crs.unset_mask(0);
+        crs.unset_mask(70);
+        assert!(!crs.mask_bit(0));
+        assert!(!crs.mask_bit(70));
+        assert!(crs.mask_bit(1));
+        crs.set_mask(0);
+        assert!(crs.mask_bit(0));
+        crs.reset_mask();
+        assert!(crs.mask_bit(70));
+    }
+
+    #[test]
+    fn shape_reflects_config() {
+        let mut crs = ControlRegs::new();
+        crs.set_dim_count(3);
+        crs.set_dim_len(0, 3);
+        crs.set_dim_len(1, 2);
+        crs.set_dim_len(2, 3);
+        let s = crs.shape();
+        assert_eq!(s.total(), 18);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unset length")]
+    fn shape_requires_lengths() {
+        let mut crs = ControlRegs::new();
+        crs.set_dim_count(2);
+        crs.set_dim_len(0, 4);
+        let _ = crs.shape();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=4")]
+    fn dim_count_bounds() {
+        ControlRegs::new().set_dim_count(5);
+    }
+
+    #[test]
+    fn long_highest_dimension_uses_group_masking() {
+        let mut crs = ControlRegs::new();
+        // 512-long highest dimension: each mask bit covers 2 elements.
+        crs.unset_mask(0);
+        assert!(!crs.mask_bit_for(0, 512));
+        assert!(!crs.mask_bit_for(1, 512));
+        assert!(crs.mask_bit_for(2, 512));
+        // Per-element masking when the dimension fits the 256-bit CR.
+        assert!(!crs.mask_bit_for(0, 256));
+        assert!(crs.mask_bit_for(1, 256));
+    }
+}

@@ -1,0 +1,530 @@
+//! MVE element data types and their arithmetic semantics.
+//!
+//! Section III-F: MVE supports 8/16/32/64-bit un/signed integers and
+//! 16/32-bit floating point, denoted by the `b`/`w`/`dw`/`qw` and `hf`/`f`
+//! assembly suffixes. Lane values are stored as raw `u64` bit patterns,
+//! zero-extended to 64 bits; the operations here interpret them per type.
+//!
+//! Integer arithmetic wraps at the element width, exactly like the
+//! bit-serial hardware (validated against `mve_insram::bitserial`). The
+//! 16-bit float is a software half-precision implementation (IEEE 754
+//! binary16, round-to-nearest-even on repack); arithmetic is performed in
+//! `f32` and repacked, matching how the bit-serial FP units of Duality Cache
+//! normalise after every operation.
+
+/// An MVE element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned 8-bit (`b` with unsigned ops).
+    U8,
+    /// Signed 8-bit (`b`).
+    I8,
+    /// Unsigned 16-bit (`w` unsigned).
+    U16,
+    /// Signed 16-bit (`w`).
+    I16,
+    /// Unsigned 32-bit (`dw` unsigned).
+    U32,
+    /// Signed 32-bit (`dw`).
+    I32,
+    /// Unsigned 64-bit (`qw` unsigned).
+    U64,
+    /// Signed 64-bit (`qw`).
+    I64,
+    /// IEEE binary16 (`hf`).
+    F16,
+    /// IEEE binary32 (`f`).
+    F32,
+}
+
+/// Binary operations on lane values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low half).
+    Mul,
+    /// Minimum (signedness-aware).
+    Min,
+    /// Maximum (signedness-aware).
+    Max,
+    /// Bit-wise XOR.
+    Xor,
+    /// Bit-wise AND.
+    And,
+    /// Bit-wise OR.
+    Or,
+}
+
+/// Comparison predicates (Table II: `vgt(e)/lt(e)/(n)eq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Gte,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Lte,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Neq,
+}
+
+impl DType {
+    /// All supported types.
+    pub const ALL: [DType; 10] = [
+        DType::U8,
+        DType::I8,
+        DType::U16,
+        DType::I16,
+        DType::U32,
+        DType::I32,
+        DType::U64,
+        DType::I64,
+        DType::F16,
+        DType::F32,
+    ];
+
+    /// Element width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            DType::U8 | DType::I8 => 8,
+            DType::U16 | DType::I16 | DType::F16 => 16,
+            DType::U32 | DType::I32 | DType::F32 => 32,
+            DType::U64 | DType::I64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.bits()) / 8
+    }
+
+    /// Whether the type is floating point.
+    pub fn is_float(&self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+
+    /// Whether the type is a signed integer.
+    pub fn is_signed_int(&self) -> bool {
+        matches!(self, DType::I8 | DType::I16 | DType::I32 | DType::I64)
+    }
+
+    /// The assembly suffix of Section III-F.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            DType::U8 | DType::I8 => "b",
+            DType::U16 | DType::I16 => "w",
+            DType::U32 | DType::I32 => "dw",
+            DType::U64 | DType::I64 => "qw",
+            DType::F16 => "hf",
+            DType::F32 => "f",
+        }
+    }
+
+    /// Mask selecting the low `bits()` of a raw lane value.
+    pub fn lane_mask(&self) -> u64 {
+        match self.bits() {
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Truncates a raw value to the element width (canonical lane form).
+    pub fn truncate(&self, v: u64) -> u64 {
+        v & self.lane_mask()
+    }
+
+    /// Sign-extends a canonical lane value to `i64` (integers only).
+    pub fn to_i64(&self, v: u64) -> i64 {
+        let bits = self.bits();
+        let v = self.truncate(v);
+        if self.is_signed_int() && bits < 64 {
+            let sign = 1u64 << (bits - 1);
+            if v & sign != 0 {
+                (v | !self.lane_mask()) as i64
+            } else {
+                v as i64
+            }
+        } else {
+            v as i64
+        }
+    }
+
+    /// Interprets a canonical lane value as `f64` for checking purposes.
+    pub fn to_f64(&self, v: u64) -> f64 {
+        match self {
+            DType::F16 => f64::from(f16_to_f32(v as u16)),
+            DType::F32 => f64::from(f32::from_bits(v as u32)),
+            _ => self.to_i64(v) as f64,
+        }
+    }
+
+    /// Packs an `i64` into a canonical lane value (integers only).
+    pub fn from_i64(&self, v: i64) -> u64 {
+        debug_assert!(!self.is_float(), "from_i64 on float type");
+        self.truncate(v as u64)
+    }
+
+    /// Packs an `f32` into a canonical lane value (floats only).
+    pub fn from_f32(&self, v: f32) -> u64 {
+        match self {
+            DType::F16 => u64::from(f32_to_f16(v)),
+            DType::F32 => u64::from(v.to_bits()),
+            _ => panic!("from_f32 on integer type {self:?}"),
+        }
+    }
+
+    fn float_of(&self, v: u64) -> f32 {
+        match self {
+            DType::F16 => f16_to_f32(v as u16),
+            DType::F32 => f32::from_bits(v as u32),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Applies a binary operation to two canonical lane values.
+    pub fn binop(&self, op: BinOp, a: u64, b: u64) -> u64 {
+        if self.is_float() {
+            let (x, y) = (self.float_of(a), self.float_of(b));
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Xor => return self.truncate(a ^ b),
+                BinOp::And => return self.truncate(a & b),
+                BinOp::Or => return self.truncate(a | b),
+            };
+            self.from_f32(r)
+        } else {
+            let (x, y) = (self.to_i64(a), self.to_i64(b));
+            let r = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Min => {
+                    if self.is_signed_int() {
+                        x.min(y)
+                    } else {
+                        (self.truncate(a).min(self.truncate(b))) as i64
+                    }
+                }
+                BinOp::Max => {
+                    if self.is_signed_int() {
+                        x.max(y)
+                    } else {
+                        (self.truncate(a).max(self.truncate(b))) as i64
+                    }
+                }
+                BinOp::Xor => x ^ y,
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+            };
+            self.truncate(r as u64)
+        }
+    }
+
+    /// Evaluates a comparison between two canonical lane values.
+    pub fn cmp(&self, op: CmpOp, a: u64, b: u64) -> bool {
+        if self.is_float() {
+            let (x, y) = (self.float_of(a), self.float_of(b));
+            match op {
+                CmpOp::Gt => x > y,
+                CmpOp::Gte => x >= y,
+                CmpOp::Lt => x < y,
+                CmpOp::Lte => x <= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Neq => x != y,
+            }
+        } else if self.is_signed_int() {
+            let (x, y) = (self.to_i64(a), self.to_i64(b));
+            match op {
+                CmpOp::Gt => x > y,
+                CmpOp::Gte => x >= y,
+                CmpOp::Lt => x < y,
+                CmpOp::Lte => x <= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Neq => x != y,
+            }
+        } else {
+            let (x, y) = (self.truncate(a), self.truncate(b));
+            match op {
+                CmpOp::Gt => x > y,
+                CmpOp::Gte => x >= y,
+                CmpOp::Lt => x < y,
+                CmpOp::Lte => x <= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Neq => x != y,
+            }
+        }
+    }
+
+    /// Logical/arithmetic shift left by `sh` (zero fill), wrapping at width.
+    pub fn shl(&self, a: u64, sh: u32) -> u64 {
+        debug_assert!(!self.is_float(), "shift on float type");
+        if sh >= self.bits() {
+            0
+        } else {
+            self.truncate(self.truncate(a) << sh)
+        }
+    }
+
+    /// Shift right by `sh`: arithmetic for signed types, logical otherwise.
+    pub fn shr(&self, a: u64, sh: u32) -> u64 {
+        debug_assert!(!self.is_float(), "shift on float type");
+        let bits = self.bits();
+        if self.is_signed_int() {
+            let x = self.to_i64(a);
+            let sh = sh.min(63);
+            self.truncate((x >> sh) as u64)
+        } else if sh >= bits {
+            0
+        } else {
+            self.truncate(self.truncate(a) >> sh)
+        }
+    }
+
+    /// Rotate left by `sh` within the element width.
+    pub fn rotl(&self, a: u64, sh: u32) -> u64 {
+        debug_assert!(!self.is_float(), "rotate on float type");
+        let bits = self.bits();
+        let sh = sh % bits;
+        let v = self.truncate(a);
+        if sh == 0 {
+            v
+        } else {
+            self.truncate((v << sh) | (v >> (bits - sh)))
+        }
+    }
+
+    /// Converts a canonical lane value of `self` into `dst`'s representation
+    /// (the `vcvt` semantics: int↔int resize with sign/zero extension,
+    /// int↔float numeric conversion, float↔float precision change).
+    pub fn convert_to(&self, dst: DType, v: u64) -> u64 {
+        match (self.is_float(), dst.is_float()) {
+            (false, false) => dst.truncate(self.to_i64(v) as u64),
+            (false, true) => dst.from_f32(self.to_i64(v) as f32),
+            (true, false) => dst.from_i64(self.float_of(v) as i64),
+            (true, true) => dst.from_f32(self.float_of(v)),
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DType::U8 => "u8",
+            DType::I8 => "i8",
+            DType::U16 => "u16",
+            DType::I16 => "i16",
+            DType::U32 => "u32",
+            DType::I32 => "i32",
+            DType::U64 => "u64",
+            DType::I64 => "i64",
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Converts an IEEE binary16 bit pattern to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h >> 15) << 31;
+    let exp = u32::from((h >> 10) & 0x1F);
+    let frac = u32::from(h & 0x3FF);
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalise.
+            let mut e = 127 - 15 + 1;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((f & 0x3FF) << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (frac << 13) // inf / NaN
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Converts an `f32` to an IEEE binary16 bit pattern with
+/// round-to-nearest-even.
+pub fn f32_to_f16(f: f32) -> u16 {
+    let bits = f.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return sign | 0x7C00 | if frac != 0 { 0x200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal range: round the 23-bit fraction to 10 bits.
+        let mut h = ((unbiased + 15) as u32) << 10 | (frac >> 13);
+        let round_bits = frac & 0x1FFF;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (h & 1) == 1) {
+            h += 1; // may carry into the exponent — that is correct rounding
+        }
+        return sign | h as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32;
+        let mant = (frac | 0x80_0000) >> (13 + shift);
+        let rem = (frac | 0x80_0000) & ((1 << (13 + shift)) - 1);
+        let half = 1u32 << (12 + shift);
+        let mut h = mant;
+        if rem > half || (rem == half && (h & 1) == 1) {
+            h += 1;
+        }
+        return sign | h as u16;
+    }
+    sign // underflow → signed zero
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn widths_and_suffixes() {
+        assert_eq!(DType::I8.bits(), 8);
+        assert_eq!(DType::F16.bits(), 16);
+        assert_eq!(DType::I32.suffix(), "dw");
+        assert_eq!(DType::F32.suffix(), "f");
+        assert_eq!(DType::U64.bytes(), 8);
+        assert_eq!(DType::ALL.len(), 10);
+    }
+
+    #[test]
+    fn signed_wrapping_semantics() {
+        let t = DType::I8;
+        assert_eq!(t.binop(BinOp::Add, 127, 1), 0x80); // i8 overflow wraps
+        assert_eq!(t.to_i64(0x80), -128);
+        assert_eq!(t.binop(BinOp::Sub, 0, 1), 0xFF);
+        assert_eq!(t.to_i64(t.binop(BinOp::Mul, 0xFF, 0xFF)), 1); // (-1)*(-1)
+    }
+
+    #[test]
+    fn unsigned_min_max() {
+        let t = DType::U8;
+        assert_eq!(t.binop(BinOp::Min, 0xFF, 1), 1);
+        assert_eq!(t.binop(BinOp::Max, 0xFF, 1), 0xFF);
+        let s = DType::I8;
+        assert_eq!(s.binop(BinOp::Min, 0xFF, 1), 0xFF); // -1 < 1
+    }
+
+    #[test]
+    fn signed_compare() {
+        let t = DType::I16;
+        let a = t.from_i64(-5);
+        let b = t.from_i64(3);
+        assert!(t.cmp(CmpOp::Lt, a, b));
+        assert!(!t.cmp(CmpOp::Gt, a, b));
+        assert!(t.cmp(CmpOp::Neq, a, b));
+        let u = DType::U16;
+        assert!(u.cmp(CmpOp::Gt, a, b)); // 0xFFFB > 3 unsigned
+    }
+
+    #[test]
+    fn shifts_and_rotates() {
+        let t = DType::U8;
+        assert_eq!(t.shl(0b1011_0001, 3), 0b1000_1000);
+        assert_eq!(t.shr(0b1011_0001, 3), 0b0001_0110);
+        assert_eq!(t.rotl(0b1011_0001, 4), 0b0001_1011);
+        let s = DType::I8;
+        assert_eq!(s.to_i64(s.shr(s.from_i64(-64), 2)), -16); // arithmetic
+        assert_eq!(t.shl(0xFF, 8), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DType::I8.convert_to(DType::I32, 0xFF), 0xFFFF_FFFF); // -1
+        assert_eq!(DType::U8.convert_to(DType::I32, 0xFF), 0xFF); // 255
+        assert_eq!(DType::I32.convert_to(DType::I8, 0x1_234), 0x34);
+        let f = DType::I32.convert_to(DType::F32, 7);
+        assert_eq!(f32::from_bits(f as u32), 7.0);
+        assert_eq!(DType::F32.convert_to(DType::I32, (3.9f32).to_bits() as u64), 3);
+    }
+
+    #[test]
+    fn f16_special_values() {
+        assert_eq!(f16_to_f32(0x0000), 0.0);
+        assert_eq!(f16_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_to_f32(0xC000), -2.0);
+        assert!(f16_to_f32(0x7C00).is_infinite());
+        assert!(f16_to_f32(0x7E00).is_nan());
+        assert_eq!(f32_to_f16(1.0), 0x3C00);
+        assert_eq!(f32_to_f16(-2.0), 0xC000);
+        assert_eq!(f32_to_f16(65504.0), 0x7BFF); // max finite half
+        assert_eq!(f32_to_f16(1e6), 0x7C00); // overflow → inf
+        assert_eq!(f32_to_f16(6e-8), 0x0001); // smallest subnormal
+    }
+
+    #[test]
+    fn f16_arithmetic_through_dtype() {
+        let t = DType::F16;
+        let a = t.from_f32(1.5);
+        let b = t.from_f32(2.25);
+        assert_eq!(t.to_f64(t.binop(BinOp::Add, a, b)), 3.75);
+        assert_eq!(t.to_f64(t.binop(BinOp::Mul, a, b)), 3.375);
+        assert!(t.cmp(CmpOp::Lt, a, b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f16_roundtrip_exact_for_representable(v in -1000i32..1000) {
+            // Small integers are exactly representable in binary16.
+            let h = f32_to_f16(v as f32);
+            prop_assert_eq!(f16_to_f32(h), v as f32);
+        }
+
+        #[test]
+        fn prop_f16_roundtrip_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let flo = f16_to_f32(f32_to_f16(lo));
+            let fhi = f16_to_f32(f32_to_f16(hi));
+            prop_assert!(flo <= fhi, "rounding must preserve order: {} {}", flo, fhi);
+        }
+
+        #[test]
+        fn prop_int_ops_match_reference(a: u32, b: u32) {
+            let t = DType::I32;
+            let (av, bv) = (u64::from(a), u64::from(b));
+            prop_assert_eq!(t.binop(BinOp::Add, av, bv), u64::from(a.wrapping_add(b)));
+            prop_assert_eq!(t.binop(BinOp::Sub, av, bv), u64::from(a.wrapping_sub(b)));
+            prop_assert_eq!(t.binop(BinOp::Mul, av, bv), u64::from(a.wrapping_mul(b)));
+            prop_assert_eq!(
+                t.cmp(CmpOp::Gt, av, bv),
+                (a as i32) > (b as i32)
+            );
+        }
+
+        #[test]
+        fn prop_truncate_idempotent(v: u64) {
+            for t in DType::ALL {
+                prop_assert_eq!(t.truncate(t.truncate(v)), t.truncate(v));
+            }
+        }
+    }
+}

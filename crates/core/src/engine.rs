@@ -1,0 +1,941 @@
+//! The functional MVE vector engine.
+//!
+//! Holds the physical register file (Section III-B: a *variable* number of
+//! registers bounded by the 256 word-lines divided by the kernel width), the
+//! Tag-latch predicate state, the controller CRs, the functional memory and
+//! the dynamic trace. Every operation computes functionally (word-level fast
+//! path, validated against the bit-serial array model of `mve-insram`) and
+//! appends a trace event for the timing simulator.
+//!
+//! The typed `__mdv`-style intrinsics (`vadd_dw`, `vsld_f`, …) live in
+//! [`crate::intrinsics`]; this module provides the untyped core operations
+//! they wrap.
+
+use crate::addrgen::{self, StrideBank};
+use crate::config::ControlRegs;
+use crate::dtype::{BinOp, CmpOp, DType};
+use crate::isa::{Opcode, StrideMode};
+use crate::layout::LogicalShape;
+use crate::mem::{MemScalar, Memory};
+use crate::trace::{alu_op_for, Event, Trace};
+use mve_insram::scheme::EngineGeometry;
+
+/// A handle to a live in-cache physical register.
+///
+/// Handles are `Copy` for ergonomics (mirroring C intrinsic variables);
+/// release registers with [`Engine::free`] when the kernel is done with a
+/// temporary — the physical register file is small (Section III-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg {
+    idx: usize,
+    dtype: DType,
+}
+
+impl Reg {
+    /// Element type of the register.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    dtype: DType,
+    lanes: Vec<u64>,
+    live: bool,
+}
+
+/// The functional engine.
+#[derive(Debug)]
+pub struct Engine {
+    geom: EngineGeometry,
+    crs: ControlRegs,
+    slots: Vec<Slot>,
+    tag: Vec<bool>,
+    pred: bool,
+    mem: Memory,
+    trace: Trace,
+}
+
+impl Engine {
+    /// An engine with the paper's mobile configuration: 32 arrays → 8192
+    /// lanes, and a 64 MiB functional memory.
+    pub fn default_mobile() -> Self {
+        Self::new(EngineGeometry::default(), Memory::default())
+    }
+
+    /// An engine over explicit geometry and memory.
+    pub fn new(geom: EngineGeometry, mem: Memory) -> Self {
+        let lanes = geom.total_bitlines();
+        Self {
+            geom,
+            crs: ControlRegs::new(),
+            slots: Vec::new(),
+            tag: vec![false; lanes],
+            pred: false,
+            mem,
+            trace: Trace::new(),
+        }
+    }
+
+    /// SIMD lane count (8192 for the default geometry).
+    pub fn lanes(&self) -> usize {
+        self.geom.total_bitlines()
+    }
+
+    /// Engine geometry.
+    pub fn geometry(&self) -> &EngineGeometry {
+        &self.geom
+    }
+
+    /// Read-only view of the control registers.
+    pub fn crs(&self) -> &ControlRegs {
+        &self.crs
+    }
+
+    /// The dynamic trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Clears the recorded trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Functional memory access (host-side, not traced).
+    // ------------------------------------------------------------------
+
+    /// Allocates raw bytes in the functional memory.
+    pub fn mem_alloc(&mut self, bytes: u64) -> u64 {
+        self.mem.alloc(bytes)
+    }
+
+    /// Allocates `count` elements of `T`.
+    pub fn mem_alloc_typed<T: MemScalar>(&mut self, count: usize) -> u64 {
+        self.mem.alloc_typed::<T>(count)
+    }
+
+    /// Fills memory at `base` from a slice.
+    pub fn mem_fill<T: MemScalar>(&mut self, base: u64, values: &[T]) {
+        self.mem.fill(base, values);
+    }
+
+    /// Reads element `idx` of a `T` array at `base`.
+    pub fn mem_read<T: MemScalar>(&self, base: u64, idx: usize) -> T {
+        self.mem.read(base, idx)
+    }
+
+    /// Reads `count` elements at `base`.
+    pub fn mem_read_vec<T: MemScalar>(&self, base: u64, count: usize) -> Vec<T> {
+        self.mem.read_vec(base, count)
+    }
+
+    /// Convenience for the doc examples: fill with `i32`s.
+    pub fn mem_fill_i32(&mut self, base: u64, values: &[i32]) {
+        self.mem.fill(base, values);
+    }
+
+    /// Convenience for the doc examples: read one `i32`.
+    pub fn mem_read_i32(&self, base: u64, idx: usize) -> i32 {
+        self.mem.read(base, idx)
+    }
+
+    /// Direct access to the functional memory (e.g. for scalar reference
+    /// implementations sharing buffers with the vector kernel).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the functional memory.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // Config instructions.
+    // ------------------------------------------------------------------
+
+    fn config_event(&mut self, opcode: Opcode) {
+        self.trace.push(Event::Config { opcode });
+    }
+
+    /// `vsetdimc`: sets the dimension count.
+    pub fn vsetdimc(&mut self, count: usize) {
+        self.crs.set_dim_count(count);
+        self.config_event(Opcode::SetDimCount);
+    }
+
+    /// `vsetdiml`: sets the length of dimension `dim`.
+    pub fn vsetdiml(&mut self, dim: usize, len: usize) {
+        self.crs.set_dim_len(dim, len);
+        self.config_event(Opcode::SetDimLength);
+    }
+
+    /// `vsetwidth`: sets the kernel register width in bits (Section III-G).
+    pub fn vsetwidth(&mut self, bits: u32) {
+        self.crs.set_kernel_width(bits);
+        self.config_event(Opcode::SetWidth);
+    }
+
+    /// `vsetmask`: enables one highest-dimension element.
+    pub fn vsetmask(&mut self, idx: usize) {
+        self.crs.set_mask(idx);
+        self.config_event(Opcode::SetMask);
+    }
+
+    /// `vunsetmask`: masks off one highest-dimension element.
+    pub fn vunsetmask(&mut self, idx: usize) {
+        self.crs.unset_mask(idx);
+        self.config_event(Opcode::UnsetMask);
+    }
+
+    /// Re-enables all highest-dimension elements (a `vsetmask` broadcast).
+    pub fn vresetmask(&mut self) {
+        self.crs.reset_mask();
+        self.config_event(Opcode::SetMask);
+    }
+
+    /// `vsetldstr`: sets the load-stride CR of `dim` (in elements).
+    pub fn vsetldstr(&mut self, dim: usize, stride: i64) {
+        self.crs.set_load_stride(dim, stride);
+        self.config_event(Opcode::SetLoadStride);
+    }
+
+    /// `vsetststr`: sets the store-stride CR of `dim` (in elements).
+    pub fn vsetststr(&mut self, dim: usize, stride: i64) {
+        self.crs.set_store_stride(dim, stride);
+        self.config_event(Opcode::SetStoreStride);
+    }
+
+    // ------------------------------------------------------------------
+    // Register management.
+    // ------------------------------------------------------------------
+
+    /// Physical registers available at the current kernel width
+    /// (Section III-G: word-lines ÷ width).
+    pub fn reg_capacity(&self) -> usize {
+        self.geom.wordlines / self.crs.kernel_width() as usize
+    }
+
+    /// Currently live registers.
+    pub fn live_regs(&self) -> usize {
+        self.slots.iter().filter(|s| s.live).count()
+    }
+
+    /// Allocates a register of `dtype`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dtype` is wider than the configured kernel width, or if
+    /// the physical register file is exhausted — free temporaries with
+    /// [`Engine::free`], as the paper's register allocator would.
+    pub fn alloc(&mut self, dtype: DType) -> Reg {
+        assert!(
+            dtype.bits() <= self.crs.kernel_width(),
+            "{dtype} is wider than the kernel width {}; call vsetwidth first",
+            self.crs.kernel_width()
+        );
+        let capacity = self.reg_capacity();
+        assert!(
+            self.live_regs() < capacity,
+            "physical register file exhausted ({capacity} registers of {} bits live); \
+             free temporaries (Section III-G register pressure)",
+            self.crs.kernel_width()
+        );
+        let lanes = self.lanes();
+        if let Some(idx) = self.slots.iter().position(|s| !s.live) {
+            self.slots[idx] = Slot {
+                dtype,
+                lanes: vec![0; lanes],
+                live: true,
+            };
+            Reg { idx, dtype }
+        } else {
+            self.slots.push(Slot {
+                dtype,
+                lanes: vec![0; lanes],
+                live: true,
+            });
+            Reg {
+                idx: self.slots.len() - 1,
+                dtype,
+            }
+        }
+    }
+
+    /// Releases a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&mut self, reg: Reg) {
+        let slot = &mut self.slots[reg.idx];
+        assert!(slot.live, "double free of register {reg:?}");
+        slot.live = false;
+        slot.lanes = Vec::new();
+    }
+
+    fn slot(&self, reg: Reg) -> &Slot {
+        let slot = &self.slots[reg.idx];
+        assert!(slot.live, "use of freed register {reg:?}");
+        debug_assert_eq!(slot.dtype, reg.dtype);
+        slot
+    }
+
+    /// Raw lane values of a register (tests/inspection).
+    pub fn reg_lanes(&self, reg: Reg) -> &[u64] {
+        &self.slot(reg).lanes
+    }
+
+    /// Directly writes a raw lane value — simulator-internal API used by
+    /// baseline ISA layers (e.g. the RVV emulation in `mve-baselines`) that
+    /// perform their own functional execution and trace emission.
+    pub fn set_lane_raw(&mut self, reg: Reg, lane: usize, raw: u64) {
+        let dtype = reg.dtype;
+        let slot = &mut self.slots[reg.idx];
+        assert!(slot.live, "use of freed register {reg:?}");
+        slot.lanes[lane] = dtype.truncate(raw);
+    }
+
+    /// Appends a raw trace event — simulator-internal API for baseline ISA
+    /// layers that model instruction sequences the MVE intrinsics would
+    /// never emit (e.g. RVV partial loads and register packing).
+    pub fn push_raw_event(&mut self, event: Event) {
+        self.trace.push(event);
+    }
+
+    /// One canonical lane value.
+    pub fn lane_value(&self, reg: Reg, lane: usize) -> u64 {
+        self.slot(reg).lanes[lane]
+    }
+
+    // ------------------------------------------------------------------
+    // Predication.
+    // ------------------------------------------------------------------
+
+    /// Turns Tag-latch predication on or off for subsequent compute/store
+    /// operations (Section III-E, conventional predicated execution).
+    pub fn set_predication(&mut self, on: bool) {
+        self.pred = on;
+    }
+
+    /// Current per-lane Tag values (tests/inspection).
+    pub fn tag_lanes(&self) -> &[bool] {
+        &self.tag
+    }
+
+    // ------------------------------------------------------------------
+    // Shared lane bookkeeping.
+    // ------------------------------------------------------------------
+
+    fn shape(&self) -> LogicalShape {
+        self.crs.shape()
+    }
+
+    fn lane_enabled(&self, shape: &LogicalShape, lane: usize, respect_pred: bool) -> bool {
+        shape.lane_active(lane, &self.crs) && (!respect_pred || !self.pred || self.tag[lane])
+    }
+
+    fn active_info(&self, shape: &LogicalShape, respect_pred: bool) -> (u32, u64) {
+        let per_cb = self.geom.bitlines_per_cb();
+        let mut count = 0u32;
+        let mut cb_mask = 0u64;
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(shape, lane, respect_pred) {
+                count += 1;
+                cb_mask |= 1 << (lane / per_cb);
+            }
+        }
+        (count, cb_mask)
+    }
+
+    fn assert_shape_fits(&self, shape: &LogicalShape) {
+        assert!(
+            shape.total() <= self.lanes(),
+            "logical shape of {} elements exceeds the {}-lane engine; tile the kernel",
+            shape.total(),
+            self.lanes()
+        );
+    }
+
+    /// Records a block of `instrs` scalar instructions (loop control,
+    /// address computation) between vector instructions.
+    pub fn scalar(&mut self, instrs: u64) {
+        if instrs > 0 {
+            self.trace.push(Event::Scalar { instrs });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Vector memory access.
+    // ------------------------------------------------------------------
+
+    /// Multi-dimensional strided load (Algorithm 1). `base` is a byte
+    /// address; `modes` gives one stride mode per configured dimension.
+    pub fn load(&mut self, dtype: DType, base: u64, modes: &[StrideMode]) -> Reg {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
+        let addrs =
+            addrgen::strided_addresses(base, dtype.bytes(), &strides, &shape, &self.crs, self.lanes());
+        self.do_load(dtype, Opcode::StridedLoad, &addrs, Vec::new())
+    }
+
+    /// Random-base load (Equation 1): `ptr_base` addresses an array of
+    /// 64-bit row pointers, one per highest-dimension element; `modes`
+    /// configures the inner-dimension strides.
+    pub fn rload(&mut self, dtype: DType, ptr_base: u64, modes: &[StrideMode]) -> Reg {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let nbases = shape.dim(shape.highest_dim());
+        let bases: Vec<u64> = (0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)).collect();
+        let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
+        let addrs =
+            addrgen::random_addresses(&bases, dtype.bytes(), &strides, &shape, &self.crs, self.lanes());
+        let ptr_lines = Self::ptr_array_lines(ptr_base, nbases);
+        self.do_load(dtype, Opcode::RandomLoad, &addrs, ptr_lines)
+    }
+
+    fn ptr_array_lines(ptr_base: u64, count: usize) -> Vec<u64> {
+        let first = ptr_base / mve_memsim::LINE_BYTES;
+        let last = (ptr_base + count as u64 * 8 - 1) / mve_memsim::LINE_BYTES;
+        (first..=last).collect()
+    }
+
+    fn do_load(
+        &mut self,
+        dtype: DType,
+        opcode: Opcode,
+        addrs: &[Option<u64>],
+        extra_lines: Vec<u64>,
+    ) -> Reg {
+        let dst = self.alloc(dtype);
+        let mut active = 0u32;
+        let mut cb_mask = 0u64;
+        let per_cb = self.geom.bitlines_per_cb();
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                let v = self.mem.read_raw(*a, dtype.bytes());
+                self.slots[dst.idx].lanes[lane] = dtype.truncate(v);
+                active += 1;
+                cb_mask |= 1 << (lane / per_cb);
+            }
+        }
+        let mut lines = addrgen::touched_lines(addrs, dtype.bytes());
+        lines.extend(extra_lines);
+        lines.sort_unstable();
+        lines.dedup();
+        self.trace.push(Event::Memory {
+            opcode,
+            dtype,
+            active_lanes: active,
+            cb_mask,
+            lines,
+            write: false,
+        });
+        dst
+    }
+
+    /// Multi-dimensional strided store.
+    pub fn store(&mut self, src: Reg, base: u64, modes: &[StrideMode]) {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
+        let addrs = addrgen::strided_addresses(
+            base,
+            src.dtype.bytes(),
+            &strides,
+            &shape,
+            &self.crs,
+            self.lanes(),
+        );
+        self.do_store(src, Opcode::StridedStore, &addrs);
+    }
+
+    /// Random-base store.
+    pub fn rstore(&mut self, src: Reg, ptr_base: u64, modes: &[StrideMode]) {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let nbases = shape.dim(shape.highest_dim());
+        let bases: Vec<u64> = (0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)).collect();
+        let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
+        let addrs = addrgen::random_addresses(
+            &bases,
+            src.dtype.bytes(),
+            &strides,
+            &shape,
+            &self.crs,
+            self.lanes(),
+        );
+        self.do_store(src, Opcode::RandomStore, &addrs);
+    }
+
+    fn do_store(&mut self, src: Reg, opcode: Opcode, addrs: &[Option<u64>]) {
+        let dtype = src.dtype;
+        let values = self.slot(src).lanes.clone();
+        let mut active = 0u32;
+        let mut cb_mask = 0u64;
+        let per_cb = self.geom.bitlines_per_cb();
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                if self.pred && !self.tag[lane] {
+                    continue;
+                }
+                self.mem.write_raw(*a, dtype.bytes(), values[lane]);
+                active += 1;
+                cb_mask |= 1 << (lane / per_cb);
+            }
+        }
+        let lines = addrgen::touched_lines(addrs, dtype.bytes());
+        self.trace.push(Event::Memory {
+            opcode,
+            dtype,
+            active_lanes: active,
+            cb_mask,
+            lines,
+            write: true,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Compute.
+    // ------------------------------------------------------------------
+
+    fn compute_event(&mut self, opcode: Opcode, dtype: DType, respect_pred: bool) {
+        let shape = self.shape();
+        let (active, cb_mask) = self.active_info(&shape, respect_pred);
+        self.trace.push(Event::Compute {
+            opcode,
+            alu: alu_op_for(opcode, dtype),
+            dtype,
+            active_lanes: active,
+            cb_mask,
+        });
+    }
+
+    /// Element-wise binary operation into a fresh register.
+    pub fn binop(&mut self, opcode: Opcode, op: BinOp, a: Reg, b: Reg) -> Reg {
+        assert_eq!(a.dtype, b.dtype, "operand type mismatch: {} vs {}", a.dtype, b.dtype);
+        let dtype = a.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let av = self.slot(a).lanes.clone();
+        let bv = self.slot(b).lanes.clone();
+        let dst = self.alloc(dtype);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                self.slots[dst.idx].lanes[lane] = dtype.binop(op, av[lane], bv[lane]);
+            }
+        }
+        self.compute_event(opcode, dtype, true);
+        dst
+    }
+
+    /// Comparison writing the per-lane Tag latch (Section III-E).
+    pub fn compare(&mut self, op: CmpOp, a: Reg, b: Reg) {
+        assert_eq!(a.dtype, b.dtype, "operand type mismatch: {} vs {}", a.dtype, b.dtype);
+        let dtype = a.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let av = self.slot(a).lanes.clone();
+        let bv = self.slot(b).lanes.clone();
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if shape.lane_active(lane, &self.crs) {
+                self.tag[lane] = dtype.cmp(op, av[lane], bv[lane]);
+            }
+        }
+        self.compute_event(Opcode::Compare, dtype, false);
+    }
+
+    /// Shift/rotate by an immediate. `left` selects the direction;
+    /// `rotate` selects rotation over shifting.
+    pub fn shift_imm(&mut self, a: Reg, amount: u32, left: bool, rotate: bool) -> Reg {
+        let dtype = a.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let av = self.slot(a).lanes.clone();
+        let dst = self.alloc(dtype);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                let v = av[lane];
+                self.slots[dst.idx].lanes[lane] = match (rotate, left) {
+                    (false, true) => dtype.shl(v, amount),
+                    (false, false) => dtype.shr(v, amount),
+                    (true, true) => dtype.rotl(v, amount),
+                    (true, false) => dtype.rotl(v, dtype.bits() - (amount % dtype.bits())),
+                };
+            }
+        }
+        let opcode = if rotate { Opcode::RotateImm } else { Opcode::ShiftImm };
+        self.compute_event(opcode, dtype, true);
+        dst
+    }
+
+    /// Shift by per-lane amounts held in `amounts`.
+    pub fn shift_reg(&mut self, a: Reg, amounts: Reg, left: bool) -> Reg {
+        let dtype = a.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let av = self.slot(a).lanes.clone();
+        let sv = self.slot(amounts).lanes.clone();
+        let dst = self.alloc(dtype);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                let sh = (sv[lane] & 0xFF) as u32;
+                self.slots[dst.idx].lanes[lane] = if left {
+                    dtype.shl(av[lane], sh)
+                } else {
+                    dtype.shr(av[lane], sh)
+                };
+            }
+        }
+        self.compute_event(Opcode::ShiftReg, dtype, true);
+        dst
+    }
+
+    /// Broadcast a canonical lane value to all active lanes.
+    pub fn setdup(&mut self, dtype: DType, raw: u64) -> Reg {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let dst = self.alloc(dtype);
+        let v = dtype.truncate(raw);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                self.slots[dst.idx].lanes[lane] = v;
+            }
+        }
+        self.compute_event(Opcode::SetDup, dtype, true);
+        dst
+    }
+
+    /// Register copy into a fresh register.
+    pub fn copy(&mut self, src: Reg) -> Reg {
+        let dtype = src.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let sv = self.slot(src).lanes.clone();
+        let dst = self.alloc(dtype);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                self.slots[dst.idx].lanes[lane] = sv[lane];
+            }
+        }
+        self.compute_event(Opcode::Copy, dtype, true);
+        dst
+    }
+
+    /// Predicate-aware merge copy: writes `src` lanes into `dst` where the
+    /// lane is enabled (honouring the Tag latch when predication is on).
+    /// This is how select/blend patterns are built (Section III-E).
+    pub fn copy_into(&mut self, dst: Reg, src: Reg) {
+        assert_eq!(dst.dtype, src.dtype, "operand type mismatch");
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let sv = self.slot(src).lanes.clone();
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                self.slots[dst.idx].lanes[lane] = sv[lane];
+            }
+        }
+        self.compute_event(Opcode::Copy, dst.dtype, true);
+    }
+
+    /// Type conversion (`vcvt`) into a fresh register of `to`.
+    pub fn convert(&mut self, src: Reg, to: DType) -> Reg {
+        let from = src.dtype;
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        let sv = self.slot(src).lanes.clone();
+        let dst = self.alloc(to);
+        let total = shape.total().min(self.lanes());
+        for lane in 0..total {
+            if self.lane_enabled(&shape, lane, true) {
+                self.slots[dst.idx].lanes[lane] = from.convert_to(to, sv[lane]);
+            }
+        }
+        self.compute_event(Opcode::Convert, to, true);
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_1d(len: usize) -> Engine {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, len);
+        e
+    }
+
+    #[test]
+    fn load_compute_store_roundtrip() {
+        let mut e = engine_1d(128);
+        let a = e.mem_alloc_typed::<i32>(128);
+        let vals: Vec<i32> = (0..128).map(|i| i - 64).collect();
+        e.mem_fill(a, &vals);
+        let v = e.load(DType::I32, a, &[StrideMode::One]);
+        let d = e.setdup(DType::I32, 3);
+        let s = e.binop(Opcode::Mul, BinOp::Mul, v, d);
+        let out = e.mem_alloc_typed::<i32>(128);
+        e.store(s, out, &[StrideMode::One]);
+        let got = e.mem_read_vec::<i32>(out, 128);
+        let want: Vec<i32> = vals.iter().map(|x| x * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dimension_mask_gates_lanes() {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 4);
+        e.vsetdiml(1, 2);
+        let a = e.mem_alloc_typed::<i32>(8);
+        e.mem_fill(a, &[1i32; 8]);
+        let v = e.load(DType::I32, a, &[StrideMode::One, StrideMode::Seq]);
+        e.vunsetmask(1); // mask the second dim-1 element → lanes 4..8
+        let two = e.setdup(DType::I32, 2);
+        let r = e.binop(Opcode::Add, BinOp::Add, v, two);
+        // Lanes 0..4 computed 1+2; lanes 4..8 untouched (0 in the fresh dst).
+        assert_eq!(e.lane_value(r, 0), 3);
+        assert_eq!(e.lane_value(r, 5), 0);
+        e.vresetmask();
+    }
+
+    #[test]
+    fn predication_gates_stores_and_copies() {
+        let mut e = engine_1d(8);
+        let a = e.mem_alloc_typed::<i32>(8);
+        e.mem_fill(a, &[5i32, 1, 7, 2, 9, 0, 3, 8]);
+        let v = e.load(DType::I32, a, &[StrideMode::One]);
+        let thr = e.setdup(DType::I32, 4);
+        e.compare(CmpOp::Gt, v, thr); // tag = v > 4
+        e.set_predication(true);
+        let out = e.mem_alloc_typed::<i32>(8);
+        e.mem_fill(out, &[-1i32; 8]);
+        e.store(v, out, &[StrideMode::One]);
+        e.set_predication(false);
+        assert_eq!(
+            e.mem_read_vec::<i32>(out, 8),
+            vec![5, -1, 7, -1, 9, -1, -1, 8]
+        );
+    }
+
+    #[test]
+    fn register_capacity_enforced() {
+        let mut e = engine_1d(8);
+        e.vsetwidth(64);
+        let cap = e.reg_capacity();
+        assert_eq!(cap, 4); // 256 word-lines / 64-bit
+        let regs: Vec<Reg> = (0..cap).map(|_| e.alloc(DType::I64)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.alloc(DType::I64);
+        }));
+        assert!(result.is_err(), "allocation beyond capacity must panic");
+        for r in regs {
+            e.free(r);
+        }
+        assert_eq!(e.live_regs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut e = engine_1d(8);
+        let r = e.alloc(DType::I32);
+        e.free(r);
+        e.free(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the kernel width")]
+    fn width_check_on_alloc() {
+        let mut e = engine_1d(8);
+        e.vsetwidth(16);
+        e.alloc(DType::I32);
+    }
+
+    #[test]
+    fn trace_records_classes() {
+        let mut e = engine_1d(16);
+        let a = e.mem_alloc_typed::<i32>(16);
+        let v = e.load(DType::I32, a, &[StrideMode::One]);
+        let w = e.copy(v);
+        let x = e.binop(Opcode::Add, BinOp::Add, v, w);
+        e.scalar(12);
+        e.store(x, a, &[StrideMode::One]);
+        let mix = e.trace().instr_mix();
+        assert_eq!(mix.config, 2); // vsetdimc + vsetdiml
+        assert_eq!(mix.mem_access, 2);
+        assert_eq!(mix.moves, 1);
+        assert_eq!(mix.arithmetic, 1);
+        assert_eq!(mix.scalar, 12);
+    }
+
+    #[test]
+    fn cb_mask_reflects_active_lanes() {
+        // 1024 lanes per CB: a 100-lane shape touches only CB 0.
+        let mut e = engine_1d(100);
+        let z = e.setdup(DType::I32, 1);
+        let _ = z;
+        match e.trace().events().last().expect("event") {
+            Event::Compute { cb_mask, active_lanes, .. } => {
+                assert_eq!(*cb_mask, 0b1);
+                assert_eq!(*active_lanes, 100);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // A 3000-lane shape spans 3 CBs.
+        let mut e = engine_1d(250);
+        e.vsetdimc(2);
+        e.vsetdiml(0, 250);
+        e.vsetdiml(1, 12);
+        let z = e.setdup(DType::I32, 1);
+        let _ = z;
+        match e.trace().events().last().expect("event") {
+            Event::Compute { cb_mask, .. } => assert_eq!(*cb_mask, 0b111),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convert_changes_width_and_value() {
+        let mut e = engine_1d(4);
+        let a = e.mem_alloc_typed::<i8>(4);
+        e.mem_fill(a, &[-1i8, 2, -3, 4]);
+        let v = e.load(DType::I8, a, &[StrideMode::One]);
+        let w = e.convert(v, DType::I32);
+        assert_eq!(DType::I32.to_i64(e.lane_value(w, 0)), -1);
+        assert_eq!(DType::I32.to_i64(e.lane_value(w, 2)), -3);
+        let f = e.convert(w, DType::F32);
+        assert_eq!(DType::F32.to_f64(e.lane_value(f, 3)), 4.0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::dtype::CmpOp;
+
+    fn engine_1d(len: usize) -> Engine {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, len);
+        e
+    }
+
+    #[test]
+    fn random_load_and_store_roundtrip() {
+        let mut e = Engine::default_mobile();
+        // Three "rows" at scattered addresses.
+        let rows: Vec<u64> = (0..3).map(|_| e.mem_alloc_typed::<i16>(40)).collect();
+        for (r, &addr) in rows.iter().enumerate() {
+            let vals: Vec<i16> = (0..8).map(|c| (r * 100 + c) as i16).collect();
+            e.mem_fill(addr, &vals);
+        }
+        let ptr_in = e.mem_alloc_typed::<u64>(3);
+        e.mem_fill(ptr_in, &rows);
+        e.vsetdimc(2);
+        e.vsetdiml(0, 8);
+        e.vsetdiml(1, 3);
+        let v = e.vrld_w(ptr_in, &[StrideMode::One]);
+        assert_eq!(DType::I16.to_i64(e.lane_value(v, 0)), 0);
+        assert_eq!(DType::I16.to_i64(e.lane_value(v, 8)), 100);
+        assert_eq!(DType::I16.to_i64(e.lane_value(v, 17)), 201);
+
+        // Random store back to fresh rows, reversed pointers.
+        let outs: Vec<u64> = (0..3).map(|_| e.mem_alloc_typed::<i16>(8)).collect();
+        let ptr_out = e.mem_alloc_typed::<u64>(3);
+        e.mem_fill(ptr_out, &[outs[2], outs[1], outs[0]]);
+        e.vrst_w(v, ptr_out, &[StrideMode::One]);
+        assert_eq!(e.mem_read::<i16>(outs[2], 3), 3); // row 0 landed in out 2
+        assert_eq!(e.mem_read::<i16>(outs[0], 3), 203);
+    }
+
+    #[test]
+    fn predicated_convert_and_setdup_respect_tag() {
+        let mut e = engine_1d(4);
+        let a = e.mem_alloc_typed::<i32>(4);
+        e.mem_fill(a, &[1i32, 5, 1, 5]);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        let three = e.vsetdup_dw(3);
+        e.compare(CmpOp::Gt, v, three); // tag = [0,1,0,1]
+        e.set_predication(true);
+        let dup = e.vsetdup_dw(9);
+        e.set_predication(false);
+        assert_eq!(e.lane_value(dup, 0), 0, "masked lane untouched");
+        assert_eq!(e.lane_value(dup, 1), 9);
+        assert_eq!(e.lane_value(dup, 3), 9);
+    }
+
+    #[test]
+    fn reg_capacity_scales_with_width() {
+        let mut e = engine_1d(8);
+        e.vsetwidth(8);
+        assert_eq!(e.reg_capacity(), 32);
+        e.vsetwidth(16);
+        assert_eq!(e.reg_capacity(), 16);
+        e.vsetwidth(32);
+        assert_eq!(e.reg_capacity(), 8);
+        e.vsetwidth(64);
+        assert_eq!(e.reg_capacity(), 4);
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut e = engine_1d(8);
+        let a = e.alloc(DType::I32);
+        e.free(a);
+        let b = e.alloc(DType::I32);
+        // Slot reuse keeps the register file compact.
+        assert_eq!(e.live_regs(), 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn group_masking_on_long_highest_dim() {
+        // 8192-long 1-D shape: each of the 256 mask bits covers 32 lanes.
+        let mut e = engine_1d(8192);
+        e.vunsetmask(0);
+        let v = e.vsetdup_dw(5);
+        assert_eq!(e.lane_value(v, 0), 0);
+        assert_eq!(e.lane_value(v, 31), 0);
+        assert_eq!(e.lane_value(v, 32), 5);
+        e.vresetmask();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 8192-lane engine")]
+    fn oversized_shape_rejected() {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 8192);
+        e.vsetdiml(1, 2);
+        let _ = e.vsetdup_dw(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of freed register")]
+    fn use_after_free_is_caught() {
+        let mut e = engine_1d(4);
+        let a = e.alloc(DType::I32);
+        e.free(a);
+        let _ = e.reg_lanes(a);
+    }
+}

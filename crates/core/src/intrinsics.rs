@@ -1,0 +1,315 @@
+//! The `__mdv`-style typed intrinsics (Section III-F).
+//!
+//! One family of methods per data-type suffix, mirroring the paper's C
+//! intrinsic library: `vsld_dw` loads 32-bit signed elements, `vadd_f` adds
+//! 32-bit floats, `vrld_b` random-loads bytes, and so on. Ten suffixes are
+//! provided (`b`/`ub`, `w`/`uw`, `dw`/`udw`, `qw`/`uqw` signed/unsigned and
+//! `hf`/`f` floats), each with the full Table II operation set.
+//!
+//! ```
+//! use mve_core::engine::Engine;
+//! use mve_core::isa::StrideMode;
+//!
+//! let mut e = Engine::default_mobile();
+//! e.vsetdimc(1);
+//! e.vsetdiml(0, 64);
+//! let buf = e.mem_alloc_typed::<f32>(64);
+//! e.mem_fill(buf, &vec![1.5f32; 64]);
+//! let v = e.vsld_f(buf, &[StrideMode::One]);
+//! let s = e.vsetdup_f(2.0);
+//! let r = e.vmul_f(v, s);
+//! assert_eq!(f32::from_bits(e.lane_value(r, 0) as u32), 3.0);
+//! ```
+
+use crate::dtype::{BinOp, CmpOp, DType};
+use crate::engine::{Engine, Reg};
+use crate::isa::{Opcode, StrideMode};
+
+macro_rules! mve_intrinsics {
+    (
+        $doc_ty:literal, $dtype:expr, $valty:ty, $to_raw:expr;
+        $vsld:ident, $vrld:ident, $vsst:ident, $vrst:ident, $vsetdup:ident,
+        $vadd:ident, $vsub:ident, $vmul:ident, $vmin:ident, $vmax:ident,
+        $vxor:ident, $vand:ident, $vor:ident,
+        $vshil:ident, $vshir:ident, $vrotil:ident, $vrotir:ident,
+        $vshrl:ident, $vshrr:ident,
+        $vgt:ident, $vgte:ident, $vlt:ident, $vlte:ident, $veq:ident, $vneq:ident,
+        $vcpy:ident
+    ) => {
+        impl Engine {
+            #[doc = concat!("Strided ", $doc_ty, " load (Algorithm 1).")]
+            pub fn $vsld(&mut self, base: u64, modes: &[StrideMode]) -> Reg {
+                self.load($dtype, base, modes)
+            }
+            #[doc = concat!("Random-base ", $doc_ty, " load (Equation 1).")]
+            pub fn $vrld(&mut self, ptr_base: u64, modes: &[StrideMode]) -> Reg {
+                self.rload($dtype, ptr_base, modes)
+            }
+            #[doc = concat!("Strided ", $doc_ty, " store.")]
+            pub fn $vsst(&mut self, src: Reg, base: u64, modes: &[StrideMode]) {
+                self.store(src, base, modes)
+            }
+            #[doc = concat!("Random-base ", $doc_ty, " store.")]
+            pub fn $vrst(&mut self, src: Reg, ptr_base: u64, modes: &[StrideMode]) {
+                self.rstore(src, ptr_base, modes)
+            }
+            #[doc = concat!("Broadcast a ", $doc_ty, " scalar to all lanes.")]
+            pub fn $vsetdup(&mut self, value: $valty) -> Reg {
+                let raw = ($to_raw)(value);
+                self.setdup($dtype, raw)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " addition.")]
+            pub fn $vadd(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Add, BinOp::Add, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " subtraction.")]
+            pub fn $vsub(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Sub, BinOp::Sub, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " multiplication.")]
+            pub fn $vmul(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Mul, BinOp::Mul, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " minimum.")]
+            pub fn $vmin(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Min, BinOp::Min, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " maximum.")]
+            pub fn $vmax(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Max, BinOp::Max, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " XOR.")]
+            pub fn $vxor(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Xor, BinOp::Xor, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " AND.")]
+            pub fn $vand(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::And, BinOp::And, a, b)
+            }
+            #[doc = concat!("Element-wise ", $doc_ty, " OR.")]
+            pub fn $vor(&mut self, a: Reg, b: Reg) -> Reg {
+                self.binop(Opcode::Or, BinOp::Or, a, b)
+            }
+            #[doc = concat!("Shift ", $doc_ty, " lanes left by an immediate.")]
+            pub fn $vshil(&mut self, a: Reg, amount: u32) -> Reg {
+                self.shift_imm(a, amount, true, false)
+            }
+            #[doc = concat!("Shift ", $doc_ty, " lanes right by an immediate.")]
+            pub fn $vshir(&mut self, a: Reg, amount: u32) -> Reg {
+                self.shift_imm(a, amount, false, false)
+            }
+            #[doc = concat!("Rotate ", $doc_ty, " lanes left by an immediate.")]
+            pub fn $vrotil(&mut self, a: Reg, amount: u32) -> Reg {
+                self.shift_imm(a, amount, true, true)
+            }
+            #[doc = concat!("Rotate ", $doc_ty, " lanes right by an immediate.")]
+            pub fn $vrotir(&mut self, a: Reg, amount: u32) -> Reg {
+                self.shift_imm(a, amount, false, true)
+            }
+            #[doc = concat!("Shift ", $doc_ty, " lanes left by per-lane amounts.")]
+            pub fn $vshrl(&mut self, a: Reg, amounts: Reg) -> Reg {
+                self.shift_reg(a, amounts, true)
+            }
+            #[doc = concat!("Shift ", $doc_ty, " lanes right by per-lane amounts.")]
+            pub fn $vshrr(&mut self, a: Reg, amounts: Reg) -> Reg {
+                self.shift_reg(a, amounts, false)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " greater-than compare.")]
+            pub fn $vgt(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Gt, a, b)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " greater-or-equal compare.")]
+            pub fn $vgte(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Gte, a, b)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " less-than compare.")]
+            pub fn $vlt(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Lt, a, b)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " less-or-equal compare.")]
+            pub fn $vlte(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Lte, a, b)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " equality compare.")]
+            pub fn $veq(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Eq, a, b)
+            }
+            #[doc = concat!("Tag ← ", $doc_ty, " inequality compare.")]
+            pub fn $vneq(&mut self, a: Reg, b: Reg) {
+                self.compare(CmpOp::Neq, a, b)
+            }
+            #[doc = concat!("Copy a ", $doc_ty, " register.")]
+            pub fn $vcpy(&mut self, src: Reg) -> Reg {
+                self.copy(src)
+            }
+        }
+    };
+}
+
+mve_intrinsics!(
+    "signed 8-bit", DType::I8, i8, |v: i8| DType::I8.from_i64(v as i64);
+    vsld_b, vrld_b, vsst_b, vrst_b, vsetdup_b,
+    vadd_b, vsub_b, vmul_b, vmin_b, vmax_b, vxor_b, vand_b, vor_b,
+    vshil_b, vshir_b, vrotil_b, vrotir_b, vshrl_b, vshrr_b,
+    vgt_b, vgte_b, vlt_b, vlte_b, veq_b, vneq_b, vcpy_b
+);
+
+mve_intrinsics!(
+    "unsigned 8-bit", DType::U8, u8, |v: u8| u64::from(v);
+    vsld_ub, vrld_ub, vsst_ub, vrst_ub, vsetdup_ub,
+    vadd_ub, vsub_ub, vmul_ub, vmin_ub, vmax_ub, vxor_ub, vand_ub, vor_ub,
+    vshil_ub, vshir_ub, vrotil_ub, vrotir_ub, vshrl_ub, vshrr_ub,
+    vgt_ub, vgte_ub, vlt_ub, vlte_ub, veq_ub, vneq_ub, vcpy_ub
+);
+
+mve_intrinsics!(
+    "signed 16-bit", DType::I16, i16, |v: i16| DType::I16.from_i64(v as i64);
+    vsld_w, vrld_w, vsst_w, vrst_w, vsetdup_w,
+    vadd_w, vsub_w, vmul_w, vmin_w, vmax_w, vxor_w, vand_w, vor_w,
+    vshil_w, vshir_w, vrotil_w, vrotir_w, vshrl_w, vshrr_w,
+    vgt_w, vgte_w, vlt_w, vlte_w, veq_w, vneq_w, vcpy_w
+);
+
+mve_intrinsics!(
+    "unsigned 16-bit", DType::U16, u16, |v: u16| u64::from(v);
+    vsld_uw, vrld_uw, vsst_uw, vrst_uw, vsetdup_uw,
+    vadd_uw, vsub_uw, vmul_uw, vmin_uw, vmax_uw, vxor_uw, vand_uw, vor_uw,
+    vshil_uw, vshir_uw, vrotil_uw, vrotir_uw, vshrl_uw, vshrr_uw,
+    vgt_uw, vgte_uw, vlt_uw, vlte_uw, veq_uw, vneq_uw, vcpy_uw
+);
+
+mve_intrinsics!(
+    "signed 32-bit", DType::I32, i32, |v: i32| DType::I32.from_i64(v as i64);
+    vsld_dw, vrld_dw, vsst_dw, vrst_dw, vsetdup_dw,
+    vadd_dw, vsub_dw, vmul_dw, vmin_dw, vmax_dw, vxor_dw, vand_dw, vor_dw,
+    vshil_dw, vshir_dw, vrotil_dw, vrotir_dw, vshrl_dw, vshrr_dw,
+    vgt_dw, vgte_dw, vlt_dw, vlte_dw, veq_dw, vneq_dw, vcpy_dw
+);
+
+mve_intrinsics!(
+    "unsigned 32-bit", DType::U32, u32, |v: u32| u64::from(v);
+    vsld_udw, vrld_udw, vsst_udw, vrst_udw, vsetdup_udw,
+    vadd_udw, vsub_udw, vmul_udw, vmin_udw, vmax_udw, vxor_udw, vand_udw, vor_udw,
+    vshil_udw, vshir_udw, vrotil_udw, vrotir_udw, vshrl_udw, vshrr_udw,
+    vgt_udw, vgte_udw, vlt_udw, vlte_udw, veq_udw, vneq_udw, vcpy_udw
+);
+
+mve_intrinsics!(
+    "signed 64-bit", DType::I64, i64, |v: i64| DType::I64.from_i64(v);
+    vsld_qw, vrld_qw, vsst_qw, vrst_qw, vsetdup_qw,
+    vadd_qw, vsub_qw, vmul_qw, vmin_qw, vmax_qw, vxor_qw, vand_qw, vor_qw,
+    vshil_qw, vshir_qw, vrotil_qw, vrotir_qw, vshrl_qw, vshrr_qw,
+    vgt_qw, vgte_qw, vlt_qw, vlte_qw, veq_qw, vneq_qw, vcpy_qw
+);
+
+mve_intrinsics!(
+    "unsigned 64-bit", DType::U64, u64, |v: u64| v;
+    vsld_uqw, vrld_uqw, vsst_uqw, vrst_uqw, vsetdup_uqw,
+    vadd_uqw, vsub_uqw, vmul_uqw, vmin_uqw, vmax_uqw, vxor_uqw, vand_uqw, vor_uqw,
+    vshil_uqw, vshir_uqw, vrotil_uqw, vrotir_uqw, vshrl_uqw, vshrr_uqw,
+    vgt_uqw, vgte_uqw, vlt_uqw, vlte_uqw, veq_uqw, vneq_uqw, vcpy_uqw
+);
+
+mve_intrinsics!(
+    "half-precision float", DType::F16, f32, |v: f32| DType::F16.from_f32(v);
+    vsld_hf, vrld_hf, vsst_hf, vrst_hf, vsetdup_hf,
+    vadd_hf, vsub_hf, vmul_hf, vmin_hf, vmax_hf, vxor_hf, vand_hf, vor_hf,
+    vshil_hf, vshir_hf, vrotil_hf, vrotir_hf, vshrl_hf, vshrr_hf,
+    vgt_hf, vgte_hf, vlt_hf, vlte_hf, veq_hf, vneq_hf, vcpy_hf
+);
+
+mve_intrinsics!(
+    "single-precision float", DType::F32, f32, |v: f32| DType::F32.from_f32(v);
+    vsld_f, vrld_f, vsst_f, vrst_f, vsetdup_f,
+    vadd_f, vsub_f, vmul_f, vmin_f, vmax_f, vxor_f, vand_f, vor_f,
+    vshil_f, vshir_f, vrotil_f, vrotir_f, vshrl_f, vshrr_f,
+    vgt_f, vgte_f, vlt_f, vlte_f, veq_f, vneq_f, vcpy_f
+);
+
+impl Engine {
+    /// `vcvt`: converts a register to another element type (Section III-F
+    /// Move class).
+    pub fn vcvt(&mut self, src: Reg, to: DType) -> Reg {
+        self.convert(src, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_1d(len: usize) -> Engine {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, len);
+        e
+    }
+
+    #[test]
+    fn typed_int_roundtrip_all_widths() {
+        let mut e = engine_1d(16);
+        e.vsetwidth(64);
+
+        let b = e.mem_alloc_typed::<i8>(16);
+        e.mem_fill(b, &(-8..8).map(|i| i as i8).collect::<Vec<_>>());
+        let vb = e.vsld_b(b, &[StrideMode::One]);
+        let db = e.vsetdup_b(-2);
+        let rb = e.vmul_b(vb, db);
+        assert_eq!(DType::I8.to_i64(e.lane_value(rb, 0)), 16);
+        for r in [vb, db, rb] {
+            e.free(r);
+        }
+
+        let q = e.mem_alloc_typed::<i64>(16);
+        e.mem_fill(q, &(0..16).map(|i| i as i64 * 1_000_000_007).collect::<Vec<_>>());
+        let vq = e.vsld_qw(q, &[StrideMode::One]);
+        let dq = e.vsetdup_qw(-1);
+        let rq = e.vadd_qw(vq, dq);
+        assert_eq!(DType::I64.to_i64(e.lane_value(rq, 3)), 3 * 1_000_000_007 - 1);
+    }
+
+    #[test]
+    fn half_float_suffix_packs_f16() {
+        let mut e = engine_1d(4);
+        let h = e.vsetdup_hf(1.5);
+        assert_eq!(e.lane_value(h, 0), 0x3E00); // 1.5 in binary16
+        let one = e.vsetdup_hf(0.25);
+        let sum = e.vadd_hf(h, one);
+        assert_eq!(DType::F16.to_f64(e.lane_value(sum, 2)), 1.75);
+    }
+
+    #[test]
+    fn unsigned_vs_signed_compare_differ() {
+        let mut e = engine_1d(2);
+        let a = e.vsetdup_ub(0xF0);
+        let b = e.vsetdup_ub(0x10);
+        e.vgt_ub(a, b);
+        assert!(e.tag_lanes()[0]); // 240 > 16 unsigned
+
+        let c = e.vsetdup_b(-16); // same bits 0xF0
+        let d = e.vsetdup_b(16);
+        e.vgt_b(c, d);
+        assert!(!e.tag_lanes()[0]); // -16 < 16 signed
+    }
+
+    #[test]
+    fn shift_and_rotate_suffixes() {
+        let mut e = engine_1d(1);
+        let v = e.vsetdup_ub(0b1000_0001);
+        let l = e.vshil_ub(v, 1);
+        assert_eq!(e.lane_value(l, 0), 0b0000_0010);
+        let r = e.vrotir_ub(v, 1);
+        assert_eq!(e.lane_value(r, 0), 0b1100_0000);
+        let amounts = e.vsetdup_ub(3);
+        let s = e.vshrr_ub(v, amounts);
+        assert_eq!(e.lane_value(s, 0), 0b0001_0000);
+    }
+
+    #[test]
+    fn vcvt_between_suffix_families() {
+        let mut e = engine_1d(4);
+        let v = e.vsetdup_dw(-7);
+        let f = e.vcvt(v, DType::F32);
+        assert_eq!(DType::F32.to_f64(e.lane_value(f, 1)), -7.0);
+    }
+}

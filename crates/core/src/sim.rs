@@ -1,0 +1,618 @@
+//! Trace-driven timing simulation of the MVE system (Section V, Figure 6).
+//!
+//! The model replays a [`Trace`] against:
+//!
+//! * the **core issue model** — scalar blocks retire at the core IPC; MVE
+//!   instructions issue in order at the head of the ROB, one per cycle;
+//! * the **MVE controller** — a bounded Instruction-Q (2 KB ≈ 256 entries);
+//!   per-CB program counters let control blocks run ahead independently on
+//!   compute instructions, while vector memory accesses block all CBs
+//!   (Section V-B: only one load/store executes in parallel across CBs);
+//! * the **in-SRAM compute scheme** — per-op latency from
+//!   [`mve_insram::LatencyModel`], with multi-pass execution when the scheme
+//!   offers fewer lanes than the logical shape needs (BP/BH);
+//! * the **memory hierarchy** — gathers/scatters walk the regular half of
+//!   the L2 through the MSHRs, then stream through the per-CB TMU.
+//!
+//! Every cycle of the makespan is attributed to exactly one of the paper's
+//! three buckets: **data access** (a vector memory operation in flight),
+//! **compute** (≥ 1 CB executing an arithmetic µop) or **idle** — the
+//! decomposition plotted in Figures 7(a), 10, 12 and 13.
+
+use std::collections::VecDeque;
+
+use crate::trace::{Event, Trace};
+use mve_coresim::CoreConfig;
+use mve_insram::scheme::{EngineGeometry, Scheme};
+use mve_insram::tmu::TransposeMemoryUnit;
+use mve_memsim::{Hierarchy, HierarchyConfig, MemStats};
+
+/// Configuration of one timing-simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// In-SRAM computing scheme (Figure 13 sweeps this).
+    pub scheme: Scheme,
+    /// Engine geometry (Figure 12(b) sweeps the array count).
+    pub geometry: EngineGeometry,
+    /// Memory-hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Scalar-core parameters.
+    pub core: CoreConfig,
+    /// Instruction-Q capacity in entries (Table IV: 2 KB ≈ 256 × 8 B).
+    pub queue_entries: usize,
+    /// Core→controller command-channel occupancy per MVE instruction.
+    ///
+    /// Section V-A: MVE instructions issue **in order, non-speculatively at
+    /// the head of the ROB** and travel the core→L2 interface; the channel
+    /// accepts the next command only after the previous one is accepted.
+    /// CALIBRATED to 4 cycles — this is the "instruction issue bottleneck"
+    /// of Section III-A that produces the idle time of Figure 7(a) and the
+    /// CB-utilization gap of Figure 13.
+    pub issue_gap_cycles: u64,
+    /// Crossbar words routed into the TMU per cycle.
+    pub xb_words_per_cycle: usize,
+    /// Charge the dirty-line flush for switching the L2 into compute mode
+    /// (Section V-C) at time zero.
+    pub include_mode_switch: bool,
+    /// Pre-warm the caches with the trace's working set before timing.
+    ///
+    /// The Swan methodology measures kernels in steady state (each kernel
+    /// runs for many iterations and the average is reported), so Table III
+    /// datasets that fit in the L2/LLC are cache-resident. Disable for
+    /// cold-start studies.
+    pub warm_caches: bool,
+    /// PUMICE-style out-of-order dispatch (Section VIII related work): a
+    /// vector memory access blocks only the control blocks it touches,
+    /// letting dimension-masked CBs keep computing. Off by default — the
+    /// baseline MVE controller blocks all CBs on memory (Section V-B).
+    pub ooo_dispatch: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            scheme: Scheme::BitSerial,
+            geometry: EngineGeometry::default(),
+            hierarchy: HierarchyConfig::default(),
+            core: CoreConfig::default(),
+            queue_entries: 256,
+            issue_gap_cycles: 4,
+            xb_words_per_cycle: 32,
+            include_mode_switch: true,
+            warm_caches: true,
+            ooo_dispatch: false,
+        }
+    }
+}
+
+/// Event counters from which the energy model computes joules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyCounters {
+    /// Σ over compute µops of (active SRAM arrays × latency cycles): the
+    /// number of word-line-activation array-cycles.
+    pub array_active_cycles: u64,
+    /// Elements streamed through the TMUs (loads + stores).
+    pub tmu_element_transfers: u64,
+    /// Dynamic vector instructions issued by the core.
+    pub vector_instrs: u64,
+    /// Dynamic scalar instructions retired by the core.
+    pub scalar_instrs: u64,
+}
+
+/// The outcome of a timing simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Makespan in core cycles.
+    pub total_cycles: u64,
+    /// Cycles with ≥ 1 CB computing (and no memory op in flight).
+    pub compute_cycles: u64,
+    /// Cycles with a vector memory operation in flight.
+    pub data_cycles: u64,
+    /// Cycles with the engine configured but entirely idle.
+    pub idle_cycles: u64,
+    /// Σ over CBs of cycles spent busy (compute µops + memory transfers);
+    /// divides by `CBs × total` for the utilization of Section VII-B.
+    pub cb_busy_cycles: u64,
+    /// Control blocks in the simulated geometry.
+    pub control_blocks: u64,
+    /// Dynamic vector instruction count.
+    pub vector_instrs: u64,
+    /// Dynamic scalar instruction count.
+    pub scalar_instrs: u64,
+    /// Hierarchy statistics after the run.
+    pub mem: MemStats,
+    /// Energy event counters.
+    pub energy: EnergyCounters,
+}
+
+impl SimReport {
+    /// CB utilization: busy CB-cycles over total CB-cycles (Section VII-B:
+    /// 23% for RVV vs 60% for MVE on bit-serial).
+    pub fn utilization(&self) -> f64 {
+        if self.total_cycles == 0 || self.control_blocks == 0 {
+            0.0
+        } else {
+            self.cb_busy_cycles as f64 / (self.total_cycles * self.control_blocks) as f64
+        }
+    }
+
+    /// Fractions `(idle, compute, data)` of the makespan.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        if self.total_cycles == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = self.total_cycles as f64;
+        (
+            self.idle_cycles as f64 / t,
+            self.compute_cycles as f64 / t,
+            self.data_cycles as f64 / t,
+        )
+    }
+}
+
+/// Merges (start, end) intervals and returns the union length.
+fn union_length(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+                let _ = cs;
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Runs the timing model over a trace.
+///
+/// ```
+/// use mve_core::engine::Engine;
+/// use mve_core::isa::StrideMode;
+/// use mve_core::sim::{simulate, SimConfig};
+///
+/// let mut e = Engine::default_mobile();
+/// e.vsetdimc(1);
+/// e.vsetdiml(0, 8192);
+/// let buf = e.mem_alloc_typed::<i32>(8192);
+/// let v = e.vsld_dw(buf, &[StrideMode::One]);
+/// let r = e.vadd_dw(v, v);
+/// e.vsst_dw(r, buf, &[StrideMode::One]);
+///
+/// let report = simulate(&e.take_trace(), &SimConfig::default());
+/// let (idle, compute, data) = report.breakdown();
+/// assert!(report.total_cycles > 0);
+/// assert!((idle + compute + data - 1.0).abs() < 1e-9);
+/// ```
+pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
+    let mut hier = Hierarchy::new(cfg.hierarchy);
+    let n_cbs = cfg.geometry.control_blocks();
+    let lat_model = cfg.scheme.latency_model();
+    let freq_scale = cfg.scheme.frequency_scale();
+
+    if cfg.warm_caches {
+        // Steady-state warming pass: stream the working set once, then
+        // clear the statistics so only the timed pass is reported.
+        for event in trace.events() {
+            if let Event::Memory { lines, write, .. } = event {
+                hier.vector_access(lines, *write, 0);
+            }
+        }
+        hier.reset_stats();
+    }
+    let mut t_core: u64 = 0;
+    if cfg.include_mode_switch {
+        t_core += hier.enable_compute_mode();
+    }
+    let t_start = 0u64;
+
+    let mut cb_avail = vec![t_core; n_cbs];
+    let mut inflight: VecDeque<u64> = VecDeque::new();
+    let mut compute_intervals: Vec<(u64, u64)> = Vec::new();
+    let mut data_busy: u64 = 0;
+    let mut cb_busy: u64 = 0;
+    let mut energy = EnergyCounters::default();
+    let mut vec_instrs: u64 = 0;
+    let mut scalar_instrs: u64 = 0;
+
+    let issue_vec_instr = |t_core: &mut u64, inflight: &mut VecDeque<u64>| {
+        *t_core += cfg.issue_gap_cycles.max(1);
+        while inflight.front().is_some_and(|&c| c <= *t_core) {
+            inflight.pop_front();
+        }
+        if inflight.len() >= cfg.queue_entries {
+            if let Some(front) = inflight.pop_front() {
+                *t_core = (*t_core).max(front);
+            }
+        }
+    };
+
+    for event in trace.events() {
+        match event {
+            Event::Scalar { instrs } => {
+                scalar_instrs += instrs;
+                t_core += cfg.core.scalar_block_cycles(*instrs);
+            }
+            Event::Config { .. } => {
+                vec_instrs += 1;
+                energy.vector_instrs += 1;
+                issue_vec_instr(&mut t_core, &mut inflight);
+            }
+            Event::Compute {
+                alu,
+                dtype,
+                active_lanes,
+                cb_mask,
+                ..
+            } => {
+                vec_instrs += 1;
+                energy.vector_instrs += 1;
+                issue_vec_instr(&mut t_core, &mut inflight);
+                if *active_lanes == 0 {
+                    continue;
+                }
+                let bits = dtype.bits();
+                let engine_cycles = lat_model.op_latency(*alu, bits);
+                let scheme_lanes = cfg.scheme.lanes(&cfg.geometry, bits).max(1);
+                let passes = (*active_lanes as usize).div_ceil(scheme_lanes) as u64;
+                let dur = ((engine_cycles * passes) as f64 / freq_scale).ceil() as u64;
+
+                let mut completion = t_core;
+                let mut active_cbs = 0u64;
+                for cb in 0..n_cbs {
+                    if cb_mask >> cb & 1 == 1 {
+                        active_cbs += 1;
+                        let start = t_core.max(cb_avail[cb]);
+                        let end = start + dur;
+                        cb_avail[cb] = end;
+                        compute_intervals.push((start, end));
+                        cb_busy += dur;
+                        completion = completion.max(end);
+                    }
+                }
+                energy.array_active_cycles +=
+                    active_cbs * cfg.geometry.arrays_per_cb as u64 * dur;
+                inflight.push_back(completion);
+            }
+            Event::Memory {
+                dtype,
+                active_lanes,
+                cb_mask,
+                lines,
+                write,
+                ..
+            } => {
+                vec_instrs += 1;
+                energy.vector_instrs += 1;
+                issue_vec_instr(&mut t_core, &mut inflight);
+                // A vector memory access blocks every CB (Section V-B);
+                // with PUMICE-style dispatch only the touched CBs stall.
+                let ready = if cfg.ooo_dispatch {
+                    (0..n_cbs)
+                        .filter(|cb| cb_mask >> cb & 1 == 1)
+                        .map(|cb| cb_avail[cb])
+                        .max()
+                        .unwrap_or(t_core)
+                } else {
+                    cb_avail.iter().copied().max().unwrap_or(t_core)
+                };
+                let start = t_core.max(ready);
+                let batch = hier.vector_access(lines, *write, start);
+                // The TMU streams only the access's active elements; a
+                // masked partial access fills proportionally fewer transpose
+                // columns per CB.
+                let active_cbs_for_tmu =
+                    (0..n_cbs).filter(|cb| cb_mask >> cb & 1 == 1).count().max(1);
+                let elems_per_cb = (*active_lanes as usize)
+                    .div_ceil(active_cbs_for_tmu)
+                    .min(cfg.geometry.bitlines_per_cb())
+                    .max(1);
+                let tmu = TransposeMemoryUnit::transfer_cycles(
+                    elems_per_cb,
+                    cfg.scheme.tmu_drain_slices(dtype.bits()),
+                    cfg.xb_words_per_cycle,
+                );
+                let end = batch.done_at + tmu;
+                if cfg.ooo_dispatch {
+                    for cb in 0..n_cbs {
+                        if cb_mask >> cb & 1 == 1 {
+                            cb_avail[cb] = end;
+                        }
+                    }
+                } else {
+                    for avail in cb_avail.iter_mut() {
+                        *avail = end;
+                    }
+                }
+                data_busy += end - start;
+                let active_cbs = (0..n_cbs).filter(|cb| cb_mask >> cb & 1 == 1).count() as u64;
+                cb_busy += active_cbs * (end - start);
+                energy.tmu_element_transfers += u64::from(*active_lanes);
+                inflight.push_back(end);
+            }
+        }
+    }
+
+    let total_end = cb_avail
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(t_core)
+        .max(t_core);
+    let total = total_end - t_start;
+    let compute = union_length(compute_intervals);
+    let idle = total.saturating_sub(compute + data_busy);
+
+    energy.scalar_instrs = scalar_instrs;
+    SimReport {
+        total_cycles: total,
+        compute_cycles: compute,
+        data_cycles: data_busy,
+        idle_cycles: idle,
+        cb_busy_cycles: cb_busy,
+        control_blocks: n_cbs as u64,
+        vector_instrs: vec_instrs,
+        scalar_instrs,
+        mem: hier.stats(),
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::isa::StrideMode;
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig {
+            include_mode_switch: false,
+            ..SimConfig::default()
+        }
+    }
+
+    fn small_kernel_trace(mul_count: usize) -> Trace {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, 8192);
+        let a = e.mem_alloc_typed::<i32>(8192);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        let mut acc = e.vsetdup_dw(1);
+        for _ in 0..mul_count {
+            let p = e.vmul_dw(acc, v);
+            e.free(acc);
+            acc = p;
+            e.scalar(4);
+        }
+        let o = e.mem_alloc_typed::<i32>(8192);
+        e.vsst_dw(acc, o, &[StrideMode::One]);
+        e.take_trace()
+    }
+
+    #[test]
+    fn union_length_merges_overlaps() {
+        assert_eq!(union_length(vec![(0, 10), (5, 15), (20, 30)]), 25);
+        assert_eq!(union_length(vec![]), 0);
+        assert_eq!(union_length(vec![(3, 3)]), 0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let trace = small_kernel_trace(8);
+        let r = simulate(&trace, &quiet_cfg());
+        assert_eq!(
+            r.compute_cycles + r.data_cycles + r.idle_cycles,
+            r.total_cycles
+        );
+        assert!(r.total_cycles > 0);
+        assert!(r.data_cycles > 0, "loads/stores must show up");
+        assert!(r.compute_cycles > 0, "multiplies must show up");
+    }
+
+    #[test]
+    fn compute_bound_kernel_is_compute_heavy() {
+        // Many multiplies per load: compute dominates (i32 mul = 1184 cyc).
+        let trace = small_kernel_trace(64);
+        let r = simulate(&trace, &quiet_cfg());
+        assert!(
+            r.compute_cycles > r.data_cycles,
+            "compute {} vs data {}",
+            r.compute_cycles,
+            r.data_cycles
+        );
+        assert!(r.utilization() > 0.5, "util {}", r.utilization());
+    }
+
+    #[test]
+    fn bit_parallel_needs_multiple_passes_but_less_latency() {
+        let trace = small_kernel_trace(16);
+        let bs = simulate(&trace, &quiet_cfg());
+        let bp = simulate(
+            &trace,
+            &SimConfig {
+                scheme: Scheme::BitParallel,
+                ..quiet_cfg()
+            },
+        );
+        // For 8192 32-bit lanes, BP runs 32 passes of a (n+5)/0.9-cycle mul;
+        // BS runs 1 pass of n²+5n. BS still wins on throughput here.
+        assert!(bp.total_cycles != bs.total_cycles);
+        assert!(bp.compute_cycles > 0);
+    }
+
+    #[test]
+    fn scalar_heavy_traces_idle_the_engine() {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, 8192);
+        let v = e.vsetdup_dw(3);
+        let w = e.vsetdup_dw(4);
+        for _ in 0..4 {
+            e.scalar(50_000); // huge scalar gaps
+            let r = e.vadd_dw(v, w);
+            e.free(r);
+        }
+        let r = simulate(&e.take_trace(), &quiet_cfg());
+        let (idle, _, _) = r.breakdown();
+        assert!(idle > 0.8, "idle fraction {idle} should dominate");
+    }
+
+    #[test]
+    fn mode_switch_adds_cycles_only_when_dirty() {
+        let trace = small_kernel_trace(2);
+        let without = simulate(&trace, &quiet_cfg());
+        let with = simulate(
+            &trace,
+            &SimConfig {
+                include_mode_switch: true,
+                ..quiet_cfg()
+            },
+        );
+        // A fresh hierarchy has no dirty lines, so the flush is free.
+        assert_eq!(without.total_cycles, with.total_cycles);
+    }
+
+    #[test]
+    fn lower_precision_computes_faster() {
+        let build = |dt_bits: u32| {
+            let mut e = Engine::default_mobile();
+            e.vsetdimc(1);
+            e.vsetdiml(0, 8192);
+            let a = e.mem_alloc_typed::<i32>(8192);
+            let v = match dt_bits {
+                8 => e.vsld_b(a, &[StrideMode::One]),
+                16 => e.vsld_w(a, &[StrideMode::One]),
+                _ => e.vsld_dw(a, &[StrideMode::One]),
+            };
+            for _ in 0..16 {
+                let p = match dt_bits {
+                    8 => e.vmul_b(v, v),
+                    16 => e.vmul_w(v, v),
+                    _ => e.vmul_dw(v, v),
+                };
+                e.free(p);
+            }
+            e.take_trace()
+        };
+        let t8 = simulate(&build(8), &quiet_cfg()).compute_cycles;
+        let t16 = simulate(&build(16), &quiet_cfg()).compute_cycles;
+        let t32 = simulate(&build(32), &quiet_cfg()).compute_cycles;
+        assert!(t8 < t16 && t16 < t32, "quadratic precision scaling: {t8} {t16} {t32}");
+        // Bit-serial multiply is O(n²): 32-bit ≈ 10× the 8-bit latency.
+        let ratio = t32 as f64 / t8 as f64;
+        assert!((6.0..=16.0).contains(&ratio), "mul scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn report_counts_instructions() {
+        let trace = small_kernel_trace(4);
+        let r = simulate(&trace, &quiet_cfg());
+        let mix = trace.instr_mix();
+        assert_eq!(r.vector_instrs, mix.vector_total());
+        assert_eq!(r.scalar_instrs, mix.scalar);
+        assert!(r.energy.array_active_cycles > 0);
+        assert!(r.energy.tmu_element_transfers > 0);
+    }
+
+    #[test]
+    fn dimension_masked_cbs_skip_work() {
+        // Mask off half of an 8192-lane 2D shape: half the CBs see no lanes.
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 1024);
+        e.vsetdiml(1, 8);
+        for w in 4..8 {
+            e.vunsetmask(w);
+        }
+        let v = e.vsetdup_dw(1);
+        for _ in 0..8 {
+            let p = e.vmul_dw(v, v);
+            e.free(p);
+        }
+        let masked = simulate(&e.take_trace(), &quiet_cfg());
+
+        let mut e2 = Engine::default_mobile();
+        e2.vsetdimc(2);
+        e2.vsetdiml(0, 1024);
+        e2.vsetdiml(1, 8);
+        let v = e2.vsetdup_dw(1);
+        for _ in 0..8 {
+            let p = e2.vmul_dw(v, v);
+            e2.free(p);
+        }
+        let full = simulate(&e2.take_trace(), &quiet_cfg());
+        assert!(
+            masked.energy.array_active_cycles < full.energy.array_active_cycles,
+            "masked CBs must not burn array energy"
+        );
+    }
+}
+
+#[cfg(test)]
+mod pumice_tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::isa::StrideMode;
+
+    /// A dimension-masked workload where half the CBs compute while the
+    /// other half's memory traffic flows: PUMICE dispatch must not be
+    /// slower, and should help when masked compute overlaps memory.
+    #[test]
+    fn ooo_dispatch_never_hurts_and_can_help() {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 1024);
+        e.vsetdiml(1, 8);
+        let buf = e.mem_alloc_typed::<i32>(8192);
+        let v = e.vsetdup_dw(3);
+        for round in 0..8 {
+            // Mask to the lower half, compute there...
+            for w in 4..8 {
+                e.vunsetmask(w);
+            }
+            let p = e.vmul_dw(v, v);
+            e.free(p);
+            // ...then store the upper half only.
+            e.vresetmask();
+            for w in 0..4 {
+                e.vunsetmask(w);
+            }
+            e.vsst_dw(v, buf + (round % 2) * 4, &[StrideMode::One, StrideMode::Seq]);
+            e.vresetmask();
+        }
+        let trace = e.take_trace();
+        let base = simulate(
+            &trace,
+            &SimConfig {
+                include_mode_switch: false,
+                ..SimConfig::default()
+            },
+        );
+        let pumice = simulate(
+            &trace,
+            &SimConfig {
+                include_mode_switch: false,
+                ooo_dispatch: true,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            pumice.total_cycles <= base.total_cycles,
+            "PUMICE {} must not exceed baseline {}",
+            pumice.total_cycles,
+            base.total_cycles
+        );
+        assert!(
+            pumice.total_cycles < base.total_cycles,
+            "masked compute should overlap disjoint-CB memory"
+        );
+    }
+}

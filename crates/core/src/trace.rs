@@ -1,0 +1,356 @@
+//! Dynamic instruction traces.
+//!
+//! Every intrinsic executed on the functional [`crate::engine::Engine`]
+//! appends an [`Event`]; the timing simulator ([`crate::sim`]) replays the
+//! event stream against the micro-architecture model. This replaces the
+//! paper's DynamoRIO-based trace capture (see `DESIGN.md`).
+
+use crate::dtype::DType;
+use crate::isa::{OpClass, Opcode};
+use mve_insram::AluOp;
+
+/// One dynamic trace event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A controller-only config instruction.
+    Config {
+        /// Which config opcode.
+        opcode: Opcode,
+    },
+    /// A compute instruction executed on the SRAM arrays.
+    Compute {
+        /// Which opcode.
+        opcode: Opcode,
+        /// The ALU operation class (drives the latency model).
+        alu: AluOp,
+        /// Element type.
+        dtype: DType,
+        /// Active SIMD lanes after masking/predication.
+        active_lanes: u32,
+        /// Bitmask of Control Blocks with at least one active lane.
+        cb_mask: u64,
+    },
+    /// A vector load or store.
+    Memory {
+        /// Which opcode (strided/random load/store).
+        opcode: Opcode,
+        /// Element type.
+        dtype: DType,
+        /// Active SIMD lanes after masking.
+        active_lanes: u32,
+        /// Bitmask of Control Blocks with at least one active lane.
+        cb_mask: u64,
+        /// Deduplicated cache-line addresses touched (including pointer-array
+        /// fetches for random accesses).
+        lines: Vec<u64>,
+        /// Whether this is a store.
+        write: bool,
+    },
+    /// A block of scalar instructions interleaved between vector code.
+    Scalar {
+        /// Dynamic scalar instruction count.
+        instrs: u64,
+    },
+}
+
+impl Event {
+    /// The instruction-class bucket of Figure 11 (`None` for scalar blocks).
+    pub fn op_class(&self) -> Option<OpClass> {
+        match self {
+            Event::Config { opcode } | Event::Compute { opcode, .. } | Event::Memory { opcode, .. } => {
+                Some(opcode.class())
+            }
+            Event::Scalar { .. } => None,
+        }
+    }
+}
+
+/// Dynamic instruction-mix statistics (Figure 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Config instructions.
+    pub config: u64,
+    /// Move instructions (`vcvt`, `vcpy`).
+    pub moves: u64,
+    /// Vector memory accesses.
+    pub mem_access: u64,
+    /// Arithmetic instructions.
+    pub arithmetic: u64,
+    /// Scalar instructions.
+    pub scalar: u64,
+}
+
+impl InstrMix {
+    /// Total dynamic vector instructions.
+    pub fn vector_total(&self) -> u64 {
+        self.config + self.moves + self.mem_access + self.arithmetic
+    }
+}
+
+/// A dynamic instruction trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. Consecutive scalar blocks are coalesced.
+    pub fn push(&mut self, event: Event) {
+        if let (Some(Event::Scalar { instrs: last }), Event::Scalar { instrs }) =
+            (self.events.last_mut(), &event)
+        {
+            *last += instrs;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events (after coalescing).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the trace as an artifact-style assembly listing (one line
+    /// per dynamic instruction, scalar blocks annotated) — the equivalent
+    /// of the paper artifact's `.asm` dumps.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Config { opcode } => {
+                    let _ = writeln!(out, "{i:6}  {}", opcode.mnemonic());
+                }
+                Event::Compute {
+                    opcode,
+                    dtype,
+                    active_lanes,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{i:6}  {:<12} ; lanes={active_lanes}",
+                        opcode.assembly(*dtype)
+                    );
+                }
+                Event::Memory {
+                    opcode,
+                    dtype,
+                    active_lanes,
+                    lines,
+                    write,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{i:6}  {:<12} ; lanes={active_lanes} lines={} {}",
+                        opcode.assembly(*dtype),
+                        lines.len(),
+                        if *write { "st" } else { "ld" }
+                    );
+                }
+                Event::Scalar { instrs } => {
+                    let _ = writeln!(out, "{i:6}  <scalar x{instrs}>");
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes the Figure 11 instruction mix.
+    pub fn instr_mix(&self) -> InstrMix {
+        let mut mix = InstrMix::default();
+        for e in &self.events {
+            match e.op_class() {
+                Some(OpClass::Config) => mix.config += 1,
+                Some(OpClass::Move) => mix.moves += 1,
+                Some(OpClass::MemAccess) => mix.mem_access += 1,
+                Some(OpClass::Arithmetic) => mix.arithmetic += 1,
+                None => {
+                    if let Event::Scalar { instrs } = e {
+                        mix.scalar += instrs;
+                    }
+                }
+            }
+        }
+        mix
+    }
+}
+
+/// Maps an array-executed opcode and element type to its ALU operation class
+/// for the latency model.
+///
+/// # Panics
+///
+/// Panics for config opcodes (they never reach the arrays).
+pub fn alu_op_for(opcode: Opcode, dtype: DType) -> AluOp {
+    use Opcode::*;
+    let float = dtype.is_float();
+    match opcode {
+        Add => {
+            if float {
+                AluOp::FAdd
+            } else {
+                AluOp::Add
+            }
+        }
+        Sub => {
+            if float {
+                AluOp::FAdd
+            } else {
+                AluOp::Sub
+            }
+        }
+        Mul => {
+            if float {
+                AluOp::FMul
+            } else {
+                AluOp::Mul
+            }
+        }
+        Min | Max => {
+            if float {
+                AluOp::FCmp
+            } else {
+                AluOp::MinMax
+            }
+        }
+        Xor | And | Or => AluOp::Logic,
+        Compare => {
+            if float {
+                AluOp::FCmp
+            } else {
+                AluOp::Cmp
+            }
+        }
+        ShiftImm | RotateImm => AluOp::ShiftImm,
+        ShiftReg => AluOp::ShiftReg,
+        SetDup => AluOp::SetDup,
+        Copy => AluOp::Copy,
+        Convert => AluOp::Convert,
+        StridedLoad | RandomLoad | StridedStore | RandomStore => {
+            panic!("memory opcodes have no ALU class")
+        }
+        _ => panic!("config opcode {opcode:?} has no ALU class"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_blocks_coalesce() {
+        let mut t = Trace::new();
+        t.push(Event::Scalar { instrs: 5 });
+        t.push(Event::Scalar { instrs: 7 });
+        t.push(Event::Config {
+            opcode: Opcode::SetDimCount,
+        });
+        t.push(Event::Scalar { instrs: 1 });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.instr_mix().scalar, 13);
+    }
+
+    #[test]
+    fn instr_mix_buckets() {
+        let mut t = Trace::new();
+        t.push(Event::Config {
+            opcode: Opcode::SetDimLength,
+        });
+        t.push(Event::Compute {
+            opcode: Opcode::Add,
+            alu: AluOp::Add,
+            dtype: DType::I32,
+            active_lanes: 100,
+            cb_mask: 0xFF,
+        });
+        t.push(Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype: DType::I32,
+            active_lanes: 100,
+            cb_mask: 0xFF,
+            lines: vec![1, 2],
+            write: false,
+        });
+        t.push(Event::Compute {
+            opcode: Opcode::Copy,
+            alu: AluOp::Copy,
+            dtype: DType::I32,
+            active_lanes: 100,
+            cb_mask: 0xFF,
+        });
+        let mix = t.instr_mix();
+        assert_eq!(mix.config, 1);
+        assert_eq!(mix.arithmetic, 1);
+        assert_eq!(mix.mem_access, 1);
+        assert_eq!(mix.moves, 1);
+        assert_eq!(mix.vector_total(), 4);
+    }
+
+    #[test]
+    fn alu_mapping_follows_types() {
+        assert_eq!(alu_op_for(Opcode::Add, DType::I32), AluOp::Add);
+        assert_eq!(alu_op_for(Opcode::Add, DType::F32), AluOp::FAdd);
+        assert_eq!(alu_op_for(Opcode::Mul, DType::F16), AluOp::FMul);
+        assert_eq!(alu_op_for(Opcode::Sub, DType::U8), AluOp::Sub);
+        assert_eq!(alu_op_for(Opcode::Min, DType::I16), AluOp::MinMax);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ALU class")]
+    fn config_has_no_alu_class() {
+        alu_op_for(Opcode::SetWidth, DType::I32);
+    }
+
+    #[test]
+    fn dump_lists_every_event() {
+        let mut t = Trace::new();
+        t.push(Event::Config {
+            opcode: Opcode::SetDimCount,
+        });
+        t.push(Event::Compute {
+            opcode: Opcode::Add,
+            alu: AluOp::Add,
+            dtype: DType::F32,
+            active_lanes: 8192,
+            cb_mask: 0xFF,
+        });
+        t.push(Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype: DType::U8,
+            active_lanes: 100,
+            cb_mask: 1,
+            lines: vec![1, 2, 3],
+            write: false,
+        });
+        t.push(Event::Scalar { instrs: 42 });
+        let text = t.dump();
+        assert!(text.contains("vsetdimc"));
+        assert!(text.contains("vadd_f"));
+        assert!(text.contains("vsld_b"));
+        assert!(text.contains("lines=3 ld"));
+        assert!(text.contains("<scalar x42>"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Energy and area models for the MVE reproduction.
+//!
+//! Replaces the paper's measurement toolchain (CACTI for cache access
+//! energy, Neural Cache's bit-serial op energy, Batterystats/Trepn for
+//! CPU/GPU power, RTL synthesis + die-shot areas) with documented analytic
+//! constants:
+//!
+//! * [`params::EnergyParams`] — per-event energies in pJ. Values are
+//!   calibrated to the component ratios the paper reports (in-SRAM ops are
+//!   an order of magnitude cheaper per lane than CPU SIMD ops; DRAM
+//!   dominates per-byte costs) and flagged `CALIBRATED` where no public
+//!   number exists.
+//! * [`model`] — converts simulator event counters into the Figure 7(b)
+//!   three-bucket breakdown (compute / data access / CPU).
+//! * [`area`] — the Table V per-module area model, parameterised by the
+//!   engine geometry so the ablation benches can sweep it.
+
+pub mod area;
+pub mod model;
+pub mod params;
+
+pub use area::{area_table, AreaRow};
+pub use model::{mve_energy, neon_energy, EnergyBreakdown};
+pub use params::EnergyParams;

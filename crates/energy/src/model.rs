@@ -1,0 +1,168 @@
+//! Event-count → energy conversion (Figure 7(b) buckets).
+
+use crate::params::EnergyParams;
+use mve_core::sim::SimReport;
+use mve_coresim::neon::{NeonProfile, NeonResult};
+
+/// Energy split into the paper's three buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// In-SRAM compute (or SIMD-pipe compute for Neon).
+    pub compute_pj: f64,
+    /// Data movement: cache lines, DRAM, TMU.
+    pub data_pj: f64,
+    /// Scalar core: instruction fetch/retire and vector issue.
+    pub cpu_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.data_pj + self.cpu_pj
+    }
+}
+
+/// Energy of an MVE run from its simulator report.
+pub fn mve_energy(report: &SimReport, p: &EnergyParams) -> EnergyBreakdown {
+    let e = &report.energy;
+    let m = &report.mem;
+    let compute = e.array_active_cycles as f64 * p.e_array_cycle_pj;
+    let l2_lines = (m.vector_lines_read + m.vector_lines_written) as f64;
+    let data = e.tmu_element_transfers as f64 * p.e_tmu_element_pj
+        + l2_lines * p.e_l2_line_pj
+        + m.llc_hits as f64 * p.e_llc_line_pj
+        + m.dram_accesses as f64 * p.e_dram_line_pj;
+    let cpu = e.scalar_instrs as f64 * p.e_scalar_instr_pj
+        + e.vector_instrs as f64 * p.e_vec_issue_pj
+        + report.total_cycles as f64 * p.e_core_wait_pj_per_cycle;
+    EnergyBreakdown {
+        compute_pj: compute,
+        data_pj: data,
+        cpu_pj: cpu,
+    }
+}
+
+/// Energy of a Neon run from its profile and result.
+///
+/// On the packed-SIMD baseline everything executes in the core, so compute
+/// energy is the SIMD-pipe energy, data energy is the L1/L2/DRAM traffic,
+/// and CPU energy is the scalar glue.
+pub fn neon_energy(
+    profile: &NeonProfile,
+    result: &NeonResult,
+    p: &EnergyParams,
+) -> EnergyBreakdown {
+    let ops: u64 = profile.ops.iter().map(|(_, c)| c).sum();
+    let compute = ops as f64 * p.e_neon_op_pj;
+    let lines = profile.touched_bytes as f64 / 64.0;
+    // Streaming data is fetched from L2/DRAM once and then hit in L1.
+    // CALIBRATED: charge each line one L2 access and one DRAM access per
+    // cold byte (kernels in Table III stream their datasets).
+    let data = (profile.loads + profile.stores) as f64 * p.e_neon_mem_pj
+        + lines * (p.e_l2_line_pj + p.e_dram_line_pj * 0.5);
+    let cpu = result.scalar_instrs as f64 * p.e_scalar_instr_pj
+        + result.cycles as f64 * p.e_core_active_pj_per_cycle;
+    EnergyBreakdown {
+        compute_pj: compute,
+        data_pj: data,
+        cpu_pj: cpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mve_core::engine::Engine;
+    use mve_core::isa::StrideMode;
+    use mve_core::sim::{simulate, SimConfig};
+    use mve_coresim::neon::{NeonModel, NeonOpClass};
+    use mve_memsim::Hierarchy;
+
+    fn mve_report(muls: usize) -> SimReport {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, 8192);
+        let a = e.mem_alloc_typed::<i32>(8192);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        for _ in 0..muls {
+            let r = e.vmul_dw(v, v);
+            e.free(r);
+        }
+        e.vsst_dw(v, a, &[StrideMode::One]);
+        simulate(&e.take_trace(), &SimConfig::default())
+    }
+
+    #[test]
+    fn mve_buckets_are_populated() {
+        let b = mve_energy(&mve_report(8), &EnergyParams::default());
+        assert!(b.compute_pj > 0.0);
+        assert!(b.data_pj > 0.0);
+        assert!(b.cpu_pj > 0.0);
+        assert!((b.total_pj() - (b.compute_pj + b.data_pj + b.cpu_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_compute_means_more_compute_energy() {
+        let p = EnergyParams::default();
+        let small = mve_energy(&mve_report(2), &p);
+        let big = mve_energy(&mve_report(32), &p);
+        assert!(big.compute_pj > 4.0 * small.compute_pj);
+    }
+
+    #[test]
+    fn neon_energy_scales_with_ops() {
+        let p = EnergyParams::default();
+        let model = NeonModel::default();
+        let mut h = Hierarchy::default();
+        let mk = |n: u64| NeonProfile {
+            ops: vec![(NeonOpClass::IntSimple, n)],
+            chain_ops: vec![],
+            loads: n / 4,
+            stores: n / 8,
+            scalar_instrs: n / 2,
+            touched_bytes: 1 << 16,
+            base_addr: 0x10_0000,
+        };
+        let p1 = mk(1_000);
+        let r1 = model.execute(&p1, &mut h, 0);
+        let p2 = mk(10_000);
+        let r2 = model.execute(&p2, &mut h, 0);
+        let e1 = neon_energy(&p1, &r1, &p);
+        let e2 = neon_energy(&p2, &r2, &p);
+        assert!(e2.compute_pj > 9.0 * e1.compute_pj);
+        assert!(e2.cpu_pj > e1.cpu_pj);
+    }
+
+    #[test]
+    fn per_useful_op_mve_beats_neon() {
+        // The core claim behind Figure 7(b): for the same logical work, MVE
+        // spends less energy. Compare one 8192-lane i32 multiply against the
+        // equivalent 2048 Neon 4-lane multiplies.
+        let p = EnergyParams::default();
+        let report = mve_report(1);
+        let mve = mve_energy(&report, &p);
+
+        let model = NeonModel::default();
+        let mut h = Hierarchy::default();
+        let profile = NeonProfile {
+            ops: vec![(NeonOpClass::IntMul, 2048)],
+            chain_ops: vec![],
+            loads: 2048,
+            stores: 2048,
+            scalar_instrs: 3000,
+            touched_bytes: 8192 * 4,
+            base_addr: 0x10_0000,
+        };
+        let r = model.execute(&profile, &mut h, 0);
+        let neon = neon_energy(&profile, &r, &p);
+        // 32-bit multiply is bit-serial's *worst* case (O(n²) cycles), so
+        // the margin here is modest; low-precision kernels in `mve-kernels`
+        // exhibit the paper's large gaps.
+        assert!(
+            neon.total_pj() > 1.15 * mve.total_pj(),
+            "neon {} vs mve {}",
+            neon.total_pj(),
+            mve.total_pj()
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Bit-level functional model of a compute-capable SRAM array.
+//!
+//! The paper's in-cache engine (Figure 1(b)) augments a standard 256×256
+//! 6T SRAM array with a second row decoder. Activating two word-lines at once
+//! discharges each bit-line pair such that the sense amplifiers observe the
+//! logical `AND` (on `BL`) and `NOR` (on `BLB`) of the two stored bits, for
+//! all 256 bit-lines in parallel. Everything else (XOR, sum, carry) is
+//! produced by the small peripheral logic modelled in
+//! [`crate::bitserial::BitSerialAlu`].
+//!
+//! This model is deliberately *slow but faithful*: it is used by tests and by
+//! the validation suite to check the word-level fast path of the main
+//! simulator, not on the hot path of full benchmark runs.
+
+/// Number of word-lines (rows) in one SRAM array.
+pub const WORDLINES: usize = 256;
+/// Number of bit-lines (columns) in one SRAM array; equals the SIMD lanes
+/// contributed by the array under the bit-serial scheme.
+pub const BITLINES: usize = 256;
+/// `u64` words needed to store one 256-bit row.
+const ROW_WORDS: usize = BITLINES / 64;
+
+/// Result of activating two word-lines simultaneously: the per-bit-line
+/// `AND`/`NOR` observed by the sense amplifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualAccess {
+    /// `A & B` per bit-line.
+    pub and: RowBits,
+    /// `!(A | B)` per bit-line.
+    pub nor: RowBits,
+}
+
+/// A 256-bit row (one bit per bit-line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowBits {
+    words: [u64; ROW_WORDS],
+}
+
+impl RowBits {
+    /// Creates an all-zero row.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Creates an all-one row.
+    pub fn ones() -> Self {
+        Self {
+            words: [u64::MAX; ROW_WORDS],
+        }
+    }
+
+    /// Returns the bit for `bitline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitline >= 256`.
+    pub fn bit(&self, bitline: usize) -> bool {
+        assert!(bitline < BITLINES, "bit-line index out of range");
+        (self.words[bitline / 64] >> (bitline % 64)) & 1 == 1
+    }
+
+    /// Sets the bit for `bitline` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitline >= 256`.
+    pub fn set_bit(&mut self, bitline: usize, value: bool) {
+        assert!(bitline < BITLINES, "bit-line index out of range");
+        let mask = 1u64 << (bitline % 64);
+        if value {
+            self.words[bitline / 64] |= mask;
+        } else {
+            self.words[bitline / 64] &= !mask;
+        }
+    }
+
+    /// Per-bit-line AND.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Per-bit-line OR.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Per-bit-line XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Per-bit-line NOT.
+    pub fn not(&self) -> Self {
+        let mut out = *self;
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        let mut out = Self::zero();
+        for i in 0..ROW_WORDS {
+            out.words[i] = f(self.words[i], other.words[i]);
+        }
+        out
+    }
+}
+
+/// A compute-capable 256×256 SRAM array with dual row decoders.
+///
+/// Data is addressed as `(wordline, bitline)`. The vertical (transposed)
+/// element layout used by the bit-serial scheme stores bit `k` of element
+/// `i` at `(base_wordline + k, i)`.
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    rows: Vec<RowBits>,
+}
+
+impl Default for SramArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SramArray {
+    /// Creates a zero-initialised array.
+    pub fn new() -> Self {
+        Self {
+            rows: vec![RowBits::zero(); WORDLINES],
+        }
+    }
+
+    /// Reads a full row (single word-line activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordline >= 256`.
+    pub fn read_row(&self, wordline: usize) -> RowBits {
+        assert!(wordline < WORDLINES, "word-line index out of range");
+        self.rows[wordline]
+    }
+
+    /// Writes a full row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordline >= 256`.
+    pub fn write_row(&mut self, wordline: usize, bits: RowBits) {
+        assert!(wordline < WORDLINES, "word-line index out of range");
+        self.rows[wordline] = bits;
+    }
+
+    /// Writes a row only on bit-lines where `enable` is set, emulating the
+    /// per-bit-line write drivers gated by the Tag latch (`T`).
+    pub fn write_row_masked(&mut self, wordline: usize, bits: RowBits, enable: RowBits) {
+        assert!(wordline < WORDLINES, "word-line index out of range");
+        let old = self.rows[wordline];
+        self.rows[wordline] = bits.and(&enable).or(&old.and(&enable.not()));
+    }
+
+    /// Activates two word-lines simultaneously (Figure 1(b)): the sense
+    /// amplifiers observe `AND` on `BL` and `NOR` on `BLB`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word-lines are equal (a dual activation of the same row
+    /// would short the cell) or out of range.
+    pub fn dual_access(&self, wl_a: usize, wl_b: usize) -> DualAccess {
+        assert!(wl_a < WORDLINES && wl_b < WORDLINES, "word-line out of range");
+        assert_ne!(wl_a, wl_b, "dual activation requires distinct word-lines");
+        let a = self.rows[wl_a];
+        let b = self.rows[wl_b];
+        DualAccess {
+            and: a.and(&b),
+            nor: a.or(&b).not(),
+        }
+    }
+
+    /// Reads bit `(wordline, bitline)`.
+    pub fn bit(&self, wordline: usize, bitline: usize) -> bool {
+        self.read_row(wordline).bit(bitline)
+    }
+
+    /// Sets bit `(wordline, bitline)`.
+    pub fn set_bit(&mut self, wordline: usize, bitline: usize, value: bool) {
+        assert!(wordline < WORDLINES, "word-line index out of range");
+        self.rows[wordline].set_bit(bitline, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowbits_bit_roundtrip() {
+        let mut row = RowBits::zero();
+        for i in [0usize, 1, 63, 64, 127, 200, 255] {
+            assert!(!row.bit(i));
+            row.set_bit(i, true);
+            assert!(row.bit(i));
+        }
+        assert_eq!(row.count_ones(), 7);
+        row.set_bit(63, false);
+        assert!(!row.bit(63));
+        assert_eq!(row.count_ones(), 6);
+    }
+
+    #[test]
+    fn rowbits_logic_identities() {
+        let mut a = RowBits::zero();
+        let mut b = RowBits::zero();
+        a.set_bit(3, true);
+        a.set_bit(100, true);
+        b.set_bit(100, true);
+        b.set_bit(200, true);
+        assert_eq!(a.and(&b).count_ones(), 1);
+        assert_eq!(a.or(&b).count_ones(), 3);
+        assert_eq!(a.xor(&b).count_ones(), 2);
+        assert_eq!(a.not().count_ones(), BITLINES - 2);
+        assert_eq!(RowBits::ones().count_ones(), BITLINES);
+    }
+
+    #[test]
+    fn dual_access_computes_and_nor() {
+        let mut array = SramArray::new();
+        let mut ra = RowBits::zero();
+        let mut rb = RowBits::zero();
+        ra.set_bit(0, true); // A=1,B=0 -> and 0, nor 0
+        ra.set_bit(1, true); // A=1,B=1 -> and 1, nor 0
+        rb.set_bit(1, true);
+        rb.set_bit(2, true); // A=0,B=1 -> and 0, nor 0
+        // bit-line 3: A=0,B=0 -> and 0, nor 1
+        array.write_row(10, ra);
+        array.write_row(20, rb);
+        let out = array.dual_access(10, 20);
+        assert!(!out.and.bit(0) && !out.nor.bit(0));
+        assert!(out.and.bit(1) && !out.nor.bit(1));
+        assert!(!out.and.bit(2) && !out.nor.bit(2));
+        assert!(!out.and.bit(3) && out.nor.bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct word-lines")]
+    fn dual_access_same_row_panics() {
+        let array = SramArray::new();
+        let _ = array.dual_access(5, 5);
+    }
+
+    #[test]
+    fn masked_write_only_touches_enabled_bitlines() {
+        let mut array = SramArray::new();
+        let mut initial = RowBits::zero();
+        initial.set_bit(0, true);
+        initial.set_bit(1, true);
+        array.write_row(0, initial);
+
+        let mut enable = RowBits::zero();
+        enable.set_bit(1, true);
+        enable.set_bit(2, true);
+        array.write_row_masked(0, RowBits::ones(), enable);
+
+        assert!(array.bit(0, 0)); // untouched (disabled)
+        assert!(array.bit(0, 1)); // rewritten to 1
+        assert!(array.bit(0, 2)); // newly written
+        assert!(!array.bit(0, 3)); // untouched
+    }
+}

@@ -1,0 +1,384 @@
+//! Bit-serial arithmetic built from word-line activations and peripheral
+//! latches, following Neural Cache (Section II-B(a) of the paper).
+//!
+//! Operands use the *vertical* layout: an `n`-bit element `i` occupies
+//! bit-line `i`, with bit `k` (LSB = 0) stored at word-line `base + k`.
+//! Every operation below touches the array only through
+//! [`SramArray::dual_access`], [`SramArray::read_row`] and (masked) row
+//! writes, plus the two peripheral latches the paper describes:
+//!
+//! * the Carry latch `C`, which holds the per-bit-line carry between cycles;
+//! * the Tag latch `T`, which gates the per-bit-line write drivers (used by
+//!   multiplication and predication).
+//!
+//! The returned cycle counts follow Table II of the paper (`n` for addition,
+//! `2n` for subtraction, `n² + 5n` for multiplication, …); the slow loops in
+//! this module exist to prove functional equivalence with the word-level
+//! fast path in `mve-core`, not to model time.
+
+use crate::array::{RowBits, SramArray};
+
+/// A bit-serial ALU: one [`SramArray`] plus its bit-line peripheral latches.
+#[derive(Debug)]
+pub struct BitSerialAlu<'a> {
+    array: &'a mut SramArray,
+    /// Carry latch `C`, one bit per bit-line.
+    carry: RowBits,
+    /// Tag latch `T`, one bit per bit-line; gates write drivers when engaged.
+    tag: RowBits,
+}
+
+impl<'a> BitSerialAlu<'a> {
+    /// Wraps an array together with cleared peripheral latches.
+    pub fn new(array: &'a mut SramArray) -> Self {
+        Self {
+            array,
+            carry: RowBits::zero(),
+            tag: RowBits::ones(),
+        }
+    }
+
+    /// Stores `values` vertically: bit `k` of `values[i]` goes to word-line
+    /// `base + k`, bit-line `i`. Values are truncated to `n` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than bit-lines are given or the word-line range
+    /// overflows the array.
+    pub fn write_vertical(&mut self, base: usize, n: usize, values: &[u64]) {
+        assert!(values.len() <= crate::array::BITLINES, "too many elements");
+        for k in 0..n {
+            let mut row = self.array.read_row(base + k);
+            for (i, &v) in values.iter().enumerate() {
+                row.set_bit(i, (v >> k) & 1 == 1);
+            }
+            self.array.write_row(base + k, row);
+        }
+    }
+
+    /// Reads `count` vertical `n`-bit elements starting at word-line `base`.
+    pub fn read_vertical(&self, base: usize, n: usize, count: usize) -> Vec<u64> {
+        let mut out = vec![0u64; count];
+        for k in 0..n {
+            let row = self.array.read_row(base + k);
+            for (i, v) in out.iter_mut().enumerate() {
+                if row.bit(i) {
+                    *v |= 1 << k;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the current Tag latch contents.
+    pub fn tag(&self) -> RowBits {
+        self.tag
+    }
+
+    /// Loads the Tag latch from a word-line (1 cycle in hardware).
+    pub fn load_tag(&mut self, wordline: usize) {
+        self.tag = self.array.read_row(wordline);
+    }
+
+    /// Resets the Tag latch to all-enabled.
+    pub fn clear_tag(&mut self) {
+        self.tag = RowBits::ones();
+    }
+
+    /// `dst = a + b` over `n`-bit vertical operands (wrapping).
+    /// Returns the cycle count: `n`.
+    pub fn add(&mut self, a: usize, b: usize, dst: usize, n: usize) -> u64 {
+        self.carry = RowBits::zero();
+        self.add_inner(a, b, dst, n, false);
+        n as u64
+    }
+
+    /// `dst = a - b` over `n`-bit vertical operands (two's-complement,
+    /// wrapping). Returns the cycle count: `2n` (negate pass + add pass).
+    pub fn sub(&mut self, a: usize, b: usize, dst: usize, n: usize) -> u64 {
+        self.carry = RowBits::ones(); // carry-in = 1 for two's complement
+        self.add_inner(a, b, dst, n, true);
+        2 * n as u64
+    }
+
+    /// One addition pass. When `negate_b` is set the `B` bit-slice is
+    /// inverted by the peripheral before entering the full adder (the
+    /// hardware spends a separate `n`-cycle pass for this, reflected in the
+    /// caller's cycle count).
+    fn add_inner(&mut self, a: usize, b: usize, dst: usize, n: usize, negate_b: bool) {
+        for k in 0..n {
+            let bits_a = self.array.read_row(a + k);
+            let bits_b = if negate_b {
+                self.array.read_row(b + k).not()
+            } else {
+                self.array.read_row(b + k)
+            };
+            // What the sense amps + peripheral see on a dual activation:
+            let and = bits_a.and(&bits_b);
+            let xor = bits_a.xor(&bits_b);
+            let sum = xor.xor(&self.carry);
+            let carry_out = and.or(&xor.and(&self.carry));
+            self.array.write_row_masked(dst + k, sum, self.tag);
+            self.carry = carry_out;
+        }
+    }
+
+    /// `dst = a * b` over `n`-bit vertical operands (wrapping, low `n` bits).
+    ///
+    /// Implements the shift-and-add algorithm of Section II-B(a): bit `i` of
+    /// the multiplier is loaded into the Tag latch, then the multiplicand is
+    /// conditionally added to the result starting from bit `i`. Returns the
+    /// paper's cycle count `n² + 5n`.
+    ///
+    /// `dst` must not overlap `a` or `b`.
+    pub fn mul(&mut self, a: usize, b: usize, dst: usize, n: usize) -> u64 {
+        // Zero the destination.
+        let saved_tag = self.tag;
+        self.tag = RowBits::ones();
+        for k in 0..n {
+            self.array.write_row(dst + k, RowBits::zero());
+        }
+        for i in 0..n {
+            // T <- bit i of the multiplier b.
+            self.tag = self.array.read_row(b + i).and(&saved_tag);
+            // dst[i..n] += a[0..n-i], conditionally on T.
+            self.carry = RowBits::zero();
+            for k in 0..(n - i) {
+                let bits_a = self.array.read_row(a + k);
+                let bits_d = self.array.read_row(dst + i + k);
+                let and = bits_a.and(&bits_d);
+                let xor = bits_a.xor(&bits_d);
+                let sum = xor.xor(&self.carry);
+                self.carry = and.or(&xor.and(&self.carry));
+                self.array.write_row_masked(dst + i + k, sum, self.tag);
+            }
+        }
+        self.tag = saved_tag;
+        (n * n + 5 * n) as u64
+    }
+
+    /// `dst = a << shift` (constant shift, zero fill, wrapping to `n` bits).
+    /// Returns the cycle count: `n`.
+    pub fn shift_left(&mut self, a: usize, dst: usize, n: usize, shift: usize) -> u64 {
+        let slices: Vec<RowBits> = (0..n).map(|k| self.array.read_row(a + k)).collect();
+        for k in 0..n {
+            let bits = if k >= shift { slices[k - shift] } else { RowBits::zero() };
+            self.array.write_row_masked(dst + k, bits, self.tag);
+        }
+        n as u64
+    }
+
+    /// `dst = a >> shift` (constant logical shift, zero fill).
+    /// Returns the cycle count: `n`.
+    pub fn shift_right(&mut self, a: usize, dst: usize, n: usize, shift: usize) -> u64 {
+        let slices: Vec<RowBits> = (0..n).map(|k| self.array.read_row(a + k)).collect();
+        for k in 0..n {
+            let bits = if k + shift < n { slices[k + shift] } else { RowBits::zero() };
+            self.array.write_row_masked(dst + k, bits, self.tag);
+        }
+        n as u64
+    }
+
+    /// `dst = a ^ b` bit-wise. Returns the cycle count: `n`.
+    pub fn xor(&mut self, a: usize, b: usize, dst: usize, n: usize) -> u64 {
+        for k in 0..n {
+            let acc = self.array.dual_access(a + k, b + k);
+            // XOR = !(AND | NOR): derived by the extra peripheral gates.
+            let xor = acc.and.or(&acc.nor).not();
+            self.array.write_row_masked(dst + k, xor, self.tag);
+        }
+        n as u64
+    }
+
+    /// Unsigned greater-than comparison: sets the Tag latch to `a > b` per
+    /// bit-line. Returns the cycle count: `n`.
+    ///
+    /// Scans from the MSB down, latching the first differing bit — this is
+    /// the "comparison result stored in the Tag latch" flow of Section III-E.
+    pub fn cmp_gt(&mut self, a: usize, b: usize, n: usize) -> u64 {
+        let mut decided = RowBits::zero();
+        let mut result = RowBits::zero();
+        for k in (0..n).rev() {
+            let bits_a = self.array.read_row(a + k);
+            let bits_b = self.array.read_row(b + k);
+            let diff = bits_a.xor(&bits_b);
+            let newly = diff.and(&decided.not());
+            result = result.or(&newly.and(&bits_a));
+            decided = decided.or(&diff);
+        }
+        self.tag = result;
+        n as u64
+    }
+
+    /// Equality comparison: sets the Tag latch to `a == b` per bit-line.
+    /// Returns the cycle count: `n`.
+    pub fn cmp_eq(&mut self, a: usize, b: usize, n: usize) -> u64 {
+        let mut equal = RowBits::ones();
+        for k in 0..n {
+            let acc = self.array.dual_access(a + k, b + k);
+            let xor = acc.and.or(&acc.nor).not();
+            equal = equal.and(&xor.not());
+        }
+        self.tag = equal;
+        n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn with_alu(f: impl FnOnce(&mut BitSerialAlu<'_>)) {
+        let mut array = SramArray::new();
+        let mut alu = BitSerialAlu::new(&mut array);
+        f(&mut alu);
+    }
+
+    #[test]
+    fn vertical_roundtrip() {
+        with_alu(|alu| {
+            let vals = [0u64, 1, 127, 128, 255];
+            alu.write_vertical(0, 8, &vals);
+            assert_eq!(alu.read_vertical(0, 8, 5), vals.to_vec());
+        });
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 8, &[200, 255]);
+            alu.write_vertical(8, 8, &[100, 1]);
+            let cycles = alu.add(0, 8, 16, 8);
+            assert_eq!(cycles, 8);
+            assert_eq!(alu.read_vertical(16, 8, 2), vec![44, 0]);
+        });
+    }
+
+    #[test]
+    fn sub_twos_complement() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 16, &[5, 1000, 0]);
+            alu.write_vertical(16, 16, &[7, 999, 0]);
+            let cycles = alu.sub(0, 16, 32, 16);
+            assert_eq!(cycles, 32);
+            assert_eq!(
+                alu.read_vertical(32, 16, 3),
+                vec![(5u64.wrapping_sub(7)) & 0xFFFF, 1, 0]
+            );
+        });
+    }
+
+    #[test]
+    fn mul_matches_formula_cycles() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 8, &[3, 16, 255]);
+            alu.write_vertical(8, 8, &[5, 16, 255]);
+            let cycles = alu.mul(0, 8, 16, 8);
+            assert_eq!(cycles, 8 * 8 + 5 * 8);
+            assert_eq!(alu.read_vertical(16, 8, 3), vec![15, 0, 1]);
+        });
+    }
+
+    #[test]
+    fn shifts_zero_fill() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 8, &[0b1011_0001]);
+            alu.shift_left(0, 8, 8, 3);
+            assert_eq!(alu.read_vertical(8, 8, 1), vec![0b1000_1000]);
+            alu.shift_right(0, 16, 8, 3);
+            assert_eq!(alu.read_vertical(16, 8, 1), vec![0b0001_0110]);
+        });
+    }
+
+    #[test]
+    fn compare_sets_tag_per_lane() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 8, &[5, 9, 7, 7]);
+            alu.write_vertical(8, 8, &[9, 5, 7, 6]);
+            alu.cmp_gt(0, 8, 8);
+            let tag = alu.tag();
+            assert!(!tag.bit(0) && tag.bit(1) && !tag.bit(2) && tag.bit(3));
+            alu.cmp_eq(0, 8, 8);
+            let tag = alu.tag();
+            assert!(!tag.bit(0) && !tag.bit(1) && tag.bit(2) && !tag.bit(3));
+        });
+    }
+
+    #[test]
+    fn tag_gates_writes_during_add() {
+        with_alu(|alu| {
+            alu.write_vertical(0, 8, &[1, 1]);
+            alu.write_vertical(8, 8, &[2, 2]);
+            alu.write_vertical(16, 8, &[99, 99]);
+            // Enable only bit-line 1 by loading a tag row with lane 1 set.
+            alu.write_vertical(24, 1, &[0, 1]);
+            alu.load_tag(24);
+            alu.add(0, 8, 16, 8);
+            assert_eq!(alu.read_vertical(16, 8, 2), vec![99, 3]);
+            alu.clear_tag();
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_match_wrapping(
+            a in proptest::collection::vec(any::<u16>(), 1..64),
+            b in proptest::collection::vec(any::<u16>(), 1..64),
+        ) {
+            let len = a.len().min(b.len());
+            let a64: Vec<u64> = a[..len].iter().map(|&v| v as u64).collect();
+            let b64: Vec<u64> = b[..len].iter().map(|&v| v as u64).collect();
+            let mut array = SramArray::new();
+            let mut alu = BitSerialAlu::new(&mut array);
+            alu.write_vertical(0, 16, &a64);
+            alu.write_vertical(16, 16, &b64);
+            alu.add(0, 16, 32, 16);
+            let sums = alu.read_vertical(32, 16, len);
+            alu.sub(0, 16, 48, 16);
+            let diffs = alu.read_vertical(48, 16, len);
+            for i in 0..len {
+                prop_assert_eq!(sums[i], (a64[i].wrapping_add(b64[i])) & 0xFFFF);
+                prop_assert_eq!(diffs[i], (a64[i].wrapping_sub(b64[i])) & 0xFFFF);
+            }
+        }
+
+        #[test]
+        fn prop_mul_matches_wrapping(
+            a in proptest::collection::vec(any::<u8>(), 1..32),
+            b in proptest::collection::vec(any::<u8>(), 1..32),
+        ) {
+            let len = a.len().min(b.len());
+            let a64: Vec<u64> = a[..len].iter().map(|&v| v as u64).collect();
+            let b64: Vec<u64> = b[..len].iter().map(|&v| v as u64).collect();
+            let mut array = SramArray::new();
+            let mut alu = BitSerialAlu::new(&mut array);
+            alu.write_vertical(0, 8, &a64);
+            alu.write_vertical(8, 8, &b64);
+            alu.mul(0, 8, 16, 8);
+            let prods = alu.read_vertical(16, 8, len);
+            for i in 0..len {
+                prop_assert_eq!(prods[i], (a64[i].wrapping_mul(b64[i])) & 0xFF);
+            }
+        }
+
+        #[test]
+        fn prop_compare_matches_scalar(
+            a in proptest::collection::vec(any::<u32>(), 1..32),
+            b in proptest::collection::vec(any::<u32>(), 1..32),
+        ) {
+            let len = a.len().min(b.len());
+            let a64: Vec<u64> = a[..len].iter().map(|&v| v as u64).collect();
+            let b64: Vec<u64> = b[..len].iter().map(|&v| v as u64).collect();
+            let mut array = SramArray::new();
+            let mut alu = BitSerialAlu::new(&mut array);
+            alu.write_vertical(0, 32, &a64);
+            alu.write_vertical(32, 32, &b64);
+            alu.cmp_gt(0, 32, 32);
+            let tag = alu.tag();
+            for i in 0..len {
+                prop_assert_eq!(tag.bit(i), a64[i] > b64[i]);
+            }
+        }
+    }
+}

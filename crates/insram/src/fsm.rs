@@ -1,0 +1,315 @@
+//! Control-Block FSM: decodes MVE compute instructions into the µops that
+//! drive the row decoders and bit-line peripherals (Section V-B, Figure 6).
+//!
+//! Each Control Block has one FSM shared by its four SRAM arrays. A compute
+//! instruction arriving from the MVE controller is expanded into a µop
+//! sequence; one µop issues per engine cycle, so **the length of the decoded
+//! sequence is exactly the Table II latency** — a property the tests pin
+//! against [`crate::latency::LatencyModel::BitSerial`] for every operation
+//! and width.
+//!
+//! Operand word-line layout follows Section III-B: an `n`-bit physical
+//! register occupies `n` consecutive word-lines, bit `k` of the register at
+//! word-line `base + k`.
+
+use crate::latency::AluOp;
+
+/// One micro-operation controlling the array for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uop {
+    /// Dual word-line activation: sense `AND`/`NOR` of two rows, run the
+    /// peripheral full adder with the Carry latch, write the sum row.
+    AddSlice {
+        /// Bit-slice of operand A.
+        a: u16,
+        /// Bit-slice of operand B.
+        b: u16,
+        /// Destination bit-slice.
+        dst: u16,
+    },
+    /// Like [`Uop::AddSlice`] but the B slice is inverted on the way in
+    /// (subtraction's second pass uses carry-in 1).
+    AddSliceNegB {
+        /// Bit-slice of operand A.
+        a: u16,
+        /// Bit-slice of operand B (inverted by the peripheral).
+        b: u16,
+        /// Destination bit-slice.
+        dst: u16,
+    },
+    /// Invert a slice into the peripheral (subtraction's first pass).
+    NegSlice {
+        /// Source bit-slice.
+        src: u16,
+    },
+    /// Dual activation computing a logic function into `dst`.
+    LogicSlice {
+        /// Bit-slice of operand A.
+        a: u16,
+        /// Bit-slice of operand B.
+        b: u16,
+        /// Destination bit-slice.
+        dst: u16,
+    },
+    /// Copy one bit-slice to another row (constant shift / copy step).
+    MoveSlice {
+        /// Source bit-slice (`None` writes zero fill).
+        src: Option<u16>,
+        /// Destination bit-slice.
+        dst: u16,
+    },
+    /// Load the Tag latch from a row (multiplier bit, predicate).
+    LatchTag {
+        /// Source bit-slice.
+        src: u16,
+    },
+    /// Compare step: update the per-bit-line decided/result latches from a
+    /// bit-slice pair (MSB-first scan).
+    CmpSlice {
+        /// Bit-slice of operand A.
+        a: u16,
+        /// Bit-slice of operand B.
+        b: u16,
+    },
+    /// Conditionally (under Tag) add A into the destination, one slice.
+    CondAddSlice {
+        /// Bit-slice of operand A.
+        a: u16,
+        /// Destination bit-slice.
+        dst: u16,
+    },
+    /// Broadcast a constant bit into a slice via the bit-line drivers.
+    DriveSlice {
+        /// Destination bit-slice.
+        dst: u16,
+        /// The driven bit.
+        bit: bool,
+    },
+    /// Peripheral housekeeping (carry init, write-enable setup) — the "+5n"
+    /// overhead cycles of the multiplication formula.
+    Housekeeping,
+}
+
+/// Decodes one compute instruction into its µop sequence.
+///
+/// `a`, `b`, `dst` are word-line bases of the operand registers; `n` is the
+/// element width in bits. The sequence length equals the bit-serial latency
+/// of `(op, n)`.
+///
+/// # Panics
+///
+/// Panics for float ALU classes — the FSM lowers float ops to integer
+/// primitive sequences before decode (as Duality Cache does), so only
+/// integer classes reach this level.
+pub fn decode(op: AluOp, n: u16, a: u16, b: u16, dst: u16) -> Vec<Uop> {
+    let mut uops = Vec::new();
+    match op {
+        AluOp::Logic => {
+            for k in 0..n {
+                uops.push(Uop::LogicSlice {
+                    a: a + k,
+                    b: b + k,
+                    dst: dst + k,
+                });
+            }
+        }
+        AluOp::Add => {
+            for k in 0..n {
+                uops.push(Uop::AddSlice {
+                    a: a + k,
+                    b: b + k,
+                    dst: dst + k,
+                });
+            }
+        }
+        AluOp::Sub => {
+            // Pass 1: negate B; pass 2: add with carry-in 1.
+            for k in 0..n {
+                uops.push(Uop::NegSlice { src: b + k });
+            }
+            for k in 0..n {
+                uops.push(Uop::AddSliceNegB {
+                    a: a + k,
+                    b: b + k,
+                    dst: dst + k,
+                });
+            }
+        }
+        AluOp::Mul => {
+            // Shift-and-add: per multiplier bit, latch Tag, add the
+            // multiplicand conditionally across all n slices, plus four
+            // housekeeping cycles (carry clear, enable setup, tag reset,
+            // partial-product bookkeeping) — n·(1 + n + 4) = n² + 5n.
+            for i in 0..n {
+                uops.push(Uop::LatchTag { src: b + i });
+                for k in 0..n {
+                    uops.push(Uop::CondAddSlice {
+                        a: a + k,
+                        dst: dst + k,
+                    });
+                }
+                for _ in 0..4 {
+                    uops.push(Uop::Housekeeping);
+                }
+            }
+        }
+        AluOp::MinMax => {
+            // Compare (n) + Tag-masked copy (n).
+            for k in (0..n).rev() {
+                uops.push(Uop::CmpSlice { a: a + k, b: b + k });
+            }
+            for k in 0..n {
+                uops.push(Uop::MoveSlice {
+                    src: Some(b + k),
+                    dst: dst + k,
+                });
+            }
+        }
+        AluOp::Cmp => {
+            for k in (0..n).rev() {
+                uops.push(Uop::CmpSlice { a: a + k, b: b + k });
+            }
+        }
+        AluOp::ShiftImm | AluOp::Copy | AluOp::Convert => {
+            // One read+write slice move per bit (shift offsets the source).
+            for k in 0..n {
+                uops.push(Uop::MoveSlice {
+                    src: Some(a + k),
+                    dst: dst + k,
+                });
+            }
+        }
+        AluOp::SetDup => {
+            for k in 0..n {
+                uops.push(Uop::DriveSlice {
+                    dst: dst + k,
+                    bit: false,
+                });
+            }
+        }
+        AluOp::ShiftReg => {
+            // O(n log n): per stage s, latch bit s of the shift amount then
+            // conditionally move every slice by 2^s.
+            let stages = u16::try_from(64 - (u64::from(n.max(2)) - 1).leading_zeros())
+                .expect("stage count fits");
+            for s in 0..stages {
+                uops.push(Uop::LatchTag { src: b + s });
+                for k in 0..n.saturating_sub(1) {
+                    uops.push(Uop::MoveSlice {
+                        src: Some(a + k),
+                        dst: dst + k,
+                    });
+                }
+            }
+        }
+        AluOp::FAdd | AluOp::FMul | AluOp::FCmp => {
+            panic!("float ops are lowered to integer primitives before FSM decode")
+        }
+    }
+    uops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+
+    /// The central invariant: µop count == Table II bit-serial latency, for
+    /// every integer op class and width.
+    #[test]
+    fn uop_counts_equal_bit_serial_latencies() {
+        let lm = LatencyModel::BitSerial;
+        let ops = [
+            AluOp::Logic,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::MinMax,
+            AluOp::Cmp,
+            AluOp::ShiftImm,
+            AluOp::SetDup,
+            AluOp::Copy,
+            AluOp::Convert,
+        ];
+        for op in ops {
+            for n in [8u16, 16, 32, 64] {
+                let uops = decode(op, n, 0, 64, 128);
+                assert_eq!(
+                    uops.len() as u64,
+                    lm.op_latency(op, u32::from(n)),
+                    "{op:?} at {n} bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_reg_uop_count_matches_nlogn() {
+        let lm = LatencyModel::BitSerial;
+        for n in [8u16, 16, 32, 64] {
+            let uops = decode(AluOp::ShiftReg, n, 0, 64, 128);
+            // Stage structure: log n stages of (1 latch + n-1 moves) = n·log n.
+            assert_eq!(uops.len() as u64, lm.op_latency(AluOp::ShiftReg, u32::from(n)));
+        }
+    }
+
+    #[test]
+    fn mul_decomposes_into_tagged_conditional_adds() {
+        let uops = decode(AluOp::Mul, 8, 0, 8, 16);
+        let tags = uops.iter().filter(|u| matches!(u, Uop::LatchTag { .. })).count();
+        let conds = uops
+            .iter()
+            .filter(|u| matches!(u, Uop::CondAddSlice { .. }))
+            .count();
+        let house = uops.iter().filter(|u| matches!(u, Uop::Housekeeping)).count();
+        assert_eq!(tags, 8); // one Tag latch per multiplier bit
+        assert_eq!(conds, 64); // n adds per bit
+        assert_eq!(house, 32); // 4 per bit
+        assert_eq!(tags + conds + house, 8 * 8 + 5 * 8);
+    }
+
+    #[test]
+    fn sub_is_negate_then_add() {
+        let uops = decode(AluOp::Sub, 16, 0, 16, 32);
+        assert!(matches!(uops[0], Uop::NegSlice { .. }));
+        assert!(matches!(uops[16], Uop::AddSliceNegB { .. }));
+        assert_eq!(uops.len(), 32);
+    }
+
+    #[test]
+    fn cmp_scans_msb_first() {
+        let uops = decode(AluOp::Cmp, 8, 0, 8, 0);
+        // First µop touches the MSB slice (bit 7).
+        assert_eq!(uops[0], Uop::CmpSlice { a: 7, b: 15 });
+        assert_eq!(uops[7], Uop::CmpSlice { a: 0, b: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "lowered to integer primitives")]
+    fn float_ops_rejected_at_fsm_level() {
+        decode(AluOp::FAdd, 32, 0, 32, 64);
+    }
+
+    #[test]
+    fn uop_slices_stay_within_operand_ranges() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::ShiftImm] {
+            for uop in decode(op, 32, 0, 32, 64) {
+                let ok = match uop {
+                    Uop::AddSlice { a, b, dst }
+                    | Uop::AddSliceNegB { a, b, dst }
+                    | Uop::LogicSlice { a, b, dst } => a < 32 && (32..64).contains(&b) && (64..96).contains(&dst),
+                    Uop::NegSlice { src } => (32..64).contains(&src),
+                    Uop::MoveSlice { src, dst } => {
+                        src.is_none_or(|s| s < 32) && (64..96).contains(&dst)
+                    }
+                    Uop::LatchTag { src } => (32..64).contains(&src),
+                    Uop::CondAddSlice { a, dst } => a < 32 && (64..96).contains(&dst),
+                    Uop::CmpSlice { a, b } => a < 32 && (32..64).contains(&b),
+                    Uop::DriveSlice { dst, .. } => (64..96).contains(&dst),
+                    Uop::Housekeeping => true,
+                };
+                assert!(ok, "µop {uop:?} out of range for {op:?}");
+            }
+        }
+    }
+}

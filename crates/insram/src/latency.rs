@@ -1,0 +1,322 @@
+//! Cycle-latency models for the four in-SRAM computing schemes.
+//!
+//! The bit-serial (BS) numbers are the paper's Table II; bit-parallel (BP),
+//! bit-hybrid (BH) and associative-computing (AC) numbers follow the scaling
+//! rules of Section II-B:
+//!
+//! * **BP** (VRAM): data laid horizontally; latency improves by a factor of
+//!   `n` at the cost of `n`× fewer lanes.
+//! * **BH** (EVE): `n`-bit data split into `p`-bit segments; intra-segment
+//!   arithmetic is bit-parallel (Manchester carry chain), inter-segment
+//!   carries propagate bit-serially. Latency ≈ BS/`p`, lanes ÷ `p`.
+//! * **AC** (CAPE): no peripheral ALU; logic ops are O(1) truth-table
+//!   search/update passes, but carry propagation makes an `n`-bit
+//!   addition/subtraction cost `8n + 2` cycles, and multiplication is
+//!   decomposed into conditional additions.
+//!
+//! Floating-point latencies are derived from the integer primitives the way
+//! Duality Cache composes them: a float add needs two variable shifts
+//! (mantissa alignment + normalisation), a mantissa add and an exponent
+//! subtract; a float multiply needs a mantissa multiply and an exponent add.
+//! The derivations are spelled out in [`LatencyModel::op_latency`].
+
+/// An ALU operation class, the unit at which latency is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Bit-wise logic (AND/OR/XOR/NOT).
+    Logic,
+    /// Integer addition (also accumulate steps of reductions).
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Min/max selection (compare + masked copy).
+    MinMax,
+    /// Comparison producing a Tag predicate.
+    Cmp,
+    /// Constant (immediate) shift or rotate.
+    ShiftImm,
+    /// Variable (per-lane register) shift.
+    ShiftReg,
+    /// Broadcast an immediate/scalar into all lanes.
+    SetDup,
+    /// Register-to-register copy.
+    Copy,
+    /// Precision/type conversion.
+    Convert,
+    /// Floating-point addition/subtraction.
+    FAdd,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point min/max/compare.
+    FCmp,
+}
+
+impl AluOp {
+    /// All operation classes, for exhaustive table printing.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Logic,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::MinMax,
+        AluOp::Cmp,
+        AluOp::ShiftImm,
+        AluOp::ShiftReg,
+        AluOp::SetDup,
+        AluOp::Copy,
+        AluOp::Convert,
+        AluOp::FAdd,
+        AluOp::FMul,
+        AluOp::FCmp,
+    ];
+}
+
+/// A latency model mapping `(operation, element bits)` to engine cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Bit-serial (Neural Cache / Duality Cache): Table II formulas.
+    BitSerial,
+    /// Bit-parallel (VRAM): BS latency divided by the element width.
+    BitParallel,
+    /// Bit-hybrid (EVE) with `segment_bits`-wide bit-parallel segments.
+    BitHybrid {
+        /// Segment width `p` in bits (EVE uses 4–8; we default to 8).
+        segment_bits: u32,
+    },
+    /// Associative computing (CAPE).
+    Associative,
+}
+
+impl LatencyModel {
+    fn ceil_log2(n: u64) -> u64 {
+        debug_assert!(n > 0);
+        64 - (n - 1).leading_zeros() as u64
+    }
+
+    /// Bit-serial latency for integer primitives (Table II).
+    fn bs_int(op: AluOp, n: u64) -> u64 {
+        match op {
+            AluOp::Logic => n,
+            AluOp::Add => n,
+            AluOp::Sub => 2 * n,
+            AluOp::Mul => n * n + 5 * n,
+            AluOp::MinMax => 2 * n,
+            AluOp::Cmp => n,
+            AluOp::ShiftImm => n,
+            AluOp::ShiftReg => n * Self::ceil_log2(n.max(2)),
+            AluOp::SetDup => n,
+            AluOp::Copy => n,
+            AluOp::Convert => n,
+            // Float ops are resolved by `bs_float` before reaching here.
+            AluOp::FAdd | AluOp::FMul | AluOp::FCmp => unreachable!("float handled separately"),
+        }
+    }
+
+    /// Mantissa and exponent widths (including the hidden bit) for the two
+    /// supported float widths.
+    fn float_fields(n: u64) -> (u64, u64) {
+        match n {
+            16 => (11, 5),
+            32 => (24, 8),
+            other => panic!("unsupported float width: {other} bits"),
+        }
+    }
+
+    /// Bit-serial float latency, composed from integer primitives the way
+    /// Duality Cache does:
+    ///
+    /// * `FAdd`: exponent subtract (2e) + variable mantissa alignment shift
+    ///   (m·⌈log₂m⌉) + mantissa add (m) + normalisation shift (m·⌈log₂m⌉) +
+    ///   exponent adjust (e).
+    /// * `FMul`: mantissa multiply (m²+5m) + exponent add (e) +
+    ///   1-bit normalise (m).
+    /// * `FCmp`: sign/exponent/mantissa lexicographic compare (n).
+    fn bs_float(op: AluOp, n: u64) -> u64 {
+        let (m, e) = Self::float_fields(n);
+        let varshift = m * Self::ceil_log2(m);
+        match op {
+            AluOp::FAdd => 2 * e + varshift + m + varshift + e,
+            AluOp::FMul => (m * m + 5 * m) + e + m,
+            AluOp::FCmp => n,
+            _ => unreachable!("integer handled separately"),
+        }
+    }
+
+    /// Latency in engine cycles of `op` on `bits`-wide elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not one of 8/16/32/64 (integer ops) or 16/32
+    /// (float ops).
+    pub fn op_latency(&self, op: AluOp, bits: u32) -> u64 {
+        let n = bits as u64;
+        let is_float = matches!(op, AluOp::FAdd | AluOp::FMul | AluOp::FCmp);
+        let bs = if is_float {
+            Self::bs_float(op, n)
+        } else {
+            assert!(
+                matches!(bits, 8 | 16 | 32 | 64),
+                "unsupported integer width: {bits} bits"
+            );
+            Self::bs_int(op, n)
+        };
+        match *self {
+            LatencyModel::BitSerial => bs,
+            // BP: latency improves by a factor of n (Section II-B(b)); the
+            // carry chain still costs a couple of cycles.
+            LatencyModel::BitParallel => (bs / n).max(1) + 1,
+            // BH: intra-segment parallel, inter-segment serial.
+            LatencyModel::BitHybrid { segment_bits } => {
+                let p = u64::from(segment_bits).clamp(1, n);
+                (bs / p).max(1) + (n / p).max(1)
+            }
+            // AC: logic is O(1) search/update; add/sub cost 8n+2; everything
+            // else decomposes into additions (Section II-B(c)).
+            LatencyModel::Associative => match op {
+                AluOp::Logic => 4, // one search+update pass per truth-table row
+                AluOp::Add | AluOp::Sub => 8 * n + 2,
+                AluOp::Cmp => 2 * n,
+                AluOp::MinMax => (8 * n + 2) + 2 * n,
+                AluOp::ShiftImm => 2 * n,
+                AluOp::ShiftReg => 2 * n * Self::ceil_log2(n.max(2)),
+                AluOp::SetDup | AluOp::Copy | AluOp::Convert => 2 * n,
+                // Shift-and-add with an 8n+2-cycle adder per multiplier bit.
+                AluOp::Mul => n * (8 * n + 2),
+                AluOp::FAdd => {
+                    let (m, e) = Self::float_fields(n);
+                    let varshift = 2 * m * Self::ceil_log2(m);
+                    2 * (8 * e + 2) + varshift + (8 * m + 2) + varshift + (8 * e + 2)
+                }
+                AluOp::FMul => {
+                    let (m, e) = Self::float_fields(n);
+                    m * (8 * m + 2) + (8 * e + 2) + 2 * m
+                }
+                AluOp::FCmp => 2 * n,
+            },
+        }
+    }
+
+    /// The factor by which this scheme divides the engine's SIMD lane count
+    /// relative to bit-serial, for `bits`-wide elements.
+    ///
+    /// BS keeps all lanes; BP needs `n` bit-lines per element; BH needs `p`.
+    /// AC keeps full parallelism (bit-slices are spread over arrays).
+    pub fn lane_divisor(&self, bits: u32) -> u32 {
+        match *self {
+            LatencyModel::BitSerial | LatencyModel::Associative => 1,
+            LatencyModel::BitParallel => bits,
+            LatencyModel::BitHybrid { segment_bits } => segment_bits.min(bits).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_bit_serial_formulas() {
+        let m = LatencyModel::BitSerial;
+        for n in [8u32, 16, 32, 64] {
+            let n64 = n as u64;
+            assert_eq!(m.op_latency(AluOp::Add, n), n64);
+            assert_eq!(m.op_latency(AluOp::Sub, n), 2 * n64);
+            assert_eq!(m.op_latency(AluOp::Mul, n), n64 * n64 + 5 * n64);
+            assert_eq!(m.op_latency(AluOp::MinMax, n), 2 * n64);
+            assert_eq!(m.op_latency(AluOp::Cmp, n), n64);
+            assert_eq!(m.op_latency(AluOp::ShiftImm, n), n64);
+        }
+        // n log n for variable shift: 32 * 5 = 160.
+        assert_eq!(m.op_latency(AluOp::ShiftReg, 32), 160);
+    }
+
+    #[test]
+    fn bit_parallel_divides_latency_and_lanes() {
+        let bs = LatencyModel::BitSerial;
+        let bp = LatencyModel::BitParallel;
+        assert!(bp.op_latency(AluOp::Add, 32) <= bs.op_latency(AluOp::Add, 32) / 16);
+        assert_eq!(bp.lane_divisor(32), 32);
+        assert_eq!(bs.lane_divisor(32), 1);
+    }
+
+    #[test]
+    fn bit_hybrid_sits_between_serial_and_parallel() {
+        let bs = LatencyModel::BitSerial;
+        let bh = LatencyModel::BitHybrid { segment_bits: 8 };
+        let bp = LatencyModel::BitParallel;
+        for op in [AluOp::Add, AluOp::Mul, AluOp::Cmp] {
+            let (s, h, p) = (
+                bs.op_latency(op, 32),
+                bh.op_latency(op, 32),
+                bp.op_latency(op, 32),
+            );
+            assert!(p <= h && h <= s, "{op:?}: {p} <= {h} <= {s} violated");
+        }
+        assert_eq!(bh.lane_divisor(32), 8);
+    }
+
+    #[test]
+    fn associative_add_is_8n_plus_2() {
+        let ac = LatencyModel::Associative;
+        assert_eq!(ac.op_latency(AluOp::Add, 32), 8 * 32 + 2);
+        assert_eq!(ac.op_latency(AluOp::Logic, 32), 4);
+        // AC arithmetic is 4-8x slower than BS (Section VII-C).
+        let bs = LatencyModel::BitSerial;
+        let ratio =
+            ac.op_latency(AluOp::Add, 32) as f64 / bs.op_latency(AluOp::Add, 32) as f64;
+        assert!((4.0..=9.0).contains(&ratio), "AC/BS add ratio {ratio}");
+    }
+
+    #[test]
+    fn float_latencies_exceed_int() {
+        let bs = LatencyModel::BitSerial;
+        assert!(bs.op_latency(AluOp::FAdd, 32) > bs.op_latency(AluOp::Add, 32));
+        assert!(bs.op_latency(AluOp::FMul, 32) > bs.op_latency(AluOp::FAdd, 32));
+        assert!(bs.op_latency(AluOp::FAdd, 16) < bs.op_latency(AluOp::FAdd, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported float width")]
+    fn float64_unsupported() {
+        LatencyModel::BitSerial.op_latency(AluOp::FAdd, 64);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn bit_hybrid_segment_width_trades_latency_for_lanes() {
+        let narrow = LatencyModel::BitHybrid { segment_bits: 4 };
+        let wide = LatencyModel::BitHybrid { segment_bits: 16 };
+        // Wider segments: faster ops, fewer lanes.
+        assert!(wide.op_latency(AluOp::Mul, 32) < narrow.op_latency(AluOp::Mul, 32));
+        assert!(wide.lane_divisor(32) > narrow.lane_divisor(32));
+    }
+
+    #[test]
+    fn shift_reg_log_factor() {
+        let m = LatencyModel::BitSerial;
+        // n·⌈log₂ n⌉: 8→24, 16→64, 64→384.
+        assert_eq!(m.op_latency(AluOp::ShiftReg, 8), 24);
+        assert_eq!(m.op_latency(AluOp::ShiftReg, 16), 64);
+        assert_eq!(m.op_latency(AluOp::ShiftReg, 64), 384);
+    }
+
+    #[test]
+    fn f16_ops_cheaper_than_f32_by_mantissa_ratio() {
+        let m = LatencyModel::BitSerial;
+        let r = m.op_latency(AluOp::FMul, 32) as f64 / m.op_latency(AluOp::FMul, 16) as f64;
+        // Mantissa 24 vs 11: roughly quadratic in the multiply.
+        assert!(r > 3.0 && r < 6.0, "f32/f16 fmul ratio {r}");
+    }
+
+    #[test]
+    fn associative_logic_is_constant_time() {
+        let ac = LatencyModel::Associative;
+        assert_eq!(ac.op_latency(AluOp::Logic, 8), ac.op_latency(AluOp::Logic, 64));
+    }
+}

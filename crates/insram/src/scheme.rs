@@ -1,0 +1,201 @@
+//! In-SRAM computing scheme descriptors.
+//!
+//! A [`Scheme`] bundles the latency model, the lane arithmetic and the
+//! frequency derate of one of the four in-SRAM computing proposals the paper
+//! compares in Figure 13. The geometric configuration (array count, bit-lines
+//! per array) lives in [`EngineGeometry`], which Section VI fixes at 32
+//! arrays of 256×256 for the Snapdragon-855-class L2.
+
+use crate::latency::{AluOp, LatencyModel};
+
+/// Geometry of the in-cache engine: how many compute-enabled SRAM arrays and
+/// how they are grouped into Control Blocks (CBs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineGeometry {
+    /// Compute-enabled SRAM arrays (paper default: 32 = half of a 512 KB L2).
+    pub arrays: usize,
+    /// Bit-lines per array (256).
+    pub bitlines_per_array: usize,
+    /// Word-lines per array (256); bounds live register bits.
+    pub wordlines: usize,
+    /// SRAM arrays sharing one FSM, i.e. one Control Block (paper: 4).
+    pub arrays_per_cb: usize,
+}
+
+impl Default for EngineGeometry {
+    fn default() -> Self {
+        Self {
+            arrays: 32,
+            bitlines_per_array: 256,
+            wordlines: 256,
+            arrays_per_cb: 4,
+        }
+    }
+}
+
+impl EngineGeometry {
+    /// Geometry with a custom array count (Figure 12(b) scalability sweep).
+    pub fn with_arrays(arrays: usize) -> Self {
+        Self {
+            arrays,
+            ..Self::default()
+        }
+    }
+
+    /// Total bit-lines = bit-serial SIMD lanes (8192 by default).
+    pub fn total_bitlines(&self) -> usize {
+        self.arrays * self.bitlines_per_array
+    }
+
+    /// Number of Control Blocks (8 by default).
+    pub fn control_blocks(&self) -> usize {
+        self.arrays.div_ceil(self.arrays_per_cb)
+    }
+
+    /// Bit-lines managed by one CB (1024 by default).
+    pub fn bitlines_per_cb(&self) -> usize {
+        self.arrays_per_cb * self.bitlines_per_array
+    }
+}
+
+/// One of the four in-SRAM computing schemes of Section II-B / Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Bit-serial (Neural Cache) — maximum lanes, highest op latency.
+    BitSerial,
+    /// Bit-hybrid (EVE) — `p`-bit segments; latency and lanes both ÷ `p`.
+    BitHybrid,
+    /// Bit-parallel (VRAM) — minimum latency, lanes ÷ element width.
+    BitParallel,
+    /// Associative computing (CAPE) — O(1) logic, slow carry arithmetic.
+    Associative,
+}
+
+impl Scheme {
+    /// All schemes, in the order Figure 13 plots them.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::BitSerial,
+        Scheme::BitHybrid,
+        Scheme::BitParallel,
+        Scheme::Associative,
+    ];
+
+    /// Short name as used in the paper's figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Scheme::BitSerial => "BS",
+            Scheme::BitHybrid => "BH",
+            Scheme::BitParallel => "BP",
+            Scheme::Associative => "AC",
+        }
+    }
+
+    /// The latency model for this scheme (BH uses 8-bit segments, the upper
+    /// end of EVE's design space, matching the paper's configuration of a
+    /// balanced design).
+    pub fn latency_model(&self) -> LatencyModel {
+        match self {
+            Scheme::BitSerial => LatencyModel::BitSerial,
+            Scheme::BitHybrid => LatencyModel::BitHybrid { segment_bits: 8 },
+            Scheme::BitParallel => LatencyModel::BitParallel,
+            Scheme::Associative => LatencyModel::Associative,
+        }
+    }
+
+    /// SIMD lanes available for `bits`-wide elements under this scheme.
+    pub fn lanes(&self, geometry: &EngineGeometry, bits: u32) -> usize {
+        geometry.total_bitlines() / self.latency_model().lane_divisor(bits) as usize
+    }
+
+    /// Frequency derate relative to the scalar core clock.
+    ///
+    /// BP/BH need inter-bit-line carry communication, which "incurs area and
+    /// frequency overheads" (Section II-B(b)). CALIBRATED: 10% (BP) and 5%
+    /// (BH) derates; BS and AC run peripherals at core frequency as in
+    /// Neural Cache / CAPE.
+    pub fn frequency_scale(&self) -> f64 {
+        match self {
+            Scheme::BitSerial | Scheme::Associative => 1.0,
+            Scheme::BitHybrid => 0.95,
+            Scheme::BitParallel => 0.90,
+        }
+    }
+
+    /// Convenience: op latency in engine cycles.
+    pub fn op_latency(&self, op: AluOp, bits: u32) -> u64 {
+        self.latency_model().op_latency(op, bits)
+    }
+
+    /// Bit-slices the TMU must drain into the arrays per element on a load
+    /// (and read back on a store).
+    ///
+    /// Bit-serial needs the full vertical transpose (`bits` word-line
+    /// writes); bit-hybrid transposes only within its 8-bit segments;
+    /// bit-parallel and associative computing keep data horizontal
+    /// (Figure 1 / Section II-B), so a single word-line write suffices.
+    pub fn tmu_drain_slices(&self, bits: u32) -> usize {
+        match self {
+            Scheme::BitSerial => bits as usize,
+            Scheme::BitHybrid => bits.min(8) as usize,
+            Scheme::BitParallel | Scheme::Associative => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_table_iv() {
+        let g = EngineGeometry::default();
+        assert_eq!(g.total_bitlines(), 8192);
+        assert_eq!(g.control_blocks(), 8);
+        assert_eq!(g.bitlines_per_cb(), 1024);
+    }
+
+    #[test]
+    fn scalability_geometries() {
+        for (arrays, lanes) in [(8, 2048), (16, 4096), (32, 8192), (64, 16384)] {
+            let g = EngineGeometry::with_arrays(arrays);
+            assert_eq!(g.total_bitlines(), lanes);
+        }
+    }
+
+    #[test]
+    fn lane_counts_per_scheme() {
+        let g = EngineGeometry::default();
+        assert_eq!(Scheme::BitSerial.lanes(&g, 32), 8192);
+        assert_eq!(Scheme::BitParallel.lanes(&g, 32), 256);
+        assert_eq!(Scheme::BitHybrid.lanes(&g, 32), 1024);
+        assert_eq!(Scheme::Associative.lanes(&g, 32), 8192);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.short_name()).collect();
+        assert_eq!(names, ["BS", "BH", "BP", "AC"]);
+    }
+
+    #[test]
+    fn throughput_ordering_for_wide_ops() {
+        // For 32-bit adds, BS has the best throughput-per-engine thanks to
+        // lane count; BP has the best latency. Sanity-check the trade-off
+        // that drives Figure 13.
+        let g = EngineGeometry::default();
+        let tp = |s: Scheme| {
+            s.lanes(&g, 32) as f64 / s.op_latency(AluOp::Add, 32) as f64 * s.frequency_scale()
+        };
+        assert!(tp(Scheme::BitSerial) > tp(Scheme::BitParallel));
+        assert!(
+            Scheme::BitParallel.op_latency(AluOp::Add, 32)
+                < Scheme::BitSerial.op_latency(AluOp::Add, 32)
+        );
+    }
+}

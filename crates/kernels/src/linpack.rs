@@ -1,0 +1,172 @@
+//! Linpack — `daxpy` (the paper's LPACK kernel, 1-D, f32).
+
+use crate::common::{check_f32, engine, gen_f32, KernelRun, Scale};
+use crate::registry::{Kernel, KernelInfo, Library};
+use mve_baselines::gpu::GpuKernelCost;
+use mve_baselines::rvv::Rvv;
+use mve_core::dtype::DType;
+use mve_core::isa::StrideMode;
+use mve_coresim::neon::{NeonOpClass, NeonProfile};
+
+/// `y[i] += a * x[i]` over a long vector.
+pub struct Daxpy;
+
+impl Daxpy {
+    fn n(scale: Scale) -> usize {
+        match scale {
+            Scale::Test => 16 * 1024,
+            Scale::Paper => 512 * 1024,
+        }
+    }
+
+    /// Scalar reference.
+    pub fn scalar_ref(a: f32, x: &[f32], y: &[f32]) -> Vec<f32> {
+        x.iter().zip(y).map(|(xi, yi)| a * xi + yi).collect()
+    }
+}
+
+impl Kernel for Daxpy {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "lpack",
+            library: Library::Linpack,
+            dims: 1,
+            dtype_bits: 32,
+            selected: true,
+        }
+    }
+
+    fn run_mve(&self, scale: Scale) -> KernelRun {
+        let n = Self::n(scale);
+        let a = 2.5f32;
+        let x = gen_f32(0x11, n);
+        let y = gen_f32(0x12, n);
+        let want = Self::scalar_ref(a, &x, &y);
+
+        let mut e = engine();
+        let xa = e.mem_alloc_typed::<f32>(n);
+        let ya = e.mem_alloc_typed::<f32>(n);
+        let oa = e.mem_alloc_typed::<f32>(n);
+        e.mem_fill(xa, &x);
+        e.mem_fill(ya, &y);
+
+        let lanes = e.lanes();
+        e.vsetdimc(1);
+        e.vsetdiml(0, lanes.min(n));
+        let av = e.vsetdup_f(a);
+        let mut base = 0usize;
+        while base < n {
+            let chunk = lanes.min(n - base);
+            e.vsetdiml(0, chunk);
+            e.scalar(6); // loop control + address updates
+            let xv = e.vsld_f(xa + base as u64 * 4, &[StrideMode::One]);
+            let yv = e.vsld_f(ya + base as u64 * 4, &[StrideMode::One]);
+            let p = e.vmul_f(xv, av);
+            let s = e.vadd_f(p, yv);
+            e.vsst_f(s, oa + base as u64 * 4, &[StrideMode::One]);
+            for r in [xv, yv, p, s] {
+                e.free(r);
+            }
+            base += chunk;
+        }
+        let got = e.mem_read_vec::<f32>(oa, n);
+        KernelRun {
+            checked: check_f32(&got, &want, 1e-6),
+            trace: e.take_trace(),
+        }
+    }
+
+    fn run_rvv(&self, scale: Scale) -> Option<KernelRun> {
+        let n = Self::n(scale);
+        let a = 2.5f32;
+        let x = gen_f32(0x11, n);
+        let y = gen_f32(0x12, n);
+        let want = Self::scalar_ref(a, &x, &y);
+
+        let mut e = engine();
+        let xa = e.mem_alloc_typed::<f32>(n);
+        let ya = e.mem_alloc_typed::<f32>(n);
+        let oa = e.mem_alloc_typed::<f32>(n);
+        e.mem_fill(xa, &x);
+        e.mem_fill(ya, &y);
+
+        let lanes = e.lanes();
+        let mut rvv = Rvv::new(&mut e);
+        let mut base = 0usize;
+        while base < n {
+            let chunk = lanes.min(n - base);
+            rvv.setvl(chunk);
+            rvv.engine().scalar(6);
+            let xv = rvv.load_1d(DType::F32, xa + base as u64 * 4, 1);
+            let yv = rvv.load_1d(DType::F32, ya + base as u64 * 4, 1);
+            let en = rvv.engine();
+            let av = en.vsetdup_f(a);
+            let p = en.vmul_f(xv, av);
+            let s = en.vadd_f(p, yv);
+            rvv.store_1d(s, oa + base as u64 * 4, 1);
+            let en = rvv.engine();
+            for r in [xv, yv, av, p, s] {
+                en.free(r);
+            }
+            base += chunk;
+        }
+        let got = e.mem_read_vec::<f32>(oa, n);
+        Some(KernelRun {
+            checked: check_f32(&got, &want, 1e-6),
+            trace: e.take_trace(),
+        })
+    }
+
+    fn neon_profile(&self, scale: Scale) -> NeonProfile {
+        let n = Self::n(scale) as u64;
+        let vecs = n / 4; // 4 f32 lanes per 128-bit vector
+        NeonProfile {
+            ops: vec![(NeonOpClass::FpMac, vecs)],
+            chain_ops: vec![],
+            loads: 2 * vecs,
+            stores: vecs,
+            scalar_instrs: 2 * vecs,
+            touched_bytes: 3 * n * 4,
+            base_addr: 0x100_0000,
+        }
+    }
+
+    fn gpu_cost(&self, scale: Scale) -> Option<GpuKernelCost> {
+        let n = Self::n(scale) as u64;
+        Some(GpuKernelCost {
+            ops: 2 * n,
+            bytes_in: 2 * n * 4,
+            bytes_out: n * 4,
+            launches: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mve_matches_reference() {
+        let run = Daxpy.run_mve(Scale::Test);
+        assert!(run.checked.ok(), "{:?}", run.checked);
+        assert!(run.trace.instr_mix().mem_access > 0);
+    }
+
+    #[test]
+    fn rvv_matches_reference() {
+        let run = Daxpy.run_rvv(Scale::Test).expect("selected kernel");
+        assert!(run.checked.ok(), "{:?}", run.checked);
+    }
+
+    #[test]
+    fn rvv_and_mve_cost_similarly_in_1d() {
+        // LPACK is 1-D: RVV should not blow up the instruction count
+        // (Figure 10 shows near-parity for 1-D kernels).
+        let mve = Daxpy.run_mve(Scale::Test);
+        let rvv = Daxpy.run_rvv(Scale::Test).expect("rvv");
+        let m = mve.trace.instr_mix().vector_total();
+        let r = rvv.trace.instr_mix().vector_total();
+        assert!((r as f64) < 1.5 * m as f64, "rvv {r} vs mve {m}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Precision-parametric variants of GEMM, SpMM and FIR for the Figure 12(c)
+//! bit-precision sensitivity study (F32 / I32 / F16 / I16).
+//!
+//! Bit-serial arithmetic latency is quadratic in the element width, so these
+//! four variants are the paper's probe into the precision/performance
+//! trade-off. Each variant computes functionally and is checked against a
+//! same-precision scalar reference.
+
+use crate::common::{engine, gen_f32, Checked, KernelRun, Scale};
+use mve_core::dtype::DType;
+use mve_core::engine::{Engine, Reg};
+use mve_core::isa::StrideMode;
+
+/// The four precisions of Figure 12(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 32-bit float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// 16-bit float.
+    F16,
+    /// 16-bit signed integer.
+    I16,
+}
+
+impl Precision {
+    /// All four, in the paper's plot order.
+    pub const ALL: [Precision; 4] = [
+        Precision::F32,
+        Precision::I32,
+        Precision::F16,
+        Precision::I16,
+    ];
+
+    /// The engine data type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Precision::F32 => DType::F32,
+            Precision::I32 => DType::I32,
+            Precision::F16 => DType::F16,
+            Precision::I16 => DType::I16,
+        }
+    }
+
+    /// Label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F32 => "F32",
+            Precision::I32 => "I32",
+            Precision::F16 => "F16",
+            Precision::I16 => "I16",
+        }
+    }
+
+    /// Element bytes.
+    fn bytes(&self) -> u64 {
+        self.dtype().bytes()
+    }
+
+    /// Packs an f32 sample into this precision's canonical lane value.
+    fn pack(&self, v: f32) -> u64 {
+        match self {
+            Precision::F32 => DType::F32.from_f32(v),
+            Precision::F16 => DType::F16.from_f32(v),
+            // Integers: scale [-1,1) samples to a fixed-point range.
+            Precision::I32 => DType::I32.from_i64((v * 1024.0) as i64),
+            Precision::I16 => DType::I16.from_i64((v * 127.0) as i64),
+        }
+    }
+
+    /// Scalar multiply-accumulate in this precision's exact semantics.
+    fn mac(&self, acc: u64, a: u64, b: u64) -> u64 {
+        let dt = self.dtype();
+        let p = dt.binop(mve_core::dtype::BinOp::Mul, a, b);
+        dt.binop(mve_core::dtype::BinOp::Add, acc, p)
+    }
+}
+
+fn store_packed(e: &mut Engine, base: u64, prec: Precision, vals: &[u64]) {
+    for (i, &v) in vals.iter().enumerate() {
+        e.mem_mut().write_raw(base + i as u64 * prec.bytes(), prec.bytes(), v);
+    }
+}
+
+fn typed_load(e: &mut Engine, prec: Precision, base: u64, modes: &[StrideMode]) -> Reg {
+    e.load(prec.dtype(), base, modes)
+}
+
+fn typed_mul(e: &mut Engine, a: Reg, b: Reg) -> Reg {
+    e.binop(mve_core::isa::Opcode::Mul, mve_core::dtype::BinOp::Mul, a, b)
+}
+
+fn typed_add(e: &mut Engine, a: Reg, b: Reg) -> Reg {
+    e.binop(mve_core::isa::Opcode::Add, mve_core::dtype::BinOp::Add, a, b)
+}
+
+fn check_lanes(e: &Engine, got_base: u64, prec: Precision, want: &[u64]) -> Checked {
+    let mut mismatches = 0;
+    for (i, &w) in want.iter().enumerate() {
+        let g = e.mem().read_raw(got_base + i as u64 * prec.bytes(), prec.bytes());
+        if g != w {
+            mismatches += 1;
+        }
+    }
+    Checked {
+        compared: want.len(),
+        mismatches,
+    }
+}
+
+/// GEMM at an arbitrary precision (Figure 12(c) sizes: 64×64×64).
+pub fn run_gemm(prec: Precision, scale: Scale) -> KernelRun {
+    let (n, k, m) = match scale {
+        Scale::Test => (8, 12, 32),
+        Scale::Paper => (64, 64, 64),
+    };
+    run_gemm_dims(prec, n, k, m)
+}
+
+/// GEMM at an arbitrary precision and explicit dimensions (shared by the
+/// XNNPACK fp16 kernel).
+pub fn run_gemm_dims(prec: Precision, n: usize, k: usize, m: usize) -> KernelRun {
+    let input: Vec<u64> = gen_f32(0xE1, n * k).iter().map(|&v| prec.pack(v)).collect();
+    let weight: Vec<u64> = gen_f32(0xE2, k * m).iter().map(|&v| prec.pack(v)).collect();
+    // Same-order scalar reference in exact lane semantics.
+    let mut want = vec![prec.pack(0.0); n * m];
+    for r in 0..n {
+        for c in 0..m {
+            let mut acc = prec.pack(0.0);
+            for j in 0..k {
+                acc = prec.mac(acc, input[r * k + j], weight[j * m + c]);
+            }
+            want[r * m + c] = acc;
+        }
+    }
+
+    let mut e = engine();
+    e.vsetwidth(32);
+    let eb = prec.bytes();
+    let ia = e.mem_alloc(n as u64 * k as u64 * eb);
+    let wa = e.mem_alloc(k as u64 * m as u64 * eb);
+    let oa = e.mem_alloc(n as u64 * m as u64 * eb);
+    store_packed(&mut e, ia, prec, &input);
+    store_packed(&mut e, wa, prec, &weight);
+
+    let lanes = e.lanes();
+    let rows_per_tile = (lanes / m).max(1);
+    e.vsetdimc(2);
+    e.vsetdiml(0, m);
+    e.vsetldstr(1, k as i64);
+    let mut r = 0usize;
+    while r < n {
+        let rows = rows_per_tile.min(n - r);
+        e.vsetdiml(1, rows);
+        e.scalar(8);
+        let mut acc = e.setdup(prec.dtype(), prec.pack(0.0));
+        for j in 0..k {
+            e.scalar(6);
+            let iv = typed_load(&mut e, prec, ia + ((r * k + j) as u64) * eb, &[StrideMode::Zero, StrideMode::Cr]);
+            let wv = typed_load(&mut e, prec, wa + ((j * m) as u64) * eb, &[StrideMode::One, StrideMode::Zero]);
+            let p = typed_mul(&mut e, iv, wv);
+            let acc2 = typed_add(&mut e, acc, p);
+            for rg in [iv, wv, p, acc] {
+                e.free(rg);
+            }
+            acc = acc2;
+        }
+        e.store(acc, oa + ((r * m) as u64) * eb, &[StrideMode::One, StrideMode::Seq]);
+        e.free(acc);
+        r += rows;
+    }
+    KernelRun {
+        checked: check_lanes(&e, oa, prec, &want),
+        trace: e.take_trace(),
+    }
+}
+
+/// FIR at an arbitrary precision.
+pub fn run_fir(prec: Precision, scale: Scale, taps: usize) -> KernelRun {
+    let n = match scale {
+        Scale::Test => 4 * 1024,
+        Scale::Paper => 64 * 1024,
+    };
+    let x: Vec<u64> = gen_f32(0xE3, n).iter().map(|&v| prec.pack(v)).collect();
+    let h: Vec<u64> = gen_f32(0xE4, taps).iter().map(|&v| prec.pack(v)).collect();
+    let n_out = n - taps + 1;
+    let mut want = vec![prec.pack(0.0); n_out];
+    for (i, w) in want.iter_mut().enumerate() {
+        let mut acc = prec.pack(0.0);
+        for t in 0..taps {
+            acc = prec.mac(acc, h[t], x[i + t]);
+        }
+        *w = acc;
+    }
+
+    let mut e = engine();
+    e.vsetwidth(32);
+    let eb = prec.bytes();
+    let xa = e.mem_alloc(n as u64 * eb);
+    let oa = e.mem_alloc(n_out as u64 * eb);
+    store_packed(&mut e, xa, prec, &x);
+
+    let lanes = e.lanes();
+    e.vsetdimc(1);
+    let mut base = 0usize;
+    while base < n_out {
+        let chunk = lanes.min(n_out - base);
+        e.vsetdiml(0, chunk);
+        e.scalar(6);
+        let mut acc = e.setdup(prec.dtype(), prec.pack(0.0));
+        for (t, &c) in h.iter().enumerate() {
+            e.scalar(4);
+            let xv = typed_load(&mut e, prec, xa + ((base + t) as u64) * eb, &[StrideMode::One]);
+            let cv = e.setdup(prec.dtype(), c);
+            let p = typed_mul(&mut e, xv, cv);
+            let acc2 = typed_add(&mut e, acc, p);
+            for rg in [xv, cv, p, acc] {
+                e.free(rg);
+            }
+            acc = acc2;
+        }
+        e.store(acc, oa + (base as u64) * eb, &[StrideMode::One]);
+        e.free(acc);
+        base += chunk;
+    }
+    KernelRun {
+        checked: check_lanes(&e, oa, prec, &want),
+        trace: e.take_trace(),
+    }
+}
+
+/// SpMM at an arbitrary precision (same structure as the f32 kernel, with
+/// the batch fold in the target precision).
+pub fn run_spmm(prec: Precision, scale: Scale) -> KernelRun {
+    let s = crate::xnnpack::Spmm::size(scale);
+    run_spmm_sized(prec, s)
+}
+
+/// SpMM at an arbitrary precision and explicit size.
+pub fn run_spmm_sized(prec: Precision, s: crate::xnnpack::SpmmSize) -> KernelRun {
+    use crate::xnnpack::Spmm;
+    let d = Spmm::gen_data(s, 0xE5);
+    let values: Vec<u64> = d.values.iter().map(|&v| prec.pack(v)).collect();
+    let weight: Vec<u64> = d.weight.iter().map(|&v| prec.pack(v)).collect();
+
+    let mut e = engine();
+    e.vsetwidth(32);
+    let eb = prec.bytes();
+    let va = e.mem_alloc((values.len().max(1) as u64) * eb);
+    let wa = e.mem_alloc((s.k * s.m) as u64 * eb);
+    let oa = e.mem_alloc((s.n * s.m) as u64 * eb);
+    let zero_val = e.mem_alloc(eb);
+    store_packed(&mut e, va, prec, &values);
+    store_packed(&mut e, wa, prec, &weight);
+    e.mem_mut().write_raw(zero_val, eb, prec.pack(0.0));
+
+    // The kernel accumulates [M x batch] partial products across batches
+    // and folds the batch dimension once per row; the reference follows the
+    // same order exactly.
+    let lanes = e.lanes();
+    let max_nnz = (0..s.n)
+        .map(|n| d.row_ptr[n + 1] - d.row_ptr[n])
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let batch = ((lanes / s.m).next_power_of_two() / 2)
+        .clamp(2, 256)
+        .min(max_nnz.next_power_of_two());
+    let dt = prec.dtype();
+    let mut want = vec![prec.pack(0.0); s.n * s.m];
+    for n in 0..s.n {
+        let (lo, hi) = (d.row_ptr[n], d.row_ptr[n + 1]);
+        // acc2d[b][m] accumulates products across batch passes.
+        let mut acc2d = vec![vec![prec.pack(0.0); s.m]; batch];
+        let mut j = lo;
+        while j < hi {
+            let take = batch.min(hi - j);
+            for b in 0..take {
+                for m in 0..s.m {
+                    let p = dt.binop(
+                        mve_core::dtype::BinOp::Mul,
+                        values[j + b],
+                        weight[d.col_idx[j + b] * s.m + m],
+                    );
+                    acc2d[b][m] = dt.binop(mve_core::dtype::BinOp::Add, acc2d[b][m], p);
+                }
+            }
+            j += take;
+        }
+        // Pairwise fold of the batch dimension (tree_halve order).
+        let mut len = batch;
+        while len > 1 {
+            for b in 0..len / 2 {
+                for m in 0..s.m {
+                    acc2d[b][m] = dt.binop(
+                        mve_core::dtype::BinOp::Add,
+                        acc2d[b][m],
+                        acc2d[b + len / 2][m],
+                    );
+                }
+            }
+            len /= 2;
+        }
+        want[n * s.m..(n + 1) * s.m].copy_from_slice(&acc2d[0]);
+    }
+
+    let vptr = e.mem_alloc_typed::<u64>(batch);
+    let wptr = e.mem_alloc_typed::<u64>(batch);
+    for n in 0..s.n {
+        e.scalar(10);
+        // Accumulate [M, batch] products across batch passes.
+        e.vsetdimc(2);
+        e.vsetdiml(0, s.m);
+        e.vsetdiml(1, batch);
+        let mut acc2d = e.setdup(dt, prec.pack(0.0));
+        let (lo, hi) = (d.row_ptr[n], d.row_ptr[n + 1]);
+        let mut j = lo;
+        while j < hi {
+            let take = batch.min(hi - j);
+            e.scalar(4 * take as u64);
+            let mut vp = Vec::with_capacity(batch);
+            let mut wp = Vec::with_capacity(batch);
+            for b in 0..batch {
+                if b < take {
+                    vp.push(va + ((j + b) as u64) * eb);
+                    wp.push(wa + (d.col_idx[j + b] * s.m) as u64 * eb);
+                } else {
+                    vp.push(zero_val);
+                    wp.push(wa);
+                }
+            }
+            e.mem_fill(vptr, &vp);
+            e.mem_fill(wptr, &wp);
+            let vv = e.rload(dt, vptr, &[StrideMode::Zero]);
+            let wv = e.rload(dt, wptr, &[StrideMode::One]);
+            let p = typed_mul(&mut e, vv, wv);
+            e.free(vv);
+            e.free(wv);
+            let acc2 = typed_add(&mut e, acc2d, p);
+            e.free(acc2d);
+            e.free(p);
+            acc2d = acc2;
+            j += take;
+        }
+        // One in-cache fold per row.
+        e.vsetdimc(1);
+        e.vsetdiml(0, s.m * batch);
+        let folded = crate::common::tree_halve(&mut e, acc2d, s.m * batch, s.m);
+        e.vsetdimc(1);
+        e.vsetdiml(0, s.m);
+        e.store(folded, oa + (n * s.m) as u64 * eb, &[StrideMode::One]);
+        e.free(folded);
+    }
+    KernelRun {
+        checked: check_lanes(&e, oa, prec, &want),
+        trace: e.take_trace(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_all_precisions_match() {
+        for prec in Precision::ALL {
+            let run = run_gemm(prec, Scale::Test);
+            assert!(run.checked.ok(), "{}: {:?}", prec.label(), run.checked);
+        }
+    }
+
+    #[test]
+    fn fir_all_precisions_match() {
+        for prec in Precision::ALL {
+            let run = run_fir(prec, Scale::Test, 16);
+            assert!(run.checked.ok(), "{}: {:?}", prec.label(), run.checked);
+        }
+    }
+
+    #[test]
+    fn spmm_all_precisions_match() {
+        for prec in Precision::ALL {
+            let run = run_spmm(prec, Scale::Test);
+            assert!(run.checked.ok(), "{}: {:?}", prec.label(), run.checked);
+        }
+    }
+
+    #[test]
+    fn lower_precision_emits_same_instruction_count() {
+        // Precision changes latency, not instruction count.
+        let a = run_gemm(Precision::F32, Scale::Test).trace.instr_mix();
+        let b = run_gemm(Precision::I16, Scale::Test).trace.instr_mix();
+        assert_eq!(a.vector_total(), b.vector_total());
+    }
+}

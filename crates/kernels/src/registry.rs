@@ -1,0 +1,243 @@
+//! Kernel metadata and the suite registry (Table III).
+
+use crate::common::{KernelRun, Scale};
+use mve_baselines::gpu::GpuKernelCost;
+use mve_coresim::neon::NeonProfile;
+
+/// The twelve mobile libraries of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Library {
+    /// Linpack — linear algebra.
+    Linpack,
+    /// XNNPACK — machine-learning inference operators.
+    Xnnpack,
+    /// CMSIS-DSP — embedded signal processing.
+    CmsisDsp,
+    /// Kvazaar — HEVC video encoding.
+    Kvazaar,
+    /// libjpeg — JPEG codec.
+    Libjpeg,
+    /// libpng — PNG codec.
+    Libpng,
+    /// libwebp — WebP codec.
+    Libwebp,
+    /// Skia — 2-D graphics.
+    Skia,
+    /// WebAudio (Blink) — audio processing.
+    Webaudio,
+    /// zlib — data compression.
+    Zlib,
+    /// BoringSSL — cryptography.
+    Boringssl,
+    /// Arm Optimized Routines — string/network utilities.
+    OptRoutines,
+}
+
+impl Library {
+    /// All libraries in Table III order.
+    pub const ALL: [Library; 12] = [
+        Library::Linpack,
+        Library::Xnnpack,
+        Library::CmsisDsp,
+        Library::Kvazaar,
+        Library::Libjpeg,
+        Library::Libpng,
+        Library::Libwebp,
+        Library::Skia,
+        Library::Webaudio,
+        Library::Zlib,
+        Library::Boringssl,
+        Library::OptRoutines,
+    ];
+
+    /// Display name used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Library::Linpack => "Linpack",
+            Library::Xnnpack => "XNNPACK",
+            Library::CmsisDsp => "CMSIS-DSP",
+            Library::Kvazaar => "Kvazaar",
+            Library::Libjpeg => "libjpeg",
+            Library::Libpng => "libpng",
+            Library::Libwebp => "libwebp",
+            Library::Skia => "Skia",
+            Library::Webaudio => "Webaudio",
+            Library::Zlib => "zlib",
+            Library::Boringssl => "boringssl",
+            Library::OptRoutines => "Opt. Routines",
+        }
+    }
+
+    /// Application domain (Table III).
+    pub fn domain(&self) -> &'static str {
+        match self {
+            Library::Linpack => "Linear Algebra",
+            Library::Xnnpack => "Machine Learning",
+            Library::CmsisDsp => "Signal Processing",
+            Library::Kvazaar => "Video Processing",
+            Library::Libjpeg | Library::Libpng | Library::Libwebp => "Image Processing",
+            Library::Skia => "Graphics",
+            Library::Webaudio => "Audio Processing",
+            Library::Zlib => "Data Compression",
+            Library::Boringssl => "Cryptography",
+            Library::OptRoutines => "String/Network Utilities",
+        }
+    }
+
+    /// Dataset description (Table III).
+    pub fn dataset(&self) -> &'static str {
+        match self {
+            Library::Linpack => "512K",
+            Library::Xnnpack => "CNN layers",
+            Library::CmsisDsp => "192K",
+            Library::Kvazaar | Library::Libjpeg | Library::Libpng | Library::Libwebp
+            | Library::Skia => "1280x720",
+            Library::Webaudio => "32S x 44.1kHz",
+            Library::Zlib | Library::Boringssl | Library::OptRoutines => "128KB",
+        }
+    }
+}
+
+/// Static description of one kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelInfo {
+    /// Kernel name (lower-case, as used in CSV outputs).
+    pub name: &'static str,
+    /// Owning library.
+    pub library: Library,
+    /// Logical dimensions the MVE implementation uses.
+    pub dims: usize,
+    /// Dominant element width in bits.
+    pub dtype_bits: u32,
+    /// Member of the 11-kernel selected set (Figures 8–13).
+    pub selected: bool,
+}
+
+/// A benchmark kernel with all its backends.
+pub trait Kernel {
+    /// Metadata.
+    fn info(&self) -> KernelInfo;
+
+    /// Runs the MVE implementation on a fresh engine and checks the output
+    /// against the scalar reference.
+    fn run_mve(&self, scale: Scale) -> KernelRun;
+
+    /// Runs the RVV (1-D) implementation, for the selected kernels.
+    fn run_rvv(&self, _scale: Scale) -> Option<KernelRun> {
+        None
+    }
+
+    /// The dynamic Neon instruction profile of the Arm baseline.
+    fn neon_profile(&self, scale: Scale) -> NeonProfile;
+
+    /// The GPU offload descriptor, for the selected kernels.
+    fn gpu_cost(&self, _scale: Scale) -> Option<GpuKernelCost> {
+        None
+    }
+}
+
+/// All 44 kernels of the suite.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    let mut v: Vec<Box<dyn Kernel>> = Vec::new();
+    v.push(Box::new(crate::linpack::Daxpy));
+    v.push(Box::new(crate::xnnpack::Gemm));
+    v.push(Box::new(crate::xnnpack::Spmm));
+    v.push(Box::new(crate::cmsis::Fir::V));
+    v.push(Box::new(crate::cmsis::Fir::S));
+    v.push(Box::new(crate::cmsis::Fir::L));
+    v.push(Box::new(crate::kvazaar::Satd));
+    v.push(Box::new(crate::kvazaar::Intra));
+    v.push(Box::new(crate::kvazaar::Dct));
+    v.push(Box::new(crate::kvazaar::Idct));
+    v.push(Box::new(crate::libjpeg::H2v2Upsample));
+    v.push(Box::new(crate::libjpeg::H2v2Downsample));
+    v.push(Box::new(crate::libjpeg::YcbcrToRgb));
+    v.push(Box::new(crate::libjpeg::RgbToYcbcr));
+    v.push(Box::new(crate::libjpeg::Quantize));
+    v.push(Box::new(crate::libpng::FilterSub));
+    v.push(Box::new(crate::libpng::FilterUp));
+    v.push(Box::new(crate::libpng::FilterPaeth));
+    v.push(Box::new(crate::libwebp::SharpUpdate));
+    v.push(Box::new(crate::libwebp::UpsampleBilinear));
+    v.push(Box::new(crate::libwebp::AlphaMultiply));
+    v.push(Box::new(crate::libwebp::VerticalFilter));
+    v.push(Box::new(crate::libwebp::GradientFilter));
+    v.push(Box::new(crate::libwebp::Sse4x4));
+    v.push(Box::new(crate::libwebp::QuantizeCoeffs));
+    v.push(Box::new(crate::skia::BlitRow));
+    v.push(Box::new(crate::skia::Memset32));
+    v.push(Box::new(crate::skia::ConvolveHoriz));
+    v.push(Box::new(crate::skia::XfermodeMultiply));
+    v.push(Box::new(crate::webaudio::Vsmul));
+    v.push(Box::new(crate::webaudio::VaddAudio));
+    v.push(Box::new(crate::webaudio::Vclip));
+    v.push(Box::new(crate::webaudio::SumAudio));
+    v.push(Box::new(crate::webaudio::Interleave));
+    v.push(Box::new(crate::zlib::Adler32));
+    v.push(Box::new(crate::zlib::Compare258));
+    v.push(Box::new(crate::boringssl::Chacha20));
+    v.push(Box::new(crate::boringssl::Sha256Msched));
+    v.push(Box::new(crate::boringssl::XorCipher));
+    v.push(Box::new(crate::optroutines::Memcpy));
+    v.push(Box::new(crate::optroutines::Memset));
+    v.push(Box::new(crate::optroutines::Strlen));
+    v.push(Box::new(crate::optroutines::Memchr));
+    v.push(Box::new(crate::optroutines::Csum));
+    v
+}
+
+/// The 11 selected kernels of Figures 8–13 (CSUM, LPACK, FIR-V/S/L, GEMM,
+/// SPMM, SATD, INTRA, DCT, IDCT).
+pub fn selected_kernels() -> Vec<Box<dyn Kernel>> {
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.info().selected)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_44_kernels() {
+        assert_eq!(all_kernels().len(), 44);
+    }
+
+    #[test]
+    fn selected_set_has_11_kernels() {
+        let sel = selected_kernels();
+        assert_eq!(sel.len(), 11);
+        for k in &sel {
+            assert!(k.run_rvv(Scale::Test).is_some(), "{} needs RVV", k.info().name);
+            assert!(k.gpu_cost(Scale::Test).is_some(), "{} needs GPU", k.info().name);
+        }
+    }
+
+    #[test]
+    fn per_library_kernel_counts_match_table_iii() {
+        let all = all_kernels();
+        let count = |lib: Library| all.iter().filter(|k| k.info().library == lib).count();
+        assert_eq!(count(Library::Linpack), 1);
+        assert_eq!(count(Library::Xnnpack), 2);
+        assert_eq!(count(Library::CmsisDsp), 3);
+        assert_eq!(count(Library::Kvazaar), 4);
+        assert_eq!(count(Library::Libjpeg), 5);
+        assert_eq!(count(Library::Libpng), 3);
+        assert_eq!(count(Library::Libwebp), 7);
+        assert_eq!(count(Library::Skia), 4);
+        assert_eq!(count(Library::Webaudio), 5);
+        assert_eq!(count(Library::Zlib), 2);
+        assert_eq!(count(Library::Boringssl), 3);
+        assert_eq!(count(Library::OptRoutines), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_kernels().iter().map(|k| k.info().name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate kernel names");
+    }
+}

@@ -1,0 +1,600 @@
+//! XNNPACK — `gemm` (dense, the Section IV replication listing) and `spmm`
+//! (sparse × dense, the Section IV irregular-access listing).
+//!
+//! The registry kernels run in **fp16** — XNNPACK's FP16 inference mode, the
+//! common configuration on Armv8.2 mobile cores (Table IV lists the FP16
+//! extension). The f32 variants (`run_mve_sized`, `gpu_cost_sized`) remain
+//! for the Figure 9 sweep, which compares against the fp32 CLBlast/clSPARSE
+//! OpenCL libraries, exactly as the paper does.
+
+use crate::common::{check_f32, engine, gen_f32, tree_halve, KernelRun, Scale};
+use crate::registry::{Kernel, KernelInfo, Library};
+use mve_baselines::gpu::GpuKernelCost;
+use mve_baselines::rvv::Rvv;
+use mve_core::dtype::DType;
+use mve_core::isa::StrideMode;
+use mve_coresim::neon::{NeonOpClass, NeonProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Row-major dense GEMM with multi-dimensional replication (Section IV).
+pub struct Gemm;
+
+/// GEMM problem size (N×K input, K×M weight, N×M output).
+#[derive(Debug, Clone, Copy)]
+pub struct GemmSize {
+    /// Input rows.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub m: usize,
+}
+
+impl Gemm {
+    /// Problem size per scale (Paper: a MobileNet-class 1×1-conv layer).
+    pub fn size(scale: Scale) -> GemmSize {
+        match scale {
+            Scale::Test => GemmSize { n: 16, k: 24, m: 64 },
+            Scale::Paper => GemmSize { n: 64, k: 128, m: 128 },
+        }
+    }
+
+    /// Scalar reference.
+    pub fn scalar_ref(s: GemmSize, input: &[f32], weight: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; s.n * s.m];
+        for n in 0..s.n {
+            for m in 0..s.m {
+                let mut acc = 0.0f32;
+                for k in 0..s.k {
+                    acc += input[n * s.k + k] * weight[k * s.m + m];
+                }
+                out[n * s.m + m] = acc;
+            }
+        }
+        out
+    }
+
+    /// Runs the MVE GEMM of the Section IV listing for an arbitrary size;
+    /// shared by the Figure 9 sweep.
+    pub fn run_mve_sized(s: GemmSize) -> KernelRun {
+        let input = gen_f32(0x21, s.n * s.k);
+        let weight = gen_f32(0x22, s.k * s.m);
+        let want = Self::scalar_ref(s, &input, &weight);
+
+        let mut e = engine();
+        let ia = e.mem_alloc_typed::<f32>(s.n * s.k);
+        let wa = e.mem_alloc_typed::<f32>(s.k * s.m);
+        let oa = e.mem_alloc_typed::<f32>(s.n * s.m);
+        e.mem_fill(ia, &input);
+        e.mem_fill(wa, &weight);
+
+        let lanes = e.lanes();
+        let rows_per_tile = (lanes / s.m).max(1);
+        // 2D: M output columns (DIM0), rows-per-tile rows (DIM1).
+        e.vsetdimc(2);
+        e.vsetdiml(0, s.m);
+        e.vsetldstr(1, s.k as i64); // input row stride for mode 3
+        let mut n = 0usize;
+        while n < s.n {
+            let rows = rows_per_tile.min(s.n - n);
+            e.vsetdiml(1, rows);
+            e.scalar(8);
+            let mut acc = e.vsetdup_f(0.0);
+            for k in 0..s.k {
+                e.scalar(6);
+                // Input column, replicated horizontally (DIM0 stride 0).
+                let iv = e.vsld_f(
+                    ia + ((n * s.k + k) * 4) as u64,
+                    &[StrideMode::Zero, StrideMode::Cr],
+                );
+                // Weight row, replicated vertically (DIM1 stride 0).
+                let wv = e.vsld_f(wa + ((k * s.m) * 4) as u64, &[StrideMode::One, StrideMode::Zero]);
+                let p = e.vmul_f(iv, wv);
+                let acc2 = e.vadd_f(acc, p);
+                for r in [iv, wv, p, acc] {
+                    e.free(r);
+                }
+                acc = acc2;
+            }
+            // Store rows sequentially.
+            e.vsst_f(acc, oa + (n * s.m * 4) as u64, &[StrideMode::One, StrideMode::Seq]);
+            e.free(acc);
+            n += rows;
+        }
+        let got = e.mem_read_vec::<f32>(oa, s.n * s.m);
+        KernelRun {
+            checked: check_f32(&got, &want, 1e-4),
+            trace: e.take_trace(),
+        }
+    }
+}
+
+impl Kernel for Gemm {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "gemm",
+            library: Library::Xnnpack,
+            dims: 2,
+            dtype_bits: 32,
+            selected: true,
+        }
+    }
+
+    fn run_mve(&self, scale: Scale) -> KernelRun {
+        let s = Self::size(scale);
+        crate::precision::run_gemm_dims(crate::precision::Precision::F16, s.n, s.k, s.m)
+    }
+
+    fn run_rvv(&self, scale: Scale) -> Option<KernelRun> {
+        // fp16, matching the MVE variant: same data, same accumulation order.
+        let dt = DType::F16;
+        let s = Self::size(scale);
+        let input: Vec<u64> = gen_f32(0xE1, s.n * s.k).iter().map(|&v| dt.from_f32(v)).collect();
+        let weight: Vec<u64> = gen_f32(0xE2, s.k * s.m).iter().map(|&v| dt.from_f32(v)).collect();
+        let mac = |acc: u64, a: u64, b: u64| {
+            let p = dt.binop(mve_core::dtype::BinOp::Mul, a, b);
+            dt.binop(mve_core::dtype::BinOp::Add, acc, p)
+        };
+        let mut want = vec![0u64; s.n * s.m];
+        for n in 0..s.n {
+            for m in 0..s.m {
+                let mut acc = dt.from_f32(0.0);
+                for k in 0..s.k {
+                    acc = mac(acc, input[n * s.k + k], weight[k * s.m + m]);
+                }
+                want[n * s.m + m] = acc;
+            }
+        }
+
+        let mut e = engine();
+        let ia = e.mem_alloc((s.n * s.k * 2) as u64);
+        let wa = e.mem_alloc((s.k * s.m * 2) as u64);
+        let oa = e.mem_alloc((s.n * s.m * 2) as u64);
+        for (i, &v) in input.iter().enumerate() {
+            e.mem_mut().write_raw(ia + (i * 2) as u64, 2, v);
+        }
+        for (i, &v) in weight.iter().enumerate() {
+            e.mem_mut().write_raw(wa + (i * 2) as u64, 2, v);
+        }
+
+        let lanes = e.lanes();
+        let rows_per_tile = (lanes / s.m).max(1);
+        let mut rvv = Rvv::new(&mut e);
+        let mut n = 0usize;
+        while n < s.n {
+            let rows = rows_per_tile.min(s.n - n);
+            rvv.setvl(rows * s.m);
+            rvv.engine().scalar(8);
+            let mut acc = rvv.engine().vsetdup_hf(0.0);
+            for k in 0..s.k {
+                rvv.engine().scalar(6);
+                // Input column replication needs an index-vector gather;
+                // the gather cost model covers any pattern, so patch the
+                // strided-column values in afterwards.
+                let iv = rvv.replicated_load(dt, ia + ((n * s.k + k) * 2) as u64, rows, s.m);
+                let en = rvv.engine();
+                for r in 0..rows {
+                    let v = input[(n + r) * s.k + k];
+                    for m in 0..s.m {
+                        en.set_lane_raw(iv, r * s.m + m, v);
+                    }
+                }
+                // Weight row tiled per segment (stride-0 segments).
+                let wv = rvv.segmented_load_2d(dt, wa + (k * s.m * 2) as u64, s.m, rows, 0);
+                let en = rvv.engine();
+                let p = en.vmul_hf(iv, wv);
+                let acc2 = en.vadd_hf(acc, p);
+                for r in [iv, wv, p, acc] {
+                    en.free(r);
+                }
+                acc = acc2;
+            }
+            // Output rows are contiguous: a single unit-stride store.
+            rvv.store_1d(acc, oa + (n * s.m * 2) as u64, 1);
+            rvv.engine().free(acc);
+            n += rows;
+        }
+        let got: Vec<u64> = (0..s.n * s.m)
+            .map(|i| e.mem().read_raw(oa + (i * 2) as u64, 2))
+            .collect();
+        Some(KernelRun {
+            checked: crate::common::check_exact(&got, &want),
+            trace: e.take_trace(),
+        })
+    }
+
+    fn neon_profile(&self, scale: Scale) -> NeonProfile {
+        // fp16: 8 lanes per 128-bit vector.
+        let s = Self::size(scale);
+        let (n, k, m) = (s.n as u64, s.k as u64, s.m as u64);
+        let fmacs = n * k * m / 8;
+        NeonProfile {
+            ops: vec![(NeonOpClass::FpMac, fmacs), (NeonOpClass::Permute, n * k / 8)],
+            chain_ops: vec![(NeonOpClass::FpMac, k)],
+            loads: n * k / 8 + n * k * m / 32,
+            stores: n * m / 8,
+            scalar_instrs: fmacs,
+            touched_bytes: (n * k + k * m + n * m) * 2,
+            base_addr: 0x200_0000,
+        }
+    }
+
+    fn gpu_cost(&self, scale: Scale) -> Option<GpuKernelCost> {
+        // fp16 on the GPU: double ALU rate (ops halved), half the bytes.
+        let s = Self::size(scale);
+        let (n, k, m) = (s.n as u64, s.k as u64, s.m as u64);
+        Some(GpuKernelCost {
+            ops: n * k * m,
+            bytes_in: (n * k + k * m) * 2,
+            bytes_out: n * m * 2,
+            launches: 1,
+        })
+    }
+}
+
+impl Gemm {
+    /// GPU cost for an arbitrary size (Figure 9 sweep).
+    pub fn gpu_cost_sized(s: GemmSize) -> GpuKernelCost {
+        let (n, k, m) = (s.n as u64, s.k as u64, s.m as u64);
+        GpuKernelCost {
+            ops: 2 * n * k * m,
+            bytes_in: (n * k + k * m) * 4,
+            bytes_out: n * m * 4,
+            launches: 1,
+        }
+    }
+}
+
+/// Sparse (CSR) × dense matrix multiplication with random-base vector loads.
+pub struct Spmm;
+
+/// SpMM problem description.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmmSize {
+    /// Sparse rows.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Dense output columns (must be a power of two for the in-cache fold).
+    pub m: usize,
+    /// Nonzero density of the sparse matrix.
+    pub density: f64,
+}
+
+/// A CSR matrix plus its dense operand.
+pub struct SpmmData {
+    /// CSR row offsets (len n+1).
+    pub row_ptr: Vec<usize>,
+    /// CSR column indices.
+    pub col_idx: Vec<usize>,
+    /// CSR values.
+    pub values: Vec<f32>,
+    /// Dense K×M weight.
+    pub weight: Vec<f32>,
+}
+
+impl Spmm {
+    /// Problem size per scale.
+    pub fn size(scale: Scale) -> SpmmSize {
+        match scale {
+            Scale::Test => SpmmSize {
+                n: 6,
+                k: 48,
+                m: 32,
+                density: 0.3,
+            },
+            // An XNNPACK CNN-layer shape: wide output (M), sparse input.
+            Scale::Paper => SpmmSize {
+                n: 16,
+                k: 256,
+                m: 512,
+                density: 0.3,
+            },
+        }
+    }
+
+    /// Deterministic CSR + weight generation.
+    pub fn gen_data(s: SpmmSize, seed: u64) -> SpmmData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..s.n {
+            for k in 0..s.k {
+                if rng.gen_bool(s.density) {
+                    col_idx.push(k);
+                    values.push(rng.gen_range(-1.0f32..1.0));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let weight = gen_f32(seed ^ 0x5555, s.k * s.m);
+        SpmmData {
+            row_ptr,
+            col_idx,
+            values,
+            weight,
+        }
+    }
+
+    /// Scalar reference.
+    pub fn scalar_ref(s: SpmmSize, d: &SpmmData) -> Vec<f32> {
+        let mut out = vec![0.0f32; s.n * s.m];
+        for n in 0..s.n {
+            for j in d.row_ptr[n]..d.row_ptr[n + 1] {
+                let (k, v) = (d.col_idx[j], d.values[j]);
+                for m in 0..s.m {
+                    out[n * s.m + m] += v * d.weight[k * s.m + m];
+                }
+            }
+        }
+        out
+    }
+
+    /// MVE SpMM for an arbitrary size (shared with the Figure 9 sweep).
+    ///
+    /// Per row: the scalar core materialises pointer arrays for the nonzero
+    /// values and the matching weight rows (Section IV "Irregular accesses");
+    /// MVE random-loads both — values replicated across M (stride-0 DIM0),
+    /// weight rows sequential — multiplies, and folds the batch dimension
+    /// in-cache.
+    pub fn run_mve_sized(s: SpmmSize) -> KernelRun {
+        assert!(s.m.is_power_of_two(), "M must be a power of two");
+        let d = Self::gen_data(s, 0x31);
+        let want = Self::scalar_ref(s, &d);
+
+        let mut e = engine();
+        let va = e.mem_alloc_typed::<f32>(d.values.len().max(1));
+        let wa = e.mem_alloc_typed::<f32>(s.k * s.m);
+        let oa = e.mem_alloc_typed::<f32>(s.n * s.m);
+        let zero_val = e.mem_alloc_typed::<f32>(1); // padding target
+        e.mem_fill(va, &d.values);
+        e.mem_fill(wa, &d.weight);
+        e.mem_fill(zero_val, &[0.0f32]);
+
+        let lanes = e.lanes();
+        let max_nnz = (0..s.n)
+            .map(|n| d.row_ptr[n + 1] - d.row_ptr[n])
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        // <= lanes/m, power of two, no larger than the densest row needs.
+        let batch = ((lanes / s.m).next_power_of_two() / 2)
+            .clamp(2, 256)
+            .min(max_nnz.next_power_of_two());
+        let vptr = e.mem_alloc_typed::<u64>(batch);
+        let wptr = e.mem_alloc_typed::<u64>(batch);
+
+        for n in 0..s.n {
+            e.scalar(10);
+            // Accumulate [M, batch] products across batch passes; fold the
+            // batch dimension in-cache once per row.
+            e.vsetdimc(2);
+            e.vsetdiml(0, s.m);
+            e.vsetdiml(1, batch);
+            let mut acc2d = e.vsetdup_f(0.0);
+            let (lo, hi) = (d.row_ptr[n], d.row_ptr[n + 1]);
+            let mut j = lo;
+            while j < hi {
+                let take = batch.min(hi - j);
+                // Scalar core computes the pointer arrays (charged per nnz).
+                e.scalar(4 * take as u64);
+                let mut vp = Vec::with_capacity(batch);
+                let mut wp = Vec::with_capacity(batch);
+                for b in 0..batch {
+                    if b < take {
+                        vp.push(va + ((j + b) * 4) as u64);
+                        wp.push(wa + (d.col_idx[j + b] * s.m * 4) as u64);
+                    } else {
+                        vp.push(zero_val); // value 0 ⇒ no contribution
+                        wp.push(wa);
+                    }
+                }
+                e.mem_fill(vptr, &vp);
+                e.mem_fill(wptr, &wp);
+
+                // 2D: [M (dim0), batch (dim1, random bases)].
+                let vv = e.vrld_f(vptr, &[StrideMode::Zero]);
+                let wv = e.vrld_f(wptr, &[StrideMode::One]);
+                let p = e.vmul_f(vv, wv);
+                e.free(vv);
+                e.free(wv);
+                let acc2 = e.vadd_f(acc2d, p);
+                e.free(acc2d);
+                e.free(p);
+                acc2d = acc2;
+                j += take;
+            }
+            e.vsetdimc(1);
+            e.vsetdiml(0, s.m * batch);
+            let folded = tree_halve(&mut e, acc2d, s.m * batch, s.m);
+            e.vsetdimc(1);
+            e.vsetdiml(0, s.m);
+            e.vsst_f(folded, oa + (n * s.m * 4) as u64, &[StrideMode::One]);
+            e.free(folded);
+        }
+        let got = e.mem_read_vec::<f32>(oa, s.n * s.m);
+        KernelRun {
+            checked: check_f32(&got, &want, 1e-4),
+            trace: e.take_trace(),
+        }
+    }
+}
+
+impl Kernel for Spmm {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "spmm",
+            library: Library::Xnnpack,
+            dims: 2,
+            dtype_bits: 32,
+            selected: true,
+        }
+    }
+
+    fn run_mve(&self, scale: Scale) -> KernelRun {
+        crate::precision::run_spmm_sized(crate::precision::Precision::F16, Self::size(scale))
+    }
+
+    fn run_rvv(&self, scale: Scale) -> Option<KernelRun> {
+        // RVV processes one nonzero at a time with M-lane 1-D operations —
+        // the low-DLP path Section VII-A describes for SpMM. fp16, matching
+        // the MVE variant; checked against a sequential-order f16 reference.
+        let dt = DType::F16;
+        let s = Self::size(scale);
+        let d = Self::gen_data(s, 0xE5);
+        let values: Vec<u64> = d.values.iter().map(|&v| dt.from_f32(v)).collect();
+        let weight: Vec<u64> = d.weight.iter().map(|&v| dt.from_f32(v)).collect();
+        let mac = |acc: u64, a: u64, b: u64| {
+            let p = dt.binop(mve_core::dtype::BinOp::Mul, a, b);
+            dt.binop(mve_core::dtype::BinOp::Add, acc, p)
+        };
+        let mut want = vec![dt.from_f32(0.0); s.n * s.m];
+        for n in 0..s.n {
+            for m in 0..s.m {
+                let mut acc = dt.from_f32(0.0);
+                for j in d.row_ptr[n]..d.row_ptr[n + 1] {
+                    acc = mac(acc, values[j], weight[d.col_idx[j] * s.m + m]);
+                }
+                want[n * s.m + m] = acc;
+            }
+        }
+
+        let mut e = engine();
+        let wa = e.mem_alloc((s.k * s.m * 2) as u64);
+        let oa = e.mem_alloc((s.n * s.m * 2) as u64);
+        for (i, &v) in weight.iter().enumerate() {
+            e.mem_mut().write_raw(wa + (i * 2) as u64, 2, v);
+        }
+
+        let mut rvv = Rvv::new(&mut e);
+        rvv.setvl(s.m);
+        for n in 0..s.n {
+            rvv.engine().scalar(10);
+            let mut acc = rvv.engine().vsetdup_hf(0.0);
+            for j in d.row_ptr[n]..d.row_ptr[n + 1] {
+                rvv.engine().scalar(8); // pointer chase + loop
+                let wv = rvv.load_1d(dt, wa + (d.col_idx[j] * s.m * 2) as u64, 1);
+                let en = rvv.engine();
+                let sv = en.setdup(dt, values[j]);
+                let p = en.vmul_hf(wv, sv);
+                let acc2 = en.vadd_hf(acc, p);
+                for r in [wv, sv, p, acc] {
+                    en.free(r);
+                }
+                acc = acc2;
+            }
+            rvv.store_1d(acc, oa + (n * s.m * 2) as u64, 1);
+            rvv.engine().free(acc);
+        }
+        let got: Vec<u64> = (0..s.n * s.m)
+            .map(|i| e.mem().read_raw(oa + (i * 2) as u64, 2))
+            .collect();
+        Some(KernelRun {
+            checked: crate::common::check_exact(&got, &want),
+            trace: e.take_trace(),
+        })
+    }
+
+    fn neon_profile(&self, scale: Scale) -> NeonProfile {
+        // fp16: 8 lanes per 128-bit vector.
+        let s = Self::size(scale);
+        let nnz = (s.n * s.k) as f64 * s.density;
+        let per_nz = s.m as u64 / 8;
+        let fmacs = (nnz * per_nz as f64) as u64;
+        NeonProfile {
+            ops: vec![(NeonOpClass::FpMac, fmacs)],
+            chain_ops: vec![],
+            loads: fmacs + nnz as u64,
+            stores: (s.n * s.m / 8) as u64,
+            scalar_instrs: 6 * nnz as u64 + fmacs,
+            touched_bytes: ((s.k * s.m + s.n * s.m) * 2) as u64,
+            base_addr: 0x300_0000,
+        }
+    }
+
+    fn gpu_cost(&self, scale: Scale) -> Option<GpuKernelCost> {
+        // fp16 on the GPU: double ALU rate, half the bytes.
+        let s = Self::size(scale);
+        let nnz = ((s.n * s.k) as f64 * s.density) as u64;
+        Some(GpuKernelCost {
+            ops: nnz * s.m as u64,
+            bytes_in: nnz * 6 + (s.k * s.m * 2) as u64,
+            bytes_out: (s.n * s.m * 2) as u64,
+            launches: 1,
+        })
+    }
+}
+
+impl Spmm {
+    /// GPU cost for an arbitrary size (Figure 9 sweep).
+    pub fn gpu_cost_sized(s: SpmmSize) -> GpuKernelCost {
+        let nnz = ((s.n * s.k) as f64 * s.density) as u64;
+        GpuKernelCost {
+            ops: 2 * nnz * s.m as u64,
+            bytes_in: nnz * 8 + (s.k * s.m * 4) as u64,
+            bytes_out: (s.n * s.m * 4) as u64,
+            launches: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_mve_matches_reference() {
+        let run = Gemm.run_mve(Scale::Test);
+        assert!(run.checked.ok(), "{:?}", run.checked);
+    }
+
+    #[test]
+    fn gemm_rvv_matches_reference() {
+        let run = Gemm.run_rvv(Scale::Test).expect("selected");
+        assert!(run.checked.ok(), "{:?}", run.checked);
+    }
+
+    #[test]
+    fn gemm_rvv_needs_many_more_instructions() {
+        // The Figure 11 claim: RVV's per-segment emulation inflates the
+        // dynamic vector instruction count on 2-D kernels.
+        let mve = Gemm.run_mve(Scale::Test).trace.instr_mix();
+        let rvv = Gemm.run_rvv(Scale::Test).expect("rvv").trace.instr_mix();
+        assert!(
+            rvv.vector_total() > 2 * mve.vector_total(),
+            "rvv {} vs mve {}",
+            rvv.vector_total(),
+            mve.vector_total()
+        );
+        assert!(rvv.scalar > mve.scalar);
+    }
+
+    #[test]
+    fn spmm_mve_matches_reference() {
+        let run = Spmm.run_mve(Scale::Test);
+        assert!(run.checked.ok(), "{:?}", run.checked);
+    }
+
+    #[test]
+    fn spmm_rvv_matches_reference() {
+        let run = Spmm.run_rvv(Scale::Test).expect("selected");
+        assert!(run.checked.ok(), "{:?}", run.checked);
+    }
+
+    #[test]
+    fn spmm_mve_uses_random_loads() {
+        let run = Spmm.run_mve(Scale::Test);
+        let has_random = run.trace.events().iter().any(|ev| {
+            matches!(
+                ev,
+                mve_core::trace::Event::Memory {
+                    opcode: mve_core::isa::Opcode::RandomLoad,
+                    ..
+                }
+            )
+        });
+        assert!(has_random, "SpMM must use vrld");
+    }
+}

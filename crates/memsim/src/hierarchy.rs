@@ -1,0 +1,430 @@
+//! The full L1 → L2 → LLC → DRAM hierarchy with the two access paths of
+//! Section V: scalar core accesses and MVE vector gathers/scatters.
+
+use crate::cache::{CacheConfig, SetAssocCache};
+use crate::dram::{Dram, DramConfig};
+use crate::line_of;
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2 (the cache MVE repurposes half of).
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc(),
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Aggregate statistics across the hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Scalar-path L1 hits.
+    pub l1_hits: u64,
+    /// Scalar-path L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits (both paths).
+    pub l2_hits: u64,
+    /// L2 misses (both paths).
+    pub l2_misses: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// DRAM line transfers (fills + writebacks).
+    pub dram_accesses: u64,
+    /// L1 lines evicted by the presence-bit coherence protocol (Section V-C).
+    pub coherence_evictions: u64,
+    /// Lines read by the vector path.
+    pub vector_lines_read: u64,
+    /// Lines written by the vector path.
+    pub vector_lines_written: u64,
+    /// Dirty lines flushed when switching the L2 into compute mode.
+    pub mode_switch_flushes: u64,
+}
+
+/// Result of a batched vector access.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchResult {
+    /// Cycle at which the last line is available in the TMU / written back.
+    pub done_at: u64,
+    /// Number of distinct lines touched.
+    pub lines: u64,
+    /// L2 hits within the batch.
+    pub l2_hits: u64,
+    /// Lines served by DRAM.
+    pub dram_lines: u64,
+}
+
+/// The memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    dram: Dram,
+    stats: MemStats,
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new(HierarchyConfig::default())
+    }
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1d: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            llc: SetAssocCache::new(cfg.llc),
+            dram: Dram::new(cfg.dram),
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Clears the statistics (e.g. after a cache-warming pass).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Switches half of the L2 ways into compute mode, flushing dirty lines
+    /// from the deactivated ways. Returns the switch cost in cycles: each
+    /// flushed line needs an L2 read plus a DRAM burst slot (Section V-C).
+    pub fn enable_compute_mode(&mut self) -> u64 {
+        let keep = self.cfg.l2.ways / 2;
+        let flushed = self.l2.restrict_ways(keep.max(1));
+        self.stats.mode_switch_flushes += flushed;
+        self.stats.dram_accesses += flushed;
+        flushed * (self.cfg.l2.latency + self.cfg.dram.burst_cycles)
+    }
+
+    /// Restores the L2 to full-cache mode (a CR write; negligible cost).
+    pub fn disable_compute_mode(&mut self) {
+        let ways = self.cfg.l2.ways;
+        self.l2.restrict_ways(ways);
+    }
+
+    /// Fill path below L1: returns added latency beyond the L1 lookup.
+    fn fill_from_l2(&mut self, line: u64, write: bool, now: u64) -> u64 {
+        let l2_out = self.l2.access(line, write);
+        if let Some(victim) = l2_out.victim {
+            // Inclusion: an L2 victim must leave L1 too.
+            if self.l1d.invalidate(victim) || l2_out.writeback == Some(victim) {
+                self.stats.dram_accesses += 1;
+            }
+        }
+        if l2_out.hit {
+            self.stats.l2_hits += 1;
+            return self.cfg.l2.latency;
+        }
+        self.stats.l2_misses += 1;
+        let llc_out = self.llc.access(line, write);
+        if let Some(victim) = llc_out.victim {
+            // Strict inclusion below as well.
+            self.l1d.invalidate(victim);
+            if self.l2.invalidate(victim) || llc_out.writeback == Some(victim) {
+                self.stats.dram_accesses += 1;
+            }
+        }
+        if llc_out.hit {
+            self.stats.llc_hits += 1;
+            self.cfg.l2.latency + self.cfg.llc.latency
+        } else {
+            self.stats.llc_misses += 1;
+            self.stats.dram_accesses += 1;
+            let t_issue = now + self.cfg.l2.latency + self.cfg.llc.latency;
+            let done = self.dram.access(line, t_issue);
+            done - now
+        }
+    }
+
+    /// A scalar core load/store of `addr` at time `now`; returns its latency
+    /// in cycles.
+    pub fn core_access(&mut self, addr: u64, write: bool, now: u64) -> u64 {
+        let line = line_of(addr);
+        let l1_out = self.l1d.access(line, write);
+        if let Some(victim) = l1_out.victim {
+            self.l2.set_presence(victim, false);
+        }
+        if l1_out.hit {
+            self.stats.l1_hits += 1;
+            return self.cfg.l1d.latency;
+        }
+        self.stats.l1_misses += 1;
+        let below = self.fill_from_l2(line, write, now + self.cfg.l1d.latency);
+        self.l2.set_presence(line, true);
+        self.cfg.l1d.latency + below
+    }
+
+    /// A batched vector gather/scatter issued by the MVE controller at time
+    /// `now` over distinct cache `lines` (line addresses).
+    ///
+    /// The batch bypasses L1 but honours inclusive-presence-bit coherence:
+    /// a hit on a line whose presence bit is set first evicts it from L1.
+    /// Outstanding L2 misses are bounded by the L2 MSHR count; the L2 data
+    /// half is multi-banked (4 storage ways), so four tag lookups proceed
+    /// per cycle.
+    pub fn vector_access(&mut self, lines: &[u64], write: bool, now: u64) -> BatchResult {
+        const TAG_BANKS: u64 = 4;
+        let mshrs = self.cfg.l2.mshrs;
+        let mut outstanding: Vec<u64> = Vec::with_capacity(mshrs);
+        let mut t = now;
+        let mut done_at = now;
+        let mut l2_hits = 0;
+        let mut dram_lines = 0;
+
+        for (idx, &line) in lines.iter().enumerate() {
+            if idx as u64 % TAG_BANKS == 0 {
+                t += 1; // banked tag-port throughput
+            }
+            // Coherence check against L1 (Section V-C).
+            let mut penalty = 0;
+            if self.l2.presence(line) == Some(true) {
+                self.l1d.invalidate(line);
+                self.l2.set_presence(line, false);
+                self.stats.coherence_evictions += 1;
+                penalty = self.cfg.l1d.latency;
+            }
+            let out = self.l2.access(line, write);
+            if let Some(victim) = out.victim {
+                self.l1d.invalidate(victim);
+                if out.writeback == Some(victim) {
+                    self.stats.dram_accesses += 1;
+                }
+            }
+            let completion = if out.hit {
+                self.stats.l2_hits += 1;
+                l2_hits += 1;
+                t + self.cfg.l2.latency + penalty
+            } else if write {
+                // Full-line vector stores allocate without fetching (the
+                // write-validate optimisation): the engine overwrites the
+                // whole line, so no fill from below is needed. The dirty
+                // line pays its DRAM writeback at eviction.
+                self.stats.l2_misses += 1;
+                t + self.cfg.l2.latency + penalty
+            } else {
+                self.stats.l2_misses += 1;
+                // Block for a free MSHR.
+                if outstanding.len() >= mshrs {
+                    let earliest = *outstanding.iter().min().expect("nonempty");
+                    t = t.max(earliest);
+                    outstanding.retain(|&c| c > t);
+                }
+                let llc_out = self.llc.access(line, write);
+                if let Some(victim) = llc_out.victim {
+                    self.l1d.invalidate(victim);
+                    if self.l2.invalidate(victim) || llc_out.writeback == Some(victim) {
+                        self.stats.dram_accesses += 1;
+                    }
+                }
+                let completion = if llc_out.hit {
+                    self.stats.llc_hits += 1;
+                    t + self.cfg.l2.latency + self.cfg.llc.latency + penalty
+                } else {
+                    self.stats.llc_misses += 1;
+                    self.stats.dram_accesses += 1;
+                    dram_lines += 1;
+                    let t_issue = t + self.cfg.l2.latency + self.cfg.llc.latency;
+                    self.dram.access(line, t_issue) + penalty
+                };
+                outstanding.push(completion);
+                completion
+            };
+            done_at = done_at.max(completion);
+        }
+
+        if write {
+            self.stats.vector_lines_written += lines.len() as u64;
+        } else {
+            self.stats.vector_lines_read += lines.len() as u64;
+        }
+        BatchResult {
+            done_at,
+            lines: lines.len() as u64,
+            l2_hits,
+            dram_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_latencies_follow_table_iv() {
+        let mut h = Hierarchy::default();
+        // Cold: L1 miss, L2 miss, LLC miss → DRAM (≥ 4+12+31).
+        let cold = h.core_access(0x1000, false, 0);
+        assert!(cold > 4 + 12 + 31, "cold access {cold}");
+        // Warm: L1 hit.
+        let warm = h.core_access(0x1000, false, 100);
+        assert_eq!(warm, 4);
+    }
+
+    #[test]
+    fn l2_hit_latency_after_l1_eviction() {
+        let mut h = Hierarchy::default();
+        h.core_access(0x40, false, 0);
+        // Evict from L1 by filling its set (L1: 256 sets → stride 256*64).
+        for i in 1..=4u64 {
+            h.core_access(0x40 + i * 256 * 64, false, i * 10);
+        }
+        let lat = h.core_access(0x40, false, 1000);
+        assert_eq!(lat, 4 + 12, "should be L1 miss + L2 hit");
+    }
+
+    #[test]
+    fn vector_batch_hits_are_fast() {
+        let mut h = Hierarchy::default();
+        let lines: Vec<u64> = (0..32).collect();
+        // Warm the L2 through the vector path itself.
+        h.vector_access(&lines, false, 0);
+        let res = h.vector_access(&lines, false, 10_000);
+        assert_eq!(res.l2_hits, 32);
+        // 32 tag lookups + hit latency.
+        assert!(res.done_at - 10_000 <= 32 + 12 + 4);
+    }
+
+    #[test]
+    fn vector_misses_respect_mshr_bound() {
+        let mut h = Hierarchy::default();
+        // 200 distinct uncached lines: misses must wave through 46 MSHRs.
+        let lines: Vec<u64> = (0..200).map(|i| 0x10_0000 + i * 7).collect();
+        let res = h.vector_access(&lines, false, 0);
+        assert_eq!(res.lines, 200);
+        assert!(res.dram_lines > 0);
+        // With only 46 outstanding misses the batch cannot complete in one
+        // DRAM round trip.
+        assert!(res.done_at > 200);
+    }
+
+    #[test]
+    fn coherence_evicts_presence_lines() {
+        let mut h = Hierarchy::default();
+        h.core_access(0x2000, true, 0); // now in L1, presence set in L2
+        let line = line_of(0x2000);
+        let res = h.vector_access(&[line], false, 100);
+        assert_eq!(h.stats().coherence_evictions, 1);
+        assert!(res.done_at > 100);
+        // A second vector access needs no eviction.
+        h.vector_access(&[line], false, 200);
+        assert_eq!(h.stats().coherence_evictions, 1);
+    }
+
+    #[test]
+    fn compute_mode_flush_cost_scales_with_dirty_lines() {
+        let mut h = Hierarchy::default();
+        // Dirty enough lines (writes) to fill all 8 ways of every L2 set.
+        for i in 0..8192u64 {
+            h.core_access(i * 64, true, i);
+        }
+        let cost = h.enable_compute_mode();
+        assert!(cost > 0, "dirty flush must cost cycles");
+        assert!(h.stats().mode_switch_flushes > 0);
+        h.disable_compute_mode();
+        // Switching back is free (a CR write).
+        let mut h2 = Hierarchy::default();
+        let cost2 = h2.enable_compute_mode();
+        assert_eq!(cost2, 0, "clean cache flushes nothing");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn write_validate_skips_the_fill_path() {
+        let mut h = Hierarchy::default();
+        // A cold full-line vector store must not touch DRAM (write-validate).
+        let lines: Vec<u64> = (0x4000..0x4040).collect();
+        let res = h.vector_access(&lines, true, 0);
+        assert_eq!(res.dram_lines, 0, "store misses must not fetch");
+        assert_eq!(h.stats().dram_accesses, 0);
+        // The same lines now hit.
+        let res = h.vector_access(&lines, false, 10_000);
+        assert_eq!(res.l2_hits as usize, lines.len());
+    }
+
+    #[test]
+    fn dirty_write_validated_lines_writeback_on_eviction() {
+        let mut h = Hierarchy::default();
+        // Fill a single L2 set with dirty write-validated lines, then evict.
+        // L2: 1024 sets, so stride by 1024 lines hits one set.
+        let set_lines: Vec<u64> = (0..12).map(|i| 7 + i * 1024).collect();
+        for &l in &set_lines {
+            h.vector_access(&[l], true, 0);
+        }
+        // More lines than active ways (4 in compute mode: full 8 here):
+        // evictions must have produced DRAM writebacks.
+        assert!(
+            h.stats().dram_accesses > 0,
+            "dirty victims must write back: {:?}",
+            h.stats()
+        );
+    }
+
+    #[test]
+    fn compute_mode_halves_usable_ways() {
+        // Six lines mapping to one L2 set (1024 sets): the full cache holds
+        // all six, the compute-mode cache only four.
+        let set_lines: Vec<u64> = (0..6).map(|i| 3 + i * 1024).collect();
+
+        let mut full = Hierarchy::default();
+        full.vector_access(&set_lines, false, 0);
+        full.vector_access(&set_lines, false, 10_000);
+        assert_eq!(full.stats().l2_hits, 6, "all six fit in 8 ways");
+
+        let mut half = Hierarchy::default();
+        half.enable_compute_mode();
+        half.vector_access(&set_lines, false, 0);
+        let before = half.stats().l2_hits;
+        // Re-touch the last four (the LRU survivors): they hit.
+        half.vector_access(&set_lines[2..], false, 10_000);
+        assert_eq!(half.stats().l2_hits - before, 4, "only 4 ways remain");
+        // Restoring full mode re-enables all ways for future fills.
+        half.disable_compute_mode();
+        half.vector_access(&set_lines, false, 20_000);
+        half.vector_access(&set_lines, false, 30_000);
+        assert!(half.stats().l2_hits >= before + 4 + 6);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut h = Hierarchy::default();
+        h.core_access(0x100, false, 0);
+        assert!(h.stats().l1_misses > 0);
+        h.reset_stats();
+        assert_eq!(h.stats().l1_misses, 0);
+        assert_eq!(h.stats().dram_accesses, 0);
+    }
+}

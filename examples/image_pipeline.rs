@@ -1,0 +1,59 @@
+//! Image pipeline: chroma upsampling (the Figure 4 random-row-pointer
+//! pattern) followed by YCbCr→RGB conversion, timed against the Arm Neon
+//! baseline model — a miniature of the paper's Figure 7 methodology.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use mve_core::sim::{simulate, SimConfig};
+use mve_coresim::neon::NeonModel;
+use mve_energy::{mve_energy, neon_energy, EnergyParams};
+use mve_kernels::libjpeg::{H2v2Upsample, YcbcrToRgb};
+use mve_kernels::registry::Kernel;
+use mve_kernels::Scale;
+use mve_memsim::Hierarchy;
+
+fn main() {
+    let params = EnergyParams::default();
+    let model = NeonModel::default();
+    println!("image pipeline (640x360 chroma plane -> RGB)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>10}",
+        "stage", "MVE cycles", "Neon cycles", "speedup", "energy x"
+    );
+
+    let stages: Vec<(&str, Box<dyn Kernel>)> = vec![
+        ("h2v2_upsample", Box::new(H2v2Upsample)),
+        ("ycbcr_to_rgb", Box::new(YcbcrToRgb)),
+    ];
+    let mut mve_total = 0u64;
+    let mut neon_total = 0u64;
+    for (name, kernel) in &stages {
+        let run = kernel.run_mve(Scale::Paper);
+        assert!(run.checked.ok(), "{name} functional mismatch");
+        let report = simulate(&run.trace, &SimConfig::default());
+
+        let profile = kernel.neon_profile(Scale::Paper);
+        let mut hier = Hierarchy::default();
+        let neon = model.execute(&profile, &mut hier, 0);
+
+        let me = mve_energy(&report, &params);
+        let ne = neon_energy(&profile, &neon, &params);
+        println!(
+            "{:<16} {:>12} {:>12} {:>8.2}x {:>9.2}x",
+            name,
+            report.total_cycles,
+            neon.cycles,
+            neon.cycles as f64 / report.total_cycles as f64,
+            ne.total_pj() / me.total_pj()
+        );
+        mve_total += report.total_cycles;
+        neon_total += neon.cycles;
+    }
+    println!(
+        "\npipeline: {:.2}x faster than the Neon baseline ({} vs {} cycles)",
+        neon_total as f64 / mve_total as f64,
+        mve_total,
+        neon_total
+    );
+    println!("all outputs checked against scalar references.");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the MVE reproduction workspace: re-exports the main
+//! crates so examples and integration tests can use one dependency.
+//!
+//! See `README.md` for the tour and `DESIGN.md` for the architecture.
+
+pub use mve_baselines as baselines;
+pub use mve_bench as bench;
+pub use mve_core as core;
+pub use mve_coresim as coresim;
+pub use mve_energy as energy;
+pub use mve_insram as insram;
+pub use mve_kernels as kernels;
+pub use mve_memsim as memsim;
