@@ -293,7 +293,9 @@ impl<'e> Rvv<'e> {
             active_lanes: total as u32,
             cb_mask,
             // The index vector occupies fresh lines near the data.
-            lines: (0..idx_lines).map(|i| (base / mve_memsim::LINE_BYTES) + 1024 + i).collect(),
+            lines: (0..idx_lines)
+                .map(|i| (base / mve_memsim::LINE_BYTES) + 1024 + i)
+                .collect(),
             write: false,
         });
         // The gather itself.

@@ -11,14 +11,24 @@ fn bench_figures(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(8));
-    g.bench_function("fig7_mve_vs_neon", |b| b.iter(|| figures::fig7(Scale::Test)));
+    g.bench_function("fig7_mve_vs_neon", |b| {
+        b.iter(|| figures::fig7(Scale::Test))
+    });
     g.bench_function("fig8_mve_vs_gpu", |b| b.iter(|| figures::fig8(Scale::Test)));
     g.bench_function("fig9_gemm_sweep", |b| b.iter(figures::fig9_gemm));
     g.bench_function("fig9_spmm_sweep", |b| b.iter(figures::fig9_spmm));
-    g.bench_function("fig10_11_mve_vs_rvv", |b| b.iter(|| figures::fig10_11(Scale::Test)));
-    g.bench_function("fig12a_duality_cache", |b| b.iter(|| figures::fig12a(Scale::Test)));
-    g.bench_function("fig12b_scalability", |b| b.iter(|| figures::fig12b(Scale::Test)));
-    g.bench_function("fig12c_precision", |b| b.iter(|| figures::fig12c(Scale::Test)));
+    g.bench_function("fig10_11_mve_vs_rvv", |b| {
+        b.iter(|| figures::fig10_11(Scale::Test))
+    });
+    g.bench_function("fig12a_duality_cache", |b| {
+        b.iter(|| figures::fig12a(Scale::Test))
+    });
+    g.bench_function("fig12b_scalability", |b| {
+        b.iter(|| figures::fig12b(Scale::Test))
+    });
+    g.bench_function("fig12c_precision", |b| {
+        b.iter(|| figures::fig12c(Scale::Test))
+    });
     g.bench_function("fig13_schemes", |b| b.iter(|| figures::fig13(Scale::Test)));
     g.finish();
 }

@@ -22,9 +22,15 @@ fn main() {
     );
 
     println!("Ablation 3 — control-block granularity (arrays per FSM)");
-    println!("{:>12} {:>14} {:>10}", "arrays/CB", "FSM area mm2", "cycles");
+    println!(
+        "{:>12} {:>14} {:>10}",
+        "arrays/CB", "FSM area mm2", "cycles"
+    );
     for r in cb_ablation() {
-        println!("{:>12} {:>14.4} {:>10}", r.arrays_per_cb, r.fsm_area_mm2, r.cycles);
+        println!(
+            "{:>12} {:>14.4} {:>10}",
+            r.arrays_per_cb, r.fsm_area_mm2, r.cycles
+        );
     }
 
     let f = flush_ablation();

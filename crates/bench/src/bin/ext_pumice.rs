@@ -13,7 +13,10 @@ fn main() {
         Scale::Paper
     };
     println!("Extension — PUMICE-style OoO dispatch vs baseline controller");
-    println!("{:<8} {:>12} {:>12} {:>8}", "kernel", "base cyc", "pumice cyc", "gain");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "kernel", "base cyc", "pumice cyc", "gain"
+    );
     let mut gains = Vec::new();
     for k in selected_kernels() {
         let run = k.run_mve(scale);
@@ -36,6 +39,8 @@ fn main() {
             gain
         );
     }
-    println!("geomean gain {:.3}x (helps dimension-masked kernels; ≥1.0 by construction)",
-        mve_bench::geomean(&gains));
+    println!(
+        "geomean gain {:.3}x (helps dimension-masked kernels; ≥1.0 by construction)",
+        mve_bench::geomean(&gains)
+    );
 }

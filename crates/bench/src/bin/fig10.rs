@@ -24,8 +24,18 @@ fn main() {
         let (ri, rc, rd) = r.rvv.breakdown();
         println!(
             "{:<8} {:>8} {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
-            r.name, pct(frac), pct(mi), pct(mc), pct(md), pct(ri), pct(rc), pct(rd)
+            r.name,
+            pct(frac),
+            pct(mi),
+            pct(mc),
+            pct(md),
+            pct(ri),
+            pct(rc),
+            pct(rd)
         );
     }
-    println!("AVG speedup {:.2}x (paper 2.0x)", mve_bench::geomean(&ratios));
+    println!(
+        "AVG speedup {:.2}x (paper 2.0x)",
+        mve_bench::geomean(&ratios)
+    );
 }

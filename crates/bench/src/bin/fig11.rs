@@ -22,7 +22,14 @@ fn main() {
         for (isa, m) in [("MVE", &r.mve_mix), ("RVV", &r.rvv_mix)] {
             println!(
                 "{:<8} {:<4} {:>8} {:>6} {:>6} {:>7} {:>9} | {:>9}",
-                r.name, isa, m.config, m.moves, m.mem_access, m.arithmetic, m.vector_total(), m.scalar
+                r.name,
+                isa,
+                m.config,
+                m.moves,
+                m.mem_access,
+                m.arithmetic,
+                m.vector_total(),
+                m.scalar
             );
         }
         vec_ratio.push(r.rvv_mix.vector_total() as f64 / r.mve_mix.vector_total().max(1) as f64);

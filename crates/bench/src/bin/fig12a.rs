@@ -30,5 +30,8 @@ fn main() {
             ratio
         );
     }
-    println!("AVG DC/MVE {:.2}x (paper 1.5x)", mve_bench::geomean(&ratios));
+    println!(
+        "AVG DC/MVE {:.2}x (paper 1.5x)",
+        mve_bench::geomean(&ratios)
+    );
 }

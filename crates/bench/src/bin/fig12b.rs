@@ -15,9 +15,15 @@ fn main() {
     println!("Figure 12(b) — execution time normalized to 8 SRAM arrays");
     let mut by_kernel: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
     for r in &rows {
-        by_kernel.entry(r.name).or_default().insert(r.arrays, r.cycles);
+        by_kernel
+            .entry(r.name)
+            .or_default()
+            .insert(r.arrays, r.cycles);
     }
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "Kernel", "8", "16", "32", "64");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "Kernel", "8", "16", "32", "64"
+    );
     for (name, cols) in &by_kernel {
         let base = cols[&8] as f64;
         println!(

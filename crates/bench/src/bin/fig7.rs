@@ -12,7 +12,10 @@ fn main() {
     };
     let (rows, avg) = figures::fig7(scale);
     println!("Figure 7(a) — MVE/Neon execution time (%), breakdown of MVE time");
-    println!("{:<14} {:>10} {:>8} {:>9} {:>7}", "Library", "Time %", "Idle", "Compute", "Data");
+    println!(
+        "{:<14} {:>10} {:>8} {:>9} {:>7}",
+        "Library", "Time %", "Idle", "Compute", "Data"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>10} {:>8} {:>9} {:>7}",
@@ -32,7 +35,10 @@ fn main() {
 
     println!();
     println!("Figure 7(b) — MVE/Neon energy (%)");
-    println!("{:<14} {:>10} {:>9} {:>8} {:>7}", "Library", "Energy %", "Compute", "Data", "CPU");
+    println!(
+        "{:<14} {:>10} {:>9} {:>8} {:>7}",
+        "Library", "Energy %", "Compute", "Data", "CPU"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>10} {:>9} {:>8} {:>7}",

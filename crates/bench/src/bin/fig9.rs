@@ -14,8 +14,15 @@ fn main() {
             println!("{:>12} {:>12.1} {:>12.1}", r.flops, r.gpu_us, r.mve_us);
         }
         match figures::crossover_flops(&rows) {
-            Some(x) => println!("crossover at {:.2}M FLOPs (paper ~{:.1}M)", x / 1e6, paper / 1e6),
-            None => println!("MVE wins across the sweep (paper crossover ~{:.1}M)", paper / 1e6),
+            Some(x) => println!(
+                "crossover at {:.2}M FLOPs (paper ~{:.1}M)",
+                x / 1e6,
+                paper / 1e6
+            ),
+            None => println!(
+                "MVE wins across the sweep (paper crossover ~{:.1}M)",
+                paper / 1e6
+            ),
         }
         println!();
     }

@@ -1,24 +1,53 @@
 //! One-shot reproduction: regenerates every table, figure and ablation into
 //! `results/` (paper scale). Equivalent to running each binary manually.
+//!
+//! `--smoke` runs the same pipeline at test scale (`--test-scale` is passed
+//! to every figure binary; tables are scale-independent) into
+//! `results-smoke/`, in seconds instead of minutes — used by CI so this
+//! entry point cannot silently rot.
 
 use std::fs;
 use std::process::Command;
 
 fn main() {
-    fs::create_dir_all("results").expect("create results dir");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_dir = if smoke { "results-smoke" } else { "results" };
+    fs::create_dir_all(out_dir).expect("create results dir");
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12a", "fig12b", "fig12c", "fig13", "ablations", "ext_pumice",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12a",
+        "fig12b",
+        "fig12c",
+        "fig13",
+        "ablations",
+        "ext_pumice",
     ];
     for bin in bins {
         eprintln!("running {bin}...");
-        let out = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        );
+        if smoke {
+            cmd.arg("--test-scale");
+        }
+        let out = cmd
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
         assert!(out.status.success(), "{bin} failed: {:?}", out);
-        fs::write(format!("results/{bin}.txt"), &out.stdout)
-            .unwrap_or_else(|e| panic!("failed to write results/{bin}.txt: {e}"));
-        eprintln!("  -> results/{bin}.txt ({} bytes)", out.stdout.len());
+        fs::write(format!("{out_dir}/{bin}.txt"), &out.stdout)
+            .unwrap_or_else(|e| panic!("failed to write {out_dir}/{bin}.txt: {e}"));
+        eprintln!("  -> {out_dir}/{bin}.txt ({} bytes)", out.stdout.len());
     }
-    eprintln!("done: {} artefacts under results/", bins.len());
+    eprintln!("done: {} artefacts under {out_dir}/", bins.len());
 }

@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table I — Vector ISA Extension Comparison");
-    println!("{:<18} {:<12} {:<14} {:<30} {:<28}", "ISA", "Max VL", "Strided", "Random Access", "Masked Execution");
+    println!(
+        "{:<18} {:<12} {:<14} {:<30} {:<28}",
+        "ISA", "Max VL", "Strided", "Random Access", "Masked Execution"
+    );
     for r in mve_bench::tables::table1() {
         println!(
             "{:<18} {:<12} {:<14} {:<30} {:<28}",

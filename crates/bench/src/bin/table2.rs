@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table II — MVE Instructions (bit-serial latency in cycles)");
-    println!("{:<14} {:<14} {:>6} {:>6} {:>8} {:>8}", "Class", "Assembly", "n=8", "n=16", "n=32", "n=64");
+    println!(
+        "{:<14} {:<14} {:>6} {:>6} {:>8} {:>8}",
+        "Class", "Assembly", "n=8", "n=16", "n=32", "n=64"
+    );
     for r in mve_bench::tables::table2() {
         match r.latency {
             Some(l) => println!(

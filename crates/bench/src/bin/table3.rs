@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table III — Evaluated Libraries");
-    println!("{:<26} {:<14} {:>8} {:<16} {:<6}", "Domain", "Library", "#Kernels", "Dataset", "Dim");
+    println!(
+        "{:<26} {:<14} {:>8} {:<16} {:<6}",
+        "Domain", "Library", "#Kernels", "Dataset", "Dim"
+    );
     let rows = mve_bench::tables::table3();
     for r in &rows {
         println!(
@@ -10,5 +13,8 @@ fn main() {
             r.domain, r.library, r.kernels, r.dataset, r.dims
         );
     }
-    println!("Total kernels: {}", rows.iter().map(|r| r.kernels).sum::<usize>());
+    println!(
+        "Total kernels: {}",
+        rows.iter().map(|r| r.kernels).sum::<usize>()
+    );
 }

@@ -170,11 +170,31 @@ pub struct Fig9Row {
 pub fn fig9_gemm() -> Vec<Fig9Row> {
     let gpu = GpuConfig::default();
     let sizes = [
-        GemmSize { n: 16, k: 48, m: 64 },
-        GemmSize { n: 32, k: 96, m: 128 },
-        GemmSize { n: 64, k: 128, m: 192 },
-        GemmSize { n: 64, k: 256, m: 384 },
-        GemmSize { n: 128, k: 384, m: 512 },
+        GemmSize {
+            n: 16,
+            k: 48,
+            m: 64,
+        },
+        GemmSize {
+            n: 32,
+            k: 96,
+            m: 128,
+        },
+        GemmSize {
+            n: 64,
+            k: 128,
+            m: 192,
+        },
+        GemmSize {
+            n: 64,
+            k: 256,
+            m: 384,
+        },
+        GemmSize {
+            n: 128,
+            k: 384,
+            m: 512,
+        },
     ];
     sizes
         .iter()
@@ -196,11 +216,36 @@ pub fn fig9_gemm() -> Vec<Fig9Row> {
 pub fn fig9_spmm() -> Vec<Fig9Row> {
     let gpu = GpuConfig::default();
     let sizes = [
-        SpmmSize { n: 8, k: 64, m: 32, density: 0.3 },
-        SpmmSize { n: 16, k: 128, m: 64, density: 0.3 },
-        SpmmSize { n: 32, k: 256, m: 64, density: 0.3 },
-        SpmmSize { n: 64, k: 384, m: 128, density: 0.3 },
-        SpmmSize { n: 96, k: 512, m: 128, density: 0.3 },
+        SpmmSize {
+            n: 8,
+            k: 64,
+            m: 32,
+            density: 0.3,
+        },
+        SpmmSize {
+            n: 16,
+            k: 128,
+            m: 64,
+            density: 0.3,
+        },
+        SpmmSize {
+            n: 32,
+            k: 256,
+            m: 64,
+            density: 0.3,
+        },
+        SpmmSize {
+            n: 64,
+            k: 384,
+            m: 128,
+            density: 0.3,
+        },
+        SpmmSize {
+            n: 96,
+            k: 512,
+            m: 128,
+            density: 0.3,
+        },
     ];
     sizes
         .iter()
@@ -252,7 +297,9 @@ pub struct Fig10Row {
 /// The 9-kernel set of Figures 10/11 (FIR collapsed to FIR-V as in the
 /// paper's plots).
 fn fig10_kernel_names() -> [&'static str; 9] {
-    ["csum", "lpack", "fir_v", "gemm", "spmm", "satd", "intra", "dct", "idct"]
+    [
+        "csum", "lpack", "fir_v", "gemm", "spmm", "satd", "intra", "dct", "idct",
+    ]
 }
 
 /// Figures 10 and 11: execution-time breakdown and instruction mix for MVE
@@ -368,7 +415,11 @@ pub struct Fig12cRow {
 fn neon_profile_at(base_ops: u64, bits: u32, float: bool, bytes: u64) -> NeonProfile {
     let lanes = u64::from(128 / bits);
     let v = base_ops / lanes;
-    let class = if float { NeonOpClass::FpMac } else { NeonOpClass::IntMul };
+    let class = if float {
+        NeonOpClass::FpMac
+    } else {
+        NeonOpClass::IntMul
+    };
     NeonProfile {
         ops: vec![(class, v)],
         chain_ops: vec![],
@@ -384,24 +435,41 @@ fn neon_profile_at(base_ops: u64, bits: u32, float: bool, bytes: u64) -> NeonPro
 pub fn fig12c(scale: Scale) -> Vec<Fig12cRow> {
     let mut rows = Vec::new();
     let model = NeonModel::default();
-    let runs: Vec<(&'static str, Box<dyn Fn(Precision) -> KernelRun>, u64)> = vec![
-        ("gemm", Box::new(move |p| precision::run_gemm(p, scale)), 64 * 64 * 64),
-        ("spmm", Box::new(move |p| precision::run_spmm(p, scale)), 32 * 256 * 64 / 3),
-        ("fir_v", Box::new(move |p| precision::run_fir(p, scale, 32)), 64 * 1024 * 32),
-        ("fir_s", Box::new(move |p| precision::run_fir(p, scale, 16)), 64 * 1024 * 16),
-        ("fir_l", Box::new(move |p| precision::run_fir(p, scale, 128)), 64 * 1024 * 128),
+    type PrecisionRun = Box<dyn Fn(Precision) -> KernelRun>;
+    let runs: Vec<(&'static str, PrecisionRun, u64)> = vec![
+        (
+            "gemm",
+            Box::new(move |p| precision::run_gemm(p, scale)),
+            64 * 64 * 64,
+        ),
+        (
+            "spmm",
+            Box::new(move |p| precision::run_spmm(p, scale)),
+            32 * 256 * 64 / 3,
+        ),
+        (
+            "fir_v",
+            Box::new(move |p| precision::run_fir(p, scale, 32)),
+            64 * 1024 * 32,
+        ),
+        (
+            "fir_s",
+            Box::new(move |p| precision::run_fir(p, scale, 16)),
+            64 * 1024 * 16,
+        ),
+        (
+            "fir_l",
+            Box::new(move |p| precision::run_fir(p, scale, 128)),
+            64 * 1024 * 128,
+        ),
     ];
     for (name, runner, macs) in runs {
         for prec in Precision::ALL {
             let run = runner(prec);
             assert!(run.checked.ok(), "{name} {} mismatch", prec.label());
             let report = simulate(&run.trace, &platform::mve_config());
-            let profile = neon_profile_at(
-                macs,
-                prec.dtype().bits(),
-                prec.dtype().is_float(),
-                macs / 4,
-            );
+            let profile =
+                neon_profile_at(macs, prec.dtype().bits(), prec.dtype().is_float(), macs / 4);
             let mut hier = Hierarchy::default();
             let _ = model.execute(&profile, &mut hier, 0);
             let neon = model.execute(&profile, &mut hier, 1_000_000_000);
@@ -496,8 +564,16 @@ mod tests {
     #[test]
     fn fig9_crossover_interpolates() {
         let rows = vec![
-            Fig9Row { flops: 1_000, gpu_us: 100.0, mve_us: 10.0 },
-            Fig9Row { flops: 2_000, gpu_us: 100.0, mve_us: 200.0 },
+            Fig9Row {
+                flops: 1_000,
+                gpu_us: 100.0,
+                mve_us: 10.0,
+            },
+            Fig9Row {
+                flops: 2_000,
+                gpu_us: 100.0,
+                mve_us: 200.0,
+            },
         ];
         let x = crossover_flops(&rows).expect("crossover");
         assert!(x > 1_000.0 && x < 2_000.0);
@@ -536,6 +612,11 @@ mod tests {
         let bs = &rows[0];
         assert_eq!(bs.scheme, Scheme::BitSerial);
         assert!(bs.speedup > 1.0, "BS speedup {}", bs.speedup);
-        assert!(bs.mve_util > bs.rvv_util, "util {} vs {}", bs.mve_util, bs.rvv_util);
+        assert!(
+            bs.mve_util > bs.rvv_util,
+            "util {} vs {}",
+            bs.mve_util,
+            bs.rvv_util
+        );
     }
 }

@@ -3,8 +3,8 @@
 use mve_core::dtype::DType;
 use mve_core::isa::{feature_table, IsaFeatures, OpClass, Opcode};
 use mve_energy::area::{area_table, AreaRow, NEON_AREA_MM2};
-use mve_insram::{AluOp, LatencyModel};
 use mve_insram::scheme::EngineGeometry;
+use mve_insram::{AluOp, LatencyModel};
 use mve_kernels::registry::{all_kernels, Library};
 
 /// Table I: the ISA feature comparison matrix.
@@ -136,7 +136,10 @@ mod tests {
         let rows = table3();
         assert_eq!(rows.len(), 12);
         assert_eq!(rows.iter().map(|r| r.kernels).sum::<usize>(), 44);
-        let kvz = rows.iter().find(|r| r.library == "Kvazaar").expect("kvazaar");
+        let kvz = rows
+            .iter()
+            .find(|r| r.library == "Kvazaar")
+            .expect("kvazaar");
         assert_eq!(kvz.dims, "3-4D");
     }
 

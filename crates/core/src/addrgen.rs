@@ -178,7 +178,12 @@ mod tests {
         // row-major 4×3 tile.
         let crs = crs_for(&[4, 3]);
         let shape = crs.shape();
-        let strides = resolve_strides(&[StrideMode::One, StrideMode::Seq], &shape, &crs, StrideBank::Load);
+        let strides = resolve_strides(
+            &[StrideMode::One, StrideMode::Seq],
+            &shape,
+            &crs,
+            StrideBank::Load,
+        );
         assert_eq!(strides[..2], [1, 4]);
         let addrs = strided_addresses(100, 4, &strides, &shape, &crs, 8192);
         assert_eq!(addrs[0], Some(100));
@@ -191,8 +196,18 @@ mod tests {
         crs.set_load_stride(1, 49);
         crs.set_store_stride(1, 7);
         let shape = crs.shape();
-        let ld = resolve_strides(&[StrideMode::One, StrideMode::Cr], &shape, &crs, StrideBank::Load);
-        let st = resolve_strides(&[StrideMode::One, StrideMode::Cr], &shape, &crs, StrideBank::Store);
+        let ld = resolve_strides(
+            &[StrideMode::One, StrideMode::Cr],
+            &shape,
+            &crs,
+            StrideBank::Load,
+        );
+        let st = resolve_strides(
+            &[StrideMode::One, StrideMode::Cr],
+            &shape,
+            &crs,
+            StrideBank::Store,
+        );
         assert_eq!(ld[1], 49);
         assert_eq!(st[1], 7);
     }

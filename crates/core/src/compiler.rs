@@ -371,8 +371,9 @@ mod tests {
         // version overflows — the variable-register-count effect of
         // Section III-B.
         let mk = |width: u32| -> Vec<IrOp> {
-            let mut ops: Vec<IrOp> =
-                (0..6).map(|i| IrOp::new("vsld", Some(v(i)), &[], width)).collect();
+            let mut ops: Vec<IrOp> = (0..6)
+                .map(|i| IrOp::new("vsld", Some(v(i)), &[], width))
+                .collect();
             for i in 0..3 {
                 ops.push(IrOp::new("vadd", Some(v(10 + i)), &[v(i), v(5 - i)], width));
                 ops.push(IrOp::new("vsst", None, &[v(10 + i)], width));
@@ -382,7 +383,10 @@ mod tests {
         let wide = mk(64);
         let narrow = mk(8);
         let wide_alloc = allocate(&wide, register_budget(256, liveness(&wide).kernel_width));
-        let narrow_alloc = allocate(&narrow, register_budget(256, liveness(&narrow).kernel_width));
+        let narrow_alloc = allocate(
+            &narrow,
+            register_budget(256, liveness(&narrow).kernel_width),
+        );
         assert!(wide_alloc.spill_stores > 0);
         assert_eq!(narrow_alloc.spill_stores, 0);
     }
@@ -402,8 +406,14 @@ mod tests {
         let before = liveness(&ops).max_pressure;
         let sched = schedule(&ops);
         let after = liveness(&sched).max_pressure;
-        assert!(after <= before, "pressure {after} should not exceed {before}");
-        assert!(after <= 3, "scheduler should chain producer→consumer: {after}");
+        assert!(
+            after <= before,
+            "pressure {after} should not exceed {before}"
+        );
+        assert!(
+            after <= 3,
+            "scheduler should chain producer→consumer: {after}"
+        );
         // All defs still precede their uses.
         let mut defined = std::collections::HashSet::new();
         for op in &sched {

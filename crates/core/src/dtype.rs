@@ -464,7 +464,10 @@ mod tests {
         assert_eq!(DType::I32.convert_to(DType::I8, 0x1_234), 0x34);
         let f = DType::I32.convert_to(DType::F32, 7);
         assert_eq!(f32::from_bits(f as u32), 7.0);
-        assert_eq!(DType::F32.convert_to(DType::I32, (3.9f32).to_bits() as u64), 3);
+        assert_eq!(
+            DType::F32.convert_to(DType::I32, (3.9f32).to_bits() as u64),
+            3
+        );
     }
 
     #[test]

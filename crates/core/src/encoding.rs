@@ -251,7 +251,12 @@ mod tests {
             dtype: DType::I32,
             vd: 3,
             vs1: 0,
-            modes: [StrideMode::One, StrideMode::Cr, StrideMode::Zero, StrideMode::Seq],
+            modes: [
+                StrideMode::One,
+                StrideMode::Cr,
+                StrideMode::Zero,
+                StrideMode::Seq,
+            ],
             imm: 257,
         };
         let word = instr.encode();

@@ -384,8 +384,14 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
-        let addrs =
-            addrgen::strided_addresses(base, dtype.bytes(), &strides, &shape, &self.crs, self.lanes());
+        let addrs = addrgen::strided_addresses(
+            base,
+            dtype.bytes(),
+            &strides,
+            &shape,
+            &self.crs,
+            self.lanes(),
+        );
         self.do_load(dtype, Opcode::StridedLoad, &addrs, Vec::new())
     }
 
@@ -396,10 +402,18 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let nbases = shape.dim(shape.highest_dim());
-        let bases: Vec<u64> = (0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)).collect();
+        let bases: Vec<u64> = (0..nbases)
+            .map(|w| self.mem.read::<u64>(ptr_base, w))
+            .collect();
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
-        let addrs =
-            addrgen::random_addresses(&bases, dtype.bytes(), &strides, &shape, &self.crs, self.lanes());
+        let addrs = addrgen::random_addresses(
+            &bases,
+            dtype.bytes(),
+            &strides,
+            &shape,
+            &self.crs,
+            self.lanes(),
+        );
         let ptr_lines = Self::ptr_array_lines(ptr_base, nbases);
         self.do_load(dtype, Opcode::RandomLoad, &addrs, ptr_lines)
     }
@@ -465,7 +479,9 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let nbases = shape.dim(shape.highest_dim());
-        let bases: Vec<u64> = (0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)).collect();
+        let bases: Vec<u64> = (0..nbases)
+            .map(|w| self.mem.read::<u64>(ptr_base, w))
+            .collect();
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
         let addrs = addrgen::random_addresses(
             &bases,
@@ -523,7 +539,11 @@ impl Engine {
 
     /// Element-wise binary operation into a fresh register.
     pub fn binop(&mut self, opcode: Opcode, op: BinOp, a: Reg, b: Reg) -> Reg {
-        assert_eq!(a.dtype, b.dtype, "operand type mismatch: {} vs {}", a.dtype, b.dtype);
+        assert_eq!(
+            a.dtype, b.dtype,
+            "operand type mismatch: {} vs {}",
+            a.dtype, b.dtype
+        );
         let dtype = a.dtype;
         let shape = self.shape();
         self.assert_shape_fits(&shape);
@@ -542,7 +562,11 @@ impl Engine {
 
     /// Comparison writing the per-lane Tag latch (Section III-E).
     pub fn compare(&mut self, op: CmpOp, a: Reg, b: Reg) {
-        assert_eq!(a.dtype, b.dtype, "operand type mismatch: {} vs {}", a.dtype, b.dtype);
+        assert_eq!(
+            a.dtype, b.dtype,
+            "operand type mismatch: {} vs {}",
+            a.dtype, b.dtype
+        );
         let dtype = a.dtype;
         let shape = self.shape();
         self.assert_shape_fits(&shape);
@@ -577,7 +601,11 @@ impl Engine {
                 };
             }
         }
-        let opcode = if rotate { Opcode::RotateImm } else { Opcode::ShiftImm };
+        let opcode = if rotate {
+            Opcode::RotateImm
+        } else {
+            Opcode::ShiftImm
+        };
         self.compute_event(opcode, dtype, true);
         dst
     }
@@ -795,7 +823,11 @@ mod tests {
         let z = e.setdup(DType::I32, 1);
         let _ = z;
         match e.trace().events().last().expect("event") {
-            Event::Compute { cb_mask, active_lanes, .. } => {
+            Event::Compute {
+                cb_mask,
+                active_lanes,
+                ..
+            } => {
                 assert_eq!(*cb_mask, 0b1);
                 assert_eq!(*active_lanes, 100);
             }

@@ -261,11 +261,19 @@ mod tests {
         }
 
         let q = e.mem_alloc_typed::<i64>(16);
-        e.mem_fill(q, &(0..16).map(|i| i as i64 * 1_000_000_007).collect::<Vec<_>>());
+        e.mem_fill(
+            q,
+            &(0..16)
+                .map(|i| i as i64 * 1_000_000_007)
+                .collect::<Vec<_>>(),
+        );
         let vq = e.vsld_qw(q, &[StrideMode::One]);
         let dq = e.vsetdup_qw(-1);
         let rq = e.vadd_qw(vq, dq);
-        assert_eq!(DType::I64.to_i64(e.lane_value(rq, 3)), 3 * 1_000_000_007 - 1);
+        assert_eq!(
+            DType::I64.to_i64(e.lane_value(rq, 3)),
+            3 * 1_000_000_007 - 1
+        );
     }
 
     #[test]

@@ -134,8 +134,8 @@ impl Opcode {
             | SetStoreStride => OpClass::Config,
             Convert | Copy => OpClass::Move,
             StridedLoad | RandomLoad | StridedStore | RandomStore => OpClass::MemAccess,
-            SetDup | ShiftImm | RotateImm | ShiftReg | Add | Sub | Mul | Min | Max | Xor
-            | And | Or | Compare => OpClass::Arithmetic,
+            SetDup | ShiftImm | RotateImm | ShiftReg | Add | Sub | Mul | Min | Max | Xor | And
+            | Or | Compare => OpClass::Arithmetic,
         }
     }
 
@@ -243,7 +243,12 @@ mod tests {
 
     #[test]
     fn stride_mode_encoding_roundtrip() {
-        for m in [StrideMode::Zero, StrideMode::One, StrideMode::Seq, StrideMode::Cr] {
+        for m in [
+            StrideMode::Zero,
+            StrideMode::One,
+            StrideMode::Seq,
+            StrideMode::Cr,
+        ] {
             assert_eq!(StrideMode::from_encoding(m.encoding()), m);
         }
     }

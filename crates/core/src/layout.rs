@@ -100,8 +100,7 @@ impl LogicalShape {
 
     /// Whether `lane` is active under the CRs' dimension-level mask.
     pub fn lane_active(&self, lane: usize, crs: &ControlRegs) -> bool {
-        lane < self.total()
-            && crs.mask_bit_for(self.mask_coord(lane), self.dim(self.highest_dim()))
+        lane < self.total() && crs.mask_bit_for(self.mask_coord(lane), self.dim(self.highest_dim()))
     }
 
     /// Iterates over active lanes under the CR mask, up to `max_lanes`.
@@ -111,8 +110,7 @@ impl LogicalShape {
         max_lanes: usize,
     ) -> impl Iterator<Item = usize> + 'a {
         let len = self.dim(self.highest_dim());
-        (0..self.total().min(max_lanes))
-            .filter(move |&l| crs.mask_bit_for(self.mask_coord(l), len))
+        (0..self.total().min(max_lanes)).filter(move |&l| crs.mask_bit_for(self.mask_coord(l), len))
     }
 }
 

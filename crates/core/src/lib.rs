@@ -58,8 +58,8 @@
 pub mod addrgen;
 pub mod compiler;
 pub mod config;
-pub mod encoding;
 pub mod dtype;
+pub mod encoding;
 pub mod engine;
 pub mod intrinsics;
 pub mod isa;

@@ -278,8 +278,7 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
                         completion = completion.max(end);
                     }
                 }
-                energy.array_active_cycles +=
-                    active_cbs * cfg.geometry.arrays_per_cb as u64 * dur;
+                energy.array_active_cycles += active_cbs * cfg.geometry.arrays_per_cb as u64 * dur;
                 inflight.push_back(completion);
             }
             Event::Memory {
@@ -309,8 +308,10 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
                 // The TMU streams only the access's active elements; a
                 // masked partial access fills proportionally fewer transpose
                 // columns per CB.
-                let active_cbs_for_tmu =
-                    (0..n_cbs).filter(|cb| cb_mask >> cb & 1 == 1).count().max(1);
+                let active_cbs_for_tmu = (0..n_cbs)
+                    .filter(|cb| cb_mask >> cb & 1 == 1)
+                    .count()
+                    .max(1);
                 let elems_per_cb = (*active_lanes as usize)
                     .div_ceil(active_cbs_for_tmu)
                     .min(cfg.geometry.bitlines_per_cb())
@@ -341,12 +342,7 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
         }
     }
 
-    let total_end = cb_avail
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(t_core)
-        .max(t_core);
+    let total_end = cb_avail.iter().copied().max().unwrap_or(t_core).max(t_core);
     let total = total_end - t_start;
     let compute = union_length(compute_intervals);
     let idle = total.saturating_sub(compute + data_busy);
@@ -505,7 +501,10 @@ mod tests {
         let t8 = simulate(&build(8), &quiet_cfg()).compute_cycles;
         let t16 = simulate(&build(16), &quiet_cfg()).compute_cycles;
         let t32 = simulate(&build(32), &quiet_cfg()).compute_cycles;
-        assert!(t8 < t16 && t16 < t32, "quadratic precision scaling: {t8} {t16} {t32}");
+        assert!(
+            t8 < t16 && t16 < t32,
+            "quadratic precision scaling: {t8} {t16} {t32}"
+        );
         // Bit-serial multiply is O(n²): 32-bit ≈ 10× the 8-bit latency.
         let ratio = t32 as f64 / t8 as f64;
         assert!((6.0..=16.0).contains(&ratio), "mul scaling ratio {ratio}");
@@ -585,7 +584,11 @@ mod pumice_tests {
             for w in 0..4 {
                 e.vunsetmask(w);
             }
-            e.vsst_dw(v, buf + (round % 2) * 4, &[StrideMode::One, StrideMode::Seq]);
+            e.vsst_dw(
+                v,
+                buf + (round % 2) * 4,
+                &[StrideMode::One, StrideMode::Seq],
+            );
             e.vresetmask();
         }
         let trace = e.take_trace();

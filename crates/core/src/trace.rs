@@ -57,9 +57,9 @@ impl Event {
     /// The instruction-class bucket of Figure 11 (`None` for scalar blocks).
     pub fn op_class(&self) -> Option<OpClass> {
         match self {
-            Event::Config { opcode } | Event::Compute { opcode, .. } | Event::Memory { opcode, .. } => {
-                Some(opcode.class())
-            }
+            Event::Config { opcode }
+            | Event::Compute { opcode, .. }
+            | Event::Memory { opcode, .. } => Some(opcode.class()),
             Event::Scalar { .. } => None,
         }
     }

@@ -271,7 +271,9 @@ mod tests {
         let model = NeonModel::default();
         let mut h = Hierarchy::default();
         let cold = model.execute(&profile(10, 10, 1 << 16), &mut h, 0).cycles;
-        let warm = model.execute(&profile(10, 10, 1 << 16), &mut h, 1_000_000).cycles;
+        let warm = model
+            .execute(&profile(10, 10, 1 << 16), &mut h, 1_000_000)
+            .cycles;
         assert!(warm <= cold, "warm {warm} vs cold {cold}");
     }
 }

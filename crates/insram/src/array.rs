@@ -172,7 +172,10 @@ impl SramArray {
     /// Panics if the word-lines are equal (a dual activation of the same row
     /// would short the cell) or out of range.
     pub fn dual_access(&self, wl_a: usize, wl_b: usize) -> DualAccess {
-        assert!(wl_a < WORDLINES && wl_b < WORDLINES, "word-line out of range");
+        assert!(
+            wl_a < WORDLINES && wl_b < WORDLINES,
+            "word-line out of range"
+        );
         assert_ne!(wl_a, wl_b, "dual activation requires distinct word-lines");
         let a = self.rows[wl_a];
         let b = self.rows[wl_b];
@@ -236,7 +239,7 @@ mod tests {
         ra.set_bit(1, true); // A=1,B=1 -> and 1, nor 0
         rb.set_bit(1, true);
         rb.set_bit(2, true); // A=0,B=1 -> and 0, nor 0
-        // bit-line 3: A=0,B=0 -> and 0, nor 1
+                             // bit-line 3: A=0,B=0 -> and 0, nor 1
         array.write_row(10, ra);
         array.write_row(20, rb);
         let out = array.dual_access(10, 20);

@@ -162,7 +162,11 @@ impl<'a> BitSerialAlu<'a> {
     pub fn shift_left(&mut self, a: usize, dst: usize, n: usize, shift: usize) -> u64 {
         let slices: Vec<RowBits> = (0..n).map(|k| self.array.read_row(a + k)).collect();
         for k in 0..n {
-            let bits = if k >= shift { slices[k - shift] } else { RowBits::zero() };
+            let bits = if k >= shift {
+                slices[k - shift]
+            } else {
+                RowBits::zero()
+            };
             self.array.write_row_masked(dst + k, bits, self.tag);
         }
         n as u64
@@ -173,7 +177,11 @@ impl<'a> BitSerialAlu<'a> {
     pub fn shift_right(&mut self, a: usize, dst: usize, n: usize, shift: usize) -> u64 {
         let slices: Vec<RowBits> = (0..n).map(|k| self.array.read_row(a + k)).collect();
         for k in 0..n {
-            let bits = if k + shift < n { slices[k + shift] } else { RowBits::zero() };
+            let bits = if k + shift < n {
+                slices[k + shift]
+            } else {
+                RowBits::zero()
+            };
             self.array.write_row_masked(dst + k, bits, self.tag);
         }
         n as u64

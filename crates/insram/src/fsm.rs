@@ -249,19 +249,28 @@ mod tests {
         for n in [8u16, 16, 32, 64] {
             let uops = decode(AluOp::ShiftReg, n, 0, 64, 128);
             // Stage structure: log n stages of (1 latch + n-1 moves) = n·log n.
-            assert_eq!(uops.len() as u64, lm.op_latency(AluOp::ShiftReg, u32::from(n)));
+            assert_eq!(
+                uops.len() as u64,
+                lm.op_latency(AluOp::ShiftReg, u32::from(n))
+            );
         }
     }
 
     #[test]
     fn mul_decomposes_into_tagged_conditional_adds() {
         let uops = decode(AluOp::Mul, 8, 0, 8, 16);
-        let tags = uops.iter().filter(|u| matches!(u, Uop::LatchTag { .. })).count();
+        let tags = uops
+            .iter()
+            .filter(|u| matches!(u, Uop::LatchTag { .. }))
+            .count();
         let conds = uops
             .iter()
             .filter(|u| matches!(u, Uop::CondAddSlice { .. }))
             .count();
-        let house = uops.iter().filter(|u| matches!(u, Uop::Housekeeping)).count();
+        let house = uops
+            .iter()
+            .filter(|u| matches!(u, Uop::Housekeeping))
+            .count();
         assert_eq!(tags, 8); // one Tag latch per multiplier bit
         assert_eq!(conds, 64); // n adds per bit
         assert_eq!(house, 32); // 4 per bit
@@ -297,7 +306,9 @@ mod tests {
                 let ok = match uop {
                     Uop::AddSlice { a, b, dst }
                     | Uop::AddSliceNegB { a, b, dst }
-                    | Uop::LogicSlice { a, b, dst } => a < 32 && (32..64).contains(&b) && (64..96).contains(&dst),
+                    | Uop::LogicSlice { a, b, dst } => {
+                        a < 32 && (32..64).contains(&b) && (64..96).contains(&dst)
+                    }
                     Uop::NegSlice { src } => (32..64).contains(&src),
                     Uop::MoveSlice { src, dst } => {
                         src.is_none_or(|s| s < 32) && (64..96).contains(&dst)

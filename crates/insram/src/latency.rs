@@ -264,8 +264,7 @@ mod tests {
         assert_eq!(ac.op_latency(AluOp::Logic, 32), 4);
         // AC arithmetic is 4-8x slower than BS (Section VII-C).
         let bs = LatencyModel::BitSerial;
-        let ratio =
-            ac.op_latency(AluOp::Add, 32) as f64 / bs.op_latency(AluOp::Add, 32) as f64;
+        let ratio = ac.op_latency(AluOp::Add, 32) as f64 / bs.op_latency(AluOp::Add, 32) as f64;
         assert!((4.0..=9.0).contains(&ratio), "AC/BS add ratio {ratio}");
     }
 
@@ -317,6 +316,9 @@ mod more_tests {
     #[test]
     fn associative_logic_is_constant_time() {
         let ac = LatencyModel::Associative;
-        assert_eq!(ac.op_latency(AluOp::Logic, 8), ac.op_latency(AluOp::Logic, 64));
+        assert_eq!(
+            ac.op_latency(AluOp::Logic, 8),
+            ac.op_latency(AluOp::Logic, 64)
+        );
     }
 }

@@ -288,10 +288,7 @@ impl Kernel for Sha256Msched {
         let b = nblocks(scale) as u64;
         let v = b / 4 * 48;
         NeonProfile {
-            ops: vec![
-                (NeonOpClass::IntSimple, v * 5),
-                (NeonOpClass::Shift, v * 6),
-            ],
+            ops: vec![(NeonOpClass::IntSimple, v * 5), (NeonOpClass::Shift, v * 6)],
             chain_ops: vec![(NeonOpClass::IntSimple, 48)],
             loads: v * 4,
             stores: v,
@@ -375,8 +372,14 @@ mod tests {
     fn chacha_reference_rfc_vector() {
         // RFC 8439 §2.3.2 test vector.
         let key: [u32; 8] = [
-            0x0302_0100, 0x0706_0504, 0x0b0a_0908, 0x0f0e_0d0c, 0x1312_1110, 0x1716_1514,
-            0x1b1a_1918, 0x1f1e_1d1c,
+            0x0302_0100,
+            0x0706_0504,
+            0x0b0a_0908,
+            0x0f0e_0d0c,
+            0x1312_1110,
+            0x1716_1514,
+            0x1b1a_1918,
+            0x1f1e_1d1c,
         ];
         let nonce: [u32; 3] = [0x0900_0000, 0x4a00_0000, 0];
         let out = chacha_block(&key, 1, &nonce);

@@ -7,9 +7,7 @@
 //! replication pattern; DCT/IDCT broadcast transform constants with
 //! stride-0 dimensions.
 
-use crate::common::{
-    check_exact, engine, gen_i16, tree_halve, tree_reduce, KernelRun, Scale,
-};
+use crate::common::{check_exact, engine, gen_i16, tree_halve, tree_reduce, KernelRun, Scale};
 use crate::registry::{Kernel, KernelInfo, Library};
 use mve_baselines::gpu::GpuKernelCost;
 use mve_baselines::rvv::Rvv;
@@ -83,7 +81,12 @@ fn fwht_stage_x(e: &mut Engine, scratch: u64, h: usize, b: usize) {
         e.vsetldstr(dim, stride);
         e.vsetststr(dim, stride);
     }
-    let modes = [StrideMode::Cr, StrideMode::Cr, StrideMode::Cr, StrideMode::Cr];
+    let modes = [
+        StrideMode::Cr,
+        StrideMode::Cr,
+        StrideMode::Cr,
+        StrideMode::Cr,
+    ];
     let va = e.vsld_w(scratch, &modes);
     let vb = e.vsld_w(scratch + 2 * h as u64, &modes);
     let sum = e.vadd_w(va, vb);
@@ -107,7 +110,12 @@ fn fwht_stage_y(e: &mut Engine, scratch: u64, h: usize, b: usize) {
         e.vsetldstr(dim, stride);
         e.vsetststr(dim, stride);
     }
-    let modes = [StrideMode::Cr, StrideMode::Cr, StrideMode::Cr, StrideMode::Cr];
+    let modes = [
+        StrideMode::Cr,
+        StrideMode::Cr,
+        StrideMode::Cr,
+        StrideMode::Cr,
+    ];
     let va = e.vsld_w(scratch, &modes);
     let vb = e.vsld_w(scratch + (8 * h * 2) as u64, &modes);
     let sum = e.vadd_w(va, vb);
@@ -136,8 +144,14 @@ impl Kernel for Satd {
 
     fn run_mve(&self, scale: Scale) -> KernelRun {
         let blocks = total_blocks(scale);
-        let cur: Vec<i16> = gen_i16(0x51, blocks * 64).iter().map(|v| (v & 0xFF) as i16).collect();
-        let refp: Vec<i16> = gen_i16(0x52, blocks * 64).iter().map(|v| (v & 0xFF) as i16).collect();
+        let cur: Vec<i16> = gen_i16(0x51, blocks * 64)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
+        let refp: Vec<i16> = gen_i16(0x52, blocks * 64)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
 
         let tiles = blocks / BLOCKS_PER_TILE.min(blocks);
         let bpt = blocks / tiles;
@@ -206,8 +220,14 @@ impl Kernel for Satd {
 
     fn run_rvv(&self, scale: Scale) -> Option<KernelRun> {
         let blocks = total_blocks(scale);
-        let cur: Vec<i16> = gen_i16(0x51, blocks * 64).iter().map(|v| (v & 0xFF) as i16).collect();
-        let refp: Vec<i16> = gen_i16(0x52, blocks * 64).iter().map(|v| (v & 0xFF) as i16).collect();
+        let cur: Vec<i16> = gen_i16(0x51, blocks * 64)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
+        let refp: Vec<i16> = gen_i16(0x52, blocks * 64)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
         let tiles = blocks / BLOCKS_PER_TILE.min(blocks);
         let bpt = blocks / tiles;
         let want: Vec<i64> = (0..tiles)
@@ -312,7 +332,6 @@ impl Kernel for Satd {
             en.free(abs);
             en.vsetdimc(1);
             en.vsetdiml(0, bpt * 64);
-            drop(rvv);
             let raw = tree_reduce(&mut e, wide, bpt * 64);
             got.push(DType::I32.to_i64(raw));
         }
@@ -386,7 +405,10 @@ impl Kernel for Intra {
     fn run_mve(&self, scale: Scale) -> KernelRun {
         let blocks = total_blocks(scale);
         // 16 reference pixels per block (top 8 + left 8), pixel range.
-        let refs: Vec<i16> = gen_i16(0x53, blocks * 16).iter().map(|v| (v & 0xFF) as i16).collect();
+        let refs: Vec<i16> = gen_i16(0x53, blocks * 16)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
         let want: Vec<i16> = (0..blocks)
             .flat_map(|b| Self::scalar_block(&refs[b * 16..b * 16 + 16]))
             .collect();
@@ -427,7 +449,10 @@ impl Kernel for Intra {
             e.vsetdiml(2, bpt);
             e.vsetldstr(2, 16);
             // Top row replicated down the block (DIM1 stride 0).
-            let top = e.vsld_w(ra + roff, &[StrideMode::One, StrideMode::Zero, StrideMode::Cr]);
+            let top = e.vsld_w(
+                ra + roff,
+                &[StrideMode::One, StrideMode::Zero, StrideMode::Cr],
+            );
             // DC replicated across the whole block.
             let dcv = e.vsld_w(dca, &[StrideMode::Zero, StrideMode::Zero, StrideMode::One]);
             let sum = e.vadd_w(top, dcv);
@@ -452,7 +477,10 @@ impl Kernel for Intra {
 
     fn run_rvv(&self, scale: Scale) -> Option<KernelRun> {
         let blocks = total_blocks(scale);
-        let refs: Vec<i16> = gen_i16(0x53, blocks * 16).iter().map(|v| (v & 0xFF) as i16).collect();
+        let refs: Vec<i16> = gen_i16(0x53, blocks * 16)
+            .iter()
+            .map(|v| v & 0xFF)
+            .collect();
         let want: Vec<i16> = (0..blocks)
             .flat_map(|b| Self::scalar_block(&refs[b * 16..b * 16 + 16]))
             .collect();
@@ -467,7 +495,10 @@ impl Kernel for Intra {
         // computes the DC values (charged per block).
         let dcs: Vec<i16> = (0..blocks)
             .map(|b| {
-                let s: i32 = refs[b * 16..b * 16 + 16].iter().map(|&r| i32::from(r)).sum();
+                let s: i32 = refs[b * 16..b * 16 + 16]
+                    .iter()
+                    .map(|&r| i32::from(r))
+                    .sum();
                 ((s + 8) >> 4) as i16
             })
             .collect();
@@ -638,9 +669,15 @@ fn transform_mve(
         e.scalar(5);
         // Constant: T[u][k] (DCT) or T[k][u] (IDCT) along DIM1.
         let coef = if forward {
-            e.vsld_dw(tm + (k * 4) as u64, &[StrideMode::Zero, StrideMode::Cr, StrideMode::Zero])
+            e.vsld_dw(
+                tm + (k * 4) as u64,
+                &[StrideMode::Zero, StrideMode::Cr, StrideMode::Zero],
+            )
         } else {
-            e.vsld_dw(tm + (k * 8 * 4) as u64, &[StrideMode::Zero, StrideMode::One, StrideMode::Zero])
+            e.vsld_dw(
+                tm + (k * 8 * 4) as u64,
+                &[StrideMode::Zero, StrideMode::One, StrideMode::Zero],
+            )
         };
         // Input row k of every block, replicated along DIM1.
         let xv = e.vsld_dw(
@@ -657,7 +694,11 @@ fn transform_mve(
     let rnd = e.vsetdup_dw(1 << (DCT_SHIFT1 - 1));
     let accr = e.vadd_dw(acc, rnd);
     let sh = e.vshir_dw(accr, DCT_SHIFT1);
-    e.vsst_dw(sh, tmp, &[StrideMode::One, StrideMode::Seq, StrideMode::Seq]);
+    e.vsst_dw(
+        sh,
+        tmp,
+        &[StrideMode::One, StrideMode::Seq, StrideMode::Seq],
+    );
     for r in [acc, rnd, accr, sh] {
         e.free(r);
     }
@@ -667,9 +708,15 @@ fn transform_mve(
     for c in 0..8usize {
         e.scalar(5);
         let coef = if forward {
-            e.vsld_dw(tm + (c * 4) as u64, &[StrideMode::Cr, StrideMode::Zero, StrideMode::Zero])
+            e.vsld_dw(
+                tm + (c * 4) as u64,
+                &[StrideMode::Cr, StrideMode::Zero, StrideMode::Zero],
+            )
         } else {
-            e.vsld_dw(tm + (c * 8 * 4) as u64, &[StrideMode::One, StrideMode::Zero, StrideMode::Zero])
+            e.vsld_dw(
+                tm + (c * 8 * 4) as u64,
+                &[StrideMode::One, StrideMode::Zero, StrideMode::Zero],
+            )
         };
         let ev = e.vsld_dw(
             tmp + (c * 4) as u64,
@@ -685,7 +732,11 @@ fn transform_mve(
     let rnd = e.vsetdup_dw(1 << (DCT_SHIFT2 - 1));
     let accr = e.vadd_dw(acc, rnd);
     let sh = e.vshir_dw(accr, DCT_SHIFT2);
-    e.vsst_dw(sh, output, &[StrideMode::One, StrideMode::Seq, StrideMode::Seq]);
+    e.vsst_dw(
+        sh,
+        output,
+        &[StrideMode::One, StrideMode::Seq, StrideMode::Seq],
+    );
     for r in [acc, rnd, accr, sh] {
         e.free(r);
     }
@@ -771,7 +822,8 @@ fn run_transform_rvv(scale: Scale, forward: bool) -> KernelRun {
             for k in 0..8usize {
                 rvv.engine().scalar(6);
                 // X[k][c] for all blocks: 8-wide segments strided by 64.
-                let xk = rvv.segmented_load_2d(DType::I32, ia + off + (k * 8 * 4) as u64, 8, bpt, 64);
+                let xk =
+                    rvv.segmented_load_2d(DType::I32, ia + off + (k * 8 * 4) as u64, 8, bpt, 64);
                 for (i, acc) in accs.iter_mut().enumerate() {
                     let u = half * 4 + i;
                     let coef = if forward { T8[u][k] } else { T8[k][u] };

@@ -65,7 +65,7 @@ impl Kernel for H2v2Upsample {
         e.scalar(4 * r as u64);
 
         let lanes = e.lanes();
-        let rows_per_tile = (lanes / (2 * m)).min(256).max(1);
+        let rows_per_tile = (lanes / (2 * m)).clamp(1, 256);
         let mut k = 0usize;
         while k < 2 * r {
             let chunk = rows_per_tile.min(2 * r - k);
@@ -75,8 +75,15 @@ impl Kernel for H2v2Upsample {
             e.vsetdiml(1, m);
             e.vsetdiml(2, chunk);
             e.scalar(8);
-            let v = e.vrld_ub(ptr_in + (k * 8) as u64, &[StrideMode::Zero, StrideMode::One]);
-            e.vrst_ub(v, ptr_out + (k * 8) as u64, &[StrideMode::One, StrideMode::Seq]);
+            let v = e.vrld_ub(
+                ptr_in + (k * 8) as u64,
+                &[StrideMode::Zero, StrideMode::One],
+            );
+            e.vrst_ub(
+                v,
+                ptr_out + (k * 8) as u64,
+                &[StrideMode::One, StrideMode::Seq],
+            );
             e.free(v);
             k += chunk;
         }
@@ -149,7 +156,7 @@ impl Kernel for H2v2Downsample {
         e.mem_fill(ia, &img);
 
         let lanes = e.lanes();
-        let rows_per_tile = (lanes / m_out).min(256).max(1);
+        let rows_per_tile = (lanes / m_out).clamp(1, 256);
         e.vsetdimc(2);
         e.vsetdiml(0, m_out);
         e.vsetldstr(0, 2);
@@ -184,7 +191,11 @@ impl Kernel for H2v2Downsample {
             let s2 = e.vadd_uw(s, two);
             let sh = e.vshir_uw(s2, 2);
             let out8 = e.vcvt(sh, DType::U8);
-            e.vsst_ub(out8, oa + (y * m_out) as u64, &[StrideMode::One, StrideMode::Cr]);
+            e.vsst_ub(
+                out8,
+                oa + (y * m_out) as u64,
+                &[StrideMode::One, StrideMode::Cr],
+            );
             for rg in [s0, s1, s, two, s2, sh, out8] {
                 e.free(rg);
             }
@@ -491,7 +502,7 @@ impl Kernel for Quantize {
         };
         let coefs = gen_i16(0x67, blocks * 64);
         // Reciprocal table: recip[i] = (1<<16)/divisor[i].
-        let divisors: Vec<i32> = (0..64).map(|i| 8 + (i as i32 % 16) * 2).collect();
+        let divisors: Vec<i32> = (0..64).map(|i| 8 + (i % 16) * 2).collect();
         let recip: Vec<i32> = divisors.iter().map(|&d| (1 << 16) / d).collect();
         let want: Vec<i16> = coefs
             .iter()
@@ -515,7 +526,10 @@ impl Kernel for Quantize {
             let nb = bpt.min(blocks - b);
             e.vsetdiml(1, nb);
             e.scalar(6);
-            let c16 = e.vsld_w(ca + (b * 64 * 2) as u64, &[StrideMode::One, StrideMode::Seq]);
+            let c16 = e.vsld_w(
+                ca + (b * 64 * 2) as u64,
+                &[StrideMode::One, StrideMode::Seq],
+            );
             let c = e.vcvt(c16, DType::I32);
             e.free(c16);
             // Reciprocals replicated across blocks (DIM1 stride 0).
@@ -531,7 +545,11 @@ impl Kernel for Quantize {
             e.free(pr);
             let q16 = e.vcvt(q, DType::I16);
             e.free(q);
-            e.vsst_w(q16, oa + (b * 64 * 2) as u64, &[StrideMode::One, StrideMode::Seq]);
+            e.vsst_w(
+                q16,
+                oa + (b * 64 * 2) as u64,
+                &[StrideMode::One, StrideMode::Seq],
+            );
             e.free(q16);
             b += nb;
         }

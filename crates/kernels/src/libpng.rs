@@ -236,10 +236,8 @@ impl Kernel for FilterPaeth {
         // All wavefront accesses stride by `stride-1` lanes apart... the
         // padded row pitch minus one column per row step.
         let wf = stride as i64 - 1;
-        for (dim, s) in [(0usize, wf)] {
-            e.vsetldstr(dim, s);
-            e.vsetststr(dim, s);
-        }
+        e.vsetldstr(0, wf);
+        e.vsetststr(0, wf);
         let mut y0 = 0usize;
         while y0 < h {
             let rows = rows_per_tile.min(h - y0);
@@ -345,8 +343,8 @@ impl Kernel for FilterPaeth {
     fn neon_profile(&self, scale: Scale) -> NeonProfile {
         let (w, h) = image(scale);
         let steps = (w * h / 8) as u64; // widened to 16-bit lanes
-        // Paeth is serial in both x and y on a SIMD machine: libpng's Neon
-        // paeth handles one 4-byte pixel per ~10-op dependent step.
+                                        // Paeth is serial in both x and y on a SIMD machine: libpng's Neon
+                                        // paeth handles one 4-byte pixel per ~10-op dependent step.
         NeonProfile {
             ops: vec![
                 (NeonOpClass::IntSimple, steps * 12),

@@ -32,7 +32,10 @@ impl Kernel for SharpUpdate {
 
     fn run_mve(&self, scale: Scale) -> KernelRun {
         let n = npix(scale);
-        let refv: Vec<i16> = gen_i16(0x81, n).iter().map(|v| v.unsigned_abs() as i16).collect();
+        let refv: Vec<i16> = gen_i16(0x81, n)
+            .iter()
+            .map(|v| v.unsigned_abs() as i16)
+            .collect();
         let av = gen_i16(0x82, n);
         let bv = gen_i16(0x83, n);
         let want: Vec<i16> = (0..n)
@@ -313,7 +316,7 @@ impl Kernel for VerticalFilter {
         e.scalar(2 * w as u64);
 
         let lanes = e.lanes();
-        let rows_per_tile = (lanes / w).min(256).max(1);
+        let rows_per_tile = (lanes / w).clamp(1, 256);
         e.vsetdimc(2);
         e.vsetdiml(0, w);
         e.vsetldstr(1, w as i64);
@@ -324,7 +327,10 @@ impl Kernel for VerticalFilter {
             e.vsetdiml(1, rows);
             e.scalar(6);
             let cur = e.vsld_ub(ia + (y * w) as u64, &[StrideMode::One, StrideMode::Cr]);
-            let above = e.vsld_ub(ia + ((y - 1) * w) as u64, &[StrideMode::One, StrideMode::Cr]);
+            let above = e.vsld_ub(
+                ia + ((y - 1) * w) as u64,
+                &[StrideMode::One, StrideMode::Cr],
+            );
             let d = e.vsub_ub(cur, above);
             e.vsst_ub(d, oa + (y * w) as u64, &[StrideMode::One, StrideMode::Cr]);
             for r in [cur, above, d] {
@@ -372,9 +378,8 @@ impl Kernel for GradientFilter {
     fn run_mve(&self, scale: Scale) -> KernelRun {
         let (w, h) = image(scale);
         let img = gen_u8(0x88, w * h);
-        let grad = |l: u8, a: u8, c: u8| {
-            (i16::from(l) + i16::from(a) - i16::from(c)).clamp(0, 255) as u8
-        };
+        let grad =
+            |l: u8, a: u8, c: u8| (i16::from(l) + i16::from(a) - i16::from(c)).clamp(0, 255) as u8;
         let mut want = vec![0u8; w * h];
         for y in 0..h {
             for x in 0..w {
@@ -408,7 +413,7 @@ impl Kernel for GradientFilter {
 
         let lanes = e.lanes();
         let wi = w - 1; // interior width
-        let rows_per_tile = (lanes / wi).min(256).max(1);
+        let rows_per_tile = (lanes / wi).clamp(1, 256);
         e.vsetdimc(2);
         e.vsetdiml(0, wi);
         e.vsetldstr(1, w as i64);

@@ -169,7 +169,10 @@ fn scan_for_byte(scale: Scale, data: &[u8], target: u8) -> (KernelRun, usize) {
     let _ = scale;
     (
         KernelRun {
-            checked: check_exact(&[found], &[data.iter().position(|&b| b == target).unwrap_or(n)]),
+            checked: check_exact(
+                &[found],
+                &[data.iter().position(|&b| b == target).unwrap_or(n)],
+            ),
             trace: e.take_trace(),
         },
         found,
@@ -200,10 +203,7 @@ impl Kernel for Strlen {
     fn neon_profile(&self, scale: Scale) -> NeonProfile {
         let v = (buf_len(scale) * 3 / 4 / 16) as u64;
         NeonProfile {
-            ops: vec![
-                (NeonOpClass::IntSimple, v),
-                (NeonOpClass::Reduce, v / 4),
-            ],
+            ops: vec![(NeonOpClass::IntSimple, v), (NeonOpClass::Reduce, v / 4)],
             chain_ops: vec![],
             loads: v,
             stores: 0,
@@ -238,10 +238,7 @@ impl Kernel for Memchr {
     fn neon_profile(&self, scale: Scale) -> NeonProfile {
         let v = (buf_len(scale) / 2 / 16) as u64;
         NeonProfile {
-            ops: vec![
-                (NeonOpClass::IntSimple, v),
-                (NeonOpClass::Reduce, v / 4),
-            ],
+            ops: vec![(NeonOpClass::IntSimple, v), (NeonOpClass::Reduce, v / 4)],
             chain_ops: vec![],
             loads: v,
             stores: 0,
@@ -344,7 +341,6 @@ impl Kernel for Csum {
             en.free(w16);
             en.vsetdimc(1);
             en.vsetdiml(0, chunk);
-            drop(rvv);
             let part = tree_reduce(&mut e, w32, chunk);
             total += part;
             e.scalar(4);

@@ -79,7 +79,8 @@ impl Precision {
 
 fn store_packed(e: &mut Engine, base: u64, prec: Precision, vals: &[u64]) {
     for (i, &v) in vals.iter().enumerate() {
-        e.mem_mut().write_raw(base + i as u64 * prec.bytes(), prec.bytes(), v);
+        e.mem_mut()
+            .write_raw(base + i as u64 * prec.bytes(), prec.bytes(), v);
     }
 }
 
@@ -88,17 +89,29 @@ fn typed_load(e: &mut Engine, prec: Precision, base: u64, modes: &[StrideMode]) 
 }
 
 fn typed_mul(e: &mut Engine, a: Reg, b: Reg) -> Reg {
-    e.binop(mve_core::isa::Opcode::Mul, mve_core::dtype::BinOp::Mul, a, b)
+    e.binop(
+        mve_core::isa::Opcode::Mul,
+        mve_core::dtype::BinOp::Mul,
+        a,
+        b,
+    )
 }
 
 fn typed_add(e: &mut Engine, a: Reg, b: Reg) -> Reg {
-    e.binop(mve_core::isa::Opcode::Add, mve_core::dtype::BinOp::Add, a, b)
+    e.binop(
+        mve_core::isa::Opcode::Add,
+        mve_core::dtype::BinOp::Add,
+        a,
+        b,
+    )
 }
 
 fn check_lanes(e: &Engine, got_base: u64, prec: Precision, want: &[u64]) -> Checked {
     let mut mismatches = 0;
     for (i, &w) in want.iter().enumerate() {
-        let g = e.mem().read_raw(got_base + i as u64 * prec.bytes(), prec.bytes());
+        let g = e
+            .mem()
+            .read_raw(got_base + i as u64 * prec.bytes(), prec.bytes());
         if g != w {
             mismatches += 1;
         }
@@ -157,8 +170,18 @@ pub fn run_gemm_dims(prec: Precision, n: usize, k: usize, m: usize) -> KernelRun
         let mut acc = e.setdup(prec.dtype(), prec.pack(0.0));
         for j in 0..k {
             e.scalar(6);
-            let iv = typed_load(&mut e, prec, ia + ((r * k + j) as u64) * eb, &[StrideMode::Zero, StrideMode::Cr]);
-            let wv = typed_load(&mut e, prec, wa + ((j * m) as u64) * eb, &[StrideMode::One, StrideMode::Zero]);
+            let iv = typed_load(
+                &mut e,
+                prec,
+                ia + ((r * k + j) as u64) * eb,
+                &[StrideMode::Zero, StrideMode::Cr],
+            );
+            let wv = typed_load(
+                &mut e,
+                prec,
+                wa + ((j * m) as u64) * eb,
+                &[StrideMode::One, StrideMode::Zero],
+            );
             let p = typed_mul(&mut e, iv, wv);
             let acc2 = typed_add(&mut e, acc, p);
             for rg in [iv, wv, p, acc] {
@@ -166,7 +189,11 @@ pub fn run_gemm_dims(prec: Precision, n: usize, k: usize, m: usize) -> KernelRun
             }
             acc = acc2;
         }
-        e.store(acc, oa + ((r * m) as u64) * eb, &[StrideMode::One, StrideMode::Seq]);
+        e.store(
+            acc,
+            oa + ((r * m) as u64) * eb,
+            &[StrideMode::One, StrideMode::Seq],
+        );
         e.free(acc);
         r += rows;
     }
@@ -211,7 +238,12 @@ pub fn run_fir(prec: Precision, scale: Scale, taps: usize) -> KernelRun {
         let mut acc = e.setdup(prec.dtype(), prec.pack(0.0));
         for (t, &c) in h.iter().enumerate() {
             e.scalar(4);
-            let xv = typed_load(&mut e, prec, xa + ((base + t) as u64) * eb, &[StrideMode::One]);
+            let xv = typed_load(
+                &mut e,
+                prec,
+                xa + ((base + t) as u64) * eb,
+                &[StrideMode::One],
+            );
             let cv = e.setdup(prec.dtype(), c);
             let p = typed_mul(&mut e, xv, cv);
             let acc2 = typed_add(&mut e, acc, p);

@@ -90,7 +90,10 @@ impl Library {
             Library::Linpack => "512K",
             Library::Xnnpack => "CNN layers",
             Library::CmsisDsp => "192K",
-            Library::Kvazaar | Library::Libjpeg | Library::Libpng | Library::Libwebp
+            Library::Kvazaar
+            | Library::Libjpeg
+            | Library::Libpng
+            | Library::Libwebp
             | Library::Skia => "1280x720",
             Library::Webaudio => "32S x 44.1kHz",
             Library::Zlib | Library::Boringssl | Library::OptRoutines => "128KB",
@@ -138,52 +141,52 @@ pub trait Kernel {
 
 /// All 44 kernels of the suite.
 pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
-    let mut v: Vec<Box<dyn Kernel>> = Vec::new();
-    v.push(Box::new(crate::linpack::Daxpy));
-    v.push(Box::new(crate::xnnpack::Gemm));
-    v.push(Box::new(crate::xnnpack::Spmm));
-    v.push(Box::new(crate::cmsis::Fir::V));
-    v.push(Box::new(crate::cmsis::Fir::S));
-    v.push(Box::new(crate::cmsis::Fir::L));
-    v.push(Box::new(crate::kvazaar::Satd));
-    v.push(Box::new(crate::kvazaar::Intra));
-    v.push(Box::new(crate::kvazaar::Dct));
-    v.push(Box::new(crate::kvazaar::Idct));
-    v.push(Box::new(crate::libjpeg::H2v2Upsample));
-    v.push(Box::new(crate::libjpeg::H2v2Downsample));
-    v.push(Box::new(crate::libjpeg::YcbcrToRgb));
-    v.push(Box::new(crate::libjpeg::RgbToYcbcr));
-    v.push(Box::new(crate::libjpeg::Quantize));
-    v.push(Box::new(crate::libpng::FilterSub));
-    v.push(Box::new(crate::libpng::FilterUp));
-    v.push(Box::new(crate::libpng::FilterPaeth));
-    v.push(Box::new(crate::libwebp::SharpUpdate));
-    v.push(Box::new(crate::libwebp::UpsampleBilinear));
-    v.push(Box::new(crate::libwebp::AlphaMultiply));
-    v.push(Box::new(crate::libwebp::VerticalFilter));
-    v.push(Box::new(crate::libwebp::GradientFilter));
-    v.push(Box::new(crate::libwebp::Sse4x4));
-    v.push(Box::new(crate::libwebp::QuantizeCoeffs));
-    v.push(Box::new(crate::skia::BlitRow));
-    v.push(Box::new(crate::skia::Memset32));
-    v.push(Box::new(crate::skia::ConvolveHoriz));
-    v.push(Box::new(crate::skia::XfermodeMultiply));
-    v.push(Box::new(crate::webaudio::Vsmul));
-    v.push(Box::new(crate::webaudio::VaddAudio));
-    v.push(Box::new(crate::webaudio::Vclip));
-    v.push(Box::new(crate::webaudio::SumAudio));
-    v.push(Box::new(crate::webaudio::Interleave));
-    v.push(Box::new(crate::zlib::Adler32));
-    v.push(Box::new(crate::zlib::Compare258));
-    v.push(Box::new(crate::boringssl::Chacha20));
-    v.push(Box::new(crate::boringssl::Sha256Msched));
-    v.push(Box::new(crate::boringssl::XorCipher));
-    v.push(Box::new(crate::optroutines::Memcpy));
-    v.push(Box::new(crate::optroutines::Memset));
-    v.push(Box::new(crate::optroutines::Strlen));
-    v.push(Box::new(crate::optroutines::Memchr));
-    v.push(Box::new(crate::optroutines::Csum));
-    v
+    vec![
+        Box::new(crate::linpack::Daxpy),
+        Box::new(crate::xnnpack::Gemm),
+        Box::new(crate::xnnpack::Spmm),
+        Box::new(crate::cmsis::Fir::V),
+        Box::new(crate::cmsis::Fir::S),
+        Box::new(crate::cmsis::Fir::L),
+        Box::new(crate::kvazaar::Satd),
+        Box::new(crate::kvazaar::Intra),
+        Box::new(crate::kvazaar::Dct),
+        Box::new(crate::kvazaar::Idct),
+        Box::new(crate::libjpeg::H2v2Upsample),
+        Box::new(crate::libjpeg::H2v2Downsample),
+        Box::new(crate::libjpeg::YcbcrToRgb),
+        Box::new(crate::libjpeg::RgbToYcbcr),
+        Box::new(crate::libjpeg::Quantize),
+        Box::new(crate::libpng::FilterSub),
+        Box::new(crate::libpng::FilterUp),
+        Box::new(crate::libpng::FilterPaeth),
+        Box::new(crate::libwebp::SharpUpdate),
+        Box::new(crate::libwebp::UpsampleBilinear),
+        Box::new(crate::libwebp::AlphaMultiply),
+        Box::new(crate::libwebp::VerticalFilter),
+        Box::new(crate::libwebp::GradientFilter),
+        Box::new(crate::libwebp::Sse4x4),
+        Box::new(crate::libwebp::QuantizeCoeffs),
+        Box::new(crate::skia::BlitRow),
+        Box::new(crate::skia::Memset32),
+        Box::new(crate::skia::ConvolveHoriz),
+        Box::new(crate::skia::XfermodeMultiply),
+        Box::new(crate::webaudio::Vsmul),
+        Box::new(crate::webaudio::VaddAudio),
+        Box::new(crate::webaudio::Vclip),
+        Box::new(crate::webaudio::SumAudio),
+        Box::new(crate::webaudio::Interleave),
+        Box::new(crate::zlib::Adler32),
+        Box::new(crate::zlib::Compare258),
+        Box::new(crate::boringssl::Chacha20),
+        Box::new(crate::boringssl::Sha256Msched),
+        Box::new(crate::boringssl::XorCipher),
+        Box::new(crate::optroutines::Memcpy),
+        Box::new(crate::optroutines::Memset),
+        Box::new(crate::optroutines::Strlen),
+        Box::new(crate::optroutines::Memchr),
+        Box::new(crate::optroutines::Csum),
+    ]
 }
 
 /// The 11 selected kernels of Figures 8–13 (CSUM, LPACK, FIR-V/S/L, GEMM,
@@ -209,8 +212,16 @@ mod tests {
         let sel = selected_kernels();
         assert_eq!(sel.len(), 11);
         for k in &sel {
-            assert!(k.run_rvv(Scale::Test).is_some(), "{} needs RVV", k.info().name);
-            assert!(k.gpu_cost(Scale::Test).is_some(), "{} needs GPU", k.info().name);
+            assert!(
+                k.run_rvv(Scale::Test).is_some(),
+                "{} needs RVV",
+                k.info().name
+            );
+            assert!(
+                k.gpu_cost(Scale::Test).is_some(),
+                "{} needs GPU",
+                k.info().name
+            );
         }
     }
 

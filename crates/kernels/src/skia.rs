@@ -193,9 +193,7 @@ impl Kernel for ConvolveHoriz {
         let weights: [i32; 4] = [410, 1638, 1229, 819]; // Σ = 4096 (1 << 12)
         let want: Vec<u8> = (0..n)
             .map(|i| {
-                let acc: i32 = (0..4)
-                    .map(|t| i32::from(src[i + t]) * weights[t])
-                    .sum();
+                let acc: i32 = (0..4).map(|t| i32::from(src[i + t]) * weights[t]).sum();
                 ((acc + 2048) >> 12).clamp(0, 255) as u8
             })
             .collect();

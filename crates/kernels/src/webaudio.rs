@@ -29,7 +29,11 @@ fn run_elementwise(
     scale: Scale,
     seed: u64,
     want_fn: impl Fn(f32, f32) -> f32,
-    op: impl Fn(&mut mve_core::engine::Engine, mve_core::engine::Reg, mve_core::engine::Reg) -> mve_core::engine::Reg,
+    op: impl Fn(
+        &mut mve_core::engine::Engine,
+        mve_core::engine::Reg,
+        mve_core::engine::Reg,
+    ) -> mve_core::engine::Reg,
 ) -> KernelRun {
     let n = total(scale);
     let x = gen_f32(seed, n);
@@ -102,7 +106,7 @@ impl Kernel for Vsmul {
     }
 
     fn run_mve(&self, scale: Scale) -> KernelRun {
-        let k = 0.7071f32;
+        let k = std::f32::consts::FRAC_1_SQRT_2;
         run_elementwise(
             scale,
             0xA1,
@@ -298,7 +302,11 @@ impl Kernel for Interleave {
             e.scalar(6);
             // Load: lane [c][f] = planar[c·F + f]; store: out[f·C + c].
             let v = e.vsld_f(ia + (f * 4) as u64, &[StrideMode::Cr, StrideMode::Cr]);
-            e.vsst_f(v, oa + (f * CHANNELS * 4) as u64, &[StrideMode::Cr, StrideMode::Cr]);
+            e.vsst_f(
+                v,
+                oa + (f * CHANNELS * 4) as u64,
+                &[StrideMode::Cr, StrideMode::Cr],
+            );
             e.free(v);
             f += nf;
         }

@@ -35,8 +35,16 @@ impl Gemm {
     /// Problem size per scale (Paper: a MobileNet-class 1×1-conv layer).
     pub fn size(scale: Scale) -> GemmSize {
         match scale {
-            Scale::Test => GemmSize { n: 16, k: 24, m: 64 },
-            Scale::Paper => GemmSize { n: 64, k: 128, m: 128 },
+            Scale::Test => GemmSize {
+                n: 16,
+                k: 24,
+                m: 64,
+            },
+            Scale::Paper => GemmSize {
+                n: 64,
+                k: 128,
+                m: 128,
+            },
         }
     }
 
@@ -89,7 +97,10 @@ impl Gemm {
                     &[StrideMode::Zero, StrideMode::Cr],
                 );
                 // Weight row, replicated vertically (DIM1 stride 0).
-                let wv = e.vsld_f(wa + ((k * s.m) * 4) as u64, &[StrideMode::One, StrideMode::Zero]);
+                let wv = e.vsld_f(
+                    wa + ((k * s.m) * 4) as u64,
+                    &[StrideMode::One, StrideMode::Zero],
+                );
                 let p = e.vmul_f(iv, wv);
                 let acc2 = e.vadd_f(acc, p);
                 for r in [iv, wv, p, acc] {
@@ -98,7 +109,11 @@ impl Gemm {
                 acc = acc2;
             }
             // Store rows sequentially.
-            e.vsst_f(acc, oa + (n * s.m * 4) as u64, &[StrideMode::One, StrideMode::Seq]);
+            e.vsst_f(
+                acc,
+                oa + (n * s.m * 4) as u64,
+                &[StrideMode::One, StrideMode::Seq],
+            );
             e.free(acc);
             n += rows;
         }
@@ -130,8 +145,14 @@ impl Kernel for Gemm {
         // fp16, matching the MVE variant: same data, same accumulation order.
         let dt = DType::F16;
         let s = Self::size(scale);
-        let input: Vec<u64> = gen_f32(0xE1, s.n * s.k).iter().map(|&v| dt.from_f32(v)).collect();
-        let weight: Vec<u64> = gen_f32(0xE2, s.k * s.m).iter().map(|&v| dt.from_f32(v)).collect();
+        let input: Vec<u64> = gen_f32(0xE1, s.n * s.k)
+            .iter()
+            .map(|&v| dt.from_f32(v))
+            .collect();
+        let weight: Vec<u64> = gen_f32(0xE2, s.k * s.m)
+            .iter()
+            .map(|&v| dt.from_f32(v))
+            .collect();
         let mac = |acc: u64, a: u64, b: u64| {
             let p = dt.binop(mve_core::dtype::BinOp::Mul, a, b);
             dt.binop(mve_core::dtype::BinOp::Add, acc, p)
@@ -210,7 +231,10 @@ impl Kernel for Gemm {
         let (n, k, m) = (s.n as u64, s.k as u64, s.m as u64);
         let fmacs = n * k * m / 8;
         NeonProfile {
-            ops: vec![(NeonOpClass::FpMac, fmacs), (NeonOpClass::Permute, n * k / 8)],
+            ops: vec![
+                (NeonOpClass::FpMac, fmacs),
+                (NeonOpClass::Permute, n * k / 8),
+            ],
             chain_ops: vec![(NeonOpClass::FpMac, k)],
             loads: n * k / 8 + n * k * m / 32,
             stores: n * m / 8,

@@ -146,8 +146,7 @@ impl Compare258 {
             .iter()
             .map(|&c| {
                 let mut len = 0u32;
-                while (len as usize) < MATCH_LEN && window[len as usize] == data[c + len as usize]
-                {
+                while (len as usize) < MATCH_LEN && window[len as usize] == data[c + len as usize] {
                     len += 1;
                 }
                 len
@@ -173,7 +172,9 @@ impl Kernel for Compare258 {
         // The window partially matches candidate 0 to make lengths varied.
         let mut window = gen_u8(0xB3, MATCH_LEN);
         window[..40].copy_from_slice(&data[100..140]);
-        let cands: Vec<usize> = (0..CANDIDATES).map(|i| 100 + i * (n / CANDIDATES)).collect();
+        let cands: Vec<usize> = (0..CANDIDATES)
+            .map(|i| 100 + i * (n / CANDIDATES))
+            .collect();
         let want = Self::scalar_ref(&window, &data, &cands);
 
         let mut e = engine();

@@ -237,7 +237,9 @@ impl SetAssocCache {
     /// Reads the presence bit of a resident line.
     pub fn presence(&self, line_addr: u64) -> Option<bool> {
         let set = &self.sets[self.set_index(line_addr)];
-        set.iter().find(|e| e.tag == line_addr).map(|e| e.present_above)
+        set.iter()
+            .find(|e| e.tag == line_addr)
+            .map(|e| e.present_above)
     }
 
     /// Invalidates a line; returns `true` if it was resident and dirty.
@@ -295,7 +297,7 @@ mod tests {
             mshrs: 4,
         };
         let mut c = SetAssocCache::new(cfg); // 2 sets × 2 ways
-        // Fill set 0 with lines 0 and 2, line 0 dirty.
+                                             // Fill set 0 with lines 0 and 2, line 0 dirty.
         c.access(0, true);
         c.access(2, false);
         // Touch 0 so 2 becomes LRU.

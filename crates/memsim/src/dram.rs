@@ -169,9 +169,15 @@ mod tests {
             last = d.access(i, 0);
         }
         let serial_all = 16 * (cfg.t_rcd + cfg.t_cl + cfg.burst_cycles);
-        assert!(last < serial_all, "bank parallelism must help: {last} < {serial_all}");
+        assert!(
+            last < serial_all,
+            "bank parallelism must help: {last} < {serial_all}"
+        );
         let min_possible = cfg.t_rcd + cfg.t_cl + 16 * cfg.burst_cycles;
-        assert!(last >= min_possible, "channel must serialise: {last} >= {min_possible}");
+        assert!(
+            last >= min_possible,
+            "channel must serialise: {last} >= {min_possible}"
+        );
     }
 
     #[test]

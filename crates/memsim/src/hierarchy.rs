@@ -201,7 +201,7 @@ impl Hierarchy {
         let mut dram_lines = 0;
 
         for (idx, &line) in lines.iter().enumerate() {
-            if idx as u64 % TAG_BANKS == 0 {
+            if (idx as u64).is_multiple_of(TAG_BANKS) {
                 t += 1; // banked tag-port throughput
             }
             // Coherence check against L1 (Section V-C).

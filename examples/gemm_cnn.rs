@@ -16,11 +16,46 @@ fn main() {
         "layer (NxKxM)", "MFLOPs", "MVE us", "GPU us", "winner"
     );
     let layers = [
-        ("pointwise 1x1 s",  GemmSize { n: 16, k: 48, m: 64 }),
-        ("pointwise 1x1 m",  GemmSize { n: 32, k: 96, m: 128 }),
-        ("bottleneck",       GemmSize { n: 64, k: 128, m: 192 }),
-        ("expansion",        GemmSize { n: 64, k: 256, m: 384 }),
-        ("classifier",       GemmSize { n: 128, k: 384, m: 512 }),
+        (
+            "pointwise 1x1 s",
+            GemmSize {
+                n: 16,
+                k: 48,
+                m: 64,
+            },
+        ),
+        (
+            "pointwise 1x1 m",
+            GemmSize {
+                n: 32,
+                k: 96,
+                m: 128,
+            },
+        ),
+        (
+            "bottleneck",
+            GemmSize {
+                n: 64,
+                k: 128,
+                m: 192,
+            },
+        ),
+        (
+            "expansion",
+            GemmSize {
+                n: 64,
+                k: 256,
+                m: 384,
+            },
+        ),
+        (
+            "classifier",
+            GemmSize {
+                n: 128,
+                k: 384,
+                m: 512,
+            },
+        ),
     ];
     for (name, s) in layers {
         let run = Gemm::run_mve_sized(s);

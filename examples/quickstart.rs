@@ -11,7 +11,11 @@ fn main() {
     // 1. An engine with the paper's mobile geometry: half of a 512 KB L2
     //    repurposed into 32 compute arrays = 8192 bit-serial SIMD lanes.
     let mut e = Engine::default_mobile();
-    println!("engine: {} lanes, {} control blocks", e.lanes(), e.geometry().control_blocks());
+    println!(
+        "engine: {} lanes, {} control blocks",
+        e.lanes(),
+        e.geometry().control_blocks()
+    );
 
     // 2. Build a 2-D problem in the functional memory: a 64x128 i32 matrix.
     let (rows, cols) = (64usize, 128usize);

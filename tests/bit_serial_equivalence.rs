@@ -73,7 +73,9 @@ fn compare_backends(a_vals: &[u64], b_vals: &[u64], op: BinOp, bits: usize) {
 
 #[test]
 fn add_matches_bit_serial_hardware() {
-    let a: Vec<u64> = (0..256).map(|i| (i * 2654435761u64) & 0xFFFF_FFFF).collect();
+    let a: Vec<u64> = (0..256)
+        .map(|i| (i * 2654435761u64) & 0xFFFF_FFFF)
+        .collect();
     let b: Vec<u64> = (0..256).map(|i| (i * 40503 + 17) & 0xFFFF_FFFF).collect();
     compare_backends(&a, &b, BinOp::Add, 32);
 }

@@ -1,0 +1,90 @@
+//! Registry-integrity tests: `all_kernels()` is the complete, internally
+//! consistent Table III suite, and every registered kernel's MVE path
+//! reproduces its scalar reference on a tiny (test-scale) input.
+
+use mve_kernels::registry::{all_kernels, selected_kernels, Library};
+use mve_kernels::Scale;
+use std::collections::HashSet;
+
+#[test]
+fn registry_covers_the_table3_suite() {
+    let kernels = all_kernels();
+    assert_eq!(kernels.len(), 44, "Table III lists 44 kernels");
+
+    let mut names = HashSet::new();
+    let mut libraries = HashSet::new();
+    for k in &kernels {
+        let info = k.info();
+        assert!(
+            names.insert((info.library, info.name)),
+            "duplicate kernel registration: {}",
+            info.name
+        );
+        libraries.insert(info.library);
+        assert!(
+            (1..=4).contains(&info.dims),
+            "{}: implausible dimension count {}",
+            info.name,
+            info.dims
+        );
+        assert!(
+            matches!(info.dtype_bits, 8 | 16 | 32 | 64),
+            "{}: implausible element width {}",
+            info.name,
+            info.dtype_bits
+        );
+    }
+    for lib in Library::ALL {
+        assert!(
+            libraries.contains(&lib),
+            "library {} has no registered kernels",
+            lib.name()
+        );
+    }
+}
+
+#[test]
+fn every_registered_kernel_matches_its_scalar_reference() {
+    for k in all_kernels() {
+        let info = k.info();
+        let run = k.run_mve(Scale::Test);
+        assert!(
+            run.checked.compared > 0,
+            "{}: functional check compared nothing",
+            info.name
+        );
+        assert!(
+            run.checked.ok(),
+            "{}: MVE output diverges from the scalar reference ({:?})",
+            info.name,
+            run.checked
+        );
+        assert!(
+            !run.trace.is_empty(),
+            "{}: MVE run recorded no instructions",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn selected_kernels_provide_the_comparison_backends() {
+    let selected = selected_kernels();
+    assert_eq!(
+        selected.len(),
+        11,
+        "Figures 8-13 evaluate the 11-kernel selected set"
+    );
+    for k in selected {
+        let info = k.info();
+        let rvv = k
+            .run_rvv(Scale::Test)
+            .unwrap_or_else(|| panic!("{}: selected kernel lacks an RVV variant", info.name));
+        assert!(
+            rvv.checked.ok(),
+            "{}: RVV output diverges from its reference ({:?})",
+            info.name,
+            rvv.checked
+        );
+    }
+}

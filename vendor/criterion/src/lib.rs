@@ -1,0 +1,206 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size`, `warm_up_time`,
+//! `measurement_time`, `throughput`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology is intentionally simple: each benchmark runs a short warm-up
+//! then `sample_size` timed samples, and reports the median per-iteration
+//! wall time (plus derived throughput). There is no statistical regression
+//! analysis, plotting, or saved baselines. `MVE_BENCH_FAST=1` shrinks every
+//! budget for smoke runs.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+struct Budget {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Budget {
+    fn effective(&self) -> Budget {
+        if std::env::var_os("MVE_BENCH_FAST").is_some() {
+            Budget {
+                sample_size: 3,
+                warm_up: Duration::from_millis(5),
+                measurement: Duration::from_millis(50),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Top-level driver, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            budget: Budget::default(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, Budget::default(), None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing budgets and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    budget: Budget,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.budget.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.budget.clone(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    budget: Budget,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.budget.warm_up {
+                break;
+            }
+        }
+        // Decide iterations-per-sample so all samples fit the budget.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget.measurement / self.budget.sample_size as u32;
+        let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.budget.sample_size);
+        for _ in 0..self.budget.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    budget: Budget,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        budget: budget.effective(),
+        median_ns: None,
+    };
+    f(&mut b);
+    match b.median_ns {
+        None => println!("  {id:40} (no measurement)"),
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.1} Melem/s", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("  {id:40} {:>14.1} ns/iter{rate}", ns);
+        }
+    }
+}
+
+/// Declares a bench target: `criterion_group!(name, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,198 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest it actually uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   parameters written either `name in strategy` or `name: Type`;
+//! * strategies: integer/float [`std::ops::Range`] /
+//!   [`std::ops::RangeInclusive`], [`any`], and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest, by design (CI determinism — see the
+//! repo's DESIGN.md):
+//!
+//! * **No shrinking.** A failing case reports its inputs but is not
+//!   minimised.
+//! * **Fully deterministic.** The RNG seed is derived from the test's
+//!   module path and name, so a given test binary explores the same cases
+//!   on every run and on every machine. `PROPTEST_CASES` in the environment
+//!   overrides the case count (bounded to 10_000).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __cfg.effective_cases();
+            let __seed =
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __passed: u32 = 0;
+            let mut __attempt: u32 = 0;
+            // Rejections (prop_assume!) retry with a fresh case, up to a
+            // bounded number of attempts so a too-strict assumption cannot
+            // loop forever.
+            while __passed < __cases && __attempt < __cases.saturating_mul(20) {
+                __attempt += 1;
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __attempt as u64);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::__proptest_sample! { __rng; $($params)*; $body };
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (attempt {}): {}",
+                            stringify!($name),
+                            __passed,
+                            __attempt,
+                            __msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                __passed >= __cases,
+                "proptest {}: too many prop_assume! rejects ({} of {} cases passed in {} attempts)",
+                stringify!($name),
+                __passed,
+                __cases,
+                __attempt
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_sample {
+    ($rng:ident; ; $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    ($rng:ident; $n:ident in $s:expr ; $body:block) => {{
+        let $n = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_sample! { $rng; ; $body }
+    }};
+    ($rng:ident; $n:ident in $s:expr, $($rest:tt)*) => {{
+        let $n = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_sample! { $rng; $($rest)* }
+    }};
+    ($rng:ident; $n:ident : $t:ty ; $body:block) => {{
+        let $n: $t = $crate::strategy::Strategy::sample(&$crate::any::<$t>(), &mut $rng);
+        $crate::__proptest_sample! { $rng; ; $body }
+    }};
+    ($rng:ident; $n:ident : $t:ty, $($rest:tt)*) => {{
+        let $n: $t = $crate::strategy::Strategy::sample(&$crate::any::<$t>(), &mut $rng);
+        $crate::__proptest_sample! { $rng; $($rest)* }
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}` ({} == {})",
+                __l,
+                __r,
+                stringify!($a),
+                stringify!($b),
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (and retries with a fresh one) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

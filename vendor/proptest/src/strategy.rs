@@ -1,0 +1,168 @@
+//! Value-generation strategies: a deterministic, non-shrinking subset of
+//! proptest's `Strategy` model.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from the deterministic RNG.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    // Uniform in [-1e6, 1e6]: full-range bit patterns would be dominated by
+    // astronomically large magnitudes and NaNs, which is rarely what a
+    // numeric property test wants.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() * 2e6 - 1e6) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2e12 - 1e12
+    }
+}
+
+/// Marker strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: uniform over the type's natural domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // The unit draw can round up far enough that `v == end`;
+                // keep the range half-open.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+/// Element-count specification for [`vec`]: an exact count or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec size range is empty");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "vec size range is empty");
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `proptest::collection::vec`: a vector whose length is drawn from `size`
+/// and whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_exclusive - self.size.lo) as u64;
+        let len = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic case runner: configuration, RNG, and the case-level error
+//! type the `prop_assert*` macros return.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirror of `proptest::test_runner::Config` — only the fields this
+/// workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// variable as a *cap*: CI sets it so no future config change can make
+    /// the suite unbounded, and it can only lower the configured count.
+    pub fn effective_cases(&self) -> u32 {
+        let cap = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .map_or(10_000, |v| v.clamp(1, 10_000));
+        self.cases.clamp(1, cap)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — retry with a fresh case.
+    Reject(String),
+    /// `prop_assert*` failed — the property is violated.
+    Fail(String),
+}
+
+/// FNV-1a hash of the fully qualified test name: the per-test base seed.
+/// Name-derived (not time-derived) so every run explores the same cases.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The RNG handed to strategies: one independent stream per (test, case).
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub fn for_case(base_seed: u64, case: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
