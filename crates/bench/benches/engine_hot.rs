@@ -1,0 +1,20 @@
+//! Criterion micro-benches of the functional-engine hot path (ISSUE 2).
+//!
+//! The workloads come from [`mve_bench::perf::engine_hot_benches`] — the
+//! same list `reproduce --json` times when it writes `BENCH_engine.json` —
+//! so the criterion view and the tracked trajectory can never diverge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mve_bench::perf::engine_hot_benches;
+
+fn bench_engine_hot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hot");
+    for mut hb in engine_hot_benches() {
+        g.throughput(Throughput::Elements(hb.elems));
+        g.bench_function(hb.name, |b| b.iter(|| (hb.run)()));
+    }
+    g.finish();
+}
+
+criterion_group!(engine_hot, bench_engine_hot);
+criterion_main!(engine_hot);

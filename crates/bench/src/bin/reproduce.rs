@@ -5,11 +5,31 @@
 //! to every figure binary; tables are scale-independent) into
 //! `results-smoke/`, in seconds instead of minutes — used by CI so this
 //! entry point cannot silently rot.
+//!
+//! `--json` instead times the engine hot-path micro-benchmarks
+//! (`mve_bench::perf`) and writes the machine-readable trajectory file
+//! `BENCH_engine.json` into the current directory, so each PR records the
+//! functional engine's throughput. `MVE_BENCH_FAST=1` shrinks the timing
+//! budgets for CI.
 
 use std::fs;
 use std::process::Command;
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        let results = mve_bench::perf::run_engine_hot();
+        for r in &results {
+            eprintln!(
+                "  {:28} {:>12.1} ns/iter  {:>10.1} Melem/s",
+                r.name, r.median_ns, r.melems_per_s
+            );
+        }
+        let json = mve_bench::perf::to_json(&results);
+        fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+        print!("{json}");
+        eprintln!("wrote BENCH_engine.json ({} benches)", results.len());
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let out_dir = if smoke { "results-smoke" } else { "results" };
     fs::create_dir_all(out_dir).expect("create results dir");

@@ -1,0 +1,255 @@
+//! Tracked engine hot-path micro-benchmarks.
+//!
+//! One canonical list of functional-engine workloads ([`engine_hot_benches`])
+//! is shared by two consumers so they can never drift apart:
+//!
+//! * `benches/engine_hot.rs` wraps each workload in the vendored criterion
+//!   harness (`cargo bench -p mve-bench --bench engine_hot`), and
+//! * `reproduce --json` times the same workloads in-process and writes the
+//!   machine-readable trajectory file `BENCH_engine.json`, so every PR
+//!   records where the hot path stands (see DESIGN.md, "Performance
+//!   architecture").
+//!
+//! Methodology mirrors the vendored criterion: short warm-up, then
+//! `samples` timed batches, reporting the median per-iteration wall time.
+//! `MVE_BENCH_FAST=1` shrinks the budgets for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use mve_core::dtype::{BinOp, CmpOp};
+use mve_core::engine::Engine;
+use mve_core::isa::{Opcode, StrideMode};
+
+/// One named hot-path workload over a pre-built engine.
+pub struct HotBench {
+    /// Stable identifier (also the criterion bench id).
+    pub name: &'static str,
+    /// Elements processed per iteration (for Melem/s reporting).
+    pub elems: u64,
+    /// The workload; every call is one steady-state iteration.
+    pub run: Box<dyn FnMut()>,
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct HotResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Derived throughput in millions of elements per second.
+    pub melems_per_s: f64,
+}
+
+const LANES: usize = 8192;
+
+/// The canonical engine hot-path workloads at full 8192-lane scale:
+/// strided load, random load, integer binop, compare (Tag write), and a
+/// predicated store — the five operation classes the ISSUE-2 refactor
+/// targets.
+pub fn engine_hot_benches() -> Vec<HotBench> {
+    let mut out = Vec::new();
+
+    // Strided 2-D load, 128 × 64 with a CR row stride.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 128);
+        e.vsetdiml(1, 64);
+        e.vsetldstr(1, 128);
+        let a = e.mem_alloc_typed::<i32>(128 * 64);
+        out.push(HotBench {
+            name: "strided_load_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let v = e.vsld_dw(a, &[StrideMode::One, StrideMode::Cr]);
+                e.free(v);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    // Random-base load: 32 scattered row pointers × 256 elements each.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(2);
+        e.vsetdiml(0, 256);
+        e.vsetdiml(1, 32);
+        let rows: Vec<u64> = (0..32).map(|_| e.mem_alloc_typed::<i32>(256)).collect();
+        let ptrs = e.mem_alloc_typed::<u64>(32);
+        e.mem_fill(ptrs, &rows);
+        out.push(HotBench {
+            name: "random_load_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let v = e.vrld_dw(ptrs, &[StrideMode::One]);
+                e.free(v);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    // Element-wise i32 add over all 8192 lanes.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        out.push(HotBench {
+            name: "binop_add_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let r = e.binop(Opcode::Add, BinOp::Add, x, y);
+                e.free(r);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    // Compare writing the Tag latch on every lane.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        out.push(HotBench {
+            name: "compare_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                e.compare(CmpOp::Gt, x, y);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    // Predicated store: ~half the lanes pass the Tag, full-width addresses.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let a = e.mem_alloc_typed::<i32>(LANES);
+        let vals: Vec<i32> = (0..LANES as i32).collect();
+        e.mem_fill(a, &vals);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        let thr = e.vsetdup_dw(LANES as i32 / 2);
+        e.compare(CmpOp::Gt, v, thr);
+        e.set_predication(true);
+        let outbuf = e.mem_alloc_typed::<i32>(LANES);
+        out.push(HotBench {
+            name: "predicated_store_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                e.store(v, outbuf, &[StrideMode::One]);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    out
+}
+
+/// Whether fast (CI smoke) budgets are active.
+pub fn fast_mode() -> bool {
+    std::env::var_os("MVE_BENCH_FAST").is_some()
+}
+
+/// Times one workload: warm-up, then `samples` batches, median ns/iter.
+pub fn measure(bench: &mut HotBench) -> HotResult {
+    let (warm_up, measurement, samples) = if fast_mode() {
+        (Duration::from_millis(5), Duration::from_millis(50), 3)
+    } else {
+        (Duration::from_millis(100), Duration::from_millis(600), 11)
+    };
+    let warm_start = Instant::now();
+    loop {
+        (bench.run)();
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+    let probe = Instant::now();
+    (bench.run)();
+    let one = probe.elapsed().max(Duration::from_nanos(1));
+    let per_sample = measurement / samples as u32;
+    let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut timings: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            (bench.run)();
+        }
+        timings.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    timings.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = timings[timings.len() / 2];
+    HotResult {
+        name: bench.name,
+        median_ns,
+        melems_per_s: bench.elems as f64 / median_ns * 1e3,
+    }
+}
+
+/// Runs every hot-path workload and collects results.
+pub fn run_engine_hot() -> Vec<HotResult> {
+    engine_hot_benches()
+        .into_iter()
+        .map(|mut b| measure(&mut b))
+        .collect()
+}
+
+/// Renders results as the `BENCH_engine.json` trajectory document.
+///
+/// Hand-rolled JSON (the workspace vendors no serde); the schema is frozen
+/// so successive PRs can be diffed: one object per bench with median
+/// nanoseconds per iteration and derived element throughput.
+pub fn to_json(results: &[HotResult]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"mve-engine-hot-v1\",");
+    let _ = writeln!(s, "  \"fast_mode\": {},", fast_mode());
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"melems_per_s\": {:.1}}}",
+            r.name, r.median_ns, r.melems_per_s
+        );
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_run_and_json_is_well_formed() {
+        // One iteration of each workload must be side-effect-stable (the
+        // measurement loop calls them thousands of times).
+        for mut b in engine_hot_benches() {
+            (b.run)();
+            (b.run)();
+        }
+        let results = vec![
+            HotResult {
+                name: "a",
+                median_ns: 1.5,
+                melems_per_s: 2.0,
+            },
+            HotResult {
+                name: "b",
+                median_ns: 3.0,
+                melems_per_s: 4.5,
+            },
+        ];
+        let json = to_json(&results);
+        assert!(json.contains("\"schema\": \"mve-engine-hot-v1\""));
+        assert!(json.contains("\"name\": \"a\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -72,20 +72,50 @@ pub fn strided_addresses(
     crs: &ControlRegs,
     max_lanes: usize,
 ) -> Vec<Option<u64>> {
+    let mut out = Vec::new();
+    strided_addresses_into(&mut out, base, elem_bytes, strides, shape, crs, max_lanes);
+    out
+}
+
+/// Σ_{d < upto} coordᵈ · strideᵈ — the Algorithm-1 offset term, shared by
+/// the buffer-filling generators below and the engine's fused load/store
+/// address closures (which pair it with [`LogicalShape::iter_lanes`]
+/// directly, never materialising an address buffer).
+#[inline]
+pub fn lane_offset(coords: &[usize; MAX_DIMS], strides: &[i64; MAX_DIMS], upto: usize) -> i64 {
+    let mut offset = 0i64;
+    for d in 0..upto {
+        offset += coords[d] as i64 * strides[d];
+    }
+    offset
+}
+
+/// [`strided_addresses`] into a caller-owned buffer (cleared first), walking
+/// the division-free [`LogicalShape::iter_lanes`] odometer instead of
+/// per-lane `coords()` div/mods. The engine's hot path fuses the same
+/// odometer + [`lane_offset`] math into its load/store loops without an
+/// address buffer; this materialised form serves callers that need the
+/// whole address set at once (and the equivalence property suite).
+pub fn strided_addresses_into(
+    out: &mut Vec<Option<u64>>,
+    base: u64,
+    elem_bytes: u64,
+    strides: &[i64; MAX_DIMS],
+    shape: &LogicalShape,
+    crs: &ControlRegs,
+    max_lanes: usize,
+) {
     let total = shape.total().min(max_lanes);
-    let mut out = vec![None; total];
-    for (lane, slot) in out.iter_mut().enumerate() {
-        if !shape.lane_active(lane, crs) {
+    out.clear();
+    out.resize(total, None);
+    let eb = elem_bytes as i64;
+    for (lane, coords, active) in shape.iter_lanes(crs, max_lanes) {
+        if !active {
             continue;
         }
-        let coords = shape.coords(lane);
-        let mut offset: i64 = 0;
-        for d in 0..MAX_DIMS {
-            offset += coords[d] as i64 * strides[d];
-        }
-        *slot = Some((base as i64 + offset * elem_bytes as i64) as u64);
+        let offset = lane_offset(&coords, strides, MAX_DIMS);
+        out[lane] = Some((base as i64 + offset * eb) as u64);
     }
-    out
 }
 
 /// Equation 1: the per-lane byte address of a random-base access. The
@@ -103,6 +133,28 @@ pub fn random_addresses(
     crs: &ControlRegs,
     max_lanes: usize,
 ) -> Vec<Option<u64>> {
+    let mut out = Vec::new();
+    random_addresses_into(&mut out, bases, elem_bytes, strides, shape, crs, max_lanes);
+    out
+}
+
+/// [`random_addresses`] into a caller-owned buffer (cleared first), using
+/// the division-free odometer — same role and caveats as
+/// [`strided_addresses_into`] (the engine's fused hot path does not
+/// materialise this buffer).
+///
+/// # Panics
+///
+/// Panics if fewer bases are supplied than the highest dimension's length.
+pub fn random_addresses_into(
+    out: &mut Vec<Option<u64>>,
+    bases: &[u64],
+    elem_bytes: u64,
+    strides: &[i64; MAX_DIMS],
+    shape: &LogicalShape,
+    crs: &ControlRegs,
+    max_lanes: usize,
+) {
     let highest = shape.highest_dim();
     assert!(
         bases.len() >= shape.dim(highest),
@@ -111,35 +163,57 @@ pub fn random_addresses(
         bases.len()
     );
     let total = shape.total().min(max_lanes);
-    let mut out = vec![None; total];
-    for (lane, slot) in out.iter_mut().enumerate() {
-        if !shape.lane_active(lane, crs) {
+    out.clear();
+    out.resize(total, None);
+    let eb = elem_bytes as i64;
+    for (lane, coords, active) in shape.iter_lanes(crs, max_lanes) {
+        if !active {
             continue;
         }
-        let coords = shape.coords(lane);
-        let mut offset: i64 = 0;
-        for d in 0..highest {
-            offset += coords[d] as i64 * strides[d];
-        }
-        *slot = Some((bases[coords[highest]] as i64 + offset * elem_bytes as i64) as u64);
+        let offset = lane_offset(&coords, strides, highest);
+        out[lane] = Some((bases[coords[highest]] as i64 + offset * eb) as u64);
     }
-    out
 }
 
 /// Deduplicated cache lines touched by an address set (for the trace).
 pub fn touched_lines(addrs: &[Option<u64>], elem_bytes: u64) -> Vec<u64> {
-    let mut lines: Vec<u64> = addrs
-        .iter()
-        .flatten()
-        .flat_map(|&a| {
-            let first = a / mve_memsim::LINE_BYTES;
-            let last = (a + elem_bytes - 1) / mve_memsim::LINE_BYTES;
-            first..=last
-        })
-        .collect();
+    let mut lines = Vec::new();
+    accumulate_lines(&mut lines, addrs.iter().flatten().copied(), elem_bytes);
+    finish_lines(&mut lines);
+    lines
+}
+
+/// Appends the cache-line range of each address to `lines` (unsorted, may
+/// contain duplicates) — the engine's reusable-scratch accumulation step.
+/// Runs of consecutive equal lines are collapsed as they arrive (typical
+/// strided accesses visit each line `LINE_BYTES / elem_bytes` lanes in a
+/// row), which shrinks the [`finish_lines`] sort by that factor. Call
+/// [`finish_lines`] once all address sets are in.
+pub fn accumulate_lines(lines: &mut Vec<u64>, addrs: impl Iterator<Item = u64>, elem_bytes: u64) {
+    let mut prev = u64::MAX;
+    for a in addrs {
+        push_line_range(lines, &mut prev, a, elem_bytes);
+    }
+}
+
+/// Appends the line range of one address, collapsing a run of consecutive
+/// equal lines via the caller-held `prev` (initialise it to `u64::MAX`).
+#[inline]
+pub fn push_line_range(lines: &mut Vec<u64>, prev: &mut u64, addr: u64, elem_bytes: u64) {
+    let first = addr / mve_memsim::LINE_BYTES;
+    let last = (addr + elem_bytes - 1) / mve_memsim::LINE_BYTES;
+    for line in first..=last {
+        if line != *prev {
+            lines.push(line);
+            *prev = line;
+        }
+    }
+}
+
+/// Sorts and deduplicates an accumulated line set in place.
+pub fn finish_lines(lines: &mut Vec<u64>) {
     lines.sort_unstable();
     lines.dedup();
-    lines
 }
 
 #[cfg(test)]

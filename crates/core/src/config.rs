@@ -25,6 +25,7 @@ pub struct ControlRegs {
     st_stride: [i64; MAX_DIMS],
     mask: [u64; MAX_MASK_LEN / 64],
     kernel_width: u32,
+    generation: u64,
 }
 
 impl Default for ControlRegs {
@@ -44,7 +45,17 @@ impl ControlRegs {
             st_stride: [0; MAX_DIMS],
             mask: [u64::MAX; MAX_MASK_LEN / 64],
             kernel_width: 32,
+            generation: 0,
         }
+    }
+
+    /// Monotonic counter bumped by every CR write that can change which
+    /// lanes are active (`vsetdimc`, `vsetdiml`, `vsetmask`, `vunsetmask`,
+    /// mask reset). Consumers caching derived lane-activity state (the
+    /// engine's packed lane bitset) compare generations instead of
+    /// re-deriving per lane.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// `vsetdimc`: sets the dimension count.
@@ -58,6 +69,7 @@ impl ControlRegs {
             "dimension count {count} outside 1..={MAX_DIMS}"
         );
         self.dim_count = count;
+        self.generation += 1;
     }
 
     /// Configured dimension count.
@@ -73,6 +85,7 @@ impl ControlRegs {
     pub fn set_dim_len(&mut self, dim: usize, len: usize) {
         assert!(dim < MAX_DIMS, "dimension index {dim} out of range");
         self.dim_len[dim] = len;
+        self.generation += 1;
     }
 
     /// Length of dimension `dim` (1 for dimensions above the count).
@@ -132,17 +145,20 @@ impl ControlRegs {
     pub fn set_mask(&mut self, idx: usize) {
         assert!(idx < MAX_MASK_LEN, "mask index {idx} out of range");
         self.mask[idx / 64] |= 1 << (idx % 64);
+        self.generation += 1;
     }
 
     /// `vunsetmask idx`: masks off element `idx` of the highest dimension.
     pub fn unset_mask(&mut self, idx: usize) {
         assert!(idx < MAX_MASK_LEN, "mask index {idx} out of range");
         self.mask[idx / 64] &= !(1 << (idx % 64));
+        self.generation += 1;
     }
 
     /// Re-enables every highest-dimension element.
     pub fn reset_mask(&mut self) {
         self.mask = [u64::MAX; MAX_MASK_LEN / 64];
+        self.generation += 1;
     }
 
     /// Whether highest-dimension element `idx` is enabled.
@@ -246,6 +262,27 @@ mod tests {
     #[should_panic(expected = "outside 1..=4")]
     fn dim_count_bounds() {
         ControlRegs::new().set_dim_count(5);
+    }
+
+    #[test]
+    fn generation_bumps_on_activity_affecting_writes() {
+        let mut crs = ControlRegs::new();
+        let g0 = crs.generation();
+        crs.set_dim_count(2);
+        crs.set_dim_len(0, 8);
+        crs.set_dim_len(1, 4);
+        assert_eq!(crs.generation(), g0 + 3);
+        crs.unset_mask(1);
+        crs.set_mask(1);
+        crs.reset_mask();
+        assert_eq!(crs.generation(), g0 + 6);
+        // Strides and kernel width do not change which lanes are active, so
+        // they must not invalidate cached lane-activity state.
+        let g = crs.generation();
+        crs.set_load_stride(0, 3);
+        crs.set_store_stride(1, -2);
+        crs.set_kernel_width(64);
+        assert_eq!(crs.generation(), g);
     }
 
     #[test]

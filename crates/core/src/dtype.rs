@@ -304,6 +304,23 @@ impl DType {
         }
     }
 
+    /// Rotate right by `sh` within the element width.
+    ///
+    /// Implemented as a left-rotation by the complement, with an explicit
+    /// guard for `sh % bits == 0`: the naïve `rotl(v, bits - sh % bits)`
+    /// would pass `bits` itself to the left-rotation (rotating right by 0,
+    /// 8, 16, … must be the identity, not reach for the full element
+    /// width).
+    pub fn rotr(&self, a: u64, sh: u32) -> u64 {
+        let bits = self.bits();
+        let sh = sh % bits;
+        if sh == 0 {
+            self.truncate(a)
+        } else {
+            self.rotl(a, bits - sh)
+        }
+    }
+
     /// Converts a canonical lane value of `self` into `dst`'s representation
     /// (the `vcvt` semantics: int↔int resize with sign/zero extension,
     /// int↔float numeric conversion, float↔float precision change).
@@ -455,6 +472,22 @@ mod tests {
         let s = DType::I8;
         assert_eq!(s.to_i64(s.shr(s.from_i64(-64), 2)), -16); // arithmetic
         assert_eq!(t.shl(0xFF, 8), 0);
+    }
+
+    #[test]
+    fn rotate_right_guards_width_multiples() {
+        let t = DType::U8;
+        assert_eq!(t.rotr(0b1011_0001, 4), 0b0001_1011);
+        // Rotation by 0 or any multiple of the width is the identity — the
+        // naïve `rotl(v, bits - sh % bits)` formulation would rotate left by
+        // the full width instead.
+        assert_eq!(t.rotr(0b1011_0001, 0), 0b1011_0001);
+        assert_eq!(t.rotr(0b1011_0001, 8), 0b1011_0001);
+        assert_eq!(t.rotr(0b1011_0001, 16), 0b1011_0001);
+        assert_eq!(DType::U32.rotr(0x1234_5678, 32), 0x1234_5678);
+        assert_eq!(DType::U32.rotr(0x1234_5678, 8), 0x7812_3456);
+        // rotr is rotl's inverse.
+        assert_eq!(t.rotr(t.rotl(0xA7, 3), 3), 0xA7);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! they wrap.
 
 use crate::addrgen::{self, StrideBank};
-use crate::config::ControlRegs;
+use crate::config::{ControlRegs, MAX_DIMS};
 use crate::dtype::{BinOp, CmpOp, DType};
 use crate::isa::{Opcode, StrideMode};
 use crate::layout::LogicalShape;
@@ -45,16 +45,111 @@ struct Slot {
     live: bool,
 }
 
+/// Cached packed lane-activity bitset, derived from the CRs' shape and
+/// dimension-level mask (Section III-E) and invalidated by the CR
+/// [`ControlRegs::generation`] counter. One bit per lane; masking checks on
+/// the compute hot path become word-ops on this set instead of per-lane
+/// coordinate recomputation.
+#[derive(Debug)]
+struct LaneMask {
+    /// CR generation this cache was built against (`u64::MAX` = never).
+    gen: u64,
+    /// One bit per lane of the current shape, 1 = active under the mask.
+    words: Vec<u64>,
+    /// Lanes covered (`shape.total()` capped to the engine width).
+    total: usize,
+    /// Popcount of `words`.
+    active: u32,
+    /// Control Blocks with at least one active lane.
+    cb_mask: u64,
+}
+
+impl LaneMask {
+    fn empty() -> Self {
+        Self {
+            gen: u64::MAX,
+            words: Vec::new(),
+            total: 0,
+            active: 0,
+            cb_mask: 0,
+        }
+    }
+}
+
+/// Sets bits `[start, end)` of a packed bitset.
+fn set_bit_range(words: &mut [u64], start: usize, end: usize) {
+    let (first_w, last_w) = (start / 64, (end - 1) / 64);
+    let lo = !0u64 << (start % 64);
+    let hi = !0u64 >> (63 - (end - 1) % 64);
+    if first_w == last_w {
+        words[first_w] |= lo & hi;
+    } else {
+        words[first_w] |= lo;
+        for w in &mut words[first_w + 1..last_w] {
+            *w = !0;
+        }
+        words[last_w] |= hi;
+    }
+}
+
+/// Reads bit `lane` of a packed bitset.
+#[inline]
+fn bit(words: &[u64], lane: usize) -> bool {
+    words[lane / 64] >> (lane % 64) & 1 == 1
+}
+
+/// Calls `f` for every set bit, by word-level bit scanning.
+#[inline]
+fn for_each_set_bit(words: impl Iterator<Item = u64>, mut f: impl FnMut(usize)) {
+    for (w, word) in words.enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            f(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// The Control-Block occupancy mask of a packed lane bitset.
+fn cb_mask_of(words: &[u64], per_cb: usize) -> u64 {
+    let mut cb_mask = 0u64;
+    for (w, &word) in words.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        let first_cb = w * 64 / per_cb;
+        if (w * 64 + 63) / per_cb == first_cb {
+            cb_mask |= 1 << first_cb;
+        } else {
+            // A word straddling a CB boundary (per_cb not a multiple of 64):
+            // fall back to per-bit attribution within this word only.
+            let mut bits = word;
+            while bits != 0 {
+                let lane = w * 64 + bits.trailing_zeros() as usize;
+                cb_mask |= 1 << (lane / per_cb);
+                bits &= bits - 1;
+            }
+        }
+    }
+    cb_mask
+}
+
 /// The functional engine.
 #[derive(Debug)]
 pub struct Engine {
     geom: EngineGeometry,
     crs: ControlRegs,
     slots: Vec<Slot>,
-    tag: Vec<bool>,
+    /// Tag-latch predicate state, one bit per lane.
+    tag: Vec<u64>,
     pred: bool,
     mem: Memory,
     trace: Trace,
+    mask: LaneMask,
+    /// Reused per-instruction scratch (zero steady-state allocation):
+    /// touched-line accumulation and random-access base pointers.
+    line_scratch: Vec<u64>,
+    base_scratch: Vec<u64>,
 }
 
 impl Engine {
@@ -71,10 +166,13 @@ impl Engine {
             geom,
             crs: ControlRegs::new(),
             slots: Vec::new(),
-            tag: vec![false; lanes],
+            tag: vec![0; lanes.div_ceil(64)],
             pred: false,
             mem,
             trace: Trace::new(),
+            mask: LaneMask::empty(),
+            line_scratch: Vec::new(),
+            base_scratch: Vec::new(),
         }
     }
 
@@ -237,6 +335,12 @@ impl Engine {
     /// the physical register file is exhausted — free temporaries with
     /// [`Engine::free`], as the paper's register allocator would.
     pub fn alloc(&mut self, dtype: DType) -> Reg {
+        self.alloc_impl(dtype, true)
+    }
+
+    /// [`Engine::alloc`], optionally skipping the zero-fill when the caller
+    /// proves every lane will be overwritten (full-coverage fast path).
+    fn alloc_impl(&mut self, dtype: DType, zero: bool) -> Reg {
         assert!(
             dtype.bits() <= self.crs.kernel_width(),
             "{dtype} is wider than the kernel width {}; call vsetwidth first",
@@ -251,11 +355,17 @@ impl Engine {
         );
         let lanes = self.lanes();
         if let Some(idx) = self.slots.iter().position(|s| !s.live) {
-            self.slots[idx] = Slot {
-                dtype,
-                lanes: vec![0; lanes],
-                live: true,
-            };
+            // Reuse the freed slot's buffer (capacity survives `free`), so a
+            // steady-state alloc/free cycle never touches the allocator.
+            let slot = &mut self.slots[idx];
+            slot.dtype = dtype;
+            slot.live = true;
+            if zero {
+                slot.lanes.clear();
+                slot.lanes.resize(lanes, 0);
+            } else {
+                slot.lanes.resize(lanes, 0);
+            }
             Reg { idx, dtype }
         } else {
             self.slots.push(Slot {
@@ -270,7 +380,19 @@ impl Engine {
         }
     }
 
-    /// Releases a register.
+    /// Allocates a compute/load destination register: when the cached lane
+    /// mask proves every engine lane will be written (fully active shape,
+    /// no predication filter), the stale-buffer zero-fill is skipped.
+    /// Requires a fresh lane mask.
+    fn alloc_dst(&mut self, dtype: DType, respect_pred: bool) -> Reg {
+        debug_assert_eq!(self.mask.gen, self.crs.generation(), "stale lane mask");
+        let full = self.mask.active as usize == self.lanes() && !(respect_pred && self.pred);
+        self.alloc_impl(dtype, !full)
+    }
+
+    /// Releases a register. The lane buffer is kept for reuse by the next
+    /// [`Engine::alloc`] (registers are physical SRAM — the storage never
+    /// goes away, only the allocation).
     ///
     /// # Panics
     ///
@@ -279,7 +401,6 @@ impl Engine {
         let slot = &mut self.slots[reg.idx];
         assert!(slot.live, "double free of register {reg:?}");
         slot.live = false;
-        slot.lanes = Vec::new();
     }
 
     fn slot(&self, reg: Reg) -> &Slot {
@@ -326,9 +447,10 @@ impl Engine {
         self.pred = on;
     }
 
-    /// Current per-lane Tag values (tests/inspection).
-    pub fn tag_lanes(&self) -> &[bool] {
-        &self.tag
+    /// Current per-lane Tag values (tests/inspection; allocates — the
+    /// internal representation is a packed bitset).
+    pub fn tag_lanes(&self) -> Vec<bool> {
+        (0..self.lanes()).map(|l| bit(&self.tag, l)).collect()
     }
 
     // ------------------------------------------------------------------
@@ -339,22 +461,79 @@ impl Engine {
         self.crs.shape()
     }
 
-    fn lane_enabled(&self, shape: &LogicalShape, lane: usize, respect_pred: bool) -> bool {
-        shape.lane_active(lane, &self.crs) && (!respect_pred || !self.pred || self.tag[lane])
+    /// Rebuilds the cached lane-activity bitset if any CR write touched the
+    /// shape or mask since it was last derived (generation mismatch).
+    fn refresh_mask(&mut self, shape: &LogicalShape) {
+        if self.mask.gen == self.crs.generation() {
+            return;
+        }
+        let total = shape.total().min(self.lanes());
+        let highest = shape.highest_dim();
+        let dlen = shape.dim(highest);
+        let inner = shape.total() / dlen;
+        let m = &mut self.mask;
+        m.total = total;
+        m.words.clear();
+        m.words.resize(total.div_ceil(64), 0);
+        // Lane activity is constant across each highest-dimension element
+        // (a run of `inner` consecutive lanes), so the bitset is built from
+        // at most `dlen` range fills, not per-lane tests.
+        for coord in 0..dlen {
+            let start = coord * inner;
+            if start >= total {
+                break;
+            }
+            if !self.crs.mask_bit_for(coord, dlen) {
+                continue;
+            }
+            set_bit_range(&mut m.words, start, (start + inner).min(total));
+        }
+        m.active = m.words.iter().map(|w| w.count_ones()).sum();
+        m.cb_mask = cb_mask_of(&m.words, self.geom.bitlines_per_cb());
+        m.gen = self.crs.generation();
     }
 
-    fn active_info(&self, shape: &LogicalShape, respect_pred: bool) -> (u32, u64) {
-        let per_cb = self.geom.bitlines_per_cb();
+    /// `(active lane count, CB occupancy)` for a compute event. Requires a
+    /// fresh lane mask ([`Engine::refresh_mask`]).
+    fn active_stats(&self, respect_pred: bool) -> (u32, u64) {
+        debug_assert_eq!(self.mask.gen, self.crs.generation(), "stale lane mask");
+        if !(respect_pred && self.pred) {
+            return (self.mask.active, self.mask.cb_mask);
+        }
         let mut count = 0u32;
         let mut cb_mask = 0u64;
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(shape, lane, respect_pred) {
-                count += 1;
-                cb_mask |= 1 << (lane / per_cb);
+        let per_cb = self.geom.bitlines_per_cb();
+        for (w, (&m, &t)) in self.mask.words.iter().zip(&self.tag).enumerate() {
+            let word = m & t;
+            if word == 0 {
+                continue;
+            }
+            count += word.count_ones();
+            let first_cb = w * 64 / per_cb;
+            if (w * 64 + 63) / per_cb == first_cb {
+                cb_mask |= 1 << first_cb;
+            } else {
+                for_each_set_bit(std::iter::once(word), |b| {
+                    cb_mask |= 1 << ((w * 64 + b) / per_cb)
+                });
             }
         }
         (count, cb_mask)
+    }
+
+    /// Calls `f` for every lane enabled under the cached mask (and, when
+    /// `respect_pred`, the Tag latch) — the word-op replacement for the old
+    /// per-lane `lane_enabled` recomputation. Requires a fresh lane mask.
+    fn for_each_enabled(&self, respect_pred: bool, f: impl FnMut(usize)) {
+        debug_assert_eq!(self.mask.gen, self.crs.generation(), "stale lane mask");
+        if respect_pred && self.pred {
+            for_each_set_bit(
+                self.mask.words.iter().zip(&self.tag).map(|(&m, &t)| m & t),
+                f,
+            );
+        } else {
+            for_each_set_bit(self.mask.words.iter().copied(), f);
+        }
     }
 
     fn assert_shape_fits(&self, shape: &LogicalShape) {
@@ -384,15 +563,10 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
-        let addrs = addrgen::strided_addresses(
-            base,
-            dtype.bytes(),
-            &strides,
-            &shape,
-            &self.crs,
-            self.lanes(),
-        );
-        self.do_load(dtype, Opcode::StridedLoad, &addrs, Vec::new())
+        let eb = dtype.bytes() as i64;
+        self.fused_load(dtype, Opcode::StridedLoad, &shape, None, |_, coords| {
+            (base as i64 + addrgen::lane_offset(coords, &strides, MAX_DIMS) * eb) as u64
+        })
     }
 
     /// Random-base load (Equation 1): `ptr_base` addresses an array of
@@ -401,60 +575,85 @@ impl Engine {
     pub fn rload(&mut self, dtype: DType, ptr_base: u64, modes: &[StrideMode]) -> Reg {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
-        let nbases = shape.dim(shape.highest_dim());
-        let bases: Vec<u64> = (0..nbases)
-            .map(|w| self.mem.read::<u64>(ptr_base, w))
-            .collect();
+        let highest = shape.highest_dim();
+        let nbases = shape.dim(highest);
+        let mut bases = std::mem::take(&mut self.base_scratch);
+        bases.clear();
+        bases.extend((0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)));
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
-        let addrs = addrgen::random_addresses(
-            &bases,
-            dtype.bytes(),
-            &strides,
+        let eb = dtype.bytes() as i64;
+        let dst = self.fused_load(
+            dtype,
+            Opcode::RandomLoad,
             &shape,
-            &self.crs,
-            self.lanes(),
+            Some((ptr_base, nbases)),
+            |_, coords| {
+                (bases[coords[highest]] as i64
+                    + addrgen::lane_offset(coords, &strides, highest) * eb) as u64
+            },
         );
-        let ptr_lines = Self::ptr_array_lines(ptr_base, nbases);
-        self.do_load(dtype, Opcode::RandomLoad, &addrs, ptr_lines)
+        self.base_scratch = bases;
+        dst
     }
 
-    fn ptr_array_lines(ptr_base: u64, count: usize) -> Vec<u64> {
-        let first = ptr_base / mve_memsim::LINE_BYTES;
-        let last = (ptr_base + count as u64 * 8 - 1) / mve_memsim::LINE_BYTES;
-        (first..=last).collect()
-    }
-
-    fn do_load(
+    /// Shared load body: walks the shape odometer once, fusing address
+    /// generation, the functional read, CB accounting and touched-line
+    /// accumulation into a single pass with no per-instruction allocation
+    /// (the only steady-state copy is the line set stored in the trace
+    /// event).
+    fn fused_load(
         &mut self,
         dtype: DType,
         opcode: Opcode,
-        addrs: &[Option<u64>],
-        extra_lines: Vec<u64>,
+        shape: &LogicalShape,
+        ptr_span: Option<(u64, usize)>,
+        addr_of: impl Fn(usize, &[usize; MAX_DIMS]) -> u64,
     ) -> Reg {
-        let dst = self.alloc(dtype);
+        // Loads ignore predication; refresh the cached mask so the
+        // destination alloc can skip its zero-fill on fully active shapes.
+        self.refresh_mask(shape);
+        let dst = self.alloc_dst(dtype, false);
+        let mut out = self.take_lanes(dst);
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        let eb = dtype.bytes();
+        let per_cb = self.geom.bitlines_per_cb();
         let mut active = 0u32;
         let mut cb_mask = 0u64;
-        let per_cb = self.geom.bitlines_per_cb();
-        for (lane, addr) in addrs.iter().enumerate() {
-            if let Some(a) = addr {
-                let v = self.mem.read_raw(*a, dtype.bytes());
-                self.slots[dst.idx].lanes[lane] = dtype.truncate(v);
-                active += 1;
-                cb_mask |= 1 << (lane / per_cb);
+        let (mut cur_cb, mut cb_boundary) = (0usize, per_cb);
+        let mut prev_line = u64::MAX;
+        for (lane, coords, on) in shape.iter_lanes(&self.crs, self.lanes()) {
+            if !on {
+                continue;
             }
+            let a = addr_of(lane, &coords);
+            out[lane] = dtype.truncate(self.mem.read_raw(a, eb));
+            active += 1;
+            while lane >= cb_boundary {
+                cur_cb += 1;
+                cb_boundary += per_cb;
+            }
+            cb_mask |= 1 << cur_cb;
+            addrgen::push_line_range(&mut lines, &mut prev_line, a, eb);
         }
-        let mut lines = addrgen::touched_lines(addrs, dtype.bytes());
-        lines.extend(extra_lines);
-        lines.sort_unstable();
-        lines.dedup();
+        self.put_back(dst, out);
+        if let Some((ptr_base, count)) = ptr_span {
+            // The row-pointer array fetch of a random access (Equation 1)
+            // also touches memory.
+            let first = ptr_base / mve_memsim::LINE_BYTES;
+            let last = (ptr_base + count as u64 * 8 - 1) / mve_memsim::LINE_BYTES;
+            lines.extend(first..=last);
+        }
+        addrgen::finish_lines(&mut lines);
         self.trace.push(Event::Memory {
             opcode,
             dtype,
             active_lanes: active,
             cb_mask,
-            lines,
+            lines: lines.clone(),
             write: false,
         });
+        self.line_scratch = lines;
         dst
     }
 
@@ -463,62 +662,90 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
-        let addrs = addrgen::strided_addresses(
-            base,
-            src.dtype.bytes(),
-            &strides,
-            &shape,
-            &self.crs,
-            self.lanes(),
-        );
-        self.do_store(src, Opcode::StridedStore, &addrs);
+        let eb = src.dtype.bytes() as i64;
+        self.fused_store(src, Opcode::StridedStore, &shape, |_, coords| {
+            (base as i64 + addrgen::lane_offset(coords, &strides, MAX_DIMS) * eb) as u64
+        });
     }
 
     /// Random-base store.
     pub fn rstore(&mut self, src: Reg, ptr_base: u64, modes: &[StrideMode]) {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
-        let nbases = shape.dim(shape.highest_dim());
-        let bases: Vec<u64> = (0..nbases)
-            .map(|w| self.mem.read::<u64>(ptr_base, w))
-            .collect();
+        let highest = shape.highest_dim();
+        let nbases = shape.dim(highest);
+        let mut bases = std::mem::take(&mut self.base_scratch);
+        bases.clear();
+        bases.extend((0..nbases).map(|w| self.mem.read::<u64>(ptr_base, w)));
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
-        let addrs = addrgen::random_addresses(
-            &bases,
-            src.dtype.bytes(),
-            &strides,
-            &shape,
-            &self.crs,
-            self.lanes(),
-        );
-        self.do_store(src, Opcode::RandomStore, &addrs);
+        let eb = src.dtype.bytes() as i64;
+        self.fused_store(src, Opcode::RandomStore, &shape, |_, coords| {
+            (bases[coords[highest]] as i64 + addrgen::lane_offset(coords, &strides, highest) * eb)
+                as u64
+        });
+        self.base_scratch = bases;
     }
 
-    fn do_store(&mut self, src: Reg, opcode: Opcode, addrs: &[Option<u64>]) {
+    /// Shared store body — the fused single-pass mirror of
+    /// [`Engine::fused_load`], writing through a split borrow of the slot
+    /// arena (no operand clone).
+    fn fused_store(
+        &mut self,
+        src: Reg,
+        opcode: Opcode,
+        shape: &LogicalShape,
+        addr_of: impl Fn(usize, &[usize; MAX_DIMS]) -> u64,
+    ) {
         let dtype = src.dtype;
-        let values = self.slot(src).lanes.clone();
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        let eb = dtype.bytes();
+        let per_cb = self.geom.bitlines_per_cb();
+        let lanes_cap = self.lanes();
+        let pred = self.pred;
         let mut active = 0u32;
         let mut cb_mask = 0u64;
-        let per_cb = self.geom.bitlines_per_cb();
-        for (lane, addr) in addrs.iter().enumerate() {
-            if let Some(a) = addr {
-                if self.pred && !self.tag[lane] {
+        {
+            let Engine {
+                crs,
+                mem,
+                slots,
+                tag,
+                ..
+            } = self;
+            let slot = &slots[src.idx];
+            assert!(slot.live, "use of freed register {src:?}");
+            let values = &slot.lanes;
+            let (mut cur_cb, mut cb_boundary) = (0usize, per_cb);
+            let mut prev_line = u64::MAX;
+            for (lane, coords, on) in shape.iter_lanes(crs, lanes_cap) {
+                if !on || (pred && !bit(tag, lane)) {
+                    // Masked lanes have no address; predicated-off lanes
+                    // write nothing — and touch no cache lines (see the
+                    // predicated-store regression test).
                     continue;
                 }
-                self.mem.write_raw(*a, dtype.bytes(), values[lane]);
+                let a = addr_of(lane, &coords);
+                mem.write_raw(a, eb, values[lane]);
                 active += 1;
-                cb_mask |= 1 << (lane / per_cb);
+                while lane >= cb_boundary {
+                    cur_cb += 1;
+                    cb_boundary += per_cb;
+                }
+                cb_mask |= 1 << cur_cb;
+                addrgen::push_line_range(&mut lines, &mut prev_line, a, eb);
             }
         }
-        let lines = addrgen::touched_lines(addrs, dtype.bytes());
+        addrgen::finish_lines(&mut lines);
         self.trace.push(Event::Memory {
             opcode,
             dtype,
             active_lanes: active,
             cb_mask,
-            lines,
+            lines: lines.clone(),
             write: true,
         });
+        self.line_scratch = lines;
     }
 
     // ------------------------------------------------------------------
@@ -526,8 +753,7 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn compute_event(&mut self, opcode: Opcode, dtype: DType, respect_pred: bool) {
-        let shape = self.shape();
-        let (active, cb_mask) = self.active_info(&shape, respect_pred);
+        let (active, cb_mask) = self.active_stats(respect_pred);
         self.trace.push(Event::Compute {
             opcode,
             alu: alu_op_for(opcode, dtype),
@@ -535,6 +761,26 @@ impl Engine {
             active_lanes: active,
             cb_mask,
         });
+    }
+
+    /// Common prologue of every compute op: derive the shape, check it fits,
+    /// refresh the cached lane mask.
+    fn prepare_compute(&mut self) -> LogicalShape {
+        let shape = self.shape();
+        self.assert_shape_fits(&shape);
+        self.refresh_mask(&shape);
+        shape
+    }
+
+    /// Takes a destination register's lane buffer out of the slot arena so
+    /// source slots can be read by reference while it is written (no operand
+    /// clones). Pair with [`Engine::put_back`].
+    fn take_lanes(&mut self, reg: Reg) -> Vec<u64> {
+        std::mem::take(&mut self.slots[reg.idx].lanes)
+    }
+
+    fn put_back(&mut self, reg: Reg, lanes: Vec<u64>) {
+        self.slots[reg.idx].lanes = lanes;
     }
 
     /// Element-wise binary operation into a fresh register.
@@ -545,17 +791,17 @@ impl Engine {
             a.dtype, b.dtype
         );
         let dtype = a.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let av = self.slot(a).lanes.clone();
-        let bv = self.slot(b).lanes.clone();
-        let dst = self.alloc(dtype);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
-                self.slots[dst.idx].lanes[lane] = dtype.binop(op, av[lane], bv[lane]);
-            }
+        self.prepare_compute();
+        let dst = self.alloc_dst(dtype, true);
+        let mut out = self.take_lanes(dst);
+        {
+            let av = &self.slot(a).lanes;
+            let bv = &self.slot(b).lanes;
+            self.for_each_enabled(true, |lane| {
+                out[lane] = dtype.binop(op, av[lane], bv[lane]);
+            });
         }
+        self.put_back(dst, out);
         self.compute_event(opcode, dtype, true);
         dst
     }
@@ -568,16 +814,18 @@ impl Engine {
             a.dtype, b.dtype
         );
         let dtype = a.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let av = self.slot(a).lanes.clone();
-        let bv = self.slot(b).lanes.clone();
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if shape.lane_active(lane, &self.crs) {
-                self.tag[lane] = dtype.cmp(op, av[lane], bv[lane]);
-            }
+        self.prepare_compute();
+        let mut tag = std::mem::take(&mut self.tag);
+        {
+            let av = &self.slot(a).lanes;
+            let bv = &self.slot(b).lanes;
+            self.for_each_enabled(false, |lane| {
+                let t = dtype.cmp(op, av[lane], bv[lane]);
+                let (w, b) = (lane / 64, lane % 64);
+                tag[w] = (tag[w] & !(1 << b)) | ((t as u64) << b);
+            });
         }
+        self.tag = tag;
         self.compute_event(Opcode::Compare, dtype, false);
     }
 
@@ -585,22 +833,22 @@ impl Engine {
     /// `rotate` selects rotation over shifting.
     pub fn shift_imm(&mut self, a: Reg, amount: u32, left: bool, rotate: bool) -> Reg {
         let dtype = a.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let av = self.slot(a).lanes.clone();
-        let dst = self.alloc(dtype);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
+        self.prepare_compute();
+        let dst = self.alloc_dst(dtype, true);
+        let mut out = self.take_lanes(dst);
+        {
+            let av = &self.slot(a).lanes;
+            self.for_each_enabled(true, |lane| {
                 let v = av[lane];
-                self.slots[dst.idx].lanes[lane] = match (rotate, left) {
+                out[lane] = match (rotate, left) {
                     (false, true) => dtype.shl(v, amount),
                     (false, false) => dtype.shr(v, amount),
                     (true, true) => dtype.rotl(v, amount),
-                    (true, false) => dtype.rotl(v, dtype.bits() - (amount % dtype.bits())),
+                    (true, false) => dtype.rotr(v, amount),
                 };
-            }
+            });
         }
+        self.put_back(dst, out);
         let opcode = if rotate {
             Opcode::RotateImm
         } else {
@@ -613,38 +861,34 @@ impl Engine {
     /// Shift by per-lane amounts held in `amounts`.
     pub fn shift_reg(&mut self, a: Reg, amounts: Reg, left: bool) -> Reg {
         let dtype = a.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let av = self.slot(a).lanes.clone();
-        let sv = self.slot(amounts).lanes.clone();
-        let dst = self.alloc(dtype);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
+        self.prepare_compute();
+        let dst = self.alloc_dst(dtype, true);
+        let mut out = self.take_lanes(dst);
+        {
+            let av = &self.slot(a).lanes;
+            let sv = &self.slot(amounts).lanes;
+            self.for_each_enabled(true, |lane| {
                 let sh = (sv[lane] & 0xFF) as u32;
-                self.slots[dst.idx].lanes[lane] = if left {
+                out[lane] = if left {
                     dtype.shl(av[lane], sh)
                 } else {
                     dtype.shr(av[lane], sh)
                 };
-            }
+            });
         }
+        self.put_back(dst, out);
         self.compute_event(Opcode::ShiftReg, dtype, true);
         dst
     }
 
     /// Broadcast a canonical lane value to all active lanes.
     pub fn setdup(&mut self, dtype: DType, raw: u64) -> Reg {
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let dst = self.alloc(dtype);
+        self.prepare_compute();
+        let dst = self.alloc_dst(dtype, true);
+        let mut out = self.take_lanes(dst);
         let v = dtype.truncate(raw);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
-                self.slots[dst.idx].lanes[lane] = v;
-            }
-        }
+        self.for_each_enabled(true, |lane| out[lane] = v);
+        self.put_back(dst, out);
         self.compute_event(Opcode::SetDup, dtype, true);
         dst
     }
@@ -652,16 +896,14 @@ impl Engine {
     /// Register copy into a fresh register.
     pub fn copy(&mut self, src: Reg) -> Reg {
         let dtype = src.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let sv = self.slot(src).lanes.clone();
-        let dst = self.alloc(dtype);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
-                self.slots[dst.idx].lanes[lane] = sv[lane];
-            }
+        self.prepare_compute();
+        let dst = self.alloc_dst(dtype, true);
+        let mut out = self.take_lanes(dst);
+        {
+            let sv = &self.slot(src).lanes;
+            self.for_each_enabled(true, |lane| out[lane] = sv[lane]);
         }
+        self.put_back(dst, out);
         self.compute_event(Opcode::Copy, dtype, true);
         dst
     }
@@ -671,14 +913,15 @@ impl Engine {
     /// This is how select/blend patterns are built (Section III-E).
     pub fn copy_into(&mut self, dst: Reg, src: Reg) {
         assert_eq!(dst.dtype, src.dtype, "operand type mismatch");
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let sv = self.slot(src).lanes.clone();
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
-                self.slots[dst.idx].lanes[lane] = sv[lane];
+        self.prepare_compute();
+        assert!(self.slots[dst.idx].live, "use of freed register {dst:?}");
+        if dst.idx != src.idx {
+            let mut out = self.take_lanes(dst);
+            {
+                let sv = &self.slot(src).lanes;
+                self.for_each_enabled(true, |lane| out[lane] = sv[lane]);
             }
+            self.put_back(dst, out);
         }
         self.compute_event(Opcode::Copy, dst.dtype, true);
     }
@@ -686,16 +929,14 @@ impl Engine {
     /// Type conversion (`vcvt`) into a fresh register of `to`.
     pub fn convert(&mut self, src: Reg, to: DType) -> Reg {
         let from = src.dtype;
-        let shape = self.shape();
-        self.assert_shape_fits(&shape);
-        let sv = self.slot(src).lanes.clone();
-        let dst = self.alloc(to);
-        let total = shape.total().min(self.lanes());
-        for lane in 0..total {
-            if self.lane_enabled(&shape, lane, true) {
-                self.slots[dst.idx].lanes[lane] = from.convert_to(to, sv[lane]);
-            }
+        self.prepare_compute();
+        let dst = self.alloc_dst(to, true);
+        let mut out = self.take_lanes(dst);
+        {
+            let sv = &self.slot(src).lanes;
+            self.for_each_enabled(true, |lane| out[lane] = from.convert_to(to, sv[lane]));
         }
+        self.put_back(dst, out);
         self.compute_event(Opcode::Convert, to, true);
         dst
     }
@@ -969,5 +1210,124 @@ mod more_tests {
         let a = e.alloc(DType::I32);
         e.free(a);
         let _ = e.reg_lanes(a);
+    }
+}
+
+#[cfg(test)]
+mod issue2_tests {
+    use super::*;
+    use crate::dtype::CmpOp;
+
+    fn engine_1d(len: usize) -> Engine {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, len);
+        e
+    }
+
+    #[test]
+    fn predicated_store_charges_only_written_lines() {
+        // 32 i32 lanes span exactly two cache lines from a line-aligned
+        // allocation. Predication passes only lanes 0..16 (the first line):
+        // the store's memory event must charge one line, not two — the old
+        // accounting counted addresses of predicated-off lanes too.
+        let mut e = engine_1d(32);
+        let a = e.mem_alloc_typed::<i32>(32);
+        let vals: Vec<i32> = (0..32).collect();
+        e.mem_fill(a, &vals);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        let thr = e.vsetdup_dw(15);
+        e.compare(CmpOp::Lte, v, thr); // tag = value <= 15 → lanes 0..16
+        e.set_predication(true);
+        let out = e.mem_alloc_typed::<i32>(32);
+        assert_eq!(out % mve_memsim::LINE_BYTES, 0, "allocs are line-aligned");
+        e.store(v, out, &[StrideMode::One]);
+        e.set_predication(false);
+        match e.trace().events().last().expect("store event") {
+            Event::Memory {
+                lines,
+                active_lanes,
+                write: true,
+                ..
+            } => {
+                assert_eq!(*active_lanes, 16);
+                assert_eq!(lines, &vec![out / mve_memsim::LINE_BYTES]);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The second line was never written.
+        assert_eq!(e.mem_read::<i32>(out, 0), 0);
+        assert_eq!(e.mem_read::<i32>(out, 20), 0);
+    }
+
+    #[test]
+    fn rotate_right_by_multiple_of_width_is_identity() {
+        let mut e = engine_1d(4);
+        let a = e.mem_alloc_typed::<i32>(4);
+        e.mem_fill(a, &[0x1234_5678i32, -1, 7, 0]);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        // The old formulation `rotl(v, bits - amount % bits)` handed the
+        // full element width to the left-rotation when `amount % bits == 0`.
+        for amount in [0u32, 32, 64, 96] {
+            let r = e.shift_imm(v, amount, false, true);
+            for lane in 0..4 {
+                assert_eq!(
+                    e.lane_value(r, lane),
+                    e.lane_value(v, lane),
+                    "rotate right by {amount} must be the identity"
+                );
+            }
+            e.free(r);
+        }
+        // A genuine rotation still rotates.
+        let r = e.shift_imm(v, 8, false, true);
+        assert_eq!(e.lane_value(r, 0), 0x7812_3456);
+    }
+
+    #[test]
+    fn lane_mask_cache_follows_cr_mutations() {
+        // 256-long highest dimension → one mask bit per element. The cached
+        // bitset must be rebuilt across vunsetmask/vresetmask (generation
+        // bumps), not frozen at first use.
+        let mut e = engine_1d(256);
+        let v = e.vsetdup_dw(1);
+        match e.trace().events().last().expect("event") {
+            Event::Compute { active_lanes, .. } => assert_eq!(*active_lanes, 256),
+            other => panic!("unexpected event {other:?}"),
+        }
+        e.vunsetmask(3);
+        let w = e.vadd_dw(v, v);
+        match e.trace().events().last().expect("event") {
+            Event::Compute { active_lanes, .. } => assert_eq!(*active_lanes, 255),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(e.lane_value(w, 3), 0, "masked lane untouched");
+        assert_eq!(e.lane_value(w, 4), 2);
+        e.vresetmask();
+        let x = e.vadd_dw(v, v);
+        match e.trace().events().last().expect("event") {
+            Event::Compute { active_lanes, .. } => assert_eq!(*active_lanes, 256),
+            other => panic!("unexpected event {other:?}"),
+        }
+        e.free(x);
+    }
+
+    #[test]
+    fn freed_register_buffers_are_reused_without_leaking_values() {
+        // A freed slot's buffer is recycled by the next alloc; a fresh
+        // register must still read all-zeroes on masked-off lanes.
+        let mut e = engine_1d(8);
+        let a = e.mem_alloc_typed::<i32>(8);
+        e.mem_fill(a, &[7i32; 8]);
+        let v = e.vsld_dw(a, &[StrideMode::One]);
+        e.free(v);
+        e.vsetdiml(0, 4); // shrink the shape: lanes 4..8 now inactive
+        let w = e.vsetdup_dw(1);
+        for lane in 0..4 {
+            assert_eq!(e.lane_value(w, lane), 1);
+        }
+        for lane in 4..8 {
+            assert_eq!(e.lane_value(w, lane), 0, "stale value leaked");
+        }
     }
 }

@@ -112,7 +112,79 @@ impl LogicalShape {
         let len = self.dim(self.highest_dim());
         (0..self.total().min(max_lanes)).filter(move |&l| crs.mask_bit_for(self.mask_coord(l), len))
     }
+
+    /// Division-free odometer over the first `max_lanes` lanes of the shape,
+    /// yielding `(lane, coords, active)` per lane.
+    ///
+    /// This is the engine/addrgen hot-path replacement for calling
+    /// [`LogicalShape::coords`] (4 div/mods) and [`LogicalShape::lane_active`]
+    /// (4 more) per lane: coordinates advance by carry propagation, and the
+    /// mask bit is re-evaluated only when the highest-dimension coordinate
+    /// changes. Equivalence with the reference pair is pinned by the
+    /// `odometer_equivalence` property suite.
+    pub fn iter_lanes<'a>(&self, crs: &'a ControlRegs, max_lanes: usize) -> ShapeIter<'a> {
+        let highest = self.highest_dim();
+        ShapeIter {
+            dims: self.dims,
+            coords: [0; MAX_DIMS],
+            lane: 0,
+            total: self.total().min(max_lanes),
+            highest,
+            highest_len: self.dim(highest),
+            active: crs.mask_bit_for(0, self.dim(highest)),
+            crs,
+        }
+    }
 }
+
+/// Carry-propagating lane iterator — see [`LogicalShape::iter_lanes`].
+#[derive(Debug, Clone)]
+pub struct ShapeIter<'a> {
+    dims: [usize; MAX_DIMS],
+    coords: [usize; MAX_DIMS],
+    lane: usize,
+    total: usize,
+    highest: usize,
+    highest_len: usize,
+    active: bool,
+    crs: &'a ControlRegs,
+}
+
+impl Iterator for ShapeIter<'_> {
+    /// `(flat lane index, [x, y, z, w] coordinates, mask-active)`.
+    type Item = (usize, [usize; MAX_DIMS], bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.lane >= self.total {
+            return None;
+        }
+        let item = (self.lane, self.coords, self.active);
+        self.lane += 1;
+        // Odometer increment: bump dimension 0, carry upwards. The mask only
+        // depends on the highest-dimension coordinate, so `active` is
+        // refreshed exactly when a carry reaches it.
+        for d in 0..MAX_DIMS {
+            self.coords[d] += 1;
+            if self.coords[d] < self.dims[d] {
+                if d >= self.highest {
+                    self.active = self
+                        .crs
+                        .mask_bit_for(self.coords[self.highest], self.highest_len);
+                }
+                break;
+            }
+            self.coords[d] = 0;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.lane;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ShapeIter<'_> {}
 
 #[cfg(test)]
 mod tests {

@@ -93,17 +93,28 @@ impl Memory {
     /// # Panics
     ///
     /// Panics on out-of-bounds access or access to the reserved zero page.
+    #[inline]
     pub fn read_raw(&self, addr: u64, bytes: u64) -> u64 {
         assert!(addr >= 64, "read through null/reserved page at {addr:#x}");
         assert!(
             addr + bytes <= self.data.len() as u64,
             "read past end of memory at {addr:#x}"
         );
-        let mut v = 0u64;
-        for i in 0..bytes {
-            v |= u64::from(self.data[(addr + i) as usize]) << (8 * i);
+        let at = addr as usize;
+        if at + 8 <= self.data.len() {
+            // Fast path: one unaligned 8-byte load, masked to width.
+            let v = u64::from_le_bytes(self.data[at..at + 8].try_into().unwrap());
+            if bytes == 8 {
+                v
+            } else {
+                v & ((1u64 << (8 * bytes)) - 1)
+            }
+        } else {
+            let src = &self.data[at..at + bytes as usize];
+            let mut buf = [0u8; 8];
+            buf[..src.len()].copy_from_slice(src);
+            u64::from_le_bytes(buf)
         }
-        v
     }
 
     /// Writes `bytes` (1..=8) little-endian at `addr`.
@@ -111,15 +122,15 @@ impl Memory {
     /// # Panics
     ///
     /// Panics on out-of-bounds access or access to the reserved zero page.
+    #[inline]
     pub fn write_raw(&mut self, addr: u64, bytes: u64, value: u64) {
         assert!(addr >= 64, "write through null/reserved page at {addr:#x}");
         assert!(
             addr + bytes <= self.data.len() as u64,
             "write past end of memory at {addr:#x}"
         );
-        for i in 0..bytes {
-            self.data[(addr + i) as usize] = (value >> (8 * i)) as u8;
-        }
+        let dst = &mut self.data[addr as usize..(addr + bytes) as usize];
+        dst.copy_from_slice(&value.to_le_bytes()[..dst.len()]);
     }
 
     /// Reads element `idx` of a `T` array at `base`.

@@ -91,6 +91,9 @@ impl InstrMix {
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<Event>,
+    /// Figure 11 buckets, maintained incrementally on push so the
+    /// per-kernel `instr_mix()` query is O(1) instead of a trace walk.
+    mix: InstrMix,
 }
 
 impl Trace {
@@ -101,6 +104,17 @@ impl Trace {
 
     /// Appends an event. Consecutive scalar blocks are coalesced.
     pub fn push(&mut self, event: Event) {
+        match event.op_class() {
+            Some(OpClass::Config) => self.mix.config += 1,
+            Some(OpClass::Move) => self.mix.moves += 1,
+            Some(OpClass::MemAccess) => self.mix.mem_access += 1,
+            Some(OpClass::Arithmetic) => self.mix.arithmetic += 1,
+            None => {
+                if let Event::Scalar { instrs } = &event {
+                    self.mix.scalar += instrs;
+                }
+            }
+        }
         if let (Some(Event::Scalar { instrs: last }), Event::Scalar { instrs }) =
             (self.events.last_mut(), &event)
         {
@@ -128,6 +142,7 @@ impl Trace {
     /// Clears the trace.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.mix = InstrMix::default();
     }
 
     /// Renders the trace as an artifact-style assembly listing (one line
@@ -177,23 +192,9 @@ impl Trace {
         out
     }
 
-    /// Computes the Figure 11 instruction mix.
+    /// The Figure 11 instruction mix (maintained incrementally; O(1)).
     pub fn instr_mix(&self) -> InstrMix {
-        let mut mix = InstrMix::default();
-        for e in &self.events {
-            match e.op_class() {
-                Some(OpClass::Config) => mix.config += 1,
-                Some(OpClass::Move) => mix.moves += 1,
-                Some(OpClass::MemAccess) => mix.mem_access += 1,
-                Some(OpClass::Arithmetic) => mix.arithmetic += 1,
-                None => {
-                    if let Event::Scalar { instrs } = e {
-                        mix.scalar += instrs;
-                    }
-                }
-            }
-        }
-        mix
+        self.mix
     }
 }
 
