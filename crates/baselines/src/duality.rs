@@ -117,13 +117,7 @@ mod tests {
             e.free(p);
         }
         let trace = e.take_trace();
-        let report = simulate(
-            &trace,
-            &SimConfig {
-                include_mode_switch: false,
-                ..SimConfig::default()
-            },
-        );
+        let report = simulate(&trace, &SimConfig::default().without_mode_switch());
         (trace, report)
     }
 

@@ -9,22 +9,17 @@
 //! 4. **Compute-mode switch flush** (Section V-C): the dirty-line flush
 //!    cost relative to kernel runtime (paper: < 2%).
 
+use crate::platform;
 use mve_core::engine::Engine;
 use mve_core::isa::StrideMode;
 use mve_core::mem::Memory;
-use mve_core::sim::{simulate, SimConfig, SimReport};
+use mve_core::sim::{simulate, SimReport};
 use mve_core::trace::Trace;
 use mve_core::DType;
 use mve_insram::scheme::EngineGeometry;
 
 fn sim(trace: &Trace) -> SimReport {
-    simulate(
-        trace,
-        &SimConfig {
-            include_mode_switch: false,
-            ..SimConfig::default()
-        },
-    )
+    simulate(trace, &platform::quiet_config())
 }
 
 /// Result of the masking ablation.
@@ -195,14 +190,7 @@ pub fn cb_ablation() -> Vec<CbAblationRow> {
                 e.scalar(4);
             }
             let trace = e.take_trace();
-            let report = simulate(
-                &trace,
-                &SimConfig {
-                    geometry: geom,
-                    include_mode_switch: false,
-                    ..SimConfig::default()
-                },
-            );
+            let report = simulate(&trace, &platform::quiet_config().with_geometry(geom));
             // FSM area scales with CB count (Table V: 8 CBs → 0.0123 mm²).
             let fsm_area = 0.0123 / 8.0 * geom.control_blocks() as f64;
             CbAblationRow {

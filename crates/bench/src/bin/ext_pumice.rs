@@ -2,7 +2,7 @@
 //! vector memory accesses stall only the control blocks they touch.
 
 use mve_bench::platform;
-use mve_core::sim::{simulate, SimConfig};
+use mve_core::sim::simulate_sweep;
 use mve_kernels::registry::selected_kernels;
 use mve_kernels::Scale;
 
@@ -17,18 +17,17 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>8}",
         "kernel", "base cyc", "pumice cyc", "gain"
     );
+    // Both dispatch models consume one fanned-out walk of each trace.
+    let cfgs = [
+        platform::mve_config(),
+        platform::mve_config().with_ooo_dispatch(),
+    ];
     let mut gains = Vec::new();
     for k in selected_kernels() {
         let run = k.run_mve(scale);
         assert!(run.checked.ok(), "{}", k.info().name);
-        let base = simulate(&run.trace, &platform::mve_config());
-        let pumice = simulate(
-            &run.trace,
-            &SimConfig {
-                ooo_dispatch: true,
-                ..platform::mve_config()
-            },
-        );
+        let reports = simulate_sweep(&run.trace, &cfgs);
+        let (base, pumice) = (&reports[0], &reports[1]);
         let gain = base.total_cycles as f64 / pumice.total_cycles as f64;
         gains.push(gain);
         println!(

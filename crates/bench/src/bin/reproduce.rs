@@ -6,6 +6,12 @@
 //! `results-smoke/`, in seconds instead of minutes — used by CI so this
 //! entry point cannot silently rot.
 //!
+//! `--jobs N` runs the artefact binaries on N worker threads (a work queue
+//! over `std::thread::scope`; `--jobs` alone uses the available
+//! parallelism). Every artefact is an independent process writing its own
+//! output file, so the results are byte-identical to a serial run at any
+//! job count — CI asserts exactly that.
+//!
 //! `--json` instead times the engine hot-path micro-benchmarks
 //! (`mve_bench::perf`) and writes the machine-readable trajectory file
 //! `BENCH_engine.json` into the current directory, so each PR records the
@@ -14,9 +20,72 @@
 
 use std::fs;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BINS: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig12c",
+    "fig13",
+    "ablations",
+    "ext_pumice",
+];
+
+fn parse_jobs(args: &[String]) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().expect("--jobs=N needs a positive integer");
+        }
+        if a == "--jobs" {
+            return match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    v.parse().expect("--jobs N needs a positive integer")
+                }
+                _ => hw(),
+            };
+        }
+    }
+    1
+}
+
+/// Runs one artefact binary and writes its stdout under `out_dir`.
+fn run_artefact(bin: &str, smoke: bool, out_dir: &str) {
+    eprintln!("running {bin}...");
+    let mut cmd = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .with_file_name(bin),
+    );
+    if smoke {
+        cmd.arg("--test-scale");
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(out.status.success(), "{bin} failed: {out:?}");
+    fs::write(format!("{out_dir}/{bin}.txt"), &out.stdout)
+        .unwrap_or_else(|e| panic!("failed to write {out_dir}/{bin}.txt: {e}"));
+    eprintln!("  -> {out_dir}/{bin}.txt ({} bytes)", out.stdout.len());
+}
 
 fn main() {
-    if std::env::args().any(|a| a == "--json") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
         let results = mve_bench::perf::run_engine_hot();
         for r in &results {
             eprintln!(
@@ -30,44 +99,32 @@ fn main() {
         eprintln!("wrote BENCH_engine.json ({} benches)", results.len());
         return;
     }
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs = parse_jobs(&args).clamp(1, BINS.len());
     let out_dir = if smoke { "results-smoke" } else { "results" };
     fs::create_dir_all(out_dir).expect("create results dir");
-    let bins = [
-        "table1",
-        "table2",
-        "table3",
-        "table4",
-        "table5",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12a",
-        "fig12b",
-        "fig12c",
-        "fig13",
-        "ablations",
-        "ext_pumice",
-    ];
-    for bin in bins {
-        eprintln!("running {bin}...");
-        let mut cmd = Command::new(
-            std::env::current_exe()
-                .expect("self path")
-                .with_file_name(bin),
-        );
-        if smoke {
-            cmd.arg("--test-scale");
+
+    if jobs == 1 {
+        for bin in BINS {
+            run_artefact(bin, smoke, out_dir);
         }
-        let out = cmd
-            .output()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(out.status.success(), "{bin} failed: {:?}", out);
-        fs::write(format!("{out_dir}/{bin}.txt"), &out.stdout)
-            .unwrap_or_else(|e| panic!("failed to write {out_dir}/{bin}.txt: {e}"));
-        eprintln!("  -> {out_dir}/{bin}.txt ({} bytes)", out.stdout.len());
+    } else {
+        // Work queue: each worker claims the next unstarted artefact. A
+        // failing artefact panics its worker; the scope propagates the
+        // panic so the run still exits non-zero.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(bin) = BINS.get(i) else { break };
+                    run_artefact(bin, smoke, out_dir);
+                });
+            }
+        });
     }
-    eprintln!("done: {} artefacts under {out_dir}/", bins.len());
+    eprintln!(
+        "done: {} artefacts under {out_dir}/ ({jobs} jobs)",
+        BINS.len()
+    );
 }

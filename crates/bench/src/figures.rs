@@ -3,7 +3,7 @@
 use crate::platform;
 use mve_baselines::duality::{duality_from_mve, DualityConfig, DualityReport};
 use mve_baselines::gpu::GpuConfig;
-use mve_core::sim::{simulate, SimReport};
+use mve_core::sim::{simulate, simulate_sweep, SimReport};
 use mve_core::trace::InstrMix;
 use mve_coresim::neon::{NeonModel, NeonOpClass, NeonProfile, NeonResult};
 use mve_energy::{mve_energy, neon_energy, EnergyBreakdown, EnergyParams};
@@ -508,45 +508,53 @@ pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
         .into_iter()
         .filter(|k| names.contains(&k.info().name))
         .collect();
-    // Traces are ISA-level: reuse them across schemes.
-    let runs: Vec<(KernelRun, KernelRun)> = kernels
+    let sweep = platform::scheme_sweep();
+    let cfgs: Vec<_> = sweep.iter().map(|(_, cfg)| cfg.clone()).collect();
+
+    #[derive(Default)]
+    struct SchemeAcc {
+        speedups: Vec<f64>,
+        mu: f64,
+        ru: f64,
+        mb: (f64, f64, f64),
+        rb: (f64, f64, f64),
+    }
+    let mut acc: Vec<SchemeAcc> = (0..cfgs.len()).map(|_| SchemeAcc::default()).collect();
+
+    // Each kernel executes once and each of its traces is walked once: the
+    // fanout broadcasts the event stream into all four scheme sims (with a
+    // single shared cache-warming pass), instead of re-simulating the same
+    // trace once per scheme.
+    for k in &kernels {
+        let m = k.run_mve(scale);
+        let r = k.run_rvv(scale).expect("rvv");
+        assert!(m.checked.ok() && r.checked.ok(), "{}", k.info().name);
+        let mreps = simulate_sweep(&m.trace, &cfgs);
+        let rreps = simulate_sweep(&r.trace, &cfgs);
+        for (a, (mrep, rrep)) in acc.iter_mut().zip(mreps.iter().zip(&rreps)) {
+            a.speedups
+                .push(rrep.total_cycles as f64 / mrep.total_cycles as f64);
+            a.mu += mrep.utilization();
+            a.ru += rrep.utilization();
+            let (i, c, d) = mrep.breakdown();
+            a.mb = (a.mb.0 + i, a.mb.1 + c, a.mb.2 + d);
+            let (i, c, d) = rrep.breakdown();
+            a.rb = (a.rb.0 + i, a.rb.1 + c, a.rb.2 + d);
+        }
+    }
+
+    let n = kernels.len() as f64;
+    sweep
         .iter()
-        .map(|k| {
-            let m = k.run_mve(scale);
-            let r = k.run_rvv(scale).expect("rvv");
-            assert!(m.checked.ok() && r.checked.ok(), "{}", k.info().name);
-            (m, r)
-        })
-        .collect();
-    Scheme::ALL
-        .iter()
-        .map(|&scheme| {
-            let cfg = platform::scheme_config(scheme);
-            let mut speedups = Vec::new();
-            let mut mu = 0.0;
-            let mut ru = 0.0;
-            let mut mb = (0.0, 0.0, 0.0);
-            let mut rb = (0.0, 0.0, 0.0);
-            for (m, r) in &runs {
-                let mrep = simulate(&m.trace, &cfg);
-                let rrep = simulate(&r.trace, &cfg);
-                speedups.push(rrep.total_cycles as f64 / mrep.total_cycles as f64);
-                mu += mrep.utilization();
-                ru += rrep.utilization();
-                let (i, c, d) = mrep.breakdown();
-                mb = (mb.0 + i, mb.1 + c, mb.2 + d);
-                let (i, c, d) = rrep.breakdown();
-                rb = (rb.0 + i, rb.1 + c, rb.2 + d);
-            }
-            let n = runs.len() as f64;
-            Fig13Row {
-                scheme,
-                speedup: crate::geomean(&speedups),
-                mve_util: mu / n,
-                rvv_util: ru / n,
-                mve_breakdown: (mb.0 / n, mb.1 / n, mb.2 / n),
-                rvv_breakdown: (rb.0 / n, rb.1 / n, rb.2 / n),
-            }
+        .map(|&(scheme, _)| scheme)
+        .zip(acc)
+        .map(|(scheme, a)| Fig13Row {
+            scheme,
+            speedup: crate::geomean(&a.speedups),
+            mve_util: a.mu / n,
+            rvv_util: a.ru / n,
+            mve_breakdown: (a.mb.0 / n, a.mb.1 / n, a.mb.2 / n),
+            rvv_breakdown: (a.rb.0 / n, a.rb.1 / n, a.rb.2 / n),
         })
         .collect()
 }

@@ -19,6 +19,8 @@ use std::time::{Duration, Instant};
 use mve_core::dtype::{BinOp, CmpOp};
 use mve_core::engine::Engine;
 use mve_core::isa::{Opcode, StrideMode};
+use mve_core::sim::{SimConfig, TimingSim};
+use mve_core::trace::CountingSink;
 
 /// One named hot-path workload over a pre-built engine.
 pub struct HotBench {
@@ -46,7 +48,11 @@ const LANES: usize = 8192;
 /// The canonical engine hot-path workloads at full 8192-lane scale:
 /// strided load, random load, integer binop, compare (Tag write), and a
 /// predicated store — the five operation classes the ISSUE-2 refactor
-/// targets.
+/// targets — plus two ISSUE-3 streaming-pipeline workloads: the binop
+/// emitted into a counting sink (`stream_count_…`, isolating the
+/// `TraceSink` dispatch overhead against `binop_add_8192`) and the fused
+/// engine→`TimingSim` pipeline (`stream_timing_…`, execution and timing
+/// in one pass with no materialized trace).
 pub fn engine_hot_benches() -> Vec<HotBench> {
     let mut out = Vec::new();
 
@@ -120,6 +126,58 @@ pub fn engine_hot_benches() -> Vec<HotBench> {
             run: Box::new(move || {
                 e.compare(CmpOp::Gt, x, y);
                 e.clear_trace();
+            }),
+        });
+    }
+
+    // Streaming sink overhead: the same i32 add, but emitted into a
+    // CountingSink instead of the owned Trace. The delta against
+    // binop_add_8192 is the cost of the TraceSink indirection (and the
+    // saving from not materializing events).
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        e.clear_trace();
+        let mut sink = Some(CountingSink::new());
+        out.push(HotBench {
+            name: "stream_count_binop_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let ((), s) = e.with_sink(sink.take().expect("sink"), |e| {
+                    let r = e.binop(Opcode::Add, BinOp::Add, x, y);
+                    e.free(r);
+                });
+                sink = Some(s);
+            }),
+        });
+    }
+
+    // Fused streaming pipeline: the engine feeds an incremental TimingSim
+    // directly, so every iteration executes *and* times the instruction
+    // with O(1) memory — the ISSUE-3 tentpole path.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        e.clear_trace();
+        let cfg = SimConfig::default()
+            .without_cache_warming()
+            .without_mode_switch();
+        let mut sim = Some(TimingSim::new(cfg));
+        out.push(HotBench {
+            name: "stream_timing_binop_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let ((), s) = e.with_sink(sim.take().expect("sim"), |e| {
+                    let r = e.binop(Opcode::Add, BinOp::Add, x, y);
+                    e.free(r);
+                });
+                sim = Some(s);
             }),
         });
     }

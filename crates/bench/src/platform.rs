@@ -7,24 +7,36 @@ use mve_memsim::HierarchyConfig;
 
 /// The default (Table IV) MVE simulation configuration: bit-serial scheme,
 /// 32 arrays / 8 CBs, Snapdragon-855-class hierarchy and core.
+///
+/// Every experiment derives its variants from this via the `SimConfig`
+/// builder methods (`with_scheme`, `with_arrays`, `without_mode_switch`,
+/// …), so a platform change propagates to all figures and ablations.
 pub fn mve_config() -> SimConfig {
     SimConfig::default()
 }
 
+/// [`mve_config`] without the compute-mode switch flush — for ablations
+/// and micro-studies that start from an empty, clean hierarchy.
+pub fn quiet_config() -> SimConfig {
+    mve_config().without_mode_switch()
+}
+
 /// Configuration with a different in-SRAM scheme (Figure 13).
 pub fn scheme_config(scheme: Scheme) -> SimConfig {
-    SimConfig {
-        scheme,
-        ..SimConfig::default()
-    }
+    mve_config().with_scheme(scheme)
+}
+
+/// The Figure 13 sweep: one `(scheme, configuration)` pair per in-SRAM
+/// scheme, in plot order — built once and fanned out over each kernel's
+/// event stream. The scheme label travels with its config so consumers
+/// cannot mislabel rows by zipping against a separately-ordered list.
+pub fn scheme_sweep() -> Vec<(Scheme, SimConfig)> {
+    Scheme::ALL.iter().map(|&s| (s, scheme_config(s))).collect()
 }
 
 /// Configuration with a different array count (Figure 12(b)).
 pub fn arrays_config(arrays: usize) -> SimConfig {
-    SimConfig {
-        geometry: EngineGeometry::with_arrays(arrays),
-        ..SimConfig::default()
-    }
+    mve_config().with_arrays(arrays)
 }
 
 /// One row of the Table IV configuration listing.

@@ -11,13 +11,15 @@
 //! [`crate::intrinsics`]; this module provides the untyped core operations
 //! they wrap.
 
+use std::any::Any;
+
 use crate::addrgen::{self, StrideBank};
 use crate::config::{ControlRegs, MAX_DIMS};
 use crate::dtype::{BinOp, CmpOp, DType};
 use crate::isa::{Opcode, StrideMode};
 use crate::layout::LogicalShape;
 use crate::mem::{MemScalar, Memory};
-use crate::trace::{alu_op_for, Event, Trace};
+use crate::trace::{alu_op_for, Event, Trace, TraceSink};
 use mve_insram::scheme::EngineGeometry;
 
 /// A handle to a live in-cache physical register.
@@ -144,7 +146,9 @@ pub struct Engine {
     tag: Vec<u64>,
     pred: bool,
     mem: Memory,
-    trace: Trace,
+    /// Where emitted events go. Defaults to an owned [`Trace`] (batch
+    /// capture); [`Engine::with_sink`] swaps in any streaming consumer.
+    sink: Box<dyn TraceSink>,
     mask: LaneMask,
     /// Reused per-instruction scratch (zero steady-state allocation):
     /// touched-line accumulation and random-access base pointers.
@@ -169,7 +173,7 @@ impl Engine {
             tag: vec![0; lanes.div_ceil(64)],
             pred: false,
             mem,
-            trace: Trace::new(),
+            sink: Box::new(Trace::new()),
             mask: LaneMask::empty(),
             line_scratch: Vec::new(),
             base_scratch: Vec::new(),
@@ -191,19 +195,99 @@ impl Engine {
         &self.crs
     }
 
+    /// Emits one event into the active sink. Returns the event so hot
+    /// paths can reclaim owned buffers (e.g. the touched-line vector) —
+    /// streaming sinks borrow the event, so nothing is cloned unless the
+    /// sink itself stores it (as the owned [`Trace`] does).
+    fn emit(&mut self, event: Event) -> Event {
+        self.sink.on_event(&event);
+        event
+    }
+
     /// The dynamic trace recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics while a non-[`Trace`] sink is attached ([`Engine::with_sink`])
+    /// — a streaming engine materializes no trace to inspect.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        (self.sink.as_ref() as &dyn Any)
+            .downcast_ref::<Trace>()
+            .expect("engine is streaming into an external sink; no owned trace to inspect")
+    }
+
+    fn owned_trace_mut(&mut self) -> &mut Trace {
+        (self.sink.as_mut() as &mut dyn Any)
+            .downcast_mut::<Trace>()
+            .expect("engine is streaming into an external sink; no owned trace to take/clear")
     }
 
     /// Takes the trace, leaving an empty one.
+    ///
+    /// # Panics
+    ///
+    /// Panics while a non-[`Trace`] sink is attached.
     pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+        std::mem::take(self.owned_trace_mut())
     }
 
     /// Clears the recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics while a non-[`Trace`] sink is attached.
     pub fn clear_trace(&mut self) {
-        self.trace.clear();
+        self.owned_trace_mut().clear();
+    }
+
+    /// Replaces the event sink, returning the previous one. Prefer the
+    /// scoped [`Engine::with_sink`] unless the sink must outlive a single
+    /// region of code.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> Box<dyn TraceSink> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// Runs `f` with `sink` receiving every event the engine emits, then
+    /// restores the previous sink and hands `sink` back — the streaming
+    /// alternative to materializing a [`Trace`] and replaying it.
+    ///
+    /// ```
+    /// use mve_core::engine::Engine;
+    /// use mve_core::sim::{SimConfig, TimingSim};
+    ///
+    /// let mut e = Engine::default_mobile();
+    /// e.vsetdimc(1);
+    /// e.vsetdiml(0, 8192);
+    /// // Fuse execution and timing: no Vec<Event> is ever materialized.
+    /// let cfg = SimConfig::default().without_cache_warming();
+    /// let ((), sim) = e.with_sink(TimingSim::new(cfg), |e| {
+    ///     let v = e.vsetdup_dw(3);
+    ///     let r = e.vadd_dw(v, v);
+    ///     e.free(r);
+    ///     e.free(v);
+    /// });
+    /// assert!(sim.finish().total_cycles > 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` swaps the sink to a different type via
+    /// [`Engine::set_sink`] and does not restore it. Not unwind-safe: if
+    /// `f` panics, the previous sink (usually the engine's owned trace) is
+    /// dropped with the unwind and the temporary sink stays installed —
+    /// don't resume such an engine from `catch_unwind`.
+    pub fn with_sink<S: TraceSink, R>(
+        &mut self,
+        sink: S,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> (R, S) {
+        let prev = std::mem::replace(&mut self.sink, Box::new(sink));
+        let out = f(self);
+        let streamed = std::mem::replace(&mut self.sink, prev);
+        let sink = (streamed as Box<dyn Any>)
+            .downcast::<S>()
+            .expect("sink type changed during with_sink");
+        (out, *sink)
     }
 
     // ------------------------------------------------------------------
@@ -261,7 +345,7 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn config_event(&mut self, opcode: Opcode) {
-        self.trace.push(Event::Config { opcode });
+        self.emit(Event::Config { opcode });
     }
 
     /// `vsetdimc`: sets the dimension count.
@@ -429,7 +513,7 @@ impl Engine {
     /// layers that model instruction sequences the MVE intrinsics would
     /// never emit (e.g. RVV partial loads and register packing).
     pub fn push_raw_event(&mut self, event: Event) {
-        self.trace.push(event);
+        self.emit(event);
     }
 
     /// One canonical lane value.
@@ -549,7 +633,7 @@ impl Engine {
     /// address computation) between vector instructions.
     pub fn scalar(&mut self, instrs: u64) {
         if instrs > 0 {
-            self.trace.push(Event::Scalar { instrs });
+            self.emit(Event::Scalar { instrs });
         }
     }
 
@@ -645,15 +729,20 @@ impl Engine {
             lines.extend(first..=last);
         }
         addrgen::finish_lines(&mut lines);
-        self.trace.push(Event::Memory {
+        // The line set is moved into the event (streaming sinks see it
+        // without any copy) and reclaimed afterwards as the next
+        // instruction's scratch buffer.
+        let event = self.emit(Event::Memory {
             opcode,
             dtype,
             active_lanes: active,
             cb_mask,
-            lines: lines.clone(),
+            lines,
             write: false,
         });
-        self.line_scratch = lines;
+        if let Event::Memory { lines, .. } = event {
+            self.line_scratch = lines;
+        }
         dst
     }
 
@@ -737,15 +826,17 @@ impl Engine {
             }
         }
         addrgen::finish_lines(&mut lines);
-        self.trace.push(Event::Memory {
+        let event = self.emit(Event::Memory {
             opcode,
             dtype,
             active_lanes: active,
             cb_mask,
-            lines: lines.clone(),
+            lines,
             write: true,
         });
-        self.line_scratch = lines;
+        if let Event::Memory { lines, .. } = event {
+            self.line_scratch = lines;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -754,7 +845,7 @@ impl Engine {
 
     fn compute_event(&mut self, opcode: Opcode, dtype: DType, respect_pred: bool) {
         let (active, cb_mask) = self.active_stats(respect_pred);
-        self.trace.push(Event::Compute {
+        self.emit(Event::Compute {
             opcode,
             alu: alu_op_for(opcode, dtype),
             dtype,

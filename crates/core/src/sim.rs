@@ -1,6 +1,6 @@
 //! Trace-driven timing simulation of the MVE system (Section V, Figure 6).
 //!
-//! The model replays a [`Trace`] against:
+//! The model consumes an [`Event`] stream against:
 //!
 //! * the **core issue model** — scalar blocks retire at the core IPC; MVE
 //!   instructions issue in order at the head of the ROB, one per cycle;
@@ -18,13 +18,25 @@
 //! three buckets: **data access** (a vector memory operation in flight),
 //! **compute** (≥ 1 CB executing an arithmetic µop) or **idle** — the
 //! decomposition plotted in Figures 7(a), 10, 12 and 13.
+//!
+//! The model is an incremental state machine, [`TimingSim`]: feed it events
+//! one at a time ([`TimingSim::on_event`], also usable as a [`TraceSink`]
+//! attached directly to the engine) and call [`TimingSim::finish`] for the
+//! report. Its working state — per-CB availability, the bounded
+//! Instruction-Q, an online interval union for the compute bucket — is
+//! O(configuration), not O(trace length), so arbitrarily long event streams
+//! simulate in constant memory. [`simulate`] survives as the batch wrapper
+//! over a captured [`Trace`], and [`Fanout`] broadcasts one event stream
+//! into N concurrent sims so a config sweep walks each trace once (see
+//! DESIGN.md, "Streaming pipeline").
 
 use std::collections::VecDeque;
 
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, Trace, TraceSink};
 use mve_coresim::CoreConfig;
 use mve_insram::scheme::{EngineGeometry, Scheme};
 use mve_insram::tmu::TransposeMemoryUnit;
+use mve_insram::LatencyModel;
 use mve_memsim::{Hierarchy, HierarchyConfig, MemStats};
 
 /// Configuration of one timing-simulation run.
@@ -85,8 +97,48 @@ impl Default for SimConfig {
     }
 }
 
+/// Builder-style variations of the Table IV default — the one place the
+/// sweep and ablation harnesses derive their configurations from.
+impl SimConfig {
+    /// Same platform, different in-SRAM computing scheme (Figure 13).
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Same platform, different engine geometry.
+    pub fn with_geometry(mut self, geometry: EngineGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Same platform, different SRAM-array count (Figure 12(b)).
+    pub fn with_arrays(self, arrays: usize) -> Self {
+        self.with_geometry(EngineGeometry::with_arrays(arrays))
+    }
+
+    /// Skip the compute-mode switch flush (micro-studies that start from an
+    /// empty, clean hierarchy).
+    pub fn without_mode_switch(mut self) -> Self {
+        self.include_mode_switch = false;
+        self
+    }
+
+    /// Cold-start measurement: no steady-state cache warming.
+    pub fn without_cache_warming(mut self) -> Self {
+        self.warm_caches = false;
+        self
+    }
+
+    /// PUMICE-style per-CB dispatch (the Section VIII extension study).
+    pub fn with_ooo_dispatch(mut self) -> Self {
+        self.ooo_dispatch = true;
+        self
+    }
+}
+
 /// Event counters from which the energy model computes joules.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyCounters {
     /// Σ over compute µops of (active SRAM arrays × latency cycles): the
     /// number of word-line-activation array-cycles.
@@ -100,7 +152,7 @@ pub struct EnergyCounters {
 }
 
 /// The outcome of a timing simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Makespan in core cycles.
     pub total_cycles: u64,
@@ -150,29 +202,475 @@ impl SimReport {
     }
 }
 
-/// Merges (start, end) intervals and returns the union length.
-fn union_length(mut iv: Vec<(u64, u64)>) -> u64 {
-    iv.sort_unstable();
-    let mut total = 0;
-    let mut cur: Option<(u64, u64)> = None;
-    for (s, e) in iv {
-        match cur {
-            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
-            Some((cs, ce)) => {
-                total += ce - cs;
-                cur = Some((s, e));
-                let _ = cs;
-            }
-            None => cur = Some((s, e)),
-        }
-    }
-    if let Some((cs, ce)) = cur {
-        total += ce - cs;
-    }
-    total
+/// Online union of `(start, end)` intervals.
+///
+/// The batch model collected every per-CB compute interval into a `Vec`,
+/// sorted it at the end and merged — O(trace) memory. This structure
+/// exploits the simulator's monotonicity instead: intervals are inserted
+/// with `start >= t_core` (the nondecreasing core clock), so any pending
+/// interval that ends at or before the clock can never gain new overlap and
+/// its length is settled immediately. What remains pending is bounded by
+/// the Instruction-Q depth plus the CB count, independent of trace length.
+#[derive(Debug, Default)]
+struct IntervalUnion {
+    /// Disjoint, non-touching intervals sorted by start, all ending after
+    /// the last settle point.
+    pending: VecDeque<(u64, u64)>,
+    /// Total length of intervals already flushed.
+    settled: u64,
 }
 
-/// Runs the timing model over a trace.
+impl IntervalUnion {
+    /// Inserts `[s, e)`, merging with any overlapping or touching pending
+    /// interval (touching merges keep long per-CB µop chains collapsed to a
+    /// single entry).
+    fn insert(&mut self, s: u64, e: u64) {
+        // Fast path: strictly after everything pending.
+        if self.pending.back().is_none_or(|&(_, pe)| pe < s) {
+            self.pending.push_back((s, e));
+            return;
+        }
+        let i = self.pending.partition_point(|&(_, pe)| pe < s);
+        let (mut ns, mut ne) = (s, e);
+        let mut j = i;
+        while j < self.pending.len() {
+            let (ps, pe) = self.pending[j];
+            if ps > ne {
+                break;
+            }
+            ns = ns.min(ps);
+            ne = ne.max(pe);
+            j += 1;
+        }
+        if j == i {
+            self.pending.insert(i, (ns, ne));
+        } else {
+            self.pending[i] = (ns, ne);
+            self.pending.drain(i + 1..j);
+        }
+    }
+
+    /// Flushes every pending interval ending at or before `t` (safe once
+    /// the clock has reached `t`: future inserts start at `>= t`).
+    fn settle_before(&mut self, t: u64) {
+        while let Some(&(s, e)) = self.pending.front() {
+            if e > t {
+                break;
+            }
+            self.settled += e - s;
+            self.pending.pop_front();
+        }
+    }
+
+    /// Total union length, consuming the remaining pending intervals.
+    fn finish(self) -> u64 {
+        self.settled + self.pending.iter().map(|(s, e)| e - s).sum::<u64>()
+    }
+}
+
+/// The incremental timing simulator: feed events, then [`TimingSim::finish`].
+///
+/// A `TimingSim` is a [`TraceSink`], so it can consume a live engine's
+/// event stream directly ([`crate::engine::Engine::with_sink`]) — fusing
+/// trace production and timing into one pass with no materialized
+/// `Vec<Event>` — or replay a captured [`Trace`].
+///
+/// ## Cache warming (two-phase streaming)
+///
+/// With [`SimConfig::warm_caches`] set (the Swan steady-state methodology),
+/// the sim starts in a **warm phase**: events stream the working set
+/// through the hierarchy at time zero and nothing is timed. Call
+/// [`TimingSim::start_timing`], then stream the same events again for the
+/// timed pass — from a captured trace that is a second replay; from a live
+/// engine it is a second deterministic run of the kernel. With warming
+/// disabled the single pass is the timed pass.
+#[derive(Debug)]
+pub struct TimingSim {
+    cfg: SimConfig,
+    hier: Hierarchy,
+    lat_model: LatencyModel,
+    freq_scale: f64,
+    n_cbs: usize,
+    /// Still in the warm phase (see type docs).
+    warming: bool,
+    /// Mode-switch charged and `cb_avail` anchored (lazily, at the first
+    /// timed event, so warm-phase flushes land before the clock starts).
+    started: bool,
+    t_core: u64,
+    cb_avail: Vec<u64>,
+    inflight: VecDeque<u64>,
+    compute: IntervalUnion,
+    data_busy: u64,
+    cb_busy: u64,
+    energy: EnergyCounters,
+    vec_instrs: u64,
+    scalar_instrs: u64,
+    /// Scalar blocks are coalesced before retiring (identical to
+    /// [`Trace::push`] coalescing, so raw engine streams and captured
+    /// traces time identically).
+    pending_scalar: u64,
+}
+
+impl TimingSim {
+    /// A fresh simulator over `cfg`, in the warm phase iff
+    /// `cfg.warm_caches`.
+    pub fn new(cfg: SimConfig) -> Self {
+        let hier = Hierarchy::new(cfg.hierarchy);
+        let n_cbs = cfg.geometry.control_blocks();
+        let lat_model = cfg.scheme.latency_model();
+        let freq_scale = cfg.scheme.frequency_scale();
+        Self {
+            warming: cfg.warm_caches,
+            started: false,
+            t_core: 0,
+            cb_avail: vec![0; n_cbs],
+            inflight: VecDeque::new(),
+            compute: IntervalUnion::default(),
+            data_busy: 0,
+            cb_busy: 0,
+            energy: EnergyCounters::default(),
+            vec_instrs: 0,
+            scalar_instrs: 0,
+            pending_scalar: 0,
+            hier,
+            lat_model,
+            freq_scale,
+            n_cbs,
+            cfg,
+        }
+    }
+
+    /// Whether the sim is still in the warm phase.
+    pub fn is_warming(&self) -> bool {
+        self.warming
+    }
+
+    /// Ends the warm phase: clears the warming statistics so only the timed
+    /// pass is reported. No-op when not warming.
+    pub fn start_timing(&mut self) {
+        if self.warming {
+            self.hier.reset_stats();
+            self.warming = false;
+        }
+    }
+
+    /// Diagnostic: compute intervals currently buffered. Bounded by the
+    /// Instruction-Q depth plus the CB count — not by stream length — which
+    /// is the O(1)-memory property the streaming pipeline rests on.
+    pub fn resident_intervals(&self) -> usize {
+        self.compute.pending.len()
+    }
+
+    /// Consumes one event (warm phase: streams its lines through the
+    /// hierarchy; timed phase: advances the full model).
+    pub fn on_event(&mut self, event: &Event) {
+        if self.warming {
+            if let Event::Memory { lines, write, .. } = event {
+                self.hier.vector_access(lines, *write, 0);
+            }
+            return;
+        }
+        self.timed_event(event);
+    }
+
+    /// Charges the mode switch and anchors the CB clocks; idempotent.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        if self.cfg.include_mode_switch {
+            self.t_core += self.hier.enable_compute_mode();
+        }
+        self.cb_avail.fill(self.t_core);
+        self.started = true;
+    }
+
+    /// Retires the coalesced pending scalar block.
+    fn flush_scalar(&mut self) {
+        if self.pending_scalar > 0 {
+            self.scalar_instrs += self.pending_scalar;
+            self.t_core += self.cfg.core.scalar_block_cycles(self.pending_scalar);
+            self.pending_scalar = 0;
+        }
+    }
+
+    /// Core→controller channel occupancy and Instruction-Q backpressure.
+    fn issue_vec_instr(&mut self) {
+        self.t_core += self.cfg.issue_gap_cycles.max(1);
+        while self.inflight.front().is_some_and(|&c| c <= self.t_core) {
+            self.inflight.pop_front();
+        }
+        if self.inflight.len() >= self.cfg.queue_entries {
+            if let Some(front) = self.inflight.pop_front() {
+                self.t_core = self.t_core.max(front);
+            }
+        }
+    }
+
+    fn timed_event(&mut self, event: &Event) {
+        if let Event::Scalar { instrs } = event {
+            self.pending_scalar += instrs;
+            return;
+        }
+        self.ensure_started();
+        self.flush_scalar();
+        self.compute.settle_before(self.t_core);
+        match event {
+            Event::Scalar { .. } => unreachable!("handled above"),
+            Event::Config { .. } => {
+                self.vec_instrs += 1;
+                self.energy.vector_instrs += 1;
+                self.issue_vec_instr();
+            }
+            Event::Compute {
+                alu,
+                dtype,
+                active_lanes,
+                cb_mask,
+                ..
+            } => {
+                self.vec_instrs += 1;
+                self.energy.vector_instrs += 1;
+                self.issue_vec_instr();
+                if *active_lanes == 0 {
+                    return;
+                }
+                let bits = dtype.bits();
+                let engine_cycles = self.lat_model.op_latency(*alu, bits);
+                let scheme_lanes = self.cfg.scheme.lanes(&self.cfg.geometry, bits).max(1);
+                let passes = (*active_lanes as usize).div_ceil(scheme_lanes) as u64;
+                let dur = ((engine_cycles * passes) as f64 / self.freq_scale).ceil() as u64;
+
+                let mut completion = self.t_core;
+                let mut active_cbs = 0u64;
+                for cb in 0..self.n_cbs {
+                    if cb_mask >> cb & 1 == 1 {
+                        active_cbs += 1;
+                        let start = self.t_core.max(self.cb_avail[cb]);
+                        let end = start + dur;
+                        self.cb_avail[cb] = end;
+                        self.compute.insert(start, end);
+                        self.cb_busy += dur;
+                        completion = completion.max(end);
+                    }
+                }
+                self.energy.array_active_cycles +=
+                    active_cbs * self.cfg.geometry.arrays_per_cb as u64 * dur;
+                self.inflight.push_back(completion);
+            }
+            Event::Memory {
+                dtype,
+                active_lanes,
+                cb_mask,
+                lines,
+                write,
+                ..
+            } => {
+                self.vec_instrs += 1;
+                self.energy.vector_instrs += 1;
+                self.issue_vec_instr();
+                if *active_lanes == 0 && lines.is_empty() {
+                    // A fully-masked access moves nothing: no lines reach
+                    // the hierarchy and no elements stream through the TMU,
+                    // so it must not stall the CBs or charge transfers —
+                    // the timing-layer mirror of PR 2's predicated-store
+                    // line-accounting fix.
+                    return;
+                }
+                // A vector memory access blocks every CB (Section V-B);
+                // with PUMICE-style dispatch only the touched CBs stall.
+                let ready = if self.cfg.ooo_dispatch {
+                    (0..self.n_cbs)
+                        .filter(|cb| cb_mask >> cb & 1 == 1)
+                        .map(|cb| self.cb_avail[cb])
+                        .max()
+                        .unwrap_or(self.t_core)
+                } else {
+                    self.cb_avail.iter().copied().max().unwrap_or(self.t_core)
+                };
+                let start = self.t_core.max(ready);
+                let batch = self.hier.vector_access(lines, *write, start);
+                // The TMU streams only the access's active elements; a
+                // masked partial access fills proportionally fewer transpose
+                // columns per CB, and a pointer-only access (all data lanes
+                // masked off) streams none at all.
+                let tmu = if *active_lanes == 0 {
+                    0
+                } else {
+                    let active_cbs_for_tmu = (0..self.n_cbs)
+                        .filter(|cb| cb_mask >> cb & 1 == 1)
+                        .count()
+                        .max(1);
+                    let elems_per_cb = (*active_lanes as usize)
+                        .div_ceil(active_cbs_for_tmu)
+                        .min(self.cfg.geometry.bitlines_per_cb())
+                        .max(1);
+                    TransposeMemoryUnit::transfer_cycles(
+                        elems_per_cb,
+                        self.cfg.scheme.tmu_drain_slices(dtype.bits()),
+                        self.cfg.xb_words_per_cycle,
+                    )
+                };
+                let end = batch.done_at + tmu;
+                if self.cfg.ooo_dispatch {
+                    for cb in 0..self.n_cbs {
+                        if cb_mask >> cb & 1 == 1 {
+                            self.cb_avail[cb] = end;
+                        }
+                    }
+                } else {
+                    for avail in self.cb_avail.iter_mut() {
+                        *avail = end;
+                    }
+                }
+                self.data_busy += end - start;
+                let active_cbs = (0..self.n_cbs).filter(|cb| cb_mask >> cb & 1 == 1).count() as u64;
+                self.cb_busy += active_cbs * (end - start);
+                self.energy.tmu_element_transfers += u64::from(*active_lanes);
+                self.inflight.push_back(end);
+            }
+        }
+    }
+
+    /// Completes the run and produces the report.
+    ///
+    /// A sim abandoned in the warm phase reports an empty timed pass.
+    pub fn finish(mut self) -> SimReport {
+        self.start_timing();
+        self.ensure_started();
+        self.flush_scalar();
+        let total_end = self
+            .cb_avail
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.t_core)
+            .max(self.t_core);
+        let compute = self.compute.finish();
+        let idle = total_end.saturating_sub(compute + self.data_busy);
+        self.energy.scalar_instrs = self.scalar_instrs;
+        SimReport {
+            total_cycles: total_end,
+            compute_cycles: compute,
+            data_cycles: self.data_busy,
+            idle_cycles: idle,
+            cb_busy_cycles: self.cb_busy,
+            control_blocks: self.n_cbs as u64,
+            vector_instrs: self.vec_instrs,
+            scalar_instrs: self.scalar_instrs,
+            mem: self.hier.stats(),
+            energy: self.energy,
+        }
+    }
+}
+
+impl TraceSink for TimingSim {
+    fn on_event(&mut self, event: &Event) {
+        TimingSim::on_event(self, event);
+    }
+}
+
+/// Broadcasts one event stream into N concurrent [`TimingSim`]s — the
+/// sweep harness primitive: a scheme or dispatch sweep executes each kernel
+/// **once** and walks its event stream **once**, instead of once per
+/// configuration.
+///
+/// Sims that warm their caches over identical hierarchy configurations
+/// share the warm pass: one "leader" per group streams the working set,
+/// and the followers adopt a clone of the warmed hierarchy at
+/// [`Fanout::start_timing`] (cache warming depends only on the memory
+/// events and the hierarchy parameters, so the clone is bit-identical to
+/// an independent warm pass). Sims with warming disabled ignore the warm
+/// phase entirely.
+#[derive(Debug)]
+pub struct Fanout {
+    sims: Vec<TimingSim>,
+    /// Index of the sim whose warmed hierarchy each sim adopts; leaders
+    /// (and non-warming sims) point at themselves.
+    warm_leader: Vec<usize>,
+    warming: bool,
+}
+
+impl Fanout {
+    /// One sim per configuration, in order.
+    pub fn new(cfgs: impl IntoIterator<Item = SimConfig>) -> Self {
+        let sims: Vec<TimingSim> = cfgs.into_iter().map(TimingSim::new).collect();
+        let warm_leader = (0..sims.len())
+            .map(|i| {
+                if !sims[i].warming {
+                    return i;
+                }
+                (0..i)
+                    .find(|&j| sims[j].warming && sims[j].cfg.hierarchy == sims[i].cfg.hierarchy)
+                    .unwrap_or(i)
+            })
+            .collect();
+        let warming = sims.iter().any(|s| s.warming);
+        Self {
+            sims,
+            warm_leader,
+            warming,
+        }
+    }
+
+    /// Whether any member sim is still warming.
+    pub fn is_warming(&self) -> bool {
+        self.warming
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the fanout has no members.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Ends the warm phase for every member: followers adopt their
+    /// leader's warmed hierarchy, then all sims switch to timing.
+    pub fn start_timing(&mut self) {
+        if !self.warming {
+            return;
+        }
+        for i in 0..self.sims.len() {
+            let leader = self.warm_leader[i];
+            if leader != i {
+                self.sims[i].hier = self.sims[leader].hier.clone();
+            }
+        }
+        for sim in &mut self.sims {
+            sim.start_timing();
+        }
+        self.warming = false;
+    }
+
+    /// Completes every member, returning reports in configuration order.
+    pub fn finish(self) -> Vec<SimReport> {
+        self.sims.into_iter().map(TimingSim::finish).collect()
+    }
+}
+
+impl TraceSink for Fanout {
+    fn on_event(&mut self, event: &Event) {
+        if self.warming {
+            // Warm pass: only group leaders stream the working set.
+            for i in 0..self.sims.len() {
+                if self.warm_leader[i] == i && self.sims[i].warming {
+                    self.sims[i].on_event(event);
+                }
+            }
+        } else {
+            for sim in &mut self.sims {
+                sim.on_event(event);
+            }
+        }
+    }
+}
+
+/// Runs the timing model over a captured trace — the batch wrapper around
+/// [`TimingSim`] (bit-identical to streaming the same events).
 ///
 /// ```
 /// use mve_core::engine::Engine;
@@ -193,173 +691,26 @@ fn union_length(mut iv: Vec<(u64, u64)>) -> u64 {
 /// assert!((idle + compute + data - 1.0).abs() < 1e-9);
 /// ```
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
-    let mut hier = Hierarchy::new(cfg.hierarchy);
-    let n_cbs = cfg.geometry.control_blocks();
-    let lat_model = cfg.scheme.latency_model();
-    let freq_scale = cfg.scheme.frequency_scale();
-
-    if cfg.warm_caches {
-        // Steady-state warming pass: stream the working set once, then
-        // clear the statistics so only the timed pass is reported.
-        for event in trace.events() {
-            if let Event::Memory { lines, write, .. } = event {
-                hier.vector_access(lines, *write, 0);
-            }
-        }
-        hier.reset_stats();
+    let mut sim = TimingSim::new(cfg.clone());
+    if sim.is_warming() {
+        trace.replay_into(&mut sim);
+        sim.start_timing();
     }
-    let mut t_core: u64 = 0;
-    if cfg.include_mode_switch {
-        t_core += hier.enable_compute_mode();
+    trace.replay_into(&mut sim);
+    sim.finish()
+}
+
+/// Simulates one trace under every configuration with a single warm pass
+/// and a single timed walk of the trace (via [`Fanout`]); returns reports
+/// in configuration order, each bit-identical to `simulate(trace, cfg)`.
+pub fn simulate_sweep(trace: &Trace, cfgs: &[SimConfig]) -> Vec<SimReport> {
+    let mut fan = Fanout::new(cfgs.iter().cloned());
+    if fan.is_warming() {
+        trace.replay_into(&mut fan);
+        fan.start_timing();
     }
-    let t_start = 0u64;
-
-    let mut cb_avail = vec![t_core; n_cbs];
-    let mut inflight: VecDeque<u64> = VecDeque::new();
-    let mut compute_intervals: Vec<(u64, u64)> = Vec::new();
-    let mut data_busy: u64 = 0;
-    let mut cb_busy: u64 = 0;
-    let mut energy = EnergyCounters::default();
-    let mut vec_instrs: u64 = 0;
-    let mut scalar_instrs: u64 = 0;
-
-    let issue_vec_instr = |t_core: &mut u64, inflight: &mut VecDeque<u64>| {
-        *t_core += cfg.issue_gap_cycles.max(1);
-        while inflight.front().is_some_and(|&c| c <= *t_core) {
-            inflight.pop_front();
-        }
-        if inflight.len() >= cfg.queue_entries {
-            if let Some(front) = inflight.pop_front() {
-                *t_core = (*t_core).max(front);
-            }
-        }
-    };
-
-    for event in trace.events() {
-        match event {
-            Event::Scalar { instrs } => {
-                scalar_instrs += instrs;
-                t_core += cfg.core.scalar_block_cycles(*instrs);
-            }
-            Event::Config { .. } => {
-                vec_instrs += 1;
-                energy.vector_instrs += 1;
-                issue_vec_instr(&mut t_core, &mut inflight);
-            }
-            Event::Compute {
-                alu,
-                dtype,
-                active_lanes,
-                cb_mask,
-                ..
-            } => {
-                vec_instrs += 1;
-                energy.vector_instrs += 1;
-                issue_vec_instr(&mut t_core, &mut inflight);
-                if *active_lanes == 0 {
-                    continue;
-                }
-                let bits = dtype.bits();
-                let engine_cycles = lat_model.op_latency(*alu, bits);
-                let scheme_lanes = cfg.scheme.lanes(&cfg.geometry, bits).max(1);
-                let passes = (*active_lanes as usize).div_ceil(scheme_lanes) as u64;
-                let dur = ((engine_cycles * passes) as f64 / freq_scale).ceil() as u64;
-
-                let mut completion = t_core;
-                let mut active_cbs = 0u64;
-                for cb in 0..n_cbs {
-                    if cb_mask >> cb & 1 == 1 {
-                        active_cbs += 1;
-                        let start = t_core.max(cb_avail[cb]);
-                        let end = start + dur;
-                        cb_avail[cb] = end;
-                        compute_intervals.push((start, end));
-                        cb_busy += dur;
-                        completion = completion.max(end);
-                    }
-                }
-                energy.array_active_cycles += active_cbs * cfg.geometry.arrays_per_cb as u64 * dur;
-                inflight.push_back(completion);
-            }
-            Event::Memory {
-                dtype,
-                active_lanes,
-                cb_mask,
-                lines,
-                write,
-                ..
-            } => {
-                vec_instrs += 1;
-                energy.vector_instrs += 1;
-                issue_vec_instr(&mut t_core, &mut inflight);
-                // A vector memory access blocks every CB (Section V-B);
-                // with PUMICE-style dispatch only the touched CBs stall.
-                let ready = if cfg.ooo_dispatch {
-                    (0..n_cbs)
-                        .filter(|cb| cb_mask >> cb & 1 == 1)
-                        .map(|cb| cb_avail[cb])
-                        .max()
-                        .unwrap_or(t_core)
-                } else {
-                    cb_avail.iter().copied().max().unwrap_or(t_core)
-                };
-                let start = t_core.max(ready);
-                let batch = hier.vector_access(lines, *write, start);
-                // The TMU streams only the access's active elements; a
-                // masked partial access fills proportionally fewer transpose
-                // columns per CB.
-                let active_cbs_for_tmu = (0..n_cbs)
-                    .filter(|cb| cb_mask >> cb & 1 == 1)
-                    .count()
-                    .max(1);
-                let elems_per_cb = (*active_lanes as usize)
-                    .div_ceil(active_cbs_for_tmu)
-                    .min(cfg.geometry.bitlines_per_cb())
-                    .max(1);
-                let tmu = TransposeMemoryUnit::transfer_cycles(
-                    elems_per_cb,
-                    cfg.scheme.tmu_drain_slices(dtype.bits()),
-                    cfg.xb_words_per_cycle,
-                );
-                let end = batch.done_at + tmu;
-                if cfg.ooo_dispatch {
-                    for cb in 0..n_cbs {
-                        if cb_mask >> cb & 1 == 1 {
-                            cb_avail[cb] = end;
-                        }
-                    }
-                } else {
-                    for avail in cb_avail.iter_mut() {
-                        *avail = end;
-                    }
-                }
-                data_busy += end - start;
-                let active_cbs = (0..n_cbs).filter(|cb| cb_mask >> cb & 1 == 1).count() as u64;
-                cb_busy += active_cbs * (end - start);
-                energy.tmu_element_transfers += u64::from(*active_lanes);
-                inflight.push_back(end);
-            }
-        }
-    }
-
-    let total_end = cb_avail.iter().copied().max().unwrap_or(t_core).max(t_core);
-    let total = total_end - t_start;
-    let compute = union_length(compute_intervals);
-    let idle = total.saturating_sub(compute + data_busy);
-
-    energy.scalar_instrs = scalar_instrs;
-    SimReport {
-        total_cycles: total,
-        compute_cycles: compute,
-        data_cycles: data_busy,
-        idle_cycles: idle,
-        cb_busy_cycles: cb_busy,
-        control_blocks: n_cbs as u64,
-        vector_instrs: vec_instrs,
-        scalar_instrs,
-        mem: hier.stats(),
-        energy,
-    }
+    trace.replay_into(&mut fan);
+    fan.finish()
 }
 
 #[cfg(test)]
@@ -369,13 +720,10 @@ mod tests {
     use crate::isa::StrideMode;
 
     fn quiet_cfg() -> SimConfig {
-        SimConfig {
-            include_mode_switch: false,
-            ..SimConfig::default()
-        }
+        SimConfig::default().without_mode_switch()
     }
 
-    fn small_kernel_trace(mul_count: usize) -> Trace {
+    pub(super) fn small_kernel_trace(mul_count: usize) -> Trace {
         let mut e = Engine::default_mobile();
         e.vsetdimc(1);
         e.vsetdiml(0, 8192);
@@ -393,11 +741,65 @@ mod tests {
         e.take_trace()
     }
 
+    /// Reference union for the property checks: the batch formulation the
+    /// online [`IntervalUnion`] replaced.
+    fn union_length_reference(mut iv: Vec<(u64, u64)>) -> u64 {
+        iv.sort_unstable();
+        let mut total = 0;
+        let mut cur: Option<(u64, u64)> = None;
+        for (s, e) in iv {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                    let _ = cs;
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
     #[test]
-    fn union_length_merges_overlaps() {
-        assert_eq!(union_length(vec![(0, 10), (5, 15), (20, 30)]), 25);
-        assert_eq!(union_length(vec![]), 0);
-        assert_eq!(union_length(vec![(3, 3)]), 0);
+    fn interval_union_matches_batch_reference() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![],
+            vec![(3, 3)],
+            vec![(0, 10), (5, 15), (20, 30)],
+            vec![(20, 30), (0, 10), (5, 15)],
+            vec![(0, 5), (5, 9)],            // touching merges
+            vec![(10, 20), (0, 4), (4, 10)], // touch chain out of order
+            vec![(0, 100), (10, 20), (30, 40), (150, 160), (90, 155)],
+        ];
+        for case in cases {
+            let mut u = IntervalUnion::default();
+            for &(s, e) in &case {
+                u.insert(s, e);
+            }
+            assert_eq!(
+                u.finish(),
+                union_length_reference(case.clone()),
+                "case {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_union_settles_without_changing_the_total() {
+        let mut u = IntervalUnion::default();
+        u.insert(0, 10);
+        u.insert(20, 30);
+        u.settle_before(15); // flushes (0,10)
+        assert_eq!(u.pending.len(), 1);
+        u.insert(25, 40);
+        u.insert(50, 60);
+        u.settle_before(45);
+        assert_eq!(u.pending.len(), 1);
+        assert_eq!(u.finish(), 10 + 20 + 10);
     }
 
     #[test]
@@ -431,13 +833,7 @@ mod tests {
     fn bit_parallel_needs_multiple_passes_but_less_latency() {
         let trace = small_kernel_trace(16);
         let bs = simulate(&trace, &quiet_cfg());
-        let bp = simulate(
-            &trace,
-            &SimConfig {
-                scheme: Scheme::BitParallel,
-                ..quiet_cfg()
-            },
-        );
+        let bp = simulate(&trace, &quiet_cfg().with_scheme(Scheme::BitParallel));
         // For 8192 32-bit lanes, BP runs 32 passes of a (n+5)/0.9-cycle mul;
         // BS runs 1 pass of n²+5n. BS still wins on throughput here.
         assert!(bp.total_cycles != bs.total_cycles);
@@ -465,13 +861,7 @@ mod tests {
     fn mode_switch_adds_cycles_only_when_dirty() {
         let trace = small_kernel_trace(2);
         let without = simulate(&trace, &quiet_cfg());
-        let with = simulate(
-            &trace,
-            &SimConfig {
-                include_mode_switch: true,
-                ..quiet_cfg()
-            },
-        );
+        let with = simulate(&trace, &SimConfig::default());
         // A fresh hierarchy has no dirty lines, so the flush is free.
         assert_eq!(without.total_cycles, with.total_cycles);
     }
@@ -556,6 +946,223 @@ mod tests {
 }
 
 #[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::dtype::{CmpOp, DType};
+    use crate::engine::Engine;
+    use crate::isa::{Opcode, StrideMode};
+    use mve_insram::AluOp;
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig::default().without_mode_switch()
+    }
+
+    /// Satellite regression (ISSUE 3): a fully-masked vector memory access
+    /// streams no elements through the TMU and touches no lines — the old
+    /// `elems_per_cb …  .max(1)` charged at least one element transfer per
+    /// CB. Mirrors PR 2's predicated-store line-accounting fix at the
+    /// timing layer.
+    #[test]
+    fn fully_masked_memory_access_charges_nothing() {
+        let mut t = Trace::new();
+        t.push(Event::Memory {
+            opcode: Opcode::StridedStore,
+            dtype: DType::I32,
+            active_lanes: 0,
+            cb_mask: 0,
+            lines: vec![],
+            write: true,
+        });
+        let r = simulate(&t, &quiet_cfg());
+        assert_eq!(r.vector_instrs, 1, "the instruction still issues");
+        assert_eq!(r.data_cycles, 0, "nothing is in flight");
+        assert_eq!(r.energy.tmu_element_transfers, 0);
+        assert_eq!(r.mem.vector_lines_written, 0);
+    }
+
+    /// The engine-level mirror: predication that passes zero lanes emits a
+    /// store event the simulator now times as free (beyond its issue slot).
+    #[test]
+    fn predicated_store_with_no_active_lanes_is_free() {
+        let build = |with_store: bool| {
+            let mut e = Engine::default_mobile();
+            e.vsetdimc(1);
+            e.vsetdiml(0, 32);
+            let a = e.mem_alloc_typed::<i32>(32);
+            let vals: Vec<i32> = (0..32).collect();
+            e.mem_fill(a, &vals);
+            let v = e.vsld_dw(a, &[StrideMode::One]);
+            let thr = e.vsetdup_dw(100);
+            e.compare(CmpOp::Gt, v, thr); // nothing exceeds 100 → empty Tag
+            if with_store {
+                e.set_predication(true);
+                let out = e.mem_alloc_typed::<i32>(32);
+                e.store(v, out, &[StrideMode::One]);
+                e.set_predication(false);
+            }
+            e.take_trace()
+        };
+        let with = build(true);
+        match with.events().last().expect("store event") {
+            Event::Memory {
+                active_lanes,
+                lines,
+                write: true,
+                ..
+            } => {
+                assert_eq!(*active_lanes, 0);
+                assert!(lines.is_empty());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let cfg = quiet_cfg().without_cache_warming();
+        let r_with = simulate(&with, &cfg);
+        let r_without = simulate(&build(false), &cfg);
+        assert_eq!(r_with.data_cycles, r_without.data_cycles);
+        assert_eq!(
+            r_with.energy.tmu_element_transfers,
+            r_without.energy.tmu_element_transfers
+        );
+        // The dead store still occupies at most its issue slot (which may
+        // hide entirely under the in-flight compute tail), nothing more.
+        assert!(
+            r_with.total_cycles - r_without.total_cycles <= cfg.issue_gap_cycles,
+            "dead store cost {} vs {}",
+            r_with.total_cycles,
+            r_without.total_cycles
+        );
+    }
+
+    /// A partially-masked access must keep charging transfers (the fix only
+    /// exempts the fully-masked case).
+    #[test]
+    fn partially_masked_access_still_charges_transfers() {
+        let mut t = Trace::new();
+        t.push(Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype: DType::I32,
+            active_lanes: 16,
+            cb_mask: 1,
+            lines: vec![1],
+            write: false,
+        });
+        let r = simulate(&t, &quiet_cfg());
+        assert!(r.data_cycles > 0);
+        assert_eq!(r.energy.tmu_element_transfers, 16);
+    }
+
+    /// Streaming a trace event-by-event into a [`TimingSim`] is
+    /// bit-identical to the batch wrapper, warm or cold.
+    #[test]
+    fn streaming_matches_batch_simulate() {
+        let trace = super::tests::small_kernel_trace(12);
+        for cfg in [
+            SimConfig::default(),
+            quiet_cfg(),
+            SimConfig::default().without_cache_warming(),
+            quiet_cfg().with_scheme(Scheme::BitParallel),
+            quiet_cfg().with_ooo_dispatch(),
+        ] {
+            let batch = simulate(&trace, &cfg);
+            let mut sim = TimingSim::new(cfg.clone());
+            if sim.is_warming() {
+                for event in trace.events() {
+                    sim.on_event(event);
+                }
+                sim.start_timing();
+            }
+            for event in trace.events() {
+                sim.on_event(event);
+            }
+            assert_eq!(sim.finish(), batch);
+        }
+    }
+
+    /// A live engine streaming into a `TimingSim` (two deterministic runs
+    /// for the warm + timed phases) matches batch capture + replay.
+    #[test]
+    fn live_engine_stream_matches_captured_trace() {
+        fn program(e: &mut Engine) {
+            e.vsetdimc(1);
+            e.vsetdiml(0, 4096);
+            let a = e.mem_alloc_typed::<i32>(4096);
+            let v = e.vsld_dw(a, &[StrideMode::One]);
+            e.scalar(7);
+            e.scalar(5); // consecutive scalars: sinks must coalesce like Trace
+            let w = e.vmul_dw(v, v);
+            let o = e.mem_alloc_typed::<i32>(4096);
+            e.vsst_dw(w, o, &[StrideMode::One]);
+        }
+        let cfg = SimConfig::default();
+        // Batch: capture, then simulate.
+        let mut e = Engine::default_mobile();
+        program(&mut e);
+        let batch = simulate(&e.take_trace(), &cfg);
+        // Streaming: warm phase run, then timed run (fresh engines are
+        // deterministic, so both passes see the same event stream).
+        let mut warm_engine = Engine::default_mobile();
+        let ((), mut sim) = warm_engine.with_sink(TimingSim::new(cfg), program);
+        sim.start_timing();
+        let mut timed_engine = Engine::default_mobile();
+        let ((), sim) = timed_engine.with_sink(sim, program);
+        assert_eq!(sim.finish(), batch);
+    }
+
+    /// The fanout produces, per configuration, exactly what independent
+    /// batch runs produce — including the shared-warm-leader path (equal
+    /// hierarchies) and a non-warming member.
+    #[test]
+    fn fanout_sweep_matches_independent_simulations() {
+        let trace = super::tests::small_kernel_trace(6);
+        let cfgs = vec![
+            SimConfig::default(),
+            SimConfig::default().with_scheme(Scheme::BitParallel),
+            SimConfig::default().with_ooo_dispatch(),
+            SimConfig::default().without_cache_warming(),
+            quiet_cfg().with_scheme(Scheme::BitHybrid),
+        ];
+        let swept = simulate_sweep(&trace, &cfgs);
+        assert_eq!(swept.len(), cfgs.len());
+        for (cfg, got) in cfgs.iter().zip(&swept) {
+            assert_eq!(*got, simulate(&trace, cfg));
+        }
+    }
+
+    /// The streaming state stays bounded by the configuration (Instruction-Q
+    /// + CBs), not the stream length — the O(1)-memory property.
+    #[test]
+    fn resident_state_is_bounded_on_long_streams() {
+        let cfg = quiet_cfg().without_cache_warming();
+        let bound = cfg.queue_entries + cfg.geometry.control_blocks() + 1;
+        let mut sim = TimingSim::new(cfg);
+        let compute = Event::Compute {
+            opcode: Opcode::Add,
+            alu: AluOp::Add,
+            dtype: DType::I32,
+            active_lanes: 8192,
+            cb_mask: 0xFF,
+        };
+        for i in 0..50_000u64 {
+            sim.on_event(&compute);
+            if i % 5 == 0 {
+                sim.on_event(&Event::Scalar { instrs: 13 });
+            }
+            assert!(
+                sim.resident_intervals() <= bound,
+                "unbounded interval buffer at event {i}: {}",
+                sim.resident_intervals()
+            );
+        }
+        let r = sim.finish();
+        assert_eq!(r.vector_instrs, 50_000);
+        assert_eq!(
+            r.compute_cycles + r.data_cycles + r.idle_cycles,
+            r.total_cycles
+        );
+    }
+}
+
+#[cfg(test)]
 mod pumice_tests {
     use super::*;
     use crate::engine::Engine;
@@ -592,21 +1199,17 @@ mod pumice_tests {
             e.vresetmask();
         }
         let trace = e.take_trace();
-        let base = simulate(
+        // One trace walk, both dispatch models.
+        let reports = simulate_sweep(
             &trace,
-            &SimConfig {
-                include_mode_switch: false,
-                ..SimConfig::default()
-            },
+            &[
+                SimConfig::default().without_mode_switch(),
+                SimConfig::default()
+                    .without_mode_switch()
+                    .with_ooo_dispatch(),
+            ],
         );
-        let pumice = simulate(
-            &trace,
-            &SimConfig {
-                include_mode_switch: false,
-                ooo_dispatch: true,
-                ..SimConfig::default()
-            },
-        );
+        let (base, pumice) = (&reports[0], &reports[1]);
         assert!(
             pumice.total_cycles <= base.total_cycles,
             "PUMICE {} must not exceed baseline {}",

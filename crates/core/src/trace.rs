@@ -9,6 +9,70 @@ use crate::dtype::DType;
 use crate::isa::{OpClass, Opcode};
 use mve_insram::AluOp;
 
+/// A consumer of dynamic trace events.
+///
+/// The functional [`crate::engine::Engine`] emits every event it executes
+/// into a sink. The default sink is an owned [`Trace`] (batch capture, as
+/// the paper artifact's DynamoRIO traces), but any consumer can be attached
+/// with [`crate::engine::Engine::with_sink`] — most importantly the
+/// incremental [`crate::sim::TimingSim`], which consumes events online so
+/// trace production and timing simulation fuse into one streaming pass with
+/// memory independent of trace length (see DESIGN.md, "Streaming
+/// pipeline").
+///
+/// Sinks receive events **uncoalesced**: consecutive [`Event::Scalar`]
+/// blocks arrive as emitted ([`Trace::push`] coalesces on ingest, and
+/// [`crate::sim::TimingSim`] coalesces internally, so both observe the same
+/// semantics either way).
+///
+/// `Any + Debug` bounds let the engine hand a sink back to its concrete
+/// type after a streamed run and keep the engine itself debuggable.
+pub trait TraceSink: std::any::Any + std::fmt::Debug {
+    /// Consumes one dynamic event as the engine produces it.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// Batch capture: appending to a [`Trace`] is the default sink.
+impl TraceSink for Trace {
+    fn on_event(&mut self, event: &Event) {
+        self.push(event.clone());
+    }
+}
+
+/// An O(1)-memory sink that maintains the Figure 11 instruction-mix
+/// buckets without storing any events — the streaming replacement for
+/// materializing a [`Trace`] when only [`Trace::instr_mix`] is needed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    events: u64,
+    mix: InstrMix,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raw events observed (uncoalesced).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The Figure 11 buckets, identical to the `instr_mix()` of a [`Trace`]
+    /// capturing the same stream.
+    pub fn mix(&self) -> InstrMix {
+        self.mix
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn on_event(&mut self, event: &Event) {
+        self.events += 1;
+        self.mix.count(event);
+    }
+}
+
 /// One dynamic trace event.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -85,6 +149,21 @@ impl InstrMix {
     pub fn vector_total(&self) -> u64 {
         self.config + self.moves + self.mem_access + self.arithmetic
     }
+
+    /// Accounts one event into its Figure 11 bucket.
+    pub fn count(&mut self, event: &Event) {
+        match event.op_class() {
+            Some(OpClass::Config) => self.config += 1,
+            Some(OpClass::Move) => self.moves += 1,
+            Some(OpClass::MemAccess) => self.mem_access += 1,
+            Some(OpClass::Arithmetic) => self.arithmetic += 1,
+            None => {
+                if let Event::Scalar { instrs } = event {
+                    self.scalar += instrs;
+                }
+            }
+        }
+    }
 }
 
 /// A dynamic instruction trace.
@@ -104,17 +183,7 @@ impl Trace {
 
     /// Appends an event. Consecutive scalar blocks are coalesced.
     pub fn push(&mut self, event: Event) {
-        match event.op_class() {
-            Some(OpClass::Config) => self.mix.config += 1,
-            Some(OpClass::Move) => self.mix.moves += 1,
-            Some(OpClass::MemAccess) => self.mix.mem_access += 1,
-            Some(OpClass::Arithmetic) => self.mix.arithmetic += 1,
-            None => {
-                if let Event::Scalar { instrs } = &event {
-                    self.mix.scalar += instrs;
-                }
-            }
-        }
+        self.mix.count(&event);
         if let (Some(Event::Scalar { instrs: last }), Event::Scalar { instrs }) =
             (self.events.last_mut(), &event)
         {
@@ -127,6 +196,15 @@ impl Trace {
     /// The recorded events.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Streams every recorded event into a sink, in order — the bridge
+    /// from batch capture to the streaming consumers (a captured trace can
+    /// be replayed into a [`crate::sim::TimingSim`] or fanned out to many).
+    pub fn replay_into<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        for event in &self.events {
+            sink.on_event(event);
+        }
     }
 
     /// Number of events (after coalescing).

@@ -6,7 +6,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::line_of;
 
 /// Configuration of the whole hierarchy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache.
     pub l1d: CacheConfig,
@@ -30,7 +30,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Aggregate statistics across the hierarchy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Scalar-path L1 hits.
     pub l1_hits: u64,

@@ -68,13 +68,7 @@ fn cold_caches_cost_more_than_warm() {
     };
     let trace = build();
     let warm = simulate(&trace, &SimConfig::default());
-    let cold = simulate(
-        &trace,
-        &SimConfig {
-            warm_caches: false,
-            ..SimConfig::default()
-        },
-    );
+    let cold = simulate(&trace, &SimConfig::default().without_cache_warming());
     assert!(
         cold.total_cycles > warm.total_cycles,
         "cold {} must exceed warm {}",

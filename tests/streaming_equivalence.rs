@@ -1,0 +1,103 @@
+//! Integration guarantee for the ISSUE-3 streaming pipeline: over the real
+//! artefact workloads (every kernel of the 44-kernel suite, under every
+//! simulator configuration the 16 reproduce artefacts use), the streaming
+//! [`TimingSim`] and the [`Fanout`] sweep report **bit-identically** to the
+//! batch [`simulate`] wrapper. Together with CI's `reproduce --smoke
+//! --jobs` diff against the serial run, this pins the smoke artefacts to
+//! the streaming rewrite.
+
+use mve_core::sim::{simulate, simulate_sweep, SimConfig, TimingSim};
+use mve_core::trace::Trace;
+use mve_insram::Scheme;
+use mve_kernels::registry::{all_kernels, selected_kernels};
+use mve_kernels::Scale;
+
+/// Streams `trace` through a fresh `TimingSim` (two-phase when warming)
+/// exactly as a sink-driven consumer would.
+fn stream(trace: &Trace, cfg: &SimConfig) -> mve_core::sim::SimReport {
+    let mut sim = TimingSim::new(cfg.clone());
+    if sim.is_warming() {
+        trace.replay_into(&mut sim);
+        sim.start_timing();
+    }
+    trace.replay_into(&mut sim);
+    sim.finish()
+}
+
+/// Every simulator configuration the artefact harness exercises: the
+/// Table IV default (fig 7/8/9/10/11/12a/12c), the four-scheme sweep
+/// (fig 13), the array sweep (fig 12b), PUMICE dispatch (ext_pumice), and
+/// the quiet ablation config.
+fn artefact_configs() -> Vec<SimConfig> {
+    let mut cfgs = vec![SimConfig::default()];
+    cfgs.extend(
+        Scheme::ALL
+            .iter()
+            .map(|&s| SimConfig::default().with_scheme(s)),
+    );
+    cfgs.extend(
+        [8usize, 16, 64]
+            .iter()
+            .map(|&a| SimConfig::default().with_arrays(a)),
+    );
+    cfgs.push(SimConfig::default().with_ooo_dispatch());
+    cfgs.push(SimConfig::default().without_mode_switch());
+    cfgs
+}
+
+#[test]
+fn every_kernel_streams_bit_identically_to_batch() {
+    for k in all_kernels() {
+        let run = k.run_mve(Scale::Test);
+        assert!(run.checked.ok(), "{}: functional mismatch", k.info().name);
+        let cfg = SimConfig::default();
+        let batch = simulate(&run.trace, &cfg);
+        assert_eq!(
+            stream(&run.trace, &cfg),
+            batch,
+            "{}: streaming diverged from batch",
+            k.info().name
+        );
+    }
+}
+
+#[test]
+fn artefact_config_sweep_matches_per_config_simulation() {
+    let cfgs = artefact_configs();
+    for k in selected_kernels() {
+        let run = k.run_mve(Scale::Test);
+        assert!(run.checked.ok(), "{}", k.info().name);
+        let swept = simulate_sweep(&run.trace, &cfgs);
+        for (cfg, got) in cfgs.iter().zip(&swept) {
+            let batch = simulate(&run.trace, cfg);
+            assert_eq!(
+                *got,
+                batch,
+                "{}: fanout diverged from batch (scheme {:?}, arrays {}, ooo {})",
+                k.info().name,
+                cfg.scheme,
+                cfg.geometry.arrays,
+                cfg.ooo_dispatch
+            );
+        }
+    }
+}
+
+#[test]
+fn rvv_traces_stream_bit_identically_too() {
+    for k in selected_kernels() {
+        let run = k.run_rvv(Scale::Test).expect("selected kernels have RVV");
+        assert!(run.checked.ok(), "{}", k.info().name);
+        for cfg in [
+            SimConfig::default(),
+            SimConfig::default().with_scheme(Scheme::BitHybrid),
+        ] {
+            assert_eq!(
+                stream(&run.trace, &cfg),
+                simulate(&run.trace, &cfg),
+                "{}: RVV streaming diverged",
+                k.info().name
+            );
+        }
+    }
+}
