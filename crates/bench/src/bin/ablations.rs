@@ -1,44 +1,11 @@
-//! Runs the four design-choice ablations of DESIGN.md.
+//! Regenerates the four design-choice ablations of DESIGN.md (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::ablations::*;
+use mve_bench::artefacts;
 
 fn main() {
-    let m = mask_ablation();
-    println!("Ablation 1 — dimension-level masking vs predicate emulation");
-    println!(
-        "  dim-level: {} cycles / {} vec instrs;  predicate: {} cycles / {} vec instrs  ({:.1}x win)",
-        m.dim_level_cycles,
-        m.dim_level_instrs,
-        m.predicate_cycles,
-        m.predicate_instrs,
-        m.predicate_cycles as f64 / m.dim_level_cycles as f64
-    );
-
-    let s = stride_ablation();
-    println!("Ablation 2 — 2-bit stride modes vs CR-only strides");
-    println!(
-        "  modes: {} config instrs / {} cycles;  CR-only: {} config instrs / {} cycles",
-        s.mode_config_instrs, s.mode_cycles, s.cr_config_instrs, s.cr_cycles
-    );
-
-    println!("Ablation 3 — control-block granularity (arrays per FSM)");
-    println!(
-        "{:>12} {:>14} {:>10}",
-        "arrays/CB", "FSM area mm2", "cycles"
-    );
-    for r in cb_ablation() {
-        println!(
-            "{:>12} {:>14.4} {:>10}",
-            r.arrays_per_cb, r.fsm_area_mm2, r.cycles
-        );
-    }
-
-    let f = flush_ablation();
-    println!("Ablation 4 — compute-mode switch flush cost");
-    println!(
-        "  flush {} cycles vs kernel {} cycles = {:.2}% (paper: < 2%)",
-        f.flush_cycles,
-        f.kernel_cycles,
-        f.overhead() * 100.0
+    print!(
+        "{}",
+        artefacts::render("ablations", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

@@ -1,41 +1,11 @@
-//! Regenerates Figure 10: execution time of MVE vs an RVV-style 1-D ISA on
-//! the same bit-serial in-cache engine.
+//! Regenerates Figure 10: execution time of MVE vs an RVV-style 1-D ISA (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::{figures, pct};
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig10_11(scale);
-    println!("Figure 10 — MVE vs RVV execution time (normalized to RVV)");
-    println!(
-        "{:<8} {:>8} {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
-        "Kernel", "MVE/RVV", "m.idle", "m.comp", "m.data", "r.idle", "r.comp", "r.data"
-    );
-    let mut ratios = Vec::new();
-    for r in &rows {
-        let frac = r.mve.total_cycles as f64 / r.rvv.total_cycles as f64;
-        ratios.push(1.0 / frac);
-        let (mi, mc, md) = r.mve.breakdown();
-        let (ri, rc, rd) = r.rvv.breakdown();
-        println!(
-            "{:<8} {:>8} {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
-            r.name,
-            pct(frac),
-            pct(mi),
-            pct(mc),
-            pct(md),
-            pct(ri),
-            pct(rc),
-            pct(rd)
-        );
-    }
-    println!(
-        "AVG speedup {:.2}x (paper 2.0x)",
-        mve_bench::geomean(&ratios)
+    print!(
+        "{}",
+        artefacts::render("fig10", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

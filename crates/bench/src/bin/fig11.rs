@@ -1,43 +1,11 @@
-//! Regenerates Figure 11: dynamic vector-instruction distribution and scalar
-//! instruction counts, MVE vs RVV.
+//! Regenerates Figure 11: dynamic instruction mix, MVE vs RVV (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::figures;
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig10_11(scale);
-    println!("Figure 11 — dynamic instruction mix (vector) and scalar counts");
-    println!(
-        "{:<8} {:<4} {:>8} {:>6} {:>6} {:>7} {:>9} | {:>9}",
-        "Kernel", "ISA", "Config", "Move", "Mem", "Arith", "VecTotal", "Scalar"
-    );
-    let mut vec_ratio = Vec::new();
-    let mut sca_ratio = Vec::new();
-    for r in &rows {
-        for (isa, m) in [("MVE", &r.mve_mix), ("RVV", &r.rvv_mix)] {
-            println!(
-                "{:<8} {:<4} {:>8} {:>6} {:>6} {:>7} {:>9} | {:>9}",
-                r.name,
-                isa,
-                m.config,
-                m.moves,
-                m.mem_access,
-                m.arithmetic,
-                m.vector_total(),
-                m.scalar
-            );
-        }
-        vec_ratio.push(r.rvv_mix.vector_total() as f64 / r.mve_mix.vector_total().max(1) as f64);
-        sca_ratio.push(r.rvv_mix.scalar as f64 / r.mve_mix.scalar.max(1) as f64);
-    }
-    println!(
-        "AVG: RVV/MVE vector instrs {:.2}x (paper 2.3x), scalar instrs {:.2}x (paper 2.0x)",
-        mve_bench::geomean(&vec_ratio),
-        mve_bench::geomean(&sca_ratio)
+    print!(
+        "{}",
+        artefacts::render("fig11", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

@@ -1,37 +1,11 @@
-//! Regenerates Figure 12(a): MVE vs the Duality Cache SIMT model.
+//! Regenerates Figure 12(a): MVE vs the Duality Cache SIMT model (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::figures;
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig12a(scale);
-    println!("Figure 12(a) — Duality Cache (SIMT) vs MVE execution breakdown");
-    println!(
-        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "Kernel", "DC ctrl", "DC addr", "DC arith", "DC data", "DC total", "DC/MVE"
-    );
-    let mut ratios = Vec::new();
-    for r in &rows {
-        let ratio = r.dc.total_cycles() as f64 / r.mve.total_cycles as f64;
-        ratios.push(ratio);
-        println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8.2}",
-            r.name,
-            r.dc.control_cycles,
-            r.dc.addr_cycles,
-            r.dc.arith_cycles,
-            r.dc.data_cycles,
-            r.dc.total_cycles(),
-            ratio
-        );
-    }
-    println!(
-        "AVG DC/MVE {:.2}x (paper 1.5x)",
-        mve_bench::geomean(&ratios)
+    print!(
+        "{}",
+        artefacts::render("fig12a", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

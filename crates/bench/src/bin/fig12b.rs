@@ -1,39 +1,11 @@
-//! Regenerates Figure 12(b): performance scalability with the SRAM array
-//! count (8 -> 64).
+//! Regenerates Figure 12(b): performance scalability with the SRAM array count (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::figures;
-use mve_kernels::Scale;
-use std::collections::BTreeMap;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig12b(scale);
-    println!("Figure 12(b) — execution time normalized to 8 SRAM arrays");
-    let mut by_kernel: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
-    for r in &rows {
-        by_kernel
-            .entry(r.name)
-            .or_default()
-            .insert(r.arrays, r.cycles);
-    }
-    println!(
-        "{:<8} {:>8} {:>8} {:>8} {:>8}",
-        "Kernel", "8", "16", "32", "64"
+    print!(
+        "{}",
+        artefacts::render("fig12b", artefacts::scale_from_args()).expect("registered artefact")
     );
-    for (name, cols) in &by_kernel {
-        let base = cols[&8] as f64;
-        println!(
-            "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            name,
-            1.0,
-            base / cols[&16] as f64,
-            base / cols[&32] as f64,
-            base / cols[&64] as f64,
-        );
-    }
-    println!("(paper: 8x more arrays gives 3.0x (SpMM) to 6.7x (FIR-L) speedup)");
 }

@@ -1,41 +1,11 @@
-//! Regenerates Figure 12(c): sensitivity to bit precision (and the ratio to
-//! Neon on the secondary axis).
+//! Regenerates Figure 12(c): sensitivity to bit precision (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::{figures, pct};
-use mve_kernels::Scale;
-use std::collections::BTreeMap;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig12c(scale);
-    println!("Figure 12(c) — execution time normalized to F32, and Neon/MVE speedup");
-    println!(
-        "{:<8} {:<5} {:>9} {:>8} {:>9} {:>7} {:>10}",
-        "Kernel", "Prec", "Time/F32", "Idle", "Compute", "Data", "Neon/MVE"
+    print!(
+        "{}",
+        artefacts::render("fig12c", artefacts::scale_from_args()).expect("registered artefact")
     );
-    let mut f32_base: BTreeMap<&str, u64> = BTreeMap::new();
-    for r in &rows {
-        if r.precision.label() == "F32" {
-            f32_base.insert(r.name, r.report.total_cycles);
-        }
-    }
-    for r in &rows {
-        let base = f32_base[r.name] as f64;
-        let (i, c, d) = r.report.breakdown();
-        println!(
-            "{:<8} {:<5} {:>9.3} {:>8} {:>9} {:>7} {:>10.2}",
-            r.name,
-            r.precision.label(),
-            r.report.total_cycles as f64 / base,
-            pct(i),
-            pct(c),
-            pct(d),
-            r.neon_cycles as f64 / r.report.total_cycles as f64
-        );
-    }
-    println!("(paper: lower precision helps MVE quadratically, Neon only linearly)");
 }

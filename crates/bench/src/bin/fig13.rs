@@ -1,33 +1,11 @@
-//! Regenerates Figure 13: MVE vs RVV across the four in-SRAM computing
-//! schemes (BS / BH / BP / AC).
+//! Regenerates Figure 13: MVE vs RVV across the four in-SRAM computing schemes (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::{figures, pct};
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig13(scale);
-    println!("Figure 13 — MVE speedup over RVV per in-SRAM scheme");
-    println!(
-        "{:<6} {:>9} {:>10} {:>10} | MVE breakdown (idle/comp/data)",
-        "Scheme", "Speedup", "MVE util", "RVV util"
+    print!(
+        "{}",
+        artefacts::render("fig13", artefacts::scale_from_args()).expect("registered artefact")
     );
-    for r in &rows {
-        let (i, c, d) = r.mve_breakdown;
-        println!(
-            "{:<6} {:>8.2}x {:>10} {:>10} | {} {} {}",
-            r.scheme.short_name(),
-            r.speedup,
-            pct(r.mve_util),
-            pct(r.rvv_util),
-            pct(i),
-            pct(c),
-            pct(d)
-        );
-    }
-    println!("(paper: BS 3.8x, BH 2.8x, BP 1.8x, AC 1.2x; BS util 23% -> 60%)");
 }

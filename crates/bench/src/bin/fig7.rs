@@ -1,58 +1,11 @@
-//! Regenerates Figure 7: MVE vs Arm Neon execution time and energy, per
-//! library, with the idle/compute/data-access breakdown.
+//! Regenerates Figure 7: MVE vs Arm Neon execution time and energy (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::{figures, pct};
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let (rows, avg) = figures::fig7(scale);
-    println!("Figure 7(a) — MVE/Neon execution time (%), breakdown of MVE time");
-    println!(
-        "{:<14} {:>10} {:>8} {:>9} {:>7}",
-        "Library", "Time %", "Idle", "Compute", "Data"
+    print!(
+        "{}",
+        artefacts::render("fig7", artefacts::scale_from_args()).expect("registered artefact")
     );
-    for r in &rows {
-        println!(
-            "{:<14} {:>10} {:>8} {:>9} {:>7}",
-            r.library.name(),
-            pct(r.time_frac),
-            pct(r.breakdown.0),
-            pct(r.breakdown.1),
-            pct(r.breakdown.2)
-        );
-    }
-    println!(
-        "{:<14} {:>10}   (paper: 34.5% => 2.9x speedup)",
-        "Average",
-        pct(avg.time_frac)
-    );
-    println!("  measured speedup: {:.2}x", 1.0 / avg.time_frac);
-
-    println!();
-    println!("Figure 7(b) — MVE/Neon energy (%)");
-    println!(
-        "{:<14} {:>10} {:>9} {:>8} {:>7}",
-        "Library", "Energy %", "Compute", "Data", "CPU"
-    );
-    for r in &rows {
-        println!(
-            "{:<14} {:>10} {:>9} {:>8} {:>7}",
-            r.library.name(),
-            pct(r.energy_frac),
-            pct(r.energy_split.0),
-            pct(r.energy_split.1),
-            pct(r.energy_split.2)
-        );
-    }
-    println!(
-        "{:<14} {:>10}   (paper: 11.4% => 8.8x reduction)",
-        "Average",
-        pct(avg.energy_frac)
-    );
-    println!("  measured reduction: {:.2}x", 1.0 / avg.energy_frac);
 }

@@ -1,34 +1,11 @@
-//! Regenerates Figure 8: GPU (Adreno-640 class) time and energy normalized
-//! to MVE, split into kernel execution and data transfer.
+//! Regenerates Figure 8: GPU time and energy normalized to MVE (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::figures;
-use mve_kernels::Scale;
+use mve_bench::artefacts;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Paper
-    };
-    let rows = figures::fig8(scale);
-    println!("Figure 8 — GPU/MVE normalized execution time and energy");
-    println!(
-        "{:<8} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "Kernel", "GPU exec us", "GPU xfer us", "MVE us", "Time x", "Energy x"
-    );
-    let mut time_ratios = Vec::new();
-    let mut energy_ratios = Vec::new();
-    for r in &rows {
-        println!(
-            "{:<8} {:>12.1} {:>12.1} {:>10.1} {:>10.2} {:>10.2}",
-            r.name, r.gpu_kernel_us, r.gpu_transfer_us, r.mve_us, r.time_ratio, r.energy_ratio
-        );
-        time_ratios.push(r.time_ratio);
-        energy_ratios.push(r.energy_ratio);
-    }
-    println!(
-        "AVG time {:.2}x (paper 9.3x)   energy {:.2}x (paper 5.2x)",
-        mve_bench::geomean(&time_ratios),
-        mve_bench::geomean(&energy_ratios)
+    print!(
+        "{}",
+        artefacts::render("fig8", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

@@ -1,29 +1,11 @@
-//! Regenerates Figure 9: GEMM and SpMM execution time vs operation count
-//! for MVE and the GPU, with the crossover points.
+//! Regenerates Figure 9: GEMM/SpMM time vs operation count with crossover points (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_bench::figures;
+use mve_bench::artefacts;
 
 fn main() {
-    for (name, rows, paper) in [
-        ("GEMM", figures::fig9_gemm(), 6.0e6),
-        ("SpMM", figures::fig9_spmm(), 4.6e6),
-    ] {
-        println!("Figure 9 — {name} execution time vs FLOPs");
-        println!("{:>12} {:>12} {:>12}", "FLOPs", "GPU us", "MVE us");
-        for r in &rows {
-            println!("{:>12} {:>12.1} {:>12.1}", r.flops, r.gpu_us, r.mve_us);
-        }
-        match figures::crossover_flops(&rows) {
-            Some(x) => println!(
-                "crossover at {:.2}M FLOPs (paper ~{:.1}M)",
-                x / 1e6,
-                paper / 1e6
-            ),
-            None => println!(
-                "MVE wins across the sweep (paper crossover ~{:.1}M)",
-                paper / 1e6
-            ),
-        }
-        println!();
-    }
+    print!(
+        "{}",
+        artefacts::render("fig9", artefacts::scale_from_args()).expect("registered artefact")
+    );
 }

@@ -1,0 +1,144 @@
+//! `mve-client`: drives a running `serve` daemon.
+//!
+//! ```text
+//! mve-client [--port N] --replay-smoke DIR     # full 16-artefact smoke set
+//! mve-client [--port N] artefact NAME [--paper]
+//! mve-client [--port N] sim KERNEL [--paper] [--scheme BS|BH|BP|AC]
+//!            [--arrays N] [--ooo] [--no-mode-switch] [--no-cache-warming]
+//! mve-client [--port N] stats
+//! mve-client [--port N] shutdown
+//! ```
+//!
+//! `--replay-smoke` renders every artefact at test scale through the
+//! server and writes `DIR/<name>.txt` — CI diffs that tree byte-for-byte
+//! against `reproduce --smoke`.
+
+use mve_bench::artefacts;
+use mve_insram::Scheme;
+use mve_kernels::Scale;
+use mve_serve::client::{replay_artefacts, Client};
+use mve_serve::SimSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mve-client [--port N] (--replay-smoke DIR | artefact NAME [--paper] | \
+         sim KERNEL [--paper] [--scheme S] [--arrays N] [--ooo] [--no-mode-switch] \
+         [--no-cache-warming] | stats | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("mve-client: {e}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut port: u16 = 7878;
+    let mut replay_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                port = v;
+                args.drain(i..=i + 1);
+            }
+            "--replay-smoke" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                replay_dir = Some(dir.clone());
+                args.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    let addr = ("127.0.0.1", port);
+
+    if let Some(dir) = replay_dir {
+        let written = replay_artefacts(
+            addr,
+            &artefacts::NAMES,
+            Scale::Test,
+            std::path::Path::new(&dir),
+        )
+        .unwrap_or_else(|e| fail(e));
+        for (name, bytes) in &written {
+            eprintln!("  {dir}/{name}.txt ({bytes} bytes)");
+        }
+        println!("replayed {} artefacts into {dir}/", written.len());
+        return;
+    }
+
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    match args.first().map(String::as_str) {
+        Some("artefact") => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let text = client.artefact(name, scale).unwrap_or_else(|e| fail(e));
+            print!("{text}");
+        }
+        Some("sim") => {
+            let Some(kernel) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let mut spec = SimSpec::default();
+            let mut j = 2;
+            while j < args.len() {
+                match args[j].as_str() {
+                    "--paper" => j += 1,
+                    "--ooo" => {
+                        spec.ooo_dispatch = true;
+                        j += 1;
+                    }
+                    "--no-mode-switch" => {
+                        spec.mode_switch = false;
+                        j += 1;
+                    }
+                    "--no-cache-warming" => {
+                        spec.cache_warming = false;
+                        j += 1;
+                    }
+                    "--scheme" => {
+                        let scheme = args.get(j + 1).and_then(|name| {
+                            Scheme::ALL.iter().copied().find(|s| s.short_name() == name)
+                        });
+                        let Some(scheme) = scheme else { usage() };
+                        spec.scheme = scheme;
+                        j += 2;
+                    }
+                    "--arrays" => {
+                        let Some(v) = args.get(j + 1).and_then(|v| v.parse().ok()) else {
+                            usage()
+                        };
+                        spec.arrays = Some(v);
+                        j += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let report = client.sim(kernel, scale, spec).unwrap_or_else(|e| fail(e));
+            println!("{}", report.encode());
+        }
+        Some("stats") => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let stats = client.stats().unwrap_or_else(|e| fail(e));
+            println!("{}", stats.encode());
+        }
+        Some("shutdown") => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("server shutting down");
+        }
+        _ => usage(),
+    }
+}

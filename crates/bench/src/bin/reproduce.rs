@@ -1,45 +1,33 @@
 //! One-shot reproduction: regenerates every table, figure and ablation into
-//! `results/` (paper scale). Equivalent to running each binary manually.
+//! `results/` (paper scale) through the shared artefact registry
+//! (`mve_bench::artefacts`) — the same render functions the per-artefact
+//! binaries print and the `serve` daemon caches, so all three front-ends
+//! are byte-identical by construction.
 //!
-//! `--smoke` runs the same pipeline at test scale (`--test-scale` is passed
-//! to every figure binary; tables are scale-independent) into
-//! `results-smoke/`, in seconds instead of minutes — used by CI so this
-//! entry point cannot silently rot.
+//! `--smoke` runs the same pipeline at test scale into `results-smoke/`,
+//! in seconds instead of minutes — used by CI so this entry point cannot
+//! silently rot.
 //!
-//! `--jobs N` runs the artefact binaries on N worker threads (a work queue
-//! over `std::thread::scope`; `--jobs` alone uses the available
-//! parallelism). Every artefact is an independent process writing its own
-//! output file, so the results are byte-identical to a serial run at any
-//! job count — CI asserts exactly that.
+//! `--only NAME` (repeatable) renders a subset; an unknown name exits
+//! non-zero with the sorted artefact vocabulary.
 //!
-//! `--json` instead times the engine hot-path micro-benchmarks
+//! `--jobs N` renders on N worker threads (a work queue over
+//! `std::thread::scope`; `--jobs` alone uses the available parallelism).
+//! Every artefact renders independently into its own output file, so the
+//! results are byte-identical to a serial run at any job count — CI
+//! asserts exactly that.
+//!
+//! `--json` instead times the engine and service hot-path micro-benchmarks
 //! (`mve_bench::perf`) and writes the machine-readable trajectory file
 //! `BENCH_engine.json` into the current directory, so each PR records the
 //! functional engine's throughput. `MVE_BENCH_FAST=1` shrinks the timing
 //! budgets for CI.
 
 use std::fs;
-use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-const BINS: [&str; 16] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "table5",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12a",
-    "fig12b",
-    "fig12c",
-    "fig13",
-    "ablations",
-    "ext_pumice",
-];
+use mve_bench::artefacts;
+use mve_kernels::Scale;
 
 fn parse_jobs(args: &[String]) -> usize {
     let hw = || {
@@ -63,24 +51,46 @@ fn parse_jobs(args: &[String]) -> usize {
     1
 }
 
-/// Runs one artefact binary and writes its stdout under `out_dir`.
-fn run_artefact(bin: &str, smoke: bool, out_dir: &str) {
-    eprintln!("running {bin}...");
-    let mut cmd = Command::new(
-        std::env::current_exe()
-            .expect("self path")
-            .with_file_name(bin),
-    );
-    if smoke {
-        cmd.arg("--test-scale");
+fn parse_only(args: &[String]) -> Vec<&'static str> {
+    let mut names = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        let requested = if let Some(v) = a.strip_prefix("--only=") {
+            Some(v.to_owned())
+        } else if a == "--only" {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Some(v.clone()),
+                _ => {
+                    eprintln!("--only needs an artefact name");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(requested) = requested {
+            match artefacts::NAMES.iter().find(|&&n| n == requested) {
+                Some(&name) => names.push(name),
+                None => {
+                    eprintln!("{}", artefacts::unknown_artefact_message(&requested));
+                    std::process::exit(2);
+                }
+            }
+        }
     }
-    let out = cmd
-        .output()
-        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-    assert!(out.status.success(), "{bin} failed: {out:?}");
-    fs::write(format!("{out_dir}/{bin}.txt"), &out.stdout)
-        .unwrap_or_else(|e| panic!("failed to write {out_dir}/{bin}.txt: {e}"));
-    eprintln!("  -> {out_dir}/{bin}.txt ({} bytes)", out.stdout.len());
+    if names.is_empty() {
+        artefacts::NAMES.to_vec()
+    } else {
+        names
+    }
+}
+
+/// Renders one artefact and writes it under `out_dir`.
+fn run_artefact(name: &str, scale: Scale, out_dir: &str) {
+    eprintln!("running {name}...");
+    let text = artefacts::render(name, scale).expect("validated artefact name");
+    fs::write(format!("{out_dir}/{name}.txt"), text.as_bytes())
+        .unwrap_or_else(|e| panic!("failed to write {out_dir}/{name}.txt: {e}"));
+    eprintln!("  -> {out_dir}/{name}.txt ({} bytes)", text.len());
 }
 
 fn main() {
@@ -100,13 +110,15 @@ fn main() {
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
-    let jobs = parse_jobs(&args).clamp(1, BINS.len());
+    let scale = if smoke { Scale::Test } else { Scale::Paper };
+    let names = parse_only(&args);
+    let jobs = parse_jobs(&args).clamp(1, names.len());
     let out_dir = if smoke { "results-smoke" } else { "results" };
     fs::create_dir_all(out_dir).expect("create results dir");
 
     if jobs == 1 {
-        for bin in BINS {
-            run_artefact(bin, smoke, out_dir);
+        for name in &names {
+            run_artefact(name, scale, out_dir);
         }
     } else {
         // Work queue: each worker claims the next unstarted artefact. A
@@ -117,14 +129,14 @@ fn main() {
             for _ in 0..jobs {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(bin) = BINS.get(i) else { break };
-                    run_artefact(bin, smoke, out_dir);
+                    let Some(name) = names.get(i) else { break };
+                    run_artefact(name, scale, out_dir);
                 });
             }
         });
     }
     eprintln!(
         "done: {} artefacts under {out_dir}/ ({jobs} jobs)",
-        BINS.len()
+        names.len()
     );
 }

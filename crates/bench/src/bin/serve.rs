@@ -1,0 +1,130 @@
+//! The `mve-serve` daemon: a long-running simulation service over the
+//! JSON-lines-over-TCP protocol (see `mve_serve` and DESIGN.md, "Service
+//! layer"), wired to the shared artefact registry.
+//!
+//! ```text
+//! serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]
+//! ```
+//!
+//! Graceful shutdown on SIGTERM, on stdin EOF (disable with
+//! `--no-stdin-watch` when running detached, e.g. in CI where stdin is
+//! /dev/null), or on a client's `{"op":"shutdown"}` — in-flight requests
+//! finish, the final metrics line is printed, and the process exits 0.
+
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use mve_bench::artefacts;
+use mve_serve::{ServeOptions, Server};
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return v.parse().unwrap_or_else(|_| usage(flag));
+        }
+        if a == flag {
+            return args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage(flag));
+        }
+    }
+    default
+}
+
+fn usage(flag: &str) -> ! {
+    eprintln!("{flag} needs a non-negative integer");
+    eprintln!("usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]");
+    std::process::exit(2);
+}
+
+/// SIGTERM sets a flag the watcher thread polls (the handler body must be
+/// async-signal-safe, so it only stores an atomic). Raw `signal(2)`
+/// binding — the workspace vendors no libc crate.
+#[cfg(unix)]
+mod sigterm {
+    use super::*;
+
+    pub static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_sig: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let port = parse_flag(&args, "--port", 7878);
+    let Ok(port) = u16::try_from(port) else {
+        eprintln!("--port {port} is out of range (0..=65535)");
+        std::process::exit(2);
+    };
+    let opts = ServeOptions {
+        port,
+        workers: parse_flag(&args, "--workers", default_workers),
+        cache_cap: parse_flag(&args, "--cache-cap", 256),
+        ..ServeOptions::default()
+    };
+    let watch_stdin = !args.iter().any(|a| a == "--no-stdin-watch");
+
+    let server = Server::bind(&opts, artefacts::registry()).unwrap_or_else(|e| {
+        eprintln!("failed to bind 127.0.0.1:{}: {e}", opts.port);
+        std::process::exit(1);
+    });
+    println!(
+        "mve-serve listening on 127.0.0.1:{} ({} workers, cache cap {})",
+        server.port(),
+        opts.workers,
+        opts.cache_cap
+    );
+
+    #[cfg(unix)]
+    sigterm::install();
+    {
+        let handle = server.handle();
+        std::thread::spawn(move || loop {
+            #[cfg(unix)]
+            if sigterm::RECEIVED.load(Ordering::SeqCst) {
+                eprintln!("SIGTERM received; shutting down");
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    if watch_stdin {
+        let handle = server.handle();
+        std::thread::spawn(move || {
+            // Block until stdin closes (EOF), then shut down gracefully.
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => {
+                        eprintln!("stdin closed; shutting down");
+                        handle.shutdown();
+                        return;
+                    }
+                    Ok(_) => {}
+                }
+            }
+        });
+    }
+
+    let stats = server.run();
+    println!("{}", mve_serve::server::metrics_line(&stats));
+}

@@ -1,15 +1,12 @@
-//! Regenerates Table I: the vector-ISA feature comparison.
+//! Regenerates Table I: the vector-ISA feature comparison (thin wrapper
+//! over the shared artefact registry — `reproduce` and the `serve` daemon
+//! render the same bytes).
+
+use mve_bench::artefacts;
 
 fn main() {
-    println!("Table I — Vector ISA Extension Comparison");
-    println!(
-        "{:<18} {:<12} {:<14} {:<30} {:<28}",
-        "ISA", "Max VL", "Strided", "Random Access", "Masked Execution"
+    print!(
+        "{}",
+        artefacts::render("table1", artefacts::scale_from_args()).expect("registered artefact")
     );
-    for r in mve_bench::tables::table1() {
-        println!(
-            "{:<18} {:<12} {:<14} {:<30} {:<28}",
-            r.name, r.max_vector_length, r.strided_access, r.random_access, r.masked_execution
-        );
-    }
 }

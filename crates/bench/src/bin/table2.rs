@@ -1,18 +1,11 @@
-//! Regenerates Table II: MVE instructions with bit-serial latencies.
+//! Regenerates Table II: MVE instructions with bit-serial latencies (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
+
+use mve_bench::artefacts;
 
 fn main() {
-    println!("Table II — MVE Instructions (bit-serial latency in cycles)");
-    println!(
-        "{:<14} {:<14} {:>6} {:>6} {:>8} {:>8}",
-        "Class", "Assembly", "n=8", "n=16", "n=32", "n=64"
+    print!(
+        "{}",
+        artefacts::render("table2", artefacts::scale_from_args()).expect("registered artefact")
     );
-    for r in mve_bench::tables::table2() {
-        match r.latency {
-            Some(l) => println!(
-                "{:<14} {:<14} {:>6} {:>6} {:>8} {:>8}",
-                r.class, r.assembly, l[0], l[1], l[2], l[3]
-            ),
-            None => println!("{:<14} {:<14} {:>6}", r.class, r.assembly, "-"),
-        }
-    }
 }

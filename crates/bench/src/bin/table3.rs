@@ -1,20 +1,11 @@
-//! Regenerates Table III: the evaluated libraries.
+//! Regenerates Table III: the evaluated libraries (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
+
+use mve_bench::artefacts;
 
 fn main() {
-    println!("Table III — Evaluated Libraries");
-    println!(
-        "{:<26} {:<14} {:>8} {:<16} {:<6}",
-        "Domain", "Library", "#Kernels", "Dataset", "Dim"
-    );
-    let rows = mve_bench::tables::table3();
-    for r in &rows {
-        println!(
-            "{:<26} {:<14} {:>8} {:<16} {:<6}",
-            r.domain, r.library, r.kernels, r.dataset, r.dims
-        );
-    }
-    println!(
-        "Total kernels: {}",
-        rows.iter().map(|r| r.kernels).sum::<usize>()
+    print!(
+        "{}",
+        artefacts::render("table3", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

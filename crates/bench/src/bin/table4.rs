@@ -1,8 +1,11 @@
-//! Regenerates Table IV: the simulated platform configuration.
+//! Regenerates Table IV: the simulated platform configuration (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
+
+use mve_bench::artefacts;
 
 fn main() {
-    println!("Table IV — Platform Configuration (Snapdragon 855 class)");
-    for r in mve_bench::platform::table4_rows() {
-        println!("{:<14} {}", r.component, r.detail);
-    }
+    print!(
+        "{}",
+        artefacts::render("table4", artefacts::scale_from_args()).expect("registered artefact")
+    );
 }

@@ -1,36 +1,11 @@
-//! Regenerates Table V: MVE area overhead vs the scalar core.
+//! Regenerates Table V: MVE area overhead vs the scalar core (thin wrapper over the shared artefact registry —
+//! `reproduce` and the `serve` daemon render the same bytes).
 
-use mve_energy::area::{CORE_AREA_MM2, GPU_AREA_MM2, NEON_AREA_MM2};
+use mve_bench::artefacts;
 
 fn main() {
-    println!("Table V — Overhead to the scalar core area ({CORE_AREA_MM2} mm2)");
-    println!(
-        "{:<18} {:<8} {:>12} {:>12}",
-        "Module", "Source", "Area (mm2)", "Overhead %"
-    );
-    println!(
-        "{:<18} {:<8} {:>12.4} {:>12.3}",
-        "Arm Neon",
-        "[21]",
-        NEON_AREA_MM2,
-        NEON_AREA_MM2 / CORE_AREA_MM2 * 100.0
-    );
-    let (rows, total, _) = mve_bench::tables::table5();
-    for r in &rows {
-        println!(
-            "{:<18} {:<8} {:>12.4} {:>12.3}",
-            r.module, r.source, r.area_mm2, r.overhead_pct
-        );
-    }
-    println!(
-        "{:<18} {:<8} {:>12.4} {:>12.3}",
-        "MVE Total",
-        "-",
-        total,
-        total / CORE_AREA_MM2 * 100.0
-    );
-    println!(
-        "{:<18} {:<8} {:>12.4} {:>12}",
-        "Adreno 640 GPU", "[41]", GPU_AREA_MM2, "-"
+    print!(
+        "{}",
+        artefacts::render("table5", artefacts::scale_from_args()).expect("registered artefact")
     );
 }

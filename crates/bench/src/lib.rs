@@ -21,6 +21,7 @@
 //! | [`ablations`]        | design-choice ablations called out in DESIGN.md |
 
 pub mod ablations;
+pub mod artefacts;
 pub mod figures;
 pub mod perf;
 pub mod platform;

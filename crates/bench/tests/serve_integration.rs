@@ -1,0 +1,146 @@
+//! Service-layer integration over the REAL artefact registry: boots the
+//! daemon on an ephemeral port, fires concurrent clients with overlapping
+//! request sets, and asserts (a) responses are byte-identical to direct
+//! `reproduce` output — including the committed `results-smoke/` files —
+//! and (b) the cache counters prove each unique request was computed
+//! exactly once.
+//!
+//! The set under test is the cheap half of the smoke artefacts (the full
+//! 16-artefact replay runs in CI against release binaries); the sharing
+//! machinery is identical for the expensive ones.
+
+use std::path::PathBuf;
+
+use mve_bench::artefacts;
+use mve_core::sim::simulate;
+use mve_insram::Scheme;
+use mve_kernels::registry::kernel_by_name;
+use mve_kernels::Scale;
+use mve_serve::client::Client;
+use mve_serve::json::Json;
+use mve_serve::protocol::{report_to_json, SimSpec};
+use mve_serve::server::{ServeOptions, Server};
+
+/// Cheap artefacts (scale-independent tables + one kernel-driven figure).
+const ARTEFACTS: [&str; 7] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig11",
+    "ablations",
+];
+
+fn stat(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats lack `{key}`: {stats:?}"))
+}
+
+#[test]
+fn concurrent_replay_is_byte_identical_and_simulates_each_unique_request_once() {
+    const CLIENTS: u64 = 4;
+    let server = Server::bind(
+        &ServeOptions {
+            port: 0,
+            workers: 3,
+            cache_cap: 64,
+            ..ServeOptions::default()
+        },
+        artefacts::registry(),
+    )
+    .expect("bind ephemeral port");
+    let port = server.port();
+    let join = std::thread::spawn(move || server.run());
+
+    // Ground truth once, up front: the shared render functions (exactly
+    // what `reproduce --smoke` writes) and two direct sim reports.
+    let expected: Vec<(&str, String)> = ARTEFACTS
+        .iter()
+        .map(|&name| (name, artefacts::render(name, Scale::Test).expect(name)))
+        .collect();
+    let specs = [
+        SimSpec::default(),
+        SimSpec {
+            scheme: Scheme::BitHybrid,
+            ..SimSpec::default()
+        },
+    ];
+    let expected_reports: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let run = kernel_by_name("memset")
+                .expect("memset")
+                .run_mve(Scale::Test);
+            assert!(run.checked.ok());
+            report_to_json(&simulate(&run.trace, &spec.to_config())).encode()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let expected = expected.clone();
+            let expected_reports = expected_reports.clone();
+            let specs = specs.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+                // Overlap: every client requests every artefact, rotated so
+                // concurrent clients collide on different names at once.
+                for i in 0..expected.len() {
+                    let (name, want) = &expected[(i + c as usize) % expected.len()];
+                    let got = client.artefact(name, Scale::Test).expect(name);
+                    assert_eq!(
+                        got, *want,
+                        "{name}: server bytes must equal direct reproduce output"
+                    );
+                }
+                for (spec, want) in specs.iter().zip(&expected_reports) {
+                    let got = client
+                        .sim("memset", Scale::Test, spec.clone())
+                        .expect("sim");
+                    assert_eq!(got.encode(), *want);
+                }
+            });
+        }
+    });
+
+    let unique = ARTEFACTS.len() as u64 + specs.len() as u64;
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stat(&stats, "misses"),
+        unique,
+        "each unique (artefact|kernel, config) computed exactly once: {stats:?}"
+    );
+    assert_eq!(
+        stat(&stats, "hits") + stat(&stats, "waits"),
+        CLIENTS * unique - unique,
+        "every duplicate served without recomputation: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "errors"), 0);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+/// The server's artefact bytes equal the committed smoke files — the same
+/// byte-identity CI asserts for the full 16-artefact replay.
+#[test]
+fn served_artefacts_match_the_committed_smoke_tree() {
+    let smoke_dir: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "results-smoke"]
+        .iter()
+        .collect();
+    let server = Server::bind(&ServeOptions::default(), artefacts::registry()).expect("bind");
+    let port = server.port();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    for name in ["table1", "table3", "table5", "ablations"] {
+        let committed = std::fs::read_to_string(smoke_dir.join(format!("{name}.txt"))).expect(name);
+        let served = client.artefact(name, Scale::Test).expect(name);
+        assert_eq!(served, committed, "{name} drifted from results-smoke/");
+    }
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}

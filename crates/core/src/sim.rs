@@ -137,6 +137,119 @@ impl SimConfig {
     }
 }
 
+/// FNV-1a over `bytes` — the stable, std-only hash the result cache keys
+/// are built from (the service layer composes it over kernel ids and
+/// [`SimConfig::canonical_bytes`]).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content-addressing support: two `SimConfig`s describe the same
+/// simulation iff their canonical encodings are equal, so the encoding (and
+/// the [`SimConfig::cache_key`] digest over it) is the correctness
+/// foundation of the service layer's result cache.
+impl SimConfig {
+    /// Canonical little-endian encoding of every timing-relevant field.
+    ///
+    /// Floats are canonicalized through their bit patterns (`-0.0`
+    /// normalizes to `0.0`, every NaN to one pattern) and widths are pinned
+    /// to `u64`, so the encoding — unlike `#[derive(Hash)]` — does not
+    /// depend on platform pointer width, endianness, or hasher seeding.
+    /// Configurations built by the builder methods and hand-built literals
+    /// with the same field values encode identically.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn push(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_f(out: &mut Vec<u8>, x: f64) {
+            let bits = if x == 0.0 {
+                0
+            } else if x.is_nan() {
+                u64::MAX
+            } else {
+                x.to_bits()
+            };
+            push(out, bits);
+        }
+        let mut b = Vec::with_capacity(45 * 8);
+        let scheme = Scheme::ALL
+            .iter()
+            .position(|s| *s == self.scheme)
+            .expect("scheme listed in Scheme::ALL");
+        push(&mut b, scheme as u64);
+        for v in [
+            self.geometry.arrays,
+            self.geometry.bitlines_per_array,
+            self.geometry.wordlines,
+            self.geometry.arrays_per_cb,
+        ] {
+            push(&mut b, v as u64);
+        }
+        for c in [&self.hierarchy.l1d, &self.hierarchy.l2, &self.hierarchy.llc] {
+            push(&mut b, c.size_bytes);
+            push(&mut b, c.ways as u64);
+            push(&mut b, c.line_bytes);
+            push(&mut b, c.latency);
+            push(&mut b, c.mshrs as u64);
+        }
+        let d = &self.hierarchy.dram;
+        for v in [
+            d.banks as u64,
+            d.row_bytes,
+            d.t_rp,
+            d.t_rcd,
+            d.t_cl,
+            d.burst_cycles,
+        ] {
+            push(&mut b, v);
+        }
+        push_f(&mut b, self.core.freq_ghz);
+        push(&mut b, u64::from(self.core.issue_width));
+        push(&mut b, u64::from(self.core.rob_entries));
+        push(&mut b, self.core.write_buffer_entries as u64);
+        push_f(&mut b, self.core.scalar_ipc);
+        push(&mut b, self.queue_entries as u64);
+        push(&mut b, self.issue_gap_cycles);
+        push(&mut b, self.xb_words_per_cycle as u64);
+        push(
+            &mut b,
+            u64::from(self.include_mode_switch)
+                | u64::from(self.warm_caches) << 1
+                | u64::from(self.ooo_dispatch) << 2,
+        );
+        b
+    }
+
+    /// Stable 64-bit content digest of the configuration (FNV-1a over
+    /// [`SimConfig::canonical_bytes`]): the cache key of the service layer.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a_64(&self.canonical_bytes())
+    }
+}
+
+/// Equality IS canonical-encoding equality, so `Eq`/`Hash` are consistent
+/// by construction (the float fields go through the same normalization:
+/// `-0.0 == 0.0`, and the — never meaningful — NaN compares equal to
+/// itself instead of poisoning map lookups).
+impl PartialEq for SimConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bytes() == other.canonical_bytes()
+    }
+}
+
+impl Eq for SimConfig {}
+
+impl std::hash::Hash for SimConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write(&self.canonical_bytes());
+    }
+}
+
 /// Event counters from which the energy model computes joules.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyCounters {
@@ -909,6 +1022,77 @@ mod tests {
         assert_eq!(r.scalar_instrs, mix.scalar);
         assert!(r.energy.array_active_cycles > 0);
         assert!(r.energy.tmu_element_transfers > 0);
+    }
+
+    #[test]
+    fn builder_and_literal_configs_hash_equal() {
+        // The cache-key correctness foundation: a config assembled with the
+        // PR 3 builder methods and a hand-built literal that is
+        // semantically identical must compare equal, encode identically and
+        // land on the same cache key.
+        let built = SimConfig::default()
+            .with_scheme(Scheme::BitParallel)
+            .with_arrays(16)
+            .without_mode_switch()
+            .with_ooo_dispatch();
+        let literal = SimConfig {
+            scheme: Scheme::BitParallel,
+            geometry: EngineGeometry::with_arrays(16),
+            hierarchy: mve_memsim::HierarchyConfig::default(),
+            core: CoreConfig::default(),
+            queue_entries: 256,
+            issue_gap_cycles: 4,
+            xb_words_per_cycle: 32,
+            include_mode_switch: false,
+            warm_caches: true,
+            ooo_dispatch: true,
+        };
+        assert_eq!(built, literal);
+        assert_eq!(built.canonical_bytes(), literal.canonical_bytes());
+        assert_eq!(built.cache_key(), literal.cache_key());
+        // And the Hash impl agrees, so SimConfig works as a map key.
+        let mut map = std::collections::HashMap::new();
+        map.insert(built, "report");
+        assert_eq!(map.get(&literal), Some(&"report"));
+    }
+
+    #[test]
+    fn every_config_knob_lands_on_a_distinct_cache_key() {
+        let base = SimConfig::default();
+        let variants = [
+            base.clone(),
+            base.clone().with_scheme(Scheme::BitHybrid),
+            base.clone().with_scheme(Scheme::BitParallel),
+            base.clone().with_scheme(Scheme::Associative),
+            base.clone().with_arrays(8),
+            base.clone().with_arrays(64),
+            base.clone().without_mode_switch(),
+            base.clone().without_cache_warming(),
+            base.clone().with_ooo_dispatch(),
+            SimConfig {
+                queue_entries: 128,
+                ..base.clone()
+            },
+            SimConfig {
+                issue_gap_cycles: 2,
+                ..base.clone()
+            },
+            SimConfig {
+                xb_words_per_cycle: 16,
+                ..base
+            },
+        ];
+        let keys: std::collections::HashSet<u64> =
+            variants.iter().map(SimConfig::cache_key).collect();
+        assert_eq!(keys.len(), variants.len(), "cache-key collision");
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        // Pinned digests: the cache key must never silently change meaning
+        // across platforms or releases (content-addressing contract).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

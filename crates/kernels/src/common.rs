@@ -63,6 +63,30 @@ pub fn engine_arrays() -> usize {
     ENGINE_ARRAYS.with(Cell::get)
 }
 
+/// RAII form of [`set_engine_arrays`]: restores the previous count on
+/// drop, **including unwinds** — a panicking kernel must not leave the
+/// thread-local poisoned for whatever runs on the thread next (the
+/// simulation service reuses worker threads across requests and recovers
+/// from kernel panics with `catch_unwind`).
+pub struct EngineArraysGuard {
+    prev: usize,
+}
+
+impl EngineArraysGuard {
+    /// Overrides the engine array count until the guard drops.
+    pub fn new(arrays: usize) -> Self {
+        Self {
+            prev: set_engine_arrays(arrays),
+        }
+    }
+}
+
+impl Drop for EngineArraysGuard {
+    fn drop(&mut self) {
+        set_engine_arrays(self.prev);
+    }
+}
+
 /// A fresh engine with the paper's mobile geometry (or the thread's
 /// [`set_engine_arrays`] override).
 pub fn engine() -> Engine {

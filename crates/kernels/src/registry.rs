@@ -1,5 +1,8 @@
 //! Kernel metadata and the suite registry (Table III).
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
 use crate::common::{KernelRun, Scale};
 use mve_baselines::gpu::GpuKernelCost;
 use mve_coresim::neon::NeonProfile;
@@ -198,6 +201,60 @@ pub fn selected_kernels() -> Vec<Box<dyn Kernel>> {
         .collect()
 }
 
+/// Lazily-built name → registry-position index, so every front-end (the
+/// CLI binaries and the simulation service) resolves kernel names in O(1)
+/// instead of scanning the suite.
+fn name_index() -> &'static HashMap<&'static str, usize> {
+    static INDEX: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        all_kernels()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.info().name, i))
+            .collect()
+    })
+}
+
+/// All kernel names, sorted — the vocabulary quoted by [`UnknownKernel`].
+pub fn kernel_names_sorted() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = name_index().keys().copied().collect();
+    names.sort_unstable();
+    names
+}
+
+/// A kernel name that is not in the Table III suite. Its `Display` output
+/// is the one help message every front-end shows (`reproduce`,
+/// `ext_pumice`, and the `mve-serve` error reply), so the failure mode of
+/// a typo'd kernel is the sorted list of valid names everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownKernel {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel `{}`; valid kernels: {}",
+            self.name,
+            kernel_names_sorted().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownKernel {}
+
+/// Resolves one kernel by its registry name via the lazily-built lookup
+/// map (no linear name scan).
+pub fn kernel_by_name(name: &str) -> Result<Box<dyn Kernel>, UnknownKernel> {
+    let &i = name_index().get(name).ok_or_else(|| UnknownKernel {
+        name: name.to_owned(),
+    })?;
+    let mut kernels = all_kernels();
+    Ok(kernels.swap_remove(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +298,31 @@ mod tests {
         assert_eq!(count(Library::Zlib), 2);
         assert_eq!(count(Library::Boringssl), 3);
         assert_eq!(count(Library::OptRoutines), 5);
+    }
+
+    #[test]
+    fn kernel_by_name_resolves_every_registered_kernel() {
+        for k in all_kernels() {
+            let name = k.info().name;
+            let found = kernel_by_name(name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(found.info().name, name);
+            assert_eq!(found.info().library, k.info().library);
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_lists_the_sorted_vocabulary() {
+        let Err(err) = kernel_by_name("gemmm") else {
+            panic!("gemmm is a typo and must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("unknown kernel `gemmm`"), "{msg}");
+        let sorted = kernel_names_sorted();
+        assert_eq!(sorted.len(), 44);
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        // Every valid name appears in the help message, in sorted order.
+        let list = msg.split("valid kernels: ").nth(1).expect("list");
+        assert_eq!(list, sorted.join(", "));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! The client side of the wire protocol: a blocking connection plus the
+//! smoke-set replay driver used by `mve-client` and CI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+
+use mve_kernels::Scale;
+
+use crate::json::Json;
+use crate::protocol::{encode_request, parse_response, Request, SimSpec};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent a typed error reply.
+    Server(String),
+    /// The server's reply was not what the request called for.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `("127.0.0.1", 7878)`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and decodes its reply document.
+    pub fn request(&mut self, req: &Request) -> Result<Json, ClientError> {
+        let line = encode_request(req);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a reply arrived".to_owned(),
+            ));
+        }
+        parse_response(reply.trim_end()).map_err(ClientError::Server)
+    }
+
+    /// Renders one artefact, returning its exact text.
+    pub fn artefact(&mut self, name: &str, scale: Scale) -> Result<String, ClientError> {
+        let doc = self.request(&Request::Artefact {
+            name: name.to_owned(),
+            scale,
+        })?;
+        doc.get("bytes")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("artefact reply lacks `bytes`".to_owned()))
+    }
+
+    /// Times one kernel, returning the `report` object.
+    pub fn sim(&mut self, kernel: &str, scale: Scale, spec: SimSpec) -> Result<Json, ClientError> {
+        let doc = self.request(&Request::Sim {
+            kernel: kernel.to_owned(),
+            scale,
+            spec,
+        })?;
+        doc.get("report")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("sim reply lacks `report`".to_owned()))
+    }
+
+    /// Fetches the counter snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let doc = self.request(&Request::Stats)?;
+        doc.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats reply lacks `stats`".to_owned()))
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Drives `names` through a running server and writes each artefact to
+/// `out_dir/<name>.txt` — the replay path CI diffs byte-for-byte against
+/// `reproduce --smoke`. Returns `(name, bytes written)` per artefact.
+pub fn replay_artefacts(
+    addr: impl ToSocketAddrs,
+    names: &[&str],
+    scale: Scale,
+    out_dir: &Path,
+) -> Result<Vec<(String, usize)>, ClientError> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut client = Client::connect(addr)?;
+    let mut written = Vec::with_capacity(names.len());
+    for name in names {
+        let text = client.artefact(name, scale)?;
+        std::fs::write(out_dir.join(format!("{name}.txt")), text.as_bytes())?;
+        written.push(((*name).to_owned(), text.len()));
+    }
+    Ok(written)
+}

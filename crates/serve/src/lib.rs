@@ -1,0 +1,43 @@
+//! # mve-serve — the concurrent simulation service
+//!
+//! Every prior entry point was a one-shot CLI: each invocation rebuilt
+//! hierarchies, re-executed kernels and exited. This crate turns the
+//! reproduction into a long-running daemon serving many
+//! `(kernel × SimConfig)` and artefact requests with massive overlap —
+//! the workload shape of the paper's evaluation and its companion Swan
+//! benchmark study — over a std-only, JSON-lines-over-TCP protocol (the
+//! workspace vendors no crates.io dependencies; see DESIGN.md).
+//!
+//! Layers (bottom-up):
+//!
+//! * [`json`] — a hand-rolled minimal JSON reader/writer with exact
+//!   integer round-tripping and deterministic output.
+//! * [`protocol`] — request/response documents, typed error replies, and
+//!   the content-addressed key scheme built on
+//!   [`mve_core::sim::SimConfig::canonical_bytes`].
+//! * [`cache`] — the single-flight LRU result cache: every unique request
+//!   is computed exactly once, concurrent duplicates block for the result.
+//! * [`scheduler`] — the batching scheduler: concurrent sim requests that
+//!   share a kernel execute it once; their configurations fan out over one
+//!   trace walk (`mve_core::sim::simulate_sweep`).
+//! * [`server`] — the TCP daemon: accept loop, sharded worker pool,
+//!   request handlers, counters, graceful shutdown.
+//! * [`client`] — the blocking client and the smoke-set replay driver.
+//!
+//! The `serve` and `mve-client` binaries live in `mve-bench`, which owns
+//! the artefact render functions and injects them via
+//! [`server::ArtefactRegistry`] (dependency direction: bench → serve, so
+//! the service hot paths stay benchmarkable from `mve_bench::perf`).
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use protocol::{Request, SimSpec};
+pub use server::{ArtefactFn, ArtefactRegistry, ServeOptions, Server, ShutdownHandle};

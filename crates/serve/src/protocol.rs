@@ -1,0 +1,483 @@
+//! The JSON-lines wire protocol and the content-addressed key scheme.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! -> {"op":"artefact","name":"fig10","scale":"test"}
+//! <- {"ok":true,"artefact":"fig10","bytes":"Figure 10 — ..."}
+//! -> {"op":"sim","kernel":"gemm","scale":"test","scheme":"BP","arrays":16}
+//! <- {"ok":true,"kernel":"gemm","report":{"total_cycles":...,...}}
+//! -> {"op":"stats"}
+//! <- {"ok":true,"stats":{...}}
+//! -> {"op":"shutdown"}
+//! <- {"ok":true,"shutdown":true}
+//! ```
+//!
+//! Errors are typed replies, never closed connections:
+//! `{"ok":false,"error":"unknown kernel `gemmm`; valid kernels: ..."}`.
+//!
+//! Cache keys are FNV-1a digests over a request-kind tag, the artefact or
+//! kernel id, the scale, and — for simulations — the configuration's
+//! canonical encoding ([`SimConfig::canonical_bytes`]), so two requests
+//! collide exactly when they denote the same computation.
+
+use crate::json::Json;
+use mve_core::sim::{fnv1a_64, SimConfig, SimReport};
+use mve_insram::Scheme;
+use mve_kernels::Scale;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Render one named artefact (table/figure/ablation) at a scale.
+    Artefact {
+        /// Artefact name, e.g. `"fig10"`.
+        name: String,
+        /// Problem scale.
+        scale: Scale,
+    },
+    /// Time one kernel under one configuration.
+    Sim {
+        /// Kernel registry name, e.g. `"gemm"`.
+        kernel: String,
+        /// Problem scale.
+        scale: Scale,
+        /// Configuration knobs.
+        spec: SimSpec,
+    },
+    /// Counter snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// The configuration knobs a `sim` request can set; everything else is the
+/// Table IV platform default. `to_config` applies them through the
+/// `SimConfig` builder methods, so a request's cache key is guaranteed to
+/// match the equivalent locally-built configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSpec {
+    /// In-SRAM computing scheme (default bit-serial).
+    pub scheme: Scheme,
+    /// SRAM-array count override (default: Table IV's 32).
+    pub arrays: Option<usize>,
+    /// PUMICE-style per-CB dispatch (default off).
+    pub ooo_dispatch: bool,
+    /// Charge the compute-mode switch flush (default on).
+    pub mode_switch: bool,
+    /// Steady-state cache warming (default on).
+    pub cache_warming: bool,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        Self {
+            scheme: Scheme::BitSerial,
+            arrays: None,
+            ooo_dispatch: false,
+            mode_switch: true,
+            cache_warming: true,
+        }
+    }
+}
+
+impl SimSpec {
+    /// Materializes the configuration via the builder methods.
+    pub fn to_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::default().with_scheme(self.scheme);
+        if let Some(arrays) = self.arrays {
+            cfg = cfg.with_arrays(arrays);
+        }
+        if self.ooo_dispatch {
+            cfg = cfg.with_ooo_dispatch();
+        }
+        if !self.mode_switch {
+            cfg = cfg.without_mode_switch();
+        }
+        if !self.cache_warming {
+            cfg = cfg.without_cache_warming();
+        }
+        cfg
+    }
+
+    /// The request-object members encoding this spec.
+    fn json_members(&self) -> Vec<(String, Json)> {
+        let mut m = vec![(
+            "scheme".to_owned(),
+            Json::Str(self.scheme.short_name().into()),
+        )];
+        if let Some(arrays) = self.arrays {
+            m.push(("arrays".to_owned(), Json::U64(arrays as u64)));
+        }
+        m.push(("ooo_dispatch".to_owned(), Json::Bool(self.ooo_dispatch)));
+        m.push(("mode_switch".to_owned(), Json::Bool(self.mode_switch)));
+        m.push(("cache_warming".to_owned(), Json::Bool(self.cache_warming)));
+        m
+    }
+}
+
+/// Upper bound on the `arrays` override a request may ask for. The
+/// legitimate design space is the Figure 12(b) sweep (8–64); the bound is
+/// generous beyond that but must exist: engine allocations scale with the
+/// array count, so an unvalidated huge value would let one request abort
+/// the whole daemon on allocation failure (an abort is not a panic — the
+/// worker's `catch_unwind` cannot contain it).
+pub const MAX_ARRAYS: usize = 256;
+
+/// Wire name of a scale.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
+
+fn parse_scale(obj: &Json) -> Result<Scale, String> {
+    match obj.get("scale") {
+        None => Ok(Scale::Test),
+        Some(v) => match v.as_str() {
+            Some("test") => Ok(Scale::Test),
+            Some("paper") => Ok(Scale::Paper),
+            _ => Err("field `scale` must be \"test\" or \"paper\"".to_owned()),
+        },
+    }
+}
+
+fn parse_scheme(obj: &Json) -> Result<Scheme, String> {
+    match obj.get("scheme") {
+        None => Ok(Scheme::BitSerial),
+        Some(v) => {
+            let name = v.as_str().ok_or("field `scheme` must be a string")?;
+            Scheme::ALL
+                .iter()
+                .copied()
+                .find(|s| s.short_name() == name)
+                .ok_or_else(|| {
+                    let valid: Vec<&str> = Scheme::ALL.iter().map(Scheme::short_name).collect();
+                    format!(
+                        "unknown scheme `{name}`; valid schemes: {}",
+                        valid.join(", ")
+                    )
+                })
+        }
+    }
+}
+
+fn parse_bool(obj: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("field `{key}` must be a boolean")),
+    }
+}
+
+fn required_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("field `{key}` (string) is required"))
+}
+
+/// Decodes one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    let op = required_str(&doc, "op")?;
+    match op {
+        "artefact" => Ok(Request::Artefact {
+            name: required_str(&doc, "name")?.to_owned(),
+            scale: parse_scale(&doc)?,
+        }),
+        "sim" => {
+            let arrays = match doc.get("arrays") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&n| (1..=MAX_ARRAYS).contains(&n))
+                        .ok_or_else(|| {
+                            format!("field `arrays` must be an integer in 1..={MAX_ARRAYS}")
+                        })?,
+                ),
+            };
+            Ok(Request::Sim {
+                kernel: required_str(&doc, "kernel")?.to_owned(),
+                scale: parse_scale(&doc)?,
+                spec: SimSpec {
+                    scheme: parse_scheme(&doc)?,
+                    arrays,
+                    ooo_dispatch: parse_bool(&doc, "ooo_dispatch", false)?,
+                    mode_switch: parse_bool(&doc, "mode_switch", true)?,
+                    cache_warming: parse_bool(&doc, "cache_warming", true)?,
+                },
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}`; valid ops: artefact, sim, stats, shutdown"
+        )),
+    }
+}
+
+/// Encodes a request line (client side; no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let doc = match req {
+        Request::Artefact { name, scale } => Json::Obj(vec![
+            ("op".to_owned(), Json::Str("artefact".into())),
+            ("name".to_owned(), Json::Str(name.clone())),
+            ("scale".to_owned(), Json::Str(scale_name(*scale).into())),
+        ]),
+        Request::Sim {
+            kernel,
+            scale,
+            spec,
+        } => {
+            let mut members = vec![
+                ("op".to_owned(), Json::Str("sim".into())),
+                ("kernel".to_owned(), Json::Str(kernel.clone())),
+                ("scale".to_owned(), Json::Str(scale_name(*scale).into())),
+            ];
+            members.extend(spec.json_members());
+            Json::Obj(members)
+        }
+        Request::Stats => Json::Obj(vec![("op".to_owned(), Json::Str("stats".into()))]),
+        Request::Shutdown => Json::Obj(vec![("op".to_owned(), Json::Str("shutdown".into()))]),
+    };
+    doc.encode()
+}
+
+/// Serializes a timing report as the `report` response member.
+pub fn report_to_json(r: &SimReport) -> Json {
+    Json::Obj(vec![
+        ("total_cycles".to_owned(), Json::U64(r.total_cycles)),
+        ("compute_cycles".to_owned(), Json::U64(r.compute_cycles)),
+        ("data_cycles".to_owned(), Json::U64(r.data_cycles)),
+        ("idle_cycles".to_owned(), Json::U64(r.idle_cycles)),
+        ("cb_busy_cycles".to_owned(), Json::U64(r.cb_busy_cycles)),
+        ("control_blocks".to_owned(), Json::U64(r.control_blocks)),
+        ("vector_instrs".to_owned(), Json::U64(r.vector_instrs)),
+        ("scalar_instrs".to_owned(), Json::U64(r.scalar_instrs)),
+        ("utilization".to_owned(), Json::F64(r.utilization())),
+    ])
+}
+
+/// `{"ok":true,"artefact":name,"bytes":text}`.
+pub fn ok_artefact(name: &str, text: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("artefact".to_owned(), Json::Str(name.to_owned())),
+        ("bytes".to_owned(), Json::Str(text.to_owned())),
+    ])
+    .encode()
+}
+
+/// `{"ok":true,"kernel":name,"report":<fragment>}` — the fragment is the
+/// cached, already-serialized report object, spliced verbatim.
+pub fn ok_sim(kernel: &str, report_fragment: &str) -> String {
+    let mut out = String::with_capacity(report_fragment.len() + kernel.len() + 32);
+    out.push_str("{\"ok\":true,\"kernel\":");
+    out.push_str(&Json::Str(kernel.to_owned()).encode());
+    out.push_str(",\"report\":");
+    out.push_str(report_fragment);
+    out.push('}');
+    out
+}
+
+/// `{"ok":true,"stats":<stats>}`.
+pub fn ok_stats(stats: Json) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("stats".to_owned(), stats),
+    ])
+    .encode()
+}
+
+/// `{"ok":true,"shutdown":true}`.
+pub fn ok_shutdown() -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("shutdown".to_owned(), Json::Bool(true)),
+    ])
+    .encode()
+}
+
+/// `{"ok":false,"error":message}`.
+pub fn error_reply(message: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::Str(message.to_owned())),
+    ])
+    .encode()
+}
+
+/// Decodes a response line: `Ok(doc)` on `"ok":true`, `Err(message)` on a
+/// typed error reply, `Err(..)` on malformed documents.
+pub fn parse_response(line: &str) -> Result<Json, String> {
+    let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(doc),
+        Some(false) => Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_owned()),
+        None => Err("response lacks an `ok` field".to_owned()),
+    }
+}
+
+/// Content key of an artefact request.
+pub fn artefact_key(name: &str, scale: Scale) -> u64 {
+    let mut bytes = Vec::with_capacity(name.len() + 16);
+    bytes.extend_from_slice(b"artefact\0");
+    bytes.extend_from_slice(name.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(scale_name(scale).as_bytes());
+    fnv1a_64(&bytes)
+}
+
+/// Content key of a simulation request: kernel id + scale + the canonical
+/// configuration encoding.
+pub fn sim_key(kernel: &str, scale: Scale, cfg: &SimConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(kernel.len() + 400);
+    bytes.extend_from_slice(b"sim\0");
+    bytes.extend_from_slice(kernel.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(scale_name(scale).as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&cfg.canonical_bytes());
+    fnv1a_64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_encode_and_parse() {
+        let reqs = [
+            Request::Artefact {
+                name: "fig10".into(),
+                scale: Scale::Test,
+            },
+            Request::Sim {
+                kernel: "gemm".into(),
+                scale: Scale::Paper,
+                spec: SimSpec {
+                    scheme: Scheme::BitParallel,
+                    arrays: Some(16),
+                    ooo_dispatch: true,
+                    mode_switch: false,
+                    cache_warming: true,
+                },
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn sim_defaults_match_the_platform_default() {
+        let req = parse_request(r#"{"op":"sim","kernel":"csum"}"#).unwrap();
+        match req {
+            Request::Sim {
+                kernel,
+                scale,
+                spec,
+            } => {
+                assert_eq!(kernel, "csum");
+                assert_eq!(scale, Scale::Test);
+                assert_eq!(spec.to_config(), SimConfig::default());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_builds_through_the_builder_methods() {
+        let spec = SimSpec {
+            scheme: Scheme::BitHybrid,
+            arrays: Some(64),
+            ooo_dispatch: true,
+            mode_switch: false,
+            cache_warming: false,
+        };
+        let expect = SimConfig::default()
+            .with_scheme(Scheme::BitHybrid)
+            .with_arrays(64)
+            .with_ooo_dispatch()
+            .without_mode_switch()
+            .without_cache_warming();
+        assert_eq!(spec.to_config(), expect);
+        assert_eq!(spec.to_config().cache_key(), expect.cache_key());
+    }
+
+    #[test]
+    fn malformed_requests_get_specific_messages() {
+        for (line, needle) in [
+            ("{", "invalid JSON"),
+            (r#"{"kernel":"gemm"}"#, "`op`"),
+            (r#"{"op":"simulate"}"#, "unknown op"),
+            (r#"{"op":"sim"}"#, "`kernel`"),
+            (r#"{"op":"sim","kernel":"gemm","scale":"huge"}"#, "`scale`"),
+            (
+                r#"{"op":"sim","kernel":"gemm","scheme":"XX"}"#,
+                "unknown scheme",
+            ),
+            (r#"{"op":"sim","kernel":"gemm","arrays":0}"#, "`arrays`"),
+            // An absurd array count must be rejected at the protocol layer:
+            // the engine would otherwise attempt a matching allocation.
+            (
+                r#"{"op":"sim","kernel":"gemm","arrays":100000000}"#,
+                "`arrays`",
+            ),
+            (r#"{"op":"artefact"}"#, "`name`"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn keys_separate_kinds_scales_and_configs() {
+        let cfg = SimConfig::default();
+        let keys = [
+            artefact_key("fig10", Scale::Test),
+            artefact_key("fig10", Scale::Paper),
+            artefact_key("fig11", Scale::Test),
+            sim_key("fig10", Scale::Test, &cfg),
+            sim_key("gemm", Scale::Test, &cfg),
+            sim_key("gemm", Scale::Test, &cfg.clone().with_ooo_dispatch()),
+        ];
+        let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_artefact("fig10", "line1\nline2 ≥ \"quoted\"");
+        let doc = parse_response(&ok).unwrap();
+        assert_eq!(
+            doc.get("bytes").and_then(Json::as_str),
+            Some("line1\nline2 ≥ \"quoted\"")
+        );
+        let report = report_to_json(&SimReport {
+            total_cycles: 123,
+            ..SimReport::default()
+        });
+        let sim = ok_sim("gemm", &report.encode());
+        let doc = parse_response(&sim).unwrap();
+        assert_eq!(
+            doc.get("report")
+                .and_then(|r| r.get("total_cycles"))
+                .and_then(Json::as_u64),
+            Some(123)
+        );
+        let err = parse_response(&error_reply("boom")).expect_err("error reply");
+        assert_eq!(err, "boom");
+        assert!(parse_response(&ok_shutdown()).is_ok());
+    }
+}

@@ -1,0 +1,382 @@
+//! Batching scheduler: coalesces simulation requests that share a kernel
+//! into one engine execution fanned out across their configurations.
+//!
+//! The expensive half of a simulation request is the functional kernel
+//! execution that produces the event trace; the per-configuration timing
+//! walk is cheap and `mve_core::sim::simulate_sweep` already broadcasts one
+//! trace into N sims. The [`Batcher`] exploits that split: the first worker
+//! to need a `(kernel, scale)` group becomes the **leader** and runs the
+//! kernel; every worker that arrives for the same group *while the leader
+//! is executing* registers its `(config, cache key)` pair instead of
+//! re-running the kernel. When the leader finishes it closes the group,
+//! sweeps the trace across every registered configuration in one walk, and
+//! publishes all results through the shared [`ResultCache`] — the batch
+//! window is exactly the kernel's own execution time, so coalescing needs
+//! no timers and adds no latency.
+//!
+//! The scheduler is generic over what the leader produces (the server
+//! passes a kernel run; tests pass rigged producers), so it stays free of
+//! kernel-registry and protocol dependencies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use mve_core::sim::SimConfig;
+
+use crate::cache::{Fetch, ResultCache};
+
+/// One registered request: the configuration to simulate and the cache key
+/// its serialized result must be published under.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    /// The timing configuration.
+    pub cfg: SimConfig,
+    /// The content-addressed key the requester reserved.
+    pub key: u64,
+}
+
+#[derive(Default)]
+struct Group {
+    /// Entries joined while the leader executes (including the leader's).
+    pending: Vec<BatchEntry>,
+}
+
+/// Monotonic scheduler counters.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Kernel executions (= batches closed).
+    pub batches: AtomicU64,
+    /// Configurations simulated across all batches (Σ batch sizes).
+    pub batched_sims: AtomicU64,
+    /// Entries that joined an in-flight leader instead of executing.
+    pub joined: AtomicU64,
+}
+
+impl BatchStats {
+    /// `(batches, batched_sims, joined)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.batches.load(Ordering::SeqCst),
+            self.batched_sims.load(Ordering::SeqCst),
+            self.joined.load(Ordering::SeqCst),
+        )
+    }
+}
+
+/// The per-group batching scheduler. Group keys are opaque strings (the
+/// server uses `"<kernel>@<scale>"`).
+#[derive(Default)]
+pub struct Batcher {
+    groups: Mutex<HashMap<String, Group>>,
+    /// Counters; shared with the server's metrics line.
+    pub stats: BatchStats,
+}
+
+impl Batcher {
+    /// A fresh scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Group>> {
+        self.groups.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Submits one request whose `entry.key` the caller has already
+    /// reserved in `cache` (a [`Fetch::Miss`]). Exactly one caller per
+    /// group executes `produce`; `sweep` then serializes every registered
+    /// configuration's result from the produced trace in one walk. Returns
+    /// the caller's published bytes.
+    ///
+    /// If the leader's `produce` or `sweep` panics, every registered
+    /// reservation is abandoned (waiters retry and elect a new leader) and
+    /// the panic propagates to the leader's caller.
+    pub fn submit<T>(
+        &self,
+        group: &str,
+        entry: BatchEntry,
+        cache: &ResultCache,
+        produce: impl FnOnce() -> T,
+        sweep: impl FnOnce(&T, &[BatchEntry]) -> Vec<Vec<u8>>,
+    ) -> Arc<Vec<u8>> {
+        let my_key = entry.key;
+        loop {
+            let is_leader = {
+                let mut groups = self.lock();
+                match groups.get_mut(group) {
+                    Some(open) => {
+                        open.pending.push(entry.clone());
+                        false
+                    }
+                    None => {
+                        groups.insert(
+                            group.to_owned(),
+                            Group {
+                                pending: vec![entry.clone()],
+                            },
+                        );
+                        true
+                    }
+                }
+            };
+            if !is_leader {
+                self.stats.joined.fetch_add(1, Ordering::SeqCst);
+                if let Some(bytes) = cache.wait_ready(my_key) {
+                    return bytes;
+                }
+                // The leader died before publishing our key. Re-reserve and
+                // retry; if someone else published meanwhile, that's a hit.
+                match cache.fetch(my_key) {
+                    Fetch::Hit(bytes) => return bytes,
+                    Fetch::Miss => continue,
+                }
+            }
+
+            // Leader path. The guard abandons every registered key if
+            // produce/sweep unwinds, so joiners never hang.
+            let mut guard = LeaderGuard {
+                batcher: self,
+                cache,
+                group,
+                taken: None,
+                disarmed: false,
+            };
+            let produced = produce();
+            // Close the group: entries registered from now on start a new
+            // batch. Everything registered during `produce` is swept here.
+            let batch = {
+                let mut groups = self.lock();
+                groups.remove(group).map(|g| g.pending).unwrap_or_default()
+            };
+            guard.taken = Some(batch.iter().map(|e| e.key).collect());
+            let results = sweep(&produced, &batch);
+            assert_eq!(
+                results.len(),
+                batch.len(),
+                "sweep must serialize one result per registered entry"
+            );
+            let mut mine = None;
+            for (entry, bytes) in batch.iter().zip(results) {
+                let published = cache.fulfill(entry.key, bytes);
+                if entry.key == my_key {
+                    mine = Some(published);
+                }
+            }
+            guard.disarmed = true;
+            self.stats.batches.fetch_add(1, Ordering::SeqCst);
+            self.stats
+                .batched_sims
+                .fetch_add(batch.len() as u64, Ordering::SeqCst);
+            return mine.expect("leader's own entry is in the batch");
+        }
+    }
+}
+
+/// Panic-safety for the leader: on unwind, close the group (or, once the
+/// batch has been taken out of the map, use the recorded keys — a
+/// successor group opened meanwhile belongs to its own leader) and abandon
+/// every registered reservation so joiners retry instead of hanging.
+struct LeaderGuard<'a> {
+    batcher: &'a Batcher,
+    cache: &'a ResultCache,
+    group: &'a str,
+    /// `Some(keys)` once the batch was removed from the map.
+    taken: Option<Vec<u64>>,
+    disarmed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.disarmed {
+            return;
+        }
+        let keys = match self.taken.take() {
+            Some(keys) => keys,
+            None => {
+                let mut groups = self.batcher.lock();
+                groups
+                    .remove(self.group)
+                    .map(|g| g.pending.iter().map(|e| e.key).collect())
+                    .unwrap_or_default()
+            }
+        };
+        for key in keys {
+            self.cache.abandon(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Fetch;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    fn cfg_with_gap(gap: u64) -> SimConfig {
+        SimConfig {
+            issue_gap_cycles: gap,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Joiners that arrive while the leader's producer runs are swept in
+    /// the leader's single batch: one produce call, N results.
+    #[test]
+    fn concurrent_requests_for_one_kernel_form_one_batch() {
+        let batcher = Arc::new(Batcher::new());
+        let cache = Arc::new(ResultCache::new(64));
+        let produces = Arc::new(AtomicUsize::new(0));
+        let (leader_running_tx, leader_running_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        std::thread::scope(|s| {
+            // Leader: producer blocks until both joiners have registered.
+            let handle = {
+                let (batcher, cache, produces) = (
+                    Arc::clone(&batcher),
+                    Arc::clone(&cache),
+                    Arc::clone(&produces),
+                );
+                s.spawn(move || {
+                    let cfg = cfg_with_gap(1);
+                    let key = cfg.cache_key();
+                    assert!(matches!(cache.fetch(key), Fetch::Miss));
+                    batcher.submit(
+                        "kern@test",
+                        BatchEntry { cfg, key },
+                        &cache,
+                        move || {
+                            produces.fetch_add(1, Ordering::SeqCst);
+                            leader_running_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            b"trace".to_vec()
+                        },
+                        |trace, entries| {
+                            assert_eq!(trace, b"trace");
+                            entries
+                                .iter()
+                                .map(|e| e.cfg.issue_gap_cycles.to_le_bytes().to_vec())
+                                .collect()
+                        },
+                    )
+                })
+            };
+            leader_running_rx.recv().unwrap();
+
+            // Two joiners with distinct configs register while the leader's
+            // producer is blocked.
+            let joiners: Vec<_> = [2u64, 3]
+                .into_iter()
+                .map(|gap| {
+                    let (batcher, cache) = (Arc::clone(&batcher), Arc::clone(&cache));
+                    s.spawn(move || {
+                        let cfg = cfg_with_gap(gap);
+                        let key = cfg.cache_key();
+                        assert!(matches!(cache.fetch(key), Fetch::Miss));
+                        batcher.submit(
+                            "kern@test",
+                            BatchEntry { cfg, key },
+                            &cache,
+                            || panic!("joiners must not produce"),
+                            |_, _| panic!("joiners must not sweep"),
+                        )
+                    })
+                })
+                .collect();
+            // Let the joiners reach their registration, then release.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            release_tx.send(()).unwrap();
+
+            assert_eq!(&**handle.join().unwrap(), &1u64.to_le_bytes());
+            for (joiner, gap) in joiners.into_iter().zip([2u64, 3]) {
+                assert_eq!(&**joiner.join().unwrap(), &gap.to_le_bytes());
+            }
+        });
+
+        assert_eq!(produces.load(Ordering::SeqCst), 1, "one kernel execution");
+        let (batches, sims, joined) = batcher.stats.snapshot();
+        assert_eq!(batches, 1);
+        assert_eq!(sims, 3);
+        assert_eq!(joined, 2);
+        assert_eq!(cache.stats().misses, 3, "each unique config computed once");
+    }
+
+    /// A panicking leader abandons every registered key; a joiner takes
+    /// over as the next leader and the system converges.
+    #[test]
+    fn leader_panic_hands_the_batch_to_a_joiner() {
+        let batcher = Arc::new(Batcher::new());
+        let cache = Arc::new(ResultCache::new(64));
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        std::thread::scope(|s| {
+            let doomed = {
+                let (batcher, cache) = (Arc::clone(&batcher), Arc::clone(&cache));
+                s.spawn(move || {
+                    let cfg = cfg_with_gap(1);
+                    let key = cfg.cache_key();
+                    assert!(matches!(cache.fetch(key), Fetch::Miss));
+                    batcher.submit(
+                        "kern@test",
+                        BatchEntry { cfg, key },
+                        &cache,
+                        move || {
+                            running_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            panic!("kernel blew up");
+                        },
+                        |_: &Vec<u8>, _| unreachable!(),
+                    )
+                })
+            };
+            running_rx.recv().unwrap();
+            let survivor = {
+                let (batcher, cache) = (Arc::clone(&batcher), Arc::clone(&cache));
+                s.spawn(move || {
+                    let cfg = cfg_with_gap(2);
+                    let key = cfg.cache_key();
+                    assert!(matches!(cache.fetch(key), Fetch::Miss));
+                    batcher.submit(
+                        "kern@test",
+                        BatchEntry { cfg, key },
+                        &cache,
+                        || b"retry-trace".to_vec(),
+                        |_, entries| entries.iter().map(|_| b"ok".to_vec()).collect(),
+                    )
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            release_tx.send(()).unwrap();
+            assert!(doomed.join().is_err(), "leader panic propagates");
+            assert_eq!(&**survivor.join().unwrap(), b"ok");
+        });
+        let (batches, _, _) = batcher.stats.snapshot();
+        assert_eq!(batches, 1, "only the survivor's batch completed");
+    }
+
+    /// Sequential submissions (no concurrency) each form their own batch
+    /// and publish through the cache.
+    #[test]
+    fn sequential_submissions_run_alone() {
+        let batcher = Batcher::new();
+        let cache = ResultCache::new(64);
+        for gap in [1u64, 2] {
+            let cfg = cfg_with_gap(gap);
+            let key = cfg.cache_key();
+            assert!(matches!(cache.fetch(key), Fetch::Miss));
+            let got = batcher.submit(
+                "kern@test",
+                BatchEntry { cfg, key },
+                &cache,
+                || gap,
+                |g, entries| entries.iter().map(|_| g.to_le_bytes().to_vec()).collect(),
+            );
+            assert_eq!(&**got, &gap.to_le_bytes());
+        }
+        let (batches, sims, joined) = batcher.stats.snapshot();
+        assert_eq!((batches, sims, joined), (2, 2, 0));
+    }
+}

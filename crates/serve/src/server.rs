@@ -1,0 +1,511 @@
+//! The simulation daemon: a TCP listener, a sharded worker pool, and the
+//! request handlers that tie the protocol to the cache and the batching
+//! scheduler.
+//!
+//! Concurrency model (the PR 3 `--jobs` work-queue pattern, lifted to
+//! connections): the accept loop pushes each connection onto a shared
+//! queue; `workers` threads pop connections and serve them synchronously,
+//! one request line at a time. Cross-connection coordination happens in
+//! exactly two places — the content-addressed [`ResultCache`] (single
+//! flight: every unique `(kernel, config)` or `(artefact, scale)` is
+//! computed exactly once, concurrent duplicates block for the result) and
+//! the [`Batcher`] (concurrent sim requests sharing a kernel execute it
+//! once and fan their configurations out over one trace walk).
+//!
+//! Shutdown is cooperative: a flag checked by the accept loop and by every
+//! worker between requests (reads carry a 100 ms timeout so no thread
+//! blocks past it). The `serve` binary trips the flag on SIGTERM, on stdin
+//! EOF, and on the protocol's `shutdown` op.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use mve_core::sim::simulate_sweep;
+use mve_kernels::registry::kernel_by_name;
+use mve_kernels::Scale;
+
+use crate::cache::{Fetch, ResultCache};
+use crate::json::Json;
+use crate::protocol::{
+    artefact_key, error_reply, ok_artefact, ok_shutdown, ok_sim, ok_stats, parse_request,
+    report_to_json, scale_name, sim_key, Request, SimSpec,
+};
+use crate::scheduler::{BatchEntry, Batcher};
+
+/// An artefact renderer: scale in, the artefact's exact text out.
+pub type ArtefactFn = Arc<dyn Fn(Scale) -> String + Send + Sync>;
+
+/// The artefact vocabulary the server can render, injected by the binary
+/// (the harness crate owns the render functions; the service stays
+/// protocol-only and the two cannot cyclically depend).
+#[derive(Clone, Default)]
+pub struct ArtefactRegistry {
+    entries: Vec<(&'static str, ArtefactFn)>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl ArtefactRegistry {
+    /// A registry over `entries`; names must be unique.
+    pub fn new(entries: Vec<(&'static str, ArtefactFn)>) -> Self {
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (*name, i))
+            .collect::<HashMap<_, _>>();
+        assert_eq!(index.len(), entries.len(), "duplicate artefact names");
+        Self { entries, index }
+    }
+
+    /// The renderer registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&ArtefactFn> {
+        self.index.get(name).map(|&i| &self.entries[i].1)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Registered names, sorted — the unknown-artefact help vocabulary.
+    pub fn names_sorted(&self) -> Vec<&'static str> {
+        let mut names = self.names();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen port (0 = ephemeral, query via [`Server::port`]).
+    pub port: u16,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// LRU bound on completed cache entries.
+    pub cache_cap: usize,
+    /// A connection that sends no request for this long is closed, so
+    /// idle connections cannot pin workers indefinitely (the deadline
+    /// applies only while *waiting* for a request — a worker computing a
+    /// slow render is busy, not idle).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            workers: 4,
+            cache_cap: 256,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Request/error counters (cache and batch counters live with their
+/// structures).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Request lines received.
+    pub requests: AtomicU64,
+    /// Artefact requests.
+    pub artefact_requests: AtomicU64,
+    /// Simulation requests.
+    pub sim_requests: AtomicU64,
+    /// Error replies sent.
+    pub errors: AtomicU64,
+    /// Connections served.
+    pub connections: AtomicU64,
+}
+
+/// Shared server state.
+pub struct ServerState {
+    cache: ResultCache,
+    batcher: Batcher,
+    artefacts: ArtefactRegistry,
+    counters: Counters,
+    shutdown: AtomicBool,
+    idle_timeout: Duration,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+impl ServerState {
+    /// Trips the shutdown flag and wakes every worker.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flat counter snapshot — the `stats` reply and the metrics line.
+    pub fn stats_json(&self) -> Json {
+        let c = &self.counters;
+        let cache = self.cache.stats();
+        let (batches, batched_sims, joined) = self.batcher.stats.snapshot();
+        Json::Obj(vec![
+            (
+                "requests".to_owned(),
+                Json::U64(c.requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "artefact_requests".to_owned(),
+                Json::U64(c.artefact_requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "sim_requests".to_owned(),
+                Json::U64(c.sim_requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "errors".to_owned(),
+                Json::U64(c.errors.load(Ordering::SeqCst)),
+            ),
+            (
+                "connections".to_owned(),
+                Json::U64(c.connections.load(Ordering::SeqCst)),
+            ),
+            ("batches".to_owned(), Json::U64(batches)),
+            ("batched_sims".to_owned(), Json::U64(batched_sims)),
+            ("joined".to_owned(), Json::U64(joined)),
+            ("hits".to_owned(), Json::U64(cache.hits)),
+            ("waits".to_owned(), Json::U64(cache.waits)),
+            ("misses".to_owned(), Json::U64(cache.misses)),
+            ("evictions".to_owned(), Json::U64(cache.evictions)),
+        ])
+    }
+
+    /// One-line human/CI-readable metrics summary of the current state.
+    pub fn metrics_line(&self) -> String {
+        metrics_line(&self.stats_json())
+    }
+}
+
+/// Renders a stats snapshot (from [`ServerState::stats_json`] or a final
+/// [`Server::run`] result) as the one-line `serve-metrics k=v …` summary —
+/// the single formatter behind the line CI greps for and uploads.
+pub fn metrics_line(stats: &Json) -> String {
+    let fields: Vec<String> = match stats {
+        Json::Obj(members) => members
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.encode()))
+            .collect(),
+        _ => Vec::new(),
+    };
+    format!("serve-metrics {}", fields.join(" "))
+        .trim_end()
+        .to_owned()
+}
+
+/// A handle that can stop a running server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and prepares the shared state.
+    pub fn bind(opts: &ServeOptions, artefacts: ArtefactRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            workers: opts.workers.max(1),
+            state: Arc::new(ServerState {
+                cache: ResultCache::new(opts.cache_cap),
+                batcher: Batcher::new(),
+                artefacts,
+                counters: Counters::default(),
+                shutdown: AtomicBool::new(false),
+                idle_timeout: opts.idle_timeout,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.listener.local_addr().map(|a| a.port()).unwrap_or(0)
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs accept loop + worker pool until shutdown; returns the final
+    /// counter snapshot.
+    pub fn run(self) -> Json {
+        let state = &self.state;
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(move || worker_loop(state));
+            }
+            loop {
+                if state.is_shutting_down() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                        queue.push_back(stream);
+                        drop(queue);
+                        state.queue_cv.notify_one();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            state.queue_cv.notify_all();
+        });
+        self.state.stats_json()
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if state.is_shutting_down() {
+                    break None;
+                }
+                let (guard, _timeout) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        state.counters.connections.fetch_add(1, Ordering::SeqCst);
+        serve_connection(state, stream);
+    }
+}
+
+/// Serves one connection until EOF, error, idle deadline, or shutdown.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        // Accumulate one full line; timeouts poll the shutdown flag and
+        // the idle deadline (read_until appends partial reads to `line`,
+        // so resuming after a timeout never loses bytes). The deadline
+        // resets per request, so a silent connection releases its worker
+        // instead of pinning it forever.
+        let idle_since = std::time::Instant::now();
+        let saw_newline = loop {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) => break false,
+                Ok(_) if line.ends_with(b"\n") => break true,
+                Ok(_) => {} // mid-line wakeup; keep reading
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if state.is_shutting_down() {
+                        return;
+                    }
+                    if line.is_empty() && idle_since.elapsed() >= state.idle_timeout {
+                        return; // idle connection: free the worker
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            if saw_newline {
+                continue;
+            }
+            return; // clean EOF
+        }
+        state.counters.requests.fetch_add(1, Ordering::SeqCst);
+        let (reply, shutdown) = handle_request(state, text);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            state.trigger_shutdown();
+            return;
+        }
+        if !saw_newline {
+            return; // EOF followed the final (unterminated) request
+        }
+    }
+}
+
+/// Dispatches one request line; returns the reply and whether this request
+/// asked for shutdown.
+fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
+    let fail = |msg: &str| {
+        state.counters.errors.fetch_add(1, Ordering::SeqCst);
+        (error_reply(msg), false)
+    };
+    match parse_request(line) {
+        Err(msg) => fail(&msg),
+        Ok(Request::Stats) => (ok_stats(state.stats_json()), false),
+        Ok(Request::Shutdown) => (ok_shutdown(), true),
+        Ok(Request::Artefact { name, scale }) => {
+            state
+                .counters
+                .artefact_requests
+                .fetch_add(1, Ordering::SeqCst);
+            match serve_artefact(state, &name, scale) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => (ok_artefact(&name, text), false),
+                    Err(_) => fail("artefact bytes are not UTF-8"),
+                },
+                Err(msg) => fail(&msg),
+            }
+        }
+        Ok(Request::Sim {
+            kernel,
+            scale,
+            spec,
+        }) => {
+            state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
+            match serve_sim(state, &kernel, scale, &spec) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(fragment) => (ok_sim(&kernel, fragment), false),
+                    Err(_) => fail("report bytes are not UTF-8"),
+                },
+                Err(msg) => fail(&msg),
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".to_owned())
+}
+
+fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<Vec<u8>>, String> {
+    let Some(render) = state.artefacts.get(name) else {
+        return Err(format!(
+            "unknown artefact `{name}`; valid artefacts: {}",
+            state.artefacts.names_sorted().join(", ")
+        ));
+    };
+    match state.cache.fetch(artefact_key(name, scale)) {
+        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Miss => {
+            let key = artefact_key(name, scale);
+            match catch_unwind(AssertUnwindSafe(|| render(scale))) {
+                Ok(text) => Ok(state.cache.fulfill(key, text.into_bytes())),
+                Err(payload) => {
+                    state.cache.abandon(key);
+                    Err(format!(
+                        "artefact `{name}` failed: {}",
+                        panic_message(&*payload)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn serve_sim(
+    state: &ServerState,
+    kernel: &str,
+    scale: Scale,
+    spec: &SimSpec,
+) -> Result<Arc<Vec<u8>>, String> {
+    // Resolve the name first: the unknown-kernel reply is the registry's
+    // own sorted-vocabulary message, shared with the CLI front-ends.
+    let kernel_impl = kernel_by_name(kernel).map_err(|e| e.to_string())?;
+    let cfg = spec.to_config();
+    let key = sim_key(kernel, scale, &cfg);
+    match state.cache.fetch(key) {
+        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Miss => {
+            // The batch group is the functional execution identity: kernel,
+            // scale, and the engine geometry the kernel must run under (an
+            // `arrays` override changes the trace itself, exactly as in the
+            // Figure 12(b) sweep — such requests get their own group).
+            let arrays = cfg.geometry.arrays;
+            let group = format!("{kernel}@{}@{arrays}", scale_name(scale));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                state.batcher.submit(
+                    &group,
+                    BatchEntry { cfg, key },
+                    &state.cache,
+                    move || {
+                        // Guard, not set/restore: a panicking kernel must
+                        // not leave the worker's thread-local poisoned for
+                        // later requests on the same thread.
+                        let _arrays = mve_kernels::common::EngineArraysGuard::new(arrays);
+                        let run = kernel_impl.run_mve(scale);
+                        assert!(
+                            run.checked.ok(),
+                            "{kernel}: functional check failed {:?}",
+                            run.checked
+                        );
+                        run.trace
+                    },
+                    |trace, entries| {
+                        let cfgs: Vec<_> = entries.iter().map(|e| e.cfg.clone()).collect();
+                        simulate_sweep(trace, &cfgs)
+                            .iter()
+                            .map(|report| report_to_json(report).encode().into_bytes())
+                            .collect()
+                    },
+                )
+            }));
+            result.map_err(|payload| {
+                // The batcher's leader guard has already abandoned every
+                // registered reservation.
+                format!("sim `{kernel}` failed: {}", panic_message(&*payload))
+            })
+        }
+    }
+}

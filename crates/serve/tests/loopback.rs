@@ -1,0 +1,293 @@
+//! Loopback integration tests: a real server on an ephemeral port, real
+//! TCP clients, a rigged artefact registry (so timing is controllable) and
+//! real kernel simulations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mve_core::sim::simulate;
+use mve_insram::Scheme;
+use mve_kernels::registry::kernel_by_name;
+use mve_kernels::Scale;
+use mve_serve::client::Client;
+use mve_serve::json::Json;
+use mve_serve::protocol::{report_to_json, scale_name, SimSpec};
+use mve_serve::server::{ArtefactFn, ArtefactRegistry, ServeOptions, Server};
+
+/// A registry of two deterministic artefacts; `renders` counts invocations
+/// so tests can prove the exactly-once property independently of the
+/// counters.
+fn rigged_registry(renders: Arc<AtomicU64>) -> ArtefactRegistry {
+    let alpha: ArtefactFn = {
+        let renders = Arc::clone(&renders);
+        Arc::new(move |scale| {
+            renders.fetch_add(1, Ordering::SeqCst);
+            format!(
+                "alpha artefact at {} scale\nsecond line ≥µ\n",
+                scale_name(scale)
+            )
+        })
+    };
+    let slow: ArtefactFn = {
+        let renders = Arc::clone(&renders);
+        Arc::new(move |scale| {
+            renders.fetch_add(1, Ordering::SeqCst);
+            // Long enough that concurrent requesters pile onto the
+            // in-flight slot instead of each rendering.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            format!("slow artefact at {} scale\n", scale_name(scale))
+        })
+    };
+    ArtefactRegistry::new(vec![("alpha", alpha), ("slow", slow)])
+}
+
+fn boot(
+    workers: usize,
+    cache_cap: usize,
+    renders: Arc<AtomicU64>,
+) -> (
+    u16,
+    mve_serve::ShutdownHandle,
+    std::thread::JoinHandle<Json>,
+) {
+    let server = Server::bind(
+        &ServeOptions {
+            port: 0,
+            workers,
+            cache_cap,
+            ..ServeOptions::default()
+        },
+        rigged_registry(renders),
+    )
+    .expect("bind ephemeral port");
+    let port = server.port();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (port, handle, join)
+}
+
+fn stat(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats lack `{key}`: {stats:?}"))
+}
+
+/// N concurrent clients with overlapping artefact and sim request sets:
+/// every response is byte-identical to the direct computation and every
+/// unique (request, config) is computed exactly once.
+#[test]
+fn concurrent_overlapping_clients_share_one_computation_per_unique_request() {
+    const CLIENTS: u64 = 6;
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, _handle, join) = boot(4, 256, Arc::clone(&renders));
+
+    // Direct ground truth for the sim responses: same kernel, two configs.
+    let specs = [
+        SimSpec::default(),
+        SimSpec {
+            scheme: Scheme::BitParallel,
+            ooo_dispatch: true,
+            ..SimSpec::default()
+        },
+    ];
+    let expected_reports: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let run = kernel_by_name("csum")
+                .expect("csum exists")
+                .run_mve(Scale::Test);
+            assert!(run.checked.ok());
+            report_to_json(&simulate(&run.trace, &spec.to_config())).encode()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let expected_reports = expected_reports.clone();
+            let specs = specs.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+                // Overlapping artefact set, both scales of one name.
+                for _ in 0..2 {
+                    let text = client.artefact("slow", Scale::Test).expect("slow");
+                    assert_eq!(text, "slow artefact at test scale\n");
+                    let text = client.artefact("alpha", Scale::Test).expect("alpha");
+                    assert_eq!(text, "alpha artefact at test scale\nsecond line ≥µ\n");
+                    let text = client.artefact("alpha", Scale::Paper).expect("alpha paper");
+                    assert_eq!(text, "alpha artefact at paper scale\nsecond line ≥µ\n");
+                }
+                // Overlapping sims: same kernel, two configs.
+                for (spec, want) in specs.iter().zip(&expected_reports) {
+                    let report = client.sim("csum", Scale::Test, spec.clone()).expect("sim");
+                    assert_eq!(report.encode(), *want, "server must match direct simulate");
+                }
+            });
+        }
+    });
+
+    // 4 unique keys: slow@test, alpha@test, alpha@paper, 2 sim configs = 5.
+    assert_eq!(
+        renders.load(Ordering::SeqCst),
+        3,
+        "each unique artefact rendered exactly once"
+    );
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stat(&stats, "misses"),
+        5,
+        "5 unique keys computed once each"
+    );
+    let total_cacheable = CLIENTS * (6 + 2); // 6 artefact + 2 sim requests each
+    assert_eq!(
+        stat(&stats, "hits") + stat(&stats, "waits"),
+        total_cacheable - 5,
+        "everything else was served from cache or by waiting"
+    );
+    assert_eq!(stat(&stats, "errors"), 0);
+    assert_eq!(stat(&stats, "artefact_requests"), CLIENTS * 6);
+    assert_eq!(stat(&stats, "sim_requests"), CLIENTS * 2);
+
+    client.shutdown().expect("shutdown");
+    let final_stats = join.join().expect("server thread");
+    assert!(stat(&final_stats, "requests") >= total_cacheable);
+}
+
+/// Error replies are typed, keep the connection open, and quote the shared
+/// sorted vocabularies.
+#[test]
+fn typed_error_replies_keep_the_connection_usable() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 16, Arc::clone(&renders));
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+
+    // Unknown artefact: sorted vocabulary.
+    let err = client.artefact("beta", Scale::Test).expect_err("unknown");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown artefact `beta`"), "{msg}");
+    assert!(msg.contains("alpha, slow"), "{msg}");
+
+    // Unknown kernel: the registry's message, sorted.
+    let err = client
+        .sim("gemmm", Scale::Test, SimSpec::default())
+        .expect_err("typo");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown kernel `gemmm`"), "{msg}");
+    assert!(msg.contains("adler32"), "{msg}");
+    let pos_csum = msg.find("csum").expect("csum listed");
+    let pos_gemm = msg.find("gemm,").expect("gemm listed");
+    assert!(pos_csum < pos_gemm, "sorted vocabulary");
+
+    // Malformed JSON and unknown ops are errors, not disconnects.
+    for (bad, needle) in [
+        ("{not json", "invalid JSON"),
+        (r#"{"op":"simulate"}"#, "unknown op"),
+        (r#"{"kernel":"x"}"#, "`op`"),
+    ] {
+        let msg = expect_error_reply(port, bad);
+        assert!(msg.contains(needle), "{bad}: {msg}");
+    }
+
+    // The same connection still serves good requests afterwards.
+    let text = client.artefact("alpha", Scale::Test).expect("still usable");
+    assert!(text.starts_with("alpha artefact"));
+    let stats = client.stats().expect("stats");
+    assert!(stat(&stats, "errors") >= 5);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Sends one raw line on a fresh connection; the server must answer with a
+/// typed error reply (not a disconnect) whose message is returned.
+fn expect_error_reply(port: u16, line: &str) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reply = String::new();
+    let n = BufReader::new(stream).read_line(&mut reply).expect("read");
+    assert!(n > 0, "server closed the connection on: {line}");
+    match mve_serve::protocol::parse_response(reply.trim_end()) {
+        Ok(doc) => panic!("expected an error reply for {line}, got {doc:?}"),
+        Err(msg) => msg,
+    }
+}
+
+/// The LRU cap bounds resident results; evicted artefacts re-render.
+#[test]
+fn cache_cap_evicts_and_recomputes() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 1, Arc::clone(&renders));
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+
+    client.artefact("alpha", Scale::Test).expect("alpha");
+    client
+        .artefact("slow", Scale::Test)
+        .expect("slow evicts alpha");
+    client.artefact("alpha", Scale::Test).expect("alpha again");
+    assert_eq!(
+        renders.load(Ordering::SeqCst),
+        3,
+        "cap 1 forces a re-render of the evicted artefact"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(stat(&stats, "evictions") >= 1);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// An idle connection is closed at the idle deadline, freeing its worker
+/// for other clients instead of pinning it forever.
+#[test]
+fn idle_connections_are_released_at_the_deadline() {
+    use std::io::Read;
+    let renders = Arc::new(AtomicU64::new(0));
+    let server = Server::bind(
+        &ServeOptions {
+            port: 0,
+            workers: 1, // a single worker: an unpinned pool is observable
+            cache_cap: 16,
+            idle_timeout: std::time::Duration::from_millis(200),
+        },
+        rigged_registry(Arc::clone(&renders)),
+    )
+    .expect("bind");
+    let port = server.port();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // A silent connection occupies the only worker...
+    let mut silent = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    // ...until the deadline passes and the server closes it (EOF on read).
+    let mut buf = [0u8; 8];
+    silent
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("timeout");
+    assert_eq!(silent.read(&mut buf).expect("closed cleanly"), 0);
+
+    // The freed worker now serves a real client.
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let text = client.artefact("alpha", Scale::Test).expect("served");
+    assert!(text.starts_with("alpha artefact"));
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// The shutdown handle (the SIGTERM/stdin-EOF path) stops a server that
+/// has live idle connections.
+#[test]
+fn shutdown_handle_stops_a_server_with_idle_connections() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 16, renders);
+    let mut idle = Client::connect(("127.0.0.1", port)).expect("connect");
+    idle.artefact("alpha", Scale::Test).expect("alpha");
+    // Leave the connection open and idle; shutdown must still complete.
+    handle.shutdown();
+    let stats = join.join().expect("server thread joins despite idle conn");
+    assert_eq!(stat(&stats, "artefact_requests"), 1);
+}

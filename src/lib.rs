@@ -11,3 +11,4 @@ pub use mve_energy as energy;
 pub use mve_insram as insram;
 pub use mve_kernels as kernels;
 pub use mve_memsim as memsim;
+pub use mve_serve as serve;
