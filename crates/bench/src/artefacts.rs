@@ -77,12 +77,18 @@ pub fn render(name: &str, scale: Scale) -> Option<String> {
     })
 }
 
-/// The help message for a name `render` rejects: the sorted vocabulary.
+/// The help message for a name `render` rejects: a nearest-name
+/// suggestion (the registry's shared edit-distance policy, so
+/// `reproduce --only`, `ext_pumice --kernel` and the serve error replies
+/// all behave the same on typos) plus the sorted vocabulary.
 pub fn unknown_artefact_message(name: &str) -> String {
     let mut names = NAMES;
     names.sort_unstable();
+    let suggestion = mve_kernels::registry::did_you_mean(name, &names)
+        .map(|s| format!(" did you mean `{s}`?"))
+        .unwrap_or_default();
     format!(
-        "unknown artefact `{name}`; valid artefacts: {}",
+        "unknown artefact `{name}`;{suggestion} valid artefacts: {}",
         names.join(", ")
     )
 }

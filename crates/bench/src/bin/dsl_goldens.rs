@@ -1,0 +1,13 @@
+//! Regenerates the committed `corpus/<name>.golden.txt` renders (run from
+//! the repo root after changing the DSL pipeline, then review the diff).
+
+fn main() {
+    for (name, _) in mve_bench::dslcorpus::CORPUS {
+        let text = mve_bench::dslcorpus::render(name)
+            .expect("known name")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let path = format!("crates/bench/corpus/{name}.golden.txt");
+        std::fs::write(&path, &text).expect("write golden");
+        eprintln!("wrote {path} ({} bytes)", text.len());
+    }
+}

@@ -5,9 +5,17 @@
 //! mve-client [--port N] artefact NAME [--paper]
 //! mve-client [--port N] sim KERNEL [--paper] [--scheme BS|BH|BP|AC]
 //!            [--arrays N] [--ooo] [--no-mode-switch] [--no-cache-warming]
+//! mve-client [--port N] compile FILE.mvel [--scheme S] [--ooo]
+//!            [--no-mode-switch] [--no-cache-warming]
 //! mve-client [--port N] stats
 //! mve-client [--port N] shutdown
 //! ```
+//!
+//! `compile` ships the `.mvel` source to the daemon, which parses, lowers,
+//! schedules, allocates, executes, checks and times it (single-flight
+//! cached on the source digest + configuration), and prints the rendered
+//! compile artefact. Parse/type errors print as `FILE:line:col: message`
+//! and exit non-zero.
 //!
 //! `--replay-smoke` renders every artefact at test scale through the
 //! server and writes `DIR/<name>.txt` — CI diffs that tree byte-for-byte
@@ -23,6 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mve-client [--port N] (--replay-smoke DIR | artefact NAME [--paper] | \
          sim KERNEL [--paper] [--scheme S] [--arrays N] [--ooo] [--no-mode-switch] \
+         [--no-cache-warming] | compile FILE.mvel [--scheme S] [--ooo] [--no-mode-switch] \
          [--no-cache-warming] | stats | shutdown)"
     );
     std::process::exit(2);
@@ -128,6 +137,45 @@ fn main() {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
             let report = client.sim(kernel, scale, spec).unwrap_or_else(|e| fail(e));
             println!("{}", report.encode());
+        }
+        Some("compile") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let source = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            let mut spec = SimSpec::default();
+            let mut j = 2;
+            while j < args.len() {
+                match args[j].as_str() {
+                    "--ooo" => {
+                        spec.ooo_dispatch = true;
+                        j += 1;
+                    }
+                    "--no-mode-switch" => {
+                        spec.mode_switch = false;
+                        j += 1;
+                    }
+                    "--no-cache-warming" => {
+                        spec.cache_warming = false;
+                        j += 1;
+                    }
+                    "--scheme" => {
+                        let scheme = args.get(j + 1).and_then(|name| {
+                            Scheme::ALL.iter().copied().find(|s| s.short_name() == name)
+                        });
+                        let Some(scheme) = scheme else { usage() };
+                        spec.scheme = scheme;
+                        j += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let text = client
+                .compile(&source, spec)
+                .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            print!("{text}");
         }
         Some("stats") => {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));

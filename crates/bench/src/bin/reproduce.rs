@@ -17,6 +17,13 @@
 //! results are byte-identical to a serial run at any job count — CI
 //! asserts exactly that.
 //!
+//! `--dsl` additionally compiles and runs the committed `.mvel` corpus
+//! (`mve_bench::dslcorpus`) through the full mve-lang pipeline — parse →
+//! lower → schedule → allocate → execute → check → simulate — writing one
+//! `dsl_<name>.txt` render per kernel. The same bytes are committed as
+//! `crates/bench/corpus/<name>.golden.txt` and served by the daemon's
+//! `compile` op.
+//!
 //! `--json` instead times the engine and service hot-path micro-benchmarks
 //! (`mve_bench::perf`) and writes the machine-readable trajectory file
 //! `BENCH_engine.json` into the current directory, so each PR records the
@@ -115,6 +122,19 @@ fn main() {
     let jobs = parse_jobs(&args).clamp(1, names.len());
     let out_dir = if smoke { "results-smoke" } else { "results" };
     fs::create_dir_all(out_dir).expect("create results dir");
+
+    if args.iter().any(|a| a == "--dsl") {
+        for (name, _) in mve_bench::dslcorpus::CORPUS {
+            eprintln!("compiling dsl corpus kernel {name}...");
+            let text = mve_bench::dslcorpus::render(name)
+                .expect("corpus name")
+                .unwrap_or_else(|e| panic!("corpus kernel {name} failed to compile: {e}"));
+            let path = format!("{out_dir}/dsl_{name}.txt");
+            fs::write(&path, text.as_bytes())
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            eprintln!("  -> {path} ({} bytes)", text.len());
+        }
+    }
 
     if jobs == 1 {
         for name in &names {

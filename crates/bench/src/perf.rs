@@ -58,7 +58,12 @@ const LANES: usize = 8192;
 /// workloads tracking the `mve-serve` hot paths: `serve_cache_hit` (the
 /// content-addressed lookup a repeat request rides) and
 /// `serve_batched_sweep` (one trace fanned across the four scheme
-/// configurations, the coalesced-batch execution path).
+/// configurations, the coalesced-batch execution path) — plus two ISSUE-5
+/// DSL workloads: `dsl_parse_lower` (the full mve-lang compile pipeline
+/// over the strip-mined saxpy corpus source, the per-unique-source cost of
+/// the serve `compile` op) and `dsl_compiled_binop_8192` (a pre-compiled
+/// element-wise kernel re-executed on its persistent `Executor`, the
+/// execution-bridge overhead against the native `binop_add_8192`).
 pub fn engine_hot_benches() -> Vec<HotBench> {
     let mut out = Vec::new();
 
@@ -249,6 +254,43 @@ pub fn engine_hot_benches() -> Vec<HotBench> {
             run: Box::new(move || {
                 let reports = simulate_sweep(&trace, &cfgs);
                 assert_eq!(reports.len(), Scheme::ALL.len());
+            }),
+        });
+    }
+
+    // ISSUE-5 DSL front-end: the full compile pipeline (lex → parse →
+    // typed lowering with loop unrolling → list scheduling → spill-aware
+    // allocation) over the strip-mined saxpy corpus kernel. Tracks the
+    // service's per-unique-source cost — repeat requests ride the cache.
+    {
+        let source = crate::dslcorpus::source("saxpy").expect("corpus kernel");
+        out.push(HotBench {
+            name: "dsl_parse_lower",
+            elems: source.len() as u64,
+            run: Box::new(move || {
+                let ck = mve_lang::compile(source).expect("corpus kernel compiles");
+                assert!(ck.spill_stores == 0);
+            }),
+        });
+    }
+
+    // ISSUE-5 DSL execution bridge: a pre-compiled element-wise kernel
+    // re-executed on its persistent Executor (buffers allocated once).
+    // The delta against binop_add_8192 is the interpretation overhead of
+    // driving the engine from allocated IR instead of native code.
+    {
+        let source = "kernel b(x: buf<i32>[8192], y: buf<i32>[8192], o: mut buf<i32>[8192]) {\n\
+                      shape [8192];\nlet xv = load x [1];\nlet yv = load y [1];\n\
+                      store xv + yv -> o [1];\n}";
+        let ck = mve_lang::compile(source).expect("binop kernel compiles");
+        let bindings = mve_lang::Bindings::deterministic(&ck.program);
+        let mut ex = mve_lang::Executor::new(&ck, &bindings);
+        out.push(HotBench {
+            name: "dsl_compiled_binop_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                ex.run();
+                ex.engine_mut().clear_trace();
             }),
         });
     }

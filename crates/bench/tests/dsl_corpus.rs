@@ -1,0 +1,92 @@
+//! The committed `.mvel` corpus against its goldens, locally and through
+//! a live serve daemon:
+//!
+//! * every corpus render is byte-identical to the committed
+//!   `corpus/<name>.golden.txt` (so any pipeline change must regenerate
+//!   the goldens deliberately — `cargo run -p mve-bench --bin dsl_goldens`);
+//! * the daemon's `compile` op returns the same bytes, twice, with cache
+//!   misses equal to the corpus size (every kernel compiled exactly once);
+//! * the spill-pressure kernel's golden visibly carries spill traffic.
+
+use mve_bench::dslcorpus::{render, CORPUS, GOLDENS};
+use mve_serve::client::Client;
+use mve_serve::json::Json;
+use mve_serve::protocol::SimSpec;
+use mve_serve::server::{ServeOptions, Server};
+
+fn stat(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats lack `{key}`: {stats:?}"))
+}
+
+#[test]
+fn corpus_renders_match_the_committed_goldens() {
+    for ((name, _), (gname, golden)) in CORPUS.iter().zip(GOLDENS) {
+        assert_eq!(name, gname);
+        let rendered = render(name)
+            .expect("known name")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            &rendered, golden,
+            "{name}: render differs from corpus/{name}.golden.txt — if the \
+             pipeline change is intentional, regenerate with `cargo run -p \
+             mve-bench --bin dsl_goldens`"
+        );
+    }
+}
+
+#[test]
+fn pressure_golden_demonstrates_spill_traffic() {
+    let golden = GOLDENS
+        .iter()
+        .find(|(n, _)| *n == "pressure")
+        .map(|(_, g)| *g)
+        .expect("pressure golden");
+    // 6 spill stores + 6 reloads on top of the program's 4 loads and 3
+    // stores: the §VII-C spill cost, visible in the instruction mix.
+    assert!(golden.contains("spill_stores=6 reloads=6"), "{golden}");
+    assert!(golden.contains("mix: config=19 moves=0 mem=19"), "{golden}");
+    assert!(golden.contains("mismatches=0"), "{golden}");
+}
+
+#[test]
+fn corpus_through_serve_is_byte_identical_with_exactly_one_compile_each() {
+    let server = Server::bind(
+        &ServeOptions {
+            port: 0,
+            workers: 2,
+            ..ServeOptions::default()
+        },
+        mve_bench::artefacts::registry(),
+    )
+    .expect("bind");
+    let port = server.port();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    for pass in 0..2 {
+        for (name, source) in CORPUS {
+            let got = client
+                .compile(source, SimSpec::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let golden = GOLDENS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, g)| *g)
+                .expect("golden");
+            assert_eq!(&got, golden, "pass {pass}, kernel {name}");
+        }
+    }
+    let stats = client.stats().expect("stats");
+    // First pass: one miss per corpus kernel. Second pass: all hits.
+    assert_eq!(stat(&stats, "misses"), CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "hits"), CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "compile_requests"), 2 * CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "errors"), 0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

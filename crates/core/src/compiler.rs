@@ -18,11 +18,136 @@
 //!    and reload/spill code is inserted (the spill cost the Duality Cache
 //!    comparison in Section VII-C turns on).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+use crate::dtype::{BinOp, DType};
+use crate::isa::{Opcode, StrideMode};
 
 /// A virtual register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VReg(pub u32);
+
+/// Mnemonic of the allocator-inserted spill store (`uses[0]` → its slot).
+pub const SPILL_STORE: &str = "spill.store";
+/// Mnemonic of the allocator-inserted reload (`def` ← its slot).
+pub const SPILL_RELOAD: &str = "spill.reload";
+
+/// The scalar a [`Action::Splat`] broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplatSource {
+    /// An immediate, as the raw lane encoding of the op's element type.
+    Imm(u64),
+    /// A scalar kernel parameter, bound at execution time.
+    Param(usize),
+}
+
+/// Execution semantics a front-end (the `mve-lang` lowering) attaches to an
+/// [`IrOp`]. The scheduler and allocator never look inside — they operate
+/// on the dataflow alone — but the semantics travel with the op through
+/// reordering and spill rewriting, so the scheduled + allocated program
+/// stays executable on the functional engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Broadcast a scalar into the def register (`vsetdup`).
+    Splat(SplatSource),
+    /// Multi-dimensional strided load from buffer parameter `param`.
+    Load {
+        /// Buffer-parameter index in the program's [`ParamDecl`] list.
+        param: usize,
+        /// Element offset into the buffer.
+        elem_offset: u64,
+        /// Per-dimension stride modes (innermost first).
+        modes: Vec<StrideMode>,
+        /// `(dim, stride)` pairs for dimensions using [`StrideMode::Cr`].
+        cr_strides: Vec<(usize, i64)>,
+    },
+    /// Multi-dimensional strided store of `uses[0]` into parameter `param`.
+    Store {
+        /// Buffer-parameter index in the program's [`ParamDecl`] list.
+        param: usize,
+        /// Element offset into the buffer.
+        elem_offset: u64,
+        /// Per-dimension stride modes (innermost first).
+        modes: Vec<StrideMode>,
+        /// `(dim, stride)` pairs for dimensions using [`StrideMode::Cr`].
+        cr_strides: Vec<(usize, i64)>,
+    },
+    /// Element-wise binary op over `uses[0]`, `uses[1]`.
+    Binop {
+        /// The ISA opcode (drives trace classification and timing).
+        opcode: Opcode,
+        /// The lane arithmetic.
+        op: BinOp,
+    },
+    /// Shift/rotate `uses[0]` by an immediate.
+    ShiftImm {
+        /// Shift amount in bits.
+        amount: u32,
+        /// Left (`true`) or right shift.
+        left: bool,
+    },
+    /// Full reduction of `uses[0]`; the def register holds the reduced
+    /// value broadcast across every lane (the Section IV vertical tree).
+    Reduce {
+        /// The combining operation (add/min/max).
+        op: BinOp,
+    },
+}
+
+/// The execution context of one semantic op: what to do, under which
+/// logical shape, at which element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sem {
+    /// The operation semantics.
+    pub action: Action,
+    /// Dimension lengths (innermost first) the op executes under.
+    pub shape: Vec<usize>,
+    /// Element type of the defined/used value.
+    pub dtype: DType,
+}
+
+/// How a kernel parameter is bound at execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A read-only input buffer of `len` elements.
+    BufIn {
+        /// Element count.
+        len: usize,
+    },
+    /// A write-only output buffer of `len` elements.
+    BufOut {
+        /// Element count.
+        len: usize,
+    },
+    /// A scalar, with an optional default raw value from the source.
+    Scalar {
+        /// Raw lane encoding of the declared default, if any.
+        default: Option<u64>,
+    },
+}
+
+/// One kernel parameter declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Binding kind.
+    pub kind: ParamKind,
+}
+
+/// A lowered straight-line program with its entry metadata — the container
+/// a front-end hands to [`schedule`]/[`allocate`] and an executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Kernel name from the source.
+    pub name: String,
+    /// Parameter declarations, in source order.
+    pub params: Vec<ParamDecl>,
+    /// The straight-line IR.
+    pub ops: Vec<IrOp>,
+}
 
 /// One straight-line IR operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,19 +160,73 @@ pub struct IrOp {
     pub uses: Vec<VReg>,
     /// Element width in bits (drives the kernel-width selection).
     pub width: u32,
+    /// Execution semantics, for IR produced by a front-end; `None` for
+    /// bare dataflow-only IR (this module's original closed-world uses).
+    pub sem: Option<Sem>,
 }
 
 impl IrOp {
-    /// Convenience constructor.
+    /// Convenience constructor (dataflow only, no semantics).
     pub fn new(name: &str, def: Option<VReg>, uses: &[VReg], width: u32) -> Self {
         Self {
             name: name.to_owned(),
             def,
             uses: uses.to_vec(),
             width,
+            sem: None,
+        }
+    }
+
+    /// Attaches execution semantics.
+    pub fn with_sem(mut self, sem: Sem) -> Self {
+        self.sem = Some(sem);
+        self
+    }
+}
+
+/// A typed compilation failure from the scheduling/allocation pipeline.
+///
+/// Until PR 5 the allocator `assert!`ed on these conditions, which was
+/// tolerable while the only callers were this module's own tests; with
+/// arbitrary client-submitted kernels flowing in through `mve-lang`, a
+/// malformed program must surface as an error reply, not a daemon panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The physical register budget cannot hold the widest instruction's
+    /// operands (or is below the allocator's minimum of 2).
+    BudgetTooSmall {
+        /// The budget requested.
+        budget: usize,
+        /// The minimum workable budget for this program.
+        required: usize,
+    },
+    /// An op reads a virtual register no earlier op defines.
+    UndefinedVReg {
+        /// The undefined register.
+        vreg: VReg,
+        /// Index of the offending op.
+        op_index: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::BudgetTooSmall { budget, required } => write!(
+                f,
+                "register budget {budget} too small: this program needs at least \
+                 {required} physical registers"
+            ),
+            CompileError::UndefinedVReg { vreg, op_index } => write!(
+                f,
+                "op {op_index} uses virtual register v{} which no earlier op defines",
+                vreg.0
+            ),
         }
     }
 }
+
+impl std::error::Error for CompileError {}
 
 /// Per-program liveness result.
 #[derive(Debug, Clone)]
@@ -126,8 +305,43 @@ pub struct Allocation {
 /// Greedy linear-scan allocation with furthest-next-use spilling
 /// (Belady's choice, which the paper's "Greedy Register Allocation" with
 /// live-range splitting approximates).
-pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
-    assert!(budget >= 2, "need at least two physical registers");
+///
+/// Returns a typed [`CompileError`] — never panics or loops — when the
+/// budget cannot hold the widest instruction's operand set, or when the IR
+/// uses a virtual register nothing defines.
+pub fn allocate(ops: &[IrOp], budget: usize) -> Result<Allocation, CompileError> {
+    // An op's distinct operands must be resident simultaneously; below
+    // that (or below the structural minimum of 2) eviction has no legal
+    // victim and the old code path asserted.
+    let required = ops
+        .iter()
+        .map(|op| {
+            let distinct: HashSet<VReg> = op.uses.iter().copied().collect();
+            distinct.len()
+        })
+        .max()
+        .unwrap_or(0)
+        .max(2);
+    if budget < required {
+        return Err(CompileError::BudgetTooSmall { budget, required });
+    }
+    // Every use must be dominated by a def: an undefined vreg is neither
+    // in a register nor spilled, which the reload path below could only
+    // "handle" by inventing a value.
+    let mut defined: HashSet<VReg> = HashSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        for &u in &op.uses {
+            if !defined.contains(&u) {
+                return Err(CompileError::UndefinedVReg {
+                    vreg: u,
+                    op_index: i,
+                });
+            }
+        }
+        if let Some(d) = op.def {
+            defined.insert(d);
+        }
+    }
     let lv = liveness(ops);
 
     // next_use[i][r]: the next index ≥ i where r is used.
@@ -148,13 +362,11 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
     };
 
     for (i, op) in ops.iter().enumerate() {
-        // Reload any spilled operands.
+        // Reload any spilled operands (the def-domination check above
+        // guarantees a value not in a register was spilled).
         for &u in &op.uses {
             if !in_reg.contains_key(&u) {
-                assert!(
-                    spilled.get(&u).copied().unwrap_or(false),
-                    "use of undefined vreg {u:?}"
-                );
+                debug_assert!(spilled.get(&u).copied().unwrap_or(false));
                 // Find a register: free, or evict furthest-next-use.
                 let phys = if let Some(p) = phys_free.pop() {
                     p
@@ -167,14 +379,14 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
                     if next_use_after(ops, victim, i) != usize::MAX {
                         spill_stores += 1;
                         spilled.insert(victim, true);
-                        code.push(IrOp::new("spill.store", None, &[victim], op.width));
+                        code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width));
                     }
                     in_reg.remove(&victim);
                     p
                 };
                 in_reg.insert(u, phys);
                 reloads += 1;
-                code.push(IrOp::new("spill.reload", Some(u), &[], op.width));
+                code.push(IrOp::new(SPILL_RELOAD, Some(u), &[], op.width));
             }
         }
         // Free registers whose contents die at this op.
@@ -202,7 +414,7 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
                 if next_use_after(ops, victim, i + 1) != usize::MAX {
                     spill_stores += 1;
                     spilled.insert(victim, true);
-                    code.push(IrOp::new("spill.store", None, &[victim], op.width));
+                    code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width));
                 }
                 in_reg.remove(&victim);
                 p
@@ -212,12 +424,12 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Allocation {
         }
     }
 
-    Allocation {
+    Ok(Allocation {
         assignment,
         spill_stores,
         reloads,
         code,
-    }
+    })
 }
 
 /// Bottom-up list scheduling that reduces register pressure: independent
@@ -338,7 +550,7 @@ mod tests {
     #[test]
     fn allocation_without_pressure_never_spills() {
         let ops = gemm_body(8);
-        let alloc = allocate(&ops, 8);
+        let alloc = allocate(&ops, 8).unwrap();
         assert_eq!(alloc.spill_stores, 0);
         assert_eq!(alloc.reloads, 0);
         // Physical registers stay within budget.
@@ -357,12 +569,12 @@ mod tests {
             ops.push(IrOp::new("vadd", Some(v(100 + i)), &[v(i), v(11 - i)], 32));
             ops.push(IrOp::new("vsst", None, &[v(100 + i)], 32));
         }
-        let alloc = allocate(&ops, 4);
+        let alloc = allocate(&ops, 4).unwrap();
         assert!(alloc.spill_stores > 0, "must spill");
         assert!(alloc.reloads >= alloc.spill_stores);
         // Spill code appears in the rewritten program.
-        assert!(alloc.code.iter().any(|o| o.name == "spill.store"));
-        assert!(alloc.code.iter().any(|o| o.name == "spill.reload"));
+        assert!(alloc.code.iter().any(|o| o.name == SPILL_STORE));
+        assert!(alloc.code.iter().any(|o| o.name == SPILL_RELOAD));
     }
 
     #[test]
@@ -382,11 +594,13 @@ mod tests {
         };
         let wide = mk(64);
         let narrow = mk(8);
-        let wide_alloc = allocate(&wide, register_budget(256, liveness(&wide).kernel_width));
+        let wide_alloc =
+            allocate(&wide, register_budget(256, liveness(&wide).kernel_width)).unwrap();
         let narrow_alloc = allocate(
             &narrow,
             register_budget(256, liveness(&narrow).kernel_width),
-        );
+        )
+        .unwrap();
         assert!(wide_alloc.spill_stores > 0);
         assert_eq!(narrow_alloc.spill_stores, 0);
     }
@@ -427,11 +641,61 @@ mod tests {
     }
 
     #[test]
+    fn zero_or_tiny_budget_is_a_typed_error_not_a_panic() {
+        let ops = gemm_body(4);
+        for budget in [0, 1] {
+            match allocate(&ops, budget) {
+                Err(CompileError::BudgetTooSmall {
+                    budget: b,
+                    required,
+                }) => {
+                    assert_eq!(b, budget);
+                    assert!(required >= 2, "required {required}");
+                }
+                other => panic!("budget {budget}: expected BudgetTooSmall, got {other:?}"),
+            }
+        }
+        // A 3-operand-wide op raises the structural minimum above 2.
+        let wide = vec![
+            IrOp::new("vsld", Some(v(0)), &[], 32),
+            IrOp::new("vsld", Some(v(1)), &[], 32),
+            IrOp::new("vsld", Some(v(2)), &[], 32),
+            IrOp::new("fma3", Some(v(3)), &[v(0), v(1), v(2)], 32),
+        ];
+        match allocate(&wide, 2) {
+            Err(CompileError::BudgetTooSmall { required, .. }) => assert_eq!(required, 3),
+            other => panic!("expected BudgetTooSmall, got {other:?}"),
+        }
+        assert!(allocate(&wide, 3).is_ok());
+    }
+
+    #[test]
+    fn undefined_vreg_is_a_typed_error_not_a_panic() {
+        // v(7) is used but never defined; pre-hardening this tripped an
+        // internal assert deep in the reload path.
+        let ops = vec![
+            IrOp::new("vsld", Some(v(0)), &[], 32),
+            IrOp::new("vadd", Some(v(1)), &[v(0), v(7)], 32),
+        ];
+        match allocate(&ops, 8) {
+            Err(CompileError::UndefinedVReg { vreg, op_index }) => {
+                assert_eq!(vreg, v(7));
+                assert_eq!(op_index, 1);
+            }
+            other => panic!("expected UndefinedVReg, got {other:?}"),
+        }
+        // The error message names the register and the op.
+        let err = allocate(&ops, 8).unwrap_err();
+        assert!(err.to_string().contains("v7"), "{err}");
+        assert!(err.to_string().contains("op 1"), "{err}");
+    }
+
+    #[test]
     fn scheduled_gemm_fits_paper_budget() {
         // The Section IV GEMM listing must fit the 8-register file at
         // 32-bit width after scheduling + allocation.
         let ops = schedule(&gemm_body(16));
-        let alloc = allocate(&ops, register_budget(256, 32));
+        let alloc = allocate(&ops, register_budget(256, 32)).unwrap();
         assert_eq!(alloc.spill_stores, 0, "paper's GEMM must not spill");
     }
 }

@@ -34,6 +34,9 @@ pub enum Library {
     Boringssl,
     /// Arm Optimized Routines — string/network utilities.
     OptRoutines,
+    /// Client-submitted `.mvel` kernels compiled by `mve-lang` (not part
+    /// of the Table III suite; never in [`Library::ALL`]).
+    Dsl,
 }
 
 impl Library {
@@ -68,6 +71,7 @@ impl Library {
             Library::Zlib => "zlib",
             Library::Boringssl => "boringssl",
             Library::OptRoutines => "Opt. Routines",
+            Library::Dsl => "mve-lang",
         }
     }
 
@@ -84,6 +88,7 @@ impl Library {
             Library::Zlib => "Data Compression",
             Library::Boringssl => "Cryptography",
             Library::OptRoutines => "String/Network Utilities",
+            Library::Dsl => "User-Defined Kernels",
         }
     }
 
@@ -100,6 +105,7 @@ impl Library {
             | Library::Skia => "1280x720",
             Library::Webaudio => "32S x 44.1kHz",
             Library::Zlib | Library::Boringssl | Library::OptRoutines => "128KB",
+            Library::Dsl => "client-submitted",
         }
     }
 }
@@ -222,10 +228,44 @@ pub fn kernel_names_sorted() -> Vec<&'static str> {
     names
 }
 
+/// Case-sensitive Levenshtein distance (iterative two-row form).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The nearest name to `name` among `candidates` (a "did you mean?"
+/// suggestion), if one is close enough to plausibly be a typo: edit
+/// distance at most `max(1, len/3)`, ties broken by iteration order —
+/// pass a sorted vocabulary for deterministic output. Shared by every
+/// vocabulary front-end: [`UnknownKernel`] (so `ext_pumice --kernel` and
+/// the serve error reply inherit it) and the artefact vocabulary behind
+/// `reproduce --only`.
+pub fn did_you_mean<'a>(name: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let budget = (name.chars().count() / 3).max(1);
+    candidates
+        .iter()
+        .map(|&c| (edit_distance(name, c), c))
+        .filter(|&(d, _)| d > 0 && d <= budget)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
 /// A kernel name that is not in the Table III suite. Its `Display` output
 /// is the one help message every front-end shows (`reproduce`,
 /// `ext_pumice`, and the `mve-serve` error reply), so the failure mode of
-/// a typo'd kernel is the sorted list of valid names everywhere.
+/// a typo'd kernel is a nearest-name suggestion plus the sorted list of
+/// valid names, everywhere.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownKernel {
     /// The name that failed to resolve.
@@ -234,12 +274,12 @@ pub struct UnknownKernel {
 
 impl std::fmt::Display for UnknownKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown kernel `{}`; valid kernels: {}",
-            self.name,
-            kernel_names_sorted().join(", ")
-        )
+        let names = kernel_names_sorted();
+        write!(f, "unknown kernel `{}`;", self.name)?;
+        if let Some(suggestion) = did_you_mean(&self.name, &names) {
+            write!(f, " did you mean `{suggestion}`?")?;
+        }
+        write!(f, " valid kernels: {}", names.join(", "))
     }
 }
 
@@ -323,6 +363,49 @@ mod tests {
         // Every valid name appears in the help message, in sorted order.
         let list = msg.split("valid kernels: ").nth(1).expect("list");
         assert_eq!(list, sorted.join(", "));
+    }
+
+    #[test]
+    fn typos_get_nearest_name_suggestions() {
+        // One help message, one suggestion policy, every front-end.
+        for (typo, want) in [
+            ("gemmm", "gemm"),
+            ("gemn", "gemm"),
+            ("adler23", "adler32"),
+            ("memst", "memset"),
+            ("strlen1", "strlen"),
+            ("chacha21", "chacha20"),
+            ("webp_upsampl", "webp_upsample"),
+        ] {
+            let Err(err) = kernel_by_name(typo) else {
+                panic!("{typo} must not resolve");
+            };
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("did you mean `{want}`?")),
+                "{typo}: {msg}"
+            );
+        }
+        // Nothing near: no suggestion, just the vocabulary.
+        let Err(err) = kernel_by_name("zzzzzzzz") else {
+            panic!("zzzzzzzz must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("valid kernels: "), "{msg}");
+    }
+
+    #[test]
+    fn did_you_mean_respects_the_distance_budget() {
+        let vocab = ["gemm", "spmm", "satd"];
+        assert_eq!(did_you_mean("gemmm", &vocab), Some("gemm"));
+        assert_eq!(did_you_mean("spm", &vocab), Some("spmm"));
+        // An exact match is not a typo.
+        assert_eq!(did_you_mean("gemm", &vocab), None);
+        // Too far from everything (budget = len/3).
+        assert_eq!(did_you_mean("quicksort", &vocab), None);
+        // Deterministic tie-break: first candidate in (sorted) order.
+        assert_eq!(did_you_mean("gexm", &["geam", "gebm"]), Some("geam"));
     }
 
     #[test]

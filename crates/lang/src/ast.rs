@@ -1,0 +1,497 @@
+//! The `.mvel` abstract syntax tree and its canonical pretty-printer.
+//!
+//! Equality is structural (spans are ignored via [`Spanned`]), and
+//! [`pretty`] emits canonical source that re-parses to an equal tree — the
+//! round-trip property the `dsl_properties` suite pins.
+
+use std::fmt::Write as _;
+
+use crate::diag::Spanned;
+use mve_core::dtype::DType;
+
+/// A compile-time integer expression (shape dimensions, offsets, loop
+/// bounds, stride values, shift amounts). Loop variables are the only
+/// names; everything folds to a constant during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IExprKind {
+    /// Integer literal.
+    Lit(i64),
+    /// A loop variable.
+    Var(String),
+    /// `lhs op rhs`.
+    Bin {
+        /// `+`, `-` or `*`.
+        op: IOp,
+        /// Left operand.
+        lhs: Box<IExpr>,
+        /// Right operand.
+        rhs: Box<IExpr>,
+    },
+    /// Unary negation.
+    Neg(Box<IExpr>),
+}
+
+/// Integer-expression operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+/// A spanned [`IExprKind`].
+pub type IExpr = Spanned<IExprKind>;
+
+/// A per-dimension stride mode expression: `seq` (continue the lower
+/// dimension) or a constant integer — `0` replicates, `1` is sequential,
+/// anything else becomes a stride CR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModeExpr {
+    /// `seq` — Section III-C mode 2.
+    Seq,
+    /// A constant stride value.
+    Stride(IExpr),
+}
+
+/// Element-wise expression operators (the Table II binary ALU set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `&`.
+    And,
+    /// `|`.
+    Or,
+    /// `^`.
+    Xor,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+}
+
+/// Reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum.
+    Add,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal (adopts the integer dtype of its context).
+    Int(i64),
+    /// Float literal (adopts the float dtype of its context).
+    Float(f64),
+}
+
+// Floats in the AST come from literals only; NaN never appears (the lexer
+// cannot produce one), so bitwise equality is sound.
+impl Eq for Lit {}
+
+/// An element-wise (vector) expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// A `let` binding or scalar parameter.
+    Ident(String),
+    /// A literal, broadcast across the active lanes.
+    Lit(Lit),
+    /// `load buf [@ off] [modes]` — a multi-dimensional strided load.
+    Load {
+        /// Source buffer parameter.
+        buf: String,
+        /// Element offset into the buffer.
+        offset: Option<IExpr>,
+        /// Per-dimension stride modes, innermost first.
+        modes: Vec<ModeExpr>,
+    },
+    /// `lhs op rhs` or `min`/`max` call.
+    Bin {
+        /// The operator.
+        op: VOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `value << amount` / `value >> amount` (constant amount).
+    Shift {
+        /// Left (`<<`) or right (`>>`).
+        left: bool,
+        /// Shifted value.
+        value: Box<Expr>,
+        /// Constant shift amount.
+        amount: IExpr,
+    },
+    /// `reduce add|min|max (expr)` — the Section IV vertical tree
+    /// reduction; yields the reduced value broadcast across all lanes.
+    Reduce {
+        /// The combining operator.
+        op: ReduceOp,
+        /// The reduced operand.
+        value: Box<Expr>,
+    },
+}
+
+/// A spanned [`ExprKind`].
+pub type Expr = Spanned<ExprKind>;
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `shape [d0, d1, ...];` — configure the logical shape (innermost
+    /// dimension first) for subsequent operations.
+    Shape(Vec<IExpr>),
+    /// `let name = expr;`.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Bound value.
+        value: Expr,
+    },
+    /// `store expr -> buf [@ off] [modes];`.
+    Store {
+        /// Stored value.
+        value: Expr,
+        /// Destination buffer parameter.
+        buf: String,
+        /// Element offset into the buffer.
+        offset: Option<IExpr>,
+        /// Per-dimension stride modes, innermost first.
+        modes: Vec<ModeExpr>,
+    },
+    /// `for v in lo..hi { ... }` — a dim block, fully unrolled during
+    /// lowering (the multi-dimensional strip-mining of Section IV).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: IExpr,
+        /// Exclusive upper bound.
+        hi: IExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A spanned [`StmtKind`].
+pub type Stmt = Spanned<StmtKind>;
+
+/// A parameter's declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamTy {
+    /// A scalar of the given element type.
+    Scalar(DType),
+    /// `buf<dtype>[len]` (read-only) or `mut buf<dtype>[len]` (write-only).
+    Buf {
+        /// Element type.
+        dtype: DType,
+        /// Element count.
+        len: usize,
+        /// Output (writable) buffer.
+        out: bool,
+    },
+}
+
+/// One kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ParamTy,
+    /// Optional scalar default (`a: i32 = 3`).
+    pub default: Option<Lit>,
+}
+
+/// A parsed kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelAst {
+    /// Kernel name.
+    pub name: String,
+    /// Parameters, in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// The DSL spelling of an element type.
+pub fn dtype_name(d: DType) -> &'static str {
+    match d {
+        DType::U8 => "u8",
+        DType::I8 => "i8",
+        DType::U16 => "u16",
+        DType::I16 => "i16",
+        DType::U32 => "u32",
+        DType::I32 => "i32",
+        DType::U64 => "u64",
+        DType::I64 => "i64",
+        DType::F16 => "f16",
+        DType::F32 => "f32",
+    }
+}
+
+/// Parses a DSL type name.
+pub fn dtype_from_name(name: &str) -> Option<DType> {
+    Some(match name {
+        "u8" => DType::U8,
+        "i8" => DType::I8,
+        "u16" => DType::U16,
+        "i16" => DType::I16,
+        "u32" => DType::U32,
+        "i32" => DType::I32,
+        "u64" => DType::U64,
+        "i64" => DType::I64,
+        "f16" => DType::F16,
+        "f32" => DType::F32,
+        _ => return None,
+    })
+}
+
+fn iexpr_prec(e: &IExprKind) -> u8 {
+    match e {
+        IExprKind::Lit(_) | IExprKind::Var(_) | IExprKind::Neg(_) => 3,
+        IExprKind::Bin { op: IOp::Mul, .. } => 2,
+        IExprKind::Bin { .. } => 1,
+    }
+}
+
+fn fmt_iexpr(s: &mut String, e: &IExpr, min_prec: u8) {
+    let prec = iexpr_prec(&e.node);
+    let paren = prec < min_prec;
+    if paren {
+        s.push('(');
+    }
+    match &e.node {
+        IExprKind::Lit(v) => {
+            let _ = write!(s, "{v}");
+        }
+        IExprKind::Var(name) => s.push_str(name),
+        IExprKind::Neg(inner) => {
+            s.push('-');
+            fmt_iexpr(s, inner, 3);
+        }
+        IExprKind::Bin { op, lhs, rhs } => {
+            // Left-associative: a right child at the same precedence needs
+            // parens or `a + (b + c)` would re-parse as `(a + b) + c`.
+            let (sym, lp, rp) = match op {
+                IOp::Add => ("+", 1, 2),
+                IOp::Sub => ("-", 1, 2),
+                IOp::Mul => ("*", 2, 3),
+            };
+            fmt_iexpr(s, lhs, lp);
+            let _ = write!(s, " {sym} ");
+            fmt_iexpr(s, rhs, rp);
+        }
+    }
+    if paren {
+        s.push(')');
+    }
+}
+
+fn fmt_modes(s: &mut String, modes: &[ModeExpr]) {
+    s.push('[');
+    for (i, m) in modes.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match m {
+            ModeExpr::Seq => s.push_str("seq"),
+            ModeExpr::Stride(e) => fmt_iexpr(s, e, 0),
+        }
+    }
+    s.push(']');
+}
+
+/// Operator precedence for the canonical printer (must agree with the
+/// parser: bitwise < additive < multiplicative < shift < atom).
+fn expr_prec(e: &ExprKind) -> u8 {
+    match e {
+        ExprKind::Bin { op, .. } => match op {
+            VOp::And | VOp::Or | VOp::Xor => 1,
+            VOp::Add | VOp::Sub => 2,
+            VOp::Mul => 3,
+            VOp::Min | VOp::Max => 5,
+        },
+        ExprKind::Shift { .. } => 4,
+        _ => 5,
+    }
+}
+
+fn fmt_lit(s: &mut String, lit: &Lit) {
+    match lit {
+        Lit::Int(v) => {
+            let _ = write!(s, "{v}");
+        }
+        // `{:?}` round-trips f64 exactly and always prints a `.` or
+        // exponent, so it re-lexes as a float.
+        Lit::Float(v) => {
+            let _ = write!(s, "{v:?}");
+        }
+    }
+}
+
+fn fmt_expr(s: &mut String, e: &Expr, min_prec: u8) {
+    let prec = expr_prec(&e.node);
+    let paren = prec < min_prec;
+    if paren {
+        s.push('(');
+    }
+    match &e.node {
+        ExprKind::Ident(name) => s.push_str(name),
+        ExprKind::Lit(lit) => fmt_lit(s, lit),
+        ExprKind::Load { buf, offset, modes } => {
+            let _ = write!(s, "load {buf}");
+            if let Some(off) = offset {
+                s.push_str(" @ ");
+                fmt_iexpr(s, off, 0);
+            }
+            s.push(' ');
+            fmt_modes(s, modes);
+        }
+        ExprKind::Bin { op, lhs, rhs } => match op {
+            VOp::Min | VOp::Max => {
+                s.push_str(if *op == VOp::Min { "min(" } else { "max(" });
+                fmt_expr(s, lhs, 0);
+                s.push_str(", ");
+                fmt_expr(s, rhs, 0);
+                s.push(')');
+            }
+            _ => {
+                // Left-associative (see the IExpr note above).
+                let (sym, lp, rp) = match op {
+                    VOp::Add => ("+", 2, 3),
+                    VOp::Sub => ("-", 2, 3),
+                    VOp::Mul => ("*", 3, 4),
+                    VOp::And => ("&", 1, 2),
+                    VOp::Or => ("|", 1, 2),
+                    VOp::Xor => ("^", 1, 2),
+                    VOp::Min | VOp::Max => unreachable!(),
+                };
+                fmt_expr(s, lhs, lp);
+                let _ = write!(s, " {sym} ");
+                fmt_expr(s, rhs, rp);
+            }
+        },
+        ExprKind::Shift {
+            left,
+            value,
+            amount,
+        } => {
+            fmt_expr(s, value, 4);
+            s.push_str(if *left { " << " } else { " >> " });
+            fmt_iexpr(s, amount, 3);
+        }
+        ExprKind::Reduce { op, value } => {
+            let name = match op {
+                ReduceOp::Add => "add",
+                ReduceOp::Min => "min",
+                ReduceOp::Max => "max",
+            };
+            let _ = write!(s, "reduce {name} (");
+            fmt_expr(s, value, 0);
+            s.push(')');
+        }
+    }
+    if paren {
+        s.push(')');
+    }
+}
+
+fn fmt_stmt(s: &mut String, stmt: &Stmt, indent: usize) {
+    for _ in 0..indent {
+        s.push_str("    ");
+    }
+    match &stmt.node {
+        StmtKind::Shape(dims) => {
+            s.push_str("shape [");
+            for (i, d) in dims.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                fmt_iexpr(s, d, 0);
+            }
+            s.push_str("];\n");
+        }
+        StmtKind::Let { name, value } => {
+            let _ = write!(s, "let {name} = ");
+            fmt_expr(s, value, 0);
+            s.push_str(";\n");
+        }
+        StmtKind::Store {
+            value,
+            buf,
+            offset,
+            modes,
+        } => {
+            s.push_str("store ");
+            fmt_expr(s, value, 0);
+            let _ = write!(s, " -> {buf}");
+            if let Some(off) = offset {
+                s.push_str(" @ ");
+                fmt_iexpr(s, off, 0);
+            }
+            s.push(' ');
+            fmt_modes(s, modes);
+            s.push_str(";\n");
+        }
+        StmtKind::For { var, lo, hi, body } => {
+            let _ = write!(s, "for {var} in ");
+            fmt_iexpr(s, lo, 3);
+            s.push_str("..");
+            fmt_iexpr(s, hi, 3);
+            s.push_str(" {\n");
+            for st in body {
+                fmt_stmt(s, st, indent + 1);
+            }
+            for _ in 0..indent {
+                s.push_str("    ");
+            }
+            s.push_str("}\n");
+        }
+    }
+}
+
+/// Renders a kernel as canonical `.mvel` source. `parse(pretty(k)) == k`
+/// for every well-formed tree (the round-trip property suite).
+pub fn pretty(k: &KernelAst) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "kernel {}(", k.name);
+    for (i, p) in k.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{}: ", p.name);
+        match &p.ty {
+            ParamTy::Scalar(d) => s.push_str(dtype_name(*d)),
+            ParamTy::Buf { dtype, len, out } => {
+                if *out {
+                    s.push_str("mut ");
+                }
+                let _ = write!(s, "buf<{}>[{len}]", dtype_name(*dtype));
+            }
+        }
+        if let Some(d) = &p.default {
+            s.push_str(" = ");
+            fmt_lit(&mut s, d);
+        }
+    }
+    s.push_str(") {\n");
+    for st in &k.body {
+        fmt_stmt(&mut s, st, 1);
+    }
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,83 @@
+//! Source-located diagnostics.
+//!
+//! Every failure mode of the front-end — lexing, parsing, type checking,
+//! lowering, allocation — funnels into one [`Diag`] carrying a 1-based
+//! line/column, so the simulation service can reply with a *typed*
+//! diagnostic (`line`/`col` members, not just prose) and CLI front-ends
+//! can print `file:line:col:` prefixes an editor understands.
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line, starting at 1 (0 = no source position, e.g. allocator errors).
+    pub line: u32,
+    /// Column, starting at 1.
+    pub col: u32,
+}
+
+impl Span {
+    /// A position-less span for failures with no single source location.
+    pub const NONE: Span = Span { line: 0, col: 0 };
+}
+
+/// A value paired with the source span it came from. Equality and hashing
+/// ignore the span, so ASTs compare structurally — the property the
+/// pretty-print→reparse round-trip suite relies on.
+#[derive(Debug, Clone)]
+pub struct Spanned<T> {
+    /// The wrapped node.
+    pub node: T,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wraps `node` at `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Self { node, span }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Spanned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+    }
+}
+
+impl<T: Eq> Eq for Spanned<T> {}
+
+/// One front-end failure, with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// What went wrong.
+    pub message: String,
+    /// Where (line 0 when no position applies).
+    pub span: Span,
+}
+
+impl Diag {
+    /// A diagnostic at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A position-less diagnostic (pipeline stages past the source).
+    pub fn nowhere(message: impl Into<String>) -> Self {
+        Self::at(Span::NONE, message)
+    }
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.span.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diag {}

@@ -1,0 +1,296 @@
+//! The scalar reference interpreter: direct AST evaluation, the ground
+//! truth every compiled execution is checked against (the DSL analogue of
+//! the hand-written kernels' scalar references).
+//!
+//! The interpreter shares no code with the lowering, the scheduler, the
+//! allocator or the engine — addresses are recomputed from the AST's
+//! stride expressions, so a bug anywhere in the compile pipeline shows up
+//! as a mismatch. The single deliberate exception is reduction *order*:
+//! the vertical-tree fold is mirrored exactly (pairwise halving, then an
+//! in-order scalar finish), so float reductions compare bit-exactly.
+//!
+//! Call only on kernels that lowered successfully; the interpreter assumes
+//! a well-typed tree and panics on internal inconsistencies.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::run::{Bindings, RawOutputs};
+use mve_core::compiler::{ParamDecl, ParamKind};
+use mve_core::dtype::DType;
+
+enum IVal {
+    Value { data: Vec<u64>, dtype: DType },
+    Loop(i64),
+}
+
+struct Interp<'a> {
+    params: &'a [ParamDecl],
+    param_index: HashMap<&'a str, usize>,
+    bindings: &'a Bindings,
+    outputs: RawOutputs,
+    shape: Vec<usize>,
+    scopes: Vec<HashMap<String, IVal>>,
+}
+
+impl Interp<'_> {
+    fn lookup(&self, name: &str) -> Option<&IVal> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn total(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    fn eval_iexpr(&self, e: &IExpr) -> i64 {
+        match &e.node {
+            IExprKind::Lit(v) => *v,
+            IExprKind::Var(name) => match self.lookup(name) {
+                Some(IVal::Loop(v)) => *v,
+                _ => panic!("constant `{name}` not a loop variable"),
+            },
+            IExprKind::Neg(inner) => -self.eval_iexpr(inner),
+            IExprKind::Bin { op, lhs, rhs } => {
+                let a = self.eval_iexpr(lhs);
+                let b = self.eval_iexpr(rhs);
+                match op {
+                    IOp::Add => a + b,
+                    IOp::Sub => a - b,
+                    IOp::Mul => a * b,
+                }
+            }
+        }
+    }
+
+    /// Per-dimension element strides (the Section III-C resolution rules,
+    /// recomputed from the AST rather than shared with the lowering).
+    fn strides(&self, modes: &[ModeExpr]) -> Vec<i64> {
+        let mut strides = vec![0i64; modes.len()];
+        for (d, m) in modes.iter().enumerate() {
+            strides[d] = match m {
+                ModeExpr::Seq => {
+                    if d == 0 {
+                        1
+                    } else {
+                        strides[d - 1] * self.shape[d - 1] as i64
+                    }
+                }
+                ModeExpr::Stride(e) => self.eval_iexpr(e),
+            };
+        }
+        strides
+    }
+
+    /// The element index lane `lane` addresses.
+    fn elem_of_lane(&self, lane: usize, base: i64, strides: &[i64]) -> usize {
+        let mut rem = lane;
+        let mut elem = base;
+        for (d, &len) in self.shape.iter().enumerate() {
+            let c = rem % len;
+            rem /= len;
+            elem += c as i64 * strides[d];
+        }
+        elem as usize
+    }
+
+    fn infer_dtype(&self, e: &Expr) -> Option<DType> {
+        match &e.node {
+            ExprKind::Lit(_) => None,
+            ExprKind::Ident(name) => match self.lookup(name) {
+                Some(IVal::Value { dtype, .. }) => Some(*dtype),
+                _ => self
+                    .param_index
+                    .get(name.as_str())
+                    .map(|&i| self.params[i].dtype),
+            },
+            ExprKind::Load { buf, .. } => self
+                .param_index
+                .get(buf.as_str())
+                .map(|&i| self.params[i].dtype),
+            ExprKind::Bin { lhs, rhs, .. } => {
+                self.infer_dtype(lhs).or_else(|| self.infer_dtype(rhs))
+            }
+            ExprKind::Shift { value, .. } | ExprKind::Reduce { value, .. } => {
+                self.infer_dtype(value)
+            }
+        }
+    }
+
+    fn eval_expr(&self, e: &Expr, expected: Option<DType>) -> (Vec<u64>, DType) {
+        let total = self.total();
+        match &e.node {
+            ExprKind::Ident(name) => {
+                if let Some(IVal::Value { data, dtype }) = self.lookup(name) {
+                    return (data[..total].to_vec(), *dtype);
+                }
+                let pi = self.param_index[name.as_str()];
+                let dtype = self.params[pi].dtype;
+                let raw = self.bindings.scalars[pi];
+                (vec![raw; total], dtype)
+            }
+            ExprKind::Lit(lit) => {
+                let dtype = expected.expect("literal type was inferred during lowering");
+                let raw = match lit {
+                    Lit::Int(v) => {
+                        if dtype.is_float() {
+                            dtype.from_f32(*v as f32)
+                        } else {
+                            dtype.from_i64(*v)
+                        }
+                    }
+                    Lit::Float(v) => dtype.from_f32(*v as f32),
+                };
+                (vec![raw; total], dtype)
+            }
+            ExprKind::Load { buf, offset, modes } => {
+                let pi = self.param_index[buf.as_str()];
+                let dtype = self.params[pi].dtype;
+                let base = offset.as_ref().map_or(0, |o| self.eval_iexpr(o));
+                let strides = self.strides(modes);
+                let data = &self.bindings.inputs[pi];
+                let out = (0..total)
+                    .map(|lane| data[self.elem_of_lane(lane, base, &strides)])
+                    .collect();
+                (out, dtype)
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(lhs))
+                    .or_else(|| self.infer_dtype(rhs))
+                    .expect("binop type was inferred during lowering");
+                let (a, _) = self.eval_expr(lhs, Some(dtype));
+                let (b, _) = self.eval_expr(rhs, Some(dtype));
+                let binop = crate::lower::vop_to_isa(*op).1;
+                let out = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| dtype.binop(binop, x, y))
+                    .collect();
+                (out, dtype)
+            }
+            ExprKind::Shift {
+                left,
+                value,
+                amount,
+            } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(value))
+                    .expect("shift type was inferred during lowering");
+                let (a, _) = self.eval_expr(value, Some(dtype));
+                let amt = self.eval_iexpr(amount) as u32;
+                let out = a
+                    .iter()
+                    .map(|&x| {
+                        if *left {
+                            dtype.shl(x, amt)
+                        } else {
+                            dtype.shr(x, amt)
+                        }
+                    })
+                    .collect();
+                (out, dtype)
+            }
+            ExprKind::Reduce { op, value } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(value))
+                    .expect("reduce type was inferred during lowering");
+                let (mut v, _) = self.eval_expr(value, Some(dtype));
+                let binop = crate::lower::reduce_to_binop(*op).1;
+                // Mirror the engine's fold order exactly: pairwise halving
+                // while the length is a power of two above 256, then an
+                // in-order scalar fold of the partials.
+                let mut m = v.len();
+                let stop = if m.is_power_of_two() { m.min(256) } else { m };
+                while m > stop {
+                    for i in 0..m / 2 {
+                        v[i] = dtype.binop(binop, v[i], v[i + m / 2]);
+                    }
+                    m /= 2;
+                }
+                let mut acc = v[0];
+                for &x in v.iter().take(stop).skip(1) {
+                    acc = dtype.binop(binop, acc, x);
+                }
+                (vec![acc; total], dtype)
+            }
+        }
+    }
+
+    fn run_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.node {
+            StmtKind::Shape(dims) => {
+                self.shape = dims.iter().map(|d| self.eval_iexpr(d) as usize).collect();
+            }
+            StmtKind::Let { name, value } => {
+                let (data, dtype) = self.eval_expr(value, None);
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), IVal::Value { data, dtype });
+            }
+            StmtKind::Store {
+                value,
+                buf,
+                offset,
+                modes,
+            } => {
+                let (data, _) = self.eval_expr(value, None);
+                let pi = self.param_index[buf.as_str()];
+                let base = offset.as_ref().map_or(0, |o| self.eval_iexpr(o));
+                let strides = self.strides(modes);
+                let total = self.total();
+                let elems: Vec<usize> = (0..total)
+                    .map(|lane| self.elem_of_lane(lane, base, &strides))
+                    .collect();
+                let out = self.outputs[pi]
+                    .as_mut()
+                    .expect("store target is an output");
+                for (lane, &elem) in elems.iter().enumerate() {
+                    out[elem] = data[lane];
+                }
+            }
+            StmtKind::For { var, lo, hi, body } => {
+                let lo = self.eval_iexpr(lo);
+                let hi = self.eval_iexpr(hi);
+                for i in lo..hi {
+                    let mut scope = HashMap::new();
+                    scope.insert(var.clone(), IVal::Loop(i));
+                    self.scopes.push(scope);
+                    for st in body {
+                        self.run_stmt(st);
+                    }
+                    self.scopes.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Interprets a kernel over `bindings`, returning the raw output elements
+/// per parameter index (`None` for non-outputs). Output buffers start
+/// zeroed, exactly like freshly allocated engine memory.
+pub fn interpret(ast: &KernelAst, params: &[ParamDecl], bindings: &Bindings) -> RawOutputs {
+    let outputs = params
+        .iter()
+        .map(|p| match &p.kind {
+            ParamKind::BufOut { len } => Some(vec![0u64; *len]),
+            _ => None,
+        })
+        .collect();
+    let mut interp = Interp {
+        params,
+        param_index: params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i))
+            .collect(),
+        bindings,
+        outputs,
+        shape: Vec::new(),
+        scopes: vec![HashMap::new()],
+    };
+    for stmt in &ast.body {
+        interp.run_stmt(stmt);
+    }
+    interp.outputs
+}

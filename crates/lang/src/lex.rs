@@ -1,0 +1,327 @@
+//! The `.mvel` lexer: hand-rolled, std-only (like the service's JSON
+//! reader), producing spanned tokens for the recursive-descent parser.
+//!
+//! `#` starts a comment running to end of line. Integer literals are
+//! decimal or `0x` hex; float literals require a decimal point and accept
+//! an optional exponent (`1.5`, `2.0e-3`) so `{:?}`-printed `f64`s from
+//! the pretty-printer re-lex exactly.
+
+use crate::diag::{Diag, Span};
+
+/// One token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Eq,
+    /// `->`.
+    Arrow,
+    /// `..`.
+    DotDot,
+    /// `@`.
+    At,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v:?}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::At => write!(f, "`@`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Lexes `source` into tokens (with a trailing [`Tok::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($tok:expr, $span:expr) => {
+            out.push(Token {
+                tok: $tok,
+                span: $span,
+            })
+        };
+    }
+    while i < bytes.len() {
+        let span = Span { line, col };
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'(' | b')' | b'{' | b'}' | b'[' | b']' | b',' | b';' | b':' | b'@' | b'+' | b'*'
+            | b'&' | b'|' | b'^' | b'=' => {
+                let tok = match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b',' => Tok::Comma,
+                    b';' => Tok::Semi,
+                    b':' => Tok::Colon,
+                    b'@' => Tok::At,
+                    b'+' => Tok::Plus,
+                    b'*' => Tok::Star,
+                    b'&' => Tok::Amp,
+                    b'|' => Tok::Pipe,
+                    b'^' => Tok::Caret,
+                    _ => Tok::Eq,
+                };
+                push!(tok, span);
+                i += 1;
+                col += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Arrow, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Minus, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push!(Tok::DotDot, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Diag::at(span, "unexpected `.`"));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    push!(Tok::Shl, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Shr, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &source[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| Diag::at(span, format!("invalid hex literal `0x{text}`")))?;
+                    push!(Tok::Int(v), span);
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    // A `.` starts a fraction only when a digit follows —
+                    // `0..4` must stay Int DotDot Int.
+                    if bytes.get(i) == Some(&b'.')
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if is_float && matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+                        let mut j = i + 1;
+                        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                            j += 1;
+                        }
+                        if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &source[start..i];
+                    if is_float {
+                        let v: f64 = text.parse().map_err(|_| {
+                            Diag::at(span, format!("invalid float literal `{text}`"))
+                        })?;
+                        push!(Tok::Float(v), span);
+                    } else {
+                        let v: i64 = text.parse().map_err(|_| {
+                            Diag::at(span, format!("integer literal `{text}` overflows i64"))
+                        })?;
+                        push!(Tok::Int(v), span);
+                    }
+                }
+                col += (i - start) as u32;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(source[start..i].to_owned()), span);
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(Diag::at(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_token_zoo() {
+        let toks = lex("kernel k(a: buf<i32>[8]) { # c\n let x_1 = 0x10 + 2.5e-1; }").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "kernel"));
+        assert!(kinds.contains(&&Tok::Int(16)));
+        assert!(kinds.contains(&&Tok::Float(0.25)));
+        assert_eq!(kinds.last(), Some(&&Tok::Eof));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = lex("0..4").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![&Tok::Int(0), &Tok::DotDot, &Tok::Int(4), &Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_and_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_are_diagnosed_with_position() {
+        let err = lex("a\n $").unwrap_err();
+        assert_eq!(err.span, Span { line: 2, col: 2 });
+        assert!(err.message.contains('$'), "{err}");
+    }
+}

@@ -1,0 +1,863 @@
+//! Typed lowering: AST → the Section III-G straight-line compiler IR.
+//!
+//! The pass performs, in one walk:
+//!
+//! * **type checking** — element types must agree across operators;
+//!   literals adopt the type of their context; loads/stores must name
+//!   buffer parameters of the right direction;
+//! * **`for` unrolling** — dim blocks are compile-time loops over constant
+//!   ranges (the paper's multi-dimensional strip-mining), fully unrolled
+//!   into the straight-line IR with the loop variable const-folded into
+//!   offsets, strides and shift amounts;
+//! * **static bounds checking** — every load/store's touched element range
+//!   is computed from the shape and resolved strides and must fall inside
+//!   the buffer; stores to one buffer must write disjoint ranges (the IR
+//!   carries no memory-ordering edges, so the list scheduler is free to
+//!   reorder stores — disjointness is what makes that sound);
+//! * **splat memoization** — a scalar parameter or literal broadcast is
+//!   emitted once per (value, shape), as a hand-written kernel would hoist
+//!   it;
+//! * **dead-code elimination** — pure ops whose values never reach a store
+//!   are dropped, so the allocator's pressure accounting reflects only
+//!   observable work.
+//!
+//! Lane-extent rule: a value may only be used under a shape whose total
+//! lane count does not exceed the total of the shape it was defined under
+//! (a definition writes exactly its shape's lanes; reading beyond them
+//! would observe the register's zero-fill).
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::diag::{Diag, Span};
+use mve_core::compiler::{Action, IrOp, ParamDecl, ParamKind, Program, Sem, SplatSource, VReg};
+use mve_core::config::MAX_DIMS;
+use mve_core::dtype::{BinOp, DType};
+use mve_core::isa::{Opcode, StrideMode};
+use mve_insram::scheme::EngineGeometry;
+
+/// Unrolling safety valve: the op count a single kernel may lower to.
+pub const MAX_LOWERED_OPS: usize = 65_536;
+
+/// Largest stride-CR magnitude the DSL accepts. The engine resolves Seq
+/// strides as `stride[d-1] × dim[d-1]` in `i64`; with strides bounded
+/// here and shape totals bounded by the lane count, that chain (and the
+/// per-lane address sums) provably stay far from `i64` overflow.
+pub const MAX_STRIDE: i64 = 1 << 31;
+
+/// Functional-memory budget for one kernel's declared buffers (the
+/// engine's memory is 64 MiB and the executor also needs spill slots and
+/// reduction scratch).
+pub const MAX_BUFFER_BYTES: u128 = 32 << 20;
+
+#[derive(Debug, Clone)]
+enum ScopeEntry {
+    /// A `let`-bound vector value.
+    Value {
+        vreg: VReg,
+        dtype: DType,
+        def_lanes: usize,
+    },
+    /// A `for` loop variable (compile-time constant).
+    Loop(i64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SplatKey {
+    Imm(u64, DType),
+    Param(usize),
+}
+
+struct Lowerer {
+    params: Vec<ParamDecl>,
+    param_index: HashMap<String, usize>,
+    ops: Vec<IrOp>,
+    next_vreg: u32,
+    shape: Option<Vec<usize>>,
+    scopes: Vec<HashMap<String, ScopeEntry>>,
+    splats: HashMap<(SplatKey, Vec<usize>), VReg>,
+    /// `(param, first elem, last elem)` per emitted store, for the
+    /// disjointness check.
+    store_ranges: Vec<(usize, i64, i64, Span)>,
+    lanes: usize,
+}
+
+/// Encodes a literal as the raw lane value of `dtype`.
+fn encode_lit(lit: &Lit, dtype: DType, span: Span) -> Result<u64, Diag> {
+    match lit {
+        Lit::Int(v) => {
+            if dtype.is_float() {
+                return Ok(dtype.from_f32(*v as f32));
+            }
+            let bits = dtype.bits();
+            let (lo, hi) = if dtype.is_signed_int() {
+                (-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1)
+            } else {
+                (0, (1i128 << bits) - 1)
+            };
+            if (i128::from(*v)) < lo || i128::from(*v) > hi {
+                return Err(Diag::at(
+                    span,
+                    format!("literal {v} does not fit {}", dtype_name(dtype)),
+                ));
+            }
+            Ok(dtype.from_i64(*v))
+        }
+        Lit::Float(v) => {
+            if !dtype.is_float() {
+                return Err(Diag::at(
+                    span,
+                    format!(
+                        "float literal {v:?} cannot have integer type {}",
+                        dtype_name(dtype)
+                    ),
+                ));
+            }
+            Ok(dtype.from_f32(*v as f32))
+        }
+    }
+}
+
+/// Maps a DSL element-wise operator to its ISA opcode and lane arithmetic.
+pub fn vop_to_isa(op: VOp) -> (Opcode, BinOp) {
+    match op {
+        VOp::Add => (Opcode::Add, BinOp::Add),
+        VOp::Sub => (Opcode::Sub, BinOp::Sub),
+        VOp::Mul => (Opcode::Mul, BinOp::Mul),
+        VOp::And => (Opcode::And, BinOp::And),
+        VOp::Or => (Opcode::Or, BinOp::Or),
+        VOp::Xor => (Opcode::Xor, BinOp::Xor),
+        VOp::Min => (Opcode::Min, BinOp::Min),
+        VOp::Max => (Opcode::Max, BinOp::Max),
+    }
+}
+
+/// Maps a reduction operator to its combining arithmetic.
+pub fn reduce_to_binop(op: ReduceOp) -> (Opcode, BinOp) {
+    match op {
+        ReduceOp::Add => (Opcode::Add, BinOp::Add),
+        ReduceOp::Min => (Opcode::Min, BinOp::Min),
+        ReduceOp::Max => (Opcode::Max, BinOp::Max),
+    }
+}
+
+/// Resolves per-dimension element strides exactly as
+/// `mve_core::addrgen::resolve_strides` will at execution time.
+pub fn resolve_elem_strides(
+    modes: &[StrideMode],
+    cr: &[(usize, i64)],
+    shape: &[usize],
+) -> Vec<i64> {
+    let mut strides = vec![0i64; modes.len()];
+    for (d, mode) in modes.iter().enumerate() {
+        strides[d] = match mode {
+            StrideMode::Zero => 0,
+            StrideMode::One => 1,
+            StrideMode::Seq => {
+                if d == 0 {
+                    1
+                } else {
+                    strides[d - 1] * shape[d - 1] as i64
+                }
+            }
+            StrideMode::Cr => cr
+                .iter()
+                .find(|(dim, _)| *dim == d)
+                .map(|(_, s)| *s)
+                .unwrap_or(0),
+        };
+    }
+    strides
+}
+
+impl Lowerer {
+    fn lookup(&self, name: &str) -> Option<&ScopeEntry> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn fresh(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    fn push_op(&mut self, op: IrOp, span: Span) -> Result<(), Diag> {
+        if self.ops.len() >= MAX_LOWERED_OPS {
+            return Err(Diag::at(
+                span,
+                format!("kernel lowers to more than {MAX_LOWERED_OPS} operations; reduce the unrolled loop sizes"),
+            ));
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    fn current_shape(&self, span: Span) -> Result<&Vec<usize>, Diag> {
+        self.shape
+            .as_ref()
+            .ok_or_else(|| Diag::at(span, "no `shape [...]` statement precedes this operation"))
+    }
+
+    fn eval_iexpr(&self, e: &IExpr) -> Result<i64, Diag> {
+        match &e.node {
+            IExprKind::Lit(v) => Ok(*v),
+            IExprKind::Var(name) => match self.lookup(name) {
+                Some(ScopeEntry::Loop(v)) => Ok(*v),
+                Some(ScopeEntry::Value { .. }) => Err(Diag::at(
+                    e.span,
+                    format!("`{name}` is a vector value, not a compile-time constant"),
+                )),
+                None => Err(Diag::at(
+                    e.span,
+                    format!("unknown constant `{name}` (only loop variables may appear here)"),
+                )),
+            },
+            IExprKind::Neg(inner) => self
+                .eval_iexpr(inner)?
+                .checked_neg()
+                .ok_or_else(|| Diag::at(e.span, "constant expression overflows")),
+            IExprKind::Bin { op, lhs, rhs } => {
+                let a = self.eval_iexpr(lhs)?;
+                let b = self.eval_iexpr(rhs)?;
+                let r = match op {
+                    IOp::Add => a.checked_add(b),
+                    IOp::Sub => a.checked_sub(b),
+                    IOp::Mul => a.checked_mul(b),
+                };
+                r.ok_or_else(|| Diag::at(e.span, "constant expression overflows"))
+            }
+        }
+    }
+
+    /// Infers the element type of an expression without emitting IR, used
+    /// to give literals a type from their context.
+    fn infer_dtype(&self, e: &Expr) -> Option<DType> {
+        match &e.node {
+            ExprKind::Lit(_) => None,
+            ExprKind::Ident(name) => match self.lookup(name) {
+                Some(ScopeEntry::Value { dtype, .. }) => Some(*dtype),
+                _ => self.param_index.get(name).map(|&i| self.params[i].dtype),
+            },
+            ExprKind::Load { buf, .. } => self.param_index.get(buf).map(|&i| self.params[i].dtype),
+            ExprKind::Bin { lhs, rhs, .. } => {
+                self.infer_dtype(lhs).or_else(|| self.infer_dtype(rhs))
+            }
+            ExprKind::Shift { value, .. } | ExprKind::Reduce { value, .. } => {
+                self.infer_dtype(value)
+            }
+        }
+    }
+
+    /// Emits (or reuses) a splat of `source` under the current shape.
+    fn splat(
+        &mut self,
+        key: SplatKey,
+        source: SplatSource,
+        dtype: DType,
+        span: Span,
+    ) -> Result<VReg, Diag> {
+        let shape = self.current_shape(span)?.clone();
+        if let Some(&v) = self.splats.get(&(key.clone(), shape.clone())) {
+            return Ok(v);
+        }
+        let def = self.fresh();
+        let op = IrOp::new(
+            &Opcode::SetDup.assembly(dtype),
+            Some(def),
+            &[],
+            dtype.bits(),
+        )
+        .with_sem(Sem {
+            action: Action::Splat(source),
+            shape: shape.clone(),
+            dtype,
+        });
+        self.push_op(op, span)?;
+        self.splats.insert((key, shape), def);
+        Ok(def)
+    }
+
+    /// Resolves a mode list against the current shape; returns the stride
+    /// modes, the CR strides, and the resolved element strides.
+    #[allow(clippy::type_complexity)]
+    fn resolve_modes(
+        &self,
+        modes: &[ModeExpr],
+        span: Span,
+    ) -> Result<(Vec<StrideMode>, Vec<(usize, i64)>, Vec<i64>), Diag> {
+        let shape = self.current_shape(span)?;
+        if modes.len() != shape.len() {
+            return Err(Diag::at(
+                span,
+                format!(
+                    "{} stride modes for a {}-dimensional shape",
+                    modes.len(),
+                    shape.len()
+                ),
+            ));
+        }
+        let mut out_modes = Vec::with_capacity(modes.len());
+        let mut cr = Vec::new();
+        for (d, m) in modes.iter().enumerate() {
+            let mode = match m {
+                ModeExpr::Seq => StrideMode::Seq,
+                ModeExpr::Stride(e) => {
+                    let v = self.eval_iexpr(e)?;
+                    if v.abs() > MAX_STRIDE {
+                        return Err(Diag::at(
+                            e.span,
+                            format!("stride {v} exceeds the ±{MAX_STRIDE} limit"),
+                        ));
+                    }
+                    match v {
+                        0 => StrideMode::Zero,
+                        1 => StrideMode::One,
+                        other => {
+                            cr.push((d, other));
+                            StrideMode::Cr
+                        }
+                    }
+                }
+            };
+            out_modes.push(mode);
+        }
+        let strides = resolve_elem_strides(&out_modes, &cr, shape);
+        Ok((out_modes, cr, strides))
+    }
+
+    /// The inclusive element range `[min, max]` a strided access touches.
+    ///
+    /// Computed in `i128`: strides and offsets are client-controlled, and
+    /// this range *is* the safety argument — wrapping `i64` arithmetic
+    /// here would let an engineered stride alias back into bounds.
+    fn touched_range(&self, base: i64, strides: &[i64], shape: &[usize]) -> (i128, i128) {
+        let (mut lo, mut hi) = (i128::from(base), i128::from(base));
+        for (d, &s) in strides.iter().enumerate() {
+            let span = i128::from(s) * (shape[d] as i128 - 1);
+            if span > 0 {
+                hi += span;
+            } else {
+                lo += span;
+            }
+        }
+        (lo, hi)
+    }
+
+    fn check_bounds(
+        &self,
+        what: &str,
+        buf: &str,
+        len: usize,
+        base: i64,
+        strides: &[i64],
+        span: Span,
+    ) -> Result<(i64, i64), Diag> {
+        let shape = self.current_shape(span)?;
+        let (lo, hi) = self.touched_range(base, strides, shape);
+        if lo < 0 || hi >= len as i128 {
+            return Err(Diag::at(
+                span,
+                format!(
+                    "{what} touches elements {lo}..={hi} of `{buf}`, outside its {len} elements"
+                ),
+            ));
+        }
+        // In-bounds ranges fit i64 by construction (len ≤ the memory
+        // budget).
+        Ok((lo as i64, hi as i64))
+    }
+
+    fn lower_expr(&mut self, e: &Expr, expected: Option<DType>) -> Result<(VReg, DType), Diag> {
+        match &e.node {
+            ExprKind::Ident(name) => {
+                if let Some(entry) = self.lookup(name).cloned() {
+                    match entry {
+                        ScopeEntry::Value {
+                            vreg,
+                            dtype,
+                            def_lanes,
+                        } => {
+                            if let Some(want) = expected {
+                                if want != dtype {
+                                    return Err(Diag::at(
+                                        e.span,
+                                        format!(
+                                            "`{name}` has type {}, expected {}",
+                                            dtype_name(dtype),
+                                            dtype_name(want)
+                                        ),
+                                    ));
+                                }
+                            }
+                            let total: usize = self.current_shape(e.span)?.iter().product();
+                            if total > def_lanes {
+                                return Err(Diag::at(
+                                    e.span,
+                                    format!(
+                                        "`{name}` was defined under a {def_lanes}-lane shape but is \
+                                         used under a {total}-lane shape"
+                                    ),
+                                ));
+                            }
+                            return Ok((vreg, dtype));
+                        }
+                        ScopeEntry::Loop(_) => {
+                            return Err(Diag::at(
+                                e.span,
+                                format!(
+                                    "loop variable `{name}` cannot appear in an element-wise \
+                                     expression (use it in offsets, strides or shapes)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                let Some(&pi) = self.param_index.get(name) else {
+                    return Err(Diag::at(e.span, format!("unknown value `{name}`")));
+                };
+                let p = &self.params[pi];
+                match p.kind {
+                    ParamKind::Scalar { .. } => {
+                        let dtype = p.dtype;
+                        if let Some(want) = expected {
+                            if want != dtype {
+                                return Err(Diag::at(
+                                    e.span,
+                                    format!(
+                                        "scalar `{name}` has type {}, expected {}",
+                                        dtype_name(dtype),
+                                        dtype_name(want)
+                                    ),
+                                ));
+                            }
+                        }
+                        let v =
+                            self.splat(SplatKey::Param(pi), SplatSource::Param(pi), dtype, e.span)?;
+                        Ok((v, dtype))
+                    }
+                    _ => Err(Diag::at(
+                        e.span,
+                        format!("buffer `{name}` must be read with `load {name} [...]`"),
+                    )),
+                }
+            }
+            ExprKind::Lit(lit) => {
+                let Some(dtype) = expected else {
+                    return Err(Diag::at(
+                        e.span,
+                        "cannot infer the element type of this literal; combine it with a typed \
+                         value or parameter",
+                    ));
+                };
+                let raw = encode_lit(lit, dtype, e.span)?;
+                let v = self.splat(
+                    SplatKey::Imm(raw, dtype),
+                    SplatSource::Imm(raw),
+                    dtype,
+                    e.span,
+                )?;
+                Ok((v, dtype))
+            }
+            ExprKind::Load { buf, offset, modes } => {
+                let Some(&pi) = self.param_index.get(buf) else {
+                    return Err(Diag::at(e.span, format!("unknown buffer `{buf}`")));
+                };
+                let (len, dtype) = match &self.params[pi].kind {
+                    ParamKind::BufIn { len } => (*len, self.params[pi].dtype),
+                    ParamKind::BufOut { .. } => {
+                        return Err(Diag::at(
+                            e.span,
+                            format!("`{buf}` is an output buffer; kernels may not read buffers they write"),
+                        ));
+                    }
+                    ParamKind::Scalar { .. } => {
+                        return Err(Diag::at(
+                            e.span,
+                            format!("`{buf}` is a scalar, not a buffer"),
+                        ));
+                    }
+                };
+                if let Some(want) = expected {
+                    if want != dtype {
+                        return Err(Diag::at(
+                            e.span,
+                            format!(
+                                "`{buf}` holds {}, expected {}",
+                                dtype_name(dtype),
+                                dtype_name(want)
+                            ),
+                        ));
+                    }
+                }
+                let base = match offset {
+                    Some(off) => self.eval_iexpr(off)?,
+                    None => 0,
+                };
+                let (out_modes, cr, strides) = self.resolve_modes(modes, e.span)?;
+                self.check_bounds("load", buf, len, base, &strides, e.span)?;
+                let shape = self.current_shape(e.span)?.clone();
+                let def = self.fresh();
+                let op = IrOp::new(
+                    &Opcode::StridedLoad.assembly(dtype),
+                    Some(def),
+                    &[],
+                    dtype.bits(),
+                )
+                .with_sem(Sem {
+                    action: Action::Load {
+                        param: pi,
+                        elem_offset: base as u64,
+                        modes: out_modes,
+                        cr_strides: cr,
+                    },
+                    shape,
+                    dtype,
+                });
+                self.push_op(op, e.span)?;
+                Ok((def, dtype))
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(lhs))
+                    .or_else(|| self.infer_dtype(rhs))
+                    .ok_or_else(|| {
+                        Diag::at(e.span, "cannot infer the element type of this expression")
+                    })?;
+                let (lv, _) = self.lower_expr(lhs, Some(dtype))?;
+                let (rv, _) = self.lower_expr(rhs, Some(dtype))?;
+                let (opcode, binop) = vop_to_isa(*op);
+                let shape = self.current_shape(e.span)?.clone();
+                let def = self.fresh();
+                let ir = IrOp::new(&opcode.assembly(dtype), Some(def), &[lv, rv], dtype.bits())
+                    .with_sem(Sem {
+                        action: Action::Binop { opcode, op: binop },
+                        shape,
+                        dtype,
+                    });
+                self.push_op(ir, e.span)?;
+                Ok((def, dtype))
+            }
+            ExprKind::Shift {
+                left,
+                value,
+                amount,
+            } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(value))
+                    .ok_or_else(|| {
+                        Diag::at(e.span, "cannot infer the element type of this expression")
+                    })?;
+                if dtype.is_float() {
+                    return Err(Diag::at(
+                        e.span,
+                        format!("cannot shift {} values", dtype_name(dtype)),
+                    ));
+                }
+                let (sv, _) = self.lower_expr(value, Some(dtype))?;
+                let amt = self.eval_iexpr(amount)?;
+                if amt < 0 || amt >= i64::from(dtype.bits()) {
+                    return Err(Diag::at(
+                        e.span,
+                        format!(
+                            "shift amount {amt} outside 0..{} for {}",
+                            dtype.bits(),
+                            dtype_name(dtype)
+                        ),
+                    ));
+                }
+                let shape = self.current_shape(e.span)?.clone();
+                let def = self.fresh();
+                let ir = IrOp::new(
+                    &Opcode::ShiftImm.assembly(dtype),
+                    Some(def),
+                    &[sv],
+                    dtype.bits(),
+                )
+                .with_sem(Sem {
+                    action: Action::ShiftImm {
+                        amount: amt as u32,
+                        left: *left,
+                    },
+                    shape,
+                    dtype,
+                });
+                self.push_op(ir, e.span)?;
+                Ok((def, dtype))
+            }
+            ExprKind::Reduce { op, value } => {
+                let dtype = expected
+                    .or_else(|| self.infer_dtype(value))
+                    .ok_or_else(|| {
+                        Diag::at(e.span, "cannot infer the element type of this reduction")
+                    })?;
+                let (sv, _) = self.lower_expr(value, Some(dtype))?;
+                let (_, binop) = reduce_to_binop(*op);
+                let shape = self.current_shape(e.span)?.clone();
+                let def = self.fresh();
+                let name = format!(
+                    "vreduce_{}",
+                    match op {
+                        ReduceOp::Add => "add",
+                        ReduceOp::Min => "min",
+                        ReduceOp::Max => "max",
+                    }
+                );
+                let ir = IrOp::new(&name, Some(def), &[sv], dtype.bits()).with_sem(Sem {
+                    action: Action::Reduce { op: binop },
+                    shape,
+                    dtype,
+                });
+                self.push_op(ir, e.span)?;
+                Ok((def, dtype))
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), Diag> {
+        match &stmt.node {
+            StmtKind::Shape(dims) => {
+                if dims.len() > MAX_DIMS {
+                    return Err(Diag::at(
+                        stmt.span,
+                        format!("at most {MAX_DIMS} dimensions, got {}", dims.len()),
+                    ));
+                }
+                let mut shape = Vec::with_capacity(dims.len());
+                let mut total = 1usize;
+                for d in dims {
+                    let v = self.eval_iexpr(d)?;
+                    // Each length is bounded before the (checked) running
+                    // product, so a huge dimension can neither wrap the
+                    // total nor sneak past the lane check.
+                    if v < 1 || v as u128 > self.lanes as u128 {
+                        return Err(Diag::at(
+                            d.span,
+                            format!(
+                                "dimension length {v} outside 1..={} (the engine's lanes)",
+                                self.lanes
+                            ),
+                        ));
+                    }
+                    shape.push(v as usize);
+                    total = total
+                        .checked_mul(v as usize)
+                        .filter(|&t| t <= self.lanes)
+                        .ok_or_else(|| {
+                            Diag::at(
+                                stmt.span,
+                                format!("shape covers more lanes than the engine's {}", self.lanes),
+                            )
+                        })?;
+                }
+                self.shape = Some(shape);
+                Ok(())
+            }
+            StmtKind::Let { name, value } => {
+                if self.param_index.contains_key(name) {
+                    return Err(Diag::at(
+                        stmt.span,
+                        format!("`{name}` is already a parameter"),
+                    ));
+                }
+                let (vreg, dtype) = self.lower_expr(value, None)?;
+                let def_lanes: usize = self.current_shape(stmt.span)?.iter().product();
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(
+                        name.clone(),
+                        ScopeEntry::Value {
+                            vreg,
+                            dtype,
+                            def_lanes,
+                        },
+                    );
+                Ok(())
+            }
+            StmtKind::Store {
+                value,
+                buf,
+                offset,
+                modes,
+            } => {
+                let Some(&pi) = self.param_index.get(buf) else {
+                    return Err(Diag::at(stmt.span, format!("unknown buffer `{buf}`")));
+                };
+                let (len, dtype) = match &self.params[pi].kind {
+                    ParamKind::BufOut { len } => (*len, self.params[pi].dtype),
+                    ParamKind::BufIn { .. } => {
+                        return Err(Diag::at(
+                            stmt.span,
+                            format!("`{buf}` is an input buffer; declare it `mut buf<...>` to store into it"),
+                        ));
+                    }
+                    ParamKind::Scalar { .. } => {
+                        return Err(Diag::at(
+                            stmt.span,
+                            format!("`{buf}` is a scalar, not a buffer"),
+                        ));
+                    }
+                };
+                let (sv, _) = self.lower_expr(value, Some(dtype))?;
+                let base = match offset {
+                    Some(off) => self.eval_iexpr(off)?,
+                    None => 0,
+                };
+                let (out_modes, cr, strides) = self.resolve_modes(modes, stmt.span)?;
+                let (lo, hi) = self.check_bounds("store", buf, len, base, &strides, stmt.span)?;
+                for (p, plo, phi, pspan) in &self.store_ranges {
+                    if *p == pi && lo <= *phi && *plo <= hi {
+                        return Err(Diag::at(
+                            stmt.span,
+                            format!(
+                                "store overlaps the store to `{buf}` elements {plo}..={phi} at \
+                                 line {} (stores must be disjoint — the scheduler may reorder them)",
+                                pspan.line
+                            ),
+                        ));
+                    }
+                }
+                self.store_ranges.push((pi, lo, hi, stmt.span));
+                let shape = self.current_shape(stmt.span)?.clone();
+                let ir = IrOp::new(
+                    &Opcode::StridedStore.assembly(dtype),
+                    None,
+                    &[sv],
+                    dtype.bits(),
+                )
+                .with_sem(Sem {
+                    action: Action::Store {
+                        param: pi,
+                        elem_offset: base as u64,
+                        modes: out_modes,
+                        cr_strides: cr,
+                    },
+                    shape,
+                    dtype,
+                });
+                self.push_op(ir, stmt.span)
+            }
+            StmtKind::For { var, lo, hi, body } => {
+                let lo = self.eval_iexpr(lo)?;
+                let hi = self.eval_iexpr(hi)?;
+                if hi < lo {
+                    return Err(Diag::at(
+                        stmt.span,
+                        format!("loop range {lo}..{hi} is empty or reversed"),
+                    ));
+                }
+                for i in lo..hi {
+                    let mut scope = HashMap::new();
+                    scope.insert(var.clone(), ScopeEntry::Loop(i));
+                    self.scopes.push(scope);
+                    for st in body {
+                        self.lower_stmt(st)?;
+                    }
+                    self.scopes.pop();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Dead-code elimination: drop pure ops (anything with a def) whose value
+/// never reaches a store, so register pressure reflects observable work.
+fn eliminate_dead(ops: Vec<IrOp>) -> Vec<IrOp> {
+    let mut live: Vec<bool> = ops.iter().map(|op| op.def.is_none()).collect();
+    let mut needed: std::collections::HashSet<VReg> = ops
+        .iter()
+        .filter(|op| op.def.is_none())
+        .flat_map(|op| op.uses.iter().copied())
+        .collect();
+    for (i, op) in ops.iter().enumerate().rev() {
+        if let Some(d) = op.def {
+            if needed.contains(&d) {
+                live[i] = true;
+                needed.extend(op.uses.iter().copied());
+            }
+        }
+    }
+    ops.into_iter()
+        .zip(live)
+        .filter_map(|(op, keep)| keep.then_some(op))
+        .collect()
+}
+
+/// Lowers a parsed kernel to a [`Program`].
+pub fn lower(ast: &KernelAst) -> Result<Program, Diag> {
+    let mut params = Vec::with_capacity(ast.params.len());
+    let mut param_index = HashMap::new();
+    let mut buffer_bytes: u128 = 0;
+    for (i, p) in ast.params.iter().enumerate() {
+        if param_index.insert(p.name.clone(), i).is_some() {
+            return Err(Diag::nowhere(format!("duplicate parameter `{}`", p.name)));
+        }
+        if let ParamTy::Buf { dtype, len, .. } = &p.ty {
+            buffer_bytes += *len as u128 * u128::from(dtype.bytes());
+            if buffer_bytes > MAX_BUFFER_BYTES {
+                return Err(Diag::nowhere(format!(
+                    "buffer parameters exceed the {} MiB functional-memory budget at `{}`",
+                    MAX_BUFFER_BYTES >> 20,
+                    p.name
+                )));
+            }
+        }
+        let decl = match &p.ty {
+            ParamTy::Scalar(dtype) => {
+                let default = match &p.default {
+                    Some(lit) => Some(encode_lit(lit, *dtype, Span::NONE)?),
+                    None => None,
+                };
+                ParamDecl {
+                    name: p.name.clone(),
+                    dtype: *dtype,
+                    kind: ParamKind::Scalar { default },
+                }
+            }
+            ParamTy::Buf { dtype, len, out } => {
+                if p.default.is_some() {
+                    return Err(Diag::nowhere(format!(
+                        "buffer parameter `{}` cannot have a default",
+                        p.name
+                    )));
+                }
+                ParamDecl {
+                    name: p.name.clone(),
+                    dtype: *dtype,
+                    kind: if *out {
+                        ParamKind::BufOut { len: *len }
+                    } else {
+                        ParamKind::BufIn { len: *len }
+                    },
+                }
+            }
+        };
+        params.push(decl);
+    }
+    let mut lw = Lowerer {
+        params,
+        param_index,
+        ops: Vec::new(),
+        next_vreg: 0,
+        shape: None,
+        scopes: vec![HashMap::new()],
+        splats: HashMap::new(),
+        store_ranges: Vec::new(),
+        lanes: EngineGeometry::default().total_bitlines(),
+    };
+    for stmt in &ast.body {
+        lw.lower_stmt(stmt)?;
+    }
+    let ops = eliminate_dead(lw.ops);
+    if !ops.iter().any(|op| op.def.is_none()) {
+        return Err(Diag::nowhere(
+            "kernel stores nothing — it has no observable effect",
+        ));
+    }
+    Ok(Program {
+        name: ast.name.clone(),
+        params: lw.params,
+        ops,
+    })
+}

@@ -1,0 +1,755 @@
+//! Recursive-descent parser for `.mvel` kernels.
+//!
+//! Grammar (one kernel per file; `#` comments; keywords `kernel`, `buf`,
+//! `mut`, `let`, `store`, `for`, `in`, `shape`, `load`, `reduce`, `seq`,
+//! `min`, `max` are reserved):
+//!
+//! ```text
+//! kernel  := "kernel" IDENT "(" param ("," param)* ")" "{" stmt* "}"
+//! param   := IDENT ":" ( dtype ("=" literal)?
+//!                      | ("mut")? "buf" "<" dtype ">" "[" INT "]" )
+//! stmt    := "shape" "[" iexpr ("," iexpr)* "]" ";"
+//!          | "let" IDENT "=" expr ";"
+//!          | "store" expr "->" IDENT ("@" iexpr)? modes ";"
+//!          | "for" IDENT "in" iatom ".. " iatom "{" stmt* "}"
+//! modes   := "[" mode ("," mode)* "]"      mode := "seq" | iexpr
+//! expr    := bitor                          (precedence, low → high)
+//! bitor   := addsub (("&"|"|"|"^") addsub)*
+//! addsub  := muldiv (("+"|"-") muldiv)*
+//! muldiv  := shift ("*" shift)*
+//! shift   := atom (("<<"|">>") iatom)*
+//! atom    := literal | "-" literal | IDENT | "min"/"max" "(" expr "," expr ")"
+//!          | "load" IDENT ("@" iexpr)? modes
+//!          | "reduce" ("add"|"min"|"max") "(" expr ")" | "(" expr ")"
+//! iexpr   := iadd                           iadd := imul (("+"|"-") imul)*
+//! imul    := iatom ("*" iatom)*             iatom := INT | IDENT | "-" iatom | "(" iexpr ")"
+//! ```
+
+use crate::ast::*;
+use crate::diag::{Diag, Span, Spanned};
+use crate::lex::{lex, Tok, Token};
+
+const KEYWORDS: &[&str] = &[
+    "kernel", "buf", "mut", "let", "store", "for", "in", "shape", "load", "reduce", "seq", "min",
+    "max",
+];
+
+/// Maximum paren/call/reduce nesting inside one expression. Recursive
+/// descent (and the recursive lowering/interpretation that follows)
+/// burns stack per level; a stack overflow aborts the process — no
+/// `catch_unwind` — so hostile depth must be a diagnostic.
+pub const MAX_EXPR_DEPTH: usize = 64;
+
+/// Maximum nodes in one expression (operator chains parse iteratively
+/// but build a left-deep tree the lowering recurses over).
+pub const MAX_EXPR_NODES: usize = 2048;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Current paren/call nesting inside the statement being parsed.
+    depth: usize,
+    /// Nodes built for the expression(s) of the current statement.
+    nodes: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, Diag> {
+        let t = self.peek().clone();
+        if t.tok == tok {
+            self.bump();
+            Ok(t.span)
+        } else {
+            Err(Diag::at(
+                t.span,
+                format!("expected {tok} {what}, found {}", t.tok),
+            ))
+        }
+    }
+
+    /// Accepts a keyword spelled as an identifier.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, Diag> {
+        let t = self.peek().clone();
+        if self.eat_kw(kw) {
+            Ok(t.span)
+        } else {
+            Err(Diag::at(
+                t.span,
+                format!("expected keyword `{kw}`, found {}", t.tok),
+            ))
+        }
+    }
+
+    /// Accounts one expression node against the per-statement budget.
+    fn node(&mut self, span: Span) -> Result<(), Diag> {
+        self.nodes += 1;
+        if self.nodes > MAX_EXPR_NODES {
+            return Err(Diag::at(
+                span,
+                format!(
+                    "expression exceeds {MAX_EXPR_NODES} nodes; split it across `let` bindings"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Enters one nesting level (parens, min/max, reduce).
+    fn descend(&mut self, span: Span) -> Result<(), Diag> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(Diag::at(
+                span,
+                format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// A non-keyword identifier.
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diag> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok((s, t.span))
+            }
+            Tok::Ident(s) => Err(Diag::at(
+                t.span,
+                format!("`{s}` is a reserved keyword and cannot name {what}"),
+            )),
+            other => Err(Diag::at(
+                t.span,
+                format!("expected an identifier ({what}), found {other}"),
+            )),
+        }
+    }
+
+    fn iatom(&mut self) -> Result<IExpr, Diag> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Int(v) => {
+                self.bump();
+                self.node(t.span)?;
+                Ok(Spanned::new(IExprKind::Lit(v), t.span))
+            }
+            Tok::Minus => {
+                self.bump();
+                self.node(t.span)?;
+                self.descend(t.span)?;
+                let inner = self.iatom()?;
+                self.ascend();
+                Ok(Spanned::new(IExprKind::Neg(Box::new(inner)), t.span))
+            }
+            Tok::LParen => {
+                self.bump();
+                self.descend(t.span)?;
+                let e = self.iexpr()?;
+                self.ascend();
+                self.expect(Tok::RParen, "to close the expression")?;
+                Ok(e)
+            }
+            Tok::Ident(_) => {
+                let (name, span) = self.ident("a loop variable")?;
+                self.node(span)?;
+                Ok(Spanned::new(IExprKind::Var(name), span))
+            }
+            other => Err(Diag::at(
+                t.span,
+                format!("expected a constant integer expression, found {other}"),
+            )),
+        }
+    }
+
+    fn imul(&mut self) -> Result<IExpr, Diag> {
+        let mut lhs = self.iatom()?;
+        while self.peek().tok == Tok::Star {
+            let span = self.bump().span;
+            self.node(span)?;
+            let rhs = self.iatom()?;
+            lhs = Spanned::new(
+                IExprKind::Bin {
+                    op: IOp::Mul,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn iexpr(&mut self) -> Result<IExpr, Diag> {
+        let mut lhs = self.imul()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => IOp::Add,
+                Tok::Minus => IOp::Sub,
+                _ => break,
+            };
+            let span = self.bump().span;
+            self.node(span)?;
+            let rhs = self.imul()?;
+            lhs = Spanned::new(
+                IExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn modes(&mut self) -> Result<Vec<ModeExpr>, Diag> {
+        self.expect(Tok::LBracket, "to open the stride-mode list")?;
+        let mut modes = Vec::new();
+        loop {
+            if self.eat_kw("seq") {
+                modes.push(ModeExpr::Seq);
+            } else {
+                modes.push(ModeExpr::Stride(self.iexpr()?));
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RBracket, "to close the stride-mode list")?;
+        Ok(modes)
+    }
+
+    fn atom(&mut self) -> Result<Expr, Diag> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Int(v) => {
+                let v = *v;
+                self.bump();
+                self.node(t.span)?;
+                Ok(Spanned::new(ExprKind::Lit(Lit::Int(v)), t.span))
+            }
+            Tok::Float(v) => {
+                let v = *v;
+                self.bump();
+                self.node(t.span)?;
+                Ok(Spanned::new(ExprKind::Lit(Lit::Float(v)), t.span))
+            }
+            Tok::Minus => {
+                self.bump();
+                let n = self.peek().clone();
+                match n.tok {
+                    Tok::Int(v) => {
+                        self.bump();
+                        self.node(t.span)?;
+                        Ok(Spanned::new(ExprKind::Lit(Lit::Int(-v)), t.span))
+                    }
+                    Tok::Float(v) => {
+                        self.bump();
+                        self.node(t.span)?;
+                        Ok(Spanned::new(ExprKind::Lit(Lit::Float(-v)), t.span))
+                    }
+                    other => Err(Diag::at(
+                        n.span,
+                        format!("`-` must be followed by a numeric literal here, found {other}"),
+                    )),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                self.descend(t.span)?;
+                let e = self.expr()?;
+                self.ascend();
+                self.expect(Tok::RParen, "to close the expression")?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s == "load" => {
+                self.bump();
+                let (buf, _) = self.ident("a buffer parameter")?;
+                let offset = if self.eat(&Tok::At) {
+                    Some(self.iexpr()?)
+                } else {
+                    None
+                };
+                let modes = self.modes()?;
+                self.node(t.span)?;
+                Ok(Spanned::new(ExprKind::Load { buf, offset, modes }, t.span))
+            }
+            Tok::Ident(s) if s == "reduce" => {
+                self.bump();
+                let op = if self.eat_kw("add") {
+                    ReduceOp::Add
+                } else if self.eat_kw("min") {
+                    ReduceOp::Min
+                } else if self.eat_kw("max") {
+                    ReduceOp::Max
+                } else {
+                    return Err(Diag::at(
+                        self.span(),
+                        format!(
+                            "expected `add`, `min` or `max` after `reduce`, found {}",
+                            self.peek().tok
+                        ),
+                    ));
+                };
+                self.node(t.span)?;
+                self.expect(Tok::LParen, "to open the reduce operand")?;
+                self.descend(t.span)?;
+                let value = self.expr()?;
+                self.ascend();
+                self.expect(Tok::RParen, "to close the reduce operand")?;
+                Ok(Spanned::new(
+                    ExprKind::Reduce {
+                        op,
+                        value: Box::new(value),
+                    },
+                    t.span,
+                ))
+            }
+            Tok::Ident(s) if s == "min" || s == "max" => {
+                let op = if s == "min" { VOp::Min } else { VOp::Max };
+                self.bump();
+                self.node(t.span)?;
+                self.expect(Tok::LParen, "to open the min/max arguments")?;
+                self.descend(t.span)?;
+                let lhs = self.expr()?;
+                self.expect(Tok::Comma, "between the min/max arguments")?;
+                let rhs = self.expr()?;
+                self.ascend();
+                self.expect(Tok::RParen, "to close the min/max arguments")?;
+                Ok(Spanned::new(
+                    ExprKind::Bin {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    t.span,
+                ))
+            }
+            Tok::Ident(_) => {
+                let (name, span) = self.ident("a value")?;
+                self.node(span)?;
+                Ok(Spanned::new(ExprKind::Ident(name), span))
+            }
+            other => Err(Diag::at(
+                t.span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.atom()?;
+        loop {
+            let left = match self.peek().tok {
+                Tok::Shl => true,
+                Tok::Shr => false,
+                _ => break,
+            };
+            let span = self.bump().span;
+            self.node(span)?;
+            let amount = self.iatom()?;
+            lhs = Spanned::new(
+                ExprKind::Shift {
+                    left,
+                    value: Box::new(lhs),
+                    amount,
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn muldiv(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.shift()?;
+        while self.peek().tok == Tok::Star {
+            let span = self.bump().span;
+            self.node(span)?;
+            let rhs = self.shift()?;
+            lhs = Spanned::new(
+                ExprKind::Bin {
+                    op: VOp::Mul,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn addsub(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.muldiv()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => VOp::Add,
+                Tok::Minus => VOp::Sub,
+                _ => break,
+            };
+            let span = self.bump().span;
+            self.node(span)?;
+            let rhs = self.muldiv()?;
+            lhs = Spanned::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.addsub()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Amp => VOp::And,
+                Tok::Pipe => VOp::Or,
+                Tok::Caret => VOp::Xor,
+                _ => break,
+            };
+            let span = self.bump().span;
+            self.node(span)?;
+            let rhs = self.addsub()?;
+            lhs = Spanned::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diag> {
+        self.depth = 0;
+        self.nodes = 0;
+        let t = self.peek().clone();
+        if self.eat_kw("shape") {
+            self.expect(Tok::LBracket, "to open the shape dimensions")?;
+            let mut dims = vec![self.iexpr()?];
+            while self.eat(&Tok::Comma) {
+                dims.push(self.iexpr()?);
+            }
+            self.expect(Tok::RBracket, "to close the shape dimensions")?;
+            self.expect(Tok::Semi, "after the shape statement")?;
+            return Ok(Spanned::new(StmtKind::Shape(dims), t.span));
+        }
+        if self.eat_kw("let") {
+            let (name, _) = self.ident("a binding")?;
+            self.expect(Tok::Eq, "after the binding name")?;
+            let value = self.expr()?;
+            self.expect(Tok::Semi, "after the let statement")?;
+            return Ok(Spanned::new(StmtKind::Let { name, value }, t.span));
+        }
+        if self.eat_kw("store") {
+            let value = self.expr()?;
+            self.expect(Tok::Arrow, "between the stored value and its buffer")?;
+            let (buf, _) = self.ident("a buffer parameter")?;
+            let offset = if self.eat(&Tok::At) {
+                Some(self.iexpr()?)
+            } else {
+                None
+            };
+            let modes = self.modes()?;
+            self.expect(Tok::Semi, "after the store statement")?;
+            return Ok(Spanned::new(
+                StmtKind::Store {
+                    value,
+                    buf,
+                    offset,
+                    modes,
+                },
+                t.span,
+            ));
+        }
+        if self.eat_kw("for") {
+            let (var, _) = self.ident("a loop variable")?;
+            self.expect_kw("in")?;
+            let lo = self.iatom()?;
+            self.expect(Tok::DotDot, "in the loop range")?;
+            let hi = self.iatom()?;
+            self.expect(Tok::LBrace, "to open the loop body")?;
+            let mut body = Vec::new();
+            while !self.eat(&Tok::RBrace) {
+                if self.peek().tok == Tok::Eof {
+                    return Err(Diag::at(self.span(), "unclosed loop body"));
+                }
+                body.push(self.stmt()?);
+            }
+            return Ok(Spanned::new(StmtKind::For { var, lo, hi, body }, t.span));
+        }
+        Err(Diag::at(
+            t.span,
+            format!(
+                "expected a statement (`shape`, `let`, `store` or `for`), found {}",
+                t.tok
+            ),
+        ))
+    }
+
+    fn param(&mut self) -> Result<Param, Diag> {
+        let (name, _) = self.ident("a parameter")?;
+        self.expect(Tok::Colon, "after the parameter name")?;
+        let out = self.eat_kw("mut");
+        if self.eat_kw("buf") {
+            self.expect(Tok::Lt, "after `buf`")?;
+            let (ty_name, ty_span) = match self.bump() {
+                Token {
+                    tok: Tok::Ident(s),
+                    span,
+                } => (s, span),
+                t => {
+                    return Err(Diag::at(
+                        t.span,
+                        format!("expected an element type, found {}", t.tok),
+                    ))
+                }
+            };
+            let dtype = dtype_from_name(&ty_name)
+                .ok_or_else(|| Diag::at(ty_span, format!("unknown element type `{ty_name}`")))?;
+            self.expect(Tok::Gt, "after the element type")?;
+            self.expect(Tok::LBracket, "to open the buffer length")?;
+            let (len, len_span) = match self.bump() {
+                Token {
+                    tok: Tok::Int(v),
+                    span,
+                } => (v, span),
+                t => {
+                    return Err(Diag::at(
+                        t.span,
+                        format!("expected the buffer length, found {}", t.tok),
+                    ))
+                }
+            };
+            if len <= 0 {
+                return Err(Diag::at(len_span, "buffer length must be positive"));
+            }
+            self.expect(Tok::RBracket, "to close the buffer length")?;
+            return Ok(Param {
+                name,
+                ty: ParamTy::Buf {
+                    dtype,
+                    len: len as usize,
+                    out,
+                },
+                default: None,
+            });
+        }
+        if out {
+            return Err(Diag::at(
+                self.span(),
+                "`mut` only applies to buffer parameters",
+            ));
+        }
+        let (ty_name, ty_span) = match self.bump() {
+            Token {
+                tok: Tok::Ident(s),
+                span,
+            } => (s, span),
+            t => {
+                return Err(Diag::at(
+                    t.span,
+                    format!("expected a parameter type, found {}", t.tok),
+                ))
+            }
+        };
+        let dtype = dtype_from_name(&ty_name)
+            .ok_or_else(|| Diag::at(ty_span, format!("unknown type `{ty_name}`")))?;
+        let default = if self.eat(&Tok::Eq) {
+            let t = self.bump();
+            Some(match t.tok {
+                Tok::Int(v) => Lit::Int(v),
+                Tok::Float(v) => Lit::Float(v),
+                Tok::Minus => match self.bump() {
+                    Token {
+                        tok: Tok::Int(v), ..
+                    } => Lit::Int(-v),
+                    Token {
+                        tok: Tok::Float(v), ..
+                    } => Lit::Float(-v),
+                    t => {
+                        return Err(Diag::at(
+                            t.span,
+                            format!("expected a numeric default, found {}", t.tok),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(Diag::at(
+                        t.span,
+                        format!("expected a numeric default, found {other}"),
+                    ))
+                }
+            })
+        } else {
+            None
+        };
+        Ok(Param {
+            name,
+            ty: ParamTy::Scalar(dtype),
+            default,
+        })
+    }
+
+    fn kernel(&mut self) -> Result<KernelAst, Diag> {
+        self.expect_kw("kernel")?;
+        let (name, _) = self.ident("the kernel")?;
+        self.expect(Tok::LParen, "to open the parameter list")?;
+        let mut params = Vec::new();
+        if self.peek().tok != Tok::RParen {
+            params.push(self.param()?);
+            while self.eat(&Tok::Comma) {
+                params.push(self.param()?);
+            }
+        }
+        self.expect(Tok::RParen, "to close the parameter list")?;
+        self.expect(Tok::LBrace, "to open the kernel body")?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek().tok == Tok::Eof {
+                return Err(Diag::at(self.span(), "unclosed kernel body"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(KernelAst { name, params, body })
+    }
+}
+
+/// Parses one `.mvel` kernel.
+pub fn parse(source: &str) -> Result<KernelAst, Diag> {
+    let toks = lex(source)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+        nodes: 0,
+    };
+    let k = p.kernel()?;
+    if p.peek().tok != Tok::Eof {
+        return Err(Diag::at(
+            p.span(),
+            format!("trailing input after the kernel: {}", p.peek().tok),
+        ));
+    }
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::pretty;
+
+    const DOT: &str = r#"
+# inner product
+kernel dot(x: buf<i32>[8192], y: buf<i32>[8192], out: mut buf<i32>[1]) {
+    shape [8192];
+    let xv = load x [1];
+    let yv = load y [1];
+    let s = reduce add (xv * yv);
+    shape [1];
+    store s -> out [1];
+}
+"#;
+
+    #[test]
+    fn parses_dot_and_round_trips() {
+        let k = parse(DOT).unwrap();
+        assert_eq!(k.name, "dot");
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.body.len(), 6);
+        let printed = pretty(&k);
+        let again = parse(&printed).unwrap();
+        assert_eq!(k, again, "\n{printed}");
+    }
+
+    #[test]
+    fn parses_for_loops_strides_and_defaults() {
+        let src = r#"
+kernel saxpy(a: f32 = 2.5, x: buf<f32>[4096], out: mut buf<f32>[4096]) {
+    shape [1024, 2];
+    for i in 0..2 {
+        let xv = load x @ i * 2048 [1, seq];
+        store xv * a -> out @ i * 2048 [1, 1024];
+    }
+}
+"#;
+        let k = parse(src).unwrap();
+        let printed = pretty(&k);
+        assert_eq!(parse(&printed).unwrap(), k, "\n{printed}");
+        match &k.params[0].default {
+            Some(Lit::Float(v)) => assert_eq!(*v, 2.5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("kernel k() {\n    let = 3;\n}").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.message.contains("identifier"), "{err}");
+        let err = parse("kernel k() { store 1 -> out [1] }").unwrap_err();
+        assert!(err.message.contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn keywords_cannot_name_things() {
+        let err = parse("kernel k(load: i32) {}").unwrap_err();
+        assert!(err.message.contains("reserved"), "{err}");
+    }
+
+    #[test]
+    fn operator_precedence_is_bitwise_add_mul_shift() {
+        let k = parse("kernel k(o: mut buf<i32>[4]) { shape [4]; store 1 + 2 * 3 & 4 -> o [1]; }")
+            .unwrap();
+        let printed = pretty(&k);
+        // Canonical printing keeps the structure without redundant parens.
+        assert!(
+            printed.contains("store 1 + 2 * 3 & 4 -> o [1];"),
+            "{printed}"
+        );
+        assert_eq!(parse(&printed).unwrap(), k);
+    }
+}

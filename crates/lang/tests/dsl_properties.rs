@@ -1,0 +1,363 @@
+//! DSL property suites (deterministic vendored proptest):
+//!
+//! * **Round-trip** — `parse(pretty(ast)) == ast` over randomly generated
+//!   kernel trees (spans excluded from equality), so the canonical printer
+//!   and the parser can never drift apart.
+//! * **Budget invariant** — for randomly generated *executable* kernels
+//!   across random shapes and element widths, the scheduled + allocated
+//!   code never holds more values in physical registers than the budget
+//!   the allocator was given: walking the code with the allocator's own
+//!   free-before-def discipline, `|live| ≤ budget` at every step, and
+//!   every use reads a currently-resident register.
+
+use std::collections::{HashMap, HashSet};
+
+use mve_core::compiler::{IrOp, VReg, SPILL_RELOAD, SPILL_STORE};
+use mve_core::dtype::DType;
+use mve_lang::ast::*;
+use mve_lang::diag::{Span, Spanned};
+use mve_lang::{compile, parse, pretty, run_checked, Bindings};
+use proptest::prelude::*;
+
+/// Deterministic generator state (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+fn sp<T>(node: T) -> Spanned<T> {
+    Spanned::new(node, Span::NONE)
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary (not necessarily executable) trees for the round-trip suite.
+// ---------------------------------------------------------------------
+
+const NAMES: &[&str] = &["a", "b", "c", "x0", "vv", "img", "out2", "w_1"];
+
+fn arb_iexpr(g: &mut Gen, depth: usize) -> IExpr {
+    if depth == 0 || g.chance(40) {
+        return match g.below(3) {
+            0 => sp(IExprKind::Lit(g.below(1000) as i64)),
+            1 => sp(IExprKind::Var(
+                NAMES[g.below(NAMES.len() as u64) as usize].into(),
+            )),
+            _ => sp(IExprKind::Neg(Box::new(arb_iexpr(g, 0)))),
+        };
+    }
+    let op = match g.below(3) {
+        0 => IOp::Add,
+        1 => IOp::Sub,
+        _ => IOp::Mul,
+    };
+    sp(IExprKind::Bin {
+        op,
+        lhs: Box::new(arb_iexpr(g, depth - 1)),
+        rhs: Box::new(arb_iexpr(g, depth - 1)),
+    })
+}
+
+fn arb_modes(g: &mut Gen) -> Vec<ModeExpr> {
+    (0..1 + g.below(3))
+        .map(|_| {
+            if g.chance(30) {
+                ModeExpr::Seq
+            } else {
+                ModeExpr::Stride(arb_iexpr(g, 1))
+            }
+        })
+        .collect()
+}
+
+fn arb_expr(g: &mut Gen, depth: usize) -> Expr {
+    if depth == 0 || g.chance(30) {
+        return match g.below(4) {
+            0 => sp(ExprKind::Ident(
+                NAMES[g.below(NAMES.len() as u64) as usize].into(),
+            )),
+            1 => sp(ExprKind::Lit(Lit::Int(g.below(2000) as i64 - 1000))),
+            2 => sp(ExprKind::Lit(Lit::Float(
+                (g.below(4001) as f64 - 2000.0) / 16.0,
+            ))),
+            _ => sp(ExprKind::Load {
+                buf: NAMES[g.below(NAMES.len() as u64) as usize].into(),
+                offset: g.chance(50).then(|| arb_iexpr(g, 1)),
+                modes: arb_modes(g),
+            }),
+        };
+    }
+    match g.below(8) {
+        0..=4 => {
+            let op = [
+                VOp::Add,
+                VOp::Sub,
+                VOp::Mul,
+                VOp::And,
+                VOp::Or,
+                VOp::Xor,
+                VOp::Min,
+                VOp::Max,
+            ][g.below(8) as usize];
+            sp(ExprKind::Bin {
+                op,
+                lhs: Box::new(arb_expr(g, depth - 1)),
+                rhs: Box::new(arb_expr(g, depth - 1)),
+            })
+        }
+        5 => sp(ExprKind::Shift {
+            left: g.chance(50),
+            value: Box::new(arb_expr(g, depth - 1)),
+            amount: arb_iexpr(g, 0),
+        }),
+        _ => sp(ExprKind::Reduce {
+            op: [ReduceOp::Add, ReduceOp::Min, ReduceOp::Max][g.below(3) as usize],
+            value: Box::new(arb_expr(g, depth - 1)),
+        }),
+    }
+}
+
+fn arb_stmt(g: &mut Gen, depth: usize) -> Stmt {
+    match g.below(if depth > 0 { 4 } else { 3 }) {
+        0 => sp(StmtKind::Shape(
+            (0..1 + g.below(3)).map(|_| arb_iexpr(g, 1)).collect(),
+        )),
+        1 => sp(StmtKind::Let {
+            name: NAMES[g.below(NAMES.len() as u64) as usize].into(),
+            value: arb_expr(g, 2),
+        }),
+        2 => sp(StmtKind::Store {
+            value: arb_expr(g, 2),
+            buf: NAMES[g.below(NAMES.len() as u64) as usize].into(),
+            offset: g.chance(50).then(|| arb_iexpr(g, 1)),
+            modes: arb_modes(g),
+        }),
+        _ => sp(StmtKind::For {
+            var: "k".into(),
+            lo: arb_iexpr(g, 0),
+            hi: arb_iexpr(g, 0),
+            body: (0..1 + g.below(3))
+                .map(|_| arb_stmt(g, depth - 1))
+                .collect(),
+        }),
+    }
+}
+
+fn arb_kernel(seed: u64) -> KernelAst {
+    let g = &mut Gen(seed);
+    let params = (0..g.below(4))
+        .map(|i| {
+            let dtype = DType::ALL[g.below(10) as usize];
+            if g.chance(60) {
+                Param {
+                    name: format!("p{i}"),
+                    ty: ParamTy::Buf {
+                        dtype,
+                        len: 1 + g.below(10_000) as usize,
+                        out: g.chance(40),
+                    },
+                    default: None,
+                }
+            } else {
+                Param {
+                    name: format!("p{i}"),
+                    ty: ParamTy::Scalar(dtype),
+                    default: g.chance(50).then(|| {
+                        if dtype.is_float() {
+                            Lit::Float((g.below(64) as f64 - 32.0) / 4.0)
+                        } else {
+                            Lit::Int(g.below(100) as i64)
+                        }
+                    }),
+                }
+            }
+        })
+        .collect();
+    KernelAst {
+        name: format!("k{}", seed % 97),
+        params,
+        body: (0..1 + g.below(5)).map(|_| arb_stmt(g, 2)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executable kernels for the budget-invariant suite.
+// ---------------------------------------------------------------------
+
+/// A random kernel guaranteed to lower, schedule and allocate: one input
+/// buffer, one output buffer, an optional scalar, a random shape, chains
+/// of element-wise work over in-bounds strided loads, disjoint stores.
+fn executable_kernel(seed: u64) -> String {
+    use std::fmt::Write as _;
+    let g = &mut Gen(seed ^ 0xeeee);
+    let dtype = DType::ALL[g.below(10) as usize];
+    let dt = dtype_name(dtype);
+    let dims: Vec<usize> = (0..1 + g.below(3))
+        .map(|_| 1 + g.below(16) as usize)
+        .collect();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "kernel gen(x: buf<{dt}>[65536], s0: {dt}, out: mut buf<{dt}>[65536]) {{"
+    );
+    let shape = dims
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "    shape [{shape}];");
+    let n_lets = 1 + g.below(6);
+    let allow_reduce = dtype.bits() <= 32;
+    for i in 0..n_lets {
+        let expr = gen_expr(g, dims.len(), i, dtype, allow_reduce);
+        let _ = writeln!(s, "    let v{i} = {expr};");
+    }
+    let n_stores = 1 + g.below(3);
+    for k in 0..n_stores {
+        let off = 256 + k * 4096;
+        let modes = gen_modes(g, dims.len());
+        let _ = writeln!(s, "    store v{} -> out @ {off} {modes};", g.below(n_lets));
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn gen_modes(g: &mut Gen, dims: usize) -> String {
+    let parts: Vec<String> = (0..dims)
+        .map(|_| match g.below(5) {
+            0 => "0".to_owned(),
+            1 => "seq".to_owned(),
+            2 => (g.below(9) as i64 - 4).to_string(),
+            _ => "1".to_owned(),
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn gen_expr(g: &mut Gen, dims: usize, upto: u64, dtype: DType, allow_reduce: bool) -> String {
+    // A typed leaf: literals alone cannot anchor type inference, so the
+    // first operand always names a load, a prior binding or the scalar.
+    let typed_leaf = |g: &mut Gen| -> String {
+        match g.below(3) {
+            0 => format!("load x @ {} {}", 200 + g.below(800), gen_modes(g, dims)),
+            1 if upto > 0 => format!("v{}", g.below(upto)),
+            _ => "s0".to_owned(),
+        }
+    };
+    let leaf = |g: &mut Gen| -> String {
+        match g.below(4) {
+            0 => format!("load x @ {} {}", 200 + g.below(800), gen_modes(g, dims)),
+            1 if upto > 0 => format!("v{}", g.below(upto)),
+            2 => "s0".to_owned(),
+            _ => {
+                if dtype.is_float() {
+                    "0.5".to_owned()
+                } else {
+                    g.below(100).to_string()
+                }
+            }
+        }
+    };
+    let a = typed_leaf(g);
+    let b = leaf(g);
+    match g.below(8) {
+        0 => format!("{a} + {b}"),
+        1 => format!("{a} - {b}"),
+        2 => format!("{a} * {b}"),
+        3 => format!("min({a}, {b})"),
+        4 => format!("max({a}, {b})"),
+        5 if !dtype.is_float() => format!("({a}) >> {}", g.below(u64::from(dtype.bits()))),
+        6 if allow_reduce && g.chance(30) => format!("reduce add ({a})"),
+        _ => format!("({a}) + ({b})"),
+    }
+}
+
+/// Walks allocated code with the allocator's own discipline and returns
+/// the peak number of simultaneously resident values; panics if a use
+/// reads a non-resident register.
+fn peak_resident(code: &[IrOp]) -> usize {
+    let mut last_use: HashMap<VReg, usize> = HashMap::new();
+    for (i, op) in code.iter().enumerate() {
+        for &u in &op.uses {
+            last_use.insert(u, i);
+        }
+    }
+    let mut live: HashSet<VReg> = HashSet::new();
+    let mut peak = 0usize;
+    for (i, op) in code.iter().enumerate() {
+        for &u in &op.uses {
+            assert!(
+                live.contains(&u),
+                "op {i} `{}` reads v{} which is not resident",
+                op.name,
+                u.0
+            );
+        }
+        if op.name == SPILL_STORE {
+            live.remove(&op.uses[0]);
+            continue;
+        }
+        // The allocator frees dying operands before placing the def.
+        for &u in &op.uses {
+            if last_use.get(&u) == Some(&i) {
+                live.remove(&u);
+            }
+        }
+        if let Some(d) = op.def {
+            live.insert(d);
+            let _ = SPILL_RELOAD; // reloads are ordinary defs here
+        }
+        peak = peak.max(live.len());
+    }
+    peak
+}
+
+proptest! {
+    /// `parse(pretty(ast)) == ast` for arbitrary (even semantically
+    /// nonsensical) trees: printing is canonical and lossless.
+    #[test]
+    fn pretty_then_reparse_is_identity(seed in 0u64..u64::MAX) {
+        let ast = arb_kernel(seed);
+        let printed = pretty(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &ast, "\n{}", printed);
+        // Printing is a fixed point.
+        prop_assert_eq!(pretty(&reparsed), printed);
+    }
+
+    /// Lowered, scheduled and allocated programs keep the resident set
+    /// within the allocator's budget across random shapes and widths —
+    /// and still compute what the interpreter computes.
+    #[test]
+    fn allocated_code_respects_the_register_budget(seed in 0u64..u64::MAX) {
+        let src = executable_kernel(seed);
+        let ck = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let peak = peak_resident(&ck.code);
+        prop_assert!(
+            peak <= ck.budget,
+            "peak {} exceeds budget {} (width {})\n{}",
+            peak, ck.budget, ck.kernel_width, src
+        );
+        // Spot-check execution on a subset (full runs are engine-heavy).
+        if seed % 8 == 0 {
+            let b = Bindings::deterministic(&ck.program);
+            let (_ex, _want, check) = run_checked(&ck, &b);
+            prop_assert_eq!(check.mismatches, 0, "{}", src);
+        }
+    }
+}

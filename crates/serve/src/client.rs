@@ -97,6 +97,29 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("sim reply lacks `report`".to_owned()))
     }
 
+    /// Compiles and runs a `.mvel` kernel server-side, returning the
+    /// rendered compile artefact. A parse/type error comes back as
+    /// [`ClientError::Server`] with a `line:col:` prefix.
+    pub fn compile(&mut self, source: &str, spec: SimSpec) -> Result<String, ClientError> {
+        if spec.arrays.is_some() {
+            // The wire encoding would silently drop the override; surface
+            // the same rejection the server gives raw-JSON clients.
+            return Err(ClientError::Protocol(
+                "`arrays` is not supported for compile: DSL kernels execute on the \
+                 default 32-array geometry"
+                    .to_owned(),
+            ));
+        }
+        let doc = self.request(&Request::Compile {
+            source: source.to_owned(),
+            spec,
+        })?;
+        doc.get("bytes")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("compile reply lacks `bytes`".to_owned()))
+    }
+
     /// Fetches the counter snapshot.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         let doc = self.request(&Request::Stats)?;

@@ -31,6 +31,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod digest;
 pub mod json;
 pub mod protocol;
 pub mod scheduler;

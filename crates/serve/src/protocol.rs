@@ -7,6 +7,8 @@
 //! <- {"ok":true,"artefact":"fig10","bytes":"Figure 10 — ..."}
 //! -> {"op":"sim","kernel":"gemm","scale":"test","scheme":"BP","arrays":16}
 //! <- {"ok":true,"kernel":"gemm","report":{"total_cycles":...,...}}
+//! -> {"op":"compile","source":"kernel k(...) { ... }","scheme":"BS"}
+//! <- {"ok":true,"compile":true,"bytes":"mvel kernel `k` — ..."}
 //! -> {"op":"stats"}
 //! <- {"ok":true,"stats":{...}}
 //! -> {"op":"shutdown"}
@@ -14,12 +16,17 @@
 //! ```
 //!
 //! Errors are typed replies, never closed connections:
-//! `{"ok":false,"error":"unknown kernel `gemmm`; valid kernels: ..."}`.
+//! `{"ok":false,"error":"unknown kernel `gemmm`; valid kernels: ..."}` —
+//! and compile diagnostics carry their source position as machine-readable
+//! members: `{"ok":false,"error":"...","line":3,"col":9}`.
 //!
 //! Cache keys are FNV-1a digests over a request-kind tag, the artefact or
 //! kernel id, the scale, and — for simulations — the configuration's
 //! canonical encoding ([`SimConfig::canonical_bytes`]), so two requests
-//! collide exactly when they denote the same computation.
+//! collide exactly when they denote the same computation. The `compile`
+//! key alone uses truncated SHA-256: its input is arbitrary
+//! client-controlled source text, where an FNV collision is craftable
+//! (see [`crate::digest`]).
 
 use crate::json::Json;
 use mve_core::sim::{fnv1a_64, SimConfig, SimReport};
@@ -43,6 +50,13 @@ pub enum Request {
         /// Problem scale.
         scale: Scale,
         /// Configuration knobs.
+        spec: SimSpec,
+    },
+    /// Compile and run a client-submitted `.mvel` kernel.
+    Compile {
+        /// The DSL source text.
+        source: String,
+        /// Timing-configuration knobs.
         spec: SimSpec,
     },
     /// Counter snapshot.
@@ -115,6 +129,11 @@ impl SimSpec {
         m
     }
 }
+
+/// Upper bound on the `compile` op's source text, so one huge request
+/// line cannot balloon daemon memory (the lowering has its own op-count
+/// bound for unrolled loops; this bounds the text itself).
+pub const MAX_COMPILE_SOURCE_BYTES: usize = 1 << 20;
 
 /// Upper bound on the `arrays` override a request may ask for. The
 /// legitimate design space is the Figure 12(b) sweep (8–64); the bound is
@@ -211,10 +230,37 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 },
             })
         }
+        "compile" => {
+            if doc.get("arrays").is_some() {
+                return Err(
+                    "`arrays` is not supported for `compile`: DSL kernels execute on the \
+                     default 32-array geometry"
+                        .to_owned(),
+                );
+            }
+            let source = required_str(&doc, "source")?;
+            if source.len() > MAX_COMPILE_SOURCE_BYTES {
+                return Err(format!(
+                    "`source` is {} bytes; the compile op accepts at most {}",
+                    source.len(),
+                    MAX_COMPILE_SOURCE_BYTES
+                ));
+            }
+            Ok(Request::Compile {
+                source: source.to_owned(),
+                spec: SimSpec {
+                    scheme: parse_scheme(&doc)?,
+                    arrays: None,
+                    ooo_dispatch: parse_bool(&doc, "ooo_dispatch", false)?,
+                    mode_switch: parse_bool(&doc, "mode_switch", true)?,
+                    cache_warming: parse_bool(&doc, "cache_warming", true)?,
+                },
+            })
+        }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}`; valid ops: artefact, sim, stats, shutdown"
+            "unknown op `{other}`; valid ops: artefact, compile, sim, stats, shutdown"
         )),
     }
 }
@@ -238,6 +284,18 @@ pub fn encode_request(req: &Request) -> String {
                 ("scale".to_owned(), Json::Str(scale_name(*scale).into())),
             ];
             members.extend(spec.json_members());
+            Json::Obj(members)
+        }
+        Request::Compile { source, spec } => {
+            let mut members = vec![
+                ("op".to_owned(), Json::Str("compile".into())),
+                ("source".to_owned(), Json::Str(source.clone())),
+            ];
+            members.extend(
+                spec.json_members()
+                    .into_iter()
+                    .filter(|(k, _)| k != "arrays"),
+            );
             Json::Obj(members)
         }
         Request::Stats => Json::Obj(vec![("op".to_owned(), Json::Str("stats".into()))]),
@@ -301,6 +359,17 @@ pub fn ok_shutdown() -> String {
     .encode()
 }
 
+/// `{"ok":true,"compile":true,"bytes":text}` — the rendered compile
+/// artefact (`mve_lang::compile_and_render` bytes, cached verbatim).
+pub fn ok_compile(text: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("compile".to_owned(), Json::Bool(true)),
+        ("bytes".to_owned(), Json::Str(text.to_owned())),
+    ])
+    .encode()
+}
+
 /// `{"ok":false,"error":message}`.
 pub fn error_reply(message: &str) -> String {
     Json::Obj(vec![
@@ -310,17 +379,43 @@ pub fn error_reply(message: &str) -> String {
     .encode()
 }
 
+/// `{"ok":false,"error":message,"line":N,"col":N}` — a *typed* source
+/// diagnostic: clients get the position as machine-readable members, not
+/// just prose (omitted when the failure has no source position).
+pub fn error_reply_at(message: &str, line: u32, col: u32) -> String {
+    if line == 0 {
+        return error_reply(message);
+    }
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::Str(message.to_owned())),
+        ("line".to_owned(), Json::U64(u64::from(line))),
+        ("col".to_owned(), Json::U64(u64::from(col))),
+    ])
+    .encode()
+}
+
 /// Decodes a response line: `Ok(doc)` on `"ok":true`, `Err(message)` on a
-/// typed error reply, `Err(..)` on malformed documents.
+/// typed error reply (with any `line`/`col` diagnostic members rendered as
+/// a `line:col:` prefix), `Err(..)` on malformed documents.
 pub fn parse_response(line: &str) -> Result<Json, String> {
     let doc = Json::parse(line).map_err(|e| e.to_string())?;
     match doc.get("ok").and_then(Json::as_bool) {
         Some(true) => Ok(doc),
-        Some(false) => Err(doc
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("unspecified server error")
-            .to_owned()),
+        Some(false) => {
+            let msg = doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error");
+            let pos = doc
+                .get("line")
+                .and_then(Json::as_u64)
+                .zip(doc.get("col").and_then(Json::as_u64));
+            Err(match pos {
+                Some((line, col)) => format!("{line}:{col}: {msg}"),
+                None => msg.to_owned(),
+            })
+        }
         None => Err("response lacks an `ok` field".to_owned()),
     }
 }
@@ -333,6 +428,22 @@ pub fn artefact_key(name: &str, scale: Scale) -> u64 {
     bytes.push(0);
     bytes.extend_from_slice(scale_name(scale).as_bytes());
     fnv1a_64(&bytes)
+}
+
+/// Content key of a compile request: truncated SHA-256 over the exact
+/// source text plus the canonical configuration encoding — two requests
+/// collide exactly when they ship the same program for the same timing
+/// configuration. SHA-256 (not FNV like the server-vocabulary keys): the
+/// source is arbitrary *client-controlled* bytes, and an FNV collision is
+/// craftable, which would let one program silently serve another's cached
+/// results (see `crate::digest`).
+pub fn compile_key(source: &str, cfg: &SimConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(source.len() + 400);
+    bytes.extend_from_slice(b"compile\0");
+    bytes.extend_from_slice(source.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&cfg.canonical_bytes());
+    crate::digest::sha256_trunc64(&bytes)
 }
 
 /// Content key of a simulation request: kernel id + scale + the canonical
@@ -439,6 +550,61 @@ mod tests {
             let err = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn compile_requests_round_trip_and_are_bounded() {
+        let req = Request::Compile {
+            source: "kernel k(o: mut buf<i32>[4]) {\n  shape [4];\n  store 1 + 2 -> o [1];\n}"
+                .into(),
+            spec: SimSpec {
+                scheme: Scheme::BitHybrid,
+                arrays: None,
+                ooo_dispatch: true,
+                mode_switch: false,
+                cache_warming: true,
+            },
+        };
+        let line = encode_request(&req);
+        assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        // Oversized sources and arrays overrides are protocol errors.
+        let huge = format!(
+            r#"{{"op":"compile","source":"{}"}}"#,
+            "x".repeat(MAX_COMPILE_SOURCE_BYTES + 1)
+        );
+        assert!(parse_request(&huge).unwrap_err().contains("at most"));
+        let err = parse_request(r#"{"op":"compile","source":"k","arrays":16}"#).unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
+        assert!(parse_request(r#"{"op":"compile"}"#)
+            .unwrap_err()
+            .contains("`source`"));
+    }
+
+    #[test]
+    fn typed_diagnostics_round_trip_with_positions() {
+        let reply = error_reply_at("unknown value `z`", 3, 9);
+        let doc = Json::parse(&reply).unwrap();
+        assert_eq!(doc.get("line").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("col").and_then(Json::as_u64), Some(9));
+        let err = parse_response(&reply).unwrap_err();
+        assert_eq!(err, "3:9: unknown value `z`");
+        // Position-less diagnostics degrade to the plain error reply.
+        let plain = error_reply_at("allocation failed", 0, 0);
+        assert_eq!(plain, error_reply("allocation failed"));
+        assert_eq!(parse_response(&plain).unwrap_err(), "allocation failed");
+    }
+
+    #[test]
+    fn compile_keys_separate_sources_and_configs() {
+        let cfg = SimConfig::default();
+        let keys = [
+            compile_key("kernel a() {}", &cfg),
+            compile_key("kernel b() {}", &cfg),
+            compile_key("kernel a() {}", &cfg.clone().with_ooo_dispatch()),
+            sim_key("gemm", Scale::Test, &cfg),
+        ];
+        let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! EOF, and on the protocol's `shutdown` op.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,8 +32,8 @@ use mve_kernels::Scale;
 use crate::cache::{Fetch, ResultCache};
 use crate::json::Json;
 use crate::protocol::{
-    artefact_key, error_reply, ok_artefact, ok_shutdown, ok_sim, ok_stats, parse_request,
-    report_to_json, scale_name, sim_key, Request, SimSpec,
+    artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_shutdown,
+    ok_sim, ok_stats, parse_request, report_to_json, scale_name, sim_key, Request, SimSpec,
 };
 use crate::scheduler::{BatchEntry, Batcher};
 
@@ -116,6 +116,8 @@ pub struct Counters {
     pub artefact_requests: AtomicU64,
     /// Simulation requests.
     pub sim_requests: AtomicU64,
+    /// DSL compile requests.
+    pub compile_requests: AtomicU64,
     /// Error replies sent.
     pub errors: AtomicU64,
     /// Connections served.
@@ -163,6 +165,10 @@ impl ServerState {
             (
                 "sim_requests".to_owned(),
                 Json::U64(c.sim_requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "compile_requests".to_owned(),
+                Json::U64(c.compile_requests.load(Ordering::SeqCst)),
             ),
             (
                 "errors".to_owned(),
@@ -313,7 +319,15 @@ fn worker_loop(state: &ServerState) {
     }
 }
 
-/// Serves one connection until EOF, error, idle deadline, or shutdown.
+/// Hard cap on one buffered request line. The largest legitimate request
+/// is a `compile` op (1 MiB of source, ≤ 6× inflation under JSON `\uXXXX`
+/// escaping); beyond this the connection is dropped *while reading*, so a
+/// newline-less byte stream cannot balloon daemon memory before the
+/// protocol-layer checks ever run.
+const MAX_REQUEST_LINE_BYTES: usize = 8 << 20;
+
+/// Serves one connection until EOF, error, idle deadline, oversized
+/// request, or shutdown.
 fn serve_connection(state: &ServerState, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -336,7 +350,20 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
         // instead of pinning it forever.
         let idle_since = std::time::Instant::now();
         let saw_newline = loop {
-            match reader.read_until(b'\n', &mut line) {
+            // `read_until` only returns on delimiter/EOF/error, so an
+            // unbounded reader would happily buffer a newline-less
+            // gigabyte stream inside ONE call; the `take` budget forces a
+            // return at the cap so the limit is enforced *while reading*.
+            let budget = (MAX_REQUEST_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+            match (&mut reader).take(budget).read_until(b'\n', &mut line) {
+                Ok(_) if line.len() > MAX_REQUEST_LINE_BYTES && !line.ends_with(b"\n") => {
+                    // Reply (best effort) and drop the connection: the
+                    // sender is either broken or hostile.
+                    let _ = writer
+                        .write_all(error_reply("request line exceeds the size limit").as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"));
+                    return;
+                }
                 Ok(0) => break false,
                 Ok(_) if line.ends_with(b"\n") => break true,
                 Ok(_) => {} // mid-line wakeup; keep reading
@@ -404,6 +431,22 @@ fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
                 Err(msg) => fail(&msg),
             }
         }
+        Ok(Request::Compile { source, spec }) => {
+            state
+                .counters
+                .compile_requests
+                .fetch_add(1, Ordering::SeqCst);
+            match serve_compile(state, &source, &spec) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => (ok_compile(text), false),
+                    Err(_) => fail("compile bytes are not UTF-8"),
+                },
+                Err((msg, line, col)) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    (error_reply_at(&msg, line, col), false)
+                }
+            }
+        }
         Ok(Request::Sim {
             kernel,
             scale,
@@ -431,9 +474,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<Vec<u8>>, String> {
     let Some(render) = state.artefacts.get(name) else {
+        let names = state.artefacts.names_sorted();
+        let suggestion = mve_kernels::registry::did_you_mean(name, &names)
+            .map(|s| format!(" did you mean `{s}`?"))
+            .unwrap_or_default();
         return Err(format!(
-            "unknown artefact `{name}`; valid artefacts: {}",
-            state.artefacts.names_sorted().join(", ")
+            "unknown artefact `{name}`;{suggestion} valid artefacts: {}",
+            names.join(", ")
         ));
     };
     match state.cache.fetch(artefact_key(name, scale)) {
@@ -447,6 +494,42 @@ fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<V
                     Err(format!(
                         "artefact `{name}` failed: {}",
                         panic_message(&*payload)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Compiles, executes, checks and times a client-submitted kernel behind
+/// the single-flight cache, keyed on the source digest plus the canonical
+/// configuration encoding. Diagnostics come back with their source
+/// position (`line`/`col`) for the typed error reply.
+fn serve_compile(
+    state: &ServerState,
+    source: &str,
+    spec: &SimSpec,
+) -> Result<Arc<Vec<u8>>, (String, u32, u32)> {
+    let cfg = spec.to_config();
+    let key = compile_key(source, &cfg);
+    match state.cache.fetch(key) {
+        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Miss => {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                mve_lang::compile_and_render(source, &cfg)
+            }));
+            match result {
+                Ok(Ok(text)) => Ok(state.cache.fulfill(key, text.into_bytes())),
+                Ok(Err(diag)) => {
+                    state.cache.abandon(key);
+                    Err((diag.message.clone(), diag.span.line, diag.span.col))
+                }
+                Err(payload) => {
+                    state.cache.abandon(key);
+                    Err((
+                        format!("compile failed: {}", panic_message(&*payload)),
+                        0,
+                        0,
                     ))
                 }
             }

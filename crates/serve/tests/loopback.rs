@@ -291,3 +291,114 @@ fn shutdown_handle_stops_a_server_with_idle_connections() {
     let stats = join.join().expect("server thread joins despite idle conn");
     assert_eq!(stat(&stats, "artefact_requests"), 1);
 }
+
+/// The `compile` op end-to-end: a client ships DSL source, the daemon
+/// parses/lowers/executes/times it behind the single-flight cache keyed on
+/// source digest + config, and diagnostics come back typed with line/col.
+#[test]
+fn compile_op_caches_by_source_digest_and_config() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 64, renders);
+    let addr = ("127.0.0.1", port);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let source = r#"
+kernel scale3(x: buf<i32>[512], out: mut buf<i32>[512]) {
+    shape [512];
+    let v = load x [1];
+    store v * 3 -> out [1];
+}
+"#;
+    let first = client.compile(source, SimSpec::default()).expect("compile");
+    assert!(first.contains("mvel kernel `scale3`"), "{first}");
+    assert!(first.contains("mismatches=0"), "{first}");
+
+    // Same source + same config: a cache hit with identical bytes.
+    let again = client.compile(source, SimSpec::default()).expect("hit");
+    assert_eq!(again, first);
+
+    // Same source, different scheme: a distinct computation.
+    let bp = client
+        .compile(
+            source,
+            SimSpec {
+                scheme: Scheme::BitParallel,
+                ..SimSpec::default()
+            },
+        )
+        .expect("BP compile");
+    assert_ne!(bp, first);
+    assert!(bp.contains("scheme=BP"), "{bp}");
+
+    // And the local render is byte-identical to the daemon's (one shared
+    // render function, like the artefact registry).
+    let local = mve_lang::compile_and_render(source, &SimSpec::default().to_config())
+        .expect("local render");
+    assert_eq!(local, first);
+
+    // A parse error carries its position as typed members, and the
+    // connection stays usable afterwards.
+    let broken = "kernel b(o: mut buf<i32>[4]) {\n    store z -> o [1];\n}";
+    let err = client
+        .compile(broken, SimSpec::default())
+        .expect_err("unknown value");
+    let msg = err.to_string();
+    assert!(msg.contains("2:"), "diag must carry line 2: {msg}");
+    assert!(msg.contains("unknown value `z`"), "{msg}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "compile_requests"), 4);
+    assert_eq!(stat(&stats, "errors"), 1);
+    // 2 unique compile computations + 1 abandoned error reservation = 3
+    // misses; the repeat was the 1 hit.
+    assert_eq!(stat(&stats, "misses"), 3);
+    assert_eq!(stat(&stats, "hits"), 1);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A newline-less byte stream larger than the request-line cap is cut off
+/// *while being read* — connection buffers stay bounded, the connection
+/// drops, and the daemon keeps serving others.
+#[test]
+fn oversized_request_lines_are_rejected_while_reading() {
+    use std::io::{Read, Write};
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 16, renders);
+    let addr = ("127.0.0.1", port);
+
+    let mut hostile = std::net::TcpStream::connect(addr).expect("connect");
+    let chunk = vec![b'x'; 1 << 20];
+    let mut dropped = false;
+    for _ in 0..12 {
+        if hostile.write_all(&chunk).is_err() {
+            dropped = true; // server closed mid-send: limit enforced
+            break;
+        }
+    }
+    if !dropped {
+        // Server consumed up to the cap then closed; the read side must
+        // see the (best-effort) error reply or EOF/reset, never a hang.
+        hostile
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("timeout");
+        let mut buf = [0u8; 256];
+        match hostile.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => {
+                let reply = String::from_utf8_lossy(&buf[..n]);
+                assert!(reply.contains("size limit"), "{reply}");
+            }
+        }
+    }
+    drop(hostile);
+
+    // The daemon is still healthy for well-behaved clients.
+    let mut client = Client::connect(addr).expect("connect after hostile peer");
+    let text = client.artefact("alpha", Scale::Test).expect("artefact");
+    assert!(text.contains("alpha artefact"));
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

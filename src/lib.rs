@@ -10,5 +10,6 @@ pub use mve_coresim as coresim;
 pub use mve_energy as energy;
 pub use mve_insram as insram;
 pub use mve_kernels as kernels;
+pub use mve_lang as lang;
 pub use mve_memsim as memsim;
 pub use mve_serve as serve;
