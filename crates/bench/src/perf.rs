@@ -63,7 +63,10 @@ const LANES: usize = 8192;
 /// over the strip-mined saxpy corpus source, the per-unique-source cost of
 /// the serve `compile` op) and `dsl_compiled_binop_8192` (a pre-compiled
 /// element-wise kernel re-executed on its persistent `Executor`, the
-/// execution-bridge overhead against the native `binop_add_8192`).
+/// execution-bridge overhead against the native `binop_add_8192`) — plus
+/// the ISSUE-6 `dsl_executor_setup` workload (bindings + `Executor::new`
+/// for the same kernel), so the setup cost the steady-state number
+/// excludes is tracked in its own right rather than lost.
 pub fn engine_hot_benches() -> Vec<HotBench> {
     let mut out = Vec::new();
 
@@ -291,6 +294,59 @@ pub fn engine_hot_benches() -> Vec<HotBench> {
             run: Box::new(move || {
                 ex.run();
                 ex.engine_mut().clear_trace();
+            }),
+        });
+    }
+
+    // ISSUE-6 reference for the executor gap: the same 4-instruction
+    // sequence the DSL kernel compiles to (two contiguous loads, an add,
+    // a contiguous store), hand-written against the raw engine. The
+    // honest executor-overhead ratio is `dsl_compiled_binop_8192` over
+    // *this* — a 4-op memory-touching sequence can never cost what the
+    // single register-to-register `binop_add_8192` does.
+    {
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let a = e.mem_alloc_typed::<i32>(LANES);
+        let b = e.mem_alloc_typed::<i32>(LANES);
+        let o = e.mem_alloc_typed::<i32>(LANES);
+        let vals: Vec<i32> = (0..LANES as i32).collect();
+        e.mem_fill(a, &vals);
+        e.mem_fill(b, &vals);
+        out.push(HotBench {
+            name: "handwritten_binop_seq_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let x = e.vsld_dw(a, &[StrideMode::One]);
+                let y = e.vsld_dw(b, &[StrideMode::One]);
+                let r = e.binop(Opcode::Add, BinOp::Add, x, y);
+                e.store(r, o, &[StrideMode::One]);
+                e.free(x);
+                e.free(y);
+                e.free(r);
+                e.clear_trace();
+            }),
+        });
+    }
+
+    // ISSUE-6 DSL executor setup: binding generation plus `Executor::new`
+    // (buffer allocation, input fill, dense value-table planning) for the
+    // same element-wise kernel — the one-time cost `dsl_compiled_binop_8192`
+    // deliberately excludes, tracked separately so the steady-state number
+    // stays honest.
+    {
+        let source = "kernel b(x: buf<i32>[8192], y: buf<i32>[8192], o: mut buf<i32>[8192]) {\n\
+                      shape [8192];\nlet xv = load x [1];\nlet yv = load y [1];\n\
+                      store xv + yv -> o [1];\n}";
+        let ck = mve_lang::compile(source).expect("binop kernel compiles");
+        out.push(HotBench {
+            name: "dsl_executor_setup",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let bindings = mve_lang::Bindings::deterministic(&ck.program);
+                let ex = mve_lang::Executor::new(&ck, &bindings);
+                std::hint::black_box(&ex);
             }),
         });
     }

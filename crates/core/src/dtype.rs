@@ -91,6 +91,7 @@ impl DType {
     ];
 
     /// Element width in bits.
+    #[inline]
     pub fn bits(&self) -> u32 {
         match self {
             DType::U8 | DType::I8 => 8,
@@ -101,16 +102,19 @@ impl DType {
     }
 
     /// Element width in bytes.
+    #[inline]
     pub fn bytes(&self) -> u64 {
         u64::from(self.bits()) / 8
     }
 
     /// Whether the type is floating point.
+    #[inline]
     pub fn is_float(&self) -> bool {
         matches!(self, DType::F16 | DType::F32)
     }
 
     /// Whether the type is a signed integer.
+    #[inline]
     pub fn is_signed_int(&self) -> bool {
         matches!(self, DType::I8 | DType::I16 | DType::I32 | DType::I64)
     }
@@ -128,6 +132,7 @@ impl DType {
     }
 
     /// Mask selecting the low `bits()` of a raw lane value.
+    #[inline(always)]
     pub fn lane_mask(&self) -> u64 {
         match self.bits() {
             64 => u64::MAX,
@@ -136,21 +141,23 @@ impl DType {
     }
 
     /// Truncates a raw value to the element width (canonical lane form).
+    #[inline(always)]
     pub fn truncate(&self, v: u64) -> u64 {
         v & self.lane_mask()
     }
 
     /// Sign-extends a canonical lane value to `i64` (integers only).
+    ///
+    /// Branchless (shift-pair) so the word-block kernels autovectorize: a
+    /// data-dependent sign test here would cost a misprediction per lane on
+    /// random data and block SIMD codegen.
+    #[inline(always)]
     pub fn to_i64(&self, v: u64) -> i64 {
         let bits = self.bits();
         let v = self.truncate(v);
         if self.is_signed_int() && bits < 64 {
-            let sign = 1u64 << (bits - 1);
-            if v & sign != 0 {
-                (v | !self.lane_mask()) as i64
-            } else {
-                v as i64
-            }
+            let shift = 64 - bits;
+            ((v << shift) as i64) >> shift
         } else {
             v as i64
         }
@@ -166,12 +173,14 @@ impl DType {
     }
 
     /// Packs an `i64` into a canonical lane value (integers only).
+    #[inline(always)]
     pub fn from_i64(&self, v: i64) -> u64 {
         debug_assert!(!self.is_float(), "from_i64 on float type");
         self.truncate(v as u64)
     }
 
     /// Packs an `f32` into a canonical lane value (floats only).
+    #[inline(always)]
     pub fn from_f32(&self, v: f32) -> u64 {
         match self {
             DType::F16 => u64::from(f32_to_f16(v)),
@@ -180,6 +189,7 @@ impl DType {
         }
     }
 
+    #[inline(always)]
     fn float_of(&self, v: u64) -> f32 {
         match self {
             DType::F16 => f16_to_f32(v as u16),
@@ -189,6 +199,7 @@ impl DType {
     }
 
     /// Applies a binary operation to two canonical lane values.
+    #[inline(always)]
     pub fn binop(&self, op: BinOp, a: u64, b: u64) -> u64 {
         if self.is_float() {
             let (x, y) = (self.float_of(a), self.float_of(b));
@@ -232,6 +243,7 @@ impl DType {
     }
 
     /// Evaluates a comparison between two canonical lane values.
+    #[inline(always)]
     pub fn cmp(&self, op: CmpOp, a: u64, b: u64) -> bool {
         if self.is_float() {
             let (x, y) = (self.float_of(a), self.float_of(b));
@@ -267,6 +279,7 @@ impl DType {
     }
 
     /// Logical/arithmetic shift left by `sh` (zero fill), wrapping at width.
+    #[inline(always)]
     pub fn shl(&self, a: u64, sh: u32) -> u64 {
         debug_assert!(!self.is_float(), "shift on float type");
         if sh >= self.bits() {
@@ -277,6 +290,7 @@ impl DType {
     }
 
     /// Shift right by `sh`: arithmetic for signed types, logical otherwise.
+    #[inline(always)]
     pub fn shr(&self, a: u64, sh: u32) -> u64 {
         debug_assert!(!self.is_float(), "shift on float type");
         let bits = self.bits();
@@ -292,6 +306,7 @@ impl DType {
     }
 
     /// Rotate left by `sh` within the element width.
+    #[inline(always)]
     pub fn rotl(&self, a: u64, sh: u32) -> u64 {
         debug_assert!(!self.is_float(), "rotate on float type");
         let bits = self.bits();
@@ -311,6 +326,7 @@ impl DType {
     /// would pass `bits` itself to the left-rotation (rotating right by 0,
     /// 8, 16, … must be the identity, not reach for the full element
     /// width).
+    #[inline(always)]
     pub fn rotr(&self, a: u64, sh: u32) -> u64 {
         let bits = self.bits();
         let sh = sh % bits;
@@ -324,12 +340,257 @@ impl DType {
     /// Converts a canonical lane value of `self` into `dst`'s representation
     /// (the `vcvt` semantics: int↔int resize with sign/zero extension,
     /// int↔float numeric conversion, float↔float precision change).
+    #[inline(always)]
     pub fn convert_to(&self, dst: DType, v: u64) -> u64 {
         match (self.is_float(), dst.is_float()) {
             (false, false) => dst.truncate(self.to_i64(v) as u64),
             (false, true) => dst.from_f32(self.to_i64(v) as f32),
             (true, false) => dst.from_i64(self.float_of(v) as i64),
             (true, true) => dst.from_f32(self.float_of(v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Word-block kernels (data-parallel backend)
+// ---------------------------------------------------------------------------
+//
+// The engine's block driver hands contiguous runs of enabled lanes to the
+// function pointers below. Each pointer is a monomorphized loop over the
+// scalar reference semantics above — the `DType` and the operation are
+// compile-time constants inside the loop body, so the per-lane `match`es
+// constant-fold away and LLVM can unroll and autovectorize the loop — which
+// makes bit-identity with the per-lane reference true by construction
+// rather than by reimplementation.
+
+/// Contiguous-block binary op: `out[i] = dt.binop(op, a[i], b[i])`.
+pub type BinopKernel = fn(&[u64], &[u64], &mut [u64]);
+/// Comparison over ≤ 64 lanes, result bits packed lane-minor into a word.
+pub type CmpKernel = fn(&[u64], &[u64]) -> u64;
+/// Contiguous-block unary op (conversions).
+pub type UnaryKernel = fn(&[u64], &mut [u64]);
+/// Contiguous-block shift/rotate by a shared immediate amount.
+pub type ShiftImmKernel = fn(&[u64], &mut [u64], u32);
+/// Contiguous-block shift by per-lane amounts (low byte of the amount lane).
+pub type ShiftRegKernel = fn(&[u64], &[u64], &mut [u64]);
+
+/// Expands `$mac!(<DTypeIdent> $(, extra)*)` for the matching variant.
+macro_rules! dtype_match {
+    ($dt:expr, $mac:ident $(, $extra:ident)*) => {
+        match $dt {
+            DType::U8 => $mac!(U8 $(, $extra)*),
+            DType::I8 => $mac!(I8 $(, $extra)*),
+            DType::U16 => $mac!(U16 $(, $extra)*),
+            DType::I16 => $mac!(I16 $(, $extra)*),
+            DType::U32 => $mac!(U32 $(, $extra)*),
+            DType::I32 => $mac!(I32 $(, $extra)*),
+            DType::U64 => $mac!(U64 $(, $extra)*),
+            DType::I64 => $mac!(I64 $(, $extra)*),
+            DType::F16 => $mac!(F16 $(, $extra)*),
+            DType::F32 => $mac!(F32 $(, $extra)*),
+        }
+    };
+}
+
+macro_rules! binop_arm {
+    ($dt:ident, $op:ident) => {{
+        fn k(a: &[u64], b: &[u64], out: &mut [u64]) {
+            const DT: DType = DType::$dt;
+            const OP: BinOp = BinOp::$op;
+            for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                *o = DT.binop(OP, x, y);
+            }
+        }
+        k
+    }};
+}
+
+macro_rules! cmp_arm {
+    ($dt:ident, $op:ident) => {{
+        fn k(a: &[u64], b: &[u64]) -> u64 {
+            const DT: DType = DType::$dt;
+            const OP: CmpOp = CmpOp::$op;
+            let mut bits = 0u64;
+            for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+                bits |= u64::from(DT.cmp(OP, x, y)) << i;
+            }
+            bits
+        }
+        k
+    }};
+}
+
+macro_rules! shift_imm_arm {
+    ($dt:ident, $method:ident) => {{
+        fn k(src: &[u64], out: &mut [u64], sh: u32) {
+            const DT: DType = DType::$dt;
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o = DT.$method(v, sh);
+            }
+        }
+        k
+    }};
+}
+
+macro_rules! shift_reg_arm {
+    ($dt:ident, $method:ident) => {{
+        fn k(src: &[u64], amounts: &[u64], out: &mut [u64]) {
+            const DT: DType = DType::$dt;
+            for (o, (&v, &s)) in out.iter_mut().zip(src.iter().zip(amounts)) {
+                *o = DT.$method(v, (s & 0xFF) as u32);
+            }
+        }
+        k
+    }};
+}
+
+macro_rules! convert_arm {
+    ($to:ident, $from:ident) => {{
+        fn k(src: &[u64], out: &mut [u64]) {
+            const FROM: DType = DType::$from;
+            const TO: DType = DType::$to;
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o = FROM.convert_to(TO, v);
+            }
+        }
+        k
+    }};
+}
+
+impl DType {
+    /// The monomorphized contiguous-block kernel for `(self, op)`.
+    pub fn binop_kernel(self, op: BinOp) -> BinopKernel {
+        macro_rules! by_op {
+            ($dt:ident) => {
+                match op {
+                    BinOp::Add => binop_arm!($dt, Add),
+                    BinOp::Sub => binop_arm!($dt, Sub),
+                    BinOp::Mul => binop_arm!($dt, Mul),
+                    BinOp::Min => binop_arm!($dt, Min),
+                    BinOp::Max => binop_arm!($dt, Max),
+                    BinOp::Xor => binop_arm!($dt, Xor),
+                    BinOp::And => binop_arm!($dt, And),
+                    BinOp::Or => binop_arm!($dt, Or),
+                }
+            };
+        }
+        dtype_match!(self, by_op)
+    }
+
+    /// The monomorphized ≤ 64-lane comparison kernel for `(self, op)`.
+    pub fn cmp_kernel(self, op: CmpOp) -> CmpKernel {
+        macro_rules! by_op {
+            ($dt:ident) => {
+                match op {
+                    CmpOp::Gt => cmp_arm!($dt, Gt),
+                    CmpOp::Gte => cmp_arm!($dt, Gte),
+                    CmpOp::Lt => cmp_arm!($dt, Lt),
+                    CmpOp::Lte => cmp_arm!($dt, Lte),
+                    CmpOp::Eq => cmp_arm!($dt, Eq),
+                    CmpOp::Neq => cmp_arm!($dt, Neq),
+                }
+            };
+        }
+        dtype_match!(self, by_op)
+    }
+
+    /// The monomorphized shift/rotate-by-immediate kernel (`left`/`rotate`
+    /// select between [`DType::shl`], [`DType::shr`], [`DType::rotl`] and
+    /// [`DType::rotr`]).
+    pub fn shift_imm_kernel(self, left: bool, rotate: bool) -> ShiftImmKernel {
+        macro_rules! by_variant {
+            ($dt:ident) => {
+                match (left, rotate) {
+                    (true, false) => shift_imm_arm!($dt, shl),
+                    (false, false) => shift_imm_arm!($dt, shr),
+                    (true, true) => shift_imm_arm!($dt, rotl),
+                    (false, true) => shift_imm_arm!($dt, rotr),
+                }
+            };
+        }
+        dtype_match!(self, by_variant)
+    }
+
+    /// The monomorphized shift-by-register kernel (per-lane amounts, low
+    /// byte — the `vshiftr` semantics).
+    pub fn shift_reg_kernel(self, left: bool) -> ShiftRegKernel {
+        macro_rules! by_dir {
+            ($dt:ident) => {
+                if left {
+                    shift_reg_arm!($dt, shl)
+                } else {
+                    shift_reg_arm!($dt, shr)
+                }
+            };
+        }
+        dtype_match!(self, by_dir)
+    }
+
+    /// The monomorphized `self → to` conversion kernel.
+    pub fn convert_kernel(self, to: DType) -> UnaryKernel {
+        macro_rules! by_from {
+            ($from:ident) => {
+                dtype_match!(to, convert_arm, $from)
+            };
+        }
+        dtype_match!(self, by_from)
+    }
+
+    /// Widens `out.len()` packed little-endian elements of width
+    /// [`DType::bytes`] from `src` into canonical lane values — bit-identical
+    /// to per-lane `truncate(Memory::read_raw(..))` over ascending addresses.
+    pub fn load_block(self, src: &[u8], out: &mut [u64]) {
+        debug_assert_eq!(src.len() as u64, out.len() as u64 * self.bytes());
+        match self.bytes() {
+            1 => {
+                for (o, &b) in out.iter_mut().zip(src) {
+                    *o = u64::from(b);
+                }
+            }
+            2 => {
+                for (o, c) in out.iter_mut().zip(src.chunks_exact(2)) {
+                    *o = u64::from(u16::from_le_bytes([c[0], c[1]]));
+                }
+            }
+            4 => {
+                for (o, c) in out.iter_mut().zip(src.chunks_exact(4)) {
+                    *o = u64::from(u32::from_le_bytes(c.try_into().unwrap()));
+                }
+            }
+            _ => {
+                for (o, c) in out.iter_mut().zip(src.chunks_exact(8)) {
+                    *o = u64::from_le_bytes(c.try_into().unwrap());
+                }
+            }
+        }
+    }
+
+    /// Narrows canonical lane values into packed little-endian elements —
+    /// the inverse of [`DType::load_block`], bit-identical to per-lane
+    /// `Memory::write_raw`.
+    pub fn store_block(self, lanes: &[u64], dst: &mut [u8]) {
+        debug_assert_eq!(dst.len() as u64, lanes.len() as u64 * self.bytes());
+        match self.bytes() {
+            1 => {
+                for (d, &v) in dst.iter_mut().zip(lanes) {
+                    *d = v as u8;
+                }
+            }
+            2 => {
+                for (c, &v) in dst.chunks_exact_mut(2).zip(lanes) {
+                    c.copy_from_slice(&(v as u16).to_le_bytes());
+                }
+            }
+            4 => {
+                for (c, &v) in dst.chunks_exact_mut(4).zip(lanes) {
+                    c.copy_from_slice(&(v as u32).to_le_bytes());
+                }
+            }
+            _ => {
+                for (c, &v) in dst.chunks_exact_mut(8).zip(lanes) {
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
         }
     }
 }
@@ -353,6 +614,7 @@ impl std::fmt::Display for DType {
 }
 
 /// Converts an IEEE binary16 bit pattern to `f32`.
+#[inline(always)]
 pub fn f16_to_f32(h: u16) -> f32 {
     let sign = u32::from(h >> 15) << 31;
     let exp = u32::from((h >> 10) & 0x1F);
@@ -380,6 +642,7 @@ pub fn f16_to_f32(h: u16) -> f32 {
 
 /// Converts an `f32` to an IEEE binary16 bit pattern with
 /// round-to-nearest-even.
+#[inline(always)]
 pub fn f32_to_f16(f: f32) -> u16 {
     let bits = f.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;

@@ -15,7 +15,7 @@ use std::any::Any;
 
 use crate::addrgen::{self, StrideBank};
 use crate::config::{ControlRegs, MAX_DIMS};
-use crate::dtype::{BinOp, CmpOp, DType};
+use crate::dtype::{BinOp, BinopKernel, CmpOp, DType};
 use crate::isa::{Opcode, StrideMode};
 use crate::layout::LogicalShape;
 use crate::mem::{MemScalar, Memory};
@@ -112,6 +112,181 @@ fn for_each_set_bit(words: impl Iterator<Item = u64>, mut f: impl FnMut(usize)) 
     }
 }
 
+/// A decomposition unit of the enabled-lane bitset (see
+/// [`for_each_enabled_span`]).
+enum Span {
+    /// `[start, end)` — every lane enabled; handled by a block kernel.
+    Run(usize, usize),
+    /// A straggler lane from a partially-enabled mask word.
+    Lane(usize),
+}
+
+/// Decomposes an enabled-lane bitset into maximal fully-enabled
+/// [`Span::Run`] ranges (word-coalesced, handed to block kernels) and
+/// [`Span::Lane`] stragglers from partially-enabled words (handed to the
+/// per-lane scalar reference). Spans are produced in ascending lane order,
+/// so consumers observe lanes exactly as the per-lane walk would.
+fn enabled_spans(words: impl Iterator<Item = u64>, total: usize, mut f: impl FnMut(Span)) {
+    let mut run_start: Option<usize> = None;
+    let mut covered = 0usize;
+    for (w, word) in words.enumerate() {
+        let base = w * 64;
+        if base >= total {
+            break;
+        }
+        let span = (total - base).min(64);
+        let full = if span == 64 {
+            !0u64
+        } else {
+            (1u64 << span) - 1
+        };
+        let word = word & full;
+        covered = base + span;
+        if word == full {
+            run_start.get_or_insert(base);
+            continue;
+        }
+        if let Some(s) = run_start.take() {
+            f(Span::Run(s, base));
+        }
+        let mut bits = word;
+        while bits != 0 {
+            f(Span::Lane(base + bits.trailing_zeros() as usize));
+            bits &= bits - 1;
+        }
+    }
+    if let Some(s) = run_start.take() {
+        f(Span::Run(s, covered));
+    }
+}
+
+/// [`enabled_spans`] over the cached mask (and, when `pred`, the Tag
+/// latch). A fully active unpredicated shape yields exactly one
+/// `Span::Run(0, total)` — the full-mask fast path needs no special case.
+fn for_each_enabled_span(
+    mask_words: &[u64],
+    tag_words: &[u64],
+    pred: bool,
+    total: usize,
+    f: impl FnMut(Span),
+) {
+    if pred {
+        enabled_spans(
+            mask_words.iter().zip(tag_words).map(|(&m, &t)| m & t),
+            total,
+            f,
+        );
+    } else {
+        enabled_spans(mask_words.iter().copied(), total, f);
+    }
+}
+
+/// Lanes below which threaded partitioning is never attempted (the default
+/// policy; [`Engine::set_thread_policy`] can lower it for tests).
+const DEFAULT_THREAD_MIN_LANES: usize = 4096;
+
+/// Worker partitioning policy for full-block kernels. Defaults to
+/// single-threaded (`MVE_ENGINE_THREADS` unset or ≤ 1): an 8192-lane block
+/// computes in microseconds — below thread-spawn cost — so threading is an
+/// opt-in for much larger geometries. Blocks split at fixed
+/// 64-lane-aligned boundaries determined only by the range and the thread
+/// count, and every chunk is a pure function of its operand sub-slices
+/// into a disjoint output sub-slice, so results and traces are
+/// bit-identical at any setting.
+#[derive(Debug, Clone, Copy)]
+struct ThreadPolicy {
+    threads: usize,
+    min_lanes: usize,
+}
+
+impl ThreadPolicy {
+    fn from_env() -> Self {
+        let threads = std::env::var("MVE_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .clamp(1, 64);
+        Self {
+            threads,
+            min_lanes: DEFAULT_THREAD_MIN_LANES,
+        }
+    }
+
+    /// Whether a block of `n` lanes is worth partitioning.
+    fn split(&self, n: usize) -> bool {
+        self.threads > 1 && n >= self.min_lanes
+    }
+}
+
+/// 64-lane-aligned chunk length splitting `n` lanes over `threads` workers.
+fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads).div_ceil(64) * 64
+}
+
+/// Runs a binop block kernel over `[start, end)` of the operands, splitting
+/// the output across scoped worker threads when the policy allows.
+fn binop_blocks(
+    tp: ThreadPolicy,
+    kernel: BinopKernel,
+    a: &[u64],
+    b: &[u64],
+    out: &mut [u64],
+    start: usize,
+    end: usize,
+) {
+    let n = end - start;
+    let (a, b) = (&a[start..end], &b[start..end]);
+    let out = &mut out[start..end];
+    if !tp.split(n) {
+        kernel(a, b, out);
+        return;
+    }
+    let chunk = chunk_len(n, tp.threads);
+    std::thread::scope(|s| {
+        for (i, oc) in out.chunks_mut(chunk).enumerate() {
+            let off = i * chunk;
+            let (ac, bc) = (&a[off..off + oc.len()], &b[off..off + oc.len()]);
+            s.spawn(move || kernel(ac, bc, oc));
+        }
+    });
+}
+
+/// Widens a contiguous little-endian byte span into lanes, partitioned
+/// across scoped workers when the policy allows.
+fn load_blocks(tp: ThreadPolicy, dtype: DType, src: &[u8], out: &mut [u64]) {
+    if !tp.split(out.len()) {
+        dtype.load_block(src, out);
+        return;
+    }
+    let chunk = chunk_len(out.len(), tp.threads);
+    let eb = dtype.bytes() as usize;
+    std::thread::scope(|s| {
+        for (i, oc) in out.chunks_mut(chunk).enumerate() {
+            let off = i * chunk;
+            let sc = &src[off * eb..(off + oc.len()) * eb];
+            s.spawn(move || dtype.load_block(sc, oc));
+        }
+    });
+}
+
+/// Narrows lanes into a contiguous little-endian byte span, partitioned
+/// across scoped workers when the policy allows.
+fn store_blocks(tp: ThreadPolicy, dtype: DType, lanes: &[u64], dst: &mut [u8]) {
+    if !tp.split(lanes.len()) {
+        dtype.store_block(lanes, dst);
+        return;
+    }
+    let chunk = chunk_len(lanes.len(), tp.threads);
+    let eb = dtype.bytes() as usize;
+    std::thread::scope(|s| {
+        for (i, dc) in dst.chunks_mut(chunk * eb).enumerate() {
+            let off = i * chunk;
+            let lc = &lanes[off..off + dc.len() / eb];
+            s.spawn(move || dtype.store_block(lc, dc));
+        }
+    });
+}
+
 /// The Control-Block occupancy mask of a packed lane bitset.
 fn cb_mask_of(words: &[u64], per_cb: usize) -> u64 {
     let mut cb_mask = 0u64;
@@ -150,6 +325,8 @@ pub struct Engine {
     /// capture); [`Engine::with_sink`] swaps in any streaming consumer.
     sink: Box<dyn TraceSink>,
     mask: LaneMask,
+    /// Worker partitioning policy for block kernels.
+    threads: ThreadPolicy,
     /// Reused per-instruction scratch (zero steady-state allocation):
     /// touched-line accumulation and random-access base pointers.
     line_scratch: Vec<u64>,
@@ -175,6 +352,7 @@ impl Engine {
             mem,
             sink: Box::new(Trace::new()),
             mask: LaneMask::empty(),
+            threads: ThreadPolicy::from_env(),
             line_scratch: Vec::new(),
             base_scratch: Vec::new(),
         }
@@ -193,6 +371,19 @@ impl Engine {
     /// Read-only view of the control registers.
     pub fn crs(&self) -> &ControlRegs {
         &self.crs
+    }
+
+    /// Overrides the worker partitioning policy (by default read from
+    /// `MVE_ENGINE_THREADS` at construction; single-threaded when unset):
+    /// fully-enabled blocks of at least `min_lanes` lanes split across
+    /// `threads` scoped workers. Results and traces are bit-identical at
+    /// any setting — the policy only trades wall clock; the
+    /// thread-determinism integration suite pins that.
+    pub fn set_thread_policy(&mut self, threads: usize, min_lanes: usize) {
+        self.threads = ThreadPolicy {
+            threads: threads.clamp(1, 64),
+            min_lanes: min_lanes.max(128),
+        };
     }
 
     /// Emits one event into the active sink. Returns the event so hot
@@ -605,21 +796,6 @@ impl Engine {
         (count, cb_mask)
     }
 
-    /// Calls `f` for every lane enabled under the cached mask (and, when
-    /// `respect_pred`, the Tag latch) — the word-op replacement for the old
-    /// per-lane `lane_enabled` recomputation. Requires a fresh lane mask.
-    fn for_each_enabled(&self, respect_pred: bool, f: impl FnMut(usize)) {
-        debug_assert_eq!(self.mask.gen, self.crs.generation(), "stale lane mask");
-        if respect_pred && self.pred {
-            for_each_set_bit(
-                self.mask.words.iter().zip(&self.tag).map(|(&m, &t)| m & t),
-                f,
-            );
-        } else {
-            for_each_set_bit(self.mask.words.iter().copied(), f);
-        }
-    }
-
     fn assert_shape_fits(&self, shape: &LogicalShape) {
         assert!(
             shape.total() <= self.lanes(),
@@ -647,10 +823,46 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Load);
+        self.refresh_mask(&shape);
+        if shape.is_contiguous(&strides) && self.mask.active as usize == self.mask.total {
+            return self.block_load(dtype, Opcode::StridedLoad, base);
+        }
         let eb = dtype.bytes() as i64;
         self.fused_load(dtype, Opcode::StridedLoad, &shape, None, |_, coords| {
             (base as i64 + addrgen::lane_offset(coords, &strides, MAX_DIMS) * eb) as u64
         })
+    }
+
+    /// Contiguous full-mask load fast path: the access is one maximal byte
+    /// span, widened block-at-a-time by the monomorphized width kernel, and
+    /// its touched-line set is the arithmetic line range of the span —
+    /// byte-identical to what the odometer walk accumulates for ascending
+    /// contiguous addresses.
+    fn block_load(&mut self, dtype: DType, opcode: Opcode, base: u64) -> Reg {
+        let total = self.mask.total;
+        let dst = self.alloc_dst(dtype, false);
+        let mut out = self.take_lanes(dst);
+        let len = total as u64 * dtype.bytes();
+        {
+            let src = self.mem.slice(base, len);
+            load_blocks(self.threads, dtype, src, &mut out[..total]);
+        }
+        self.put_back(dst, out);
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        lines.extend(base / mve_memsim::LINE_BYTES..=(base + len - 1) / mve_memsim::LINE_BYTES);
+        let event = self.emit(Event::Memory {
+            opcode,
+            dtype,
+            active_lanes: total as u32,
+            cb_mask: self.mask.cb_mask,
+            lines,
+            write: false,
+        });
+        if let Event::Memory { lines, .. } = event {
+            self.line_scratch = lines;
+        }
+        dst
     }
 
     /// Random-base load (Equation 1): `ptr_base` addresses an array of
@@ -751,10 +963,47 @@ impl Engine {
         let shape = self.shape();
         self.assert_shape_fits(&shape);
         let strides = addrgen::resolve_strides(modes, &shape, &self.crs, StrideBank::Store);
+        self.refresh_mask(&shape);
+        if shape.is_contiguous(&strides)
+            && self.mask.active as usize == self.mask.total
+            && !self.pred
+        {
+            return self.block_store(src, Opcode::StridedStore, base);
+        }
         let eb = src.dtype.bytes() as i64;
         self.fused_store(src, Opcode::StridedStore, &shape, |_, coords| {
             (base as i64 + addrgen::lane_offset(coords, &strides, MAX_DIMS) * eb) as u64
         });
+    }
+
+    /// Contiguous full-mask unpredicated store fast path — the mirror of
+    /// [`Engine::block_load`].
+    fn block_store(&mut self, src: Reg, opcode: Opcode, base: u64) {
+        let dtype = src.dtype;
+        let total = self.mask.total;
+        let len = total as u64 * dtype.bytes();
+        let tp = self.threads;
+        {
+            let Engine { mem, slots, .. } = self;
+            let slot = &slots[src.idx];
+            assert!(slot.live, "use of freed register {src:?}");
+            let dst = mem.slice_mut(base, len);
+            store_blocks(tp, dtype, &slot.lanes[..total], dst);
+        }
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        lines.clear();
+        lines.extend(base / mve_memsim::LINE_BYTES..=(base + len - 1) / mve_memsim::LINE_BYTES);
+        let event = self.emit(Event::Memory {
+            opcode,
+            dtype,
+            active_lanes: total as u32,
+            cb_mask: self.mask.cb_mask,
+            lines,
+            write: true,
+        });
+        if let Event::Memory { lines, .. } = event {
+            self.line_scratch = lines;
+        }
     }
 
     /// Random-base store.
@@ -843,8 +1092,11 @@ impl Engine {
     // Compute.
     // ------------------------------------------------------------------
 
-    fn compute_event(&mut self, opcode: Opcode, dtype: DType, respect_pred: bool) {
-        let (active, cb_mask) = self.active_stats(respect_pred);
+    /// Emits the Compute event from precomputed [`Engine::active_stats`] —
+    /// every compute op derives the stats up front so a fully-masked
+    /// instruction (`active == 0`) can skip its lane work entirely while
+    /// still issuing the identical event.
+    fn emit_compute(&mut self, opcode: Opcode, dtype: DType, (active, cb_mask): (u32, u64)) {
         self.emit(Event::Compute {
             opcode,
             alu: alu_op_for(opcode, dtype),
@@ -883,17 +1135,29 @@ impl Engine {
         );
         let dtype = a.dtype;
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(dtype, true);
-        let mut out = self.take_lanes(dst);
-        {
-            let av = &self.slot(a).lanes;
-            let bv = &self.slot(b).lanes;
-            self.for_each_enabled(true, |lane| {
-                out[lane] = dtype.binop(op, av[lane], bv[lane]);
-            });
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            {
+                let av = &self.slot(a).lanes;
+                let bv = &self.slot(b).lanes;
+                let kernel = dtype.binop_kernel(op);
+                let tp = self.threads;
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => binop_blocks(tp, kernel, av, bv, &mut out, s, e),
+                        Span::Lane(l) => out[l] = dtype.binop(op, av[l], bv[l]),
+                    },
+                );
+            }
+            self.put_back(dst, out);
         }
-        self.put_back(dst, out);
-        self.compute_event(opcode, dtype, true);
+        self.emit_compute(opcode, dtype, stats);
         dst
     }
 
@@ -906,18 +1170,32 @@ impl Engine {
         );
         let dtype = a.dtype;
         self.prepare_compute();
-        let mut tag = std::mem::take(&mut self.tag);
-        {
-            let av = &self.slot(a).lanes;
-            let bv = &self.slot(b).lanes;
-            self.for_each_enabled(false, |lane| {
-                let t = dtype.cmp(op, av[lane], bv[lane]);
-                let (w, b) = (lane / 64, lane % 64);
-                tag[w] = (tag[w] & !(1 << b)) | ((t as u64) << b);
-            });
+        let stats = self.active_stats(false);
+        if stats.0 > 0 {
+            let mut tag = std::mem::take(&mut self.tag);
+            {
+                let av = &self.slot(a).lanes;
+                let bv = &self.slot(b).lanes;
+                let kernel = dtype.cmp_kernel(op);
+                let total = self.mask.total;
+                // Whole-word kernel, then a masked merge: enabled bits take
+                // the comparison result, disabled (and beyond-total) bits
+                // keep their Tag value — identical to per-bit updates, since
+                // the comparison is pure and mask words carry no bits past
+                // `total`.
+                for (w, &m) in self.mask.words.iter().enumerate() {
+                    if m == 0 {
+                        continue;
+                    }
+                    let base = w * 64;
+                    let span = (total - base).min(64);
+                    let bits = kernel(&av[base..base + span], &bv[base..base + span]);
+                    tag[w] = (tag[w] & !m) | (bits & m);
+                }
+            }
+            self.tag = tag;
         }
-        self.tag = tag;
-        self.compute_event(Opcode::Compare, dtype, false);
+        self.emit_compute(Opcode::Compare, dtype, stats);
     }
 
     /// Shift/rotate by an immediate. `left` selects the direction;
@@ -925,27 +1203,39 @@ impl Engine {
     pub fn shift_imm(&mut self, a: Reg, amount: u32, left: bool, rotate: bool) -> Reg {
         let dtype = a.dtype;
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(dtype, true);
-        let mut out = self.take_lanes(dst);
-        {
-            let av = &self.slot(a).lanes;
-            self.for_each_enabled(true, |lane| {
-                let v = av[lane];
-                out[lane] = match (rotate, left) {
-                    (false, true) => dtype.shl(v, amount),
-                    (false, false) => dtype.shr(v, amount),
-                    (true, true) => dtype.rotl(v, amount),
-                    (true, false) => dtype.rotr(v, amount),
-                };
-            });
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            {
+                let av = &self.slot(a).lanes;
+                let kernel = dtype.shift_imm_kernel(left, rotate);
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => kernel(&av[s..e], &mut out[s..e], amount),
+                        Span::Lane(l) => {
+                            out[l] = match (rotate, left) {
+                                (false, true) => dtype.shl(av[l], amount),
+                                (false, false) => dtype.shr(av[l], amount),
+                                (true, true) => dtype.rotl(av[l], amount),
+                                (true, false) => dtype.rotr(av[l], amount),
+                            }
+                        }
+                    },
+                );
+            }
+            self.put_back(dst, out);
         }
-        self.put_back(dst, out);
         let opcode = if rotate {
             Opcode::RotateImm
         } else {
             Opcode::ShiftImm
         };
-        self.compute_event(opcode, dtype, true);
+        self.emit_compute(opcode, dtype, stats);
         dst
     }
 
@@ -953,34 +1243,59 @@ impl Engine {
     pub fn shift_reg(&mut self, a: Reg, amounts: Reg, left: bool) -> Reg {
         let dtype = a.dtype;
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(dtype, true);
-        let mut out = self.take_lanes(dst);
-        {
-            let av = &self.slot(a).lanes;
-            let sv = &self.slot(amounts).lanes;
-            self.for_each_enabled(true, |lane| {
-                let sh = (sv[lane] & 0xFF) as u32;
-                out[lane] = if left {
-                    dtype.shl(av[lane], sh)
-                } else {
-                    dtype.shr(av[lane], sh)
-                };
-            });
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            {
+                let av = &self.slot(a).lanes;
+                let sv = &self.slot(amounts).lanes;
+                let kernel = dtype.shift_reg_kernel(left);
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => kernel(&av[s..e], &sv[s..e], &mut out[s..e]),
+                        Span::Lane(l) => {
+                            let sh = (sv[l] & 0xFF) as u32;
+                            out[l] = if left {
+                                dtype.shl(av[l], sh)
+                            } else {
+                                dtype.shr(av[l], sh)
+                            };
+                        }
+                    },
+                );
+            }
+            self.put_back(dst, out);
         }
-        self.put_back(dst, out);
-        self.compute_event(Opcode::ShiftReg, dtype, true);
+        self.emit_compute(Opcode::ShiftReg, dtype, stats);
         dst
     }
 
     /// Broadcast a canonical lane value to all active lanes.
     pub fn setdup(&mut self, dtype: DType, raw: u64) -> Reg {
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(dtype, true);
-        let mut out = self.take_lanes(dst);
-        let v = dtype.truncate(raw);
-        self.for_each_enabled(true, |lane| out[lane] = v);
-        self.put_back(dst, out);
-        self.compute_event(Opcode::SetDup, dtype, true);
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            let v = dtype.truncate(raw);
+            for_each_enabled_span(
+                &self.mask.words,
+                &self.tag,
+                self.pred,
+                self.mask.total,
+                |sp| match sp {
+                    Span::Run(s, e) => out[s..e].fill(v),
+                    Span::Lane(l) => out[l] = v,
+                },
+            );
+            self.put_back(dst, out);
+        }
+        self.emit_compute(Opcode::SetDup, dtype, stats);
         dst
     }
 
@@ -988,14 +1303,26 @@ impl Engine {
     pub fn copy(&mut self, src: Reg) -> Reg {
         let dtype = src.dtype;
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(dtype, true);
-        let mut out = self.take_lanes(dst);
-        {
-            let sv = &self.slot(src).lanes;
-            self.for_each_enabled(true, |lane| out[lane] = sv[lane]);
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            {
+                let sv = &self.slot(src).lanes;
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => out[s..e].copy_from_slice(&sv[s..e]),
+                        Span::Lane(l) => out[l] = sv[l],
+                    },
+                );
+            }
+            self.put_back(dst, out);
         }
-        self.put_back(dst, out);
-        self.compute_event(Opcode::Copy, dtype, true);
+        self.emit_compute(Opcode::Copy, dtype, stats);
         dst
     }
 
@@ -1005,30 +1332,53 @@ impl Engine {
     pub fn copy_into(&mut self, dst: Reg, src: Reg) {
         assert_eq!(dst.dtype, src.dtype, "operand type mismatch");
         self.prepare_compute();
+        let stats = self.active_stats(true);
         assert!(self.slots[dst.idx].live, "use of freed register {dst:?}");
-        if dst.idx != src.idx {
+        if stats.0 > 0 && dst.idx != src.idx {
             let mut out = self.take_lanes(dst);
             {
                 let sv = &self.slot(src).lanes;
-                self.for_each_enabled(true, |lane| out[lane] = sv[lane]);
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => out[s..e].copy_from_slice(&sv[s..e]),
+                        Span::Lane(l) => out[l] = sv[l],
+                    },
+                );
             }
             self.put_back(dst, out);
         }
-        self.compute_event(Opcode::Copy, dst.dtype, true);
+        self.emit_compute(Opcode::Copy, dst.dtype, stats);
     }
 
     /// Type conversion (`vcvt`) into a fresh register of `to`.
     pub fn convert(&mut self, src: Reg, to: DType) -> Reg {
         let from = src.dtype;
         self.prepare_compute();
+        let stats = self.active_stats(true);
         let dst = self.alloc_dst(to, true);
-        let mut out = self.take_lanes(dst);
-        {
-            let sv = &self.slot(src).lanes;
-            self.for_each_enabled(true, |lane| out[lane] = from.convert_to(to, sv[lane]));
+        if stats.0 > 0 {
+            let mut out = self.take_lanes(dst);
+            {
+                let sv = &self.slot(src).lanes;
+                let kernel = from.convert_kernel(to);
+                for_each_enabled_span(
+                    &self.mask.words,
+                    &self.tag,
+                    self.pred,
+                    self.mask.total,
+                    |sp| match sp {
+                        Span::Run(s, e) => kernel(&sv[s..e], &mut out[s..e]),
+                        Span::Lane(l) => out[l] = from.convert_to(to, sv[l]),
+                    },
+                );
+            }
+            self.put_back(dst, out);
         }
-        self.put_back(dst, out);
-        self.compute_event(Opcode::Convert, to, true);
+        self.emit_compute(Opcode::Convert, to, stats);
         dst
     }
 }

@@ -133,6 +133,40 @@ impl Memory {
         dst.copy_from_slice(&value.to_le_bytes()[..dst.len()]);
     }
 
+    /// Borrows `len` raw bytes at `addr` — the block-kernel view used by the
+    /// engine's contiguous load fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or access to the reserved zero page,
+    /// with the same faults as [`Memory::read_raw`].
+    #[inline]
+    pub fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        assert!(addr >= 64, "read through null/reserved page at {addr:#x}");
+        assert!(
+            addr + len <= self.data.len() as u64,
+            "read past end of memory at {addr:#x}"
+        );
+        &self.data[addr as usize..(addr + len) as usize]
+    }
+
+    /// Mutably borrows `len` raw bytes at `addr` — the block-kernel view
+    /// used by the engine's contiguous store fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or access to the reserved zero page,
+    /// with the same faults as [`Memory::write_raw`].
+    #[inline]
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        assert!(addr >= 64, "write through null/reserved page at {addr:#x}");
+        assert!(
+            addr + len <= self.data.len() as u64,
+            "write past end of memory at {addr:#x}"
+        );
+        &mut self.data[addr as usize..(addr + len) as usize]
+    }
+
     /// Reads element `idx` of a `T` array at `base`.
     pub fn read<T: MemScalar>(&self, base: u64, idx: usize) -> T {
         T::from_raw(self.read_raw(base + idx as u64 * T::BYTES, T::BYTES))

@@ -30,7 +30,7 @@ use crate::eval::interpret;
 use crate::lower::lower;
 use crate::parse::parse;
 use mve_core::compiler::{
-    allocate, liveness, register_budget, schedule, Action, IrOp, Liveness, ParamKind, Program, Sem,
+    allocate, liveness, register_budget, schedule, Action, IrOp, ParamKind, Program, Sem,
     SplatSource, VReg, SPILL_RELOAD, SPILL_STORE,
 };
 use mve_core::config::MAX_DIMS;
@@ -257,6 +257,17 @@ fn binop_opcode(op: BinOp) -> Opcode {
     }
 }
 
+/// Precomputed per-op execution plan: the dense value-table slots of the
+/// op's operands and definition, plus the slots whose last use this op is.
+/// Built once at construction from the liveness analysis, so the `run`
+/// replay loop touches only vector indexing — no hash lookups and no
+/// per-run allocation on the steady-state path.
+struct OpPlan {
+    uses: Vec<u32>,
+    def: Option<u32>,
+    frees: Vec<u32>,
+}
+
 /// Executes a [`CompiledKernel`] on an owned engine. Buffers are allocated
 /// and inputs written once at construction; [`Executor::run`] replays the
 /// allocated code, so steady-state re-execution (the perf workloads) does
@@ -264,14 +275,20 @@ fn binop_opcode(op: BinOp) -> Opcode {
 pub struct Executor {
     engine: Engine,
     code: Vec<IrOp>,
-    lv: Liveness,
+    plans: Vec<OpPlan>,
+    /// Live engine registers per dense value slot (all `None` between runs).
+    values: Vec<Option<Reg>>,
+    /// Element type per dense value slot (static: from the defining op).
+    slot_dtype: Vec<DType>,
     scalars: Vec<u64>,
     buf_base: Vec<u64>,
     buf_len: Vec<usize>,
     buf_dtype: Vec<DType>,
     out_params: Vec<usize>,
-    spill_slots: HashMap<VReg, u64>,
-    reduce_scratch: HashMap<usize, u64>,
+    /// Lazily allocated spill-slot base address per dense value slot.
+    spill_slots: Vec<Option<u64>>,
+    /// Lazily allocated reduction scratch base per op index.
+    reduce_scratch: Vec<Option<u64>>,
     // Tracked CR state, so config instructions are emitted only on change
     // (as a hand-written kernel hoists them out of loops).
     dimc: Option<usize>,
@@ -354,17 +371,50 @@ impl Executor {
             }
         }
         engine.vsetwidth(ck.kernel_width);
+        // Dense value numbering: every VReg the code mentions gets a slot
+        // in first-appearance order, and each op's uses/def/last-use frees
+        // are resolved to slots up front (spill reloads redefine the
+        // spilled value's own slot, so the dtype recorded at the original
+        // definition carries over).
+        let lv = liveness(&ck.code);
+        let mut slot_of: HashMap<VReg, u32> = HashMap::new();
+        let mut slot_dtype: Vec<DType> = Vec::new();
+        let mut slot = |v: VReg, dtypes: &mut Vec<DType>| -> u32 {
+            *slot_of.entry(v).or_insert_with(|| {
+                dtypes.push(DType::U8); // overwritten at the defining op
+                (dtypes.len() - 1) as u32
+            })
+        };
+        let mut plans = Vec::with_capacity(ck.code.len());
+        for (i, op) in ck.code.iter().enumerate() {
+            let uses: Vec<u32> = op.uses.iter().map(|&u| slot(u, &mut slot_dtype)).collect();
+            let def = op.def.map(|d| slot(d, &mut slot_dtype));
+            if let (Some(sem), Some(d)) = (&op.sem, def) {
+                slot_dtype[d as usize] = sem.dtype;
+            }
+            let mut frees: Vec<u32> = op
+                .uses
+                .iter()
+                .zip(&uses)
+                .filter(|(u, _)| lv.last_use.get(u) == Some(&i))
+                .map(|(_, &s)| s)
+                .collect();
+            frees.dedup();
+            plans.push(OpPlan { uses, def, frees });
+        }
         Ok(Self {
             engine,
-            lv: liveness(&ck.code),
+            values: vec![None; slot_dtype.len()],
+            spill_slots: vec![None; slot_dtype.len()],
+            reduce_scratch: vec![None; ck.code.len()],
+            plans,
+            slot_dtype,
             code: ck.code.clone(),
             scalars: bindings.scalars.clone(),
             buf_base,
             buf_len,
             buf_dtype,
             out_params,
-            spill_slots: HashMap::new(),
-            reduce_scratch: HashMap::new(),
             dimc: None,
             lens: [None; MAX_DIMS],
             ld_str: [None; MAX_DIMS],
@@ -435,11 +485,11 @@ impl Executor {
         let total: usize = shape.iter().product();
         let opcode = binop_opcode(op);
         let lanes = self.engine.lanes();
-        let scratch = match self.reduce_scratch.get(&op_index) {
-            Some(&s) => s,
+        let scratch = match self.reduce_scratch[op_index] {
+            Some(s) => s,
             None => {
                 let s = self.engine.mem_alloc(lanes as u64 * dtype.bytes());
-                self.reduce_scratch.insert(op_index, s);
+                self.reduce_scratch[op_index] = Some(s);
                 s
             }
         };
@@ -511,23 +561,22 @@ impl Executor {
     /// Panics only on internal invariant violations (the compile pipeline
     /// validates everything user-controlled).
     pub fn run(&mut self) {
-        let mut regs: HashMap<VReg, Reg> = HashMap::new();
-        let mut dtypes: HashMap<VReg, DType> = HashMap::new();
         let code = std::mem::take(&mut self.code);
-        for (i, op) in code.iter().enumerate() {
+        let plans = std::mem::take(&mut self.plans);
+        for (i, (op, plan)) in code.iter().zip(&plans).enumerate() {
             match (&op.sem, op.name.as_str()) {
                 (None, SPILL_STORE) => {
-                    let victim = op.uses[0];
-                    let reg = regs
-                        .remove(&victim)
+                    let victim = plan.uses[0] as usize;
+                    let reg = self.values[victim]
+                        .take()
                         .expect("spilled value is in a register");
                     let lanes = self.engine.lanes();
-                    let dtype = dtypes[&victim];
-                    let slot = match self.spill_slots.get(&victim) {
-                        Some(&s) => s,
+                    let dtype = self.slot_dtype[victim];
+                    let slot = match self.spill_slots[victim] {
+                        Some(s) => s,
                         None => {
                             let s = self.engine.mem_alloc(lanes as u64 * dtype.bytes());
-                            self.spill_slots.insert(victim, s);
+                            self.spill_slots[victim] = Some(s);
                             s
                         }
                     };
@@ -538,12 +587,12 @@ impl Executor {
                     self.engine.free(reg);
                 }
                 (None, SPILL_RELOAD) => {
-                    let def = op.def.expect("reload defines its register");
-                    let dtype = dtypes[&def];
-                    let slot = self.spill_slots[&def];
+                    let def = plan.def.expect("reload defines its register") as usize;
+                    let dtype = self.slot_dtype[def];
+                    let slot = self.spill_slots[def].expect("reload follows its spill");
                     self.full_shape();
                     let reg = self.engine.load(dtype, slot, &[StrideMode::One]);
-                    regs.insert(def, reg);
+                    self.values[def] = Some(reg);
                 }
                 (Some(sem), _) => {
                     // `code` was moved out of `self`, so borrowing the op's
@@ -578,49 +627,49 @@ impl Executor {
                             self.ensure_shape(&sem.shape);
                             self.ensure_cr_strides(cr_strides, true);
                             let base = self.buf_base[*param] + elem_offset * sem.dtype.bytes();
-                            let src = regs[&op.uses[0]];
+                            let src = self.values[plan.uses[0] as usize].expect("store source");
                             self.engine.store(src, base, modes);
                             None
                         }
                         Action::Binop { opcode, op: binop } => {
                             self.ensure_shape(&sem.shape);
-                            let a = regs[&op.uses[0]];
-                            let b = regs[&op.uses[1]];
+                            let a = self.values[plan.uses[0] as usize].expect("binop lhs");
+                            let b = self.values[plan.uses[1] as usize].expect("binop rhs");
                             Some(self.engine.binop(*opcode, *binop, a, b))
                         }
                         Action::ShiftImm { amount, left } => {
                             self.ensure_shape(&sem.shape);
-                            let a = regs[&op.uses[0]];
+                            let a = self.values[plan.uses[0] as usize].expect("shift source");
                             Some(self.engine.shift_imm(a, *amount, *left, false))
                         }
                         Action::Reduce { op: rop } => {
                             self.ensure_shape(&sem.shape);
-                            let src = regs[&op.uses[0]];
+                            let src = self.values[plan.uses[0] as usize].expect("reduce source");
                             Some(self.reduce(i, src, &sem.shape, *rop, sem.dtype))
                         }
                     };
-                    if let (Some(def), Some(reg)) = (op.def, reg) {
-                        regs.insert(def, reg);
-                        dtypes.insert(def, sem.dtype);
+                    if let (Some(def), Some(reg)) = (plan.def, reg) {
+                        self.values[def as usize] = Some(reg);
                     }
                 }
                 (None, other) => unreachable!("op `{other}` has no execution semantics"),
             }
             // Free values whose last use this op was (the allocator freed
             // the physical register at the same point).
-            for &u in &op.uses {
-                if self.lv.last_use.get(&u) == Some(&i) {
-                    if let Some(reg) = regs.remove(&u) {
-                        self.engine.free(reg);
-                    }
+            for &f in &plan.frees {
+                if let Some(reg) = self.values[f as usize].take() {
+                    self.engine.free(reg);
                 }
             }
         }
         self.code = code;
+        self.plans = plans;
         // Any still-live registers are dead program results (impossible
         // after DCE) — free defensively so repeated runs cannot leak.
-        for (_, reg) in regs.drain() {
-            self.engine.free(reg);
+        for v in &mut self.values {
+            if let Some(reg) = v.take() {
+                self.engine.free(reg);
+            }
         }
     }
 

@@ -29,6 +29,24 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Fraction of fetches served without a fresh computation
+    /// (`(hits + waits) / (hits + waits + misses)`).
+    ///
+    /// A fresh daemon has made no fetches yet; dividing there would yield
+    /// NaN, which the JSON layer renders as `null` and breaks every
+    /// numeric consumer of the metrics line. Clamped to `0.0` instead, so
+    /// the field is always a finite number in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.waits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.waits) as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Slot {
     /// A worker holds the reservation and is computing.

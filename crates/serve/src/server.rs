@@ -185,6 +185,7 @@ impl ServerState {
             ("waits".to_owned(), Json::U64(cache.waits)),
             ("misses".to_owned(), Json::U64(cache.misses)),
             ("evictions".to_owned(), Json::U64(cache.evictions)),
+            ("hit_rate".to_owned(), Json::F64(cache.hit_rate())),
         ])
     }
 

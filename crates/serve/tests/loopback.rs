@@ -402,3 +402,41 @@ fn oversized_request_lines_are_rejected_while_reading() {
     handle.shutdown();
     join.join().expect("server thread");
 }
+
+/// A fresh daemon has made zero cache fetches; `hit_rate` must still be a
+/// finite JSON number (the 0/0 case is clamped to 0.0, never NaN→null),
+/// and must move to the exact expected ratio once traffic arrives.
+#[test]
+fn fresh_daemon_hit_rate_is_finite_and_tracks_traffic() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 64, Arc::clone(&renders));
+
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let stats = client.stats().expect("stats");
+    let rate = stats
+        .get("hit_rate")
+        .and_then(Json::as_f64)
+        .expect("hit_rate is a number even before any fetch");
+    assert!(rate.is_finite(), "hit_rate must never be NaN/Inf: {rate}");
+    assert_eq!(rate, 0.0, "no fetches yet → rate clamps to zero");
+    // The wire encoding is a numeric literal, not null.
+    assert!(
+        !stats.encode().contains("\"hit_rate\":null"),
+        "hit_rate must encode as a number: {}",
+        stats.encode()
+    );
+
+    // One miss then one hit: rate becomes exactly 1/2.
+    for _ in 0..2 {
+        client.artefact("alpha", Scale::Test).expect("artefact");
+    }
+    let stats = client.stats().expect("stats");
+    let rate = stats
+        .get("hit_rate")
+        .and_then(Json::as_f64)
+        .expect("hit_rate present");
+    assert_eq!(rate, 0.5, "1 hit of 2 fetches: {stats:?}");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
