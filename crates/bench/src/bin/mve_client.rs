@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! mve-client [--port N] --replay-smoke DIR     # full 16-artefact smoke set
-//! mve-client [--port N] artefact NAME [--paper]
-//! mve-client [--port N] sim KERNEL [--paper] [--scheme BS|BH|BP|AC]
+//! mve-client [--port N] [--flood N] artefact NAME [--paper]
+//! mve-client [--port N] [--flood N] sim KERNEL [--paper] [--scheme BS|BH|BP|AC]
 //!            [--arrays N] [--ooo] [--no-mode-switch] [--no-cache-warming]
-//! mve-client [--port N] compile FILE.mvel [--scheme S] [--ooo]
+//! mve-client [--port N] [--flood N] compile FILE.mvel [--scheme S] [--ooo]
 //!            [--no-mode-switch] [--no-cache-warming]
+//! mve-client [--port N] estimate (artefact NAME | sim KERNEL | compile FILE) [...]
 //! mve-client [--port N] stats
 //! mve-client [--port N] shutdown
 //! ```
@@ -17,6 +18,17 @@
 //! compile artefact. Parse/type errors print as `FILE:line:col: message`
 //! and exit non-zero.
 //!
+//! `estimate` prices the wrapped request against the daemon's calibrated
+//! cost model without executing it, printing the
+//! `{"class":…,"cost":…,"admit_now":…}` object.
+//!
+//! `--flood N` sends the request N times concurrently on N connections
+//! (the CI overload probe): every reply is classified as `ok`,
+//! `overloaded` (a typed shed carrying `retry_after_ms`), or
+//! `server_error`, and a JSON tally is printed. Any request that gets no
+//! typed reply counts as `lost` and fails the run — the daemon's
+//! no-request-lost invariant, asserted from the outside.
+//!
 //! `--replay-smoke` renders every artefact at test scale through the
 //! server and writes `DIR/<name>.txt` — CI diffs that tree byte-for-byte
 //! against `reproduce --smoke`.
@@ -24,15 +36,16 @@
 use mve_bench::artefacts;
 use mve_insram::Scheme;
 use mve_kernels::Scale;
-use mve_serve::client::{replay_artefacts, Client};
-use mve_serve::SimSpec;
+use mve_serve::client::{replay_artefacts, Client, ClientError};
+use mve_serve::{Request, SimSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mve-client [--port N] (--replay-smoke DIR | artefact NAME [--paper] | \
-         sim KERNEL [--paper] [--scheme S] [--arrays N] [--ooo] [--no-mode-switch] \
-         [--no-cache-warming] | compile FILE.mvel [--scheme S] [--ooo] [--no-mode-switch] \
-         [--no-cache-warming] | stats | shutdown)"
+        "usage: mve-client [--port N] (--replay-smoke DIR | [--flood N] artefact NAME \
+         [--paper] | [--flood N] sim KERNEL [--paper] [--scheme S] [--arrays N] [--ooo] \
+         [--no-mode-switch] [--no-cache-warming] | [--flood N] compile FILE.mvel \
+         [--scheme S] [--ooo] [--no-mode-switch] [--no-cache-warming] | \
+         estimate (artefact|sim|compile) ... | stats | shutdown)"
     );
     std::process::exit(2);
 }
@@ -42,10 +55,155 @@ fn fail(e: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+/// Parses the request-shaped tail of the command line (`artefact …`,
+/// `sim …`, `compile …`). Returns the request plus the compile source
+/// path, if any, for error-message prefixes.
+fn build_request(args: &[String]) -> (Request, Option<String>) {
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    let parse_spec = |args: &[String], start: usize, allow_arrays: bool| -> SimSpec {
+        let mut spec = SimSpec::default();
+        let mut j = start;
+        while j < args.len() {
+            match args[j].as_str() {
+                "--paper" => j += 1,
+                "--ooo" => {
+                    spec.ooo_dispatch = true;
+                    j += 1;
+                }
+                "--no-mode-switch" => {
+                    spec.mode_switch = false;
+                    j += 1;
+                }
+                "--no-cache-warming" => {
+                    spec.cache_warming = false;
+                    j += 1;
+                }
+                "--scheme" => {
+                    let scheme = args.get(j + 1).and_then(|name| {
+                        Scheme::ALL.iter().copied().find(|s| s.short_name() == name)
+                    });
+                    let Some(scheme) = scheme else { usage() };
+                    spec.scheme = scheme;
+                    j += 2;
+                }
+                "--arrays" if allow_arrays => {
+                    let Some(v) = args.get(j + 1).and_then(|v| v.parse().ok()) else {
+                        usage()
+                    };
+                    spec.arrays = Some(v);
+                    j += 2;
+                }
+                _ => usage(),
+            }
+        }
+        spec
+    };
+    match args.first().map(String::as_str) {
+        Some("artefact") => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            if args.len() > 2 && args[2..].iter().any(|a| a != "--paper") {
+                usage()
+            }
+            (
+                Request::Artefact {
+                    name: name.clone(),
+                    scale,
+                },
+                None,
+            )
+        }
+        Some("sim") => {
+            let Some(kernel) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            (
+                Request::Sim {
+                    kernel: kernel.clone(),
+                    scale,
+                    spec: parse_spec(args, 2, true),
+                },
+                None,
+            )
+        }
+        Some("compile") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let source = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            (
+                Request::Compile {
+                    source,
+                    spec: parse_spec(args, 2, false),
+                },
+                Some(path.clone()),
+            )
+        }
+        _ => usage(),
+    }
+}
+
+/// Sends `req` on `count` concurrent connections and prints the typed
+/// tally. Exits non-zero if any request is lost (no typed reply).
+fn flood(addr: (&str, u16), req: &Request, count: usize) -> ! {
+    let (mut ok, mut overloaded, mut server_errors, mut lost) = (0u64, 0u64, 0u64, 0u64);
+    let outcomes: Vec<&str> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                s.spawn(move || {
+                    let Ok(mut client) = Client::connect(addr) else {
+                        return "lost";
+                    };
+                    match client.request(req) {
+                        Ok(_) => "ok",
+                        Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+                            if retry_after_ms >= 1 {
+                                "overloaded"
+                            } else {
+                                "lost" // a shed without an actionable hint
+                            }
+                        }
+                        Err(ClientError::Server(_)) => "server_error",
+                        Err(_) => "lost",
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or("lost"))
+            .collect()
+    });
+    for outcome in outcomes {
+        match outcome {
+            "ok" => ok += 1,
+            "overloaded" => overloaded += 1,
+            "server_error" => server_errors += 1,
+            _ => lost += 1,
+        }
+    }
+    println!(
+        "{{\"flood\":{count},\"ok\":{ok},\"overloaded\":{overloaded},\
+         \"server_errors\":{server_errors},\"lost\":{lost}}}"
+    );
+    if lost > 0 {
+        eprintln!("mve-client: {lost} of {count} flood requests got no typed reply");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut port: u16 = 7878;
     let mut replay_dir: Option<String> = None;
+    let mut flood_count: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,6 +217,13 @@ fn main() {
             "--replay-smoke" => {
                 let Some(dir) = args.get(i + 1) else { usage() };
                 replay_dir = Some(dir.clone());
+                args.drain(i..=i + 1);
+            }
+            "--flood" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                flood_count = Some(v);
                 args.drain(i..=i + 1);
             }
             _ => i += 1,
@@ -81,102 +246,7 @@ fn main() {
         return;
     }
 
-    let scale = if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
-    } else {
-        Scale::Test
-    };
     match args.first().map(String::as_str) {
-        Some("artefact") => {
-            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                usage()
-            };
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
-            let text = client.artefact(name, scale).unwrap_or_else(|e| fail(e));
-            print!("{text}");
-        }
-        Some("sim") => {
-            let Some(kernel) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                usage()
-            };
-            let mut spec = SimSpec::default();
-            let mut j = 2;
-            while j < args.len() {
-                match args[j].as_str() {
-                    "--paper" => j += 1,
-                    "--ooo" => {
-                        spec.ooo_dispatch = true;
-                        j += 1;
-                    }
-                    "--no-mode-switch" => {
-                        spec.mode_switch = false;
-                        j += 1;
-                    }
-                    "--no-cache-warming" => {
-                        spec.cache_warming = false;
-                        j += 1;
-                    }
-                    "--scheme" => {
-                        let scheme = args.get(j + 1).and_then(|name| {
-                            Scheme::ALL.iter().copied().find(|s| s.short_name() == name)
-                        });
-                        let Some(scheme) = scheme else { usage() };
-                        spec.scheme = scheme;
-                        j += 2;
-                    }
-                    "--arrays" => {
-                        let Some(v) = args.get(j + 1).and_then(|v| v.parse().ok()) else {
-                            usage()
-                        };
-                        spec.arrays = Some(v);
-                        j += 2;
-                    }
-                    _ => usage(),
-                }
-            }
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
-            let report = client.sim(kernel, scale, spec).unwrap_or_else(|e| fail(e));
-            println!("{}", report.encode());
-        }
-        Some("compile") => {
-            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                usage()
-            };
-            let source = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
-            let mut spec = SimSpec::default();
-            let mut j = 2;
-            while j < args.len() {
-                match args[j].as_str() {
-                    "--ooo" => {
-                        spec.ooo_dispatch = true;
-                        j += 1;
-                    }
-                    "--no-mode-switch" => {
-                        spec.mode_switch = false;
-                        j += 1;
-                    }
-                    "--no-cache-warming" => {
-                        spec.cache_warming = false;
-                        j += 1;
-                    }
-                    "--scheme" => {
-                        let scheme = args.get(j + 1).and_then(|name| {
-                            Scheme::ALL.iter().copied().find(|s| s.short_name() == name)
-                        });
-                        let Some(scheme) = scheme else { usage() };
-                        spec.scheme = scheme;
-                        j += 2;
-                    }
-                    _ => usage(),
-                }
-            }
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
-            let text = client
-                .compile(&source, spec)
-                .unwrap_or_else(|e| fail(format!("{path}: {e}")));
-            print!("{text}");
-        }
         Some("stats") => {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
             let stats = client.stats().unwrap_or_else(|e| fail(e));
@@ -187,6 +257,41 @@ fn main() {
             client.shutdown().unwrap_or_else(|e| fail(e));
             println!("server shutting down");
         }
-        _ => usage(),
+        Some("estimate") => {
+            let (req, _) = build_request(&args[1..]);
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let est = client.estimate(&req).unwrap_or_else(|e| fail(e));
+            println!("{}", est.encode());
+        }
+        Some(_) => {
+            let (req, source_path) = build_request(&args);
+            if let Some(count) = flood_count {
+                flood(addr, &req, count);
+            }
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            match req {
+                Request::Artefact { name, scale } => {
+                    let text = client.artefact(&name, scale).unwrap_or_else(|e| fail(e));
+                    print!("{text}");
+                }
+                Request::Sim {
+                    kernel,
+                    scale,
+                    spec,
+                } => {
+                    let report = client.sim(&kernel, scale, spec).unwrap_or_else(|e| fail(e));
+                    println!("{}", report.encode());
+                }
+                Request::Compile { source, spec } => {
+                    let path = source_path.expect("compile keeps its path");
+                    let text = client
+                        .compile(&source, spec)
+                        .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+                    print!("{text}");
+                }
+                _ => unreachable!("build_request yields chargeable requests"),
+            }
+        }
+        None => usage(),
     }
 }

@@ -4,7 +4,17 @@
 //!
 //! ```text
 //! serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]
+//!       [--budget-units N] [--queue-cap N] [--queue-deadline-ms N]
+//!       [--fair-share-pct N]
 //! ```
+//!
+//! The admission flags bound what the daemon accepts (see DESIGN.md,
+//! "Overload behavior"): `--budget-units` caps the total in-flight cost
+//! (calibrated cost units; unlimited when absent), `--queue-cap` and
+//! `--queue-deadline-ms` size the bounded FIFO over-budget requests wait
+//! in, and `--fair-share-pct` caps any one connection's share of the
+//! budget. Requests beyond all of that are shed with a typed
+//! `overloaded` reply carrying `retry_after_ms`.
 //!
 //! Graceful shutdown on SIGTERM, on stdin EOF (disable with
 //! `--no-stdin-watch` when running detached, e.g. in CI where stdin is
@@ -18,24 +28,34 @@ use std::time::Duration;
 use mve_bench::artefacts;
 use mve_serve::{ServeOptions, Server};
 
-fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+/// Returns the flag's value if present, `None` if absent — so absent
+/// admission flags keep `ServeOptions`' defaults (unlimited budget).
+fn parse_opt_flag(args: &[String], flag: &str) -> Option<u64> {
     for (i, a) in args.iter().enumerate() {
         if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return v.parse().unwrap_or_else(|_| usage(flag));
+            return Some(v.parse().unwrap_or_else(|_| usage(flag)));
         }
         if a == flag {
-            return args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage(flag));
+            return Some(
+                args.get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage(flag)),
+            );
         }
     }
-    default
+    None
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    parse_opt_flag(args, flag).map_or(default, |v| v as usize)
 }
 
 fn usage(flag: &str) -> ! {
     eprintln!("{flag} needs a non-negative integer");
-    eprintln!("usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]");
+    eprintln!(
+        "usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch] \
+         [--budget-units N] [--queue-cap N] [--queue-deadline-ms N] [--fair-share-pct N]"
+    );
     std::process::exit(2);
 }
 
@@ -73,10 +93,17 @@ fn main() {
         eprintln!("--port {port} is out of range (0..=65535)");
         std::process::exit(2);
     };
+    let defaults = ServeOptions::default();
     let opts = ServeOptions {
         port,
         workers: parse_flag(&args, "--workers", default_workers),
         cache_cap: parse_flag(&args, "--cache-cap", 256),
+        cost_budget: parse_opt_flag(&args, "--budget-units").unwrap_or(defaults.cost_budget),
+        queue_cap: parse_opt_flag(&args, "--queue-cap").map_or(defaults.queue_cap, |v| v as usize),
+        queue_deadline: parse_opt_flag(&args, "--queue-deadline-ms")
+            .map_or(defaults.queue_deadline, Duration::from_millis),
+        fair_share: parse_opt_flag(&args, "--fair-share-pct")
+            .map_or(defaults.fair_share, |pct| pct as f64 / 100.0),
         ..ServeOptions::default()
     };
     let watch_stdin = !args.iter().any(|a| a == "--no-stdin-watch");
@@ -85,8 +112,18 @@ fn main() {
         eprintln!("failed to bind 127.0.0.1:{}: {e}", opts.port);
         std::process::exit(1);
     });
+    let budget = if opts.cost_budget >= mve_serve::admission::UNLIMITED_BUDGET {
+        "unlimited".to_owned()
+    } else {
+        format!(
+            "{} units (queue {} / {} ms)",
+            opts.cost_budget,
+            opts.queue_cap,
+            opts.queue_deadline.as_millis()
+        )
+    };
     println!(
-        "mve-serve listening on 127.0.0.1:{} ({} workers, cache cap {})",
+        "mve-serve listening on 127.0.0.1:{} ({} workers, cache cap {}, budget {budget})",
         server.port(),
         opts.workers,
         opts.cache_cap

@@ -22,7 +22,9 @@ use mve_core::isa::{Opcode, StrideMode};
 use mve_core::sim::{simulate_sweep, SimConfig, TimingSim};
 use mve_core::trace::CountingSink;
 use mve_insram::Scheme;
+use mve_kernels::Scale;
 use mve_serve::cache::{Fetch, ResultCache};
+use mve_serve::{AdmissionController, AdmissionOptions, CostModel, Request, SimSpec};
 
 /// One named hot-path workload over a pre-built engine.
 pub struct HotBench {
@@ -66,7 +68,10 @@ const LANES: usize = 8192;
 /// execution-bridge overhead against the native `binop_add_8192`) — plus
 /// the ISSUE-6 `dsl_executor_setup` workload (bindings + `Executor::new`
 /// for the same kernel), so the setup cost the steady-state number
-/// excludes is tracked in its own right rather than lost.
+/// excludes is tracked in its own right rather than lost — plus the
+/// ISSUE-7 `serve_admission_roundtrip` workload (one cost-model charge +
+/// budget admit + permit release), the per-request overhead admission
+/// control adds ahead of every chargeable op.
 pub fn engine_hot_benches() -> Vec<HotBench> {
     let mut out = Vec::new();
 
@@ -347,6 +352,33 @@ pub fn engine_hot_benches() -> Vec<HotBench> {
                 let bindings = mve_lang::Bindings::deterministic(&ck.program);
                 let ex = mve_lang::Executor::new(&ck, &bindings);
                 std::hint::black_box(&ex);
+            }),
+        });
+    }
+
+    // ISSUE-7 admission hot path: one cost-model charge plus a bounded
+    // admit/release round trip — the fixed overhead the controller adds
+    // ahead of every chargeable request. The budget is ample, so this
+    // times the uncontended fast path (a queue wait would time the
+    // *workload*, not the controller).
+    {
+        let model = CostModel::committed();
+        let controller = AdmissionController::new(AdmissionOptions {
+            budget: u64::MAX / 8,
+            ..AdmissionOptions::default()
+        });
+        let req = Request::Sim {
+            kernel: "csum".to_owned(),
+            scale: Scale::Test,
+            spec: SimSpec::default(),
+        };
+        out.push(HotBench {
+            name: "serve_admission_roundtrip",
+            elems: 1,
+            run: Box::new(move || {
+                let est = model.charge(&req).expect("sim is chargeable");
+                let permit = controller.admit(0, est.cost).expect("ample budget");
+                drop(permit);
             }),
         });
     }

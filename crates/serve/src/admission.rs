@@ -1,0 +1,490 @@
+//! Admission control: a bounded global cost budget with per-connection
+//! fairness and a bounded FIFO wait queue.
+//!
+//! Every chargeable request (artefact, sim, compile) is priced by the
+//! calibrated [`crate::cost::CostModel`] *before* it executes. The
+//! controller tracks the total cost of everything currently in flight:
+//!
+//! * a request that fits the budget (and its connection's fair share) is
+//!   **admitted** — it holds a [`Permit`] whose drop releases the charge;
+//! * a request that does not fit **queues** in a bounded FIFO and waits
+//!   for capacity, up to a deadline;
+//! * a request that can never fit (cost exceeds the whole budget or the
+//!   fair share), arrives at a full queue, or times out in the queue is
+//!   **shed** — the server answers with a typed `overloaded` reply
+//!   carrying `retry_after_ms`, and the connection stays open.
+//!
+//! Fairness: one connection may hold at most `fair_share` of the budget
+//! in flight, so a single aggressive client cannot starve the fleet even
+//! when its requests individually fit.
+//!
+//! The queue is strict FIFO: a large request at the head waits until it
+//! fits, and smaller requests behind it wait their turn (bounded by the
+//! deadline). That head-of-line behaviour is a deliberate simplicity
+//! choice, recorded in DESIGN.md's non-claims.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A budget so large it never rejects — the default, preserving the
+/// pre-admission behaviour of existing deployments. Far below `u64::MAX`
+/// so charge arithmetic can never overflow.
+pub const UNLIMITED_BUDGET: u64 = u64::MAX / 4;
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionOptions {
+    /// Total in-flight cost units the daemon will hold at once.
+    pub budget: u64,
+    /// Requests that may wait for capacity at once; beyond this, shed
+    /// immediately.
+    pub queue_cap: usize,
+    /// How long a queued request waits for capacity before it is shed.
+    pub queue_deadline: Duration,
+    /// Fraction of the budget one connection may hold in flight
+    /// (clamped to (0, 1]).
+    pub fair_share: f64,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        Self {
+            budget: UNLIMITED_BUDGET,
+            queue_cap: 64,
+            queue_deadline: Duration::from_millis(500),
+            fair_share: 1.0,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The request's cost exceeds the whole budget (or the fair share) —
+    /// it could never be admitted, at any load.
+    Oversize,
+    /// The wait queue was full on arrival.
+    QueueFull,
+    /// The request waited its full deadline without capacity freeing.
+    Deadline,
+    /// The controller was closed (server shutdown) while waiting.
+    Closed,
+}
+
+/// A shed decision: the reason plus the backoff hint the `overloaded`
+/// reply carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Why.
+    pub reason: ShedReason,
+    /// How long the client should wait before retrying, in milliseconds.
+    /// Derived from the capacity deficit at decision time (cost units are
+    /// calibrated microseconds, so the deficit *is* a time estimate),
+    /// clamped to `1..=30_000`.
+    pub retry_after_ms: u64,
+}
+
+/// Monotonic counters plus gauges, snapshot for the metrics line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Configured budget.
+    pub budget: u64,
+    /// Cost units currently in flight.
+    pub in_flight: u64,
+    /// High-water mark of `in_flight`.
+    pub peak_in_flight: u64,
+    /// Requests admitted (with or without queueing).
+    pub admitted: u64,
+    /// Requests that waited in the queue before their outcome.
+    pub queued: u64,
+    /// Requests currently waiting.
+    pub queue_depth: u64,
+    /// Total sheds (== the sum of the per-reason counters).
+    pub sheds: u64,
+    /// Sheds: could never fit.
+    pub shed_oversize: u64,
+    /// Sheds: queue full on arrival.
+    pub shed_queue_full: u64,
+    /// Sheds: deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Sheds: shutdown while queued.
+    pub shed_closed: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: u64,
+    per_conn: HashMap<u64, u64>,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    closed: bool,
+    // Counters (under the same lock as the state they describe).
+    admitted: u64,
+    queued: u64,
+    peak_in_flight: u64,
+    shed_oversize: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    shed_closed: u64,
+}
+
+/// The admission controller. One per server; shared by every worker.
+#[derive(Debug)]
+pub struct AdmissionController {
+    opts: AdmissionOptions,
+    conn_cap: u64,
+    state: Mutex<State>,
+    capacity_freed: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller over `opts`.
+    pub fn new(opts: AdmissionOptions) -> Self {
+        let share = opts.fair_share.clamp(f64::MIN_POSITIVE, 1.0);
+        // Saturating f64→u64 (budget ≤ u64::MAX/4, so the product fits).
+        let conn_cap = ((opts.budget as f64 * share) as u64).max(1);
+        Self {
+            opts,
+            conn_cap,
+            state: Mutex::new(State::default()),
+            capacity_freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The per-connection in-flight cap (`budget * fair_share`).
+    pub fn conn_cap(&self) -> u64 {
+        self.conn_cap
+    }
+
+    /// Whether a request of `cost` on `conn` would be admitted right now
+    /// without queueing — the `estimate` op's `admit_now` member. Does
+    /// not charge.
+    pub fn would_admit(&self, conn: u64, cost: u64) -> bool {
+        let st = self.lock();
+        !st.closed && st.queue.is_empty() && self.fits(&st, conn, cost)
+    }
+
+    fn fits(&self, st: &State, conn: u64, cost: u64) -> bool {
+        st.in_flight.saturating_add(cost) <= self.opts.budget
+            && st
+                .per_conn
+                .get(&conn)
+                .copied()
+                .unwrap_or(0)
+                .saturating_add(cost)
+                <= self.conn_cap
+    }
+
+    fn retry_after_ms(&self, st: &State, conn: u64, cost: u64) -> u64 {
+        let budget_deficit = st
+            .in_flight
+            .saturating_add(cost)
+            .saturating_sub(self.opts.budget);
+        let conn_deficit = st
+            .per_conn
+            .get(&conn)
+            .copied()
+            .unwrap_or(0)
+            .saturating_add(cost)
+            .saturating_sub(self.conn_cap);
+        // Units are calibrated microseconds: the deficit is roughly how
+        // much compute must drain before this request fits.
+        (budget_deficit.max(conn_deficit) / 1000).clamp(1, 30_000)
+    }
+
+    fn charge(&self, st: &mut State, conn: u64, cost: u64) {
+        st.in_flight += cost;
+        st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+        *st.per_conn.entry(conn).or_insert(0) += cost;
+        st.admitted += 1;
+    }
+
+    /// Admits, queues, or sheds a request of `cost` from connection
+    /// `conn`. Blocks at most `queue_deadline` (plus scheduling noise).
+    pub fn admit(&self, conn: u64, cost: u64) -> Result<Permit<'_>, Shed> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(Shed {
+                reason: ShedReason::Closed,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        if cost > self.opts.budget || cost > self.conn_cap {
+            st.shed_oversize += 1;
+            return Err(Shed {
+                reason: ShedReason::Oversize,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        // FIFO: jump the queue only when nobody is waiting.
+        if st.queue.is_empty() && self.fits(&st, conn, cost) {
+            self.charge(&mut st, conn, cost);
+            return Ok(Permit {
+                ctrl: self,
+                conn,
+                cost,
+            });
+        }
+        if st.queue.len() >= self.opts.queue_cap {
+            st.shed_queue_full += 1;
+            return Err(Shed {
+                reason: ShedReason::QueueFull,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        st.queued += 1;
+        let deadline = Instant::now() + self.opts.queue_deadline;
+        loop {
+            if st.closed {
+                st.queue.retain(|&t| t != ticket);
+                st.shed_closed += 1;
+                let shed = Shed {
+                    reason: ShedReason::Closed,
+                    retry_after_ms: self.retry_after_ms(&st, conn, cost),
+                };
+                drop(st);
+                // The next head may now be a different ticket.
+                self.capacity_freed.notify_all();
+                return Err(shed);
+            }
+            if st.queue.front() == Some(&ticket) && self.fits(&st, conn, cost) {
+                st.queue.pop_front();
+                self.charge(&mut st, conn, cost);
+                drop(st);
+                self.capacity_freed.notify_all();
+                return Ok(Permit {
+                    ctrl: self,
+                    conn,
+                    cost,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.queue.retain(|&t| t != ticket);
+                st.shed_deadline += 1;
+                let shed = Shed {
+                    reason: ShedReason::Deadline,
+                    retry_after_ms: self.retry_after_ms(&st, conn, cost),
+                };
+                drop(st);
+                self.capacity_freed.notify_all();
+                return Err(shed);
+            }
+            let (guard, _) = self
+                .capacity_freed
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    fn release(&self, conn: u64, cost: u64) {
+        let mut st = self.lock();
+        st.in_flight = st.in_flight.saturating_sub(cost);
+        if let Some(held) = st.per_conn.get_mut(&conn) {
+            *held = held.saturating_sub(cost);
+            if *held == 0 {
+                // Connections come and go; an empty entry must not leak.
+                st.per_conn.remove(&conn);
+            }
+        }
+        drop(st);
+        self.capacity_freed.notify_all();
+    }
+
+    /// Wakes every queued waiter into a `Closed` shed — called at server
+    /// shutdown so no worker stays parked in the queue.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.capacity_freed.notify_all();
+    }
+
+    /// Counter/gauge snapshot.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let st = self.lock();
+        AdmissionSnapshot {
+            budget: self.opts.budget,
+            in_flight: st.in_flight,
+            peak_in_flight: st.peak_in_flight,
+            admitted: st.admitted,
+            queued: st.queued,
+            queue_depth: st.queue.len() as u64,
+            sheds: st.shed_oversize + st.shed_queue_full + st.shed_deadline + st.shed_closed,
+            shed_oversize: st.shed_oversize,
+            shed_queue_full: st.shed_queue_full,
+            shed_deadline: st.shed_deadline,
+            shed_closed: st.shed_closed,
+        }
+    }
+}
+
+/// A held admission charge; dropping it releases the cost units (RAII, so
+/// a panicking handler can never leak budget).
+#[derive(Debug)]
+pub struct Permit<'a> {
+    ctrl: &'a AdmissionController,
+    conn: u64,
+    cost: u64,
+}
+
+impl Permit<'_> {
+    /// The charge this permit holds.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.ctrl.release(self.conn, self.cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(budget: u64, queue_cap: usize, deadline_ms: u64, fair_share: f64) -> AdmissionOptions {
+        AdmissionOptions {
+            budget,
+            queue_cap,
+            queue_deadline: Duration::from_millis(deadline_ms),
+            fair_share,
+        }
+    }
+
+    #[test]
+    fn admits_within_budget_and_releases_on_drop() {
+        let ctrl = AdmissionController::new(opts(100, 4, 50, 1.0));
+        let a = ctrl.admit(1, 60).expect("fits");
+        assert_eq!(ctrl.snapshot().in_flight, 60);
+        assert!(!ctrl.would_admit(1, 60), "second 60 exceeds the budget");
+        drop(a);
+        assert_eq!(ctrl.snapshot().in_flight, 0);
+        assert!(ctrl.would_admit(1, 60));
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.admitted, 1);
+        assert_eq!(snap.peak_in_flight, 60);
+        assert_eq!(snap.sheds, 0);
+    }
+
+    #[test]
+    fn oversize_requests_shed_immediately_with_a_retry_hint() {
+        let ctrl = AdmissionController::new(opts(100, 4, 50, 1.0));
+        let shed = ctrl.admit(1, 101).expect_err("cannot ever fit");
+        assert_eq!(shed.reason, ShedReason::Oversize);
+        assert!(shed.retry_after_ms >= 1);
+        assert_eq!(ctrl.snapshot().shed_oversize, 1);
+    }
+
+    #[test]
+    fn fairness_caps_one_connection_below_the_global_budget() {
+        let ctrl = AdmissionController::new(opts(100, 4, 20, 0.5));
+        assert_eq!(ctrl.conn_cap(), 50);
+        let _a = ctrl.admit(7, 40).expect("within share");
+        // Same connection: 40 + 40 > 50 → queues, then deadline-sheds
+        // (nothing will free).
+        let shed = ctrl.admit(7, 40).expect_err("over fair share");
+        assert_eq!(shed.reason, ShedReason::Deadline);
+        // A different connection still fits the global budget.
+        let _b = ctrl.admit(8, 40).expect("other connection unaffected");
+        // A single request larger than the share is oversize outright.
+        let shed = ctrl.admit(9, 51).expect_err("exceeds share");
+        assert_eq!(shed.reason, ShedReason::Oversize);
+    }
+
+    #[test]
+    fn queued_requests_admit_in_fifo_order_when_capacity_frees() {
+        let ctrl = AdmissionController::new(opts(100, 8, 5_000, 1.0));
+        let first = ctrl.admit(1, 100).expect("fills the budget");
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for ticket in 0..3u64 {
+                let (ctrl, order) = (&ctrl, &order);
+                s.spawn(move || {
+                    // Stagger arrivals so FIFO order is deterministic.
+                    std::thread::sleep(Duration::from_millis(10 * (ticket + 1)));
+                    let permit = ctrl.admit(10 + ticket, 30).expect("eventually admitted");
+                    order.lock().unwrap().push(ticket);
+                    drop(permit);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(60));
+            assert_eq!(ctrl.snapshot().queue_depth, 3);
+            drop(first);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "strict FIFO");
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.admitted, 4);
+        assert_eq!(snap.queued, 3);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.sheds, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_deadline_sheds_are_typed() {
+        let ctrl = AdmissionController::new(opts(10, 1, 30, 1.0));
+        let _hold = ctrl.admit(1, 10).expect("fills the budget");
+        std::thread::scope(|s| {
+            // One waiter occupies the single queue slot until its deadline.
+            s.spawn(|| {
+                let shed = ctrl.admit(2, 5).expect_err("deadline");
+                assert_eq!(shed.reason, ShedReason::Deadline);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            let shed = ctrl.admit(3, 5).expect_err("queue full");
+            assert_eq!(shed.reason, ShedReason::QueueFull);
+        });
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.shed_queue_full, 1);
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(snap.sheds, 2);
+        assert_eq!(snap.queue_depth, 0, "deadline waiter left the queue");
+    }
+
+    #[test]
+    fn close_unparks_every_waiter_as_a_typed_shed() {
+        let ctrl = AdmissionController::new(opts(10, 8, 60_000, 1.0));
+        let _hold = ctrl.admit(1, 10).expect("fills the budget");
+        std::thread::scope(|s| {
+            for c in 0..3u64 {
+                let ctrl = &ctrl;
+                s.spawn(move || {
+                    let shed = ctrl.admit(20 + c, 5).expect_err("closed");
+                    assert_eq!(shed.reason, ShedReason::Closed);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            ctrl.close();
+        });
+        assert_eq!(ctrl.snapshot().shed_closed, 3);
+        // Post-close admissions shed immediately (no counter class: the
+        // daemon is going away).
+        assert!(matches!(
+            ctrl.admit(9, 1),
+            Err(Shed {
+                reason: ShedReason::Closed,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn permits_are_panic_safe() {
+        let ctrl = AdmissionController::new(opts(100, 4, 50, 1.0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = ctrl.admit(1, 70).expect("fits");
+            panic!("handler died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(ctrl.snapshot().in_flight, 0, "charge released on unwind");
+    }
+}

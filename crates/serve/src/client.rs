@@ -1,14 +1,16 @@
-//! The client side of the wire protocol: a blocking connection plus the
-//! smoke-set replay driver used by `mve-client` and CI.
+//! The client side of the wire protocol: a blocking connection (with an
+//! optional request deadline and overload-aware capped exponential
+//! backoff) plus the smoke-set replay driver used by `mve-client` and CI.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
+use std::time::Duration;
 
 use mve_kernels::Scale;
 
 use crate::json::Json;
-use crate::protocol::{encode_request, parse_response, Request, SimSpec};
+use crate::protocol::{encode_request, parse_overloaded, parse_response, Request, SimSpec};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -19,6 +21,22 @@ pub enum ClientError {
     Server(String),
     /// The server's reply was not what the request called for.
     Protocol(String),
+    /// The request deadline elapsed without a reply (or the connect
+    /// timeout elapsed without a connection). The connection must be
+    /// considered dead afterwards: a late reply would desynchronize the
+    /// request/reply pairing, so reconnect before reusing.
+    TimedOut {
+        /// The deadline that elapsed.
+        after: Duration,
+    },
+    /// The server shed the request with a typed `overloaded` reply —
+    /// back off and retry ([`Client::request_with_backoff`] does).
+    Overloaded {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+        /// The reply's prose.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -27,6 +45,13 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::TimedOut { after } => {
+                write!(f, "timed out after {} ms", after.as_millis())
+            }
+            ClientError::Overloaded {
+                retry_after_ms,
+                message,
+            } => write!(f, "{message} (retry_after_ms={retry_after_ms})"),
         }
     }
 }
@@ -39,22 +64,68 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Ceiling on one backoff sleep in [`Client::request_with_backoff`].
+const BACKOFF_CAP_MS: u64 = 2_000;
+
 /// One blocking connection to a server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    request_timeout: Option<Duration>,
 }
 
 impl Client {
     /// Connects to `addr` (e.g. `("127.0.0.1", 7878)`).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on the connect itself, so a dead or
+    /// firewalled address fails in `timeout` rather than the OS default
+    /// (minutes). The timeout also becomes the request deadline, as if
+    /// [`Client::set_request_timeout`] had been called.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    let mut client = Self::from_stream(stream)?;
+                    client.set_request_timeout(Some(timeout))?;
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                ClientError::TimedOut { after: timeout }
+            }
+            Some(e) => ClientError::Io(e),
+            None => ClientError::Protocol("address resolved to nothing".to_owned()),
+        })
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            request_timeout: None,
         })
+    }
+
+    /// Bounds every subsequent [`Client::request`]: a reply that has not
+    /// fully arrived within `timeout` fails with
+    /// [`ClientError::TimedOut`] instead of blocking forever on a hung
+    /// daemon. `None` restores unbounded blocking.
+    pub fn set_request_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.request_timeout = timeout;
+        Ok(())
     }
 
     /// Sends one request and decodes its reply document.
@@ -64,13 +135,81 @@ impl Client {
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
+        let n = match self.reader.read_line(&mut reply) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ClientError::TimedOut {
+                    after: self.request_timeout.unwrap_or_default(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Err(ClientError::Protocol(
                 "connection closed before a reply arrived".to_owned(),
             ));
         }
-        parse_response(reply.trim_end()).map_err(ClientError::Server)
+        let trimmed = reply.trim_end();
+        // Surface a typed shed before the generic ok/error decode, so
+        // callers can branch on `Overloaded` rather than parse prose.
+        if let Ok(doc) = Json::parse(trimmed) {
+            if let Some(retry_after_ms) = parse_overloaded(&doc) {
+                return Err(ClientError::Overloaded {
+                    retry_after_ms,
+                    message: doc
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("overloaded")
+                        .to_owned(),
+                });
+            }
+        }
+        parse_response(trimmed).map_err(ClientError::Server)
+    }
+
+    /// [`Client::request`] with capped exponential backoff over
+    /// `overloaded` replies: each retry sleeps the server's
+    /// `retry_after_ms` hint or the doubling client floor, whichever is
+    /// larger, capped at 2 s. Gives up after `max_retries` retries with
+    /// the final [`ClientError::Overloaded`]. All other outcomes pass
+    /// through immediately.
+    pub fn request_with_backoff(
+        &mut self,
+        req: &Request,
+        max_retries: u32,
+    ) -> Result<Json, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request(req) {
+                Err(ClientError::Overloaded {
+                    retry_after_ms,
+                    message,
+                }) => {
+                    if attempt >= max_retries {
+                        return Err(ClientError::Overloaded {
+                            retry_after_ms,
+                            message,
+                        });
+                    }
+                    let floor = 10u64.saturating_mul(1 << attempt.min(20));
+                    std::thread::sleep(Duration::from_millis(
+                        retry_after_ms.max(floor).min(BACKOFF_CAP_MS),
+                    ));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Prices a chargeable request against the server's cost model
+    /// without executing it, returning the `estimate` object
+    /// (`class`/`cost`/`admit_now`).
+    pub fn estimate(&mut self, req: &Request) -> Result<Json, ClientError> {
+        let doc = self.request(&Request::Estimate(Box::new(req.clone())))?;
+        doc.get("estimate")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("estimate reply lacks `estimate`".to_owned()))
     }
 
     /// Renders one artefact, returning its exact text.

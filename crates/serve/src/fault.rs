@@ -1,0 +1,174 @@
+//! Test-only fault injection for the overload-resilience suite.
+//!
+//! A [`FaultPlan`] rides into the server through `ServeOptions` and can
+//! force, at chosen points on the request path:
+//!
+//! * **worker panics** — the next N compute closures (artefact render,
+//!   kernel execution, DSL compile) panic before doing work, exercising
+//!   the `catch_unwind` + reservation-abandon recovery path;
+//! * **slow-request stalls** — the next N compute closures sleep for a
+//!   configured duration first, pinning a worker the way a pathological
+//!   request would;
+//! * **reservation abandonment** — the next N cache misses abandon their
+//!   just-taken reservation and fail, simulating a worker dying between
+//!   reserving a key and computing it (waiters must retry and recover).
+//!
+//! The default plan is inert: every hook is a relaxed atomic load of
+//! zero, so production paths pay one predictable branch per request.
+//! Plans are `Clone` (shared interior), so a test keeps a handle to the
+//! plan it injected and can arm faults while the server runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    panic_remaining: AtomicU64,
+    stall_remaining: AtomicU64,
+    stall_ms: AtomicU64,
+    abandon_remaining: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_abandons: AtomicU64,
+}
+
+/// A shared, clonable fault-injection plan (inert by default).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+/// Consumes one charge from `counter` if any remain.
+fn take(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+impl FaultPlan {
+    /// An inert plan (the production default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the next `n` compute closures to panic.
+    pub fn panic_next(&self, n: u64) {
+        self.inner.panic_remaining.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Arms the next `n` compute closures to stall for `delay` first.
+    pub fn stall_next(&self, n: u64, delay: Duration) {
+        self.inner
+            .stall_ms
+            .store(delay.as_millis() as u64, Ordering::SeqCst);
+        self.inner.stall_remaining.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Arms the next `n` cache misses to abandon their reservation.
+    pub fn abandon_next(&self, n: u64) {
+        self.inner.abandon_remaining.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Compute-path hook, called at the top of every artefact render,
+    /// kernel execution and DSL compile. Applies an armed stall, then an
+    /// armed panic (a closure can be told to do both: stall, then die).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a panic fault is armed — that is its job; the server's
+    /// `catch_unwind` must contain it.
+    pub fn on_compute(&self) {
+        if take(&self.inner.stall_remaining) {
+            self.inner.injected_stalls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(
+                self.inner.stall_ms.load(Ordering::SeqCst),
+            ));
+        }
+        if take(&self.inner.panic_remaining) {
+            self.inner.injected_panics.fetch_add(1, Ordering::SeqCst);
+            panic!("injected fault: worker panic");
+        }
+    }
+
+    /// Reservation-path hook, called right after a cache miss reserves a
+    /// key. Returns `true` when the caller must abandon the reservation
+    /// and fail the request (the simulated mid-flight death).
+    pub fn should_abandon_reservation(&self) -> bool {
+        if take(&self.inner.abandon_remaining) {
+            self.inner.injected_abandons.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// `(panics, stalls, abandons)` actually injected so far.
+    pub fn injected(&self) -> (u64, u64, u64) {
+        (
+            self.inner.injected_panics.load(Ordering::SeqCst),
+            self.inner.injected_stalls.load(Ordering::SeqCst),
+            self.inner.injected_abandons.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Total faults injected (the metrics-line figure).
+    pub fn injected_total(&self) -> u64 {
+        let (p, s, a) = self.injected();
+        p + s + a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let plan = FaultPlan::new();
+        for _ in 0..100 {
+            plan.on_compute();
+            assert!(!plan.should_abandon_reservation());
+        }
+        assert_eq!(plan.injected(), (0, 0, 0));
+    }
+
+    #[test]
+    fn armed_faults_fire_exactly_n_times_across_threads() {
+        let plan = FaultPlan::new();
+        plan.panic_next(3);
+        plan.abandon_next(2);
+        let panics = std::sync::atomic::AtomicU64::new(0);
+        let abandons = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        if std::panic::catch_unwind(|| plan.on_compute()).is_err() {
+                            panics.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if plan.should_abandon_reservation() {
+                            abandons.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(panics.load(Ordering::SeqCst), 3);
+        assert_eq!(abandons.load(Ordering::SeqCst), 2);
+        assert_eq!(plan.injected(), (3, 0, 2));
+        assert_eq!(plan.injected_total(), 5);
+    }
+
+    #[test]
+    fn stalls_delay_then_clear() {
+        let plan = FaultPlan::new();
+        plan.stall_next(1, Duration::from_millis(20));
+        let t = std::time::Instant::now();
+        plan.on_compute();
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        let t = std::time::Instant::now();
+        plan.on_compute(); // disarmed: no delay
+        assert!(t.elapsed() < Duration::from_millis(20));
+        assert_eq!(plan.injected(), (0, 1, 0));
+    }
+}

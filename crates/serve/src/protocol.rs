@@ -9,6 +9,8 @@
 //! <- {"ok":true,"kernel":"gemm","report":{"total_cycles":...,...}}
 //! -> {"op":"compile","source":"kernel k(...) { ... }","scheme":"BS"}
 //! <- {"ok":true,"compile":true,"bytes":"mvel kernel `k` — ..."}
+//! -> {"op":"estimate","request":{"op":"sim","kernel":"gemm","scale":"paper"}}
+//! <- {"ok":true,"estimate":{"class":"sim","cost":61500,"admit_now":true}}
 //! -> {"op":"stats"}
 //! <- {"ok":true,"stats":{...}}
 //! -> {"op":"shutdown"}
@@ -18,7 +20,10 @@
 //! Errors are typed replies, never closed connections:
 //! `{"ok":false,"error":"unknown kernel `gemmm`; valid kernels: ..."}` —
 //! and compile diagnostics carry their source position as machine-readable
-//! members: `{"ok":false,"error":"...","line":3,"col":9}`.
+//! members: `{"ok":false,"error":"...","line":3,"col":9}`. A request shed
+//! by admission control gets the typed overload reply
+//! `{"ok":false,"error":"overloaded: ...","overloaded":true,"retry_after_ms":N}`
+//! so clients can distinguish "back off and retry" from a real failure.
 //!
 //! Cache keys are FNV-1a digests over a request-kind tag, the artefact or
 //! kernel id, the scale, and — for simulations — the configuration's
@@ -59,6 +64,10 @@ pub enum Request {
         /// Timing-configuration knobs.
         spec: SimSpec,
     },
+    /// Price a request against the cost model without executing it. The
+    /// inner request is any chargeable op (artefact/sim/compile); nesting
+    /// an `estimate` inside an `estimate` is a protocol error.
+    Estimate(Box<Request>),
     /// Counter snapshot.
     Stats,
     /// Graceful shutdown.
@@ -200,11 +209,18 @@ fn required_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
 /// Decodes one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = Json::parse(line).map_err(|e| e.to_string())?;
-    let op = required_str(&doc, "op")?;
+    parse_request_obj(&doc, true)
+}
+
+/// Decodes one request object. `allow_estimate` is cleared on the
+/// recursive call for `estimate`'s inner request, bounding nesting to one
+/// level.
+fn parse_request_obj(doc: &Json, allow_estimate: bool) -> Result<Request, String> {
+    let op = required_str(doc, "op")?;
     match op {
         "artefact" => Ok(Request::Artefact {
-            name: required_str(&doc, "name")?.to_owned(),
-            scale: parse_scale(&doc)?,
+            name: required_str(doc, "name")?.to_owned(),
+            scale: parse_scale(doc)?,
         }),
         "sim" => {
             let arrays = match doc.get("arrays") {
@@ -219,14 +235,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 ),
             };
             Ok(Request::Sim {
-                kernel: required_str(&doc, "kernel")?.to_owned(),
-                scale: parse_scale(&doc)?,
+                kernel: required_str(doc, "kernel")?.to_owned(),
+                scale: parse_scale(doc)?,
                 spec: SimSpec {
-                    scheme: parse_scheme(&doc)?,
+                    scheme: parse_scheme(doc)?,
                     arrays,
-                    ooo_dispatch: parse_bool(&doc, "ooo_dispatch", false)?,
-                    mode_switch: parse_bool(&doc, "mode_switch", true)?,
-                    cache_warming: parse_bool(&doc, "cache_warming", true)?,
+                    ooo_dispatch: parse_bool(doc, "ooo_dispatch", false)?,
+                    mode_switch: parse_bool(doc, "mode_switch", true)?,
+                    cache_warming: parse_bool(doc, "cache_warming", true)?,
                 },
             })
         }
@@ -238,7 +254,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .to_owned(),
                 );
             }
-            let source = required_str(&doc, "source")?;
+            let source = required_str(doc, "source")?;
             if source.len() > MAX_COMPILE_SOURCE_BYTES {
                 return Err(format!(
                     "`source` is {} bytes; the compile op accepts at most {}",
@@ -249,25 +265,61 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Compile {
                 source: source.to_owned(),
                 spec: SimSpec {
-                    scheme: parse_scheme(&doc)?,
+                    scheme: parse_scheme(doc)?,
                     arrays: None,
-                    ooo_dispatch: parse_bool(&doc, "ooo_dispatch", false)?,
-                    mode_switch: parse_bool(&doc, "mode_switch", true)?,
-                    cache_warming: parse_bool(&doc, "cache_warming", true)?,
+                    ooo_dispatch: parse_bool(doc, "ooo_dispatch", false)?,
+                    mode_switch: parse_bool(doc, "mode_switch", true)?,
+                    cache_warming: parse_bool(doc, "cache_warming", true)?,
                 },
             })
+        }
+        "estimate" => {
+            if !allow_estimate {
+                return Err("`estimate` cannot nest another `estimate`".to_owned());
+            }
+            let inner = doc
+                .get("request")
+                .ok_or("field `request` (object) is required for `estimate`")?;
+            match parse_request_obj(inner, false)? {
+                req
+                @ (Request::Artefact { .. } | Request::Sim { .. } | Request::Compile { .. }) => {
+                    Ok(Request::Estimate(Box::new(req)))
+                }
+                other => Err(format!(
+                    "`estimate` prices chargeable ops (artefact, compile, sim); `{}` is \
+                     control-plane and costs nothing",
+                    op_name(&other)
+                )),
+            }
         }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}`; valid ops: artefact, compile, sim, stats, shutdown"
+            "unknown op `{other}`; valid ops: artefact, compile, estimate, sim, stats, shutdown"
         )),
+    }
+}
+
+/// Wire name of a request's op.
+pub fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Artefact { .. } => "artefact",
+        Request::Sim { .. } => "sim",
+        Request::Compile { .. } => "compile",
+        Request::Estimate(_) => "estimate",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
     }
 }
 
 /// Encodes a request line (client side; no trailing newline).
 pub fn encode_request(req: &Request) -> String {
-    let doc = match req {
+    request_to_json(req).encode()
+}
+
+/// Encodes a request as its wire object (the `estimate` op nests one).
+pub fn request_to_json(req: &Request) -> Json {
+    match req {
         Request::Artefact { name, scale } => Json::Obj(vec![
             ("op".to_owned(), Json::Str("artefact".into())),
             ("name".to_owned(), Json::Str(name.clone())),
@@ -298,10 +350,13 @@ pub fn encode_request(req: &Request) -> String {
             );
             Json::Obj(members)
         }
+        Request::Estimate(inner) => Json::Obj(vec![
+            ("op".to_owned(), Json::Str("estimate".into())),
+            ("request".to_owned(), request_to_json(inner)),
+        ]),
         Request::Stats => Json::Obj(vec![("op".to_owned(), Json::Str("stats".into()))]),
         Request::Shutdown => Json::Obj(vec![("op".to_owned(), Json::Str("shutdown".into()))]),
-    };
-    doc.encode()
+    }
 }
 
 /// Serializes a timing report as the `report` response member.
@@ -368,6 +423,59 @@ pub fn ok_compile(text: &str) -> String {
         ("bytes".to_owned(), Json::Str(text.to_owned())),
     ])
     .encode()
+}
+
+/// `{"ok":true,"estimate":{"class":C,"cost":N,"admit_now":B}}` — the
+/// priced-but-not-executed reply to the `estimate` op. `cost` is in cost
+/// units (calibrated microseconds of worker compute); `admit_now` reports
+/// whether the admission controller would take a request of this cost
+/// right now without queueing.
+pub fn ok_estimate(class: &str, cost: u64, admit_now: bool) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        (
+            "estimate".to_owned(),
+            Json::Obj(vec![
+                ("class".to_owned(), Json::Str(class.to_owned())),
+                ("cost".to_owned(), Json::U64(cost)),
+                ("admit_now".to_owned(), Json::Bool(admit_now)),
+            ]),
+        ),
+    ])
+    .encode()
+}
+
+/// `{"ok":false,"error":...,"overloaded":true,"retry_after_ms":N}` — the
+/// typed shed reply. The `overloaded` marker (not the prose) is the
+/// machine-readable signal; `retry_after_ms` is the backoff hint the
+/// client's retry loop honors.
+pub fn overloaded_reply(reason: &str, retry_after_ms: u64) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        (
+            "error".to_owned(),
+            Json::Str(format!(
+                "overloaded: {reason}; retry after {retry_after_ms} ms"
+            )),
+        ),
+        ("overloaded".to_owned(), Json::Bool(true)),
+        ("retry_after_ms".to_owned(), Json::U64(retry_after_ms)),
+    ])
+    .encode()
+}
+
+/// Decodes the overload members of a response document, if present:
+/// `Some(retry_after_ms)` exactly when the reply is a typed shed.
+pub fn parse_overloaded(doc: &Json) -> Option<u64> {
+    if doc.get("overloaded").and_then(Json::as_bool) == Some(true) {
+        Some(
+            doc.get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(1),
+        )
+    } else {
+        None
+    }
 }
 
 /// `{"ok":false,"error":message}`.
@@ -578,6 +686,64 @@ mod tests {
         assert!(parse_request(r#"{"op":"compile"}"#)
             .unwrap_err()
             .contains("`source`"));
+    }
+
+    #[test]
+    fn estimate_requests_round_trip_and_reject_control_plane() {
+        let inner = Request::Sim {
+            kernel: "gemm".into(),
+            scale: Scale::Paper,
+            spec: SimSpec {
+                scheme: Scheme::BitHybrid,
+                arrays: Some(16),
+                ooo_dispatch: false,
+                mode_switch: true,
+                cache_warming: true,
+            },
+        };
+        let req = Request::Estimate(Box::new(inner));
+        let line = encode_request(&req);
+        assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        assert_eq!(op_name(&req), "estimate");
+        // Estimating a control-plane op, nesting estimates, or omitting
+        // the inner request are all protocol errors.
+        let err = parse_request(r#"{"op":"estimate","request":{"op":"stats"}}"#).unwrap_err();
+        assert!(err.contains("control-plane"), "{err}");
+        let nested = r#"{"op":"estimate","request":{"op":"estimate","request":{"op":"stats"}}}"#;
+        let err = parse_request(nested).unwrap_err();
+        assert!(err.contains("nest"), "{err}");
+        let err = parse_request(r#"{"op":"estimate"}"#).unwrap_err();
+        assert!(err.contains("`request`"), "{err}");
+        // Inner-request validation still applies through the wrapper.
+        let err =
+            parse_request(r#"{"op":"estimate","request":{"op":"sim","kernel":"g","arrays":0}}"#)
+                .unwrap_err();
+        assert!(err.contains("`arrays`"), "{err}");
+    }
+
+    #[test]
+    fn estimate_replies_carry_class_cost_and_admit_now() {
+        let reply = ok_estimate("sim", 1234, true);
+        let doc = parse_response(&reply).unwrap();
+        let est = doc.get("estimate").expect("estimate member");
+        assert_eq!(est.get("class").and_then(Json::as_str), Some("sim"));
+        assert_eq!(est.get("cost").and_then(Json::as_u64), Some(1234));
+        assert_eq!(est.get("admit_now").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn overloaded_replies_are_typed_and_machine_decodable() {
+        let reply = overloaded_reply("budget exhausted", 250);
+        let doc = Json::parse(&reply).unwrap();
+        assert_eq!(parse_overloaded(&doc), Some(250));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        // Through the generic decoder it is still a typed error reply.
+        let err = parse_response(&reply).unwrap_err();
+        assert!(err.contains("overloaded"), "{err}");
+        assert!(err.contains("250"), "{err}");
+        // Ordinary errors carry no overload members.
+        let plain = Json::parse(&error_reply("boom")).unwrap();
+        assert_eq!(parse_overloaded(&plain), None);
     }
 
     #[test]

@@ -29,11 +29,15 @@ use mve_core::sim::simulate_sweep;
 use mve_kernels::registry::kernel_by_name;
 use mve_kernels::Scale;
 
+use crate::admission::{AdmissionController, AdmissionOptions, ShedReason, UNLIMITED_BUDGET};
 use crate::cache::{Fetch, ResultCache};
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::protocol::{
-    artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_shutdown,
-    ok_sim, ok_stats, parse_request, report_to_json, scale_name, sim_key, Request, SimSpec,
+    artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_estimate,
+    ok_shutdown, ok_sim, ok_stats, overloaded_reply, parse_request, report_to_json, scale_name,
+    sim_key, Request, SimSpec,
 };
 use crate::scheduler::{BatchEntry, Batcher};
 
@@ -93,15 +97,35 @@ pub struct ServeOptions {
     /// applies only while *waiting* for a request — a worker computing a
     /// slow render is busy, not idle).
     pub idle_timeout: Duration,
+    /// Admission-control cost budget in cost units (calibrated
+    /// microseconds of worker compute; see [`crate::cost`]). The default
+    /// is effectively unlimited — admission control is opt-in via
+    /// `serve --budget-units`.
+    pub cost_budget: u64,
+    /// Bounded-FIFO admission queue capacity.
+    pub queue_cap: usize,
+    /// How long an over-budget request may wait in the admission queue
+    /// before it is shed.
+    pub queue_deadline: Duration,
+    /// Fraction of the budget one connection may hold in flight.
+    pub fair_share: f64,
+    /// Fault-injection plan (inert by default; tests arm it).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        let adm = AdmissionOptions::default();
         Self {
             port: 0,
             workers: 4,
             cache_cap: 256,
             idle_timeout: Duration::from_secs(60),
+            cost_budget: UNLIMITED_BUDGET,
+            queue_cap: adm.queue_cap,
+            queue_deadline: adm.queue_deadline,
+            fair_share: adm.fair_share,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -118,10 +142,16 @@ pub struct Counters {
     pub sim_requests: AtomicU64,
     /// DSL compile requests.
     pub compile_requests: AtomicU64,
-    /// Error replies sent.
+    /// Error replies sent (excluding typed `overloaded` sheds, which the
+    /// admission counters track).
     pub errors: AtomicU64,
     /// Connections served.
     pub connections: AtomicU64,
+    /// `estimate` requests (priced, never executed).
+    pub estimate_requests: AtomicU64,
+    /// Connection teardowns that discarded a partially-received request
+    /// line (read error or shutdown mid-line) — previously a silent drop.
+    pub truncated_requests: AtomicU64,
 }
 
 /// Shared server state.
@@ -130,6 +160,8 @@ pub struct ServerState {
     batcher: Batcher,
     artefacts: ArtefactRegistry,
     counters: Counters,
+    admission: AdmissionController,
+    faults: FaultPlan,
     shutdown: AtomicBool,
     idle_timeout: Duration,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -137,9 +169,11 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// Trips the shutdown flag and wakes every worker.
+    /// Trips the shutdown flag and wakes every worker — including any
+    /// request parked in the admission queue, which sheds as `closed`.
     pub fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.admission.close();
         self.queue_cv.notify_all();
     }
 
@@ -153,6 +187,9 @@ impl ServerState {
         let c = &self.counters;
         let cache = self.cache.stats();
         let (batches, batched_sims, joined) = self.batcher.stats.snapshot();
+        let adm = self.admission.snapshot();
+        // New members are appended after the pre-admission fields: CI and
+        // downstream tooling pattern-match the serialized prefix.
         Json::Obj(vec![
             (
                 "requests".to_owned(),
@@ -186,6 +223,29 @@ impl ServerState {
             ("misses".to_owned(), Json::U64(cache.misses)),
             ("evictions".to_owned(), Json::U64(cache.evictions)),
             ("hit_rate".to_owned(), Json::F64(cache.hit_rate())),
+            (
+                "estimate_requests".to_owned(),
+                Json::U64(c.estimate_requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "truncated_requests".to_owned(),
+                Json::U64(c.truncated_requests.load(Ordering::SeqCst)),
+            ),
+            ("budget".to_owned(), Json::U64(adm.budget)),
+            ("in_flight".to_owned(), Json::U64(adm.in_flight)),
+            ("peak_in_flight".to_owned(), Json::U64(adm.peak_in_flight)),
+            ("admitted".to_owned(), Json::U64(adm.admitted)),
+            ("queued".to_owned(), Json::U64(adm.queued)),
+            ("queue_depth".to_owned(), Json::U64(adm.queue_depth)),
+            ("sheds".to_owned(), Json::U64(adm.sheds)),
+            ("shed_oversize".to_owned(), Json::U64(adm.shed_oversize)),
+            ("shed_queue_full".to_owned(), Json::U64(adm.shed_queue_full)),
+            ("shed_deadline".to_owned(), Json::U64(adm.shed_deadline)),
+            ("shed_closed".to_owned(), Json::U64(adm.shed_closed)),
+            (
+                "faults_injected".to_owned(),
+                Json::U64(self.faults.injected_total()),
+            ),
         ])
     }
 
@@ -244,6 +304,13 @@ impl Server {
                 batcher: Batcher::new(),
                 artefacts,
                 counters: Counters::default(),
+                admission: AdmissionController::new(AdmissionOptions {
+                    budget: opts.cost_budget,
+                    queue_cap: opts.queue_cap,
+                    queue_deadline: opts.queue_deadline,
+                    fair_share: opts.fair_share,
+                }),
+                faults: opts.faults.clone(),
                 shutdown: AtomicBool::new(false),
                 idle_timeout: opts.idle_timeout,
                 queue: Mutex::new(VecDeque::new()),
@@ -315,8 +382,9 @@ fn worker_loop(state: &ServerState) {
             }
         };
         let Some(stream) = stream else { return };
-        state.counters.connections.fetch_add(1, Ordering::SeqCst);
-        serve_connection(state, stream);
+        // The connection ordinal doubles as the fairness-accounting id.
+        let conn_id = state.counters.connections.fetch_add(1, Ordering::SeqCst);
+        serve_connection(state, conn_id, stream);
     }
 }
 
@@ -329,7 +397,7 @@ const MAX_REQUEST_LINE_BYTES: usize = 8 << 20;
 
 /// Serves one connection until EOF, error, idle deadline, oversized
 /// request, or shutdown.
-fn serve_connection(state: &ServerState, stream: TcpStream) {
+fn serve_connection(state: &ServerState, conn_id: u64, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -370,6 +438,14 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                 Ok(_) => {} // mid-line wakeup; keep reading
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     if state.is_shutting_down() {
+                        // Shutdown mid-line discards a partial request —
+                        // account for it instead of dropping it silently.
+                        if !line.is_empty() {
+                            state
+                                .counters
+                                .truncated_requests
+                                .fetch_add(1, Ordering::SeqCst);
+                        }
                         return;
                     }
                     if line.is_empty() && idle_since.elapsed() >= state.idle_timeout {
@@ -377,7 +453,17 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return,
+                Err(_) => {
+                    // A read error (e.g. connection reset) mid-line also
+                    // discards a partial request.
+                    if !line.is_empty() {
+                        state
+                            .counters
+                            .truncated_requests
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                    return;
+                }
             }
         };
         let text = String::from_utf8_lossy(&line);
@@ -389,7 +475,7 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             return; // clean EOF
         }
         state.counters.requests.fetch_add(1, Ordering::SeqCst);
-        let (reply, shutdown) = handle_request(state, text);
+        let (reply, shutdown) = handle_request(state, conn_id, text);
         if writer
             .write_all(reply.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -408,58 +494,114 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
+/// Prose for the typed `overloaded` reply.
+fn shed_reason_text(reason: ShedReason) -> &'static str {
+    match reason {
+        ShedReason::Oversize => "request cost exceeds the admission budget",
+        ShedReason::QueueFull => "admission queue full",
+        ShedReason::Deadline => "admission queue deadline expired",
+        ShedReason::Closed => "server shutting down",
+    }
+}
+
 /// Dispatches one request line; returns the reply and whether this request
 /// asked for shutdown.
-fn handle_request(state: &ServerState, line: &str) -> (String, bool) {
+fn handle_request(state: &ServerState, conn_id: u64, line: &str) -> (String, bool) {
     let fail = |msg: &str| {
         state.counters.errors.fetch_add(1, Ordering::SeqCst);
         (error_reply(msg), false)
     };
-    match parse_request(line) {
-        Err(msg) => fail(&msg),
-        Ok(Request::Stats) => (ok_stats(state.stats_json()), false),
-        Ok(Request::Shutdown) => (ok_shutdown(), true),
-        Ok(Request::Artefact { name, scale }) => {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => return fail(&msg),
+    };
+    match req {
+        Request::Stats => (ok_stats(state.stats_json()), false),
+        Request::Shutdown => (ok_shutdown(), true),
+        Request::Estimate(inner) => {
             state
                 .counters
-                .artefact_requests
+                .estimate_requests
                 .fetch_add(1, Ordering::SeqCst);
-            match serve_artefact(state, &name, scale) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(text) => (ok_artefact(&name, text), false),
-                    Err(_) => fail("artefact bytes are not UTF-8"),
-                },
-                Err(msg) => fail(&msg),
-            }
+            // The parser only admits chargeable inner requests, and the
+            // reply uses the same `charge` the controller levies — the
+            // estimate and the eventual admission charge cannot diverge.
+            let est = CostModel::committed()
+                .charge(&inner)
+                .expect("estimate inner request is chargeable");
+            (
+                ok_estimate(
+                    est.class.name(),
+                    est.cost,
+                    state.admission.would_admit(conn_id, est.cost),
+                ),
+                false,
+            )
         }
-        Ok(Request::Compile { source, spec }) => {
-            state
-                .counters
-                .compile_requests
-                .fetch_add(1, Ordering::SeqCst);
-            match serve_compile(state, &source, &spec) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(text) => (ok_compile(text), false),
-                    Err(_) => fail("compile bytes are not UTF-8"),
-                },
-                Err((msg, line, col)) => {
-                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                    (error_reply_at(&msg, line, col), false)
+        chargeable => {
+            let est = CostModel::committed()
+                .charge(&chargeable)
+                .expect("artefact/sim/compile are chargeable");
+            // Admission happens before any compute: a shed request costs
+            // the daemon one formula evaluation, nothing more. The permit
+            // is held (RAII) until the reply is built, covering cache
+            // waits and batched execution alike.
+            let _permit = match state.admission.admit(conn_id, est.cost) {
+                Ok(permit) => permit,
+                Err(shed) => {
+                    return (
+                        overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
+                        false,
+                    )
                 }
-            }
-        }
-        Ok(Request::Sim {
-            kernel,
-            scale,
-            spec,
-        }) => {
-            state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
-            match serve_sim(state, &kernel, scale, &spec) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(fragment) => (ok_sim(&kernel, fragment), false),
-                    Err(_) => fail("report bytes are not UTF-8"),
-                },
-                Err(msg) => fail(&msg),
+            };
+            match chargeable {
+                Request::Artefact { name, scale } => {
+                    state
+                        .counters
+                        .artefact_requests
+                        .fetch_add(1, Ordering::SeqCst);
+                    match serve_artefact(state, &name, scale) {
+                        Ok(bytes) => match std::str::from_utf8(&bytes) {
+                            Ok(text) => (ok_artefact(&name, text), false),
+                            Err(_) => fail("artefact bytes are not UTF-8"),
+                        },
+                        Err(msg) => fail(&msg),
+                    }
+                }
+                Request::Compile { source, spec } => {
+                    state
+                        .counters
+                        .compile_requests
+                        .fetch_add(1, Ordering::SeqCst);
+                    match serve_compile(state, &source, &spec) {
+                        Ok(bytes) => match std::str::from_utf8(&bytes) {
+                            Ok(text) => (ok_compile(text), false),
+                            Err(_) => fail("compile bytes are not UTF-8"),
+                        },
+                        Err((msg, line, col)) => {
+                            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                            (error_reply_at(&msg, line, col), false)
+                        }
+                    }
+                }
+                Request::Sim {
+                    kernel,
+                    scale,
+                    spec,
+                } => {
+                    state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
+                    match serve_sim(state, &kernel, scale, &spec) {
+                        Ok(bytes) => match std::str::from_utf8(&bytes) {
+                            Ok(fragment) => (ok_sim(&kernel, fragment), false),
+                            Err(_) => fail("report bytes are not UTF-8"),
+                        },
+                        Err(msg) => fail(&msg),
+                    }
+                }
+                Request::Estimate(_) | Request::Stats | Request::Shutdown => {
+                    unreachable!("control-plane ops are handled before admission")
+                }
             }
         }
     }
@@ -488,7 +630,14 @@ fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<V
         Fetch::Hit(bytes) => Ok(bytes),
         Fetch::Miss => {
             let key = artefact_key(name, scale);
-            match catch_unwind(AssertUnwindSafe(|| render(scale))) {
+            if state.faults.should_abandon_reservation() {
+                state.cache.abandon(key);
+                return Err(format!("artefact `{name}` failed: injected abandonment"));
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                state.faults.on_compute();
+                render(scale)
+            })) {
                 Ok(text) => Ok(state.cache.fulfill(key, text.into_bytes())),
                 Err(payload) => {
                     state.cache.abandon(key);
@@ -516,7 +665,12 @@ fn serve_compile(
     match state.cache.fetch(key) {
         Fetch::Hit(bytes) => Ok(bytes),
         Fetch::Miss => {
+            if state.faults.should_abandon_reservation() {
+                state.cache.abandon(key);
+                return Err(("compile failed: injected abandonment".to_owned(), 0, 0));
+            }
             let result = catch_unwind(AssertUnwindSafe(|| {
+                state.faults.on_compute();
                 mve_lang::compile_and_render(source, &cfg)
             }));
             match result {
@@ -552,18 +706,24 @@ fn serve_sim(
     match state.cache.fetch(key) {
         Fetch::Hit(bytes) => Ok(bytes),
         Fetch::Miss => {
+            if state.faults.should_abandon_reservation() {
+                state.cache.abandon(key);
+                return Err(format!("sim `{kernel}` failed: injected abandonment"));
+            }
             // The batch group is the functional execution identity: kernel,
             // scale, and the engine geometry the kernel must run under (an
             // `arrays` override changes the trace itself, exactly as in the
             // Figure 12(b) sweep — such requests get their own group).
             let arrays = cfg.geometry.arrays;
             let group = format!("{kernel}@{}@{arrays}", scale_name(scale));
+            let faults = state.faults.clone();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 state.batcher.submit(
                     &group,
                     BatchEntry { cfg, key },
                     &state.cache,
                     move || {
+                        faults.on_compute();
                         // Guard, not set/restore: a panicking kernel must
                         // not leave the worker's thread-local poisoned for
                         // later requests on the same thread.

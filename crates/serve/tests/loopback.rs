@@ -252,6 +252,7 @@ fn idle_connections_are_released_at_the_deadline() {
             workers: 1, // a single worker: an unpinned pool is observable
             cache_cap: 16,
             idle_timeout: std::time::Duration::from_millis(200),
+            ..ServeOptions::default()
         },
         rigged_registry(Arc::clone(&renders)),
     )
@@ -398,6 +399,127 @@ fn oversized_request_lines_are_rejected_while_reading() {
     let mut client = Client::connect(addr).expect("connect after hostile peer");
     let text = client.artefact("alpha", Scale::Test).expect("artefact");
     assert!(text.contains("alpha artefact"));
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A partial request line pending at shutdown is discarded — but no
+/// longer silently: the `truncated_requests` counter records it.
+#[test]
+fn partial_line_at_shutdown_is_counted_not_silently_dropped() {
+    use std::io::Write;
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 16, renders);
+
+    // A healthy request first, so the worker is demonstrably serving this
+    // connection when the partial line arrives.
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    client.artefact("alpha", Scale::Test).expect("alpha");
+
+    // Half a request, no newline — then shutdown while the server is
+    // mid-line. The teardown must account for the discarded partial.
+    let mut raw = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect raw");
+    raw.write_all(br#"{"op":"artefact","name":"al"#)
+        .expect("send partial");
+    raw.flush().expect("flush");
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    handle.shutdown();
+    let stats = join.join().expect("server thread");
+    assert_eq!(
+        stat(&stats, "truncated_requests"),
+        1,
+        "the discarded partial line must be counted: {stats:?}"
+    );
+    // It was never parsed, so it is not a request or an error.
+    assert_eq!(stat(&stats, "requests"), 1, "only the artefact request");
+    assert_eq!(stat(&stats, "errors"), 0);
+}
+
+/// The client-side request deadline: a daemon that accepts but never
+/// replies produces a typed `TimedOut`, not an eternal block.
+#[test]
+fn client_request_timeout_is_typed() {
+    use std::time::Duration;
+    // A listener that accepts and then ignores the socket entirely.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let port = listener.local_addr().expect("addr").port();
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let mut client = Client::connect_with_timeout(("127.0.0.1", port), Duration::from_millis(200))
+        .expect("connect");
+    let err = client
+        .request(&mve_serve::Request::Stats)
+        .expect_err("no reply is coming");
+    match err {
+        mve_serve::ClientError::TimedOut { after } => {
+            assert_eq!(after, Duration::from_millis(200));
+        }
+        other => panic!("expected TimedOut, got {other}"),
+    }
+    hold.join().expect("holder thread");
+}
+
+/// The `estimate` op prices without executing: the render counter stays
+/// at zero, the reported cost matches the committed table, and the real
+/// request is then admitted and served.
+#[test]
+fn estimate_op_prices_without_executing() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(2, 16, Arc::clone(&renders));
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+
+    let req = mve_serve::Request::Artefact {
+        name: "slow".to_owned(),
+        scale: Scale::Paper,
+    };
+    let est = client.estimate(&req).expect("estimate");
+    assert_eq!(est.get("class").and_then(Json::as_str), Some("artefact"));
+    let model = mve_serve::CostModel::committed();
+    assert_eq!(
+        est.get("cost").and_then(Json::as_u64),
+        Some(model.artefact_cost(Scale::Paper)),
+        "estimate reply must match the committed cost table"
+    );
+    assert_eq!(
+        est.get("admit_now").and_then(Json::as_bool),
+        Some(true),
+        "an idle default-budget daemon admits anything"
+    );
+    assert_eq!(
+        renders.load(Ordering::SeqCst),
+        0,
+        "estimate must not execute"
+    );
+
+    // Sim estimates price the spec'd geometry, also without executing.
+    let sim = mve_serve::Request::Sim {
+        kernel: "csum".to_owned(),
+        scale: Scale::Test,
+        spec: SimSpec {
+            arrays: Some(64),
+            ..SimSpec::default()
+        },
+    };
+    let est = client.estimate(&sim).expect("sim estimate");
+    assert_eq!(
+        est.get("cost").and_then(Json::as_u64),
+        Some(model.sim_cost(Scale::Test, 64))
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "estimate_requests"), 2);
+    assert_eq!(stat(&stats, "sim_requests"), 0);
+    assert_eq!(stat(&stats, "artefact_requests"), 0);
+
+    // The priced request then actually runs.
+    let text = client.artefact("slow", Scale::Paper).expect("artefact");
+    assert!(text.contains("slow artefact"));
+    assert_eq!(renders.load(Ordering::SeqCst), 1);
 
     handle.shutdown();
     join.join().expect("server thread");
