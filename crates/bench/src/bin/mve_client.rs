@@ -29,6 +29,13 @@
 //! typed reply counts as `lost` and fails the run — the daemon's
 //! no-request-lost invariant, asserted from the outside.
 //!
+//! Adding `--duration-ms M` (with `--connections N` or `--flood N` for
+//! the connection count) switches to the *open-loop* throughput mode
+//! shared with the `serve_throughput` perf harness: N connections send
+//! the request back-to-back for M milliseconds and one JSON line with
+//! req/s and latency percentiles is printed. `lost` must still be zero or
+//! the run fails.
+//!
 //! `--replay-smoke` renders every artefact at test scale through the
 //! server and writes `DIR/<name>.txt` — CI diffs that tree byte-for-byte
 //! against `reproduce --smoke`.
@@ -41,9 +48,10 @@ use mve_serve::{Request, SimSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mve-client [--port N] (--replay-smoke DIR | [--flood N] artefact NAME \
-         [--paper] | [--flood N] sim KERNEL [--paper] [--scheme S] [--arrays N] [--ooo] \
-         [--no-mode-switch] [--no-cache-warming] | [--flood N] compile FILE.mvel \
+        "usage: mve-client [--port N] (--replay-smoke DIR | [--flood N] \
+         [--connections N --duration-ms M] artefact NAME [--paper] | [--flood N] \
+         [--connections N --duration-ms M] sim KERNEL [--paper] [--scheme S] [--arrays N] \
+         [--ooo] [--no-mode-switch] [--no-cache-warming] | [--flood N] compile FILE.mvel \
          [--scheme S] [--ooo] [--no-mode-switch] [--no-cache-warming] | \
          estimate (artefact|sim|compile) ... | stats | shutdown)"
     );
@@ -204,6 +212,8 @@ fn main() {
     let mut port: u16 = 7878;
     let mut replay_dir: Option<String> = None;
     let mut flood_count: Option<usize> = None;
+    let mut connections: Option<usize> = None;
+    let mut duration_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -224,6 +234,20 @@ fn main() {
                     usage()
                 };
                 flood_count = Some(v);
+                args.drain(i..=i + 1);
+            }
+            "--connections" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                connections = Some(v);
+                args.drain(i..=i + 1);
+            }
+            "--duration-ms" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                duration_ms = Some(v);
                 args.drain(i..=i + 1);
             }
             _ => i += 1,
@@ -265,6 +289,28 @@ fn main() {
         }
         Some(_) => {
             let (req, source_path) = build_request(&args);
+            if let Some(ms) = duration_ms {
+                // Open-loop throughput mode; `--connections` names the
+                // fan-out, or reuse the `--flood` count so the CI overload
+                // step and the perf harness share one invocation shape.
+                let conns = connections.or(flood_count).unwrap_or(32);
+                let report = mve_serve::client::open_loop(
+                    addr,
+                    conns,
+                    std::time::Duration::from_millis(ms),
+                    |_conn, _seq| req.clone(),
+                )
+                .unwrap_or_else(|e| fail(e));
+                println!("{}", report.to_json().encode());
+                if report.lost > 0 {
+                    eprintln!(
+                        "mve-client: {} of {} open-loop requests got no typed reply",
+                        report.lost, report.requests
+                    );
+                    std::process::exit(1);
+                }
+                return;
+            }
             if let Some(count) = flood_count {
                 flood(addr, &req, count);
             }

@@ -110,10 +110,21 @@ fn main() {
                 r.name, r.median_ns, r.melems_per_s
             );
         }
-        let json = mve_bench::perf::to_json(&results);
+        let throughput = mve_bench::perf::run_serve_throughput();
+        for t in &throughput {
+            eprintln!(
+                "  {:28} {:>10.1} req/s  p50 {:>6} µs  p99 {:>6} µs  ({} conns, {} lost)",
+                t.name, t.req_per_s, t.p50_us, t.p99_us, t.connections, t.lost
+            );
+        }
+        let json = mve_bench::perf::to_json(&results, &throughput);
         fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
         print!("{json}");
-        eprintln!("wrote BENCH_engine.json ({} benches)", results.len());
+        eprintln!(
+            "wrote BENCH_engine.json ({} benches, {} throughput scenarios)",
+            results.len(),
+            throughput.len()
+        );
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");

@@ -5,7 +5,8 @@
 //! ```text
 //! serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]
 //!       [--budget-units N] [--queue-cap N] [--queue-deadline-ms N]
-//!       [--fair-share-pct N]
+//!       [--fair-share-pct N] [--idle-timeout-ms N] [--write-stall-ms N]
+//!       [--poller epoll|poll]
 //! ```
 //!
 //! The admission flags bound what the daemon accepts (see DESIGN.md,
@@ -54,9 +55,32 @@ fn usage(flag: &str) -> ! {
     eprintln!("{flag} needs a non-negative integer");
     eprintln!(
         "usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch] \
-         [--budget-units N] [--queue-cap N] [--queue-deadline-ms N] [--fair-share-pct N]"
+         [--budget-units N] [--queue-cap N] [--queue-deadline-ms N] [--fair-share-pct N] \
+         [--idle-timeout-ms N] [--write-stall-ms N] [--poller epoll|poll]"
     );
     std::process::exit(2);
+}
+
+/// `--poller epoll|poll`, defaulting to `Auto` (which also honors the
+/// `MVE_SERVE_POLLER` environment override).
+fn parse_poller(args: &[String]) -> mve_serve::PollerBackend {
+    for (i, a) in args.iter().enumerate() {
+        let value = a
+            .strip_prefix("--poller=")
+            .map(str::to_owned)
+            .or_else(|| (a == "--poller").then(|| args.get(i + 1).cloned().unwrap_or_default()));
+        if let Some(value) = value {
+            return match value.as_str() {
+                "epoll" => mve_serve::PollerBackend::Epoll,
+                "poll" => mve_serve::PollerBackend::Poll,
+                _ => {
+                    eprintln!("--poller must be `epoll` or `poll`");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    mve_serve::PollerBackend::Auto
 }
 
 /// SIGTERM sets a flag the watcher thread polls (the handler body must be
@@ -104,6 +128,11 @@ fn main() {
             .map_or(defaults.queue_deadline, Duration::from_millis),
         fair_share: parse_opt_flag(&args, "--fair-share-pct")
             .map_or(defaults.fair_share, |pct| pct as f64 / 100.0),
+        idle_timeout: parse_opt_flag(&args, "--idle-timeout-ms")
+            .map_or(defaults.idle_timeout, Duration::from_millis),
+        write_stall_timeout: parse_opt_flag(&args, "--write-stall-ms")
+            .map_or(defaults.write_stall_timeout, Duration::from_millis),
+        poller: parse_poller(&args),
         ..ServeOptions::default()
     };
     let watch_stdin = !args.iter().any(|a| a == "--no-stdin-watch");

@@ -22,6 +22,24 @@
 //! fits, and smaller requests behind it wait their turn (bounded by the
 //! deadline). That head-of-line behaviour is a deliberate simplicity
 //! choice, recorded in DESIGN.md's non-claims.
+//!
+//! Two admission styles share the same queue:
+//!
+//! * [`AdmissionController::admit`] blocks the calling thread until the
+//!   request admits, deadlines, or the controller closes — used by tests
+//!   and the bench harness, and kept as the reference semantics;
+//! * [`AdmissionController::try_admit`] never blocks: it returns a
+//!   [`Ticket`] when the request must wait, and the caller (the event
+//!   loop) parks the request and later claims the queue head with
+//!   [`AdmissionController::claim_head`], sheds it on its own deadline
+//!   with [`AdmissionController::shed_ticket`], or abandons it with
+//!   [`AdmissionController::forget_ticket`]. This is what lets a queued
+//!   request wait without holding a worker thread.
+//!
+//! An admitted charge can cross threads: [`Permit::into_charge`] detaches
+//! the RAII guard into a plain-data [`Charge`] that travels with the job,
+//! and [`AdmissionController::resume`] re-attaches it on the worker so the
+//! release stays panic-safe at the point of execution.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -112,11 +130,19 @@ pub struct AdmissionSnapshot {
     pub shed_closed: u64,
 }
 
+/// A queued request: who is waiting and for how much.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    ticket: u64,
+    conn: u64,
+    cost: u64,
+}
+
 #[derive(Debug, Default)]
 struct State {
     in_flight: u64,
     per_conn: HashMap<u64, u64>,
-    queue: VecDeque<u64>,
+    queue: VecDeque<Waiter>,
     next_ticket: u64,
     closed: bool,
     // Counters (under the same lock as the state they describe).
@@ -239,12 +265,12 @@ impl AdmissionController {
         }
         let ticket = st.next_ticket;
         st.next_ticket += 1;
-        st.queue.push_back(ticket);
+        st.queue.push_back(Waiter { ticket, conn, cost });
         st.queued += 1;
         let deadline = Instant::now() + self.opts.queue_deadline;
         loop {
             if st.closed {
-                st.queue.retain(|&t| t != ticket);
+                st.queue.retain(|w| w.ticket != ticket);
                 st.shed_closed += 1;
                 let shed = Shed {
                     reason: ShedReason::Closed,
@@ -255,7 +281,7 @@ impl AdmissionController {
                 self.capacity_freed.notify_all();
                 return Err(shed);
             }
-            if st.queue.front() == Some(&ticket) && self.fits(&st, conn, cost) {
+            if st.queue.front().map(|w| w.ticket) == Some(ticket) && self.fits(&st, conn, cost) {
                 st.queue.pop_front();
                 self.charge(&mut st, conn, cost);
                 drop(st);
@@ -268,7 +294,7 @@ impl AdmissionController {
             }
             let now = Instant::now();
             if now >= deadline {
-                st.queue.retain(|&t| t != ticket);
+                st.queue.retain(|w| w.ticket != ticket);
                 st.shed_deadline += 1;
                 let shed = Shed {
                     reason: ShedReason::Deadline,
@@ -283,6 +309,126 @@ impl AdmissionController {
                 .wait_timeout(st, deadline - now)
                 .unwrap_or_else(PoisonError::into_inner);
             st = guard;
+        }
+    }
+
+    /// Non-blocking admission: admit, queue (returning a [`Ticket`] the
+    /// caller parks), or shed — never waits.
+    pub fn try_admit(&self, conn: u64, cost: u64) -> TryAdmit<'_> {
+        let mut st = self.lock();
+        if st.closed {
+            return TryAdmit::Shed(Shed {
+                reason: ShedReason::Closed,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        if cost > self.opts.budget || cost > self.conn_cap {
+            st.shed_oversize += 1;
+            return TryAdmit::Shed(Shed {
+                reason: ShedReason::Oversize,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        if st.queue.is_empty() && self.fits(&st, conn, cost) {
+            self.charge(&mut st, conn, cost);
+            return TryAdmit::Admitted(Permit {
+                ctrl: self,
+                conn,
+                cost,
+            });
+        }
+        if st.queue.len() >= self.opts.queue_cap {
+            st.shed_queue_full += 1;
+            return TryAdmit::Shed(Shed {
+                reason: ShedReason::QueueFull,
+                retry_after_ms: self.retry_after_ms(&st, conn, cost),
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(Waiter { ticket, conn, cost });
+        st.queued += 1;
+        TryAdmit::Queued(Ticket(ticket))
+    }
+
+    /// Try to admit the queue head. The event loop calls this after every
+    /// release until it returns [`HeadClaim::Empty`] or
+    /// [`HeadClaim::Pending`]; strict FIFO is preserved because only the
+    /// head is ever considered.
+    pub fn claim_head(&self) -> HeadClaim<'_> {
+        let mut st = self.lock();
+        let Some(&head) = st.queue.front() else {
+            return HeadClaim::Empty;
+        };
+        if st.closed {
+            st.queue.pop_front();
+            st.shed_closed += 1;
+            let shed = Shed {
+                reason: ShedReason::Closed,
+                retry_after_ms: self.retry_after_ms(&st, head.conn, head.cost),
+            };
+            drop(st);
+            self.capacity_freed.notify_all();
+            return HeadClaim::Shed {
+                ticket: Ticket(head.ticket),
+                shed,
+            };
+        }
+        if !self.fits(&st, head.conn, head.cost) {
+            return HeadClaim::Pending;
+        }
+        st.queue.pop_front();
+        self.charge(&mut st, head.conn, head.cost);
+        drop(st);
+        self.capacity_freed.notify_all();
+        HeadClaim::Admitted {
+            ticket: Ticket(head.ticket),
+            permit: Permit {
+                ctrl: self,
+                conn: head.conn,
+                cost: head.cost,
+            },
+        }
+    }
+
+    /// Shed a still-queued ticket on its parking deadline, with
+    /// `shed_deadline` accounting. Returns `None` if the ticket already
+    /// left the queue (admitted or shed through another path).
+    pub fn shed_ticket(&self, ticket: Ticket) -> Option<Shed> {
+        let mut st = self.lock();
+        let pos = st.queue.iter().position(|w| w.ticket == ticket.0)?;
+        let w = st.queue.remove(pos)?;
+        st.shed_deadline += 1;
+        let shed = Shed {
+            reason: ShedReason::Deadline,
+            retry_after_ms: self.retry_after_ms(&st, w.conn, w.cost),
+        };
+        drop(st);
+        self.capacity_freed.notify_all();
+        Some(shed)
+    }
+
+    /// Drop a queued ticket without shed accounting — the connection died
+    /// while parked, so there is nobody to answer. No-op if the ticket
+    /// already left the queue.
+    pub fn forget_ticket(&self, ticket: Ticket) {
+        let mut st = self.lock();
+        let before = st.queue.len();
+        st.queue.retain(|w| w.ticket != ticket.0);
+        let removed = st.queue.len() != before;
+        drop(st);
+        if removed {
+            self.capacity_freed.notify_all();
+        }
+    }
+
+    /// Re-attach a transferred [`Charge`] as an RAII permit on this
+    /// controller (the worker-side half of [`Permit::into_charge`]).
+    pub fn resume(&self, charge: Charge) -> Permit<'_> {
+        Permit {
+            ctrl: self,
+            conn: charge.conn,
+            cost: charge.cost,
         }
     }
 
@@ -326,6 +472,69 @@ impl AdmissionController {
     }
 }
 
+/// Opaque handle for a request parked in the admission queue via
+/// [`AdmissionController::try_admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// Stable integer form, usable as a map key.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Outcome of a non-blocking admission attempt.
+#[derive(Debug)]
+pub enum TryAdmit<'a> {
+    /// Admitted immediately; the permit holds the charge.
+    Admitted(Permit<'a>),
+    /// Queued; the caller parks the request under this ticket.
+    Queued(Ticket),
+    /// Shed; answer with a typed `overloaded` reply.
+    Shed(Shed),
+}
+
+/// Outcome of [`AdmissionController::claim_head`].
+#[derive(Debug)]
+pub enum HeadClaim<'a> {
+    /// Nothing is queued.
+    Empty,
+    /// The head exists but does not fit yet; try again after a release.
+    Pending,
+    /// The head was admitted; route the permit to its parked request.
+    Admitted {
+        /// The parked request's ticket.
+        ticket: Ticket,
+        /// Its admission charge.
+        permit: Permit<'a>,
+    },
+    /// The head was shed (controller closed); answer the parked request.
+    Shed {
+        /// The parked request's ticket.
+        ticket: Ticket,
+        /// The typed shed decision.
+        shed: Shed,
+    },
+}
+
+/// A detached admission charge in transit between threads. Unlike
+/// [`Permit`] it has no drop glue — whoever holds it must either
+/// [`AdmissionController::resume`] it into a permit or accept the leak —
+/// so its lifetime outside a permit should be a handful of statements.
+#[derive(Debug, Clone, Copy)]
+pub struct Charge {
+    conn: u64,
+    cost: u64,
+}
+
+impl Charge {
+    /// The cost units this charge holds.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
 /// A held admission charge; dropping it releases the cost units (RAII, so
 /// a panicking handler can never leak budget).
 #[derive(Debug)]
@@ -339,6 +548,17 @@ impl Permit<'_> {
     /// The charge this permit holds.
     pub fn cost(&self) -> u64 {
         self.cost
+    }
+
+    /// Detach into a plain-data [`Charge`] (suppressing the release) so
+    /// the charge can ride a job queue to a worker thread.
+    pub fn into_charge(self) -> Charge {
+        let charge = Charge {
+            conn: self.conn,
+            cost: self.cost,
+        };
+        std::mem::forget(self);
+        charge
     }
 }
 
@@ -475,6 +695,103 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn try_admit_parks_and_claim_head_admits_in_fifo_order() {
+        let ctrl = AdmissionController::new(opts(100, 8, 60_000, 1.0));
+        let hold = match ctrl.try_admit(1, 100) {
+            TryAdmit::Admitted(p) => p,
+            other => panic!("expected admit, got {other:?}"),
+        };
+        let t_a = match ctrl.try_admit(2, 30) {
+            TryAdmit::Queued(t) => t,
+            other => panic!("expected queue, got {other:?}"),
+        };
+        let t_b = match ctrl.try_admit(3, 30) {
+            TryAdmit::Queued(t) => t,
+            other => panic!("expected queue, got {other:?}"),
+        };
+        assert!(matches!(ctrl.claim_head(), HeadClaim::Pending));
+        drop(hold);
+        let first = match ctrl.claim_head() {
+            HeadClaim::Admitted { ticket, permit } => {
+                assert_eq!(ticket, t_a, "strict FIFO");
+                permit
+            }
+            other => panic!("expected head admit, got {other:?}"),
+        };
+        match ctrl.claim_head() {
+            HeadClaim::Admitted { ticket, .. } => assert_eq!(ticket, t_b),
+            other => panic!("expected second admit, got {other:?}"),
+        }
+        assert!(matches!(ctrl.claim_head(), HeadClaim::Empty));
+        drop(first);
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.queued, 2);
+        assert_eq!(snap.sheds, 0);
+    }
+
+    #[test]
+    fn shed_ticket_and_forget_ticket_account_differently() {
+        let ctrl = AdmissionController::new(opts(10, 8, 60_000, 1.0));
+        let _hold = ctrl.admit(1, 10).expect("fills the budget");
+        let TryAdmit::Queued(t_shed) = ctrl.try_admit(2, 5) else {
+            panic!("expected queue");
+        };
+        let TryAdmit::Queued(t_gone) = ctrl.try_admit(3, 5) else {
+            panic!("expected queue");
+        };
+        let shed = ctrl.shed_ticket(t_shed).expect("still queued");
+        assert_eq!(shed.reason, ShedReason::Deadline);
+        assert!(ctrl.shed_ticket(t_shed).is_none(), "second shed is a no-op");
+        ctrl.forget_ticket(t_gone);
+        let snap = ctrl.snapshot();
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(snap.sheds, 1, "forget has no shed accounting");
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn claim_head_sheds_closed_with_accounting() {
+        let ctrl = AdmissionController::new(opts(10, 8, 60_000, 1.0));
+        let _hold = ctrl.admit(1, 10).expect("fills the budget");
+        let TryAdmit::Queued(ticket) = ctrl.try_admit(2, 5) else {
+            panic!("expected queue");
+        };
+        ctrl.close();
+        match ctrl.claim_head() {
+            HeadClaim::Shed { ticket: t, shed } => {
+                assert_eq!(t, ticket);
+                assert_eq!(shed.reason, ShedReason::Closed);
+            }
+            other => panic!("expected closed shed, got {other:?}"),
+        }
+        assert_eq!(ctrl.snapshot().shed_closed, 1);
+        assert!(matches!(ctrl.claim_head(), HeadClaim::Empty));
+    }
+
+    #[test]
+    fn a_charge_rides_to_another_thread_and_releases_there() {
+        let ctrl = AdmissionController::new(opts(100, 4, 50, 1.0));
+        let permit = ctrl.admit(1, 60).expect("fits");
+        let charge = permit.into_charge();
+        assert_eq!(ctrl.snapshot().in_flight, 60, "charge survives detach");
+        assert_eq!(charge.cost(), 60);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let resumed = ctrl.resume(charge);
+                assert_eq!(resumed.cost(), 60);
+                // Even a panicking worker releases via the RAII permit.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _permit = resumed;
+                    panic!("worker died");
+                }));
+                assert!(result.is_err());
+            });
+        });
+        assert_eq!(ctrl.snapshot().in_flight, 0);
     }
 
     #[test]

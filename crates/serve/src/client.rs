@@ -1,14 +1,18 @@
 //! The client side of the wire protocol: a blocking connection (with an
 //! optional request deadline and overload-aware capped exponential
-//! backoff) plus the smoke-set replay driver used by `mve-client` and CI.
+//! backoff), the smoke-set replay driver used by `mve-client` and CI, and
+//! the open-loop throughput driver shared by `mve-client --flood
+//! --duration-ms` and the `serve_throughput` perf harness.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use mve_kernels::Scale;
 
+use crate::histogram::{Histogram, HistogramStats};
 use crate::json::Json;
 use crate::protocol::{encode_request, parse_overloaded, parse_response, Request, SimSpec};
 
@@ -291,4 +295,138 @@ pub fn replay_artefacts(
         written.push(((*name).to_owned(), text.len()));
     }
     Ok(written)
+}
+
+/// The result of one [`open_loop`] run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Measured wall time (send of the first request to the last reply).
+    pub elapsed: Duration,
+    /// Requests sent.
+    pub requests: u64,
+    /// `ok` replies.
+    pub ok: u64,
+    /// Typed `overloaded` sheds (a correct reply, not a failure).
+    pub overloaded: u64,
+    /// Typed `error` replies.
+    pub server_errors: u64,
+    /// Requests sent with no reply of any kind (transport error, timeout,
+    /// or premature close) — the correctness headline: it must be zero.
+    pub lost: u64,
+    /// Request-to-reply latency over every answered request.
+    pub latency: HistogramStats,
+}
+
+impl OpenLoopReport {
+    /// Answered (typed-reply) requests per second.
+    pub fn req_per_s(&self) -> f64 {
+        let answered = (self.ok + self.overloaded + self.server_errors) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            answered / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One flat JSON object — the `mve-client` open-loop output line.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("connections".into(), Json::U64(self.connections as u64)),
+            (
+                "duration_ms".into(),
+                Json::U64(self.elapsed.as_millis().min(u64::MAX as u128) as u64),
+            ),
+            ("requests".into(), Json::U64(self.requests)),
+            ("ok".into(), Json::U64(self.ok)),
+            ("overloaded".into(), Json::U64(self.overloaded)),
+            ("server_errors".into(), Json::U64(self.server_errors)),
+            ("lost".into(), Json::U64(self.lost)),
+            ("req_per_s".into(), Json::F64(self.req_per_s())),
+            ("p50_us".into(), Json::U64(self.latency.p50_us)),
+            ("p90_us".into(), Json::U64(self.latency.p90_us)),
+            ("p99_us".into(), Json::U64(self.latency.p99_us)),
+            ("max_us".into(), Json::U64(self.latency.max_us)),
+        ])
+    }
+}
+
+/// Drives `connections` concurrent connections against `addr`, each
+/// sending `make_request(conn, seq)` back-to-back (open loop: the next
+/// request goes out as soon as the previous reply lands) until `duration`
+/// elapses. Every reply is classified — ok, typed overload, typed error —
+/// and timed into one shared histogram; a request that gets no reply at
+/// all counts as `lost` and ends that connection's run early.
+pub fn open_loop(
+    addr: impl ToSocketAddrs,
+    connections: usize,
+    duration: Duration,
+    make_request: impl Fn(usize, u64) -> Request + Sync,
+) -> Result<OpenLoopReport, ClientError> {
+    let connections = connections.max(1);
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ClientError::Protocol("address resolved to nothing".to_owned()))?;
+    let requests = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let server_errors = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
+    let latency = Histogram::new();
+    let make_request = &make_request;
+    let started = Instant::now();
+    let deadline = started + duration;
+    std::thread::scope(|s| {
+        for conn in 0..connections {
+            let (requests, ok, overloaded, server_errors, lost, latency) =
+                (&requests, &ok, &overloaded, &server_errors, &lost, &latency);
+            s.spawn(move || {
+                // A dead daemon must not hang the harness: bound every
+                // read at the run length plus a margin.
+                let Ok(mut client) =
+                    Client::connect_with_timeout(addr, duration + Duration::from_secs(5))
+                else {
+                    return;
+                };
+                let mut seq = 0u64;
+                while Instant::now() < deadline {
+                    let req = make_request(conn, seq);
+                    seq += 1;
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    match client.request(&req) {
+                        Ok(_) => {
+                            latency.record_duration(t0.elapsed());
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Overloaded { .. }) => {
+                            latency.record_duration(t0.elapsed());
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server(_)) => {
+                            latency.record_duration(t0.elapsed());
+                            server_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok(OpenLoopReport {
+        connections,
+        elapsed: started.elapsed(),
+        requests: requests.into_inner(),
+        ok: ok.into_inner(),
+        overloaded: overloaded.into_inner(),
+        server_errors: server_errors.into_inner(),
+        lost: lost.into_inner(),
+        latency: latency.snapshot(),
+    })
 }

@@ -1,0 +1,331 @@
+//! Lock-free log2-bucketed latency histograms for the service layer.
+//!
+//! [`Histogram`] spreads microsecond samples over 64 power-of-two buckets
+//! (bucket *i* holds values in `[2^i, 2^(i+1))`, with 0 and 1 µs folded
+//! into bucket 0). Recording is three relaxed atomic adds and one atomic
+//! max — cheap enough to sit on every request — and percentile extraction
+//! walks the cumulative bucket counts, reporting each bucket by its
+//! geometric midpoint clamped to the true maximum. The scheme trades
+//! precision for a fixed 640-byte footprint: any quantile is exact to
+//! within its bucket (a factor of √2 around the midpoint), which is the
+//! right resolution for spotting queueing collapse, not for timing
+//! kernels (the criterion-style harness in `mve-bench` does that).
+//!
+//! [`LatencyMetrics`] groups two histograms (service time and queue wait)
+//! per op class and serializes them into the `stats` reply.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+
+const BUCKETS: usize = 64;
+
+/// A concurrent log2-bucketed histogram of microsecond values.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample, in microseconds.
+    pub fn record(&self, value_us: u64) {
+        let idx = value_us.max(1).ilog2() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_us, Ordering::Relaxed);
+        self.max.fetch_max(value_us, Ordering::Relaxed);
+    }
+
+    /// Record a duration as microseconds (saturating).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Extract count, mean, percentiles, and max.
+    pub fn snapshot(&self) -> HistogramStats {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        // Concurrent recorders can make `count` and the bucket sum differ
+        // transiently; rank against the bucket sum we actually walk.
+        let count: u64 = buckets.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramStats {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50_us: percentile(&buckets, count, max, 0.50),
+            p90_us: percentile(&buckets, count, max, 0.90),
+            p99_us: percentile(&buckets, count, max, 0.99),
+            max_us: max,
+        }
+    }
+}
+
+/// The value reported for bucket `idx`: its geometric midpoint, clamped
+/// to the largest value actually recorded.
+fn bucket_value(idx: usize, max: u64) -> u64 {
+    let lo = 1u64 << idx;
+    lo.saturating_add(lo / 2).min(max.max(1))
+}
+
+fn percentile(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (idx, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_value(idx, max);
+        }
+    }
+    max
+}
+
+/// One histogram snapshot: sample count, mean, p50/p90/p99, max, all µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean, µs.
+    pub mean_us: f64,
+    /// Median, µs (bucket-resolution).
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Exact maximum, µs.
+    pub max_us: u64,
+}
+
+impl HistogramStats {
+    /// Serialize for the `stats` reply.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::U64(self.count)),
+            ("mean_us".into(), Json::F64(self.mean_us)),
+            ("p50_us".into(), Json::U64(self.p50_us)),
+            ("p90_us".into(), Json::U64(self.p90_us)),
+            ("p99_us".into(), Json::U64(self.p99_us)),
+            ("max_us".into(), Json::U64(self.max_us)),
+        ])
+    }
+}
+
+/// The op classes latency is tracked for: the three chargeable classes
+/// plus the two inline control-plane ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Registry artefact render.
+    Artefact,
+    /// Kernel execution + timing walk(s).
+    Sim,
+    /// DSL compile + execution + timing walk.
+    Compile,
+    /// Cost estimate (served inline by the event loop).
+    Estimate,
+    /// Stats snapshot (served inline by the event loop).
+    Stats,
+}
+
+impl MetricClass {
+    /// Every class, in the order they serialize.
+    pub const ALL: [MetricClass; 5] = [
+        MetricClass::Artefact,
+        MetricClass::Sim,
+        MetricClass::Compile,
+        MetricClass::Estimate,
+        MetricClass::Stats,
+    ];
+
+    /// Wire name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricClass::Artefact => "artefact",
+            MetricClass::Sim => "sim",
+            MetricClass::Compile => "compile",
+            MetricClass::Estimate => "estimate",
+            MetricClass::Stats => "stats",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            MetricClass::Artefact => 0,
+            MetricClass::Sim => 1,
+            MetricClass::Compile => 2,
+            MetricClass::Estimate => 3,
+            MetricClass::Stats => 4,
+        }
+    }
+}
+
+impl From<crate::cost::OpClass> for MetricClass {
+    fn from(class: crate::cost::OpClass) -> MetricClass {
+        match class {
+            crate::cost::OpClass::Artefact => MetricClass::Artefact,
+            crate::cost::OpClass::Sim => MetricClass::Sim,
+            crate::cost::OpClass::Compile => MetricClass::Compile,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassLatency {
+    service: Histogram,
+    queue_wait: Histogram,
+}
+
+/// Per-op-class service-time and queue-wait histograms.
+///
+/// *Service time* is time on a worker (or inline in the event loop for
+/// control-plane ops); *queue wait* is the gap between a request becoming
+/// runnable and a worker picking it up — inline ops record zero, so a
+/// growing inter-class spread is pure scheduling pressure.
+#[derive(Debug, Default)]
+pub struct LatencyMetrics {
+    classes: [ClassLatency; 5],
+}
+
+impl LatencyMetrics {
+    /// Empty metrics.
+    pub fn new() -> LatencyMetrics {
+        LatencyMetrics::default()
+    }
+
+    /// Record worker/inline execution time for `class`.
+    pub fn record_service(&self, class: MetricClass, d: Duration) {
+        self.classes[class.idx()].service.record_duration(d);
+    }
+
+    /// Record runnable-to-picked-up wait for `class`.
+    pub fn record_queue_wait(&self, class: MetricClass, d: Duration) {
+        self.classes[class.idx()].queue_wait.record_duration(d);
+    }
+
+    /// Serialize every class as `{"<class>": {"service": .., "queue_wait": ..}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            MetricClass::ALL
+                .iter()
+                .map(|&class| {
+                    let slot = &self.classes[class.idx()];
+                    (
+                        class.name().to_string(),
+                        Json::Obj(vec![
+                            ("service".into(), slot.service.snapshot().to_json()),
+                            ("queue_wait".into(), slot.queue_wait.snapshot().to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_us, 0.0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_accurate_and_ordered() {
+        let h = Histogram::new();
+        // 90 fast samples at ~10µs, 9 at ~1ms, 1 at 100ms.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_us, 100_000);
+        // p50 lands in the [8,16) bucket, p99 in the [512,1024)+ region.
+        assert!((8..16).contains(&s.p50_us), "p50={}", s.p50_us);
+        assert!(s.p90_us <= s.p99_us, "p90={} p99={}", s.p90_us, s.p99_us);
+        assert!(s.p50_us <= s.p90_us);
+        assert!((512..2048).contains(&s.p99_us), "p99={}", s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        let expected_mean = (90.0 * 10.0 + 9.0 * 1000.0 + 100_000.0) / 100.0;
+        assert!((s.mean_us - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_one_fold_into_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_us, 1);
+        // Bucket midpoint clamps to the true max.
+        assert_eq!(s.p99_us, 1);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_percentile() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, s.p99_us);
+        assert!(s.p99_us <= 777 && s.p99_us >= 512, "p99={}", s.p99_us);
+        assert_eq!(s.max_us, 777);
+    }
+
+    #[test]
+    fn latency_metrics_serialize_every_class() {
+        let m = LatencyMetrics::new();
+        m.record_service(MetricClass::Artefact, Duration::from_micros(250));
+        m.record_queue_wait(MetricClass::Artefact, Duration::ZERO);
+        let json = m.to_json();
+        let text = json.encode();
+        for class in MetricClass::ALL {
+            assert!(text.contains(class.name()), "missing {}", class.name());
+        }
+        let artefact = json.get("artefact").expect("artefact class");
+        let service = artefact.get("service").expect("service histogram");
+        assert_eq!(service.get("count").and_then(Json::as_u64), Some(1));
+        let wait = artefact.get("queue_wait").expect("queue_wait histogram");
+        assert_eq!(wait.get("count").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,45 +1,64 @@
-//! The simulation daemon: a TCP listener, a sharded worker pool, and the
-//! request handlers that tie the protocol to the cache and the batching
-//! scheduler.
+//! The simulation daemon: a nonblocking event loop owning every
+//! connection, a fixed worker pool that only ever holds *executing*
+//! requests, and the request handlers that tie the protocol to the cache
+//! and the batching scheduler.
 //!
-//! Concurrency model (the PR 3 `--jobs` work-queue pattern, lifted to
-//! connections): the accept loop pushes each connection onto a shared
-//! queue; `workers` threads pop connections and serve them synchronously,
-//! one request line at a time. Cross-connection coordination happens in
-//! exactly two places — the content-addressed [`ResultCache`] (single
-//! flight: every unique `(kernel, config)` or `(artefact, scale)` is
-//! computed exactly once, concurrent duplicates block for the result) and
-//! the [`Batcher`] (concurrent sim requests sharing a kernel execute it
-//! once and fan their configurations out over one trace walk).
+//! Concurrency model (the PR 8 I/O core): one event-loop thread drives a
+//! [`Poller`] (epoll on Linux, `poll(2)` fallback) over the listener, a
+//! self-pipe, and every connection. Connections are per-fd state machines
+//! with bounded read and write buffers — a peer that drains slowly stops
+//! being *read from* once its write buffer crosses the high-water mark
+//! (explicit backpressure), and a peer that stops draining entirely is
+//! reaped by a write-stall timer. Requests parse on the loop; control
+//! plane ops (`stats`, `estimate`, `shutdown`) execute inline, chargeable
+//! ops are priced and admitted *on the loop* — admission-queued requests
+//! park in the loop under a [`crate::timer::TimerWheel`] deadline without
+//! holding a worker — and only admitted requests travel (with their
+//! admission [`Charge`]) to the worker pool. Workers push completions and
+//! wake the loop through the pipe.
 //!
-//! Shutdown is cooperative: a flag checked by the accept loop and by every
-//! worker between requests (reads carry a 100 ms timeout so no thread
-//! blocks past it). The `serve` binary trips the flag on SIGTERM, on stdin
-//! EOF, and on the protocol's `shutdown` op.
+//! Cross-connection coordination happens in exactly two places — the
+//! content-addressed [`ResultCache`] (single flight: every unique
+//! `(kernel, config)` or `(artefact, scale)` is computed exactly once,
+//! concurrent duplicates block for the result) and the [`Batcher`]
+//! (concurrent sim requests sharing a kernel execute it once and fan
+//! their configurations out over one trace walk).
+//!
+//! Shutdown is cooperative: the flag plus a wake byte stop the loop from
+//! accepting, shed parked requests as typed `closed` overloads, let
+//! in-flight executions finish, flush what can be flushed, and account
+//! for any partially-received request lines.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mve_core::sim::simulate_sweep;
 use mve_kernels::registry::kernel_by_name;
 use mve_kernels::Scale;
 
-use crate::admission::{AdmissionController, AdmissionOptions, ShedReason, UNLIMITED_BUDGET};
+use crate::admission::{
+    AdmissionController, AdmissionOptions, Charge, HeadClaim, ShedReason, Ticket, TryAdmit,
+    UNLIMITED_BUDGET,
+};
 use crate::cache::{Fetch, ResultCache};
-use crate::cost::CostModel;
+use crate::cost::{CostModel, OpClass};
 use crate::fault::FaultPlan;
+use crate::histogram::{LatencyMetrics, MetricClass};
 use crate::json::Json;
+use crate::poller::{wake_pipe, Event, Interest, Poller, PollerBackend, WakeRx, WakeTx};
 use crate::protocol::{
     artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_estimate,
     ok_shutdown, ok_sim, ok_stats, overloaded_reply, parse_request, report_to_json, scale_name,
     sim_key, Request, SimSpec,
 };
 use crate::scheduler::{BatchEntry, Batcher};
+use crate::timer::{TimerId, TimerWheel};
 
 /// An artefact renderer: scale in, the artefact's exact text out.
 pub type ArtefactFn = Arc<dyn Fn(Scale) -> String + Send + Sync>;
@@ -88,15 +107,20 @@ impl ArtefactRegistry {
 pub struct ServeOptions {
     /// Listen port (0 = ephemeral, query via [`Server::port`]).
     pub port: u16,
-    /// Worker threads serving connections.
+    /// Worker threads executing admitted requests.
     pub workers: usize,
     /// LRU bound on completed cache entries.
     pub cache_cap: usize,
-    /// A connection that sends no request for this long is closed, so
-    /// idle connections cannot pin workers indefinitely (the deadline
-    /// applies only while *waiting* for a request — a worker computing a
-    /// slow render is busy, not idle).
+    /// A connection that completes no request for this long is closed by
+    /// the event loop's timer wheel, so idle connections cannot pin
+    /// daemon resources indefinitely (the deadline applies only while
+    /// *waiting* for a request — an executing or parked request is busy,
+    /// not idle).
     pub idle_timeout: Duration,
+    /// A connection whose peer accepts no reply bytes for this long is
+    /// closed and counted under `stalled_writes` — the write-side twin of
+    /// `idle_timeout`.
+    pub write_stall_timeout: Duration,
     /// Admission-control cost budget in cost units (calibrated
     /// microseconds of worker compute; see [`crate::cost`]). The default
     /// is effectively unlimited — admission control is opt-in via
@@ -104,11 +128,13 @@ pub struct ServeOptions {
     pub cost_budget: u64,
     /// Bounded-FIFO admission queue capacity.
     pub queue_cap: usize,
-    /// How long an over-budget request may wait in the admission queue
-    /// before it is shed.
+    /// How long an over-budget request may wait (parked in the event
+    /// loop) before it is shed.
     pub queue_deadline: Duration,
     /// Fraction of the budget one connection may hold in flight.
     pub fair_share: f64,
+    /// Readiness backend; `Auto` consults `MVE_SERVE_POLLER`.
+    pub poller: PollerBackend,
     /// Fault-injection plan (inert by default; tests arm it).
     pub faults: FaultPlan,
 }
@@ -121,10 +147,12 @@ impl Default for ServeOptions {
             workers: 4,
             cache_cap: 256,
             idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(10),
             cost_budget: UNLIMITED_BUDGET,
             queue_cap: adm.queue_cap,
             queue_deadline: adm.queue_deadline,
             fair_share: adm.fair_share,
+            poller: PollerBackend::Auto,
             faults: FaultPlan::new(),
         }
     }
@@ -145,13 +173,38 @@ pub struct Counters {
     /// Error replies sent (excluding typed `overloaded` sheds, which the
     /// admission counters track).
     pub errors: AtomicU64,
-    /// Connections served.
+    /// Connections accepted.
     pub connections: AtomicU64,
     /// `estimate` requests (priced, never executed).
     pub estimate_requests: AtomicU64,
     /// Connection teardowns that discarded a partially-received request
-    /// line (read error or shutdown mid-line) — previously a silent drop.
+    /// line (read error, reaping, or shutdown mid-line) — previously a
+    /// silent drop.
     pub truncated_requests: AtomicU64,
+    /// Connections reaped because the peer stopped draining replies past
+    /// the write-stall deadline.
+    pub stalled_writes: AtomicU64,
+    /// Gauge: connections currently open.
+    pub open_connections: AtomicU64,
+    /// Gauge: requests currently executing on a worker.
+    pub executing_requests: AtomicU64,
+}
+
+/// An admitted request in transit to the worker pool. Only *executing*
+/// work ever reaches this queue — parked/queued requests stay in the
+/// event loop.
+struct Job {
+    token: u64,
+    request: Request,
+    charge: Charge,
+    class: OpClass,
+    ready_at: Instant,
+}
+
+/// A finished execution headed back to the event loop.
+struct Completion {
+    token: u64,
+    reply: String,
 }
 
 /// Shared server state.
@@ -163,18 +216,23 @@ pub struct ServerState {
     admission: AdmissionController,
     faults: FaultPlan,
     shutdown: AtomicBool,
-    idle_timeout: Duration,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    latency: LatencyMetrics,
+    poller_backend: &'static str,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    wake: WakeTx,
 }
 
 impl ServerState {
-    /// Trips the shutdown flag and wakes every worker — including any
-    /// request parked in the admission queue, which sheds as `closed`.
+    /// Trips the shutdown flag and wakes everything: the event loop (via
+    /// the self-pipe), the workers, and any admission-queue waiter, which
+    /// sheds as `closed`.
     pub fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.admission.close();
-        self.queue_cv.notify_all();
+        self.jobs_cv.notify_all();
+        self.wake.wake();
     }
 
     /// Whether shutdown has been requested.
@@ -246,6 +304,23 @@ impl ServerState {
                 "faults_injected".to_owned(),
                 Json::U64(self.faults.injected_total()),
             ),
+            (
+                "stalled_writes".to_owned(),
+                Json::U64(c.stalled_writes.load(Ordering::SeqCst)),
+            ),
+            (
+                "open_connections".to_owned(),
+                Json::U64(c.open_connections.load(Ordering::SeqCst)),
+            ),
+            (
+                "executing_requests".to_owned(),
+                Json::U64(c.executing_requests.load(Ordering::SeqCst)),
+            ),
+            (
+                "poller".to_owned(),
+                Json::Str(self.poller_backend.to_owned()),
+            ),
+            ("latency".to_owned(), self.latency.to_json()),
         ])
     }
 
@@ -284,18 +359,33 @@ impl ShutdownHandle {
     }
 }
 
+/// Event-loop timing knobs carried from [`ServeOptions`] into the loop.
+#[derive(Debug, Clone, Copy)]
+struct LoopConfig {
+    idle_timeout: Duration,
+    write_stall: Duration,
+    queue_deadline: Duration,
+}
+
 /// A bound (not yet running) server.
 pub struct Server {
     listener: TcpListener,
     workers: usize,
     state: Arc<ServerState>,
+    poller: Poller,
+    wake_rx: WakeRx,
+    cfg: LoopConfig,
 }
 
 impl Server {
-    /// Binds `127.0.0.1:port` and prepares the shared state.
+    /// Binds `127.0.0.1:port`, opens the poller and self-pipe, and
+    /// prepares the shared state.
     pub fn bind(opts: &ServeOptions, artefacts: ArtefactRegistry) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
         listener.set_nonblocking(true)?;
+        let poller = Poller::new(opts.poller)?;
+        let (wake_tx, wake_rx) = wake_pipe()?;
+        let poller_backend = poller.backend();
         Ok(Self {
             listener,
             workers: opts.workers.max(1),
@@ -312,10 +402,20 @@ impl Server {
                 }),
                 faults: opts.faults.clone(),
                 shutdown: AtomicBool::new(false),
-                idle_timeout: opts.idle_timeout,
-                queue: Mutex::new(VecDeque::new()),
-                queue_cv: Condvar::new(),
+                latency: LatencyMetrics::new(),
+                poller_backend,
+                jobs: Mutex::new(VecDeque::new()),
+                jobs_cv: Condvar::new(),
+                completions: Mutex::new(Vec::new()),
+                wake: wake_tx,
             }),
+            poller,
+            wake_rx,
+            cfg: LoopConfig {
+                idle_timeout: opts.idle_timeout,
+                write_stall: opts.write_stall_timeout,
+                queue_deadline: opts.queue_deadline,
+            },
         })
     }
 
@@ -331,166 +431,898 @@ impl Server {
         }
     }
 
-    /// Runs accept loop + worker pool until shutdown; returns the final
-    /// counter snapshot.
+    /// Runs the event loop (on the calling thread) plus the worker pool
+    /// until shutdown; returns the final counter snapshot.
     pub fn run(self) -> Json {
-        let state = &self.state;
+        let Server {
+            listener,
+            workers,
+            state,
+            poller,
+            wake_rx,
+            cfg,
+        } = self;
+        let state_ref: &ServerState = &state;
         std::thread::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(move || worker_loop(state));
+            for _ in 0..workers {
+                s.spawn(move || worker_loop(state_ref));
             }
-            loop {
-                if state.is_shutting_down() {
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
-                        queue.push_back(stream);
-                        drop(queue);
-                        state.queue_cv.notify_one();
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            }
-            state.queue_cv.notify_all();
+            let mut el = EventLoop {
+                state: state_ref,
+                listener: &listener,
+                poller,
+                wake_rx,
+                cfg,
+                conns: HashMap::new(),
+                parked: HashMap::new(),
+                timers: TimerWheel::new(Instant::now(), TIMER_TICK, TIMER_SLOTS),
+                outstanding: 0,
+                events: Vec::new(),
+                fired: Vec::new(),
+                shutdown_at: None,
+            };
+            el.run();
+            // Normally a no-op; on a fatal poller error it releases the
+            // workers so the scope can join.
+            state_ref.trigger_shutdown();
         });
-        self.state.stats_json()
+        state.stats_json()
     }
 }
 
 fn worker_loop(state: &ServerState) {
     loop {
-        let stream = {
-            let mut queue = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let job = {
+            let mut jobs = state.jobs.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
                 }
                 if state.is_shutting_down() {
                     break None;
                 }
                 let (guard, _timeout) = state
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(100))
+                    .jobs_cv
+                    .wait_timeout(jobs, Duration::from_millis(100))
                     .unwrap_or_else(PoisonError::into_inner);
-                queue = guard;
+                jobs = guard;
             }
         };
-        let Some(stream) = stream else { return };
-        // The connection ordinal doubles as the fairness-accounting id.
-        let conn_id = state.counters.connections.fetch_add(1, Ordering::SeqCst);
-        serve_connection(state, conn_id, stream);
+        let Some(job) = job else { return };
+        let started = Instant::now();
+        state
+            .latency
+            .record_queue_wait(job.class.into(), started.duration_since(job.ready_at));
+        state
+            .counters
+            .executing_requests
+            .fetch_add(1, Ordering::SeqCst);
+        let reply = {
+            // Re-attach the charge as an RAII permit here, at the point of
+            // execution: a panicking handler releases budget on unwind.
+            let _permit = state.admission.resume(job.charge);
+            match catch_unwind(AssertUnwindSafe(|| execute_chargeable(state, &job.request))) {
+                Ok(reply) => reply,
+                Err(payload) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    error_reply(&format!("request failed: {}", panic_message(&*payload)))
+                }
+            }
+        };
+        state
+            .counters
+            .executing_requests
+            .fetch_sub(1, Ordering::SeqCst);
+        state
+            .latency
+            .record_service(job.class.into(), started.elapsed());
+        state
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                token: job.token,
+                reply,
+            });
+        state.wake.wake();
     }
 }
 
 /// Hard cap on one buffered request line. The largest legitimate request
 /// is a `compile` op (1 MiB of source, ≤ 6× inflation under JSON `\uXXXX`
-/// escaping); beyond this the connection is dropped *while reading*, so a
-/// newline-less byte stream cannot balloon daemon memory before the
-/// protocol-layer checks ever run.
+/// escaping); beyond this the connection is dropped, so a newline-less
+/// byte stream cannot balloon daemon memory before the protocol-layer
+/// checks ever run. The same constant bounds a connection's read buffer.
 const MAX_REQUEST_LINE_BYTES: usize = 8 << 20;
 
-/// Serves one connection until EOF, error, idle deadline, oversized
-/// request, or shutdown.
-fn serve_connection(state: &ServerState, conn_id: u64, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .is_err()
-    {
-        return;
+/// Write-buffer high-water mark: above this the event loop stops
+/// consuming requests from (and stops reading) the connection until the
+/// peer drains replies. One reply larger than the mark is still buffered
+/// whole, so the true per-connection write bound is the high-water mark
+/// plus the largest single reply.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+const READ_CHUNK: usize = 16 * 1024;
+const TIMER_TICK: Duration = Duration::from_millis(5);
+const TIMER_SLOTS: usize = 256;
+/// After shutdown, stuck flushes are abandoned past this grace window.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    Idle,
+    WriteStall,
+    ParkDeadline,
+}
+
+/// What a connection is doing. At most one request per connection is in
+/// flight at a time; pipelined requests wait as bytes in the bounded
+/// read buffer.
+enum ConnPhase {
+    /// Parsing lines / waiting for bytes.
+    Ready,
+    /// One request is executing on a worker.
+    Executing,
+    /// One request is parked in the admission queue — in the event loop,
+    /// not on a worker thread.
+    Parked {
+        ticket: Ticket,
+        request: Request,
+        class: OpClass,
+        ready_at: Instant,
+        timer: TimerId,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Fairness-accounting id (the accept ordinal).
+    conn_id: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    phase: ConnPhase,
+    idle_timer: Option<TimerId>,
+    stall_timer: Option<TimerId>,
+    /// Peer sent FIN; serve any final unterminated request, then close.
+    eof: bool,
+    /// Close once the write buffer drains (oversize line, EOF tail).
+    close_after_flush: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
     }
-    let mut reader = BufReader::new(stream);
-    let mut writer = write_half;
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        line.clear();
-        // Accumulate one full line; timeouts poll the shutdown flag and
-        // the idle deadline (read_until appends partial reads to `line`,
-        // so resuming after a timeout never loses bytes). The deadline
-        // resets per request, so a silent connection releases its worker
-        // instead of pinning it forever.
-        let idle_since = std::time::Instant::now();
-        let saw_newline = loop {
-            // `read_until` only returns on delimiter/EOF/error, so an
-            // unbounded reader would happily buffer a newline-less
-            // gigabyte stream inside ONE call; the `take` budget forces a
-            // return at the cap so the limit is enforced *while reading*.
-            let budget = (MAX_REQUEST_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
-            match (&mut reader).take(budget).read_until(b'\n', &mut line) {
-                Ok(_) if line.len() > MAX_REQUEST_LINE_BYTES && !line.ends_with(b"\n") => {
-                    // Reply (best effort) and drop the connection: the
-                    // sender is either broken or hostile.
-                    let _ = writer
-                        .write_all(error_reply("request line exceeds the size limit").as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"));
-                    return;
-                }
-                Ok(0) => break false,
-                Ok(_) if line.ends_with(b"\n") => break true,
-                Ok(_) => {} // mid-line wakeup; keep reading
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if state.is_shutting_down() {
-                        // Shutdown mid-line discards a partial request —
-                        // account for it instead of dropping it silently.
-                        if !line.is_empty() {
-                            state
-                                .counters
-                                .truncated_requests
-                                .fetch_add(1, Ordering::SeqCst);
-                        }
-                        return;
-                    }
-                    if line.is_empty() && idle_since.elapsed() >= state.idle_timeout {
-                        return; // idle connection: free the worker
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    // A read error (e.g. connection reset) mid-line also
-                    // discards a partial request.
-                    if !line.is_empty() {
-                        state
-                            .counters
-                            .truncated_requests
-                            .fetch_add(1, Ordering::SeqCst);
-                    }
-                    return;
-                }
-            }
-        };
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim();
-        if text.is_empty() {
-            if saw_newline {
-                continue;
-            }
-            return; // clean EOF
-        }
-        state.counters.requests.fetch_add(1, Ordering::SeqCst);
-        let (reply, shutdown) = handle_request(state, conn_id, text);
-        if writer
-            .write_all(reply.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
+}
+
+struct EventLoop<'a> {
+    state: &'a ServerState,
+    listener: &'a TcpListener,
+    poller: Poller,
+    wake_rx: WakeRx,
+    cfg: LoopConfig,
+    conns: HashMap<u64, Conn>,
+    /// ticket.raw() → token for requests parked in the admission queue.
+    parked: HashMap<u64, u64>,
+    timers: TimerWheel<(u64, TimerKind)>,
+    /// Jobs dispatched to workers and not yet completed.
+    outstanding: usize,
+    events: Vec<Event>,
+    fired: Vec<(TimerId, (u64, TimerKind))>,
+    shutdown_at: Option<Instant>,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) {
+        if self
+            .poller
+            .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
             .is_err()
         {
             return;
         }
-        if shutdown {
-            state.trigger_shutdown();
+        if self
+            .poller
+            .register(self.wake_rx.fd(), TOKEN_WAKE, Interest::READ)
+            .is_err()
+        {
             return;
         }
-        if !saw_newline {
-            return; // EOF followed the final (unterminated) request
+        loop {
+            let now = Instant::now();
+            let mut timeout = self
+                .timers
+                .next_deadline(now)
+                .unwrap_or(Duration::from_millis(500))
+                .min(Duration::from_millis(500));
+            if self.shutdown_at.is_some() {
+                timeout = timeout.min(Duration::from_millis(50));
+            }
+            if self.poller.wait(&mut self.events, Some(timeout)).is_err() {
+                break;
+            }
+            for i in 0..self.events.len() {
+                let ev = self.events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake_rx.drain(),
+                    token => self.conn_event(token, ev),
+                }
+            }
+            self.drain_completions();
+            self.expire_timers(Instant::now());
+            self.advance_parked();
+            if self.state.is_shutting_down() {
+                if self.shutdown_at.is_none() {
+                    self.shutdown_at = Some(Instant::now());
+                    self.begin_shutdown();
+                }
+                self.shutdown_sweep();
+                let grace_over = self
+                    .shutdown_at
+                    .is_some_and(|t| t.elapsed() > SHUTDOWN_GRACE);
+                if (self.outstanding == 0 && self.conns.is_empty()) || grace_over {
+                    break;
+                }
+            }
         }
+        self.finish();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.state.is_shutting_down() {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // The accept ordinal doubles as the fairness id.
+                    let conn_id = self
+                        .state
+                        .counters
+                        .connections
+                        .fetch_add(1, Ordering::SeqCst);
+                    let token = FIRST_CONN_TOKEN + conn_id;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.state
+                        .counters
+                        .open_connections
+                        .fetch_add(1, Ordering::SeqCst);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            conn_id,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            phase: ConnPhase::Ready,
+                            idle_timer: None,
+                            stall_timer: None,
+                            eof: false,
+                            close_after_flush: false,
+                            interest: Interest::READ,
+                        },
+                    );
+                    self.rearm_idle(token);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: Event) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if ev.error {
+            self.close_conn(token, true);
+            return;
+        }
+        if ev.writable {
+            self.flush_writes(token);
+        }
+        if ev.readable {
+            self.read_ready(token);
+        }
+        self.after_io(token);
+    }
+
+    fn want_read(&self, conn: &Conn) -> bool {
+        !conn.eof
+            && !conn.close_after_flush
+            && !self.state.is_shutting_down()
+            && conn.pending_write() < WRITE_HIGH_WATER
+            && conn.read_buf.len() <= MAX_REQUEST_LINE_BYTES
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.eof
+                || conn.close_after_flush
+                || conn.pending_write() >= WRITE_HIGH_WATER
+                || conn.read_buf.len() > MAX_REQUEST_LINE_BYTES
+            {
+                return;
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if n < chunk.len() || conn.read_buf.len() > MAX_REQUEST_LINE_BYTES {
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failed {
+            self.close_conn(token, true);
+        }
+    }
+
+    /// Parse and dispatch as many buffered requests as backpressure and
+    /// the one-in-flight rule allow.
+    fn process_conn(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if !matches!(conn.phase, ConnPhase::Ready) || conn.close_after_flush {
+                return;
+            }
+            if conn.pending_write() >= WRITE_HIGH_WATER {
+                return; // backpressure: the peer must drain replies first
+            }
+            let nl = conn.read_buf.iter().position(|&b| b == b'\n');
+            let line: Vec<u8> = match nl {
+                Some(pos) => {
+                    let mut line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+                    line.pop();
+                    line
+                }
+                None if conn.read_buf.len() > MAX_REQUEST_LINE_BYTES => {
+                    // Reply (best effort) and drop the connection: the
+                    // sender is either broken or hostile.
+                    conn.read_buf.clear();
+                    conn.close_after_flush = true;
+                    self.push_reply(token, error_reply("request line exceeds the size limit"));
+                    return;
+                }
+                None if conn.eof && !conn.read_buf.is_empty() => {
+                    // EOF followed a final (unterminated) request: serve
+                    // it, then close.
+                    conn.close_after_flush = true;
+                    std::mem::take(&mut conn.read_buf)
+                }
+                None => return,
+            };
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                if self.conns.get(&token).is_some_and(|c| c.close_after_flush) {
+                    // The EOF tail was pure whitespace: a clean EOF.
+                    self.close_conn(token, false);
+                    return;
+                }
+                continue;
+            }
+            let text = text.to_owned();
+            self.handle_line(token, &text);
+        }
+    }
+
+    /// One parsed request line: control plane executes inline, chargeable
+    /// ops are priced + admitted here and executed on a worker.
+    fn handle_line(&mut self, token: u64, line: &str) {
+        let state = self.state;
+        state.counters.requests.fetch_add(1, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                self.push_reply(token, error_reply(&msg));
+                return;
+            }
+        };
+        match req {
+            Request::Stats => {
+                let reply = ok_stats(state.stats_json());
+                state
+                    .latency
+                    .record_queue_wait(MetricClass::Stats, Duration::ZERO);
+                state
+                    .latency
+                    .record_service(MetricClass::Stats, t0.elapsed());
+                self.push_reply(token, reply);
+            }
+            Request::Shutdown => {
+                self.push_reply(token, ok_shutdown());
+                state.trigger_shutdown();
+            }
+            Request::Estimate(inner) => {
+                state
+                    .counters
+                    .estimate_requests
+                    .fetch_add(1, Ordering::SeqCst);
+                // The parser only admits chargeable inner requests, and
+                // the reply uses the same `charge` the controller levies —
+                // the estimate and the eventual admission charge cannot
+                // diverge.
+                let est = CostModel::committed()
+                    .charge(&inner)
+                    .expect("estimate inner request is chargeable");
+                let conn_id = self.conns.get(&token).map_or(0, |c| c.conn_id);
+                let reply = ok_estimate(
+                    est.class.name(),
+                    est.cost,
+                    state.admission.would_admit(conn_id, est.cost),
+                );
+                state
+                    .latency
+                    .record_queue_wait(MetricClass::Estimate, Duration::ZERO);
+                state
+                    .latency
+                    .record_service(MetricClass::Estimate, t0.elapsed());
+                self.push_reply(token, reply);
+            }
+            chargeable => self.dispatch_chargeable(token, chargeable, t0),
+        }
+    }
+
+    fn dispatch_chargeable(&mut self, token: u64, req: Request, ready_at: Instant) {
+        // Admission happens before any compute: a shed request costs the
+        // daemon one formula evaluation, nothing more.
+        let est = CostModel::committed()
+            .charge(&req)
+            .expect("artefact/sim/compile are chargeable");
+        let Some(conn_id) = self.conns.get(&token).map(|c| c.conn_id) else {
+            return;
+        };
+        match self.state.admission.try_admit(conn_id, est.cost) {
+            TryAdmit::Admitted(permit) => {
+                let charge = permit.into_charge();
+                self.dispatch_job(token, req, charge, est.class, ready_at);
+            }
+            TryAdmit::Queued(ticket) => {
+                // Park in the event loop: no worker thread is held while
+                // this request waits for budget.
+                let timer = self.timers.insert(
+                    Instant::now(),
+                    self.cfg.queue_deadline,
+                    (token, TimerKind::ParkDeadline),
+                );
+                let conn = self.conns.get_mut(&token).expect("checked above");
+                if let Some(id) = conn.idle_timer.take() {
+                    self.timers.cancel(id);
+                }
+                conn.phase = ConnPhase::Parked {
+                    ticket,
+                    request: req,
+                    class: est.class,
+                    ready_at,
+                    timer,
+                };
+                self.parked.insert(ticket.raw(), token);
+            }
+            TryAdmit::Shed(shed) => {
+                self.push_reply(
+                    token,
+                    overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
+                );
+            }
+        }
+    }
+
+    fn dispatch_job(
+        &mut self,
+        token: u64,
+        request: Request,
+        charge: Charge,
+        class: OpClass,
+        ready_at: Instant,
+    ) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.phase = ConnPhase::Executing;
+            if let Some(id) = conn.idle_timer.take() {
+                self.timers.cancel(id);
+            }
+        }
+        self.outstanding += 1;
+        let mut jobs = self
+            .state
+            .jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        jobs.push_back(Job {
+            token,
+            request,
+            charge,
+            class,
+            ready_at,
+        });
+        drop(jobs);
+        self.state.jobs_cv.notify_one();
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut guard = self
+                .state
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *guard)
+        };
+        for c in done {
+            self.outstanding -= 1;
+            let Some(conn) = self.conns.get_mut(&c.token) else {
+                continue; // connection died while its request executed
+            };
+            if matches!(conn.phase, ConnPhase::Executing) {
+                conn.phase = ConnPhase::Ready;
+            }
+            self.push_reply(c.token, c.reply);
+            self.after_io(c.token);
+        }
+    }
+
+    /// Queue the reply bytes and flush opportunistically.
+    fn push_reply(&mut self, token: u64, reply: String) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.write_buf.extend_from_slice(reply.as_bytes());
+            conn.write_buf.push(b'\n');
+        }
+        self.flush_writes(token);
+        self.rearm_idle(token);
+    }
+
+    fn flush_writes(&mut self, token: u64) {
+        let mut failed = false;
+        let mut progressed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while conn.write_pos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        progressed = true;
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failed {
+            self.close_conn(token, true);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            if let Some(id) = conn.stall_timer.take() {
+                self.timers.cancel(id);
+            }
+        } else if progressed || conn.stall_timer.is_none() {
+            // (Re)arm the stall clock on first residue and on progress, so
+            // only a peer making *no* progress for the full window is
+            // reaped.
+            if let Some(id) = conn.stall_timer.take() {
+                self.timers.cancel(id);
+            }
+            let id = self.timers.insert(
+                Instant::now(),
+                self.cfg.write_stall,
+                (token, TimerKind::WriteStall),
+            );
+            conn.stall_timer = Some(id);
+        }
+    }
+
+    /// Post-I/O bookkeeping: parse what arrived, close what is due,
+    /// resync poller interest.
+    fn after_io(&mut self, token: u64) {
+        self.process_conn(token);
+        self.finalize_conn(token);
+    }
+
+    fn finalize_conn(&mut self, token: u64) {
+        let close_now = {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            let flushed = conn.pending_write() == 0;
+            let ready = matches!(conn.phase, ConnPhase::Ready);
+            // Two clean-close cases, neither discarding anything: a due
+            // close whose reply has drained, or flushed EOF with no tail.
+            let due = conn.close_after_flush || (conn.eof && conn.read_buf.is_empty());
+            if due && flushed && ready {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        if let Some(count_partial) = close_now {
+            self.close_conn(token, count_partial);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let want = Interest {
+            read: self.want_read(conn),
+            write: conn.pending_write() > 0,
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.update(fd, token, want).is_ok() {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.interest = want;
+                }
+            }
+        }
+    }
+
+    /// Reset the idle deadline — called at accept and after every
+    /// completed request, never on partial bytes, so a trickling sender
+    /// cannot dodge the reaper.
+    fn rearm_idle(&mut self, token: u64) {
+        let now = Instant::now();
+        let idle = self.cfg.idle_timeout;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !matches!(conn.phase, ConnPhase::Ready) || conn.close_after_flush {
+            return;
+        }
+        if let Some(id) = conn.idle_timer.take() {
+            self.timers.cancel(id);
+        }
+        conn.idle_timer = Some(self.timers.insert(now, idle, (token, TimerKind::Idle)));
+    }
+
+    fn expire_timers(&mut self, now: Instant) {
+        let mut fired = std::mem::take(&mut self.fired);
+        self.timers.poll_expired(now, &mut fired);
+        for &(id, (token, kind)) in &fired {
+            match kind {
+                TimerKind::Idle => {
+                    // Guard against stale ids: the timer must still be the
+                    // connection's current one.
+                    if self
+                        .conns
+                        .get(&token)
+                        .is_some_and(|c| c.idle_timer == Some(id))
+                    {
+                        self.close_conn(token, true);
+                    }
+                }
+                TimerKind::WriteStall => {
+                    if self
+                        .conns
+                        .get(&token)
+                        .is_some_and(|c| c.stall_timer == Some(id))
+                    {
+                        self.state
+                            .counters
+                            .stalled_writes
+                            .fetch_add(1, Ordering::SeqCst);
+                        self.close_conn(token, true);
+                    }
+                }
+                TimerKind::ParkDeadline => self.park_deadline(token, id),
+            }
+        }
+        self.fired = fired;
+    }
+
+    fn park_deadline(&mut self, token: u64, id: TimerId) {
+        let ticket = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let matches_timer =
+                matches!(&conn.phase, ConnPhase::Parked { timer, .. } if *timer == id);
+            if !matches_timer {
+                return;
+            }
+            let ConnPhase::Parked { ticket, .. } =
+                std::mem::replace(&mut conn.phase, ConnPhase::Ready)
+            else {
+                unreachable!("checked parked above");
+            };
+            ticket
+        };
+        self.parked.remove(&ticket.raw());
+        if let Some(shed) = self.state.admission.shed_ticket(ticket) {
+            self.push_reply(
+                token,
+                overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
+            );
+        } else {
+            // Cannot race with claim_head (same thread); defensive only.
+            self.rearm_idle(token);
+        }
+        self.after_io(token);
+    }
+
+    /// Admit parked requests from the queue head while budget allows —
+    /// the event-loop counterpart of the blocking waiter wake-up.
+    fn advance_parked(&mut self) {
+        loop {
+            match self.state.admission.claim_head() {
+                HeadClaim::Empty | HeadClaim::Pending => return,
+                HeadClaim::Admitted { ticket, permit } => {
+                    let Some(token) = self.parked.remove(&ticket.raw()) else {
+                        drop(permit); // releases the charge
+                        continue;
+                    };
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        drop(permit);
+                        continue;
+                    };
+                    let phase = std::mem::replace(&mut conn.phase, ConnPhase::Executing);
+                    let ConnPhase::Parked {
+                        request,
+                        class,
+                        ready_at,
+                        timer,
+                        ..
+                    } = phase
+                    else {
+                        unreachable!("parked map points at a non-parked conn");
+                    };
+                    self.timers.cancel(timer);
+                    self.dispatch_job(token, request, permit.into_charge(), class, ready_at);
+                }
+                HeadClaim::Shed { ticket, shed } => {
+                    let Some(token) = self.parked.remove(&ticket.raw()) else {
+                        continue;
+                    };
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let phase = std::mem::replace(&mut conn.phase, ConnPhase::Ready);
+                    let ConnPhase::Parked { timer, .. } = phase else {
+                        unreachable!("parked map points at a non-parked conn");
+                    };
+                    self.timers.cancel(timer);
+                    self.push_reply(
+                        token,
+                        overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
+                    );
+                    self.after_io(token);
+                }
+            }
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        // Admission is closed: every parked request sheds as `closed`
+        // with a typed reply before its connection is swept.
+        self.advance_parked();
+    }
+
+    /// Close every connection that has nothing left to do: reply flushed,
+    /// no request in flight. Buffered complete lines are still served
+    /// (chargeable ones shed as `closed`); a partial tail counts as
+    /// truncated.
+    fn shutdown_sweep(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.process_conn(token);
+            let done = self
+                .conns
+                .get(&token)
+                .is_some_and(|c| matches!(c.phase, ConnPhase::Ready) && c.pending_write() == 0);
+            if done {
+                self.close_conn(token, true);
+            }
+        }
+    }
+
+    /// Final teardown: best-effort blocking flush with a short timeout,
+    /// then close and account for discarded partial lines.
+    fn finish(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if conn.pending_write() > 0 {
+                    let pending = conn.write_buf[conn.write_pos..].to_vec();
+                    let _ = conn.stream.set_nonblocking(false);
+                    let _ = conn
+                        .stream
+                        .set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = conn.stream.write_all(&pending);
+                    conn.write_pos = conn.write_buf.len();
+                }
+            }
+            self.close_conn(token, true);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64, count_partial: bool) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if let Some(id) = conn.idle_timer {
+            self.timers.cancel(id);
+        }
+        if let Some(id) = conn.stall_timer {
+            self.timers.cancel(id);
+        }
+        if let ConnPhase::Parked { ticket, timer, .. } = conn.phase {
+            self.timers.cancel(timer);
+            self.parked.remove(&ticket.raw());
+            // The connection died while parked: nobody to answer, so no
+            // shed accounting either.
+            self.state.admission.forget_ticket(ticket);
+        }
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if count_partial && !conn.read_buf.is_empty() {
+            self.state
+                .counters
+                .truncated_requests
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        self.state
+            .counters
+            .open_connections
+            .fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -504,105 +1336,60 @@ fn shed_reason_text(reason: ShedReason) -> &'static str {
     }
 }
 
-/// Dispatches one request line; returns the reply and whether this request
-/// asked for shutdown.
-fn handle_request(state: &ServerState, conn_id: u64, line: &str) -> (String, bool) {
+/// Executes one admitted chargeable request on a worker thread. The
+/// admission permit is held by the caller ([`worker_loop`]) across this
+/// call, covering cache waits and batched execution alike.
+fn execute_chargeable(state: &ServerState, req: &Request) -> String {
     let fail = |msg: &str| {
         state.counters.errors.fetch_add(1, Ordering::SeqCst);
-        (error_reply(msg), false)
-    };
-    let req = match parse_request(line) {
-        Ok(req) => req,
-        Err(msg) => return fail(&msg),
+        error_reply(msg)
     };
     match req {
-        Request::Stats => (ok_stats(state.stats_json()), false),
-        Request::Shutdown => (ok_shutdown(), true),
-        Request::Estimate(inner) => {
+        Request::Artefact { name, scale } => {
             state
                 .counters
-                .estimate_requests
+                .artefact_requests
                 .fetch_add(1, Ordering::SeqCst);
-            // The parser only admits chargeable inner requests, and the
-            // reply uses the same `charge` the controller levies — the
-            // estimate and the eventual admission charge cannot diverge.
-            let est = CostModel::committed()
-                .charge(&inner)
-                .expect("estimate inner request is chargeable");
-            (
-                ok_estimate(
-                    est.class.name(),
-                    est.cost,
-                    state.admission.would_admit(conn_id, est.cost),
-                ),
-                false,
-            )
+            match serve_artefact(state, name, *scale) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => ok_artefact(name, text),
+                    Err(_) => fail("artefact bytes are not UTF-8"),
+                },
+                Err(msg) => fail(&msg),
+            }
         }
-        chargeable => {
-            let est = CostModel::committed()
-                .charge(&chargeable)
-                .expect("artefact/sim/compile are chargeable");
-            // Admission happens before any compute: a shed request costs
-            // the daemon one formula evaluation, nothing more. The permit
-            // is held (RAII) until the reply is built, covering cache
-            // waits and batched execution alike.
-            let _permit = match state.admission.admit(conn_id, est.cost) {
-                Ok(permit) => permit,
-                Err(shed) => {
-                    return (
-                        overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
-                        false,
-                    )
-                }
-            };
-            match chargeable {
-                Request::Artefact { name, scale } => {
-                    state
-                        .counters
-                        .artefact_requests
-                        .fetch_add(1, Ordering::SeqCst);
-                    match serve_artefact(state, &name, scale) {
-                        Ok(bytes) => match std::str::from_utf8(&bytes) {
-                            Ok(text) => (ok_artefact(&name, text), false),
-                            Err(_) => fail("artefact bytes are not UTF-8"),
-                        },
-                        Err(msg) => fail(&msg),
-                    }
-                }
-                Request::Compile { source, spec } => {
-                    state
-                        .counters
-                        .compile_requests
-                        .fetch_add(1, Ordering::SeqCst);
-                    match serve_compile(state, &source, &spec) {
-                        Ok(bytes) => match std::str::from_utf8(&bytes) {
-                            Ok(text) => (ok_compile(text), false),
-                            Err(_) => fail("compile bytes are not UTF-8"),
-                        },
-                        Err((msg, line, col)) => {
-                            state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                            (error_reply_at(&msg, line, col), false)
-                        }
-                    }
-                }
-                Request::Sim {
-                    kernel,
-                    scale,
-                    spec,
-                } => {
-                    state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
-                    match serve_sim(state, &kernel, scale, &spec) {
-                        Ok(bytes) => match std::str::from_utf8(&bytes) {
-                            Ok(fragment) => (ok_sim(&kernel, fragment), false),
-                            Err(_) => fail("report bytes are not UTF-8"),
-                        },
-                        Err(msg) => fail(&msg),
-                    }
-                }
-                Request::Estimate(_) | Request::Stats | Request::Shutdown => {
-                    unreachable!("control-plane ops are handled before admission")
+        Request::Compile { source, spec } => {
+            state
+                .counters
+                .compile_requests
+                .fetch_add(1, Ordering::SeqCst);
+            match serve_compile(state, source, spec) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => ok_compile(text),
+                    Err(_) => fail("compile bytes are not UTF-8"),
+                },
+                Err((msg, line, col)) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    error_reply_at(&msg, line, col)
                 }
             }
+        }
+        Request::Sim {
+            kernel,
+            scale,
+            spec,
+        } => {
+            state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
+            match serve_sim(state, kernel, *scale, spec) {
+                Ok(bytes) => match std::str::from_utf8(&bytes) {
+                    Ok(fragment) => ok_sim(kernel, fragment),
+                    Err(_) => fail("report bytes are not UTF-8"),
+                },
+                Err(msg) => fail(&msg),
+            }
+        }
+        Request::Estimate(_) | Request::Stats | Request::Shutdown => {
+            unreachable!("control-plane ops are served inline by the event loop")
         }
     }
 }
