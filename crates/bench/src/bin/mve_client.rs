@@ -8,9 +8,20 @@
 //! mve-client [--port N] [--flood N] compile FILE.mvel [--scheme S] [--ooo]
 //!            [--no-mode-switch] [--no-cache-warming]
 //! mve-client [--port N] estimate (artefact NAME | sim KERNEL | compile FILE) [...]
-//! mve-client [--port N] stats
+//! mve-client [--port N] stats [--watch SECS] [--samples N]
+//! mve-client [--port N] metrics [--check]
+//! mve-client [--port N] trace
 //! mve-client [--port N] shutdown
 //! ```
+//!
+//! `metrics` prints the daemon's Prometheus text exposition; `--check`
+//! additionally validates it with the strict `mve_obs` parser and
+//! cross-checks the stable counters against the `stats` reply (the CI
+//! scrape step). `trace` prints the last-256 request trace ring, one
+//! JSON record per line. `stats --watch SECS` polls the `metrics` op
+//! every SECS seconds and prints one compact delta line per interval
+//! (req/s, hit rate, p99 service µs computed client-side from the
+//! exposition's histogram buckets); `--samples N` stops after N lines.
 //!
 //! `compile` ships the `.mvel` source to the daemon, which parses, lowers,
 //! schedules, allocates, executes, checks and times it (single-flight
@@ -40,11 +51,14 @@
 //! server and writes `DIR/<name>.txt` — CI diffs that tree byte-for-byte
 //! against `reproduce --smoke`.
 
+use std::time::{Duration, Instant};
+
 use mve_bench::artefacts;
 use mve_insram::Scheme;
 use mve_kernels::Scale;
+use mve_obs::metrics::{parse_exposition, quantile_from_log2_buckets, Exposition};
 use mve_serve::client::{replay_artefacts, Client, ClientError};
-use mve_serve::{Request, SimSpec};
+use mve_serve::{Json, Request, SimSpec};
 
 fn usage() -> ! {
     eprintln!(
@@ -53,7 +67,8 @@ fn usage() -> ! {
          [--connections N --duration-ms M] sim KERNEL [--paper] [--scheme S] [--arrays N] \
          [--ooo] [--no-mode-switch] [--no-cache-warming] | [--flood N] compile FILE.mvel \
          [--scheme S] [--ooo] [--no-mode-switch] [--no-cache-warming] | \
-         estimate (artefact|sim|compile) ... | stats | shutdown)"
+         estimate (artefact|sim|compile) ... | stats [--watch SECS] [--samples N] | \
+         metrics [--check] | trace | shutdown)"
     );
     std::process::exit(2);
 }
@@ -61,6 +76,186 @@ fn usage() -> ! {
 fn fail(e: impl std::fmt::Display) -> ! {
     eprintln!("mve-client: {e}");
     std::process::exit(1);
+}
+
+/// `--flag N` anywhere in the tail (used by `stats --watch/--samples`,
+/// which live after the subcommand word and so survive the global flag
+/// pass untouched).
+fn tail_flag(args: &[String], flag: &str) -> Option<u64> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.parse().unwrap_or_else(|_| usage()));
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            );
+        }
+    }
+    None
+}
+
+/// Sums the exposition's per-class `request_service_us` cumulative
+/// buckets into one raw (de-cumulated) log2 histogram, indexed so bucket
+/// `i` covers `(2^i, 2^(i+1)]` µs — the same convention as
+/// `quantile_from_log2_buckets`.
+fn service_buckets(exp: &Exposition) -> [u64; 64] {
+    let mut out = [0u64; 64];
+    // Buckets are cumulative within each labelled series; de-cumulate by
+    // tracking the previous cumulative count per class label.
+    let mut prev: Vec<(String, f64)> = Vec::new();
+    for s in exp
+        .samples
+        .iter()
+        .filter(|s| s.name == "mve_serve_request_service_us_bucket")
+    {
+        let le = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("");
+        let Ok(bound) = le.parse::<f64>() else {
+            continue; // "+Inf" duplicates _count
+        };
+        let class = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "class")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let before = match prev.iter_mut().find(|(c, _)| *c == class) {
+            Some(entry) => {
+                let p = entry.1;
+                entry.1 = s.value;
+                p
+            }
+            None => {
+                prev.push((class, s.value));
+                0.0
+            }
+        };
+        // le of log2 bucket i is 2^(i+1), so i = log2(le) - 1.
+        let idx = (bound.log2().round() as i64 - 1).max(0) as usize;
+        if idx < out.len() {
+            out[idx] += (s.value - before).max(0.0) as u64;
+        }
+    }
+    out
+}
+
+/// `stats --watch SECS`: polls the `metrics` op and prints one compact
+/// delta line per interval. The first poll is the baseline.
+fn watch_stats(client: &mut Client, secs: u64, samples: Option<u64>) -> ! {
+    let period = Duration::from_secs(secs.max(1));
+    let mut printed = 0u64;
+    let mut prev: Option<(Instant, f64, f64, f64, [u64; 64])> = None;
+    loop {
+        let text = client.metrics().unwrap_or_else(|e| fail(e));
+        let now = Instant::now();
+        let exp = parse_exposition(&text)
+            .unwrap_or_else(|e| fail(format!("daemon sent an invalid exposition: {e}")));
+        let value = |name: &str| exp.value(name, &[]).unwrap_or(0.0);
+        let (requests, hits, misses) = (
+            value("mve_serve_requests"),
+            value("mve_serve_hits"),
+            value("mve_serve_misses"),
+        );
+        let buckets = service_buckets(&exp);
+        match prev.take() {
+            None => println!(
+                "watching every {}s: requests={requests:.0} hits={hits:.0} misses={misses:.0}",
+                period.as_secs()
+            ),
+            Some((t0, req0, hits0, misses0, buckets0)) => {
+                let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+                let dreq = (requests - req0).max(0.0);
+                let (dh, dm) = ((hits - hits0).max(0.0), (misses - misses0).max(0.0));
+                let hit_rate = if dh + dm > 0.0 {
+                    100.0 * dh / (dh + dm)
+                } else {
+                    0.0
+                };
+                let delta: Vec<u64> = buckets
+                    .iter()
+                    .zip(buckets0.iter())
+                    .map(|(n, o)| n.saturating_sub(*o))
+                    .collect();
+                let p99 = quantile_from_log2_buckets(&delta, 0.99);
+                println!(
+                    "{:8.1} req/s  hit_rate {hit_rate:5.1}%  p99 {p99:8.0} us  (+{dreq:.0} req)",
+                    dreq / dt
+                );
+            }
+        }
+        printed += 1;
+        if samples.is_some_and(|n| printed >= n) {
+            std::process::exit(0);
+        }
+        prev = Some((now, requests, hits, misses, buckets));
+        std::thread::sleep(period);
+    }
+}
+
+/// `metrics --check`: validates the exposition with the strict parser and
+/// cross-checks it against the `stats` reply fetched on the same
+/// connection. Counters no control-plane op touches must agree exactly;
+/// `requests` itself advances with every op (the exposition counts its
+/// own request), so it is only checked as monotone.
+fn check_metrics(text: &str, stats: &Json) {
+    const STABLE: &[&str] = &[
+        "artefact_requests",
+        "sim_requests",
+        "compile_requests",
+        "hits",
+        "misses",
+        "evictions",
+        "admitted",
+        "queued",
+        "sheds",
+        "truncated_requests",
+        "faults_injected",
+    ];
+    let exp = parse_exposition(text)
+        .unwrap_or_else(|e| fail(format!("daemon sent an invalid exposition: {e}")));
+    let stat_counter = |key: &str| {
+        stats
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(format!("stats reply lacks counter `{key}`")))
+    };
+    for key in STABLE {
+        let name = format!("mve_serve_{key}");
+        let exposed = exp
+            .value(&name, &[])
+            .unwrap_or_else(|| fail(format!("exposition lacks `{name}`")));
+        let stat = stat_counter(key);
+        if exposed != stat as f64 {
+            fail(format!(
+                "counter `{key}` disagrees: metrics={exposed} stats={stat}"
+            ));
+        }
+    }
+    let exposed_requests = exp
+        .value("mve_serve_requests", &[])
+        .unwrap_or_else(|| fail("exposition lacks `mve_serve_requests`"));
+    let stat_requests = stat_counter("requests") as f64;
+    if stat_requests < exposed_requests {
+        fail(format!(
+            "`requests` went backwards: metrics={exposed_requests} then stats={stat_requests}"
+        ));
+    }
+    if exp.family_type("mve_serve_request_service_us") != Some("histogram") {
+        fail("`mve_serve_request_service_us` is not exposed as a histogram");
+    }
+    eprintln!(
+        "metrics check ok: {} families, {} samples, {} counters match stats",
+        exp.families.len(),
+        exp.samples.len(),
+        STABLE.len()
+    );
 }
 
 /// Parses the request-shaped tail of the command line (`artefact …`,
@@ -273,8 +468,28 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("stats") => {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            if let Some(secs) = tail_flag(&args[1..], "--watch") {
+                watch_stats(&mut client, secs, tail_flag(&args[1..], "--samples"));
+            }
             let stats = client.stats().unwrap_or_else(|e| fail(e));
             println!("{}", stats.encode());
+        }
+        Some("metrics") => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let text = client.metrics().unwrap_or_else(|e| fail(e));
+            print!("{text}");
+            if args[1..].iter().any(|a| a == "--check") {
+                let stats = client.stats().unwrap_or_else(|e| fail(e));
+                check_metrics(&text, &stats);
+            }
+        }
+        Some("trace") => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let traces = client.trace().unwrap_or_else(|e| fail(e));
+            for t in &traces {
+                println!("{}", t.encode());
+            }
+            eprintln!("{} trace records", traces.len());
         }
         Some("shutdown") => {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));

@@ -29,6 +29,12 @@
 //! `BENCH_engine.json` into the current directory, so each PR records the
 //! functional engine's throughput. `MVE_BENCH_FAST=1` shrinks the timing
 //! budgets for CI.
+//!
+//! `--profile` instead profiles the selected kernel set
+//! (`mve_bench::profiling`): the deterministic per-opcode-class report
+//! goes to `PROFILE_engine.txt` (committed, byte-diffed in CI) and a
+//! Chrome trace-event export with real wall-clock slices goes to
+//! `PROFILE_engine.chrome.json` (gitignored). `--paper` raises the scale.
 
 use std::fs;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -102,6 +108,37 @@ fn run_artefact(name: &str, scale: Scale, out_dir: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--profile") {
+        // Engine profiling over the selected kernel set: the committed,
+        // deterministic per-class report plus a Chrome trace-event export
+        // (wall-clock; never committed — load it in chrome://tracing).
+        let scale = if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Test
+        };
+        let profiles = mve_bench::profiling::profile_selected(scale);
+        for p in &profiles {
+            eprintln!(
+                "  {:12} {:>9} events  {:>11} cycles  run {:>8.1?}  sim {:>8.1?}",
+                p.name,
+                p.sink.total_events(),
+                p.total_cycles,
+                p.run_wall,
+                p.sim_wall
+            );
+        }
+        let report = mve_bench::profiling::render_report(&profiles, scale);
+        fs::write("PROFILE_engine.txt", report.as_bytes()).expect("write PROFILE_engine.txt");
+        let chrome = mve_bench::profiling::chrome_trace(&profiles);
+        fs::write("PROFILE_engine.chrome.json", chrome.as_bytes())
+            .expect("write PROFILE_engine.chrome.json");
+        eprintln!(
+            "wrote PROFILE_engine.txt ({} kernels) and PROFILE_engine.chrome.json",
+            profiles.len()
+        );
+        return;
+    }
     if args.iter().any(|a| a == "--json") {
         let results = mve_bench::perf::run_engine_hot();
         for r in &results {

@@ -6,8 +6,12 @@
 //! serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch]
 //!       [--budget-units N] [--queue-cap N] [--queue-deadline-ms N]
 //!       [--fair-share-pct N] [--idle-timeout-ms N] [--write-stall-ms N]
-//!       [--poller epoll|poll]
+//!       [--poller epoll|poll] [--log-level error|warn|info|debug|off]
 //! ```
+//!
+//! `--log-level` sets the structured NDJSON log threshold on stderr
+//! (overriding the `MVE_LOG` environment variable); with neither set,
+//! logging is off and every log site is a single atomic load.
 //!
 //! The admission flags bound what the daemon accepts (see DESIGN.md,
 //! "Overload behavior"): `--budget-units` caps the total in-flight cost
@@ -56,9 +60,30 @@ fn usage(flag: &str) -> ! {
     eprintln!(
         "usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch] \
          [--budget-units N] [--queue-cap N] [--queue-deadline-ms N] [--fair-share-pct N] \
-         [--idle-timeout-ms N] [--write-stall-ms N] [--poller epoll|poll]"
+         [--idle-timeout-ms N] [--write-stall-ms N] [--poller epoll|poll] \
+         [--log-level error|warn|info|debug|off]"
     );
     std::process::exit(2);
+}
+
+/// `--log-level LEVEL` overrides the `MVE_LOG` environment variable.
+fn apply_log_level(args: &[String]) {
+    for (i, a) in args.iter().enumerate() {
+        let value = a
+            .strip_prefix("--log-level=")
+            .map(str::to_owned)
+            .or_else(|| (a == "--log-level").then(|| args.get(i + 1).cloned().unwrap_or_default()));
+        if let Some(value) = value {
+            match mve_obs::Level::parse(&value) {
+                Some(level) => mve_obs::log::set_level(level),
+                None => {
+                    eprintln!("--log-level must be one of error|warn|info|debug|off");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+    }
 }
 
 /// `--poller epoll|poll`, defaulting to `Auto` (which also honors the
@@ -109,6 +134,7 @@ mod sigterm {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    apply_log_level(&args);
     let default_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2);

@@ -26,6 +26,7 @@ pub mod dslcorpus;
 pub mod figures;
 pub mod perf;
 pub mod platform;
+pub mod profiling;
 pub mod tables;
 
 /// Formats a fraction as a percentage string.

@@ -81,7 +81,10 @@ const LANES: usize = 8192;
 /// excludes is tracked in its own right rather than lost — plus the
 /// ISSUE-7 `serve_admission_roundtrip` workload (one cost-model charge +
 /// budget admit + permit release), the per-request overhead admission
-/// control adds ahead of every chargeable op.
+/// control adds ahead of every chargeable op — plus the ISSUE-9
+/// `log_gate_disabled_add_8192` workload, `binop_add_8192` with structured
+/// logging forced off, proving the per-event log gate (one relaxed atomic
+/// load) costs nothing when logging is disabled.
 pub fn engine_hot_benches() -> Vec<HotBench> {
     let mut out = Vec::new();
 
@@ -389,6 +392,30 @@ pub fn engine_hot_benches() -> Vec<HotBench> {
                 let est = model.charge(&req).expect("sim is chargeable");
                 let permit = controller.admit(0, est.cost).expect("ample budget");
                 drop(permit);
+            }),
+        });
+    }
+
+    // ISSUE-9 log gate: `binop_add_8192` re-run with structured logging
+    // explicitly off — every engine event still executes its
+    // `mve_obs::log::enabled(Debug)` check (one relaxed atomic load), so
+    // the delta against `binop_add_8192` is the cost of instrumenting the
+    // hot path when nobody is listening. The acceptance bar is "within
+    // noise of zero".
+    {
+        mve_obs::log::set_level(None);
+        let mut e = Engine::default_mobile();
+        e.vsetdimc(1);
+        e.vsetdiml(0, LANES);
+        let x = e.vsetdup_dw(3);
+        let y = e.vsetdup_dw(4);
+        out.push(HotBench {
+            name: "log_gate_disabled_add_8192",
+            elems: LANES as u64,
+            run: Box::new(move || {
+                let r = e.binop(Opcode::Add, BinOp::Add, x, y);
+                e.free(r);
+                e.clear_trace();
             }),
         });
     }

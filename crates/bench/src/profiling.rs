@@ -1,0 +1,251 @@
+//! `reproduce --profile` — per-kernel engine profiles.
+//!
+//! Runs the selected kernel set with a [`ProfilingSink`] attached,
+//! attributing simulated events, active lanes and touched cache lines to
+//! the Figure 11 opcode classes, plus per-opcode dynamic counts and the
+//! timing simulator's cycle totals.
+//!
+//! Two renders come out of one profiling pass:
+//!
+//! * [`render_report`] — fully deterministic (no wall-clock anywhere),
+//!   committed at the repo root as `PROFILE_engine.txt` and byte-diffed
+//!   in CI (two consecutive runs must agree, and the regenerated file
+//!   must match the committed copy);
+//! * [`chrome_trace`] — a Chrome trace-event (catapult) JSON document
+//!   with real wall-clock slices per kernel (execute + simulate), loadable
+//!   in `chrome://tracing`/Perfetto. Wall times vary run to run, so this
+//!   render is schema-validated in tests but never committed.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mve_core::profile::ProfilingSink;
+use mve_core::sim::{simulate, SimConfig};
+use mve_core::trace::TraceSink;
+use mve_kernels::registry::selected_kernels;
+use mve_kernels::Scale;
+use mve_obs::log::FieldValue;
+use mve_obs::ChromeTrace;
+
+/// One kernel's profile: deterministic attribution plus wall-clock.
+pub struct KernelProfile {
+    pub name: &'static str,
+    /// Per-class / per-opcode attribution (replayed from the trace, so
+    /// the counts are exactly the engine's emitted stream).
+    pub sink: ProfilingSink,
+    /// Wall-clock of the functional run (trace production + check).
+    pub run_wall: Duration,
+    /// Wall-clock of the timing simulation over the trace.
+    pub sim_wall: Duration,
+    /// Simulated total cycles under the default configuration.
+    pub total_cycles: u64,
+    /// Dynamic vector / scalar instruction counts.
+    pub vector_instrs: u64,
+    pub scalar_instrs: u64,
+}
+
+/// Profiles every selected kernel at `scale`.
+pub fn profile_selected(scale: Scale) -> Vec<KernelProfile> {
+    selected_kernels()
+        .iter()
+        .map(|k| {
+            let name = k.info().name;
+            let t0 = Instant::now();
+            let run = k.run_mve(scale);
+            let run_wall = t0.elapsed();
+            assert!(
+                run.checked.ok(),
+                "{name}: functional check failed {:?}",
+                run.checked
+            );
+            let mut sink = ProfilingSink::new();
+            for event in run.trace.events() {
+                sink.on_event(event);
+            }
+            let t1 = Instant::now();
+            let report = simulate(&run.trace, &SimConfig::default());
+            let sim_wall = t1.elapsed();
+            let mix = run.trace.instr_mix();
+            KernelProfile {
+                name,
+                sink,
+                run_wall,
+                sim_wall,
+                total_cycles: report.total_cycles,
+                vector_instrs: report.vector_instrs,
+                scalar_instrs: mix.scalar,
+            }
+        })
+        .collect()
+}
+
+/// The committed profile report: per-kernel class attribution, opcode
+/// counts and simulated cycles. Deterministic for a fixed kernel set and
+/// scale — no wall-clock figure appears anywhere in these bytes.
+pub fn render_report(profiles: &[KernelProfile], scale: Scale) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "engine profile — selected kernel set @ {} scale (default SimConfig)",
+        scale_label(scale)
+    );
+    let _ = writeln!(
+        s,
+        "columns: events / active-lane sum / touched cache lines per Figure 11 class"
+    );
+    for p in profiles {
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "kernel {}: events={} vector_instrs={} scalar_instrs={} sim_cycles={}",
+            p.name,
+            p.sink.total_events(),
+            p.vector_instrs,
+            p.scalar_instrs,
+            p.total_cycles
+        );
+        for (class, c) in p.sink.classes() {
+            let _ = writeln!(
+                s,
+                "  class {class:<10} events={} lanes={} lines={}",
+                c.events, c.active_lanes, c.cache_lines
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  class {:<10} events={} instrs={}",
+            "scalar",
+            p.sink.scalar_blocks(),
+            p.sink.scalar_instrs()
+        );
+        let ops: Vec<String> = p
+            .sink
+            .opcode_counts()
+            .map(|(op, n)| format!("{op}={n}"))
+            .collect();
+        let _ = writeln!(s, "  opcodes: {}", ops.join(" "));
+    }
+    s
+}
+
+/// The Chrome trace-event export: one track per kernel, a `run` slice
+/// (functional execution) followed by a `simulate` slice, each annotated
+/// with the deterministic counters. Wall-clock is real, so these bytes
+/// change run to run.
+pub fn chrome_trace(profiles: &[KernelProfile]) -> String {
+    const PID: u64 = 1;
+    let mut t = ChromeTrace::new();
+    let mut cursor = 0.0f64;
+    for (i, p) in profiles.iter().enumerate() {
+        let tid = i as u64 + 1;
+        t.name_thread(PID, tid, p.name);
+        let run_us = p.run_wall.as_secs_f64() * 1e6;
+        let sim_us = p.sim_wall.as_secs_f64() * 1e6;
+        t.complete(
+            "run",
+            "engine",
+            cursor,
+            run_us,
+            PID,
+            tid,
+            &[
+                ("events", FieldValue::U64(p.sink.total_events())),
+                ("vector_instrs", FieldValue::U64(p.vector_instrs)),
+                ("scalar_instrs", FieldValue::U64(p.scalar_instrs)),
+            ],
+        );
+        t.complete(
+            "simulate",
+            "sim",
+            cursor + run_us,
+            sim_us,
+            PID,
+            tid,
+            &[("total_cycles", FieldValue::U64(p.total_cycles))],
+        );
+        t.instant(
+            "done",
+            "sim",
+            cursor + run_us + sim_us,
+            PID,
+            tid,
+            &[("kernel", FieldValue::Str(p.name.to_owned()))],
+        );
+        cursor += run_us + sim_us;
+    }
+    t.render()
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_profile() -> Vec<KernelProfile> {
+        let all = profile_selected(Scale::Test);
+        assert!(!all.is_empty());
+        all
+    }
+
+    #[test]
+    fn report_is_deterministic_and_wall_free() {
+        let a = render_report(&one_profile(), Scale::Test);
+        let b = render_report(&one_profile(), Scale::Test);
+        assert_eq!(a, b, "profile report must be byte-stable across runs");
+        assert!(
+            !a.contains("wall"),
+            "no wall-clock may leak into the report"
+        );
+        assert!(a.contains("kernel csum:") || a.contains("kernel "));
+        assert!(a.contains("class arithmetic"));
+        assert!(a.contains("opcodes: "));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_trace_event_json() {
+        let doc = chrome_trace(&one_profile());
+        // Validate against the trace-event JSON object format: the
+        // document must parse, expose a traceEvents array, and every
+        // event must carry the required members (complete events add a
+        // numeric dur; metadata events are thread_name records).
+        let parsed = mve_serve::json::Json::parse(&doc).expect("chrome trace must be valid JSON");
+        let events = match parsed.get("traceEvents") {
+            Some(mve_serve::json::Json::Arr(items)) => items,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert!(!events.is_empty());
+        for e in events {
+            let ph = e
+                .get("ph")
+                .and_then(mve_serve::json::Json::as_str)
+                .expect("event lacks ph");
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+            match ph {
+                "X" => {
+                    assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                    assert!(e.get("name").is_some() && e.get("cat").is_some());
+                }
+                "i" => {
+                    assert!(e.get("ts").is_some());
+                    assert_eq!(
+                        e.get("s").and_then(mve_serve::json::Json::as_str),
+                        Some("t")
+                    );
+                }
+                "M" => {
+                    assert_eq!(
+                        e.get("name").and_then(mve_serve::json::Json::as_str),
+                        Some("thread_name")
+                    );
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@ use crate::layout::LogicalShape;
 use crate::mem::{MemScalar, Memory};
 use crate::trace::{alu_op_for, Event, Trace, TraceSink};
 use mve_insram::scheme::EngineGeometry;
+use mve_obs::{logev, Level};
 
 /// A handle to a live in-cache physical register.
 ///
@@ -390,7 +391,61 @@ impl Engine {
     /// paths can reclaim owned buffers (e.g. the touched-line vector) —
     /// streaming sinks borrow the event, so nothing is cloned unless the
     /// sink itself stores it (as the owned [`Trace`] does).
+    ///
+    /// With `MVE_LOG=debug` every event also emits a structured log line;
+    /// otherwise the hook is a single relaxed atomic load (the `logev!`
+    /// gate), which the `log_gate_disabled` perf workload pins.
     fn emit(&mut self, event: Event) -> Event {
+        if mve_obs::log::enabled(mve_obs::Level::Debug) {
+            match &event {
+                Event::Config { opcode } => {
+                    logev!(
+                        Level::Debug,
+                        "engine.event",
+                        kind = "config",
+                        op = opcode.mnemonic()
+                    );
+                }
+                Event::Compute {
+                    opcode,
+                    active_lanes,
+                    ..
+                } => {
+                    logev!(
+                        Level::Debug,
+                        "engine.event",
+                        kind = "compute",
+                        op = opcode.mnemonic(),
+                        lanes = u64::from(*active_lanes),
+                    );
+                }
+                Event::Memory {
+                    opcode,
+                    active_lanes,
+                    lines,
+                    write,
+                    ..
+                } => {
+                    logev!(
+                        Level::Debug,
+                        "engine.event",
+                        kind = "memory",
+                        op = opcode.mnemonic(),
+                        lanes = u64::from(*active_lanes),
+                        lines = lines.len() as u64,
+                        write = *write,
+                    );
+                }
+                Event::Scalar { instrs } => {
+                    logev!(
+                        Level::Debug,
+                        "engine.event",
+                        kind = "scalar",
+                        instrs = *instrs
+                    );
+                }
+            }
+        }
         self.sink.on_event(&event);
         event
     }

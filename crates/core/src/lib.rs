@@ -65,6 +65,7 @@ pub mod intrinsics;
 pub mod isa;
 pub mod layout;
 pub mod mem;
+pub mod profile;
 pub mod sim;
 pub mod trace;
 

@@ -1,0 +1,214 @@
+//! Engine profiling.
+//!
+//! [`ProfilingSink`] is a [`TraceSink`] that attributes work to the
+//! Figure 11 opcode classes as the functional engine streams events
+//! through it: simulated-event counts, active-lane totals and touched
+//! cache lines per class (all deterministic for a fixed kernel), plus
+//! event-driven wall-clock attribution — the gap since the previous
+//! event is charged to the class of the arriving one, so host time
+//! spent *producing* an event lands in that event's bucket.
+//!
+//! The deterministic counts feed the committed `reproduce --profile`
+//! report (byte-diffed in CI); the wall figures feed the Chrome
+//! trace-event export (`mve_obs::ChromeTrace`), which is validated but
+//! never committed.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::isa::OpClass;
+use crate::trace::{Event, TraceSink};
+
+/// Profile-report names of the [`OpClass`] buckets, in enum order.
+pub const CLASS_NAMES: [&str; 4] = ["config", "move", "mem_access", "arithmetic"];
+
+/// Per-class attribution accumulated by [`ProfilingSink`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassProfile {
+    /// Events observed (uncoalesced, as the engine emits them).
+    pub events: u64,
+    /// Sum of active SIMD lanes across compute/memory events.
+    pub active_lanes: u64,
+    /// Deduplicated cache lines touched (memory events only).
+    pub cache_lines: u64,
+    /// Event-driven wall-clock charged to this class.
+    pub wall: Duration,
+}
+
+/// A streaming per-opcode-class profiler, attachable to any engine run
+/// via [`crate::engine::Engine::with_sink`].
+#[derive(Debug, Default)]
+pub struct ProfilingSink {
+    classes: [ClassProfile; 4],
+    /// Dynamic scalar instructions (from scalar blocks).
+    scalar_instrs: u64,
+    /// Scalar block events and the wall charged to them.
+    scalar_blocks: u64,
+    scalar_wall: Duration,
+    /// Per-opcode event counts, keyed by mnemonic (deterministic order).
+    opcodes: BTreeMap<&'static str, u64>,
+    last_event: Option<Instant>,
+}
+
+impl ProfilingSink {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The attribution for one opcode class.
+    pub fn class(&self, class: OpClass) -> ClassProfile {
+        self.classes[class_idx(class)]
+    }
+
+    /// `(class name, profile)` in [`CLASS_NAMES`] order.
+    pub fn classes(&self) -> [(&'static str, ClassProfile); 4] {
+        [
+            (CLASS_NAMES[0], self.classes[0]),
+            (CLASS_NAMES[1], self.classes[1]),
+            (CLASS_NAMES[2], self.classes[2]),
+            (CLASS_NAMES[3], self.classes[3]),
+        ]
+    }
+
+    /// Dynamic scalar instruction count.
+    pub fn scalar_instrs(&self) -> u64 {
+        self.scalar_instrs
+    }
+
+    /// Scalar block events observed.
+    pub fn scalar_blocks(&self) -> u64 {
+        self.scalar_blocks
+    }
+
+    /// Wall-clock charged to scalar blocks.
+    pub fn scalar_wall(&self) -> Duration {
+        self.scalar_wall
+    }
+
+    /// Total events observed (vector classes + scalar blocks).
+    pub fn total_events(&self) -> u64 {
+        self.classes.iter().map(|c| c.events).sum::<u64>() + self.scalar_blocks
+    }
+
+    /// Total wall-clock attributed across every bucket.
+    pub fn total_wall(&self) -> Duration {
+        self.classes.iter().map(|c| c.wall).sum::<Duration>() + self.scalar_wall
+    }
+
+    /// Per-opcode event counts in deterministic (mnemonic) order.
+    pub fn opcode_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.opcodes.iter().map(|(&name, &count)| (name, count))
+    }
+}
+
+fn class_idx(class: OpClass) -> usize {
+    match class {
+        OpClass::Config => 0,
+        OpClass::Move => 1,
+        OpClass::MemAccess => 2,
+        OpClass::Arithmetic => 3,
+    }
+}
+
+impl TraceSink for ProfilingSink {
+    fn on_event(&mut self, event: &Event) {
+        let now = Instant::now();
+        let gap = self
+            .last_event
+            .map(|last| now.saturating_duration_since(last))
+            .unwrap_or(Duration::ZERO);
+        self.last_event = Some(now);
+        match event {
+            Event::Config { opcode } => {
+                let c = &mut self.classes[0];
+                c.events += 1;
+                c.wall += gap;
+                *self.opcodes.entry(opcode.mnemonic()).or_insert(0) += 1;
+            }
+            Event::Compute {
+                opcode,
+                active_lanes,
+                ..
+            } => {
+                let c = &mut self.classes[class_idx(opcode.class())];
+                c.events += 1;
+                c.active_lanes += u64::from(*active_lanes);
+                c.wall += gap;
+                *self.opcodes.entry(opcode.mnemonic()).or_insert(0) += 1;
+            }
+            Event::Memory {
+                opcode,
+                active_lanes,
+                lines,
+                ..
+            } => {
+                let c = &mut self.classes[class_idx(opcode.class())];
+                c.events += 1;
+                c.active_lanes += u64::from(*active_lanes);
+                c.cache_lines += lines.len() as u64;
+                c.wall += gap;
+                *self.opcodes.entry(opcode.mnemonic()).or_insert(0) += 1;
+            }
+            Event::Scalar { instrs } => {
+                self.scalar_blocks += 1;
+                self.scalar_instrs += instrs;
+                self.scalar_wall += gap;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::isa::Opcode;
+    use mve_insram::AluOp;
+
+    #[test]
+    fn attributes_events_to_classes_and_opcodes() {
+        let mut p = ProfilingSink::new();
+        p.on_event(&Event::Config {
+            opcode: Opcode::SetDimCount,
+        });
+        p.on_event(&Event::Compute {
+            opcode: Opcode::Add,
+            alu: AluOp::Add,
+            dtype: DType::I32,
+            active_lanes: 128,
+            cb_mask: 1,
+        });
+        p.on_event(&Event::Memory {
+            opcode: Opcode::StridedLoad,
+            dtype: DType::I32,
+            active_lanes: 64,
+            cb_mask: 1,
+            lines: vec![0, 64, 128],
+            write: false,
+        });
+        p.on_event(&Event::Scalar { instrs: 7 });
+        assert_eq!(p.class(OpClass::Config).events, 1);
+        assert_eq!(p.class(OpClass::Arithmetic).events, 1);
+        assert_eq!(p.class(OpClass::Arithmetic).active_lanes, 128);
+        assert_eq!(p.class(OpClass::MemAccess).cache_lines, 3);
+        assert_eq!(p.scalar_instrs(), 7);
+        assert_eq!(p.total_events(), 4);
+        let ops: Vec<_> = p.opcode_counts().collect();
+        // BTreeMap keys: mnemonic order is deterministic.
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn wall_attribution_covers_every_gap() {
+        let mut p = ProfilingSink::new();
+        for _ in 0..10 {
+            p.on_event(&Event::Scalar { instrs: 1 });
+        }
+        // First event gets a zero gap; the rest charge their inter-event
+        // time, so the total is bounded by the whole loop's wall.
+        assert_eq!(p.scalar_blocks(), 10);
+        assert_eq!(p.total_wall(), p.scalar_wall());
+    }
+}

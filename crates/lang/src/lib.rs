@@ -57,8 +57,8 @@ pub use ast::{pretty, KernelAst};
 pub use diag::{Diag, Span, Spanned};
 pub use eval::interpret;
 pub use lower::lower;
-pub use parse::parse;
+pub use parse::{parse, parse_tokens};
 pub use run::{
-    compare_outputs, compile, compile_and_render, run_checked, Bindings, CheckOutcome,
-    CompiledKernel, Executor, RawOutputs,
+    compare_outputs, compile, compile_and_render, compile_and_render_timed, compile_timed,
+    run_checked, Bindings, CheckOutcome, CompilePhases, CompiledKernel, Executor, RawOutputs,
 };

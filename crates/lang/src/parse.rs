@@ -660,7 +660,12 @@ impl Parser {
 
 /// Parses one `.mvel` kernel.
 pub fn parse(source: &str) -> Result<KernelAst, Diag> {
-    let toks = lex(source)?;
+    parse_tokens(lex(source)?)
+}
+
+/// Parses an already-lexed token stream — the split lets callers time the
+/// lex and parse phases independently (`mve_lang::compile_timed`).
+pub fn parse_tokens(toks: Vec<Token>) -> Result<KernelAst, Diag> {
     let mut p = Parser {
         toks,
         pos: 0,

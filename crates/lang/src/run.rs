@@ -23,12 +23,14 @@
 //! and the partial sum simultaneously).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use crate::ast::{dtype_name, KernelAst};
 use crate::diag::Diag;
 use crate::eval::interpret;
+use crate::lex::lex;
 use crate::lower::lower;
-use crate::parse::parse;
+use crate::parse::parse_tokens;
 use mve_core::compiler::{
     allocate, liveness, register_budget, schedule, Action, IrOp, ParamKind, Program, Sem,
     SplatSource, VReg, SPILL_RELOAD, SPILL_STORE,
@@ -118,10 +120,53 @@ pub struct CompiledKernel {
     pub source_digest: u64,
 }
 
+/// Wall-clock spent in each compile phase, as measured by
+/// [`compile_timed`]. Liveness analysis and the register-budget check
+/// count toward `schedule` (they are scheduling prep); the post-allocation
+/// scratch-budget check counts toward `allocate`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompilePhases {
+    pub lex: Duration,
+    pub parse: Duration,
+    pub lower: Duration,
+    pub schedule: Duration,
+    pub allocate: Duration,
+}
+
+impl CompilePhases {
+    /// `(phase name, duration)` pairs in pipeline order.
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("lex", self.lex),
+            ("parse", self.parse),
+            ("lower", self.lower),
+            ("schedule", self.schedule),
+            ("allocate", self.allocate),
+        ]
+    }
+}
+
 /// Compiles `.mvel` source end-to-end.
 pub fn compile(source: &str) -> Result<CompiledKernel, Diag> {
-    let ast = parse(source)?;
+    compile_timed(source).map(|(ck, _)| ck)
+}
+
+/// [`compile`], plus per-phase wall-clock timings — the serve `compile`
+/// reply surfaces these for cache-miss compiles.
+pub fn compile_timed(source: &str) -> Result<(CompiledKernel, CompilePhases), Diag> {
+    let mut phases = CompilePhases::default();
+    let mut mark = Instant::now();
+    let mut stamp = |slot: &mut Duration| {
+        let now = Instant::now();
+        *slot = now.duration_since(mark);
+        mark = now;
+    };
+    let toks = lex(source)?;
+    stamp(&mut phases.lex);
+    let ast = parse_tokens(toks)?;
+    stamp(&mut phases.parse);
     let program = lower(&ast)?;
+    stamp(&mut phases.lower);
     let lv = liveness(&program.ops);
     let kernel_width = lv.kernel_width;
     let capacity = register_budget(
@@ -152,6 +197,7 @@ pub fn compile(source: &str) -> Result<CompiledKernel, Diag> {
         )));
     }
     let scheduled = schedule(&program.ops);
+    stamp(&mut phases.schedule);
     let alloc = allocate(&scheduled, budget)
         .map_err(|e| Diag::nowhere(format!("register allocation failed: {e}")))?;
     // Total functional-memory demand — buffers plus the executor's spill
@@ -168,18 +214,22 @@ pub fn compile(source: &str) -> Result<CompiledKernel, Diag> {
             MEMORY_BUDGET_BYTES >> 20
         )));
     }
-    Ok(CompiledKernel {
-        source_digest: fnv1a_64(source.as_bytes()),
-        ast,
-        code: alloc.code,
-        kernel_width,
-        capacity,
-        reserved,
-        budget,
-        spill_stores: alloc.spill_stores,
-        reloads: alloc.reloads,
-        program,
-    })
+    stamp(&mut phases.allocate);
+    Ok((
+        CompiledKernel {
+            source_digest: fnv1a_64(source.as_bytes()),
+            ast,
+            code: alloc.code,
+            kernel_width,
+            capacity,
+            reserved,
+            budget,
+            spill_stores: alloc.spill_stores,
+            reloads: alloc.reloads,
+            program,
+        },
+        phases,
+    ))
 }
 
 /// Runtime parameter bindings: one raw scalar and one raw element vector
@@ -737,8 +787,18 @@ pub fn run_checked(
 /// `reproduce --dsl` outputs and the serve `compile` reply are all this
 /// function's bytes.
 pub fn compile_and_render(source: &str, cfg: &SimConfig) -> Result<String, Diag> {
+    compile_and_render_timed(source, cfg).map(|(text, _)| text)
+}
+
+/// [`compile_and_render`], plus the per-phase compile timings. The
+/// rendered text is byte-identical to [`compile_and_render`] — timings
+/// ride alongside, never inside, the deterministic artefact.
+pub fn compile_and_render_timed(
+    source: &str,
+    cfg: &SimConfig,
+) -> Result<(String, CompilePhases), Diag> {
     use std::fmt::Write as _;
-    let ck = compile(source)?;
+    let (ck, phases) = compile_timed(source)?;
     let bindings = Bindings::deterministic(&ck.program);
     // Execute under the *timing* configuration's geometry, so the trace
     // and the simulation always agree on the array count (the serve
@@ -861,5 +921,5 @@ pub fn compile_and_render(source: &str, cfg: &SimConfig) -> Result<String, Diag>
         report.energy.array_active_cycles, report.energy.tmu_element_transfers
     );
     let _ = writeln!(s, "util: {:.6}", report.utilization());
-    Ok(s)
+    Ok((s, phases))
 }

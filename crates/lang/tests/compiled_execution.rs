@@ -400,3 +400,30 @@ fn deep_and_huge_expressions_are_diagnostics_not_stack_overflows() {
     };
     assert!(err.message.contains("nodes"), "{err}");
 }
+
+/// ISSUE-9 phase timing: `compile_timed` / `compile_and_render_timed`
+/// report per-phase durations without perturbing the compile — the
+/// rendered artefact is byte-identical to the untimed path, and every
+/// phase slot is populated with a name the observability docs promise.
+#[test]
+fn timed_compile_reports_phases_and_identical_bytes() {
+    let (ck, phases) = mve_lang::compile_timed(DOT).expect("compiles");
+    let untimed = compile(DOT).expect("compiles");
+    assert_eq!(
+        ck.program, untimed.program,
+        "timing must not change codegen"
+    );
+    let names: Vec<&str> = phases.phases().iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        ["lex", "parse", "lower", "schedule", "allocate"],
+        "stable phase vocabulary"
+    );
+    let total: std::time::Duration = phases.phases().iter().map(|(_, d)| *d).sum();
+    assert!(total > std::time::Duration::ZERO, "phases must be measured");
+
+    let cfg = SimConfig::default();
+    let (timed_text, _) = mve_lang::compile_and_render_timed(DOT, &cfg).expect("renders");
+    let untimed_text = mve_lang::compile_and_render(DOT, &cfg).expect("renders");
+    assert_eq!(timed_text, untimed_text, "rendered bytes must be identical");
+}

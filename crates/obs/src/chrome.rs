@@ -1,0 +1,185 @@
+//! Chrome trace-event (catapult) JSON export.
+//!
+//! Produces the "JSON object format" understood by `chrome://tracing`
+//! and Perfetto: `{"traceEvents": [...], "displayTimeUnit": "ms"}` where
+//! each event carries `name`/`cat`/`ph`/`ts`/`pid`/`tid` and complete
+//! events (`ph: "X"`) add `dur`. Timestamps and durations are in
+//! microseconds per the spec.
+
+use crate::log::{escape_json, FieldValue};
+use std::fmt::Write as _;
+
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a track (`tid`) inside a process (`pid`) via the standard
+    /// `thread_name` metadata event.
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+        );
+        escape_json(name, &mut e);
+        e.push_str("\"}}");
+        self.events.push(e);
+    }
+
+    /// Adds a complete event (`ph: "X"`): a slice from `ts_us` lasting
+    /// `dur_us` on track `(pid, tid)`. The parameter list mirrors the
+    /// trace-event field vocabulary one-to-one, wide as it is.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u64,
+        tid: u64,
+        args: &[(&str, FieldValue)],
+    ) {
+        self.events.push(Self::event(
+            name,
+            cat,
+            "X",
+            ts_us,
+            Some(dur_us),
+            pid,
+            tid,
+            args,
+        ));
+    }
+
+    /// Adds an instant event (`ph: "i"`, thread scope).
+    pub fn instant(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        pid: u64,
+        tid: u64,
+        args: &[(&str, FieldValue)],
+    ) {
+        self.events
+            .push(Self::event(name, cat, "i", ts_us, None, pid, tid, args));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn event(
+        name: &str,
+        cat: &str,
+        ph: &str,
+        ts_us: f64,
+        dur_us: Option<f64>,
+        pid: u64,
+        tid: u64,
+        args: &[(&str, FieldValue)],
+    ) -> String {
+        let mut e = String::with_capacity(96);
+        e.push_str("{\"name\":\"");
+        escape_json(name, &mut e);
+        e.push_str("\",\"cat\":\"");
+        escape_json(cat, &mut e);
+        let _ = write!(e, "\",\"ph\":\"{ph}\",\"ts\":{ts_us}");
+        if let Some(d) = dur_us {
+            let _ = write!(e, ",\"dur\":{d}");
+        }
+        let _ = write!(e, ",\"pid\":{pid},\"tid\":{tid}");
+        if ph == "i" {
+            e.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                e.push('"');
+                escape_json(k, &mut e);
+                e.push_str("\":");
+                match v {
+                    FieldValue::U64(v) => {
+                        let _ = write!(e, "{v}");
+                    }
+                    FieldValue::I64(v) => {
+                        let _ = write!(e, "{v}");
+                    }
+                    FieldValue::F64(v) if v.is_finite() => {
+                        let _ = write!(e, "{v}");
+                    }
+                    FieldValue::F64(_) => e.push_str("null"),
+                    FieldValue::Bool(v) => {
+                        let _ = write!(e, "{v}");
+                    }
+                    FieldValue::Str(s) => {
+                        e.push('"');
+                        escape_json(s, &mut e);
+                        e.push('"');
+                    }
+                }
+            }
+            e.push('}');
+        }
+        e.push('}');
+        e
+    }
+
+    /// Renders the full trace document.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::with_capacity(32 + self.events.iter().map(|e| e.len() + 1).sum::<usize>());
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_and_meta_events() {
+        let mut t = ChromeTrace::new();
+        t.name_thread(1, 2, "engine");
+        t.complete(
+            "compute",
+            "mve",
+            10.0,
+            5.5,
+            1,
+            2,
+            &[("lanes", FieldValue::U64(64))],
+        );
+        t.instant("cache\"hit", "serve", 16.0, 1, 2, &[]);
+        let doc = t.render();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(doc.contains("\"ph\":\"X\",\"ts\":10,\"dur\":5.5,\"pid\":1,\"tid\":2"));
+        assert!(doc.contains("\"args\":{\"lanes\":64}"));
+        assert!(doc.contains("cache\\\"hit"));
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Leveled structured logging: NDJSON events on stderr.
+//!
+//! One event is one JSON object on one line, e.g.
+//!
+//! ```text
+//! {"ts_us":1723100000000000,"level":"info","event":"serve.request","id":42,"op":"artefact"}
+//! ```
+//!
+//! The global level starts unset; the first gate check reads `MVE_LOG`
+//! (`error`, `warn`, `info`, `debug`; anything else or unset disables
+//! logging entirely). Binaries with a `--log-level` flag call
+//! [`set_level`], which wins over the environment.
+//!
+//! The hot-path contract is that a *disabled* log site costs one relaxed
+//! atomic load and one predictable branch: the [`logev!`](crate::logev)
+//! macro checks [`enabled`] before evaluating any field expression. The
+//! `log_gate_disabled` workload in `BENCH_engine.json` pins that cost.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity. Discriminants are the runtime gate values: a site fires
+/// when the global level is `>=` its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses a level name as accepted by `MVE_LOG` / `--log-level`.
+    /// `off`/`none` explicitly disable; unknown strings are `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Sentinel: level not yet resolved from the environment.
+const UNINIT: u8 = 0xFF;
+/// Logging disabled.
+const OFF: u8 = 0;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Resolves the global level, reading `MVE_LOG` on first use.
+#[inline]
+fn level_raw() -> u8 {
+    let l = LEVEL.load(Ordering::Relaxed);
+    if l == UNINIT {
+        init_from_env()
+    } else {
+        l
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let resolved = std::env::var("MVE_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .flatten()
+        .map(|l| l as u8)
+        .unwrap_or(OFF);
+    // A concurrent set_level() wins: only replace the UNINIT sentinel.
+    match LEVEL.compare_exchange(UNINIT, resolved, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => resolved,
+        Err(current) => current,
+    }
+}
+
+/// Overrides the global level (e.g. from a `--log-level` flag). `None`
+/// disables logging.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(level.map(|l| l as u8).unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// Returns the currently effective level (after env resolution).
+pub fn current_level() -> Option<Level> {
+    match level_raw() {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The hot-path gate: true when a site at `level` should emit.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level_raw() >= level as u8
+}
+
+/// A field value in a structured event. `From` impls cover what call
+/// sites need so the macro can write `key = expr` without ceremony.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+macro_rules! from_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self { FieldValue::$variant(v as $cast) }
+        }
+    )*};
+}
+from_int!(u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+          usize => U64 as u64, i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+          i64 => I64 as i64, isize => I64 as i64);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(v as f64)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a single NDJSON line (no trailing newline).
+/// Split from [`emit`] so tests can pin the wire format.
+pub fn format_event(
+    ts_us: u64,
+    level: Level,
+    event: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    let _ = write!(
+        line,
+        "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"event\":\"",
+        level.name()
+    );
+    escape_json(event, &mut line);
+    line.push('"');
+    for (key, value) in fields {
+        line.push_str(",\"");
+        escape_json(key, &mut line);
+        line.push_str("\":");
+        match value {
+            FieldValue::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::F64(v) if v.is_finite() => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::F64(_) => line.push_str("null"),
+            FieldValue::Bool(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::Str(v) => {
+                line.push('"');
+                escape_json(v, &mut line);
+                line.push('"');
+            }
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Microseconds since the unix epoch (wall clock, for log correlation).
+pub fn wall_ts_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits one event line to stderr. Callers normally go through
+/// [`logev!`](crate::logev), which applies the level gate first.
+pub fn emit(level: Level, event: &str, fields: &[(&str, FieldValue)]) {
+    let mut line = format_event(wall_ts_us(), level, event, fields);
+    line.push('\n');
+    // One locked write per event so concurrent threads cannot interleave
+    // partial lines.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Structured log event. Field expressions are evaluated only after the
+/// level gate passes, so a disabled site costs one relaxed atomic load:
+///
+/// ```
+/// use mve_obs::{logev, Level};
+/// logev!(Level::Debug, "engine.run", kernel = "binop", lanes = 8192_u64);
+/// ```
+#[macro_export]
+macro_rules! logev {
+    ($lvl:expr, $event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::enabled($lvl) {
+            $crate::log::emit(
+                $lvl,
+                $event,
+                &[$((stringify!($key), $crate::log::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn format_is_one_json_object_per_line() {
+        let line = format_event(
+            7,
+            Level::Info,
+            "serve.request",
+            &[
+                ("id", FieldValue::U64(42)),
+                ("op", FieldValue::Str("artefact".into())),
+                ("ok", FieldValue::Bool(true)),
+                ("note", FieldValue::Str("a\"b\nc".into())),
+                ("nan", FieldValue::F64(f64::NAN)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts_us\":7,\"level\":\"info\",\"event\":\"serve.request\",\
+             \"id\":42,\"op\":\"artefact\",\"ok\":true,\"note\":\"a\\\"b\\nc\",\"nan\":null}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn set_level_gates() {
+        // Tests share one process-global level; drive it explicitly.
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        assert_eq!(current_level(), Some(Level::Warn));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        assert_eq!(current_level(), None);
+    }
+}

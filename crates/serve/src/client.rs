@@ -271,6 +271,26 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("stats reply lacks `stats`".to_owned()))
     }
 
+    /// Fetches the Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let doc = self.request(&Request::Metrics)?;
+        doc.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("metrics reply lacks `metrics`".to_owned()))
+    }
+
+    /// Fetches the recent-request trace ring (oldest first).
+    pub fn trace(&mut self) -> Result<Vec<Json>, ClientError> {
+        let doc = self.request(&Request::Trace)?;
+        match doc.get("traces") {
+            Some(Json::Arr(items)) => Ok(items.clone()),
+            _ => Err(ClientError::Protocol(
+                "trace reply lacks `traces`".to_owned(),
+            )),
+        }
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())

@@ -61,6 +61,56 @@ impl Histogram {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
     }
 
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, µs.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Raw per-bucket counts (bucket `i` holds `v.max(1).ilog2() == i`),
+    /// the layout the Prometheus exposition emits verbatim.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Folds another histogram's samples into this one (bucket-wise add;
+    /// max takes the larger). Used to merge per-class series into one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and aggregate. Not atomic with respect to
+    /// concurrent recorders (a racing sample may survive or vanish), which
+    /// is fine for its test/tooling uses.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Extract count, mean, percentiles, and max.
     pub fn snapshot(&self) -> HistogramStats {
         let mut buckets = [0u64; BUCKETS];
@@ -154,16 +204,22 @@ pub enum MetricClass {
     Estimate,
     /// Stats snapshot (served inline by the event loop).
     Stats,
+    /// Prometheus exposition render (served inline by the event loop).
+    Metrics,
+    /// Request-trace ring snapshot (served inline by the event loop).
+    Trace,
 }
 
 impl MetricClass {
     /// Every class, in the order they serialize.
-    pub const ALL: [MetricClass; 5] = [
+    pub const ALL: [MetricClass; 7] = [
         MetricClass::Artefact,
         MetricClass::Sim,
         MetricClass::Compile,
         MetricClass::Estimate,
         MetricClass::Stats,
+        MetricClass::Metrics,
+        MetricClass::Trace,
     ];
 
     /// Wire name of the class.
@@ -174,6 +230,8 @@ impl MetricClass {
             MetricClass::Compile => "compile",
             MetricClass::Estimate => "estimate",
             MetricClass::Stats => "stats",
+            MetricClass::Metrics => "metrics",
+            MetricClass::Trace => "trace",
         }
     }
 
@@ -184,6 +242,8 @@ impl MetricClass {
             MetricClass::Compile => 2,
             MetricClass::Estimate => 3,
             MetricClass::Stats => 4,
+            MetricClass::Metrics => 5,
+            MetricClass::Trace => 6,
         }
     }
 }
@@ -212,7 +272,7 @@ struct ClassLatency {
 /// growing inter-class spread is pure scheduling pressure.
 #[derive(Debug, Default)]
 pub struct LatencyMetrics {
-    classes: [ClassLatency; 5],
+    classes: [ClassLatency; 7],
 }
 
 impl LatencyMetrics {
@@ -229,6 +289,26 @@ impl LatencyMetrics {
     /// Record runnable-to-picked-up wait for `class`.
     pub fn record_queue_wait(&self, class: MetricClass, d: Duration) {
         self.classes[class.idx()].queue_wait.record_duration(d);
+    }
+
+    /// Measured mean service time for `class`, µs (0 with no samples) —
+    /// the read-only feedback the `estimate` reply reports next to the
+    /// static cost model's charge.
+    pub fn mean_service_us(&self, class: MetricClass) -> f64 {
+        let service = &self.classes[class.idx()].service;
+        let count = service.count();
+        if count == 0 {
+            0.0
+        } else {
+            service.sum() as f64 / count as f64
+        }
+    }
+
+    /// The `(service, queue_wait)` histograms for `class` — the registry
+    /// reads raw buckets from here for the Prometheus exposition.
+    pub fn class_histograms(&self, class: MetricClass) -> (&Histogram, &Histogram) {
+        let slot = &self.classes[class.idx()];
+        (&slot.service, &slot.queue_wait)
     }
 
     /// Serialize every class as `{"<class>": {"service": .., "queue_wait": ..}}`.
@@ -310,6 +390,69 @@ mod tests {
         assert_eq!(s.p50_us, s.p99_us);
         assert!(s.p99_us <= 777 && s.p99_us >= 512, "p99={}", s.p99_us);
         assert_eq!(s.max_us, 777);
+    }
+
+    #[test]
+    fn saturating_top_bucket_holds_huge_samples() {
+        let h = Histogram::new();
+        h.record(u64::MAX); // ilog2 == 63: lands in (and stays in) the top bucket
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_us, u64::MAX);
+        // Midpoint of the top bucket saturates instead of wrapping: it
+        // reports inside [2^63, max], never a wrapped-around tiny value.
+        assert!(s.p99_us >= 1u64 << 63, "p99={}", s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[63], 2);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn merge_folds_buckets_count_sum_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1030);
+        assert_eq!(a.max_us(), 1000);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert!((512..=1000).contains(&s.p99_us), "p99={}", s.p99_us);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn reset_returns_to_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        h.record(7);
+        assert_eq!(h.count(), 2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max_us(), 0);
+        let s = h.snapshot();
+        assert_eq!(s, Histogram::new().snapshot());
+    }
+
+    #[test]
+    fn mean_service_feedback_per_class() {
+        let m = LatencyMetrics::new();
+        assert_eq!(m.mean_service_us(MetricClass::Sim), 0.0);
+        m.record_service(MetricClass::Sim, Duration::from_micros(100));
+        m.record_service(MetricClass::Sim, Duration::from_micros(300));
+        assert!((m.mean_service_us(MetricClass::Sim) - 200.0).abs() < 1e-9);
+        assert_eq!(m.mean_service_us(MetricClass::Artefact), 0.0);
+        let (service, wait) = m.class_histograms(MetricClass::Sim);
+        assert_eq!(service.count(), 2);
+        assert_eq!(wait.count(), 0);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum Request {
     Estimate(Box<Request>),
     /// Counter snapshot.
     Stats,
+    /// Prometheus text exposition of the unified metrics registry.
+    Metrics,
+    /// Snapshot of the completed-request trace ring buffer.
+    Trace,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -293,9 +297,12 @@ fn parse_request_obj(doc: &Json, allow_estimate: bool) -> Result<Request, String
             }
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}`; valid ops: artefact, compile, estimate, sim, stats, shutdown"
+            "unknown op `{other}`; valid ops: artefact, compile, estimate, metrics, sim, stats, \
+             trace, shutdown"
         )),
     }
 }
@@ -308,6 +315,8 @@ pub fn op_name(req: &Request) -> &'static str {
         Request::Compile { .. } => "compile",
         Request::Estimate(_) => "estimate",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Trace => "trace",
         Request::Shutdown => "shutdown",
     }
 }
@@ -355,6 +364,8 @@ pub fn request_to_json(req: &Request) -> Json {
             ("request".to_owned(), request_to_json(inner)),
         ]),
         Request::Stats => Json::Obj(vec![("op".to_owned(), Json::Str("stats".into()))]),
+        Request::Metrics => Json::Obj(vec![("op".to_owned(), Json::Str("metrics".into()))]),
+        Request::Trace => Json::Obj(vec![("op".to_owned(), Json::Str("trace".into()))]),
         Request::Shutdown => Json::Obj(vec![("op".to_owned(), Json::Str("shutdown".into()))]),
     }
 }
@@ -415,22 +426,47 @@ pub fn ok_shutdown() -> String {
 }
 
 /// `{"ok":true,"compile":true,"bytes":text}` — the rendered compile
-/// artefact (`mve_lang::compile_and_render` bytes, cached verbatim).
-pub fn ok_compile(text: &str) -> String {
-    Json::Obj(vec![
+/// artefact (`mve_lang::compile_and_render` bytes, cached verbatim). A
+/// cache-miss compile additionally carries `"phases"`: per-phase compiler
+/// wall-clock in microseconds (`lex`/`parse`/`lower`/`schedule`/
+/// `allocate`, pipeline order). The phases ride only in the reply
+/// envelope — the cached `bytes` stay byte-identical to the goldens —
+/// and a cache hit omits the member entirely (nothing was compiled).
+pub fn ok_compile(text: &str, phases: Option<&mve_lang::CompilePhases>) -> String {
+    let mut members = vec![
         ("ok".to_owned(), Json::Bool(true)),
         ("compile".to_owned(), Json::Bool(true)),
         ("bytes".to_owned(), Json::Str(text.to_owned())),
-    ])
-    .encode()
+    ];
+    if let Some(phases) = phases {
+        members.push((
+            "phases".to_owned(),
+            Json::Obj(
+                phases
+                    .phases()
+                    .iter()
+                    .map(|(name, d)| {
+                        (
+                            format!("{name}_us"),
+                            Json::F64(d.as_secs_f64() * 1_000_000.0),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(members).encode()
 }
 
-/// `{"ok":true,"estimate":{"class":C,"cost":N,"admit_now":B}}` — the
-/// priced-but-not-executed reply to the `estimate` op. `cost` is in cost
-/// units (calibrated microseconds of worker compute); `admit_now` reports
-/// whether the admission controller would take a request of this cost
-/// right now without queueing.
-pub fn ok_estimate(class: &str, cost: u64, admit_now: bool) -> String {
+/// `{"ok":true,"estimate":{"class":C,"cost":N,"admit_now":B,"measured_cost_us":F}}`
+/// — the priced-but-not-executed reply to the `estimate` op. `cost` is in
+/// cost units (calibrated microseconds of worker compute); `admit_now`
+/// reports whether the admission controller would take a request of this
+/// cost right now without queueing; `measured_cost_us` is the daemon's
+/// *observed* mean service time for the class (0 before any sample) —
+/// reported next to the static model's charge so clients can see drift,
+/// while admission itself still charges the static model.
+pub fn ok_estimate(class: &str, cost: u64, admit_now: bool, measured_cost_us: f64) -> String {
     Json::Obj(vec![
         ("ok".to_owned(), Json::Bool(true)),
         (
@@ -439,8 +475,29 @@ pub fn ok_estimate(class: &str, cost: u64, admit_now: bool) -> String {
                 ("class".to_owned(), Json::Str(class.to_owned())),
                 ("cost".to_owned(), Json::U64(cost)),
                 ("admit_now".to_owned(), Json::Bool(admit_now)),
+                ("measured_cost_us".to_owned(), Json::F64(measured_cost_us)),
             ]),
         ),
+    ])
+    .encode()
+}
+
+/// `{"ok":true,"metrics":<exposition text>}` — the Prometheus text
+/// exposition document rides inside the usual one-line JSON reply (the
+/// transport stays JSON-lines; clients print the text verbatim).
+pub fn ok_metrics(exposition: &str) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("metrics".to_owned(), Json::Str(exposition.to_owned())),
+    ])
+    .encode()
+}
+
+/// `{"ok":true,"traces":[...]}` — the completed-request trace ring.
+pub fn ok_traces(traces: Json) -> String {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("traces".to_owned(), traces),
     ])
     .encode()
 }
@@ -723,12 +780,38 @@ mod tests {
 
     #[test]
     fn estimate_replies_carry_class_cost_and_admit_now() {
-        let reply = ok_estimate("sim", 1234, true);
+        let reply = ok_estimate("sim", 1234, true, 987.5);
         let doc = parse_response(&reply).unwrap();
         let est = doc.get("estimate").expect("estimate member");
         assert_eq!(est.get("class").and_then(Json::as_str), Some("sim"));
         assert_eq!(est.get("cost").and_then(Json::as_u64), Some(1234));
         assert_eq!(est.get("admit_now").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            est.get("measured_cost_us").and_then(Json::as_f64),
+            Some(987.5)
+        );
+    }
+
+    #[test]
+    fn metrics_and_trace_ops_round_trip() {
+        for (req, wire) in [
+            (Request::Metrics, r#"{"op":"metrics"}"#),
+            (Request::Trace, r#"{"op":"trace"}"#),
+        ] {
+            assert_eq!(encode_request(&req), wire);
+            assert_eq!(parse_request(wire).unwrap(), req);
+        }
+        // Control-plane: not estimable.
+        let err = parse_request(r#"{"op":"estimate","request":{"op":"metrics"}}"#).unwrap_err();
+        assert!(err.contains("control-plane"), "{err}");
+        // The exposition text survives the JSON-lines transport.
+        let reply = ok_metrics("# TYPE mve_serve_requests counter\nmve_serve_requests 3\n");
+        let doc = parse_response(&reply).unwrap();
+        assert!(doc
+            .get("metrics")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("mve_serve_requests 3"));
     }
 
     #[test]

@@ -41,6 +41,10 @@ use std::time::{Duration, Instant};
 use mve_core::sim::simulate_sweep;
 use mve_kernels::registry::kernel_by_name;
 use mve_kernels::Scale;
+use mve_lang::CompilePhases;
+use mve_obs::logev;
+use mve_obs::metrics::{Log2Histogram, MetricsRegistry, Scalar};
+use mve_obs::Level;
 
 use crate::admission::{
     AdmissionController, AdmissionOptions, Charge, HeadClaim, ShedReason, Ticket, TryAdmit,
@@ -49,16 +53,17 @@ use crate::admission::{
 use crate::cache::{Fetch, ResultCache};
 use crate::cost::{CostModel, OpClass};
 use crate::fault::FaultPlan;
-use crate::histogram::{LatencyMetrics, MetricClass};
+use crate::histogram::{Histogram, LatencyMetrics, MetricClass};
 use crate::json::Json;
 use crate::poller::{wake_pipe, Event, Interest, Poller, PollerBackend, WakeRx, WakeTx};
 use crate::protocol::{
     artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_estimate,
-    ok_shutdown, ok_sim, ok_stats, overloaded_reply, parse_request, report_to_json, scale_name,
-    sim_key, Request, SimSpec,
+    ok_metrics, ok_shutdown, ok_sim, ok_stats, ok_traces, op_name, overloaded_reply, parse_request,
+    report_to_json, scale_name, sim_key, Request, SimSpec,
 };
 use crate::scheduler::{BatchEntry, Batcher};
 use crate::timer::{TimerId, TimerWheel};
+use crate::trace::{PendingTrace, TraceRing};
 
 /// An artefact renderer: scale in, the artefact's exact text out.
 pub type ArtefactFn = Arc<dyn Fn(Scale) -> String + Send + Sync>;
@@ -188,6 +193,10 @@ pub struct Counters {
     pub open_connections: AtomicU64,
     /// Gauge: requests currently executing on a worker.
     pub executing_requests: AtomicU64,
+    /// `metrics` requests (Prometheus exposition renders).
+    pub metrics_requests: AtomicU64,
+    /// `trace` requests (trace-ring snapshots).
+    pub trace_requests: AtomicU64,
 }
 
 /// An admitted request in transit to the worker pool. Only *executing*
@@ -199,12 +208,14 @@ struct Job {
     charge: Charge,
     class: OpClass,
     ready_at: Instant,
+    trace: PendingTrace,
 }
 
 /// A finished execution headed back to the event loop.
 struct Completion {
     token: u64,
     reply: String,
+    trace: PendingTrace,
 }
 
 /// Shared server state.
@@ -218,6 +229,12 @@ pub struct ServerState {
     shutdown: AtomicBool,
     latency: LatencyMetrics,
     poller_backend: &'static str,
+    /// Daemon start instant — the zero point of every trace timestamp.
+    epoch: Instant,
+    /// Monotonic request-id source.
+    next_request_id: AtomicU64,
+    /// Completed-request traces (bounded ring; the `trace` op snapshot).
+    traces: TraceRing,
     jobs: Mutex<VecDeque<Job>>,
     jobs_cv: Condvar,
     completions: Mutex<Vec<Completion>>,
@@ -240,93 +257,254 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flat counter snapshot — the `stats` reply and the metrics line.
-    pub fn stats_json(&self) -> Json {
+    /// The unified metrics snapshot: the single place every counter,
+    /// gauge, and histogram is enumerated. Both the `stats` JSON reply
+    /// (via [`ServerState::stats_json`], which preserves the historical
+    /// member order CI greps) and the `metrics` op's Prometheus text
+    /// exposition render from this registry, so the two views cannot
+    /// drift apart.
+    pub fn registry(&self) -> MetricsRegistry {
         let c = &self.counters;
         let cache = self.cache.stats();
         let (batches, batched_sims, joined) = self.batcher.stats.snapshot();
         let adm = self.admission.snapshot();
-        // New members are appended after the pre-admission fields: CI and
-        // downstream tooling pattern-match the serialized prefix.
-        Json::Obj(vec![
-            (
-                "requests".to_owned(),
-                Json::U64(c.requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "artefact_requests".to_owned(),
-                Json::U64(c.artefact_requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "sim_requests".to_owned(),
-                Json::U64(c.sim_requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "compile_requests".to_owned(),
-                Json::U64(c.compile_requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "errors".to_owned(),
-                Json::U64(c.errors.load(Ordering::SeqCst)),
-            ),
-            (
-                "connections".to_owned(),
-                Json::U64(c.connections.load(Ordering::SeqCst)),
-            ),
-            ("batches".to_owned(), Json::U64(batches)),
-            ("batched_sims".to_owned(), Json::U64(batched_sims)),
-            ("joined".to_owned(), Json::U64(joined)),
-            ("hits".to_owned(), Json::U64(cache.hits)),
-            ("waits".to_owned(), Json::U64(cache.waits)),
-            ("misses".to_owned(), Json::U64(cache.misses)),
-            ("evictions".to_owned(), Json::U64(cache.evictions)),
-            ("hit_rate".to_owned(), Json::F64(cache.hit_rate())),
-            (
-                "estimate_requests".to_owned(),
-                Json::U64(c.estimate_requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "truncated_requests".to_owned(),
-                Json::U64(c.truncated_requests.load(Ordering::SeqCst)),
-            ),
-            ("budget".to_owned(), Json::U64(adm.budget)),
-            ("in_flight".to_owned(), Json::U64(adm.in_flight)),
-            ("peak_in_flight".to_owned(), Json::U64(adm.peak_in_flight)),
-            ("admitted".to_owned(), Json::U64(adm.admitted)),
-            ("queued".to_owned(), Json::U64(adm.queued)),
-            ("queue_depth".to_owned(), Json::U64(adm.queue_depth)),
-            ("sheds".to_owned(), Json::U64(adm.sheds)),
-            ("shed_oversize".to_owned(), Json::U64(adm.shed_oversize)),
-            ("shed_queue_full".to_owned(), Json::U64(adm.shed_queue_full)),
-            ("shed_deadline".to_owned(), Json::U64(adm.shed_deadline)),
-            ("shed_closed".to_owned(), Json::U64(adm.shed_closed)),
-            (
-                "faults_injected".to_owned(),
-                Json::U64(self.faults.injected_total()),
-            ),
-            (
-                "stalled_writes".to_owned(),
-                Json::U64(c.stalled_writes.load(Ordering::SeqCst)),
-            ),
-            (
-                "open_connections".to_owned(),
-                Json::U64(c.open_connections.load(Ordering::SeqCst)),
-            ),
-            (
-                "executing_requests".to_owned(),
-                Json::U64(c.executing_requests.load(Ordering::SeqCst)),
-            ),
-            (
-                "poller".to_owned(),
-                Json::Str(self.poller_backend.to_owned()),
-            ),
-            ("latency".to_owned(), self.latency.to_json()),
-        ])
+        let load = |a: &AtomicU64| a.load(Ordering::SeqCst);
+        let mut reg = MetricsRegistry::new();
+        // Scalar insertion order here IS the `stats` JSON member order —
+        // append new metrics at the end of the scalars, never in the
+        // middle (downstream tooling pattern-matches serialized runs).
+        reg.counter("requests", "Request lines received.", load(&c.requests));
+        reg.counter(
+            "artefact_requests",
+            "Artefact render requests executed.",
+            load(&c.artefact_requests),
+        );
+        reg.counter(
+            "sim_requests",
+            "Simulation requests executed.",
+            load(&c.sim_requests),
+        );
+        reg.counter(
+            "compile_requests",
+            "DSL compile requests executed.",
+            load(&c.compile_requests),
+        );
+        reg.counter(
+            "errors",
+            "Error replies sent (excluding typed overload sheds).",
+            load(&c.errors),
+        );
+        reg.counter("connections", "Connections accepted.", load(&c.connections));
+        reg.counter(
+            "batches",
+            "Batched sim executions (one kernel run each).",
+            batches,
+        );
+        reg.counter(
+            "batched_sims",
+            "Sim requests served through a batch.",
+            batched_sims,
+        );
+        reg.counter("joined", "Requests that joined an existing batch.", joined);
+        reg.counter("hits", "Result-cache hits.", cache.hits);
+        reg.counter("waits", "Result-cache single-flight waits.", cache.waits);
+        reg.counter(
+            "misses",
+            "Result-cache misses (unique computations).",
+            cache.misses,
+        );
+        reg.counter("evictions", "Result-cache LRU evictions.", cache.evictions);
+        reg.gauge_f("hit_rate", "Cache hits over lookups.", cache.hit_rate());
+        reg.counter(
+            "estimate_requests",
+            "Estimate requests (priced, never executed).",
+            load(&c.estimate_requests),
+        );
+        reg.counter(
+            "truncated_requests",
+            "Teardowns that discarded a partial request line.",
+            load(&c.truncated_requests),
+        );
+        reg.gauge("budget", "Admission cost budget, cost units.", adm.budget);
+        reg.gauge(
+            "in_flight",
+            "Admitted cost currently in flight.",
+            adm.in_flight,
+        );
+        reg.gauge(
+            "peak_in_flight",
+            "Peak admitted cost in flight.",
+            adm.peak_in_flight,
+        );
+        reg.counter(
+            "admitted",
+            "Requests admitted by the controller.",
+            adm.admitted,
+        );
+        reg.counter(
+            "queued",
+            "Requests that waited in the admission queue.",
+            adm.queued,
+        );
+        reg.gauge(
+            "queue_depth",
+            "Requests parked in the admission queue.",
+            adm.queue_depth,
+        );
+        reg.counter(
+            "sheds",
+            "Requests shed with typed overload replies.",
+            adm.sheds,
+        );
+        reg.counter(
+            "shed_oversize",
+            "Sheds: cost exceeds the whole budget.",
+            adm.shed_oversize,
+        );
+        reg.counter(
+            "shed_queue_full",
+            "Sheds: admission queue full.",
+            adm.shed_queue_full,
+        );
+        reg.counter(
+            "shed_deadline",
+            "Sheds: queue deadline expired.",
+            adm.shed_deadline,
+        );
+        reg.counter(
+            "shed_closed",
+            "Sheds: server shutting down.",
+            adm.shed_closed,
+        );
+        reg.counter(
+            "faults_injected",
+            "Injected faults (test-only fault plan).",
+            self.faults.injected_total(),
+        );
+        reg.counter(
+            "stalled_writes",
+            "Connections reaped for not draining replies.",
+            load(&c.stalled_writes),
+        );
+        reg.gauge(
+            "open_connections",
+            "Connections currently open.",
+            load(&c.open_connections),
+        );
+        reg.gauge(
+            "executing_requests",
+            "Requests currently executing on a worker.",
+            load(&c.executing_requests),
+        );
+        reg.counter(
+            "metrics_requests",
+            "Metrics (Prometheus exposition) requests.",
+            load(&c.metrics_requests),
+        );
+        reg.counter(
+            "trace_requests",
+            "Trace-ring snapshot requests.",
+            load(&c.trace_requests),
+        );
+        reg.counter(
+            "traces_recorded",
+            "Completed request traces recorded.",
+            self.traces.recorded(),
+        );
+        reg.info(
+            "info",
+            "Daemon runtime info.",
+            &[("poller", self.poller_backend)],
+        );
+        for class in MetricClass::ALL {
+            let (service, queue_wait) = self.latency.class_histograms(class);
+            let labels = [("class", class.name())];
+            reg.histogram(
+                "request_service_us",
+                "Request service time per op class, µs (log2 buckets).",
+                &labels,
+                log2_snapshot(service),
+            );
+            reg.histogram(
+                "request_queue_wait_us",
+                "Runnable-to-picked-up wait per op class, µs (log2 buckets).",
+                &labels,
+                log2_snapshot(queue_wait),
+            );
+        }
+        reg
+    }
+
+    /// Flat counter snapshot — the `stats` reply and the metrics line.
+    /// Derived from [`ServerState::registry`]: scalars in registry order,
+    /// then the `poller` string and the nested `latency` object, exactly
+    /// the historical layout.
+    pub fn stats_json(&self) -> Json {
+        let reg = self.registry();
+        let mut members: Vec<(String, Json)> = reg
+            .scalars()
+            .map(|(name, v)| {
+                let value = match v {
+                    Scalar::U64(n) => Json::U64(n),
+                    Scalar::F64(f) => Json::F64(f),
+                };
+                (name.to_owned(), value)
+            })
+            .collect();
+        members.push((
+            "poller".to_owned(),
+            Json::Str(self.poller_backend.to_owned()),
+        ));
+        members.push(("latency".to_owned(), self.latency.to_json()));
+        Json::Obj(members)
+    }
+
+    /// The `metrics` op body: the registry rendered as Prometheus text
+    /// exposition under the `mve_serve` namespace.
+    pub fn prometheus_text(&self) -> String {
+        self.registry().render_prometheus("mve_serve")
+    }
+
+    fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Finalizes a trace at reply-flush time: records it in the ring and
+    /// emits the structured `serve.request` log event.
+    fn finish_trace(&self, trace: PendingTrace, flushed: Instant) {
+        let record = trace.finish(flushed, self.epoch);
+        let level = if record.outcome == "ok" {
+            Level::Debug
+        } else {
+            Level::Info
+        };
+        logev!(
+            level,
+            "serve.request",
+            id = record.id,
+            conn = record.conn,
+            op = record.op,
+            outcome = record.outcome,
+            cache = record.cache,
+            queue_wait_us = record.queue_wait_us(),
+            service_us = record.executed_us - record.dispatched_us,
+            total_us = record.flushed_us - record.received_us,
+        );
+        self.traces.push(record);
     }
 
     /// One-line human/CI-readable metrics summary of the current state.
     pub fn metrics_line(&self) -> String {
         metrics_line(&self.stats_json())
+    }
+}
+
+/// Snapshot a serve histogram into the registry's raw-bucket form.
+fn log2_snapshot(h: &Histogram) -> Log2Histogram {
+    Log2Histogram {
+        counts: h.bucket_counts().to_vec(),
+        count: h.count(),
+        sum: h.sum(),
     }
 }
 
@@ -404,6 +582,9 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 latency: LatencyMetrics::new(),
                 poller_backend,
+                epoch: Instant::now(),
+                next_request_id: AtomicU64::new(0),
+                traces: TraceRing::default(),
                 jobs: Mutex::new(VecDeque::new()),
                 jobs_cv: Condvar::new(),
                 completions: Mutex::new(Vec::new()),
@@ -488,8 +669,9 @@ fn worker_loop(state: &ServerState) {
                 jobs = guard;
             }
         };
-        let Some(job) = job else { return };
+        let Some(mut job) = job else { return };
         let started = Instant::now();
+        job.trace.mark_dispatched(started);
         state
             .latency
             .record_queue_wait(job.class.into(), started.duration_since(job.ready_at));
@@ -497,18 +679,25 @@ fn worker_loop(state: &ServerState) {
             .counters
             .executing_requests
             .fetch_add(1, Ordering::SeqCst);
-        let reply = {
+        let (reply, cache_outcome, ok) = {
             // Re-attach the charge as an RAII permit here, at the point of
             // execution: a panicking handler releases budget on unwind.
             let _permit = state.admission.resume(job.charge);
             match catch_unwind(AssertUnwindSafe(|| execute_chargeable(state, &job.request))) {
-                Ok(reply) => reply,
+                Ok(done) => done,
                 Err(payload) => {
                     state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                    error_reply(&format!("request failed: {}", panic_message(&*payload)))
+                    let reply =
+                        error_reply(&format!("request failed: {}", panic_message(&*payload)));
+                    (reply, "none", false)
                 }
             }
         };
+        job.trace.mark_executed(Instant::now());
+        job.trace.cache = cache_outcome;
+        if !ok {
+            job.trace.outcome = "error";
+        }
         state
             .counters
             .executing_requests
@@ -523,6 +712,7 @@ fn worker_loop(state: &ServerState) {
             .push(Completion {
                 token: job.token,
                 reply,
+                trace: job.trace,
             });
         state.wake.wake();
     }
@@ -560,7 +750,10 @@ enum TimerKind {
 
 /// What a connection is doing. At most one request per connection is in
 /// flight at a time; pipelined requests wait as bytes in the bounded
-/// read buffer.
+/// read buffer. `Parked` is deliberately fat (the pending request rides
+/// in it) — there is exactly one `ConnPhase` per connection, not a
+/// collection of them, so boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
 enum ConnPhase {
     /// Parsing lines / waiting for bytes.
     Ready,
@@ -574,6 +767,7 @@ enum ConnPhase {
         class: OpClass,
         ready_at: Instant,
         timer: TimerId,
+        trace: PendingTrace,
     },
 }
 
@@ -592,6 +786,10 @@ struct Conn {
     /// Close once the write buffer drains (oversize line, EOF tail).
     close_after_flush: bool,
     interest: Interest,
+    /// Traces whose reply bytes are queued in `write_buf` but not yet
+    /// drained to the peer — finalized (flushed-stamped) when the buffer
+    /// empties, or at teardown.
+    unflushed: Vec<PendingTrace>,
 }
 
 impl Conn {
@@ -717,8 +915,10 @@ impl EventLoop<'_> {
                             eof: false,
                             close_after_flush: false,
                             interest: Interest::READ,
+                            unflushed: Vec::new(),
                         },
                     );
+                    logev!(Level::Debug, "serve.accept", conn = conn_id);
                     self.rearm_idle(token);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
@@ -850,27 +1050,57 @@ impl EventLoop<'_> {
         let state = self.state;
         state.counters.requests.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
+        let conn_id = self.conns.get(&token).map_or(0, |c| c.conn_id);
+        let mut trace = PendingTrace::new(state.next_request_id(), conn_id, t0);
         let req = match parse_request(line) {
             Ok(req) => req,
             Err(msg) => {
                 state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                self.push_reply(token, error_reply(&msg));
+                trace.outcome = "error";
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, error_reply(&msg), trace);
                 return;
             }
         };
+        trace.op = op_name(&req);
+        trace.mark_parsed(Instant::now());
+        // Inline (control-plane) ops never queue or execute on a worker:
+        // their remaining phases collapse to the reply instant.
+        let inline_reply = |state: &ServerState, class: MetricClass, reply: String| {
+            state.latency.record_queue_wait(class, Duration::ZERO);
+            state.latency.record_service(class, t0.elapsed());
+            reply
+        };
         match req {
             Request::Stats => {
-                let reply = ok_stats(state.stats_json());
+                let reply = inline_reply(state, MetricClass::Stats, ok_stats(state.stats_json()));
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, reply, trace);
+            }
+            Request::Metrics => {
                 state
-                    .latency
-                    .record_queue_wait(MetricClass::Stats, Duration::ZERO);
-                state
-                    .latency
-                    .record_service(MetricClass::Stats, t0.elapsed());
-                self.push_reply(token, reply);
+                    .counters
+                    .metrics_requests
+                    .fetch_add(1, Ordering::SeqCst);
+                let reply = inline_reply(
+                    state,
+                    MetricClass::Metrics,
+                    ok_metrics(&state.prometheus_text()),
+                );
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, reply, trace);
+            }
+            Request::Trace => {
+                state.counters.trace_requests.fetch_add(1, Ordering::SeqCst);
+                let reply =
+                    inline_reply(state, MetricClass::Trace, ok_traces(state.traces.to_json()));
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, reply, trace);
             }
             Request::Shutdown => {
-                self.push_reply(token, ok_shutdown());
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, ok_shutdown(), trace);
+                logev!(Level::Info, "serve.shutdown", conn = conn_id);
                 state.trigger_shutdown();
             }
             Request::Estimate(inner) => {
@@ -885,25 +1115,27 @@ impl EventLoop<'_> {
                 let est = CostModel::committed()
                     .charge(&inner)
                     .expect("estimate inner request is chargeable");
-                let conn_id = self.conns.get(&token).map_or(0, |c| c.conn_id);
                 let reply = ok_estimate(
                     est.class.name(),
                     est.cost,
                     state.admission.would_admit(conn_id, est.cost),
+                    state.latency.mean_service_us(est.class.into()),
                 );
-                state
-                    .latency
-                    .record_queue_wait(MetricClass::Estimate, Duration::ZERO);
-                state
-                    .latency
-                    .record_service(MetricClass::Estimate, t0.elapsed());
-                self.push_reply(token, reply);
+                let reply = inline_reply(state, MetricClass::Estimate, reply);
+                trace.collapse_remaining(Instant::now());
+                self.push_reply_traced(token, reply, trace);
             }
-            chargeable => self.dispatch_chargeable(token, chargeable, t0),
+            chargeable => self.dispatch_chargeable(token, chargeable, t0, trace),
         }
     }
 
-    fn dispatch_chargeable(&mut self, token: u64, req: Request, ready_at: Instant) {
+    fn dispatch_chargeable(
+        &mut self,
+        token: u64,
+        req: Request,
+        ready_at: Instant,
+        mut trace: PendingTrace,
+    ) {
         // Admission happens before any compute: a shed request costs the
         // daemon one formula evaluation, nothing more.
         let est = CostModel::committed()
@@ -914,12 +1146,16 @@ impl EventLoop<'_> {
         };
         match self.state.admission.try_admit(conn_id, est.cost) {
             TryAdmit::Admitted(permit) => {
+                trace.mark_admitted(Instant::now());
                 let charge = permit.into_charge();
-                self.dispatch_job(token, req, charge, est.class, ready_at);
+                self.dispatch_job(token, req, charge, est.class, ready_at, trace);
             }
             TryAdmit::Queued(ticket) => {
                 // Park in the event loop: no worker thread is held while
-                // this request waits for budget.
+                // this request waits for budget. The admission decision is
+                // stamped when the queue head is eventually claimed (or
+                // the request sheds), so park time shows up between
+                // `parsed` and `admitted`.
                 let timer = self.timers.insert(
                     Instant::now(),
                     self.cfg.queue_deadline,
@@ -935,18 +1171,44 @@ impl EventLoop<'_> {
                     class: est.class,
                     ready_at,
                     timer,
+                    trace,
                 };
                 self.parked.insert(ticket.raw(), token);
             }
             TryAdmit::Shed(shed) => {
-                self.push_reply(
-                    token,
-                    overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
-                );
+                self.shed_reply(token, trace, shed.reason, shed.retry_after_ms);
             }
         }
     }
 
+    /// The typed overload reply plus its complete trace record: a shed
+    /// request's remaining phases collapse to the shed instant.
+    fn shed_reply(
+        &mut self,
+        token: u64,
+        mut trace: PendingTrace,
+        reason: ShedReason,
+        retry_after_ms: u64,
+    ) {
+        trace.outcome = "overloaded";
+        trace.collapse_remaining(Instant::now());
+        logev!(
+            Level::Info,
+            "serve.shed",
+            id = trace.id,
+            conn = trace.conn,
+            op = trace.op,
+            reason = shed_reason_text(reason),
+            retry_after_ms = retry_after_ms,
+        );
+        self.push_reply_traced(
+            token,
+            overloaded_reply(shed_reason_text(reason), retry_after_ms),
+            trace,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_job(
         &mut self,
         token: u64,
@@ -954,6 +1216,7 @@ impl EventLoop<'_> {
         charge: Charge,
         class: OpClass,
         ready_at: Instant,
+        trace: PendingTrace,
     ) {
         if let Some(conn) = self.conns.get_mut(&token) {
             conn.phase = ConnPhase::Executing;
@@ -973,6 +1236,7 @@ impl EventLoop<'_> {
             charge,
             class,
             ready_at,
+            trace,
         });
         drop(jobs);
         self.state.jobs_cv.notify_one();
@@ -990,12 +1254,17 @@ impl EventLoop<'_> {
         for c in done {
             self.outstanding -= 1;
             let Some(conn) = self.conns.get_mut(&c.token) else {
-                continue; // connection died while its request executed
+                // Connection died while its request executed: the reply is
+                // undeliverable but the trace record still completes.
+                let mut trace = c.trace;
+                trace.outcome = "closed";
+                self.state.finish_trace(trace, Instant::now());
+                continue;
             };
             if matches!(conn.phase, ConnPhase::Executing) {
                 conn.phase = ConnPhase::Ready;
             }
-            self.push_reply(c.token, c.reply);
+            self.push_reply_traced(c.token, c.reply, c.trace);
             self.after_io(c.token);
         }
     }
@@ -1008,6 +1277,24 @@ impl EventLoop<'_> {
             };
             conn.write_buf.extend_from_slice(reply.as_bytes());
             conn.write_buf.push(b'\n');
+        }
+        self.flush_writes(token);
+        self.rearm_idle(token);
+    }
+
+    /// [`Self::push_reply`], plus the request's trace: the trace finishes
+    /// when the reply bytes fully drain to the socket — immediately if
+    /// this flush empties the write buffer, otherwise from a later
+    /// [`Self::flush_writes`] (or connection teardown).
+    fn push_reply_traced(&mut self, token: u64, reply: String, trace: PendingTrace) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                self.state.finish_trace(trace, Instant::now());
+                return;
+            };
+            conn.write_buf.extend_from_slice(reply.as_bytes());
+            conn.write_buf.push(b'\n');
+            conn.unflushed.push(trace);
         }
         self.flush_writes(token);
         self.rearm_idle(token);
@@ -1049,6 +1336,12 @@ impl EventLoop<'_> {
         if conn.write_pos == conn.write_buf.len() {
             conn.write_buf.clear();
             conn.write_pos = 0;
+            if !conn.unflushed.is_empty() {
+                let now = Instant::now();
+                for trace in conn.unflushed.drain(..) {
+                    self.state.finish_trace(trace, now);
+                }
+            }
             if let Some(id) = conn.stall_timer.take() {
                 self.timers.cancel(id);
             }
@@ -1170,7 +1463,7 @@ impl EventLoop<'_> {
     }
 
     fn park_deadline(&mut self, token: u64, id: TimerId) {
-        let ticket = {
+        let (ticket, trace) = {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
@@ -1179,21 +1472,19 @@ impl EventLoop<'_> {
             if !matches_timer {
                 return;
             }
-            let ConnPhase::Parked { ticket, .. } =
+            let ConnPhase::Parked { ticket, trace, .. } =
                 std::mem::replace(&mut conn.phase, ConnPhase::Ready)
             else {
                 unreachable!("checked parked above");
             };
-            ticket
+            (ticket, trace)
         };
         self.parked.remove(&ticket.raw());
         if let Some(shed) = self.state.admission.shed_ticket(ticket) {
-            self.push_reply(
-                token,
-                overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
-            );
+            self.shed_reply(token, trace, shed.reason, shed.retry_after_ms);
         } else {
             // Cannot race with claim_head (same thread); defensive only.
+            self.state.finish_trace(trace, Instant::now());
             self.rearm_idle(token);
         }
         self.after_io(token);
@@ -1220,13 +1511,15 @@ impl EventLoop<'_> {
                         class,
                         ready_at,
                         timer,
+                        mut trace,
                         ..
                     } = phase
                     else {
                         unreachable!("parked map points at a non-parked conn");
                     };
                     self.timers.cancel(timer);
-                    self.dispatch_job(token, request, permit.into_charge(), class, ready_at);
+                    trace.mark_admitted(Instant::now());
+                    self.dispatch_job(token, request, permit.into_charge(), class, ready_at, trace);
                 }
                 HeadClaim::Shed { ticket, shed } => {
                     let Some(token) = self.parked.remove(&ticket.raw()) else {
@@ -1236,14 +1529,11 @@ impl EventLoop<'_> {
                         continue;
                     };
                     let phase = std::mem::replace(&mut conn.phase, ConnPhase::Ready);
-                    let ConnPhase::Parked { timer, .. } = phase else {
+                    let ConnPhase::Parked { timer, trace, .. } = phase else {
                         unreachable!("parked map points at a non-parked conn");
                     };
                     self.timers.cancel(timer);
-                    self.push_reply(
-                        token,
-                        overloaded_reply(shed_reason_text(shed.reason), shed.retry_after_ms),
-                    );
+                    self.shed_reply(token, trace, shed.reason, shed.retry_after_ms);
                     self.after_io(token);
                 }
             }
@@ -1299,18 +1589,33 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.remove(&token) else {
             return;
         };
+        let now = Instant::now();
         if let Some(id) = conn.idle_timer {
             self.timers.cancel(id);
         }
         if let Some(id) = conn.stall_timer {
             self.timers.cancel(id);
         }
-        if let ConnPhase::Parked { ticket, timer, .. } = conn.phase {
+        // Replies whose bytes never fully drained still complete their
+        // trace records at teardown.
+        for trace in conn.unflushed {
+            self.state.finish_trace(trace, now);
+        }
+        if let ConnPhase::Parked {
+            ticket,
+            timer,
+            mut trace,
+            ..
+        } = conn.phase
+        {
             self.timers.cancel(timer);
             self.parked.remove(&ticket.raw());
             // The connection died while parked: nobody to answer, so no
             // shed accounting either.
             self.state.admission.forget_ticket(ticket);
+            trace.outcome = "closed";
+            trace.collapse_remaining(now);
+            self.state.finish_trace(trace, now);
         }
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         if count_partial && !conn.read_buf.is_empty() {
@@ -1318,7 +1623,14 @@ impl EventLoop<'_> {
                 .counters
                 .truncated_requests
                 .fetch_add(1, Ordering::SeqCst);
+            // A partial line never reached `handle_line`, so synthesize
+            // its complete trace record here.
+            let mut trace = PendingTrace::new(self.state.next_request_id(), conn.conn_id, now);
+            trace.outcome = "truncated";
+            trace.collapse_remaining(now);
+            self.state.finish_trace(trace, now);
         }
+        logev!(Level::Debug, "serve.close", conn = conn.conn_id);
         self.state
             .counters
             .open_connections
@@ -1338,12 +1650,15 @@ fn shed_reason_text(reason: ShedReason) -> &'static str {
 
 /// Executes one admitted chargeable request on a worker thread. The
 /// admission permit is held by the caller ([`worker_loop`]) across this
-/// call, covering cache waits and batched execution alike.
-fn execute_chargeable(state: &ServerState, req: &Request) -> String {
+/// call, covering cache waits and batched execution alike. Returns the
+/// reply line plus the trace attribution: cache outcome
+/// (`"hit"`/`"miss"`/`"none"`) and whether the request succeeded.
+fn execute_chargeable(state: &ServerState, req: &Request) -> (String, &'static str, bool) {
     let fail = |msg: &str| {
         state.counters.errors.fetch_add(1, Ordering::SeqCst);
-        error_reply(msg)
+        (error_reply(msg), "none", false)
     };
+    let cache_name = |hit: bool| if hit { "hit" } else { "miss" };
     match req {
         Request::Artefact { name, scale } => {
             state
@@ -1351,8 +1666,8 @@ fn execute_chargeable(state: &ServerState, req: &Request) -> String {
                 .artefact_requests
                 .fetch_add(1, Ordering::SeqCst);
             match serve_artefact(state, name, *scale) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(text) => ok_artefact(name, text),
+                Ok((bytes, hit)) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => (ok_artefact(name, text), cache_name(hit), true),
                     Err(_) => fail("artefact bytes are not UTF-8"),
                 },
                 Err(msg) => fail(&msg),
@@ -1364,13 +1679,17 @@ fn execute_chargeable(state: &ServerState, req: &Request) -> String {
                 .compile_requests
                 .fetch_add(1, Ordering::SeqCst);
             match serve_compile(state, source, spec) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(text) => ok_compile(text),
+                Ok((bytes, phases)) => match std::str::from_utf8(&bytes) {
+                    Ok(text) => (
+                        ok_compile(text, phases.as_ref()),
+                        cache_name(phases.is_none()),
+                        true,
+                    ),
                     Err(_) => fail("compile bytes are not UTF-8"),
                 },
                 Err((msg, line, col)) => {
                     state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                    error_reply_at(&msg, line, col)
+                    (error_reply_at(&msg, line, col), "none", false)
                 }
             }
         }
@@ -1381,14 +1700,18 @@ fn execute_chargeable(state: &ServerState, req: &Request) -> String {
         } => {
             state.counters.sim_requests.fetch_add(1, Ordering::SeqCst);
             match serve_sim(state, kernel, *scale, spec) {
-                Ok(bytes) => match std::str::from_utf8(&bytes) {
-                    Ok(fragment) => ok_sim(kernel, fragment),
+                Ok((bytes, hit)) => match std::str::from_utf8(&bytes) {
+                    Ok(fragment) => (ok_sim(kernel, fragment), cache_name(hit), true),
                     Err(_) => fail("report bytes are not UTF-8"),
                 },
                 Err(msg) => fail(&msg),
             }
         }
-        Request::Estimate(_) | Request::Stats | Request::Shutdown => {
+        Request::Estimate(_)
+        | Request::Stats
+        | Request::Metrics
+        | Request::Trace
+        | Request::Shutdown => {
             unreachable!("control-plane ops are served inline by the event loop")
         }
     }
@@ -1402,7 +1725,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "worker panicked".to_owned())
 }
 
-fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<Vec<u8>>, String> {
+fn serve_artefact(
+    state: &ServerState,
+    name: &str,
+    scale: Scale,
+) -> Result<(Arc<Vec<u8>>, bool), String> {
     let Some(render) = state.artefacts.get(name) else {
         let names = state.artefacts.names_sorted();
         let suggestion = mve_kernels::registry::did_you_mean(name, &names)
@@ -1414,7 +1741,7 @@ fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<V
         ));
     };
     match state.cache.fetch(artefact_key(name, scale)) {
-        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Hit(bytes) => Ok((bytes, true)),
         Fetch::Miss => {
             let key = artefact_key(name, scale);
             if state.faults.should_abandon_reservation() {
@@ -1425,7 +1752,7 @@ fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<V
                 state.faults.on_compute();
                 render(scale)
             })) {
-                Ok(text) => Ok(state.cache.fulfill(key, text.into_bytes())),
+                Ok(text) => Ok((state.cache.fulfill(key, text.into_bytes()), false)),
                 Err(payload) => {
                     state.cache.abandon(key);
                     Err(format!(
@@ -1441,16 +1768,16 @@ fn serve_artefact(state: &ServerState, name: &str, scale: Scale) -> Result<Arc<V
 /// Compiles, executes, checks and times a client-submitted kernel behind
 /// the single-flight cache, keyed on the source digest plus the canonical
 /// configuration encoding. Diagnostics come back with their source
-/// position (`line`/`col`) for the typed error reply.
-fn serve_compile(
-    state: &ServerState,
-    source: &str,
-    spec: &SimSpec,
-) -> Result<Arc<Vec<u8>>, (String, u32, u32)> {
+/// position (`line`/`col`) for the typed error reply. A cache miss also
+/// returns the per-phase compile timings (the cached bytes stay exactly
+/// the golden render, so hits carry no timings).
+type CompileOutcome = Result<(Arc<Vec<u8>>, Option<CompilePhases>), (String, u32, u32)>;
+
+fn serve_compile(state: &ServerState, source: &str, spec: &SimSpec) -> CompileOutcome {
     let cfg = spec.to_config();
     let key = compile_key(source, &cfg);
     match state.cache.fetch(key) {
-        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Hit(bytes) => Ok((bytes, None)),
         Fetch::Miss => {
             if state.faults.should_abandon_reservation() {
                 state.cache.abandon(key);
@@ -1458,10 +1785,12 @@ fn serve_compile(
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
                 state.faults.on_compute();
-                mve_lang::compile_and_render(source, &cfg)
+                mve_lang::compile_and_render_timed(source, &cfg)
             }));
             match result {
-                Ok(Ok(text)) => Ok(state.cache.fulfill(key, text.into_bytes())),
+                Ok(Ok((text, phases))) => {
+                    Ok((state.cache.fulfill(key, text.into_bytes()), Some(phases)))
+                }
                 Ok(Err(diag)) => {
                     state.cache.abandon(key);
                     Err((diag.message.clone(), diag.span.line, diag.span.col))
@@ -1484,14 +1813,14 @@ fn serve_sim(
     kernel: &str,
     scale: Scale,
     spec: &SimSpec,
-) -> Result<Arc<Vec<u8>>, String> {
+) -> Result<(Arc<Vec<u8>>, bool), String> {
     // Resolve the name first: the unknown-kernel reply is the registry's
     // own sorted-vocabulary message, shared with the CLI front-ends.
     let kernel_impl = kernel_by_name(kernel).map_err(|e| e.to_string())?;
     let cfg = spec.to_config();
     let key = sim_key(kernel, scale, &cfg);
     match state.cache.fetch(key) {
-        Fetch::Hit(bytes) => Ok(bytes),
+        Fetch::Hit(bytes) => Ok((bytes, true)),
         Fetch::Miss => {
             if state.faults.should_abandon_reservation() {
                 state.cache.abandon(key);
@@ -1532,7 +1861,7 @@ fn serve_sim(
                     },
                 )
             }));
-            result.map_err(|payload| {
+            result.map(|bytes| (bytes, false)).map_err(|payload| {
                 // The batcher's leader guard has already abandoned every
                 // registered reservation.
                 format!("sim `{kernel}` failed: {}", panic_message(&*payload))

@@ -1,0 +1,305 @@
+//! Per-request lifecycle tracing.
+//!
+//! Every request line gets a monotonically-assigned id and a
+//! [`PendingTrace`] that collects phase timestamps as it moves through
+//! the daemon: received → parsed → admission decision → (queue wait) →
+//! dispatched on a worker → executed → reply flushed. Completed traces
+//! land in a bounded ring buffer ([`TraceRing`], last 256) that the
+//! control-plane `trace` op snapshots, and each completion also emits a
+//! structured log event.
+//!
+//! Invariants the serialization guarantees (and the test suites assert):
+//!
+//! * phase timestamps are monotone — later phases never report an
+//!   earlier microsecond than earlier ones (skipped phases inherit the
+//!   previous phase's timestamp, so control-plane ops collapse cleanly);
+//! * `queue_wait_us == dispatched_us - admitted_us`, exactly;
+//! * *every* request produces a complete record — served, error, shed
+//!   (`overloaded`), and truncated requests alike.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// How many completed traces the ring retains.
+pub const TRACE_RING_CAPACITY: usize = 256;
+
+/// A request's in-flight trace: raw `Instant`s, stamped as phases pass.
+/// Later phases default to the previous phase's time when skipped, so a
+/// finished trace is monotone by construction.
+#[derive(Debug)]
+pub struct PendingTrace {
+    /// Monotonic request id (daemon-wide).
+    pub id: u64,
+    /// Accept ordinal of the owning connection.
+    pub conn: u64,
+    /// Wire op name (`"artefact"`, `"stats"`, …; `"unknown"` before parse).
+    pub op: &'static str,
+    /// Outcome label: `ok`, `error`, `overloaded`, `truncated`, `closed`.
+    pub outcome: &'static str,
+    /// Cache outcome: `hit`, `miss`, or `none` (uncached/control-plane).
+    pub cache: &'static str,
+    received: Instant,
+    parsed: Option<Instant>,
+    admitted: Option<Instant>,
+    dispatched: Option<Instant>,
+    executed: Option<Instant>,
+}
+
+impl PendingTrace {
+    /// A new trace for a request line received at `received`.
+    pub fn new(id: u64, conn: u64, received: Instant) -> PendingTrace {
+        PendingTrace {
+            id,
+            conn,
+            op: "unknown",
+            outcome: "ok",
+            cache: "none",
+            received,
+            parsed: None,
+            admitted: None,
+            dispatched: None,
+            executed: None,
+        }
+    }
+
+    pub fn mark_parsed(&mut self, at: Instant) {
+        self.parsed = Some(at);
+    }
+
+    /// Admission decided (admitted from budget or claimed from the queue
+    /// head). For shed requests this is the shed instant.
+    pub fn mark_admitted(&mut self, at: Instant) {
+        self.admitted = Some(at);
+    }
+
+    /// A worker picked the job up.
+    pub fn mark_dispatched(&mut self, at: Instant) {
+        self.dispatched = Some(at);
+    }
+
+    /// The handler finished (reply bytes exist).
+    pub fn mark_executed(&mut self, at: Instant) {
+        self.executed = Some(at);
+    }
+
+    /// Collapses the remaining phases to `at` — the inline control-plane
+    /// path and the shed/error paths, where nothing queues or executes.
+    pub fn collapse_remaining(&mut self, at: Instant) {
+        self.parsed.get_or_insert(at);
+        self.admitted.get_or_insert(at);
+        self.dispatched.get_or_insert(at);
+        self.executed.get_or_insert(at);
+    }
+
+    /// Finalizes at reply-flush time into microsecond offsets from the
+    /// daemon `epoch`. Skipped phases inherit the previous phase.
+    pub fn finish(self, flushed: Instant, epoch: Instant) -> RequestTrace {
+        let us = |t: Instant| t.saturating_duration_since(epoch).as_micros() as u64;
+        let received = us(self.received);
+        let parsed = self.parsed.map(&us).unwrap_or(received).max(received);
+        let admitted = self.admitted.map(&us).unwrap_or(parsed).max(parsed);
+        let dispatched = self.dispatched.map(&us).unwrap_or(admitted).max(admitted);
+        let executed = self.executed.map(&us).unwrap_or(dispatched).max(dispatched);
+        let flushed = us(flushed).max(executed);
+        RequestTrace {
+            id: self.id,
+            conn: self.conn,
+            op: self.op,
+            outcome: self.outcome,
+            cache: self.cache,
+            received_us: received,
+            parsed_us: parsed,
+            admitted_us: admitted,
+            dispatched_us: dispatched,
+            executed_us: executed,
+            flushed_us: flushed,
+        }
+    }
+}
+
+/// One completed request trace: phase timestamps in µs since the daemon
+/// started, monotone in field order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    pub id: u64,
+    pub conn: u64,
+    pub op: &'static str,
+    pub outcome: &'static str,
+    pub cache: &'static str,
+    pub received_us: u64,
+    pub parsed_us: u64,
+    pub admitted_us: u64,
+    pub dispatched_us: u64,
+    pub executed_us: u64,
+    pub flushed_us: u64,
+}
+
+impl RequestTrace {
+    /// Queue wait (admission decision → worker pickup), the derived
+    /// duration the invariant tests pin: always exactly
+    /// `dispatched_us - admitted_us`.
+    pub fn queue_wait_us(&self) -> u64 {
+        self.dispatched_us - self.admitted_us
+    }
+
+    /// Serializes one trace record for the `trace` reply.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), Json::U64(self.id)),
+            ("conn".to_owned(), Json::U64(self.conn)),
+            ("op".to_owned(), Json::Str(self.op.to_owned())),
+            ("outcome".to_owned(), Json::Str(self.outcome.to_owned())),
+            ("cache".to_owned(), Json::Str(self.cache.to_owned())),
+            ("received_us".to_owned(), Json::U64(self.received_us)),
+            ("parsed_us".to_owned(), Json::U64(self.parsed_us)),
+            ("admitted_us".to_owned(), Json::U64(self.admitted_us)),
+            ("dispatched_us".to_owned(), Json::U64(self.dispatched_us)),
+            ("executed_us".to_owned(), Json::U64(self.executed_us)),
+            ("flushed_us".to_owned(), Json::U64(self.flushed_us)),
+            ("queue_wait_us".to_owned(), Json::U64(self.queue_wait_us())),
+            (
+                "total_us".to_owned(),
+                Json::U64(self.flushed_us - self.received_us),
+            ),
+        ])
+    }
+}
+
+/// Bounded ring of completed traces, oldest evicted first.
+#[derive(Debug)]
+pub struct TraceRing {
+    ring: Mutex<VecDeque<RequestTrace>>,
+    capacity: usize,
+    recorded: AtomicU64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(TRACE_RING_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one completed trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: RequestTrace) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total traces ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.iter().copied().collect()
+    }
+
+    /// The `trace` reply body: `[{...}, ...]`, oldest first.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.snapshot().iter().map(RequestTrace::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn phases_are_monotone_and_queue_wait_is_exact() {
+        let epoch = Instant::now();
+        let t = |us: u64| epoch + Duration::from_micros(us);
+        let mut p = PendingTrace::new(7, 2, t(10));
+        p.op = "sim";
+        p.mark_parsed(t(12));
+        p.mark_admitted(t(15));
+        p.mark_dispatched(t(40));
+        p.mark_executed(t(90));
+        p.cache = "miss";
+        let r = p.finish(t(95), epoch);
+        assert_eq!(
+            (
+                r.received_us,
+                r.parsed_us,
+                r.admitted_us,
+                r.dispatched_us,
+                r.executed_us,
+                r.flushed_us
+            ),
+            (10, 12, 15, 40, 90, 95)
+        );
+        assert_eq!(r.queue_wait_us(), r.dispatched_us - r.admitted_us);
+        assert_eq!(r.queue_wait_us(), 25);
+        let json = r.to_json();
+        assert_eq!(json.get("queue_wait_us").and_then(Json::as_u64), Some(25));
+        assert_eq!(json.get("total_us").and_then(Json::as_u64), Some(85));
+        assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
+    }
+
+    #[test]
+    fn skipped_phases_inherit_and_stay_monotone() {
+        let epoch = Instant::now();
+        let t = |us: u64| epoch + Duration::from_micros(us);
+        // A control-plane op: parse then straight to the reply.
+        let mut p = PendingTrace::new(1, 0, t(100));
+        p.op = "stats";
+        p.collapse_remaining(t(103));
+        let r = p.finish(t(104), epoch);
+        let ts = [
+            r.received_us,
+            r.parsed_us,
+            r.admitted_us,
+            r.dispatched_us,
+            r.executed_us,
+            r.flushed_us,
+        ];
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        assert_eq!(r.queue_wait_us(), 0);
+        // A never-parsed (truncated) request: everything collapses to the
+        // finish instant and the record is still complete.
+        let p = PendingTrace::new(2, 0, t(200));
+        let r = p.finish(t(201), epoch);
+        assert_eq!(r.parsed_us, 200);
+        assert_eq!(r.flushed_us, 201);
+        assert_eq!(r.queue_wait_us(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_all_records() {
+        let ring = TraceRing::new(4);
+        let epoch = Instant::now();
+        for id in 0..10 {
+            let p = PendingTrace::new(id, 0, epoch);
+            ring.push(p.finish(epoch, epoch));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.first().map(|t| t.id), Some(6));
+        assert_eq!(snap.last().map(|t| t.id), Some(9));
+        assert_eq!(ring.recorded(), 10);
+        if let Json::Arr(items) = ring.to_json() {
+            assert_eq!(items.len(), 4);
+        } else {
+            panic!("trace reply must be an array");
+        }
+    }
+}

@@ -321,3 +321,155 @@ fn open_loop_driver_loses_nothing_at_32_connections() {
     handle.shutdown();
     join.join().expect("server thread");
 }
+
+/// Asserts the lifecycle invariants every completed trace record must
+/// satisfy: phases monotone in wire order, `queue_wait_us` exactly
+/// `dispatched_us - admitted_us`, `total_us` exactly
+/// `flushed_us - received_us`.
+fn assert_trace_invariants(t: &Json) {
+    let us = |key: &str| {
+        t.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("trace record lacks `{key}`: {t:?}"))
+    };
+    let phases = [
+        us("received_us"),
+        us("parsed_us"),
+        us("admitted_us"),
+        us("dispatched_us"),
+        us("executed_us"),
+        us("flushed_us"),
+    ];
+    assert!(
+        phases.windows(2).all(|w| w[0] <= w[1]),
+        "phases not monotone: {t:?}"
+    );
+    assert_eq!(
+        us("queue_wait_us"),
+        us("dispatched_us") - us("admitted_us"),
+        "queue_wait must equal dispatched - admitted: {t:?}"
+    );
+    assert_eq!(
+        us("total_us"),
+        us("flushed_us") - us("received_us"),
+        "total must equal flushed - received: {t:?}"
+    );
+}
+
+/// The `metrics` op's Prometheus exposition round-trips through the
+/// strict `mve_obs` parser, and its counters agree with the `stats` reply
+/// fetched immediately after on the same connection. `requests` itself
+/// differs by exactly one (the stats request), because the counter
+/// increments before the reply body is built.
+#[test]
+fn metrics_exposition_parses_and_cross_checks_stats() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(ServeOptions::default(), renders);
+    let mut c = Client::connect(("127.0.0.1", port)).expect("connect");
+
+    for _ in 0..3 {
+        c.artefact("alpha", Scale::Test).expect("artefact");
+    }
+    let text = c.metrics().expect("metrics");
+    let exp = mve_obs::metrics::parse_exposition(&text)
+        .unwrap_or_else(|e| panic!("exposition must parse: {e}\n{text}"));
+    let stats = c.stats().expect("stats");
+
+    // Counters no control-plane op touches must agree exactly.
+    for key in [
+        "artefact_requests",
+        "sim_requests",
+        "compile_requests",
+        "hits",
+        "misses",
+        "evictions",
+        "admitted",
+        "sheds",
+    ] {
+        let exposed = exp
+            .value(&format!("mve_serve_{key}"), &[])
+            .unwrap_or_else(|| panic!("exposition lacks mve_serve_{key}:\n{text}"));
+        assert_eq!(exposed, stat(&stats, key) as f64, "counter {key} drifted");
+    }
+    // One hit path sanity check: 3 identical renders = 1 miss + 2 hits.
+    assert_eq!(exp.value("mve_serve_hits", &[]), Some(2.0));
+    assert_eq!(exp.value("mve_serve_misses", &[]), Some(1.0));
+    // `requests` advances with every op; the later stats reply counts the
+    // exposition's own request plus itself.
+    assert_eq!(
+        stat(&stats, "requests") as f64,
+        exp.value("mve_serve_requests", &[]).expect("requests") + 1.0
+    );
+
+    // The latency histograms render as real Prometheus histograms with
+    // per-class labels and cumulative buckets capped by +Inf == _count.
+    assert_eq!(
+        exp.family_type("mve_serve_request_service_us"),
+        Some("histogram")
+    );
+    let count = exp
+        .value(
+            "mve_serve_request_service_us_count",
+            &[("class", "artefact")],
+        )
+        .expect("artefact service count");
+    assert_eq!(count, 3.0);
+    let inf = exp
+        .value(
+            "mve_serve_request_service_us_bucket",
+            &[("class", "artefact"), ("le", "+Inf")],
+        )
+        .expect("+Inf bucket");
+    assert_eq!(inf, count, "+Inf bucket must equal _count");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Every served request — chargeable and control-plane alike — leaves a
+/// complete, invariant-satisfying record in the trace ring, with ids
+/// strictly increasing and cache hit/miss attribution on artefact ops.
+#[test]
+fn trace_ring_records_complete_lifecycles_for_served_requests() {
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(ServeOptions::default(), renders);
+    let mut c = Client::connect(("127.0.0.1", port)).expect("connect");
+
+    c.artefact("alpha", Scale::Test).expect("miss render");
+    c.artefact("alpha", Scale::Test).expect("hit render");
+    c.stats().expect("stats");
+    let traces = c.trace().expect("trace");
+
+    // The three completed requests above are all flushed before the
+    // `trace` request was even received, so all three must be present.
+    assert!(traces.len() >= 3, "expected >= 3 records, got {traces:?}");
+    for t in &traces {
+        assert_trace_invariants(t);
+        assert_eq!(t.get("outcome").and_then(Json::as_str), Some("ok"));
+    }
+    let op = |t: &Json| t.get("op").and_then(Json::as_str).map(str::to_owned);
+    let cache = |t: &Json| t.get("cache").and_then(Json::as_str).map(str::to_owned);
+    let artefacts: Vec<&Json> = traces
+        .iter()
+        .filter(|t| op(t).as_deref() == Some("artefact"))
+        .collect();
+    assert_eq!(artefacts.len(), 2, "{traces:?}");
+    assert_eq!(cache(artefacts[0]).as_deref(), Some("miss"));
+    assert_eq!(cache(artefacts[1]).as_deref(), Some("hit"));
+    assert!(
+        traces.iter().any(|t| op(t).as_deref() == Some("stats")
+            && t.get("queue_wait_us").and_then(Json::as_u64) == Some(0)),
+        "inline stats op must trace with zero queue wait: {traces:?}"
+    );
+    let ids: Vec<u64> = traces
+        .iter()
+        .filter_map(|t| t.get("id").and_then(Json::as_u64))
+        .collect();
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be strictly increasing: {ids:?}"
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

@@ -384,3 +384,139 @@ fn backoff_client_retries_through_overload_to_success() {
     handle.shutdown();
     join.join().expect("server thread");
 }
+
+/// ISSUE-9 trace completeness under overload: the shed (queue-deadline
+/// expired), the truncated teardown (a partial line on a connection the
+/// idle reaper closes — EOF would instead serve the tail), and the
+/// served occupier all leave complete records in the trace ring, each
+/// satisfying the lifecycle invariants — monotone phases and
+/// `queue_wait_us == dispatched_us - admitted_us`.
+#[test]
+fn overload_and_truncation_leave_complete_trace_records() {
+    use std::time::Instant;
+
+    let model = CostModel::committed();
+    let budget = model.artefact_cost(Scale::Test); // fits exactly one
+    let renders = Arc::new(AtomicU64::new(0));
+    let (port, handle, join) = boot(
+        ServeOptions {
+            workers: 2,
+            cost_budget: budget,
+            queue_cap: 4,
+            queue_deadline: Duration::from_millis(80),
+            // Short enough to reap the mid-line connection while the
+            // test runs; executing and parked connections cancel their
+            // idle timer, so the occupier is safe.
+            idle_timeout: Duration::from_millis(200),
+            ..ServeOptions::default()
+        },
+        slow_registry(Arc::clone(&renders), 500),
+    );
+
+    // Conn A occupies the whole budget for ~500 ms.
+    let occupier = std::thread::spawn(move || {
+        let mut a = Client::connect(("127.0.0.1", port)).expect("connect A");
+        a.request(&artefact_req(BURST_NAMES[0])).expect("A serves")
+    });
+    std::thread::sleep(Duration::from_millis(120)); // A admitted, executing
+
+    // Conn B parks in the admission queue, then sheds at the deadline.
+    let mut b = Client::connect(("127.0.0.1", port)).expect("connect B");
+    match b.request(&artefact_req(BURST_NAMES[1])) {
+        Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+            assert!(retry_after_ms >= 1, "hint must be actionable")
+        }
+        other => panic!("B must shed at the queue deadline: {other:?}"),
+    }
+
+    // Conn C sends a partial request (no newline) and then just sits
+    // there holding the socket open: the idle reaper closes it mid-line,
+    // which must synthesize a complete `truncated` record. (Closing the
+    // socket ourselves would send EOF, and the daemon deliberately serves
+    // a final unterminated request at EOF instead of discarding it.)
+    let mut c = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect C");
+    {
+        use std::io::Write;
+        c.write_all(b"{\"op\":\"sta").expect("partial line");
+    }
+
+    occupier.join().expect("occupier thread");
+
+    // The truncated record lands asynchronously when the event loop reaps
+    // conn C; poll the ring until all three outcomes are present.
+    let mut t = Client::connect(("127.0.0.1", port)).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let traces = loop {
+        let traces = t.trace().expect("trace");
+        let has = |outcome: &str| {
+            traces
+                .iter()
+                .any(|r| r.get("outcome").and_then(Json::as_str) == Some(outcome))
+        };
+        if has("ok") && has("overloaded") && has("truncated") {
+            break traces;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "missing expected outcomes in {traces:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let us = |r: &Json, key: &str| {
+        r.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("trace record lacks `{key}`: {r:?}"))
+    };
+    for r in &traces {
+        let phases = [
+            us(r, "received_us"),
+            us(r, "parsed_us"),
+            us(r, "admitted_us"),
+            us(r, "dispatched_us"),
+            us(r, "executed_us"),
+            us(r, "flushed_us"),
+        ];
+        assert!(phases.windows(2).all(|w| w[0] <= w[1]), "{r:?}");
+        assert_eq!(
+            us(r, "queue_wait_us"),
+            us(r, "dispatched_us") - us(r, "admitted_us"),
+            "{r:?}"
+        );
+    }
+    fn outcome(r: &Json) -> &str {
+        r.get("outcome").and_then(Json::as_str).unwrap_or("")
+    }
+    let shed = traces
+        .iter()
+        .find(|r| outcome(r) == "overloaded")
+        .expect("shed record");
+    assert_eq!(shed.get("op").and_then(Json::as_str), Some("artefact"));
+    // The shed collapses at the shed instant, after the ~80 ms park.
+    assert_eq!(us(shed, "queue_wait_us"), 0);
+    assert!(
+        us(shed, "admitted_us") - us(shed, "parsed_us") >= 40_000,
+        "the deadline park must be visible between parsed and the shed \
+         instant: {shed:?}"
+    );
+    let truncated = traces
+        .iter()
+        .find(|r| outcome(r) == "truncated")
+        .expect("truncated record");
+    assert_eq!(truncated.get("op").and_then(Json::as_str), Some("unknown"));
+    assert_eq!(us(truncated, "queue_wait_us"), 0);
+    let served = traces
+        .iter()
+        .find(|r| outcome(r) == "ok" && r.get("op").and_then(Json::as_str) == Some("artefact"))
+        .expect("served record");
+    assert_eq!(served.get("cache").and_then(Json::as_str), Some("miss"));
+    // A real execution: the worker phase has nonzero width.
+    assert!(
+        us(served, "executed_us") > us(served, "dispatched_us"),
+        "{served:?}"
+    );
+
+    drop(c); // the reaper beat us to it; this is just cleanup
+    handle.shutdown();
+    join.join().expect("server thread");
+}
