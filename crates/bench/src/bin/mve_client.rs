@@ -7,18 +7,24 @@
 //!            [--arrays N] [--ooo] [--no-mode-switch] [--no-cache-warming]
 //! mve-client [--port N] [--flood N] compile FILE.mvel [--scheme S] [--ooo]
 //!            [--no-mode-switch] [--no-cache-warming]
+//! mve-client [--port N] [--flood N] profile FILE.mvel [--scheme S] [--ooo]
+//!            [--no-mode-switch] [--no-cache-warming]
 //! mve-client [--port N] estimate (artefact NAME | sim KERNEL | compile FILE) [...]
 //! mve-client [--port N] stats [--watch SECS] [--samples N]
 //! mve-client [--port N] metrics [--check]
-//! mve-client [--port N] trace
+//! mve-client [--port N] trace [--chrome OUT.json]
 //! mve-client [--port N] shutdown
 //! ```
 //!
 //! `metrics` prints the daemon's Prometheus text exposition; `--check`
 //! additionally validates it with the strict `mve_obs` parser and
-//! cross-checks the stable counters against the `stats` reply (the CI
-//! scrape step). `trace` prints the last-256 request trace ring, one
-//! JSON record per line. `stats --watch SECS` polls the `metrics` op
+//! cross-checks the stable counters against the `stats` reply and the
+//! `mve_serve_measured_cost_us` gauge family against an `estimate` reply
+//! (the CI scrape step). `trace` prints the request trace ring, one JSON
+//! record per line; `--chrome OUT.json` instead writes the ring as
+//! Chrome trace-event JSON (one track per connection, queue wait as its
+//! own slice) for `chrome://tracing` / Perfetto.
+//! `stats --watch SECS` polls the `metrics` op
 //! every SECS seconds and prints one compact delta line per interval
 //! (req/s, hit rate, p99 service µs computed client-side from the
 //! exposition's histogram buckets); `--samples N` stops after N lines.
@@ -28,6 +34,13 @@
 //! cached on the source digest + configuration), and prints the rendered
 //! compile artefact. Parse/type errors print as `FILE:line:col: message`
 //! and exit non-zero.
+//!
+//! `profile` does the same but asks for the per-source-line engine
+//! profile: the daemon compiles, executes with line markers, replays the
+//! trace through the profiling sink and timing simulator, and the client
+//! prints the perf-annotate-style annotated source (cycle share,
+//! instruction counts, spill traffic per line). Replies are single-flight
+//! cached like `compile`, so a repeated `profile` is byte-identical.
 //!
 //! `estimate` prices the wrapped request against the daemon's calibrated
 //! cost model without executing it, printing the
@@ -56,7 +69,9 @@ use std::time::{Duration, Instant};
 use mve_bench::artefacts;
 use mve_insram::Scheme;
 use mve_kernels::Scale;
+use mve_obs::log::FieldValue;
 use mve_obs::metrics::{parse_exposition, quantile_from_log2_buckets, Exposition};
+use mve_obs::ChromeTrace;
 use mve_serve::client::{replay_artefacts, Client, ClientError};
 use mve_serve::{Json, Request, SimSpec};
 
@@ -65,10 +80,11 @@ fn usage() -> ! {
         "usage: mve-client [--port N] (--replay-smoke DIR | [--flood N] \
          [--connections N --duration-ms M] artefact NAME [--paper] | [--flood N] \
          [--connections N --duration-ms M] sim KERNEL [--paper] [--scheme S] [--arrays N] \
-         [--ooo] [--no-mode-switch] [--no-cache-warming] | [--flood N] compile FILE.mvel \
-         [--scheme S] [--ooo] [--no-mode-switch] [--no-cache-warming] | \
-         estimate (artefact|sim|compile) ... | stats [--watch SECS] [--samples N] | \
-         metrics [--check] | trace | shutdown)"
+         [--ooo] [--no-mode-switch] [--no-cache-warming] | [--flood N] \
+         (compile|profile) FILE.mvel [--scheme S] [--ooo] [--no-mode-switch] \
+         [--no-cache-warming] | estimate (artefact|sim|compile|profile) ... | \
+         stats [--watch SECS] [--samples N] | metrics [--check] | \
+         trace [--chrome OUT.json] | shutdown)"
     );
     std::process::exit(2);
 }
@@ -76,6 +92,20 @@ fn usage() -> ! {
 fn fail(e: impl std::fmt::Display) -> ! {
     eprintln!("mve-client: {e}");
     std::process::exit(1);
+}
+
+/// `--flag VALUE` anywhere in the tail, value kept as a string (used by
+/// `trace --chrome OUT.json`).
+fn tail_str_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_owned());
+        }
+        if a == flag {
+            return Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+        }
+    }
+    None
 }
 
 /// `--flag N` anywhere in the tail (used by `stats --watch/--samples`,
@@ -146,6 +176,58 @@ fn service_buckets(exp: &Exposition) -> [u64; 64] {
     out
 }
 
+/// Converts the trace-ring records into Chrome trace-event JSON: one
+/// track (`tid`) per connection, one stacked slice per request phase, so
+/// queue wait (`admitted -> dispatched`) is visible as its own slice
+/// under the request's outer span.
+fn chrome_from_traces(records: &[Json]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    let mut named_conns: Vec<u64> = Vec::new();
+    for rec in records {
+        let field = |key: &str| rec.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let text = |key: &str| rec.get(key).and_then(Json::as_str).unwrap_or("?");
+        let conn = field("conn");
+        if !named_conns.contains(&conn) {
+            named_conns.push(conn);
+            trace.name_thread(1, conn, &format!("conn {conn}"));
+        }
+        let op = text("op");
+        let (received, flushed) = (field("received_us"), field("flushed_us"));
+        trace.complete(
+            op,
+            "request",
+            received as f64,
+            flushed.saturating_sub(received) as f64,
+            1,
+            conn,
+            &[
+                ("id", FieldValue::U64(field("id"))),
+                ("outcome", FieldValue::Str(text("outcome").to_owned())),
+                ("cache", FieldValue::Str(text("cache").to_owned())),
+            ],
+        );
+        let phases = [
+            ("parse", field("received_us"), field("parsed_us")),
+            ("admit", field("parsed_us"), field("admitted_us")),
+            ("queue_wait", field("admitted_us"), field("dispatched_us")),
+            ("execute", field("dispatched_us"), field("executed_us")),
+            ("flush", field("executed_us"), field("flushed_us")),
+        ];
+        for (name, start, end) in phases {
+            trace.complete(
+                name,
+                "phase",
+                start as f64,
+                end.saturating_sub(start) as f64,
+                1,
+                conn,
+                &[],
+            );
+        }
+    }
+    trace
+}
+
 /// `stats --watch SECS`: polls the `metrics` op and prints one compact
 /// delta line per interval. The first poll is the baseline.
 fn watch_stats(client: &mut Client, secs: u64, samples: Option<u64>) -> ! {
@@ -203,12 +285,18 @@ fn watch_stats(client: &mut Client, secs: u64, samples: Option<u64>) -> ! {
 /// cross-checks it against the `stats` reply fetched on the same
 /// connection. Counters no control-plane op touches must agree exactly;
 /// `requests` itself advances with every op (the exposition counts its
-/// own request), so it is only checked as monotone.
-fn check_metrics(text: &str, stats: &Json) {
+/// own request), so it is only checked as monotone. `est` is an
+/// `estimate` reply fetched after the scrape: its `measured_cost_us`
+/// (the per-class service-time EWMA) must match the
+/// `mve_serve_measured_cost_us` gauge for the same class, since only
+/// completed requests of that class move the EWMA and none ran between
+/// the scrape and the estimate on a quiet daemon.
+fn check_metrics(text: &str, stats: &Json, est: &Json) {
     const STABLE: &[&str] = &[
         "artefact_requests",
         "sim_requests",
         "compile_requests",
+        "profile_requests",
         "hits",
         "misses",
         "evictions",
@@ -250,8 +338,30 @@ fn check_metrics(text: &str, stats: &Json) {
     if exp.family_type("mve_serve_request_service_us") != Some("histogram") {
         fail("`mve_serve_request_service_us` is not exposed as a histogram");
     }
+    let est_class = est
+        .get("class")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("estimate reply lacks `class`"));
+    let est_measured = est
+        .get("measured_cost_us")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail("estimate reply lacks `measured_cost_us`"));
+    let gauge = exp
+        .value("mve_serve_measured_cost_us", &[("class", est_class)])
+        .unwrap_or_else(|| {
+            fail(format!(
+                "exposition lacks `mve_serve_measured_cost_us{{class=\"{est_class}\"}}`"
+            ))
+        });
+    if (gauge - est_measured).abs() > 1e-9 * est_measured.abs().max(1.0) {
+        fail(format!(
+            "measured cost for class `{est_class}` disagrees: \
+             metrics={gauge} estimate={est_measured}"
+        ));
+    }
     eprintln!(
-        "metrics check ok: {} families, {} samples, {} counters match stats",
+        "metrics check ok: {} families, {} samples, {} counters match stats, \
+         measured_cost_us[{est_class}] matches estimate",
         exp.families.len(),
         exp.samples.len(),
         STABLE.len()
@@ -334,19 +444,19 @@ fn build_request(args: &[String]) -> (Request, Option<String>) {
                 None,
             )
         }
-        Some("compile") => {
+        Some(op @ ("compile" | "profile")) => {
             let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 usage()
             };
             let source = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
-            (
-                Request::Compile {
-                    source,
-                    spec: parse_spec(args, 2, false),
-                },
-                Some(path.clone()),
-            )
+            let spec = parse_spec(args, 2, false);
+            let req = if op == "profile" {
+                Request::Profile { source, spec }
+            } else {
+                Request::Compile { source, spec }
+            };
+            (req, Some(path.clone()))
         }
         _ => usage(),
     }
@@ -480,12 +590,30 @@ fn main() {
             print!("{text}");
             if args[1..].iter().any(|a| a == "--check") {
                 let stats = client.stats().unwrap_or_else(|e| fail(e));
-                check_metrics(&text, &stats);
+                // Any chargeable request works as the EWMA probe; the
+                // first registry artefact is the cheapest stable pick.
+                let probe = Request::Artefact {
+                    name: artefacts::NAMES[0].to_owned(),
+                    scale: Scale::Test,
+                };
+                let est = client.estimate(&probe).unwrap_or_else(|e| fail(e));
+                check_metrics(&text, &stats, &est);
             }
         }
         Some("trace") => {
             let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
             let traces = client.trace().unwrap_or_else(|e| fail(e));
+            if let Some(out) = tail_str_flag(&args[1..], "--chrome") {
+                let chrome = chrome_from_traces(&traces);
+                std::fs::write(&out, chrome.render())
+                    .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+                eprintln!(
+                    "{} trace records -> {out} ({} trace events)",
+                    traces.len(),
+                    chrome.len()
+                );
+                return;
+            }
             for t in &traces {
                 println!("{}", t.encode());
             }
@@ -548,6 +676,19 @@ fn main() {
                     let text = client
                         .compile(&source, spec)
                         .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+                    print!("{text}");
+                }
+                Request::Profile { source, spec } => {
+                    let path = source_path.expect("profile keeps its path");
+                    let profile = client
+                        .profile(&source, spec)
+                        .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+                    // The annotated source is the human-facing artefact;
+                    // print it byte-for-byte so CI can diff two runs.
+                    let text = profile
+                        .get("text")
+                        .and_then(Json::as_str)
+                        .unwrap_or_else(|| fail("profile reply lacks `text`"));
                     print!("{text}");
                 }
                 _ => unreachable!("build_request yields chargeable requests"),

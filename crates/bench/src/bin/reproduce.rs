@@ -32,8 +32,10 @@
 //!
 //! `--profile` instead profiles the selected kernel set
 //! (`mve_bench::profiling`): the deterministic per-opcode-class report
-//! goes to `PROFILE_engine.txt` (committed, byte-diffed in CI) and a
-//! Chrome trace-event export with real wall-clock slices goes to
+//! plus the per-source-line profiles of the DSL corpus go to
+//! `PROFILE_engine.txt` (committed, byte-diffed in CI) and a Chrome
+//! trace-event export — real wall-clock slices per kernel plus
+//! cycle-denominated per-line slices per DSL kernel — goes to
 //! `PROFILE_engine.chrome.json` (gitignored). `--paper` raises the scale.
 
 use std::fs;
@@ -128,14 +130,26 @@ fn main() {
                 p.sim_wall
             );
         }
-        let report = mve_bench::profiling::render_report(&profiles, scale);
+        let dsl = mve_bench::profiling::profile_dsl_corpus();
+        for p in &dsl {
+            eprintln!(
+                "  dsl {:9} {:>9} cycles over {} attributed lines",
+                p.name,
+                p.report.total_cycles,
+                p.report.lines.iter().filter(|l| l.cycles > 0).count()
+            );
+        }
+        let mut report = mve_bench::profiling::render_report(&profiles, scale);
+        report.push_str(&mve_bench::profiling::render_dsl_lines(&dsl));
         fs::write("PROFILE_engine.txt", report.as_bytes()).expect("write PROFILE_engine.txt");
-        let chrome = mve_bench::profiling::chrome_trace(&profiles);
+        let chrome = mve_bench::profiling::chrome_trace(&profiles, &dsl);
         fs::write("PROFILE_engine.chrome.json", chrome.as_bytes())
             .expect("write PROFILE_engine.chrome.json");
         eprintln!(
-            "wrote PROFILE_engine.txt ({} kernels) and PROFILE_engine.chrome.json",
-            profiles.len()
+            "wrote PROFILE_engine.txt ({} kernels + {} dsl per-line profiles) \
+             and PROFILE_engine.chrome.json",
+            profiles.len(),
+            dsl.len()
         );
         return;
     }

@@ -60,7 +60,7 @@ fn usage(flag: &str) -> ! {
     eprintln!(
         "usage: serve [--port N] [--workers N] [--cache-cap N] [--no-stdin-watch] \
          [--budget-units N] [--queue-cap N] [--queue-deadline-ms N] [--fair-share-pct N] \
-         [--idle-timeout-ms N] [--write-stall-ms N] [--poller epoll|poll] \
+         [--idle-timeout-ms N] [--write-stall-ms N] [--trace-ring N] [--poller epoll|poll] \
          [--log-level error|warn|info|debug|off]"
     );
     std::process::exit(2);
@@ -159,6 +159,14 @@ fn main() {
         write_stall_timeout: parse_opt_flag(&args, "--write-stall-ms")
             .map_or(defaults.write_stall_timeout, Duration::from_millis),
         poller: parse_poller(&args),
+        trace_ring: {
+            let n = parse_flag(&args, "--trace-ring", defaults.trace_ring);
+            if !(16..=65536).contains(&n) {
+                eprintln!("--trace-ring {n} is out of range (16..=65536)");
+                std::process::exit(2);
+            }
+            n
+        },
         ..ServeOptions::default()
     };
     let watch_stdin = !args.iter().any(|a| a == "--no-stdin-watch");

@@ -40,6 +40,27 @@ pub const GOLDENS: &[(&str, &str)] = &[
     ("pressure", include_str!("../corpus/pressure.golden.txt")),
 ];
 
+/// `(name, golden per-line annotated profile)` — the committed
+/// source-attributed renders the serve `profile` op returns as `text`.
+/// Regenerated alongside the compile goldens by the `dsl_goldens` binary.
+pub const LINE_GOLDENS: &[(&str, &str)] = &[
+    ("binop", include_str!("../corpus/binop.lines.golden.txt")),
+    ("dot", include_str!("../corpus/dot.lines.golden.txt")),
+    ("saxpy", include_str!("../corpus/saxpy.lines.golden.txt")),
+    (
+        "stencil",
+        include_str!("../corpus/stencil.lines.golden.txt"),
+    ),
+    (
+        "reduction",
+        include_str!("../corpus/reduction.lines.golden.txt"),
+    ),
+    (
+        "pressure",
+        include_str!("../corpus/pressure.lines.golden.txt"),
+    ),
+];
+
 /// The source of corpus kernel `name`.
 pub fn source(name: &str) -> Option<&'static str> {
     CORPUS.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
@@ -49,6 +70,13 @@ pub fn source(name: &str) -> Option<&'static str> {
 /// exact bytes the goldens and the daemon cache hold.
 pub fn render(name: &str) -> Option<Result<String, Diag>> {
     source(name).map(|src| mve_lang::compile_and_render(src, &SimConfig::default()))
+}
+
+/// Profiles corpus kernel `name` per source line under the default
+/// configuration — the annotated render is the exact bytes of the
+/// committed `.lines.golden.txt` and of the serve `profile` op's `text`.
+pub fn profile(name: &str) -> Option<Result<(String, mve_lang::LineReport), Diag>> {
+    source(name).map(|src| mve_lang::profile_and_render(src, &SimConfig::default()))
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use mve_core::sim::{simulate, SimConfig};
 use mve_core::trace::TraceSink;
 use mve_kernels::registry::selected_kernels;
 use mve_kernels::Scale;
+use mve_lang::LineReport;
 use mve_obs::log::FieldValue;
 use mve_obs::ChromeTrace;
 
@@ -128,14 +129,99 @@ pub fn render_report(profiles: &[KernelProfile], scale: Scale) -> String {
     s
 }
 
+/// One DSL-corpus kernel's per-source-line profile: the structured
+/// report plus the perf-annotate-style render (the same bytes committed
+/// as `corpus/<name>.lines.golden.txt` and served by the `profile` op).
+pub struct DslLineProfile {
+    pub name: &'static str,
+    pub report: LineReport,
+    pub annotated: String,
+}
+
+/// Profiles every DSL-corpus kernel per source line under the default
+/// `SimConfig` — fully deterministic (engine trace replay + timing
+/// simulation; no wall-clock).
+pub fn profile_dsl_corpus() -> Vec<DslLineProfile> {
+    crate::dslcorpus::CORPUS
+        .iter()
+        .map(|(name, _)| {
+            let (annotated, report) = crate::dslcorpus::profile(name)
+                .expect("corpus name")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            DslLineProfile {
+                name,
+                report,
+                annotated,
+            }
+        })
+        .collect()
+}
+
+/// The per-source-line section appended to `PROFILE_engine.txt`: the
+/// annotated render of every DSL-corpus kernel. Deterministic — the same
+/// bytes as the committed `.lines.golden.txt` files.
+pub fn render_dsl_lines(profiles: &[DslLineProfile]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "dsl per-line profiles — committed corpus @ default SimConfig"
+    );
+    let _ = writeln!(
+        s,
+        "(per-line cycles sum exactly to each kernel's simulated total; \
+         unattributed work lands in <toplevel>)"
+    );
+    for p in profiles {
+        let _ = writeln!(s);
+        s.push_str(&p.annotated);
+    }
+    s
+}
+
 /// The Chrome trace-event export: one track per kernel, a `run` slice
 /// (functional execution) followed by a `simulate` slice, each annotated
-/// with the deterministic counters. Wall-clock is real, so these bytes
-/// change run to run.
-pub fn chrome_trace(profiles: &[KernelProfile]) -> String {
+/// with the deterministic counters, plus one track per DSL-corpus kernel
+/// whose slices are that kernel's *source lines* laid end to end with
+/// simulated cycles as the duration unit (1 cycle = 1 µs in the viewer).
+/// The wall-clock slices are real, so these bytes change run to run; the
+/// per-line slices are deterministic.
+pub fn chrome_trace(profiles: &[KernelProfile], dsl: &[DslLineProfile]) -> String {
     const PID: u64 = 1;
     let mut t = ChromeTrace::new();
     let mut cursor = 0.0f64;
+    for (i, p) in dsl.iter().enumerate() {
+        // DSL tracks come first on their own pid so cycle-denominated
+        // slices never share a timeline with wall-clock ones.
+        let tid = i as u64 + 1;
+        t.name_thread(2, tid, &format!("dsl {} (cycles)", p.name));
+        let mut at = 0.0f64;
+        for l in &p.report.lines {
+            if l.cycles == 0 {
+                continue;
+            }
+            let name = if l.line == 0 {
+                "<toplevel>".to_owned()
+            } else {
+                format!("line {}", l.line)
+            };
+            t.complete(
+                &name,
+                "dsl_line",
+                at,
+                l.cycles as f64,
+                2,
+                tid,
+                &[
+                    ("events", FieldValue::U64(l.events)),
+                    ("scalar_instrs", FieldValue::U64(l.scalar_instrs)),
+                    ("spill_stores", FieldValue::U64(l.spill_stores)),
+                    ("reloads", FieldValue::U64(l.reloads)),
+                ],
+            );
+            at += l.cycles as f64;
+        }
+    }
     for (i, p) in profiles.iter().enumerate() {
         let tid = i as u64 + 1;
         t.name_thread(PID, tid, p.name);
@@ -208,8 +294,24 @@ mod tests {
     }
 
     #[test]
+    fn dsl_line_section_is_deterministic_and_conserves_cycles() {
+        let a = profile_dsl_corpus();
+        let b = profile_dsl_corpus();
+        assert_eq!(render_dsl_lines(&a), render_dsl_lines(&b));
+        for p in &a {
+            let totals = p.report.totals();
+            assert_eq!(
+                totals.cycles, p.report.total_cycles,
+                "{}: per-line cycles must sum to the simulated total",
+                p.name
+            );
+        }
+    }
+
+    #[test]
     fn chrome_export_is_valid_trace_event_json() {
-        let doc = chrome_trace(&one_profile());
+        let doc = chrome_trace(&one_profile(), &profile_dsl_corpus());
+        assert!(doc.contains("dsl_line"), "per-line slices must be present");
         // Validate against the trace-event JSON object format: the
         // document must parse, expose a traceEvents array, and every
         // event must carry the required members (complete events add a

@@ -6,9 +6,15 @@
 //!   the goldens deliberately — `cargo run -p mve-bench --bin dsl_goldens`);
 //! * the daemon's `compile` op returns the same bytes, twice, with cache
 //!   misses equal to the corpus size (every kernel compiled exactly once);
-//! * the spill-pressure kernel's golden visibly carries spill traffic.
+//! * the spill-pressure kernel's golden visibly carries spill traffic;
+//! * every kernel's per-line profile matches `corpus/<name>.lines.golden.txt`
+//!   and conserves — per-line cycles/events/spills sum exactly to the
+//!   per-kernel totals, and the cycle total agrees with the compile
+//!   golden's simulated total;
+//! * the `profile` op serves the same annotated bytes, cached
+//!   single-flight like `compile`.
 
-use mve_bench::dslcorpus::{render, CORPUS, GOLDENS};
+use mve_bench::dslcorpus::{profile, render, CORPUS, GOLDENS, LINE_GOLDENS};
 use mve_serve::client::Client;
 use mve_serve::json::Json;
 use mve_serve::protocol::SimSpec;
@@ -49,6 +55,121 @@ fn pressure_golden_demonstrates_spill_traffic() {
     assert!(golden.contains("spill_stores=6 reloads=6"), "{golden}");
     assert!(golden.contains("mix: config=19 moves=0 mem=19"), "{golden}");
     assert!(golden.contains("mismatches=0"), "{golden}");
+}
+
+/// The simulated cycle total a compile golden pins, parsed from its
+/// `cycles: total=N ...` line.
+fn golden_cycle_total(golden: &str) -> u64 {
+    let line = golden
+        .lines()
+        .find(|l| l.starts_with("cycles: total="))
+        .expect("compile golden pins a cycle total");
+    line["cycles: total=".len()..]
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .expect("numeric cycle total")
+}
+
+#[test]
+fn per_line_profiles_match_goldens_and_conserve() {
+    for ((name, _), (gname, golden)) in CORPUS.iter().zip(LINE_GOLDENS) {
+        assert_eq!(name, gname);
+        let (annotated, report) = profile(name)
+            .expect("known name")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            &annotated, golden,
+            "{name}: per-line render differs from corpus/{name}.lines.golden.txt \
+             — if the pipeline change is intentional, regenerate with \
+             `cargo run -p mve-bench --bin dsl_goldens`"
+        );
+        // Conservation, cross-checked against the *compile* golden: the
+        // per-line cycle sum must equal the simulated total that
+        // corpus/<name>.golden.txt already pins, so the two committed
+        // artefacts can never drift apart.
+        let totals = report.totals();
+        assert_eq!(totals.cycles, report.total_cycles, "{name}");
+        let compile_golden = GOLDENS
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, g)| *g)
+            .expect("compile golden");
+        assert_eq!(
+            report.total_cycles,
+            golden_cycle_total(compile_golden),
+            "{name}: profiled cycle total must match the compile golden's"
+        );
+    }
+}
+
+#[test]
+fn pressure_per_line_profile_pins_spills_to_their_source_lines() {
+    let (_, report) = profile("pressure")
+        .expect("known name")
+        .unwrap_or_else(|e| panic!("pressure: {e}"));
+    let spills: Vec<(u32, u64, u64)> = report
+        .lines
+        .iter()
+        .filter(|l| l.spill_stores + l.reloads > 0)
+        .map(|l| (l.line, l.spill_stores, l.reloads))
+        .collect();
+    // The allocator runs out of budget materializing the fourth
+    // long-lived load (line 12) and keeps thrashing through the three
+    // store expressions (lines 13–15); spill ops inherit the source span
+    // of the op whose pressure forced them.
+    assert_eq!(
+        spills,
+        vec![(12, 1, 0), (13, 3, 3), (14, 0, 3), (15, 2, 0)],
+        "pressure spill traffic moved to different source lines"
+    );
+    let totals = report.totals();
+    assert_eq!((totals.spill_stores, totals.reloads), (6, 6));
+}
+
+#[test]
+fn profile_op_through_serve_is_byte_identical_and_cached() {
+    let server = Server::bind(
+        &ServeOptions {
+            port: 0,
+            workers: 2,
+            ..ServeOptions::default()
+        },
+        mve_bench::artefacts::registry(),
+    )
+    .expect("bind");
+    let port = server.port();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    for pass in 0..2 {
+        for (name, source) in CORPUS {
+            let reply = client
+                .profile(source, SimSpec::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let text = reply
+                .get("text")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{name}: profile reply lacks `text`"));
+            let golden = LINE_GOLDENS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, g)| *g)
+                .expect("per-line golden");
+            assert_eq!(text, golden, "pass {pass}, kernel {name}");
+        }
+    }
+    let stats = client.stats().expect("stats");
+    // First pass misses and profiles each kernel once; the second pass
+    // is served wholly from the single-flight cache.
+    assert_eq!(stat(&stats, "misses"), CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "hits"), CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "profile_requests"), 2 * CORPUS.len() as u64);
+    assert_eq!(stat(&stats, "errors"), 0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
 }
 
 #[test]

@@ -149,8 +149,36 @@ pub struct Program {
     pub ops: Vec<IrOp>,
 }
 
+/// A source position an [`IrOp`] was lowered from: 1-based line and
+/// column, `(0, 0)` for IR with no source (bare dataflow programs,
+/// allocator-internal ops with no pressure-causing ancestor). Core
+/// cannot depend on the front-end's diagnostics crate, so this mirrors
+/// `mve_lang::diag::Span`'s convention rather than importing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SrcSpan {
+    /// 1-based source line; 0 = unattributed.
+    pub line: u32,
+    /// 1-based source column; 0 = unattributed.
+    pub col: u32,
+}
+
+impl SrcSpan {
+    /// The "no source position" span.
+    pub const NONE: SrcSpan = SrcSpan { line: 0, col: 0 };
+
+    /// A span at `line:col`.
+    pub fn new(line: u32, col: u32) -> SrcSpan {
+        SrcSpan { line, col }
+    }
+
+    /// Whether this span carries a real source position.
+    pub fn is_some(&self) -> bool {
+        self.line != 0
+    }
+}
+
 /// One straight-line IR operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct IrOp {
     /// Mnemonic (free-form; the allocator only needs the dataflow).
     pub name: String,
@@ -163,6 +191,24 @@ pub struct IrOp {
     /// Execution semantics, for IR produced by a front-end; `None` for
     /// bare dataflow-only IR (this module's original closed-world uses).
     pub sem: Option<Sem>,
+    /// Source position this op was lowered from; [`SrcSpan::NONE`] for
+    /// IR with no front-end. Allocator-inserted spill ops inherit the
+    /// span of the op whose register pressure forced them.
+    pub span: SrcSpan,
+}
+
+/// Equality ignores `span`, mirroring the front-end's `Spanned<T>`
+/// idiom: two ops that compute the same thing are the same op, wherever
+/// they were written. Dataflow tests compare op sequences and must not
+/// become position-sensitive.
+impl PartialEq for IrOp {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.def == other.def
+            && self.uses == other.uses
+            && self.width == other.width
+            && self.sem == other.sem
+    }
 }
 
 impl IrOp {
@@ -174,12 +220,19 @@ impl IrOp {
             uses: uses.to_vec(),
             width,
             sem: None,
+            span: SrcSpan::NONE,
         }
     }
 
     /// Attaches execution semantics.
     pub fn with_sem(mut self, sem: Sem) -> Self {
         self.sem = Some(sem);
+        self
+    }
+
+    /// Attaches a source position.
+    pub fn at(mut self, span: SrcSpan) -> Self {
+        self.span = span;
         self
     }
 }
@@ -379,14 +432,14 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Result<Allocation, CompileError>
                     if next_use_after(ops, victim, i) != usize::MAX {
                         spill_stores += 1;
                         spilled.insert(victim, true);
-                        code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width));
+                        code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width).at(op.span));
                     }
                     in_reg.remove(&victim);
                     p
                 };
                 in_reg.insert(u, phys);
                 reloads += 1;
-                code.push(IrOp::new(SPILL_RELOAD, Some(u), &[], op.width));
+                code.push(IrOp::new(SPILL_RELOAD, Some(u), &[], op.width).at(op.span));
             }
         }
         // Free registers whose contents die at this op.
@@ -414,7 +467,7 @@ pub fn allocate(ops: &[IrOp], budget: usize) -> Result<Allocation, CompileError>
                 if next_use_after(ops, victim, i + 1) != usize::MAX {
                     spill_stores += 1;
                     spilled.insert(victim, true);
-                    code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width));
+                    code.push(IrOp::new(SPILL_STORE, None, &[victim], op.width).at(op.span));
                 }
                 in_reg.remove(&victim);
                 p

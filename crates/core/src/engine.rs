@@ -444,10 +444,27 @@ impl Engine {
                         instrs = *instrs
                     );
                 }
+                Event::SrcLine { line } => {
+                    logev!(
+                        Level::Debug,
+                        "engine.event",
+                        kind = "src_line",
+                        line = u64::from(*line)
+                    );
+                }
             }
         }
         self.sink.on_event(&event);
         event
+    }
+
+    /// Emits a source-attribution marker: subsequent events were emitted
+    /// by code lowered from source line `line` (1-based; 0 resets to the
+    /// `<toplevel>` bucket). A marker is not an instruction — counting
+    /// and timing sinks ignore it — so an executor that never calls this
+    /// produces the exact event stream it always did.
+    pub fn mark_line(&mut self, line: u32) {
+        self.emit(Event::SrcLine { line });
     }
 
     /// The dynamic trace recorded so far.

@@ -35,6 +35,25 @@ pub struct ClassProfile {
     pub wall: Duration,
 }
 
+/// Per-source-line attribution accumulated by [`ProfilingSink`] from
+/// [`Event::SrcLine`] markers. Line 0 is the `<toplevel>` bucket:
+/// events emitted before any marker (engine/geometry setup) land there
+/// rather than being dropped, which is what keeps the conservation
+/// invariant exact — per-line sums equal the per-class totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineProfile {
+    /// Vector events observed (uncoalesced; config + move + mem + arith).
+    pub events: u64,
+    /// Dynamic scalar instructions.
+    pub scalar_instrs: u64,
+    /// Scalar block events.
+    pub scalar_blocks: u64,
+    /// Sum of active SIMD lanes across compute/memory events.
+    pub active_lanes: u64,
+    /// Deduplicated cache lines touched (memory events only).
+    pub cache_lines: u64,
+}
+
 /// A streaming per-opcode-class profiler, attachable to any engine run
 /// via [`crate::engine::Engine::with_sink`].
 #[derive(Debug, Default)]
@@ -47,6 +66,11 @@ pub struct ProfilingSink {
     scalar_wall: Duration,
     /// Per-opcode event counts, keyed by mnemonic (deterministic order).
     opcodes: BTreeMap<&'static str, u64>,
+    /// Per-source-line attribution; empty when the stream carries no
+    /// [`Event::SrcLine`] markers and no events at all.
+    lines: BTreeMap<u32, LineProfile>,
+    /// Bucket the next event is attributed to (0 = `<toplevel>`).
+    current_line: u32,
     last_event: Option<Instant>,
 }
 
@@ -100,6 +124,36 @@ impl ProfilingSink {
     pub fn opcode_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.opcodes.iter().map(|(&name, &count)| (name, count))
     }
+
+    /// Per-source-line attribution, keyed by 1-based line (0 =
+    /// `<toplevel>`), in ascending line order.
+    pub fn lines(&self) -> &BTreeMap<u32, LineProfile> {
+        &self.lines
+    }
+
+    /// Checks the conservation invariant: per-line counts sum exactly to
+    /// the per-class totals (nothing attributed twice, nothing dropped).
+    /// Returns the first violated quantity's name, or `None` when
+    /// conservation holds.
+    pub fn conservation_violation(&self) -> Option<&'static str> {
+        let sum = |f: fn(&LineProfile) -> u64| self.lines.values().map(f).sum::<u64>();
+        let class_events = self.classes.iter().map(|c| c.events).sum::<u64>();
+        let class_lanes = self.classes.iter().map(|c| c.active_lanes).sum::<u64>();
+        let class_lines = self.classes.iter().map(|c| c.cache_lines).sum::<u64>();
+        if sum(|l| l.events) != class_events {
+            Some("events")
+        } else if sum(|l| l.scalar_instrs) != self.scalar_instrs {
+            Some("scalar_instrs")
+        } else if sum(|l| l.scalar_blocks) != self.scalar_blocks {
+            Some("scalar_blocks")
+        } else if sum(|l| l.active_lanes) != class_lanes {
+            Some("active_lanes")
+        } else if sum(|l| l.cache_lines) != class_lines {
+            Some("cache_lines")
+        } else {
+            None
+        }
+    }
 }
 
 fn class_idx(class: OpClass) -> usize {
@@ -113,6 +167,28 @@ fn class_idx(class: OpClass) -> usize {
 
 impl TraceSink for ProfilingSink {
     fn on_event(&mut self, event: &Event) {
+        // Markers switch the line bucket without touching `last_event`:
+        // they cost no wall-clock of their own, so the gap they sit in
+        // accrues to the next real event's class, exactly as before.
+        if let Event::SrcLine { line } = event {
+            self.current_line = *line;
+            return;
+        }
+        let line = self.lines.entry(self.current_line).or_default();
+        match event {
+            Event::Config { .. } | Event::Compute { .. } | Event::Memory { .. } => line.events += 1,
+            Event::Scalar { instrs } => {
+                line.scalar_blocks += 1;
+                line.scalar_instrs += instrs;
+            }
+            Event::SrcLine { .. } => unreachable!("handled above"),
+        }
+        if let Event::Compute { active_lanes, .. } | Event::Memory { active_lanes, .. } = event {
+            line.active_lanes += u64::from(*active_lanes);
+        }
+        if let Event::Memory { lines, .. } = event {
+            line.cache_lines += lines.len() as u64;
+        }
         let now = Instant::now();
         let gap = self
             .last_event
@@ -155,6 +231,7 @@ impl TraceSink for ProfilingSink {
                 self.scalar_instrs += instrs;
                 self.scalar_wall += gap;
             }
+            Event::SrcLine { .. } => unreachable!("markers return early"),
         }
     }
 }

@@ -474,6 +474,24 @@ impl TimingSim {
         self.compute.pending.len()
     }
 
+    /// The current completion frontier: the cycle at which every event
+    /// consumed so far has retired (max of the core clock and every CB's
+    /// availability). Monotone non-decreasing in events consumed, and
+    /// after [`TimingSim::finish`]'s trailing flush it equals
+    /// `total_cycles` — so frontier deltas sampled between events
+    /// telescope exactly to the report total, which is what the per-line
+    /// attribution in [`simulate_lines`] rests on. Scalar instructions
+    /// still pending coalescing are *not* included; they enter the
+    /// frontier where the block flushes.
+    pub fn frontier(&self) -> u64 {
+        self.cb_avail
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.t_core)
+            .max(self.t_core)
+    }
+
     /// Consumes one event (warm phase: streams its lines through the
     /// hierarchy; timed phase: advances the full model).
     pub fn on_event(&mut self, event: &Event) {
@@ -521,6 +539,12 @@ impl TimingSim {
     }
 
     fn timed_event(&mut self, event: &Event) {
+        // Attribution markers carry no timing at all — returning before
+        // `ensure_started`/`flush_scalar` keeps a marked trace's timing
+        // bit-identical to the same trace without markers.
+        if matches!(event, Event::SrcLine { .. }) {
+            return;
+        }
         if let Event::Scalar { instrs } = event {
             self.pending_scalar += instrs;
             return;
@@ -529,7 +553,7 @@ impl TimingSim {
         self.flush_scalar();
         self.compute.settle_before(self.t_core);
         match event {
-            Event::Scalar { .. } => unreachable!("handled above"),
+            Event::Scalar { .. } | Event::SrcLine { .. } => unreachable!("handled above"),
             Event::Config { .. } => {
                 self.vec_instrs += 1;
                 self.energy.vector_instrs += 1;
@@ -811,6 +835,50 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
     }
     trace.replay_into(&mut sim);
     sim.finish()
+}
+
+/// Simulates a trace and attributes cycles to source lines using the
+/// [`Event::SrcLine`] markers it carries: the completion frontier is
+/// sampled at every marker, and the delta since the previous sample is
+/// charged to the line that was active. Events before the first marker
+/// (and traces with no markers at all) land on line 0 — the
+/// `<toplevel>` bucket.
+///
+/// Returns the ordinary [`SimReport`] (bit-identical to
+/// [`simulate`] on the same trace, markers or not) plus the per-line
+/// cycle map. Conservation holds by construction: the deltas telescope,
+/// so the map's values sum exactly to `report.total_cycles`.
+pub fn simulate_lines(
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> (SimReport, std::collections::BTreeMap<u32, u64>) {
+    let mut sim = TimingSim::new(cfg.clone());
+    if sim.is_warming() {
+        trace.replay_into(&mut sim);
+        sim.start_timing();
+    }
+    let mut lines = std::collections::BTreeMap::new();
+    let mut cur_line = 0u32;
+    let mut last = sim.frontier();
+    for event in trace.events() {
+        if let Event::SrcLine { line } = event {
+            let now = sim.frontier();
+            *lines.entry(cur_line).or_insert(0) += now - last;
+            last = now;
+            cur_line = *line;
+            continue;
+        }
+        sim.on_event(event);
+    }
+    let now = sim.frontier();
+    *lines.entry(cur_line).or_insert(0) += now - last;
+    last = now;
+    // `finish` flushes the trailing scalar block and closes the clock;
+    // whatever it adds past the last sampled frontier belongs to the
+    // final active line.
+    let report = sim.finish();
+    *lines.entry(cur_line).or_insert(0) += report.total_cycles - last;
+    (report, lines)
 }
 
 /// Simulates one trace under every configuration with a single warm pass

@@ -68,6 +68,9 @@ impl CountingSink {
 
 impl TraceSink for CountingSink {
     fn on_event(&mut self, event: &Event) {
+        if matches!(event, Event::SrcLine { .. }) {
+            return; // attribution marker, not an instruction
+        }
         self.events += 1;
         self.mix.count(event);
     }
@@ -115,6 +118,15 @@ pub enum Event {
         /// Dynamic scalar instruction count.
         instrs: u64,
     },
+    /// A source-attribution marker: subsequent events were emitted by
+    /// code lowered from source line `line` (1-based; 0 = unattributed).
+    /// Markers are not instructions — every counting/timing consumer
+    /// ignores them, so a trace with markers is observationally
+    /// identical to one without for everything except attribution.
+    SrcLine {
+        /// 1-based source line; 0 = `<toplevel>`.
+        line: u32,
+    },
 }
 
 impl Event {
@@ -124,7 +136,7 @@ impl Event {
             Event::Config { opcode }
             | Event::Compute { opcode, .. }
             | Event::Memory { opcode, .. } => Some(opcode.class()),
-            Event::Scalar { .. } => None,
+            Event::Scalar { .. } | Event::SrcLine { .. } => None,
         }
     }
 }
@@ -264,6 +276,9 @@ impl Trace {
                 }
                 Event::Scalar { instrs } => {
                     let _ = writeln!(out, "{i:6}  <scalar x{instrs}>");
+                }
+                Event::SrcLine { line } => {
+                    let _ = writeln!(out, "{i:6}  ; line {line}");
                 }
             }
         }

@@ -51,6 +51,7 @@ pub mod eval;
 pub mod lex;
 pub mod lower;
 pub mod parse;
+pub mod profile;
 pub mod run;
 
 pub use ast::{pretty, KernelAst};
@@ -58,6 +59,7 @@ pub use diag::{Diag, Span, Spanned};
 pub use eval::interpret;
 pub use lower::lower;
 pub use parse::{parse, parse_tokens};
+pub use profile::{profile_and_render, profile_lines, render_annotated, LineReport, LineStat};
 pub use run::{
     compare_outputs, compile, compile_and_render, compile_and_render_timed, compile_timed,
     run_checked, Bindings, CheckOutcome, CompilePhases, CompiledKernel, Executor, RawOutputs,

@@ -30,7 +30,9 @@ use std::collections::HashMap;
 
 use crate::ast::*;
 use crate::diag::{Diag, Span};
-use mve_core::compiler::{Action, IrOp, ParamDecl, ParamKind, Program, Sem, SplatSource, VReg};
+use mve_core::compiler::{
+    Action, IrOp, ParamDecl, ParamKind, Program, Sem, SplatSource, SrcSpan, VReg,
+};
 use mve_core::config::MAX_DIMS;
 use mve_core::dtype::{BinOp, DType};
 use mve_core::isa::{Opcode, StrideMode};
@@ -188,7 +190,11 @@ impl Lowerer {
                 format!("kernel lowers to more than {MAX_LOWERED_OPS} operations; reduce the unrolled loop sizes"),
             ));
         }
-        self.ops.push(op);
+        // Every lowered op funnels through here with the span of the
+        // statement/expression it came from — the single stamping point
+        // for source attribution (scheduling clones ops, so spans ride
+        // through; spills inherit theirs in the allocator).
+        self.ops.push(op.at(SrcSpan::new(span.line, span.col)));
         Ok(())
     }
 

@@ -1,0 +1,311 @@
+//! Per-source-line kernel profiling.
+//!
+//! [`profile_lines`] compiles a `.mvel` kernel, executes it with
+//! deterministic bindings and [`Executor::set_line_markers`] on, and
+//! aggregates every observable quantity per source line: engine events,
+//! scalar instructions, active lanes, touched cache lines, simulated
+//! cycles (via [`mve_core::sim::simulate_lines`]'s frontier sampling)
+//! and allocator-inserted spill traffic (statically, from the spans the
+//! spill ops inherited). [`render_annotated`] turns the report into the
+//! deterministic `perf annotate`-style text artefact the serve `profile`
+//! op, `mve-client profile` and the committed corpus goldens all share.
+//!
+//! The load-bearing invariant is **conservation**: per-line counts sum
+//! exactly to the per-class totals the ordinary profile reports. Events
+//! emitted outside any source line (engine-construction `vsetwidth`)
+//! land in the line-0 `<toplevel>` bucket, never dropped.
+//! [`profile_lines`] re-checks the invariant on every call and fails
+//! loudly rather than returning a report that lies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::diag::Diag;
+use crate::eval::interpret;
+use crate::run::{compare_outputs, compile, Bindings, Executor};
+use mve_core::compiler::{SPILL_RELOAD, SPILL_STORE};
+use mve_core::profile::ProfilingSink;
+use mve_core::sim::{simulate_lines, SimConfig};
+
+/// Everything attributed to one source line (line 0 = `<toplevel>`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineStat {
+    /// 1-based source line; 0 = `<toplevel>` (unattributed events).
+    pub line: u32,
+    /// Vector engine events (config + move + mem + arithmetic).
+    pub events: u64,
+    /// Dynamic scalar instructions.
+    pub scalar_instrs: u64,
+    /// Sum of active SIMD lanes across compute/memory events.
+    pub active_lanes: u64,
+    /// Deduplicated cache lines touched.
+    pub cache_lines: u64,
+    /// Simulated cycles attributed to this line.
+    pub cycles: u64,
+    /// Allocator-inserted `spill.store` ops whose pressure this line caused.
+    pub spill_stores: u64,
+    /// Allocator-inserted `spill.reload` ops reloading for this line.
+    pub reloads: u64,
+}
+
+/// A per-source-line profile of one kernel under one timing config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineReport {
+    /// Kernel name from the source.
+    pub name: String,
+    /// FNV-1a digest of the source (same as the compile artefact).
+    pub source_digest: u64,
+    /// Total simulated cycles (equals the per-line sum, by invariant).
+    pub total_cycles: u64,
+    /// Per-line rows in ascending line order; `<toplevel>` (line 0)
+    /// first when present.
+    pub lines: Vec<LineStat>,
+}
+
+impl LineReport {
+    /// Column-wise totals over every row — by the conservation
+    /// invariant these equal the unattributed per-class totals.
+    pub fn totals(&self) -> LineStat {
+        let mut t = LineStat::default();
+        for l in &self.lines {
+            t.events += l.events;
+            t.scalar_instrs += l.scalar_instrs;
+            t.active_lanes += l.active_lanes;
+            t.cache_lines += l.cache_lines;
+            t.cycles += l.cycles;
+            t.spill_stores += l.spill_stores;
+            t.reloads += l.reloads;
+        }
+        t
+    }
+}
+
+/// Compiles `source`, runs it with line markers, and returns the
+/// per-line attribution under `cfg`. The run is checked against the
+/// reference interpreter and the conservation invariant is re-verified
+/// before the report is returned; either failure is a hard error.
+pub fn profile_lines(source: &str, cfg: &SimConfig) -> Result<LineReport, Diag> {
+    let ck = compile(source)?;
+    let bindings = Bindings::deterministic(&ck.program);
+    let mut ex = Executor::with_geometry(&ck, &bindings, cfg.geometry)?;
+    ex.set_line_markers(true);
+    ex.run();
+    let want = interpret(&ck.ast, &ck.program.params, &bindings);
+    let check = compare_outputs(&ex.outputs(), &want);
+    if check.mismatches != 0 {
+        return Err(Diag::nowhere(format!(
+            "internal consistency failure: compiled kernel diverges from the reference \
+             interpreter on {} of {} elements",
+            check.mismatches, check.compared
+        )));
+    }
+    let trace = ex.engine_mut().take_trace();
+
+    // Counts: replay into the profiling sink (the markers in the trace
+    // drive its per-line buckets) and re-check conservation against the
+    // per-class totals it aggregates alongside.
+    let mut sink = ProfilingSink::new();
+    trace.replay_into(&mut sink);
+    if let Some(q) = sink.conservation_violation() {
+        return Err(Diag::nowhere(format!(
+            "per-line profile conservation violated for `{q}`: line sums diverge from \
+             class totals"
+        )));
+    }
+
+    // Cycles: frontier-sampled attribution; telescopes to the total.
+    let (report, cycles) = simulate_lines(&trace, cfg);
+
+    // Spill traffic: static, from the spans the allocator's spill ops
+    // inherited (the code is straight-line — each op executes once).
+    let mut spill_stores: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut reloads: BTreeMap<u32, u64> = BTreeMap::new();
+    for op in &ck.code {
+        if op.name == SPILL_STORE {
+            *spill_stores.entry(op.span.line).or_insert(0) += 1;
+        } else if op.name == SPILL_RELOAD {
+            *reloads.entry(op.span.line).or_insert(0) += 1;
+        }
+    }
+
+    let mut rows: BTreeMap<u32, LineStat> = BTreeMap::new();
+    fn row(rows: &mut BTreeMap<u32, LineStat>, line: u32) -> &mut LineStat {
+        rows.entry(line).or_insert_with(|| LineStat {
+            line,
+            ..LineStat::default()
+        })
+    }
+    for (&line, p) in sink.lines() {
+        let r = row(&mut rows, line);
+        r.events = p.events;
+        r.scalar_instrs = p.scalar_instrs;
+        r.active_lanes = p.active_lanes;
+        r.cache_lines = p.cache_lines;
+    }
+    for (&line, &c) in &cycles {
+        row(&mut rows, line).cycles = c;
+    }
+    for (&line, &n) in &spill_stores {
+        row(&mut rows, line).spill_stores = n;
+    }
+    for (&line, &n) in &reloads {
+        row(&mut rows, line).reloads = n;
+    }
+
+    let out = LineReport {
+        name: ck.program.name.clone(),
+        source_digest: ck.source_digest,
+        total_cycles: report.total_cycles,
+        lines: rows.into_values().collect(),
+    };
+    let t = out.totals();
+    if t.cycles != report.total_cycles
+        || t.spill_stores != ck.spill_stores as u64
+        || t.reloads != ck.reloads as u64
+    {
+        return Err(Diag::nowhere(
+            "per-line profile conservation violated: cycle or spill sums diverge from totals"
+                .to_owned(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders a [`LineReport`] over its source as a deterministic
+/// `perf annotate`-style listing: every source line annotated with its
+/// cycle share, instruction counts, and spill traffic; the `<toplevel>`
+/// bucket listed first. Counts and simulated cycles only — no
+/// wall-clock — so the bytes are stable across runs and machines and
+/// can be committed as goldens and cached by the daemon.
+pub fn render_annotated(source: &str, report: &LineReport) -> String {
+    let mut s = String::new();
+    let t = report.totals();
+    let _ = writeln!(
+        s,
+        "mvel per-line profile `{}` — compiled by mve-lang",
+        report.name
+    );
+    let _ = writeln!(s, "digest: {:#018x}", report.source_digest);
+    let _ = writeln!(
+        s,
+        "total: cycles={} events={} scalar={} spill_stores={} reloads={}",
+        report.total_cycles, t.events, t.scalar_instrs, t.spill_stores, t.reloads
+    );
+    let _ = writeln!(
+        s,
+        " cycle%    cycles   events   scalar  spst  spld  line  source"
+    );
+    let by_line: BTreeMap<u32, &LineStat> = report.lines.iter().map(|l| (l.line, l)).collect();
+    let mut render_row = |stat: Option<&LineStat>, line: u32, text: &str| {
+        let z = LineStat::default();
+        let l = stat.unwrap_or(&z);
+        // Fixed-point percentage (2 decimals, round-half-up) keeps the
+        // bytes independent of float formatting.
+        let pct_x100 = (l.cycles * 10_000 + report.total_cycles / 2)
+            .checked_div(report.total_cycles)
+            .unwrap_or(0);
+        let label = if line == 0 {
+            "    -".to_owned()
+        } else {
+            format!("{line:>5}")
+        };
+        let _ = writeln!(
+            s,
+            "{:>4}.{:02}% {:>9} {:>8} {:>8} {:>5} {:>5} {label}  {text}",
+            pct_x100 / 100,
+            pct_x100 % 100,
+            l.cycles,
+            l.events,
+            l.scalar_instrs,
+            l.spill_stores,
+            l.reloads,
+        );
+    };
+    if let Some(top) = by_line.get(&0) {
+        render_row(Some(top), 0, "<toplevel>");
+    }
+    for (i, text) in source.lines().enumerate() {
+        let line = (i + 1) as u32;
+        render_row(by_line.get(&line).copied(), line, text);
+    }
+    s
+}
+
+/// [`profile_lines`] + [`render_annotated`] in one call — the bytes the
+/// serve `profile` op and `mve-client profile` print.
+pub fn profile_and_render(source: &str, cfg: &SimConfig) -> Result<(String, LineReport), Diag> {
+    let report = profile_lines(source, cfg)?;
+    let text = render_annotated(source, &report);
+    Ok((text, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = "kernel saxpy(a: i32, x: buf<i32>[8192], y: buf<i32>[8192], \
+                         out: mut buf<i32>[8192]) {\n\
+                             shape [8192];\n\
+                             let xv = load x [1];\n\
+                             let yv = load y [1];\n\
+                             store xv * a + yv -> out [1];\n\
+                         }\n";
+
+    #[test]
+    fn per_line_sums_conserve_and_attribute_loads() {
+        let cfg = SimConfig::default();
+        let report = profile_lines(SAXPY, &cfg).expect("profiles");
+        let t = report.totals();
+        assert_eq!(t.cycles, report.total_cycles);
+        assert!(t.events > 0);
+        // Lines 3 and 4 are the loads; both must carry memory traffic.
+        for line in [3u32, 4] {
+            let l = report
+                .lines
+                .iter()
+                .find(|l| l.line == line)
+                .unwrap_or_else(|| panic!("line {line} missing"));
+            assert!(l.cache_lines > 0, "line {line}: {l:?}");
+            assert!(l.cycles > 0, "line {line}: {l:?}");
+        }
+        // Construction-time vsetwidth lands in `<toplevel>`, not dropped.
+        let top = report.lines.iter().find(|l| l.line == 0).expect("toplevel");
+        assert!(top.events > 0);
+    }
+
+    #[test]
+    fn annotated_render_is_deterministic_and_total_line_is_exact() {
+        let cfg = SimConfig::default();
+        let (a, report) = profile_and_render(SAXPY, &cfg).expect("profiles");
+        let (b, _) = profile_and_render(SAXPY, &cfg).expect("profiles");
+        assert_eq!(a, b);
+        assert!(a.contains("<toplevel>"));
+        assert!(a.contains(&format!("total: cycles={}", report.total_cycles)));
+        // Every source line appears in the listing.
+        for text in SAXPY.lines() {
+            assert!(a.contains(text.trim_end()), "missing {text:?}");
+        }
+    }
+
+    #[test]
+    fn markers_change_nothing_observable() {
+        use crate::run::compile_and_render;
+        // The golden render path (no markers) and a marked run must agree
+        // on totals: markers are free.
+        let cfg = SimConfig::default();
+        let rendered = compile_and_render(SAXPY, &cfg).expect("renders");
+        let report = profile_lines(SAXPY, &cfg).expect("profiles");
+        let cycles_line = rendered
+            .lines()
+            .find(|l| l.starts_with("cycles: total="))
+            .expect("cycles line");
+        let total: u64 = cycles_line
+            .trim_start_matches("cycles: total=")
+            .split_whitespace()
+            .next()
+            .expect("total field")
+            .parse()
+            .expect("numeric total");
+        assert_eq!(total, report.total_cycles);
+    }
+}

@@ -345,6 +345,11 @@ pub struct Executor {
     lens: [Option<usize>; MAX_DIMS],
     ld_str: [Option<i64>; MAX_DIMS],
     st_str: [Option<i64>; MAX_DIMS],
+    /// When set, [`Executor::run`] emits an [`Event::SrcLine`] marker
+    /// whenever the active op's source line changes, so downstream sinks
+    /// can attribute events per line. Off by default: an unmarked run's
+    /// event stream is byte-identical to pre-attribution builds.
+    line_markers: bool,
 }
 
 impl Executor {
@@ -469,7 +474,16 @@ impl Executor {
             lens: [None; MAX_DIMS],
             ld_str: [None; MAX_DIMS],
             st_str: [None; MAX_DIMS],
+            line_markers: false,
         })
+    }
+
+    /// Enables per-source-line attribution markers for subsequent runs
+    /// (see the `line_markers` field). The engine-construction events
+    /// already emitted (geometry `vsetwidth`) stay unattributed — they
+    /// land in the line-0 `<toplevel>` bucket by design.
+    pub fn set_line_markers(&mut self, on: bool) {
+        self.line_markers = on;
     }
 
     /// The engine (trace access, memory inspection).
@@ -613,7 +627,16 @@ impl Executor {
     pub fn run(&mut self) {
         let code = std::mem::take(&mut self.code);
         let plans = std::mem::take(&mut self.plans);
+        // Attribution state for this run: 0 = `<toplevel>` (construction
+        // events before the first marked op). A marker is emitted only on
+        // a line *change*, so straight-line runs of same-line ops cost
+        // one marker, and a disabled executor emits none at all.
+        let mut cur_line = 0u32;
         for (i, (op, plan)) in code.iter().zip(&plans).enumerate() {
+            if self.line_markers && op.span.line != cur_line {
+                cur_line = op.span.line;
+                self.engine.mark_line(cur_line);
+            }
             match (&op.sem, op.name.as_str()) {
                 (None, SPILL_STORE) => {
                     let victim = plan.uses[0] as usize;

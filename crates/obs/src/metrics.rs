@@ -155,6 +155,23 @@ impl MetricsRegistry {
             });
     }
 
+    /// Registers one labeled float-gauge sample under family `name` — a
+    /// gauge *family* (one sample per label set, e.g. a per-class
+    /// measured cost). Labeled samples render in the exposition only;
+    /// [`MetricsRegistry::scalars`] skips them, so adding a family never
+    /// perturbs a stats-JSON layout derived from the unlabeled scalars.
+    pub fn gauge_f_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family_mut(name, help, Kind::Gauge)
+            .samples
+            .push(MetricSample {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value: Value::Scalar(Scalar::F64(value)),
+            });
+    }
+
     /// Registers an `*_info`-style constant gauge whose payload is its
     /// labels.
     pub fn info(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) {
@@ -193,7 +210,7 @@ impl MetricsRegistry {
     pub fn scalars(&self) -> impl Iterator<Item = (&str, Scalar)> {
         self.families.iter().flat_map(|f| {
             f.samples.iter().filter_map(|s| match s.value {
-                Value::Scalar(v) => Some((f.name.as_str(), v)),
+                Value::Scalar(v) if s.labels.is_empty() => Some((f.name.as_str(), v)),
                 _ => None,
             })
         })
@@ -740,5 +757,49 @@ mod tests {
         counts[3] = 100; // all samples in [8,16)
         let p99 = quantile_from_log2_buckets(&counts, 0.99);
         assert!(p99 > 8.0 && p99 < 16.0, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_single_occupied_bucket_is_its_geometric_midpoint() {
+        let mut counts = vec![0u64; 64];
+        counts[5] = 9; // every sample in (32, 64]
+        let mid = (32.0f64 * 64.0).sqrt();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile_from_log2_buckets(&counts, q), mid, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_mass_in_last_bucket_stays_finite() {
+        // Bucket 63's upper edge is 2^64: the u128 shift must not wrap,
+        // and the interpolated value stays between the edges.
+        let mut counts = vec![0u64; 64];
+        counts[63] = 3;
+        let v = quantile_from_log2_buckets(&counts, 0.99);
+        assert!(v.is_finite(), "v={v}");
+        assert!(v >= (1u128 << 63) as f64 && v <= (2u128 << 63) as f64);
+    }
+
+    #[test]
+    fn quantile_over_merged_buckets_matches_the_union() {
+        // Bucket-wise addition is exactly how per-class histograms merge
+        // into one series; quantiles over the sum must equal quantiles
+        // over the union of samples.
+        let mut a = vec![0u64; 64];
+        a[2] = 5;
+        a[8] = 1;
+        let mut b = vec![0u64; 64];
+        b[2] = 2;
+        b[4] = 7;
+        let merged: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        // 15 samples: rank 8 lands in bucket 4, rank 15 in bucket 8.
+        assert_eq!(
+            quantile_from_log2_buckets(&merged, 0.5),
+            (16.0f64 * 32.0).sqrt()
+        );
+        assert_eq!(
+            quantile_from_log2_buckets(&merged, 0.99),
+            (256.0f64 * 512.0).sqrt()
+        );
     }
 }

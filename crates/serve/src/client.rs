@@ -263,6 +263,28 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("compile reply lacks `bytes`".to_owned()))
     }
 
+    /// Compiles, runs, and per-line-profiles a `.mvel` kernel
+    /// server-side, returning the `profile` reply object: `text` (the
+    /// annotated source), `lines` (per-line attribution rows), `kernel`,
+    /// `digest`, and `total_cycles`. A parse/type error comes back as
+    /// [`ClientError::Server`] with a `line:col:` prefix.
+    pub fn profile(&mut self, source: &str, spec: SimSpec) -> Result<Json, ClientError> {
+        if spec.arrays.is_some() {
+            return Err(ClientError::Protocol(
+                "`arrays` is not supported for profile: DSL kernels execute on the \
+                 default 32-array geometry"
+                    .to_owned(),
+            ));
+        }
+        let doc = self.request(&Request::Profile {
+            source: source.to_owned(),
+            spec,
+        })?;
+        doc.get("profile")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("profile reply lacks `profile`".to_owned()))
+    }
+
     /// Fetches the counter snapshot.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         let doc = self.request(&Request::Stats)?;

@@ -208,11 +208,15 @@ pub enum MetricClass {
     Metrics,
     /// Request-trace ring snapshot (served inline by the event loop).
     Trace,
+    /// DSL compile + marked execution + per-line attribution.
+    /// Appended after the original seven: `ALL`'s order is the
+    /// serialization order CI and the stats members pin.
+    Profile,
 }
 
 impl MetricClass {
     /// Every class, in the order they serialize.
-    pub const ALL: [MetricClass; 7] = [
+    pub const ALL: [MetricClass; 8] = [
         MetricClass::Artefact,
         MetricClass::Sim,
         MetricClass::Compile,
@@ -220,6 +224,7 @@ impl MetricClass {
         MetricClass::Stats,
         MetricClass::Metrics,
         MetricClass::Trace,
+        MetricClass::Profile,
     ];
 
     /// Wire name of the class.
@@ -232,6 +237,7 @@ impl MetricClass {
             MetricClass::Stats => "stats",
             MetricClass::Metrics => "metrics",
             MetricClass::Trace => "trace",
+            MetricClass::Profile => "profile",
         }
     }
 
@@ -244,6 +250,7 @@ impl MetricClass {
             MetricClass::Stats => 4,
             MetricClass::Metrics => 5,
             MetricClass::Trace => 6,
+            MetricClass::Profile => 7,
         }
     }
 }
@@ -254,6 +261,7 @@ impl From<crate::cost::OpClass> for MetricClass {
             crate::cost::OpClass::Artefact => MetricClass::Artefact,
             crate::cost::OpClass::Sim => MetricClass::Sim,
             crate::cost::OpClass::Compile => MetricClass::Compile,
+            crate::cost::OpClass::Profile => MetricClass::Profile,
         }
     }
 }
@@ -272,7 +280,7 @@ struct ClassLatency {
 /// growing inter-class spread is pure scheduling pressure.
 #[derive(Debug, Default)]
 pub struct LatencyMetrics {
-    classes: [ClassLatency; 7],
+    classes: [ClassLatency; 8],
 }
 
 impl LatencyMetrics {
@@ -407,6 +415,59 @@ mod tests {
         let counts = h.bucket_counts();
         assert_eq!(counts[63], 2);
         assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn single_occupied_bucket_reports_one_value_for_every_quantile() {
+        // All samples in one bucket: p50/p90/p99 collapse to the bucket's
+        // geometric midpoint, clamped to the recorded max when the max
+        // sits below it.
+        let clamped = Histogram::new();
+        for _ in 0..5 {
+            clamped.record(40); // bucket [32,64), midpoint 48 > max 40
+        }
+        let s = clamped.snapshot();
+        assert_eq!((s.p50_us, s.p90_us, s.p99_us, s.max_us), (40, 40, 40, 40));
+
+        let unclamped = Histogram::new();
+        for _ in 0..5 {
+            unclamped.record(60); // same bucket, midpoint 48 < max 60
+        }
+        let s = unclamped.snapshot();
+        assert_eq!((s.p50_us, s.p90_us, s.p99_us, s.max_us), (48, 48, 48, 60));
+    }
+
+    #[test]
+    fn all_mass_in_the_top_bucket_clamps_to_the_recorded_max() {
+        // The top bucket's midpoint (2^63 + 2^62) exceeds every value
+        // recorded here, so the clamp — not the midpoint — is reported.
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1u64 << 63);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50_us, 1u64 << 63);
+        assert_eq!(s.p99_us, 1u64 << 63);
+        assert_eq!(s.max_us, 1u64 << 63);
+    }
+
+    #[test]
+    fn merge_then_quantile_matches_one_histogram_with_all_samples() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3, 10, 100, 5000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7, 70, 700, 70_000, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        // count and sum fold exactly, so every snapshot field — mean
+        // included — is identical to the single-histogram run.
+        assert_eq!(a.snapshot(), all.snapshot());
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub enum Request {
         /// Timing-configuration knobs.
         spec: SimSpec,
     },
+    /// Compile, run, and per-line-profile a client-submitted `.mvel`
+    /// kernel: the reply carries the annotated-source text plus the
+    /// per-line attribution array (events, scalar instrs, cycles, spill
+    /// traffic per source line, conservation-checked server-side).
+    Profile {
+        /// The DSL source text.
+        source: String,
+        /// Timing-configuration knobs.
+        spec: SimSpec,
+    },
     /// Price a request against the cost model without executing it. The
     /// inner request is any chargeable op (artefact/sim/compile); nesting
     /// an `estimate` inside an `estimate` is a protocol error.
@@ -250,31 +260,33 @@ fn parse_request_obj(doc: &Json, allow_estimate: bool) -> Result<Request, String
                 },
             })
         }
-        "compile" => {
+        "compile" | "profile" => {
             if doc.get("arrays").is_some() {
-                return Err(
-                    "`arrays` is not supported for `compile`: DSL kernels execute on the \
+                return Err(format!(
+                    "`arrays` is not supported for `{op}`: DSL kernels execute on the \
                      default 32-array geometry"
-                        .to_owned(),
-                );
+                ));
             }
             let source = required_str(doc, "source")?;
             if source.len() > MAX_COMPILE_SOURCE_BYTES {
                 return Err(format!(
-                    "`source` is {} bytes; the compile op accepts at most {}",
+                    "`source` is {} bytes; the {op} op accepts at most {}",
                     source.len(),
                     MAX_COMPILE_SOURCE_BYTES
                 ));
             }
-            Ok(Request::Compile {
-                source: source.to_owned(),
-                spec: SimSpec {
-                    scheme: parse_scheme(doc)?,
-                    arrays: None,
-                    ooo_dispatch: parse_bool(doc, "ooo_dispatch", false)?,
-                    mode_switch: parse_bool(doc, "mode_switch", true)?,
-                    cache_warming: parse_bool(doc, "cache_warming", true)?,
-                },
+            let source = source.to_owned();
+            let spec = SimSpec {
+                scheme: parse_scheme(doc)?,
+                arrays: None,
+                ooo_dispatch: parse_bool(doc, "ooo_dispatch", false)?,
+                mode_switch: parse_bool(doc, "mode_switch", true)?,
+                cache_warming: parse_bool(doc, "cache_warming", true)?,
+            };
+            Ok(if op == "compile" {
+                Request::Compile { source, spec }
+            } else {
+                Request::Profile { source, spec }
             })
         }
         "estimate" => {
@@ -285,13 +297,13 @@ fn parse_request_obj(doc: &Json, allow_estimate: bool) -> Result<Request, String
                 .get("request")
                 .ok_or("field `request` (object) is required for `estimate`")?;
             match parse_request_obj(inner, false)? {
-                req
-                @ (Request::Artefact { .. } | Request::Sim { .. } | Request::Compile { .. }) => {
-                    Ok(Request::Estimate(Box::new(req)))
-                }
+                req @ (Request::Artefact { .. }
+                | Request::Sim { .. }
+                | Request::Compile { .. }
+                | Request::Profile { .. }) => Ok(Request::Estimate(Box::new(req))),
                 other => Err(format!(
-                    "`estimate` prices chargeable ops (artefact, compile, sim); `{}` is \
-                     control-plane and costs nothing",
+                    "`estimate` prices chargeable ops (artefact, compile, profile, sim); `{}` \
+                     is control-plane and costs nothing",
                     op_name(&other)
                 )),
             }
@@ -301,8 +313,8 @@ fn parse_request_obj(doc: &Json, allow_estimate: bool) -> Result<Request, String
         "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}`; valid ops: artefact, compile, estimate, metrics, sim, stats, \
-             trace, shutdown"
+            "unknown op `{other}`; valid ops: artefact, compile, estimate, metrics, profile, \
+             sim, stats, trace, shutdown"
         )),
     }
 }
@@ -313,6 +325,7 @@ pub fn op_name(req: &Request) -> &'static str {
         Request::Artefact { .. } => "artefact",
         Request::Sim { .. } => "sim",
         Request::Compile { .. } => "compile",
+        Request::Profile { .. } => "profile",
         Request::Estimate(_) => "estimate",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
@@ -347,9 +360,9 @@ pub fn request_to_json(req: &Request) -> Json {
             members.extend(spec.json_members());
             Json::Obj(members)
         }
-        Request::Compile { source, spec } => {
+        Request::Compile { source, spec } | Request::Profile { source, spec } => {
             let mut members = vec![
-                ("op".to_owned(), Json::Str("compile".into())),
+                ("op".to_owned(), Json::Str(op_name(req).into())),
                 ("source".to_owned(), Json::Str(source.clone())),
             ];
             members.extend(
@@ -456,6 +469,50 @@ pub fn ok_compile(text: &str, phases: Option<&mve_lang::CompilePhases>) -> Strin
         ));
     }
     Json::Obj(members).encode()
+}
+
+/// Serializes the cached payload of a `profile` reply: the annotated
+/// source text plus the per-line attribution rows, as one JSON object
+/// fragment. The fragment is what the single-flight cache stores, so a
+/// hit splices the identical bytes a miss computed ([`ok_profile`]).
+pub fn profile_payload(text: &str, report: &mve_lang::LineReport) -> String {
+    let line_to_json = |l: &mve_lang::LineStat| {
+        Json::Obj(vec![
+            ("line".to_owned(), Json::U64(u64::from(l.line))),
+            ("cycles".to_owned(), Json::U64(l.cycles)),
+            ("events".to_owned(), Json::U64(l.events)),
+            ("scalar_instrs".to_owned(), Json::U64(l.scalar_instrs)),
+            ("active_lanes".to_owned(), Json::U64(l.active_lanes)),
+            ("cache_lines".to_owned(), Json::U64(l.cache_lines)),
+            ("spill_stores".to_owned(), Json::U64(l.spill_stores)),
+            ("reloads".to_owned(), Json::U64(l.reloads)),
+        ])
+    };
+    Json::Obj(vec![
+        ("kernel".to_owned(), Json::Str(report.name.clone())),
+        (
+            "digest".to_owned(),
+            Json::Str(format!("{:#018x}", report.source_digest)),
+        ),
+        ("total_cycles".to_owned(), Json::U64(report.total_cycles)),
+        (
+            "lines".to_owned(),
+            Json::Arr(report.lines.iter().map(line_to_json).collect()),
+        ),
+        ("text".to_owned(), Json::Str(text.to_owned())),
+    ])
+    .encode()
+}
+
+/// `{"ok":true,"profile":<fragment>}` — the fragment is the cached,
+/// already-serialized [`profile_payload`] object, spliced verbatim
+/// (hit and miss replies are byte-identical).
+pub fn ok_profile(payload_fragment: &str) -> String {
+    let mut out = String::with_capacity(payload_fragment.len() + 24);
+    out.push_str("{\"ok\":true,\"profile\":");
+    out.push_str(payload_fragment);
+    out.push('}');
+    out
 }
 
 /// `{"ok":true,"estimate":{"class":C,"cost":N,"admit_now":B,"measured_cost_us":F}}`
@@ -605,6 +662,19 @@ pub fn artefact_key(name: &str, scale: Scale) -> u64 {
 pub fn compile_key(source: &str, cfg: &SimConfig) -> u64 {
     let mut bytes = Vec::with_capacity(source.len() + 400);
     bytes.extend_from_slice(b"compile\0");
+    bytes.extend_from_slice(source.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&cfg.canonical_bytes());
+    crate::digest::sha256_trunc64(&bytes)
+}
+
+/// Content key of a profile request — [`compile_key`]'s construction
+/// with a distinct domain prefix, so a `profile` and a `compile` of the
+/// same source under the same configuration can never alias each
+/// other's cached bytes.
+pub fn profile_key(source: &str, cfg: &SimConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(source.len() + 400);
+    bytes.extend_from_slice(b"profile\0");
     bytes.extend_from_slice(source.as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(&cfg.canonical_bytes());

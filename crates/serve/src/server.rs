@@ -58,8 +58,9 @@ use crate::json::Json;
 use crate::poller::{wake_pipe, Event, Interest, Poller, PollerBackend, WakeRx, WakeTx};
 use crate::protocol::{
     artefact_key, compile_key, error_reply, error_reply_at, ok_artefact, ok_compile, ok_estimate,
-    ok_metrics, ok_shutdown, ok_sim, ok_stats, ok_traces, op_name, overloaded_reply, parse_request,
-    report_to_json, scale_name, sim_key, Request, SimSpec,
+    ok_metrics, ok_profile, ok_shutdown, ok_sim, ok_stats, ok_traces, op_name, overloaded_reply,
+    parse_request, profile_key, profile_payload, report_to_json, scale_name, sim_key, Request,
+    SimSpec,
 };
 use crate::scheduler::{BatchEntry, Batcher};
 use crate::timer::{TimerId, TimerWheel};
@@ -142,6 +143,9 @@ pub struct ServeOptions {
     pub poller: PollerBackend,
     /// Fault-injection plan (inert by default; tests arm it).
     pub faults: FaultPlan,
+    /// Completed-request trace ring capacity (`serve --trace-ring`;
+    /// validated to 16..=65536 by the CLI, clamped to ≥ 1 here).
+    pub trace_ring: usize,
 }
 
 impl Default for ServeOptions {
@@ -159,6 +163,7 @@ impl Default for ServeOptions {
             fair_share: adm.fair_share,
             poller: PollerBackend::Auto,
             faults: FaultPlan::new(),
+            trace_ring: crate::trace::TRACE_RING_CAPACITY,
         }
     }
 }
@@ -197,6 +202,8 @@ pub struct Counters {
     pub metrics_requests: AtomicU64,
     /// `trace` requests (trace-ring snapshots).
     pub trace_requests: AtomicU64,
+    /// DSL per-line profile requests.
+    pub profile_requests: AtomicU64,
 }
 
 /// An admitted request in transit to the worker pool. Only *executing*
@@ -411,12 +418,26 @@ impl ServerState {
             "Completed request traces recorded.",
             self.traces.recorded(),
         );
+        reg.counter(
+            "profile_requests",
+            "DSL per-line profile requests executed.",
+            load(&c.profile_requests),
+        );
         reg.info(
             "info",
             "Daemon runtime info.",
             &[("poller", self.poller_backend)],
         );
         for class in MetricClass::ALL {
+            // The measured-cost EWMA the `estimate` op reports as
+            // `measured_cost_us`, exposed as a per-class gauge family so
+            // scrapers see model-vs-observed drift without a request.
+            reg.gauge_f_with(
+                "measured_cost_us",
+                "Observed mean service time per op class, µs (EWMA).",
+                &[("class", class.name())],
+                self.latency.mean_service_us(class),
+            );
             let (service, queue_wait) = self.latency.class_histograms(class);
             let labels = [("class", class.name())];
             reg.histogram(
@@ -584,7 +605,7 @@ impl Server {
                 poller_backend,
                 epoch: Instant::now(),
                 next_request_id: AtomicU64::new(0),
-                traces: TraceRing::default(),
+                traces: TraceRing::new(opts.trace_ring),
                 jobs: Mutex::new(VecDeque::new()),
                 jobs_cv: Condvar::new(),
                 completions: Mutex::new(Vec::new()),
@@ -1693,6 +1714,22 @@ fn execute_chargeable(state: &ServerState, req: &Request) -> (String, &'static s
                 }
             }
         }
+        Request::Profile { source, spec } => {
+            state
+                .counters
+                .profile_requests
+                .fetch_add(1, Ordering::SeqCst);
+            match serve_profile(state, source, spec) {
+                Ok((bytes, hit)) => match std::str::from_utf8(&bytes) {
+                    Ok(fragment) => (ok_profile(fragment), cache_name(hit), true),
+                    Err(_) => fail("profile bytes are not UTF-8"),
+                },
+                Err((msg, line, col)) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    (error_reply_at(&msg, line, col), "none", false)
+                }
+            }
+        }
         Request::Sim {
             kernel,
             scale,
@@ -1772,6 +1809,9 @@ fn serve_artefact(
 /// returns the per-phase compile timings (the cached bytes stay exactly
 /// the golden render, so hits carry no timings).
 type CompileOutcome = Result<(Arc<Vec<u8>>, Option<CompilePhases>), (String, u32, u32)>;
+/// A served `profile` fragment plus the cache-hit flag, or a positioned
+/// diagnostic.
+type ProfileOutcome = Result<(Arc<Vec<u8>>, bool), (String, u32, u32)>;
 
 fn serve_compile(state: &ServerState, source: &str, spec: &SimSpec) -> CompileOutcome {
     let cfg = spec.to_config();
@@ -1799,6 +1839,48 @@ fn serve_compile(state: &ServerState, source: &str, spec: &SimSpec) -> CompileOu
                     state.cache.abandon(key);
                     Err((
                         format!("compile failed: {}", panic_message(&*payload)),
+                        0,
+                        0,
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Serves one `profile` request behind the single-flight cache. The
+/// cached bytes are the serialized [`profile_payload`] fragment —
+/// annotated text plus the per-line attribution rows — keyed by
+/// [`profile_key`] (a domain distinct from `compile`, so the two ops
+/// never alias). Returns the fragment plus the hit flag; diagnostics
+/// carry their source position like `compile`'s.
+fn serve_profile(state: &ServerState, source: &str, spec: &SimSpec) -> ProfileOutcome {
+    let cfg = spec.to_config();
+    let key = profile_key(source, &cfg);
+    match state.cache.fetch(key) {
+        Fetch::Hit(bytes) => Ok((bytes, true)),
+        Fetch::Miss => {
+            if state.faults.should_abandon_reservation() {
+                state.cache.abandon(key);
+                return Err(("profile failed: injected abandonment".to_owned(), 0, 0));
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                state.faults.on_compute();
+                mve_lang::profile_and_render(source, &cfg)
+            }));
+            match result {
+                Ok(Ok((text, report))) => {
+                    let fragment = profile_payload(&text, &report);
+                    Ok((state.cache.fulfill(key, fragment.into_bytes()), false))
+                }
+                Ok(Err(diag)) => {
+                    state.cache.abandon(key);
+                    Err((diag.message.clone(), diag.span.line, diag.span.col))
+                }
+                Err(payload) => {
+                    state.cache.abandon(key);
+                    Err((
+                        format!("profile failed: {}", panic_message(&*payload)),
                         0,
                         0,
                     ))
